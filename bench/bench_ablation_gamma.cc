@@ -1,0 +1,92 @@
+// Ablation: NED's step-size parameter gamma.
+//
+// §6.2 states that for gamma in [0.2, 1.5] the network performs
+// similarly (the paper runs 0.4). This bench quantifies that robustness
+// claim on two axes: (a) iterations to converge on a static multi-
+// bottleneck problem, and (b) mean over-allocation under flowlet churn.
+// Values outside the paper's range (0.05, 2.0, 2.5) show where the
+// claim stops holding.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "churn_harness.h"
+#include "core/exact.h"
+#include "core/ned.h"
+
+namespace {
+
+using namespace ft;
+
+// Iterations for NED to reach within 1% of the converged optimum on a
+// random 2-tier instance.
+int static_convergence_iters(double gamma) {
+  std::vector<double> caps;
+  for (int i = 0; i < 24; ++i) caps.push_back(10e9);
+  core::NumProblem ref_p(caps);
+  core::NumProblem p(caps);
+  Rng rng(7);
+  for (int f = 0; f < 80; ++f) {
+    const auto a = static_cast<std::uint32_t>(rng.below(24));
+    auto b = static_cast<std::uint32_t>(rng.below(23));
+    if (b >= a) ++b;
+    const std::vector<LinkId> route{LinkId(a), LinkId(b)};
+    ref_p.add_flow(route, core::Utility::log_utility());
+    p.add_flow(route, core::Utility::log_utility());
+  }
+  const core::ExactResult opt = core::solve_exact(ref_p);
+  core::NedSolver ned(p, gamma);
+  for (int it = 1; it <= 20000; ++it) {
+    ned.iterate();
+    bool ok = true;
+    for (std::size_t s = 0; s < opt.rates.size(); ++s) {
+      if (std::abs(ned.rates()[s] - opt.rates[s]) > 0.01 * opt.rates[s]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return it;
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ft::bench::Flags flags(argc, argv);
+  const double dur_ms = flags.double_flag("duration_ms", 15,
+                                          "churn milliseconds per point");
+  flags.done("Gamma-robustness ablation (§6.2 claim).");
+
+  ft::bench::banner("NED gamma ablation",
+                    "Flowtune paper §6.2 (gamma in [0.2,1.5] behaves "
+                    "similarly; default 0.4)");
+
+  ft::bench::Table table({"gamma", "static conv (iters)",
+                          "churn mean over-alloc (Gbps)",
+                          "churn max (Gbps)"});
+  for (const double gamma :
+       {0.05, 0.1, 0.2, 0.4, 0.8, 1.0, 1.2, 1.5, 2.0, 2.5}) {
+    const int iters = static_convergence_iters(gamma);
+    ft::bench::ChurnSolverConfig cfg;
+    cfg.servers = 64;
+    cfg.load = 0.6;
+    cfg.solver = ft::bench::SolverKind::kNed;
+    cfg.gamma = gamma;
+    cfg.duration = ft::from_ms(dur_ms);
+    const auto churn = ft::bench::run_churn_solver(cfg);
+    table.add_row({ft::bench::fmt("%.2f", gamma),
+                   iters < 0 ? "diverged" : ft::bench::fmt("%d", iters),
+                   ft::bench::fmt("%.2f", churn.overalloc_gbps.mean()),
+                   ft::bench::fmt("%.1f", churn.overalloc_gbps.max())});
+  }
+  table.print();
+  std::printf(
+      "\nExpected: the paper's *network-level* similarity across "
+      "[0.2, 1.5] shows as flat churn over-allocation through 1.5 "
+      "(normalization absorbs residual oscillation); strict static "
+      "convergence to 1%% holds to gamma ~1; past ~2 the churn metrics "
+      "blow up; tiny gammas converge slowly.\n");
+  return 0;
+}

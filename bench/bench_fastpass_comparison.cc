@@ -1,0 +1,159 @@
+// Reproduces the paper's Fastpass comparison (§1, §6.1 "Throughput
+// scaling and comparison to Fastpass"): Fastpass arbitrates *per packet*
+// (one maximal matching per MTU timeslot), so the network throughput one
+// core can manage is (timeslot matchings computed per second) x MTU x
+// matched pairs -- and shrinks as link speed grows, because timeslots
+// shrink. Flowtune allocates *per flowlet*: one NED+F-NORM iteration per
+// 10 us covers the whole network regardless of link speed, so the
+// allocated throughput per core scales with the links.
+//
+// Paper: Fastpass reported 2.2 Tbit/s on 8 cores (~0.28 Tbit/s/core);
+// Flowtune allocates 15.36 Tbit/s on 4 cores (~3.8 Tbit/s/core), 10.4x
+// more throughput per core, and scales to 8x more cores for an 83x
+// total gain. Absolute numbers here reflect this host's single vCPU;
+// the per-core *ratio* between the two allocators is the reproduced
+// quantity, along with the link-speed scaling behaviour.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/fastpass.h"
+#include "core/ned.h"
+#include "core/normalizer.h"
+#include "core/problem.h"
+#include "topo/clos.h"
+
+namespace {
+
+using namespace ft;
+
+struct Workload {
+  topo::ClosTopology clos;
+  std::vector<std::pair<std::int32_t, std::int32_t>> pairs;
+
+  Workload(std::int32_t servers, std::int32_t flows, std::uint64_t seed)
+      : clos([&] {
+          topo::ClosConfig cfg;
+          cfg.servers_per_rack = 16;
+          cfg.racks = servers / 16;
+          cfg.spines = 4;
+          return topo::ClosTopology(cfg);
+        }()) {
+    Rng rng(seed);
+    const auto hosts = static_cast<std::uint64_t>(clos.num_hosts());
+    for (std::int32_t f = 0; f < flows; ++f) {
+      const auto s = static_cast<std::int32_t>(rng.below(hosts));
+      auto d = static_cast<std::int32_t>(rng.below(hosts - 1));
+      if (d >= s) ++d;
+      pairs.emplace_back(s, d);
+    }
+  }
+};
+
+// Fastpass: sustained allocation throughput per core = bytes granted per
+// second of arbiter CPU, with demands replenished so the arbiter always
+// has work (a loaded network).
+double fastpass_tbps_per_core(const Workload& w, double /*link_bps*/) {
+  core::FastpassArbiter arb(w.clos.num_hosts());
+  Rng rng(7);
+  for (const auto& [s, d] : w.pairs) arb.add_demand(s, d, 1 << 20);
+  // Warmup.
+  for (int i = 0; i < 200; ++i) arb.allocate_timeslot();
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::int64_t bytes0 = arb.stats().bytes_granted;
+  constexpr int kSlots = 20000;
+  for (int i = 0; i < kSlots; ++i) {
+    arb.allocate_timeslot();
+    if ((i & 1023) == 0) {
+      // Replenish backlog so the matching stays loaded.
+      for (const auto& [s, d] : w.pairs) arb.add_demand(s, d, 1 << 18);
+    }
+  }
+  const double cpu_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const auto bytes = static_cast<double>(arb.stats().bytes_granted -
+                                         bytes0);
+  // Throughput the arbiter can *sustain*: it must compute timeslots at
+  // least as fast as the network consumes them. One arbiter-CPU second
+  // yields `bytes` of grants; the network needs them in
+  // kSlots * slot_duration of real time, so the manageable throughput is
+  // bytes / cpu_sec (bits per arbiter-CPU-second).
+  return bytes * 8.0 / cpu_sec / 1e12;
+}
+
+// Flowtune: allocated throughput per core = (sum of F-NORM rates it
+// sustains) x (iteration period / iteration CPU time).
+double flowtune_tbps_per_core(const Workload& w, double link_scale) {
+  std::vector<double> caps;
+  for (const auto& l : w.clos.graph().links()) {
+    caps.push_back(l.capacity_bps * link_scale);
+  }
+  core::NumProblem p(caps);
+  Rng rng(9);
+  for (const auto& [s, d] : w.pairs) {
+    const auto path =
+        w.clos.host_path(w.clos.host(s), w.clos.host(d), rng.next());
+    std::vector<LinkId> links(path.begin(), path.end());
+    p.add_flow(links, core::Utility::log_utility());
+  }
+  core::NedSolver ned(p);
+  std::vector<double> norm(p.num_slots());
+  for (int i = 0; i < 50; ++i) ned.iterate();  // warmup/converge
+  const auto t0 = std::chrono::steady_clock::now();
+  constexpr int kIters = 2000;
+  double allocated_bps = 0.0;
+  for (int i = 0; i < kIters; ++i) {
+    ned.iterate();
+    core::f_norm(p, ned.rates(), norm);
+  }
+  const double cpu_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  for (std::size_t s = 0; s < norm.size(); ++s) allocated_bps += norm[s];
+  // One iteration of CPU time buys 10 us of allocations for the whole
+  // network: manageable throughput = allocated * (10us / per-iter cpu).
+  const double per_iter_cpu = cpu_sec / kIters;
+  return allocated_bps * (10e-6 / per_iter_cpu) / 1e12;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ft::bench::Flags flags(argc, argv);
+  const auto servers = static_cast<std::int32_t>(
+      flags.int_flag("servers", 384, "number of servers"));
+  const auto flows = static_cast<std::int32_t>(
+      flags.int_flag("flows", 3072, "concurrent flows"));
+  flags.done("Reproduces the paper's Fastpass throughput-per-core "
+             "comparison (§1, §6.1).");
+
+  ft::bench::banner("Allocator throughput per core: Flowtune vs Fastpass",
+                    "Flowtune paper §1 / §6.1 (10.4x per core, 83x total "
+                    "on the paper's hardware)");
+
+  const Workload w(servers, flows, 42);
+
+  ft::bench::Table table({"allocator", "link speed", "Tbit/s per core"});
+  const double fp = fastpass_tbps_per_core(w, 10e9);
+  table.add_row({"Fastpass (per-packet timeslots)", "10G",
+                 ft::bench::fmt("%.3f", fp)});
+  const double ft10 = flowtune_tbps_per_core(w, 1.0);
+  table.add_row({"Flowtune (NED + F-NORM)", "10G",
+                 ft::bench::fmt("%.3f", ft10)});
+  const double ft40 = flowtune_tbps_per_core(w, 4.0);
+  table.add_row({"Flowtune (NED + F-NORM)", "40G",
+                 ft::bench::fmt("%.3f", ft40)});
+  table.print();
+
+  std::printf(
+      "\nPer-core advantage at 10G: %.1fx (paper: 10.4x).\n"
+      "Flowtune's manageable throughput scales with link speed "
+      "(%.1fx going 10G->40G; Fastpass would stay flat since its "
+      "timeslots shrink 4x), and its LinkBlock aggregation scales it "
+      "across 8x more cores -- the paper's 83x total.\n",
+      ft10 / fp, ft40 / ft10);
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Microbenchmarks (google-benchmark) for the allocator's inner loops:
+// NED iteration cost vs problem size, F-NORM, the parallel engine at
+// different block counts, rate-codec and message-codec throughput.
+// These are the per-iteration costs behind the §6.1 table.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/ratecode.h"
+#include "common/rng.h"
+#include "core/messages.h"
+#include "core/ned.h"
+#include "core/normalizer.h"
+#include "core/parallel.h"
+#include "core/problem.h"
+#include "topo/clos.h"
+#include "topo/partition.h"
+
+namespace {
+
+using namespace ft;
+
+struct Instance {
+  topo::ClosTopology clos;
+  std::vector<double> caps;
+  std::vector<std::pair<std::vector<LinkId>, std::pair<int, int>>> flows;
+
+  Instance(std::int32_t servers, std::int32_t num_flows,
+           std::int32_t blocks)
+      : clos([&] {
+          topo::ClosConfig cfg;
+          cfg.servers_per_rack = 16;
+          cfg.racks = servers / 16;
+          cfg.spines = 4;
+          return topo::ClosTopology(cfg);
+        }()) {
+    for (const auto& l : clos.graph().links()) {
+      caps.push_back(l.capacity_bps);
+    }
+    const auto part = topo::BlockPartition::make(clos, blocks);
+    Rng rng(1);
+    const auto hosts = static_cast<std::uint64_t>(clos.num_hosts());
+    for (std::int32_t f = 0; f < num_flows; ++f) {
+      const auto s = static_cast<std::int32_t>(rng.below(hosts));
+      auto d = static_cast<std::int32_t>(rng.below(hosts - 1));
+      if (d >= s) ++d;
+      const auto path =
+          clos.host_path(clos.host(s), clos.host(d), rng.next());
+      flows.emplace_back(
+          std::vector<LinkId>(path.begin(), path.end()),
+          std::make_pair(part.block_of_host(clos, clos.host(s)),
+                         part.block_of_host(clos, clos.host(d))));
+    }
+  }
+};
+
+void BM_NedIteration(benchmark::State& state) {
+  const auto servers = static_cast<std::int32_t>(state.range(0));
+  const auto num_flows = static_cast<std::int32_t>(state.range(1));
+  Instance inst(servers, num_flows, 2);
+  core::NumProblem p(inst.caps);
+  for (const auto& [route, blocks] : inst.flows) {
+    p.add_flow(route, core::Utility::log_utility());
+  }
+  core::NedSolver ned(p);
+  for (auto _ : state) {
+    ned.iterate();
+    benchmark::DoNotOptimize(ned.rates().data());
+  }
+  state.SetItemsProcessed(state.iterations() * num_flows);
+}
+BENCHMARK(BM_NedIteration)
+    ->Args({128, 1024})
+    ->Args({384, 3072})
+    ->Args({768, 6144})
+    ->Args({1536, 12288})
+    ->Args({1536, 49152});
+
+void BM_FNorm(benchmark::State& state) {
+  const auto num_flows = static_cast<std::int32_t>(state.range(0));
+  Instance inst(384, num_flows, 2);
+  core::NumProblem p(inst.caps);
+  for (const auto& [route, blocks] : inst.flows) {
+    p.add_flow(route, core::Utility::log_utility());
+  }
+  core::NedSolver ned(p);
+  ned.iterate();
+  std::vector<double> out(p.num_slots());
+  for (auto _ : state) {
+    core::f_norm(p, ned.rates(), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * num_flows);
+}
+BENCHMARK(BM_FNorm)->Arg(3072)->Arg(12288);
+
+void BM_ParallelIteration(benchmark::State& state) {
+  const auto blocks = static_cast<std::int32_t>(state.range(0));
+  Instance inst(768, 6144, blocks);
+  const auto part = topo::BlockPartition::make(inst.clos, blocks);
+  core::NumProblem p(inst.caps);
+  core::ParallelConfig cfg;
+  cfg.num_blocks = blocks;
+  core::ParallelNed engine(p, part, cfg);
+  for (const auto& [route, bl] : inst.flows) {
+    const core::FlowIndex idx =
+        p.add_flow(route, core::Utility::log_utility());
+    engine.assign_flow(idx, bl.first, bl.second);
+  }
+  for (auto _ : state) {
+    engine.iterate();
+    benchmark::DoNotOptimize(engine.rates().data());
+  }
+}
+BENCHMARK(BM_ParallelIteration)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_RateCodec(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> rates(4096);
+  for (auto& r : rates) r = rng.uniform(1e6, 40e9);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::uint16_t code = encode_rate(rates[i++ & 4095]);
+    benchmark::DoNotOptimize(decode_rate(code));
+  }
+}
+BENCHMARK(BM_RateCodec);
+
+void BM_MessageCodec(benchmark::State& state) {
+  core::FlowletStartMsg m;
+  m.flow_key = 12345;
+  m.src_host = 17;
+  m.dst_host = 99;
+  for (auto _ : state) {
+    const auto buf = core::encode(m);
+    benchmark::DoNotOptimize(core::decode_flowlet_start(buf));
+  }
+}
+BENCHMARK(BM_MessageCodec);
+
+}  // namespace
+
+BENCHMARK_MAIN();

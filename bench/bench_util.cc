@@ -1,0 +1,137 @@
+#include "bench_util.h"
+
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+
+namespace ft::bench {
+
+Flags::Flags(int argc, char** argv) : prog_(argv[0]) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s (try --help)\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+    const auto eq = arg.find('=');
+    Entry e;
+    if (eq == std::string::npos) {
+      e.name = arg.substr(2);
+      e.value = "1";  // bare flag == boolean true
+    } else {
+      e.name = arg.substr(2, eq - 2);
+      e.value = arg.substr(eq + 1);
+    }
+    entries_.push_back(std::move(e));
+  }
+}
+
+const std::string* Flags::find(const std::string& name) {
+  for (auto& e : entries_) {
+    if (e.name == name) {
+      e.used = true;
+      return &e.value;
+    }
+  }
+  return nullptr;
+}
+
+std::int64_t Flags::int_flag(const std::string& name, std::int64_t def,
+                             const std::string& help) {
+  help_.push_back({name, std::to_string(def), help});
+  const std::string* v = find(name);
+  return v ? std::strtoll(v->c_str(), nullptr, 10) : def;
+}
+
+double Flags::double_flag(const std::string& name, double def,
+                          const std::string& help) {
+  help_.push_back({name, fmt("%g", def), help});
+  const std::string* v = find(name);
+  return v ? std::strtod(v->c_str(), nullptr) : def;
+}
+
+bool Flags::bool_flag(const std::string& name, bool def,
+                      const std::string& help) {
+  help_.push_back({name, def ? "true" : "false", help});
+  const std::string* v = find(name);
+  if (!v) return def;
+  return *v == "1" || *v == "true" || *v == "yes";
+}
+
+std::string Flags::string_flag(const std::string& name, std::string def,
+                               const std::string& help) {
+  help_.push_back({name, def, help});
+  const std::string* v = find(name);
+  return v ? *v : def;
+}
+
+void Flags::done(const char* description) {
+  if (help_requested_) {
+    std::printf("%s\n\n%s\n\nflags:\n", prog_.c_str(), description);
+    for (const auto& h : help_) {
+      std::printf("  --%-18s (default %s)  %s\n", h.name.c_str(),
+                  h.def.c_str(), h.help.c_str());
+    }
+    std::exit(0);
+  }
+  for (const auto& e : entries_) {
+    if (!e.used) {
+      std::fprintf(stderr, "unknown flag: --%s (try --help)\n",
+                   e.name.c_str());
+      std::exit(2);
+    }
+  }
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::FILE* out) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : "";
+      std::fprintf(out, "%-*s  ", static_cast<int>(width[c]), s.c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+  line(headers_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  std::string sep(total, '-');
+  std::fprintf(out, "%s\n", sep.c_str());
+  for (const auto& row : rows_) line(row);
+}
+
+std::string fmt(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  char buf[512];
+  std::vsnprintf(buf, sizeof buf, format, args);
+  va_end(args);
+  return buf;
+}
+
+void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("[reproduces %s]\n\n", paper_ref.c_str());
+}
+
+}  // namespace ft::bench

@@ -1,0 +1,66 @@
+// Shared helpers for the benchmark harnesses: tiny CLI flag parsing and
+// aligned table printing matching the paper's figure/table formats.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ft::bench {
+
+// Minimal --key=value flag parser. Unknown flags abort with a message
+// listing valid keys (registered via int_flag/double_flag/...).
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  // Registers a flag and returns its value (default if absent).
+  std::int64_t int_flag(const std::string& name, std::int64_t def,
+                        const std::string& help);
+  double double_flag(const std::string& name, double def,
+                     const std::string& help);
+  bool bool_flag(const std::string& name, bool def,
+                 const std::string& help);
+  std::string string_flag(const std::string& name, std::string def,
+                          const std::string& help);
+
+  // Call after all registrations: rejects unknown flags, handles --help.
+  void done(const char* description);
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string value;
+    bool used = false;
+  };
+  struct HelpLine {
+    std::string name;
+    std::string def;
+    std::string help;
+  };
+  const std::string* find(const std::string& name);
+  std::vector<Entry> entries_;
+  std::vector<HelpLine> help_;
+  std::string prog_;
+  bool help_requested_ = false;
+};
+
+// Fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print(std::FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+[[nodiscard]] std::string fmt(const char* format, ...);
+
+// Prints a section banner for a figure/table reproduction.
+void banner(const std::string& title, const std::string& paper_ref);
+
+}  // namespace ft::bench

@@ -1,0 +1,100 @@
+// Flow-level churn harnesses shared by the allocator-overhead benches
+// (Figures 5-7) and the solver benches (Figures 12-13).
+//
+// These drive the *allocator* (not the packet simulator): flowlets arrive
+// per the workload's Poisson process, routes come from the Clos topology,
+// and each live flowlet drains at its currently allocated (normalized)
+// rate, ending when its bytes are exhausted -- so offered load, flowlet
+// lifetime and churn rate are all physically consistent. One iteration
+// step is the paper's 10 us allocator period.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/stats.h"
+#include "common/time.h"
+#include "core/allocator.h"
+#include "core/solver.h"
+#include "workload/size_dist.h"
+
+namespace ft::bench {
+
+// ---------------------------------------------------------------------
+// Figures 5-7: control-traffic accounting against a full Allocator.
+// ---------------------------------------------------------------------
+
+struct UpdateTrafficConfig {
+  std::int32_t servers = 128;
+  wl::Workload workload = wl::Workload::kWeb;
+  double load = 0.6;
+  double threshold = 0.01;
+  Time duration = 100 * kMillisecond;
+  Time iter_period = 10 * kMicrosecond;
+  double gamma = 0.4;
+  std::uint64_t seed = 1;
+  // §7 "more scalable rate update schemes": updates are batched per
+  // group of this many servers (1 = per-server batching; 32+ models the
+  // intermediary servers that receive one MTU of updates and fan them
+  // out, cutting the allocator-NIC overhead of tiny frames).
+  std::int32_t hosts_per_intermediary = 1;
+};
+
+struct UpdateTrafficResult {
+  double to_allocator_frac = 0.0;    // wire bytes/sec / network capacity
+  double from_allocator_frac = 0.0;
+  std::int64_t to_allocator_bytes = 0;
+  std::int64_t from_allocator_bytes = 0;
+  std::uint64_t flowlet_starts = 0;
+  std::uint64_t flowlet_ends = 0;
+  std::uint64_t updates = 0;
+  double mean_active_flows = 0.0;
+};
+
+UpdateTrafficResult run_update_traffic(const UpdateTrafficConfig& cfg);
+
+// ---------------------------------------------------------------------
+// Figures 12-13: raw solver behaviour under churn.
+// ---------------------------------------------------------------------
+
+enum class SolverKind {
+  kNed,
+  kNedRt,
+  kGradient,
+  kGradientRt,
+  kFgm,
+  kNewtonLike,
+};
+
+[[nodiscard]] const char* solver_kind_name(SolverKind k);
+[[nodiscard]] std::unique_ptr<core::Solver> make_solver(
+    SolverKind k, core::NumProblem& problem, double gamma);
+
+struct ChurnSolverConfig {
+  std::int32_t servers = 128;
+  wl::Workload workload = wl::Workload::kWeb;
+  double load = 0.5;
+  SolverKind solver = SolverKind::kNed;
+  double gamma = 0.4;
+  Time duration = 50 * kMillisecond;
+  Time iter_period = 10 * kMicrosecond;
+  std::uint64_t seed = 1;
+  // Figure 13: compare normalized throughput to the converged optimum
+  // every `exact_every` iterations (0 = skip; exact solves are costly).
+  std::int32_t exact_every = 0;
+};
+
+struct ChurnSolverResult {
+  // Over-capacity allocation, summed over links, in Gbit/s (Figure 12).
+  StreamingStats overalloc_gbps;
+  // Throughput as a fraction of the converged optimum (Figure 13).
+  StreamingStats fnorm_frac;
+  StreamingStats unorm_frac;
+  std::uint64_t flowlets = 0;
+  double mean_active_flows = 0.0;
+};
+
+ChurnSolverResult run_churn_solver(const ChurnSolverConfig& cfg);
+
+}  // namespace ft::bench

@@ -1,0 +1,98 @@
+// Standalone multicore allocator loop: what the Flowtune allocator
+// process does in production. Builds a 1536-server pod, spins up the
+// partitioned NED+F-NORM engine (§5) across 64 FlowBlocks, replays a
+// flowlet event stream against it, and reports per-iteration latency
+// percentiles -- the numbers behind the paper's §6.1 table.
+//
+//   $ ./allocator_server             # 8 blocks, 20k flows, 2000 iters
+//   $ ./allocator_server 4 50000     # 4 blocks, 50k flows
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/flowtune.h"
+#include "topo/clos.h"
+#include "topo/partition.h"
+
+int main(int argc, char** argv) {
+  using namespace ft;
+
+  const std::int32_t blocks = argc > 1 ? std::atoi(argv[1]) : 8;
+  const std::int32_t target_flows = argc > 2 ? std::atoi(argv[2]) : 20000;
+  const std::int32_t iters = 2000;
+
+  topo::ClosConfig tcfg;
+  tcfg.racks = 96;  // 1536 servers
+  tcfg.servers_per_rack = 16;
+  tcfg.spines = 4;
+  topo::ClosTopology clos(tcfg);
+  const auto part = topo::BlockPartition::make(clos, blocks);
+
+  std::vector<double> caps;
+  for (const auto& l : clos.graph().links()) caps.push_back(l.capacity_bps);
+  core::NumProblem problem(caps);
+
+  core::ParallelConfig pcfg;
+  pcfg.num_blocks = blocks;
+  core::ParallelNed engine(problem, part, pcfg);
+  std::printf("%d FlowBlocks on %d threads, %zu links, %d servers\n",
+              blocks * blocks, engine.num_threads(),
+              problem.num_links(), clos.num_hosts());
+
+  // Seed the pod with random flows, then run iterations with churn:
+  // every iteration a handful of flowlets start and end, as they would
+  // arrive from endpoint notifications.
+  Rng rng(7);
+  const auto hosts = static_cast<std::uint64_t>(clos.num_hosts());
+  std::vector<core::FlowIndex> live;
+  const auto add_flow = [&] {
+    const auto s = static_cast<std::int32_t>(rng.below(hosts));
+    auto d = static_cast<std::int32_t>(rng.below(hosts - 1));
+    if (d >= s) ++d;
+    const auto path = clos.host_path(clos.host(s), clos.host(d), rng.next());
+    std::vector<LinkId> route(path.begin(), path.end());
+    const core::FlowIndex idx =
+        problem.add_flow(route, core::Utility::log_utility());
+    engine.assign_flow(idx, part.block_of_host(clos, clos.host(s)),
+                       part.block_of_host(clos, clos.host(d)));
+    live.push_back(idx);
+  };
+  for (std::int32_t i = 0; i < target_flows; ++i) add_flow();
+
+  std::vector<double> us;
+  us.reserve(static_cast<std::size_t>(iters));
+  double total_alloc_tbps = 0.0;
+  for (std::int32_t it = 0; it < iters; ++it) {
+    // Churn: ~4 flowlet events per 10 us iteration.
+    for (int e = 0; e < 2; ++e) {
+      const auto pick = rng.below(live.size());
+      engine.unassign_flow(live[pick]);
+      problem.remove_flow(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+      add_flow();
+    }
+    engine.iterate();
+    us.push_back(engine.last_iter_seconds() * 1e6);
+    if (it == iters - 1) {
+      for (core::FlowIndex f : live) {
+        total_alloc_tbps += engine.norm_rates()[f] / 1e12;
+      }
+    }
+  }
+  std::sort(us.begin(), us.end());
+  const auto pct = [&](double q) {
+    return us[static_cast<std::size_t>(q * (us.size() - 1))];
+  };
+  std::printf("\n%d iterations over %zu flows:\n", iters, live.size());
+  std::printf("  per-iteration latency: p50 %.1f us  p90 %.1f us  p99 %.1f us\n",
+              pct(0.50), pct(0.90), pct(0.99));
+  std::printf("  allocated throughput (F-NORM): %.2f Tbit/s\n",
+              total_alloc_tbps);
+  std::printf(
+      "\nPaper (§6.1, 80-core machine): 64 FlowBlocks allocate 1536 "
+      "nodes / 49k flows in 16.9 us per iteration.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Flowlet-control convergence, visualized: three flows join and leave a
+// shared bottleneck while the allocator re-optimizes; the timeline shows
+// allocations converging within a few 10 us iterations of every change
+// (the paper's core claim, §1: rates change only when flowlets start or
+// end -- and get re-optimized immediately when they do).
+//
+//   $ ./convergence_timeline
+#include <cstdio>
+#include <vector>
+
+#include "core/flowtune.h"
+#include "topo/clos.h"
+
+int main() {
+  using namespace ft;
+
+  topo::ClosConfig tcfg;
+  tcfg.racks = 2;
+  tcfg.servers_per_rack = 4;
+  tcfg.spines = 2;
+  tcfg.fabric_link_bps = 20e9;
+  topo::ClosTopology clos(tcfg);
+  std::vector<double> caps;
+  for (const auto& l : clos.graph().links()) caps.push_back(l.capacity_bps);
+
+  core::AllocatorConfig acfg;
+  acfg.gamma = 0.4;
+  core::Allocator alloc(caps, acfg);
+
+  const auto route = [&](std::uint64_t key, int src, int dst) {
+    const auto p = clos.host_path(clos.host(src), clos.host(dst), key);
+    return std::vector<LinkId>(p.begin(), p.end());
+  };
+
+  std::vector<core::RateUpdate> updates;
+  const auto run = [&](int iters) {
+    for (int i = 0; i < iters; ++i) {
+      updates.clear();
+      alloc.run_iteration(updates);
+    }
+  };
+  const auto show = [&](const char* event) {
+    std::printf("%-34s", event);
+    for (std::uint64_t k = 1; k <= 3; ++k) {
+      if (alloc.is_active(k)) {
+        std::printf("  f%llu=%5.2fG", static_cast<unsigned long long>(k),
+                    alloc.notified_rate(k) / 1e9);
+      } else {
+        std::printf("  f%llu=  -  ", static_cast<unsigned long long>(k));
+      }
+    }
+    std::printf("\n");
+  };
+
+  std::printf("All flows target host 7; its 10G downlink is the shared "
+              "bottleneck.\n(t in allocator iterations; 1 iteration = "
+              "10 us)\n\n");
+
+  alloc.flowlet_start(1, route(1, 0, 7));
+  run(30);
+  show("t=30: flowlet 1 active");
+
+  alloc.flowlet_start(2, route(2, 1, 7));
+  run(5);
+  show("t=35: flowlet 2 joins (+5 iters)");
+  run(25);
+  show("t=60: converged");
+
+  alloc.flowlet_start(3, route(3, 4, 7));
+  run(5);
+  show("t=65: flowlet 3 joins (+5 iters)");
+  run(25);
+  show("t=90: converged");
+
+  alloc.flowlet_end(2);
+  run(5);
+  show("t=95: flowlet 2 ends (+5 iters)");
+  run(25);
+  show("t=120: converged");
+
+  alloc.flowlet_end(3);
+  run(30);
+  show("t=150: flowlet 3 ends");
+
+  std::printf(
+      "\nEach change re-converges within a handful of 10 us iterations "
+      "-- versus tens of RTTs for distributed congestion control.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Datacenter workload comparison: runs the packet-level simulator on the
+// paper's topology with the Facebook Web workload and prints
+// p99-normalized flow completion times for Flowtune vs DCTCP -- a
+// minature of the paper's headline result (Figure 8).
+//
+//   $ ./datacenter_sim            # defaults: load 0.6, 8 ms window
+//   $ ./datacenter_sim 0.8 12     # load 0.8, 12 ms window
+#include <cstdio>
+#include <cstdlib>
+
+#include "transport/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace ft;
+  using namespace ft::transport;
+
+  const double load = argc > 1 ? std::atof(argv[1]) : 0.6;
+  const double ms = argc > 2 ? std::atof(argv[2]) : 8.0;
+
+  std::printf("Web workload at load %.1f on the paper's 144-server Clos "
+              "(%.0f ms measured)...\n\n",
+              load, ms);
+
+  ExpResult results[2];
+  const Scheme schemes[] = {Scheme::kFlowtune, Scheme::kDctcp};
+  for (int i = 0; i < 2; ++i) {
+    ExpConfig cfg;
+    cfg.scheme = schemes[i];
+    cfg.traffic.load = load;
+    cfg.traffic.workload = wl::Workload::kWeb;
+    cfg.duration = from_ms(ms);
+    results[i] = run_experiment(cfg);
+  }
+
+  std::printf("%-22s %12s %12s\n", "p99 normalized FCT", "Flowtune",
+              "DCTCP");
+  for (std::int32_t b = 0; b < wl::kNumSizeBuckets; ++b) {
+    std::printf("%-22s %12.2f %12.2f\n",
+                wl::size_bucket_name(static_cast<wl::SizeBucket>(b)),
+                results[0].buckets[b].p99_norm_fct,
+                results[1].buckets[b].p99_norm_fct);
+  }
+  std::printf("\n%-22s %12.2f %12.2f\n", "p99 4-hop queueing (us)",
+              results[0].p99_queue_4hop_us, results[1].p99_queue_4hop_us);
+  std::printf("%-22s %12.2f %12.2f\n", "dropped Gbit/s",
+              results[0].dropped_gbps, results[1].dropped_gbps);
+  std::printf("%-22s %12zu %12zu\n", "flows completed",
+              results[0].flows_completed, results[1].flows_completed);
+  std::printf("\nFlowtune control overhead: %.3f%% of network capacity\n",
+              100 * (results[0].to_allocator_gbps +
+                     results[0].from_allocator_gbps) /
+                  (144 * 10.0));
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quickstart: the Flowtune core API in ~60 lines.
+//
+// Builds the paper's 2-tier Clos topology, registers a handful of
+// flowlets with the centralized allocator, runs 10 us allocation
+// iterations (NED + F-NORM), and prints the rate updates the allocator
+// would push to endpoints.
+//
+//   $ ./quickstart
+#include <cstdio>
+#include <vector>
+
+#include "core/flowtune.h"
+#include "topo/clos.h"
+
+int main() {
+  using namespace ft;
+
+  // The paper's simulated datacenter: 9 racks x 16 servers, 4 spines,
+  // 10 Gbit/s host links (topo::ClosConfig defaults).
+  topo::ClosTopology clos((topo::ClosConfig()));
+
+  std::vector<double> capacities;
+  for (const auto& link : clos.graph().links()) {
+    capacities.push_back(link.capacity_bps);
+  }
+
+  // Allocator with the paper's parameters: gamma = 0.4, notification
+  // threshold 0.01 (reserves 1% capacity headroom), F-NORM.
+  core::AllocatorConfig config;
+  config.gamma = 0.4;
+  config.threshold = 0.01;
+  core::Allocator allocator(capacities, config);
+
+  // Three flowlets: two share host 0's uplink; one is alone.
+  struct Demo {
+    std::uint64_t key;
+    std::int32_t src, dst;
+  };
+  const Demo demos[] = {{1, 0, 20}, {2, 0, 40}, {3, 17, 100}};
+  for (const Demo& d : demos) {
+    const topo::Path path =
+        clos.host_path(clos.host(d.src), clos.host(d.dst), d.key);
+    std::vector<LinkId> route(path.begin(), path.end());
+    allocator.flowlet_start(d.key, route);
+  }
+
+  // Run allocation iterations (one every 10 us in deployment) and print
+  // the resulting rate updates.
+  std::vector<core::RateUpdate> updates;
+  for (int iter = 0; iter < 50; ++iter) {
+    updates.clear();
+    allocator.run_iteration(updates);
+    for (const core::RateUpdate& u : updates) {
+      std::printf("iter %2d: flow %llu -> %7.3f Gbit/s (code 0x%04x)\n",
+                  iter, static_cast<unsigned long long>(u.key),
+                  u.rate_bps / 1e9, u.rate_code);
+    }
+  }
+
+  std::printf("\nsteady state:\n");
+  for (const Demo& d : demos) {
+    std::printf("  flow %llu (host %d -> host %d): %.3f Gbit/s\n",
+                static_cast<unsigned long long>(d.key), d.src, d.dst,
+                allocator.notified_rate(d.key) / 1e9);
+  }
+  std::printf(
+      "\nFlows 1 and 2 share host 0's 10G uplink (~4.95G each after the "
+      "1%% headroom);\nflow 3 gets the full ~9.9G.\n");
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Lightweight always-on invariant checks.
+//
+// FT_CHECK aborts with a message on violation; it is used for programming
+// errors (broken invariants), never for recoverable conditions. Unlike
+// assert() it stays on in release builds: the simulator's correctness
+// claims depend on these invariants holding during benchmarks too.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ft::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  std::fprintf(stderr, "FT_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+}  // namespace ft::detail
+
+#define FT_CHECK(expr)                                     \
+  do {                                                     \
+    if (!(expr)) [[unlikely]] {                            \
+      ::ft::detail::check_failed(#expr, __FILE__, __LINE__); \
+    }                                                      \
+  } while (0)

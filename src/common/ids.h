@@ -1,0 +1,49 @@
+// Strong index types for nodes, links and flows.
+//
+// All three are dense indices into per-topology / per-problem arrays; the
+// wrapper prevents accidentally indexing a link table with a flow id.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace ft {
+
+template <class Tag>
+struct Id {
+  using value_type = std::uint32_t;
+  static constexpr value_type kInvalid =
+      std::numeric_limits<value_type>::max();
+
+  value_type v = kInvalid;
+
+  constexpr Id() = default;
+  constexpr explicit Id(value_type value) : v(value) {}
+
+  [[nodiscard]] constexpr bool valid() const { return v != kInvalid; }
+  [[nodiscard]] constexpr value_type value() const { return v; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.v == b.v; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.v != b.v; }
+  friend constexpr bool operator<(Id a, Id b) { return a.v < b.v; }
+};
+
+struct NodeTag {};
+struct LinkTag {};
+struct FlowTag {};
+
+using NodeId = Id<NodeTag>;
+using LinkId = Id<LinkTag>;
+using FlowId = Id<FlowTag>;
+
+}  // namespace ft
+
+namespace std {
+template <class Tag>
+struct hash<ft::Id<Tag>> {
+  size_t operator()(ft::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>()(id.v);
+  }
+};
+}  // namespace std

@@ -1,0 +1,57 @@
+#include "common/ratecode.h"
+
+#include <cmath>
+
+namespace ft {
+namespace {
+
+// code = [5-bit exponent e][11-bit mantissa m]; rate = (2048 + m) * 2^e
+// * kGranularity, with the special case e == 0, m < 2048 denormal-style
+// direct encoding for tiny rates.
+constexpr double kGranularityBps = 1e3;  // 1 Kbit/s
+constexpr int kMantissaBits = 11;
+constexpr std::uint16_t kMantissaMask = (1u << kMantissaBits) - 1;
+constexpr int kMaxExponent = 31;
+
+}  // namespace
+
+std::uint16_t encode_rate(double rate_bps) {
+  if (!(rate_bps > 0.0)) return 0;
+  double units = rate_bps / kGranularityBps;
+  if (units < 1.0) return 0;
+  if (units < static_cast<double>(1u << kMantissaBits)) {
+    // Denormal range: exponent 0, direct value.
+    return static_cast<std::uint16_t>(units);
+  }
+  int e = 0;
+  while (units >= static_cast<double>(1u << (kMantissaBits + 1)) &&
+         e < kMaxExponent) {
+    units /= 2.0;
+    ++e;
+  }
+  if (e == kMaxExponent &&
+      units >= static_cast<double>(1u << (kMantissaBits + 1))) {
+    // Clamp to max representable.
+    return static_cast<std::uint16_t>((kMaxExponent << kMantissaBits) |
+                                      kMantissaMask);
+  }
+  // units in [2048, 4096): store low 11 bits, exponent e+1 marks normal.
+  const auto m =
+      static_cast<std::uint16_t>(static_cast<std::uint32_t>(units + 0.5) -
+                                 (1u << kMantissaBits));
+  const auto mm = static_cast<std::uint16_t>(
+      m > kMantissaMask ? kMantissaMask : m);
+  return static_cast<std::uint16_t>(((e + 1) << kMantissaBits) | mm);
+}
+
+double decode_rate(std::uint16_t code) {
+  const int e = code >> kMantissaBits;
+  const std::uint16_t m = code & kMantissaMask;
+  if (e == 0) return static_cast<double>(m) * kGranularityBps;
+  const double units =
+      static_cast<double>((1u << kMantissaBits) + m) *
+      std::ldexp(1.0, e - 1);
+  return units * kGranularityBps;
+}
+
+}  // namespace ft

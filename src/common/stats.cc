@@ -1,0 +1,93 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ft {
+
+void StreamingStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double StreamingStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+void StreamingStats::merge(const StreamingStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double PercentileSampler::percentile(double q) const {
+  if (values_.empty()) return 0.0;
+  FT_CHECK(q >= 0.0 && q <= 1.0);
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  const double rank = q * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+double PercentileSampler::mean() const {
+  if (values_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+void PercentileSampler::merge(const PercentileSampler& other) {
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  sorted_ = false;
+}
+
+TimeSeriesBins::TimeSeriesBins(double bin_width, std::size_t num_bins)
+    : bin_width_(bin_width), sums_(num_bins, 0.0) {
+  FT_CHECK(bin_width > 0.0);
+  FT_CHECK(num_bins > 0);
+}
+
+void TimeSeriesBins::add(double t, double amount) {
+  if (t < 0.0) return;
+  const auto bin = static_cast<std::size_t>(t / bin_width_);
+  if (bin >= sums_.size()) return;
+  sums_[bin] += amount;
+}
+
+double TimeSeriesBins::bin_rate(std::size_t i) const {
+  FT_CHECK(i < sums_.size());
+  return sums_[i] / bin_width_;
+}
+
+}  // namespace ft

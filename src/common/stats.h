@@ -1,0 +1,85 @@
+// Statistics helpers used by traces, tests and benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ft {
+
+// Streaming mean / variance / min / max (Welford's algorithm).
+class StreamingStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  void merge(const StreamingStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Exact percentile computation over a stored sample set. The simulation
+// experiments need trustworthy p99s over at most a few million samples, so
+// storing values and sorting on demand is both exact and cheap enough.
+class PercentileSampler {
+ public:
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+  void clear() {
+    values_.clear();
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+
+  // q in [0, 1]; linear interpolation between closest ranks.
+  // Returns 0 for an empty sampler.
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double p50() const { return percentile(0.50); }
+  [[nodiscard]] double p99() const { return percentile(0.99); }
+  [[nodiscard]] double mean() const;
+
+  void merge(const PercentileSampler& other);
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+// Fixed-width time-series accumulator: sums values into uniform time bins.
+// Used for throughput-vs-time plots (Figure 4) and rate traces.
+class TimeSeriesBins {
+ public:
+  TimeSeriesBins(double bin_width, std::size_t num_bins);
+
+  // Adds `amount` at coordinate `t` (values outside the range are dropped).
+  void add(double t, double amount);
+
+  [[nodiscard]] std::size_t num_bins() const { return sums_.size(); }
+  [[nodiscard]] double bin_width() const { return bin_width_; }
+  [[nodiscard]] double bin_sum(std::size_t i) const { return sums_[i]; }
+  // Bin sum divided by bin width (e.g. bytes -> bytes/sec).
+  [[nodiscard]] double bin_rate(std::size_t i) const;
+
+ private:
+  double bin_width_;
+  std::vector<double> sums_;
+};
+
+}  // namespace ft

@@ -1,0 +1,16 @@
+#include "common/wire.h"
+
+#include <algorithm>
+
+namespace ft {
+
+std::int64_t wire_bytes_l3(std::int64_t l3_bytes) {
+  const std::int64_t frame = std::max(kMinFrame, l3_bytes + kEthHeaderFcs);
+  return frame + kEthPreambleIfg;
+}
+
+std::int64_t wire_bytes_tcp(std::int64_t payload) {
+  return wire_bytes_l3(payload + kTcpIpHeader);
+}
+
+}  // namespace ft

@@ -1,0 +1,22 @@
+// Ethernet / TCP-IP wire-size accounting (§7 of the paper: 64-byte minimum
+// frames, 84 bytes minimum on the wire including preamble and inter-frame
+// gap).
+#pragma once
+
+#include <cstdint>
+
+namespace ft {
+
+inline constexpr std::int64_t kMss = 1460;          // TCP payload bytes
+inline constexpr std::int64_t kTcpIpHeader = 40;    // TCP + IPv4, no options
+inline constexpr std::int64_t kEthHeaderFcs = 18;   // L2 header + FCS
+inline constexpr std::int64_t kEthPreambleIfg = 20; // preamble + IFG
+inline constexpr std::int64_t kMinFrame = 64;       // excl. preamble/IFG
+
+// Bytes occupied on the wire by a TCP segment with `payload` bytes.
+[[nodiscard]] std::int64_t wire_bytes_tcp(std::int64_t payload);
+
+// Bytes occupied on the wire by a raw L3 datagram of `l3_bytes`.
+[[nodiscard]] std::int64_t wire_bytes_l3(std::int64_t l3_bytes);
+
+}  // namespace ft

@@ -1,0 +1,106 @@
+#include "core/allocator.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/ratecode.h"
+
+namespace ft::core {
+
+Allocator::Allocator(std::vector<double> link_capacities_bps,
+                     AllocatorConfig cfg)
+    : cfg_(cfg),
+      problem_(std::move(link_capacities_bps)),
+      ned_(problem_, cfg.gamma) {
+  FT_CHECK(cfg.threshold >= 0.0 && cfg.threshold < 1.0);
+  FT_CHECK(cfg.iters_per_round >= 1);
+  if (cfg_.reserve_headroom && cfg_.threshold > 0.0) {
+    problem_.scale_capacities(1.0 - cfg_.threshold);
+  }
+}
+
+bool Allocator::flowlet_start(std::uint64_t key,
+                              std::span<const LinkId> route) {
+  return flowlet_start(key, route, cfg_.default_util);
+}
+
+bool Allocator::flowlet_start(std::uint64_t key,
+                              std::span<const LinkId> route, Utility util) {
+  if (key_to_slot_.contains(key)) return false;
+  const FlowIndex slot = problem_.add_flow(route, util);
+  key_to_slot_.emplace(key, slot);
+  if (slot >= slot_to_key_.size()) {
+    slot_to_key_.resize(slot + 1, 0);
+    last_notified_.resize(slot + 1, -1.0);
+  }
+  slot_to_key_[slot] = key;
+  last_notified_[slot] = -1.0;
+  ++stats_.flowlet_starts;
+  return true;
+}
+
+void Allocator::set_link_capacity(std::size_t link, double capacity_bps) {
+  FT_CHECK(capacity_bps > 0.0);
+  if (cfg_.reserve_headroom && cfg_.threshold > 0.0) {
+    capacity_bps *= 1.0 - cfg_.threshold;
+  }
+  problem_.set_capacity(link, capacity_bps);
+}
+
+bool Allocator::flowlet_end(std::uint64_t key) {
+  const auto it = key_to_slot_.find(key);
+  if (it == key_to_slot_.end()) return false;
+  problem_.remove_flow(it->second);
+  last_notified_[it->second] = -1.0;
+  key_to_slot_.erase(it);
+  ++stats_.flowlet_ends;
+  return true;
+}
+
+void Allocator::run_iteration(std::vector<RateUpdate>& out) {
+  for (int i = 0; i < cfg_.iters_per_round; ++i) ned_.iterate();
+  ++stats_.iterations;
+
+  norm_rates_.resize(problem_.num_slots());
+  normalize(cfg_.norm, problem_, ned_.rates(), norm_rates_);
+
+  const auto flows = problem_.flows();
+  for (std::size_t s = 0; s < flows.size(); ++s) {
+    if (!flows[s].active) continue;
+    const double rate = norm_rates_[s];
+    const double last = last_notified_[s];
+    const bool first = last < 0.0;
+    // Notify when the rate moved by more than the threshold relative to
+    // the last notified value (both directions), or on first allocation.
+    const bool notify =
+        first || rate > last * (1.0 + cfg_.threshold) ||
+        rate < last * (1.0 - cfg_.threshold);
+    if (!notify) {
+      ++stats_.updates_suppressed;
+      continue;
+    }
+    RateUpdate u;
+    u.key = slot_to_key_[s];
+    u.rate_code = encode_rate(rate);
+    u.rate_bps = decode_rate(u.rate_code);
+    out.push_back(u);
+    last_notified_[s] = u.rate_bps;
+    ++stats_.updates_emitted;
+  }
+}
+
+double Allocator::notified_rate(std::uint64_t key) const {
+  const auto it = key_to_slot_.find(key);
+  if (it == key_to_slot_.end()) return 0.0;
+  const double r = last_notified_[it->second];
+  return r < 0.0 ? 0.0 : r;
+}
+
+double Allocator::allocated_rate(std::uint64_t key) const {
+  const auto it = key_to_slot_.find(key);
+  if (it == key_to_slot_.end()) return 0.0;
+  if (it->second >= norm_rates_.size()) return 0.0;
+  return norm_rates_[it->second];
+}
+
+}  // namespace ft::core

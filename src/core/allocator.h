@@ -1,0 +1,104 @@
+// The Flowtune allocator (paper §2, Figure 1): receives flowlet start/end
+// notifications, runs NED every iteration period, normalizes rates with
+// F-NORM, and emits rate updates to endpoints -- suppressing updates whose
+// relative change is below the notification threshold (§6.4). To keep
+// suppressed drift from over-filling links, the allocator reserves one
+// threshold's worth of headroom by scaling link capacities by
+// (1 - threshold).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "core/ned.h"
+#include "core/normalizer.h"
+#include "core/problem.h"
+
+namespace ft::core {
+
+struct RateUpdate {
+  std::uint64_t key = 0;
+  double rate_bps = 0.0;       // quantized (post rate-code) value
+  std::uint16_t rate_code = 0;
+};
+
+struct AllocatorConfig {
+  double gamma = 0.4;           // paper §6.2
+  double threshold = 0.01;      // notification threshold (§6.4)
+  NormKind norm = NormKind::kPerFlow;  // F-NORM
+  int iters_per_round = 1;
+  Utility default_util = Utility::log_utility();
+  bool reserve_headroom = true;
+};
+
+struct AllocatorStats {
+  std::uint64_t flowlet_starts = 0;
+  std::uint64_t flowlet_ends = 0;
+  std::uint64_t iterations = 0;
+  std::uint64_t updates_emitted = 0;
+  std::uint64_t updates_suppressed = 0;
+};
+
+class Allocator {
+ public:
+  Allocator(std::vector<double> link_capacities_bps, AllocatorConfig cfg);
+
+  // Registers a new flowlet with the given route. Returns false (no-op)
+  // if the key is already active.
+  bool flowlet_start(std::uint64_t key, std::span<const LinkId> route);
+  bool flowlet_start(std::uint64_t key, std::span<const LinkId> route,
+                     Utility util);
+  // Ends a flowlet. Returns false if the key is unknown.
+  bool flowlet_end(std::uint64_t key);
+
+  // §7 closed loop: registers uncontrolled external traffic of
+  // `rate_bps` on `route` as a fixed-demand dummy flow. It consumes
+  // capacity in the optimization and is never scaled by normalization;
+  // end it with flowlet_end.
+  bool external_traffic_start(std::uint64_t key,
+                              std::span<const LinkId> route,
+                              double rate_bps) {
+    return flowlet_start(key, route, Utility::fixed_demand(rate_bps));
+  }
+
+  // §7 closed loop: adjusts a link's capacity at runtime (headroom
+  // scaling is applied on top when configured).
+  void set_link_capacity(std::size_t link, double capacity_bps);
+  [[nodiscard]] bool is_active(std::uint64_t key) const {
+    return key_to_slot_.contains(key);
+  }
+
+  // One allocation round: NED iteration(s), normalization, thresholded
+  // update emission. Updates are appended to `out`.
+  void run_iteration(std::vector<RateUpdate>& out);
+
+  // Most recent *normalized, quantized* rate notified for a flow (0 if
+  // never notified or unknown).
+  [[nodiscard]] double notified_rate(std::uint64_t key) const;
+  // Most recent normalized rate (pre-threshold) for a flow.
+  [[nodiscard]] double allocated_rate(std::uint64_t key) const;
+
+  [[nodiscard]] const AllocatorStats& stats() const { return stats_; }
+  [[nodiscard]] const AllocatorConfig& config() const { return cfg_; }
+  [[nodiscard]] const NumProblem& problem() const { return problem_; }
+  [[nodiscard]] const NedSolver& solver() const { return ned_; }
+  [[nodiscard]] std::size_t num_active_flowlets() const {
+    return key_to_slot_.size();
+  }
+
+ private:
+  AllocatorConfig cfg_;
+  NumProblem problem_;
+  NedSolver ned_;
+  AllocatorStats stats_;
+  std::unordered_map<std::uint64_t, FlowIndex> key_to_slot_;
+  std::vector<std::uint64_t> slot_to_key_;
+  std::vector<double> last_notified_;  // per slot; <0 = never notified
+  std::vector<double> norm_rates_;     // per slot scratch
+};
+
+}  // namespace ft::core

@@ -1,0 +1,116 @@
+#include "core/exact.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/ned.h"
+
+namespace ft::core {
+
+double kkt_residual(const NumProblem& problem,
+                    std::span<const double> rates,
+                    std::span<const double> prices) {
+  double worst = 0.0;
+  // Per-link primal feasibility and complementary slackness.
+  std::vector<double> alloc(problem.num_links(), 0.0);
+  const auto flows = problem.flows();
+  for (std::size_t s = 0; s < flows.size(); ++s) {
+    if (!flows[s].active) continue;
+    for (std::uint32_t l : flows[s].route()) alloc[l] += rates[s];
+  }
+  for (std::size_t l = 0; l < alloc.size(); ++l) {
+    const double c = problem.capacity(l);
+    worst = std::max(worst, (alloc[l] - c) / c);
+    const double cs = prices[l] * std::abs(alloc[l] - c) /
+                      (c * std::max(1.0, prices[l]));
+    worst = std::max(worst, cs);
+  }
+  // Stationarity: rates consistent with the demand function.
+  for (std::size_t s = 0; s < flows.size(); ++s) {
+    const FlowEntry& f = flows[s];
+    if (!f.active) continue;
+    double p_sum = 0.0;
+    for (std::uint32_t l : f.route()) p_sum += prices[l];
+    const double demand = f.demand(p_sum);
+    if (demand > 0.0) {
+      worst = std::max(worst, std::abs(rates[s] - demand) / demand);
+    }
+  }
+  return worst;
+}
+
+double objective_value(const NumProblem& problem,
+                       std::span<const double> rates) {
+  double total = 0.0;
+  const auto flows = problem.flows();
+  for (std::size_t s = 0; s < flows.size(); ++s) {
+    if (!flows[s].active) continue;
+    total += flows[s].util.value(std::max(rates[s], 1.0));
+  }
+  return total;
+}
+
+ExactResult solve_exact(NumProblem& problem, ExactOptions opt) {
+  NedSolver ned(problem, opt.gamma);
+  ExactResult res;
+  if (problem.num_active() == 0) {
+    res.converged = true;
+    res.prices.assign(problem.num_links(), 1.0);
+    res.rates.assign(problem.num_slots(), 0.0);
+    return res;
+  }
+
+  double prev_obj = -1e300;
+  int stable = 0;
+  // Step damping: NED's diagonal approximation can limit-cycle at large
+  // gamma on strongly coupled topologies; halving gamma whenever a
+  // convergence-check budget expires guarantees eventual convergence
+  // (gradient-like behaviour in the limit) without slowing the common
+  // fast path.
+  const int damp_every = std::max(64, opt.max_iters / 16);
+  for (int it = 1; it <= opt.max_iters; ++it) {
+    if (it % damp_every == 0) {
+      ned.set_gamma(std::max(0.05, ned.gamma() * 0.5));
+    }
+    ned.iterate();
+    res.iterations = it;
+    // Cheap convergence probe every few iterations.
+    if (it % 8 != 0) continue;
+
+    bool feasible = true;
+    bool slack_ok = true;
+    for (std::size_t l = 0; l < problem.num_links(); ++l) {
+      const double c = problem.capacity(l);
+      const double g = ned.link_alloc()[l] - c;
+      if (g > opt.feas_tol * c) feasible = false;
+      if (ned.prices()[l] * std::abs(g) >
+          opt.cs_tol * c * std::max(1.0, ned.prices()[l])) {
+        slack_ok = false;
+      }
+    }
+    const double obj = objective_value(problem, ned.rates());
+    const bool obj_stable =
+        std::abs(obj - prev_obj) <=
+        1e-9 * std::max(1.0, std::abs(obj));
+    prev_obj = obj;
+    if (feasible && slack_ok && obj_stable) {
+      if (++stable >= 2) {
+        res.converged = true;
+        break;
+      }
+    } else {
+      stable = 0;
+    }
+  }
+  res.rates.assign(ned.rates().begin(), ned.rates().end());
+  res.prices.assign(ned.prices().begin(), ned.prices().end());
+  res.kkt_residual = kkt_residual(problem, res.rates, res.prices);
+  res.objective = objective_value(problem, res.rates);
+  const auto flows = problem.flows();
+  for (std::size_t s = 0; s < flows.size(); ++s) {
+    if (flows[s].active) res.total_rate += res.rates[s];
+  }
+  return res;
+}
+
+}  // namespace ft::core

@@ -1,0 +1,50 @@
+// Converged reference solutions and KKT optimality diagnostics.
+//
+// The "optimal" baseline in Figure 13 is obtained by running a separate
+// NED instance from a cold start until convergence after every change;
+// solve_exact implements that, with adaptive step damping and explicit
+// KKT residual verification so tests can trust the result.
+#pragma once
+
+#include <vector>
+
+#include "core/problem.h"
+
+namespace ft::core {
+
+struct ExactOptions {
+  double gamma = 1.0;
+  int max_iters = 200000;
+  // Convergence: every link satisfies alloc <= c (1 + feas_tol) and
+  // complementary slackness |p * (alloc - c)| <= cs_tol * c * p_scale.
+  double feas_tol = 1e-6;
+  double cs_tol = 1e-6;
+};
+
+struct ExactResult {
+  std::vector<double> rates;   // per flow slot
+  std::vector<double> prices;  // per link
+  bool converged = false;
+  int iterations = 0;
+  double kkt_residual = 0.0;   // max normalized KKT violation
+  double objective = 0.0;      // sum of U_s(x_s) over active flows
+  double total_rate = 0.0;     // sum of x_s (throughput)
+};
+
+[[nodiscard]] ExactResult solve_exact(NumProblem& problem,
+                                      ExactOptions opt = {});
+
+// Max normalized KKT violation of (rates, prices) for the problem:
+//  - primal feasibility: max(0, alloc_l - c_l) / c_l
+//  - complementary slackness: p_l |alloc_l - c_l| / (c_l max(p_l, 1))
+//  - stationarity: |x_s - x_s(P_s)| / x_s(P_s) for unclamped flows.
+[[nodiscard]] double kkt_residual(const NumProblem& problem,
+                                  std::span<const double> rates,
+                                  std::span<const double> prices);
+
+// Objective value sum U_s(x_s) over active flows (x floored at 1 bit/s so
+// log utilities stay finite).
+[[nodiscard]] double objective_value(const NumProblem& problem,
+                                     std::span<const double> rates);
+
+}  // namespace ft::core

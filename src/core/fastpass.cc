@@ -1,0 +1,93 @@
+#include "core/fastpass.h"
+
+namespace ft::core {
+
+FastpassArbiter::FastpassArbiter(std::int32_t num_hosts,
+                                 std::int64_t mtu_bytes)
+    : num_hosts_(num_hosts),
+      mtu_(mtu_bytes),
+      pair_index_(static_cast<std::size_t>(num_hosts) *
+                      static_cast<std::size_t>(num_hosts),
+                  -1),
+      src_busy_(static_cast<std::size_t>(num_hosts), 0),
+      dst_busy_(static_cast<std::size_t>(num_hosts), 0) {
+  FT_CHECK(num_hosts >= 2);
+  FT_CHECK(mtu_bytes > 0);
+}
+
+void FastpassArbiter::add_demand(std::int32_t src, std::int32_t dst,
+                                 std::int64_t bytes) {
+  FT_CHECK(src >= 0 && src < num_hosts_);
+  FT_CHECK(dst >= 0 && dst < num_hosts_);
+  FT_CHECK(src != dst);
+  FT_CHECK(bytes > 0);
+  const std::size_t key = static_cast<std::size_t>(src) *
+                              static_cast<std::size_t>(num_hosts_) +
+                          static_cast<std::size_t>(dst);
+  backlog_total_ += bytes;
+  if (pair_index_[key] >= 0) {
+    pairs_[static_cast<std::size_t>(pair_index_[key])].backlog += bytes;
+    return;
+  }
+  pair_index_[key] = static_cast<std::int32_t>(pairs_.size());
+  pairs_.push_back(Pair{src, dst, bytes});
+}
+
+const std::vector<FastpassArbiter::Grant>&
+FastpassArbiter::allocate_timeslot() {
+  grants_.clear();
+  ++stats_.timeslots;
+  ++slot_stamp_;  // invalidates all busy markers from previous slots
+
+  const std::size_t n = pairs_.size();
+  if (n == 0) return grants_;
+  if (rotate_ >= n) rotate_ = 0;
+
+  // Greedy maximal matching in rotating order. Erasures (drained pairs)
+  // are handled with swap-remove after the scan so indices stay stable
+  // during it.
+  for (std::size_t step = 0; step < n; ++step) {
+    const std::size_t i = rotate_ + step < n ? rotate_ + step
+                                             : rotate_ + step - n;
+    Pair& p = pairs_[i];
+    const auto s = static_cast<std::size_t>(p.src);
+    const auto d = static_cast<std::size_t>(p.dst);
+    if (src_busy_[s] == slot_stamp_ || dst_busy_[d] == slot_stamp_) {
+      continue;
+    }
+    src_busy_[s] = slot_stamp_;
+    dst_busy_[d] = slot_stamp_;
+    grants_.push_back(Grant{p.src, p.dst});
+    const std::int64_t served = p.backlog < mtu_ ? p.backlog : mtu_;
+    p.backlog -= served;
+    backlog_total_ -= served;
+    ++stats_.grants;
+    stats_.bytes_granted += served;
+  }
+  ++rotate_;
+
+  // Remove drained pairs.
+  for (std::size_t i = 0; i < pairs_.size();) {
+    if (pairs_[i].backlog > 0) {
+      ++i;
+      continue;
+    }
+    const Pair& p = pairs_[i];
+    const std::size_t key = static_cast<std::size_t>(p.src) *
+                                static_cast<std::size_t>(num_hosts_) +
+                            static_cast<std::size_t>(p.dst);
+    pair_index_[key] = -1;
+    if (i + 1 != pairs_.size()) {
+      pairs_[i] = pairs_.back();
+      const std::size_t moved_key =
+          static_cast<std::size_t>(pairs_[i].src) *
+              static_cast<std::size_t>(num_hosts_) +
+          static_cast<std::size_t>(pairs_[i].dst);
+      pair_index_[moved_key] = static_cast<std::int32_t>(i);
+    }
+    pairs_.pop_back();
+  }
+  return grants_;
+}
+
+}  // namespace ft::core

@@ -1,0 +1,51 @@
+#include "core/fgm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ft::core {
+
+void FgmSolver::iterate() {
+  if (restart_on_churn_ && problem_.version() != seen_version_) {
+    t_ = 1.0;
+    prev_prices_ = prices_;
+  }
+  seen_version_ = problem_.version();
+
+  // Extrapolated point y = p_k + ((t_k - 1) / t_{k+1}) (p_k - p_{k-1}).
+  const double t_next = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t_ * t_));
+  const double beta = (t_ - 1.0) / t_next;
+  std::vector<double> y(prices_.size());
+  for (std::size_t l = 0; l < prices_.size(); ++l) {
+    y[l] =
+        std::max(0.0, prices_[l] + beta * (prices_[l] - prev_prices_[l]));
+  }
+  prev_prices_ = prices_;
+  t_ = t_next;
+
+  // Gradient at the extrapolated point: evaluate rates with prices = y.
+  prices_.swap(y);
+  update_rates();
+
+  // Crude curvature upper bound per link: |x'_s(P)| for alpha-fair flows
+  // is decreasing in P and P >= p_l on s's route, so evaluating the
+  // demand slope as if the flow saw only this link's (floored) price
+  // upper-bounds the flow's Hessian contribution.
+  constexpr double kPriceFloor = 1e-2;
+  std::vector<double> bound(prices_.size(), 0.0);
+  for (const FlowEntry& f : problem_.flows()) {
+    if (!f.active) continue;
+    for (std::uint32_t l : f.route()) {
+      const double pl = std::max(prices_[l], kPriceFloor);
+      const double x = f.util.rate(pl);
+      bound[l] += -f.util.drate(pl, x);  // |x'(pl)|
+    }
+  }
+  for (std::size_t l = 0; l < prices_.size(); ++l) {
+    if (bound[l] <= 0.0) continue;  // idle link: keep price
+    const double g = link_alloc_[l] - problem_.capacity(l);
+    prices_[l] = std::max(0.0, prices_[l] + gamma_ * g / bound[l]);
+  }
+}
+
+}  // namespace ft::core

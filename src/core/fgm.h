@@ -1,0 +1,41 @@
+// Fast Weighted Gradient Method (Beck, Nedic, Ozdaglar, Teboulle, "A
+// Gradient Method for Network Resource Allocation Problems", IEEE TCNS
+// 2014), one of the baselines in Figure 12.
+//
+// FGM is a Nesterov-accelerated dual gradient method. Instead of the exact
+// Hessian diagonal, each link weights its step by a *crude upper bound* on
+// the curvature of the dual: for the alpha-fair family, |dx_s/dP| is
+// maximized on s's route when the entire path price sits on this link, so
+// L_l = sum over s on l of |x'_s(max(p_l, p_floor))| bounds |H_ll|.
+// Momentum is carried across iterations; on flow churn the accumulated
+// momentum points in stale directions, which is exactly why the paper
+// finds FGM "does not handle the stream of updates well" -- allocations
+// become unrealistic at even moderate loads. We reproduce the method
+// faithfully, including restarting t_k only when the caller asks.
+#pragma once
+
+#include "core/solver.h"
+
+namespace ft::core {
+
+class FgmSolver : public Solver {
+ public:
+  explicit FgmSolver(NumProblem& problem, double gamma = 1.0,
+                     bool restart_on_churn = false)
+      : Solver(problem),
+        gamma_(gamma),
+        restart_on_churn_(restart_on_churn),
+        prev_prices_(problem.num_links(), 1.0) {}
+
+  void iterate() override;
+  [[nodiscard]] const char* name() const override { return "FGM"; }
+
+ private:
+  double gamma_;
+  bool restart_on_churn_;
+  double t_ = 1.0;  // Nesterov momentum sequence
+  std::uint64_t seen_version_ = 0;
+  std::vector<double> prev_prices_;
+};
+
+}  // namespace ft::core

@@ -1,0 +1,24 @@
+// Umbrella header for the Flowtune core library: the NUM problem, the
+// NED optimizer and baselines, rate normalization, the allocator facade,
+// control-message codecs and the multicore engine.
+//
+// Quick start (see examples/quickstart.cc for a complete program):
+//
+//   ft::core::Allocator alloc(link_capacities, {});
+//   alloc.flowlet_start(key, route_links);
+//   std::vector<ft::core::RateUpdate> updates;
+//   alloc.run_iteration(updates);   // every 10 us in the paper
+#pragma once
+
+#include "core/allocator.h"   // IWYU pragma: export
+#include "core/exact.h"       // IWYU pragma: export
+#include "core/fgm.h"         // IWYU pragma: export
+#include "core/gradient.h"    // IWYU pragma: export
+#include "core/messages.h"    // IWYU pragma: export
+#include "core/ned.h"         // IWYU pragma: export
+#include "core/newton_like.h" // IWYU pragma: export
+#include "core/normalizer.h"  // IWYU pragma: export
+#include "core/parallel.h"    // IWYU pragma: export
+#include "core/problem.h"     // IWYU pragma: export
+#include "core/rt.h"          // IWYU pragma: export
+#include "core/utility.h"     // IWYU pragma: export

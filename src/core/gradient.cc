@@ -1,0 +1,16 @@
+#include "core/gradient.h"
+
+#include <algorithm>
+
+namespace ft::core {
+
+void GradientSolver::iterate() {
+  update_rates();
+  for (std::size_t l = 0; l < prices_.size(); ++l) {
+    const double g_rel =
+        (link_alloc_[l] - problem_.capacity(l)) / problem_.capacity(l);
+    prices_[l] = std::max(0.0, prices_[l] + gamma_ * g_rel);
+  }
+}
+
+}  // namespace ft::core

@@ -1,0 +1,31 @@
+// Gradient projection baseline (Low & Lapsley, "Optimization Flow
+// Control I"): p_l <- max(0, p_l + gamma * G_l / c_l).
+//
+// The G_l / c_l normalization expresses over-allocation as a fraction of
+// link capacity so that one gamma works across link speeds; it is the
+// standard per-link step-size scaling and corresponds to the paper's
+// description of Gradient as adjusting prices "directly from the amount
+// of over-allocation" with no Hessian weighting. Convergence requires a
+// small gamma: large steps make flows overreact and oscillate (§3).
+#pragma once
+
+#include "core/solver.h"
+
+namespace ft::core {
+
+class GradientSolver : public Solver {
+ public:
+  explicit GradientSolver(NumProblem& problem, double gamma = 0.1)
+      : Solver(problem), gamma_(gamma) {}
+
+  void iterate() override;
+  [[nodiscard]] const char* name() const override { return "Gradient"; }
+
+  [[nodiscard]] double gamma() const { return gamma_; }
+  void set_gamma(double g) { gamma_ = g; }
+
+ private:
+  double gamma_;
+};
+
+}  // namespace ft::core

@@ -1,0 +1,78 @@
+#include "core/messages.h"
+
+namespace ft::core {
+namespace {
+
+void put16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+void put32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+std::uint16_t get16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+std::uint32_t get32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+std::array<std::uint8_t, kFlowletStartBytes> encode(
+    const FlowletStartMsg& m) {
+  std::array<std::uint8_t, kFlowletStartBytes> buf{};
+  put32(&buf[0], m.flow_key);
+  put16(&buf[4], m.src_host);
+  put16(&buf[6], m.dst_host);
+  put32(&buf[8], m.size_hint_bytes);
+  put16(&buf[12], m.weight_milli);
+  put16(&buf[14], m.flags);
+  return buf;
+}
+
+std::array<std::uint8_t, kFlowletEndBytes> encode(const FlowletEndMsg& m) {
+  std::array<std::uint8_t, kFlowletEndBytes> buf{};
+  put32(&buf[0], m.flow_key);
+  return buf;
+}
+
+std::array<std::uint8_t, kRateUpdateBytes> encode(const RateUpdateMsg& m) {
+  std::array<std::uint8_t, kRateUpdateBytes> buf{};
+  put32(&buf[0], m.flow_key);
+  put16(&buf[4], m.rate_code);
+  return buf;
+}
+
+FlowletStartMsg decode_flowlet_start(
+    const std::array<std::uint8_t, kFlowletStartBytes>& buf) {
+  FlowletStartMsg m;
+  m.flow_key = get32(&buf[0]);
+  m.src_host = get16(&buf[4]);
+  m.dst_host = get16(&buf[6]);
+  m.size_hint_bytes = get32(&buf[8]);
+  m.weight_milli = get16(&buf[12]);
+  m.flags = get16(&buf[14]);
+  return m;
+}
+
+FlowletEndMsg decode_flowlet_end(
+    const std::array<std::uint8_t, kFlowletEndBytes>& buf) {
+  return FlowletEndMsg{get32(&buf[0])};
+}
+
+RateUpdateMsg decode_rate_update(
+    const std::array<std::uint8_t, kRateUpdateBytes>& buf) {
+  RateUpdateMsg m;
+  m.flow_key = get32(&buf[0]);
+  m.rate_code = get16(&buf[4]);
+  return m;
+}
+
+}  // namespace ft::core

@@ -1,0 +1,59 @@
+// Allocator <-> endpoint control message encodings (§6.2): flowlet start
+// notifications are 16 bytes, flowlet end 4 bytes, and rate updates 6
+// bytes, all "plus the standard TCP/IP overheads". Encoders pack
+// little-endian into fixed arrays; decoders are exact inverses
+// (round-trip tested).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+namespace ft::core {
+
+inline constexpr std::size_t kFlowletStartBytes = 16;
+inline constexpr std::size_t kFlowletEndBytes = 4;
+inline constexpr std::size_t kRateUpdateBytes = 6;
+
+struct FlowletStartMsg {
+  std::uint32_t flow_key = 0;
+  std::uint16_t src_host = 0;
+  std::uint16_t dst_host = 0;
+  std::uint32_t size_hint_bytes = 0;  // advisory; 0 = unknown
+  std::uint16_t weight_milli = 1000;  // utility weight, in 1/1000ths
+  std::uint16_t flags = 0;
+
+  friend bool operator==(const FlowletStartMsg&,
+                         const FlowletStartMsg&) = default;
+};
+
+struct FlowletEndMsg {
+  std::uint32_t flow_key = 0;
+
+  friend bool operator==(const FlowletEndMsg&,
+                         const FlowletEndMsg&) = default;
+};
+
+struct RateUpdateMsg {
+  std::uint32_t flow_key = 0;
+  std::uint16_t rate_code = 0;  // common/ratecode.h encoding
+
+  friend bool operator==(const RateUpdateMsg&,
+                         const RateUpdateMsg&) = default;
+};
+
+[[nodiscard]] std::array<std::uint8_t, kFlowletStartBytes> encode(
+    const FlowletStartMsg& m);
+[[nodiscard]] std::array<std::uint8_t, kFlowletEndBytes> encode(
+    const FlowletEndMsg& m);
+[[nodiscard]] std::array<std::uint8_t, kRateUpdateBytes> encode(
+    const RateUpdateMsg& m);
+
+[[nodiscard]] FlowletStartMsg decode_flowlet_start(
+    const std::array<std::uint8_t, kFlowletStartBytes>& buf);
+[[nodiscard]] FlowletEndMsg decode_flowlet_end(
+    const std::array<std::uint8_t, kFlowletEndBytes>& buf);
+[[nodiscard]] RateUpdateMsg decode_rate_update(
+    const std::array<std::uint8_t, kRateUpdateBytes>& buf);
+
+}  // namespace ft::core

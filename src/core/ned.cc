@@ -1,0 +1,22 @@
+#include "core/ned.h"
+
+#include <algorithm>
+
+namespace ft::core {
+
+void NedSolver::iterate() {
+  update_rates();
+  for (std::size_t l = 0; l < prices_.size(); ++l) {
+    const double h = link_dxdp_[l];
+    if (h < 0.0) {
+      const double g = link_alloc_[l] - problem_.capacity(l);
+      prices_[l] = std::max(0.0, prices_[l] - gamma_ * g / h);
+    }
+    // h == 0 means no active flows traverse this link (flows at the
+    // demand bound still report clamp-edge sensitivity): leave the price
+    // unchanged. Prices are sticky across idle periods, as in the paper
+    // where initialization happens only once at system start.
+  }
+}
+
+}  // namespace ft::core

@@ -1,0 +1,32 @@
+// Newton-Exact-Diagonal (NED): the paper's rate allocation algorithm
+// (Algorithm 1).
+//
+// Price update:  p_l <- max(0, p_l - gamma * G_l / H_ll)
+// where G_l = alloc_l - c_l (over-allocation) and H_ll is the *exactly
+// computed* Hessian diagonal sum over flows on l of dx_s/dP (negative).
+// Because H is exact -- possible in the datacenter where the allocator
+// knows every flow's utility and route -- the step normalizes the price
+// move by how strongly flows will react, giving fast, stable convergence
+// without measuring the network.
+#pragma once
+
+#include "core/solver.h"
+
+namespace ft::core {
+
+class NedSolver : public Solver {
+ public:
+  explicit NedSolver(NumProblem& problem, double gamma = 1.0)
+      : Solver(problem), gamma_(gamma) {}
+
+  void iterate() override;
+  [[nodiscard]] const char* name() const override { return "NED"; }
+
+  [[nodiscard]] double gamma() const { return gamma_; }
+  void set_gamma(double g) { gamma_ = g; }
+
+ private:
+  double gamma_;
+};
+
+}  // namespace ft::core

@@ -1,0 +1,40 @@
+#include "core/newton_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ft::core {
+
+void NewtonLikeSolver::iterate() {
+  update_rates();
+  for (std::size_t l = 0; l < prices_.size(); ++l) {
+    const double g = link_alloc_[l] - problem_.capacity(l);
+
+    // Update the measured slope estimate d(throughput)/d(price).
+    const double dp = prices_[l] - prev_prices_[l];
+    if (have_prev_[l] && std::abs(dp) >= opt_.min_dp) {
+      const double slope = (link_alloc_[l] - prev_alloc_[l]) / dp;
+      // Only negative slopes are physically meaningful for the dual;
+      // churn between measurements routinely produces positive ones,
+      // which the EWMA happily averages in -- a key source of the
+      // method's instability that we keep.
+      h_est_[l] = (1.0 - opt_.ewma) * h_est_[l] + opt_.ewma * slope;
+    }
+    prev_prices_[l] = prices_[l];
+    prev_alloc_[l] = link_alloc_[l];
+    have_prev_[l] = 1;
+
+    double h = h_est_[l];
+    if (h > -opt_.h_min) {
+      // No usable estimate yet (or it has the wrong sign): fall back to a
+      // capacity-normalized gradient step so prices still move.
+      prices_[l] = std::max(
+          0.0, prices_[l] + opt_.gamma * g / problem_.capacity(l));
+      continue;
+    }
+    h = std::max(h, -opt_.h_max);
+    prices_[l] = std::max(0.0, prices_[l] - opt_.gamma * g / h);
+  }
+}
+
+}  // namespace ft::core

@@ -1,0 +1,51 @@
+// The Newton-like method (Athuraliya & Low, "Optimization Flow Control
+// with Newton-like Algorithm", Telecommunication Systems 2000).
+//
+// Like NED it scales the price step by an estimate of the Hessian
+// diagonal, but where NED *computes* H_ll exactly from flow utilities,
+// the Newton-like method *estimates* it from network measurements: the
+// observed change in aggregate link throughput per unit change in the
+// link's price, averaged over a measurement window. The paper (§8) notes
+// the measurement delay slows convergence and the estimation error makes
+// the algorithm unstable in several settings; this implementation
+// reproduces that behaviour with an EWMA estimator and the customary
+// safeguards (minimum price motion before updating the estimate, clamps
+// on the estimate's magnitude).
+#pragma once
+
+#include "core/solver.h"
+
+namespace ft::core {
+
+struct NewtonLikeOptions {
+  double gamma = 1.0;
+  double ewma = 0.25;          // estimator smoothing
+  double min_dp = 1e-6;        // minimum |dp| to update the estimate
+  double h_min = 1e-12;        // clamp: |H| lower bound
+  double h_max = 1e12;         // clamp: |H| upper bound (in rate/price)
+};
+
+class NewtonLikeSolver : public Solver {
+ public:
+  using Options = NewtonLikeOptions;
+
+  explicit NewtonLikeSolver(NumProblem& problem, Options opt = Options())
+      : Solver(problem),
+        opt_(opt),
+        prev_prices_(problem.num_links(), 1.0),
+        prev_alloc_(problem.num_links(), 0.0),
+        h_est_(problem.num_links(), 0.0),
+        have_prev_(problem.num_links(), 0) {}
+
+  void iterate() override;
+  [[nodiscard]] const char* name() const override { return "Newton-like"; }
+
+ private:
+  Options opt_;
+  std::vector<double> prev_prices_;
+  std::vector<double> prev_alloc_;
+  std::vector<double> h_est_;  // estimated H_ll (negative when valid)
+  std::vector<std::uint8_t> have_prev_;
+};
+
+}  // namespace ft::core

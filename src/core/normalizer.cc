@@ -1,0 +1,102 @@
+#include "core/normalizer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ft::core {
+namespace {
+
+// Minimum residual capacity fraction when external traffic saturates a
+// link; keeps ratios finite (adaptive flows get squeezed toward zero).
+constexpr double kMinResidualFrac = 1e-6;
+
+}  // namespace
+
+void link_ratios(const NumProblem& problem, std::span<const double> rates,
+                 std::span<double> out_ratios) {
+  FT_CHECK(out_ratios.size() == problem.num_links());
+  // Adaptive allocation is normalized against the capacity left after
+  // fixed-demand (external, §7) traffic, which the allocator cannot
+  // scale.
+  std::vector<double> fixed(problem.num_links(), 0.0);
+  std::fill(out_ratios.begin(), out_ratios.end(), 0.0);
+  const auto flows = problem.flows();
+  for (std::size_t s = 0; s < flows.size(); ++s) {
+    if (!flows[s].active) continue;
+    FT_CHECK(s < rates.size());
+    if (flows[s].util.is_fixed()) {
+      for (std::uint32_t l : flows[s].route()) fixed[l] += rates[s];
+    } else {
+      for (std::uint32_t l : flows[s].route()) out_ratios[l] += rates[s];
+    }
+  }
+  for (std::size_t l = 0; l < out_ratios.size(); ++l) {
+    const double c = problem.capacity(l);
+    const double residual =
+        std::max(c - fixed[l], kMinResidualFrac * c);
+    out_ratios[l] /= residual;
+  }
+}
+
+double u_norm(const NumProblem& problem, std::span<const double> rates,
+              std::span<double> out) {
+  std::vector<double> ratios(problem.num_links());
+  link_ratios(problem, rates, ratios);
+  double r_star = 0.0;
+  for (double r : ratios) r_star = std::max(r_star, r);
+  if (r_star <= 0.0) r_star = 1.0;
+  const auto flows = problem.flows();
+  for (std::size_t s = 0; s < flows.size(); ++s) {
+    if (!flows[s].active) {
+      out[s] = 0.0;
+    } else if (flows[s].util.is_fixed()) {
+      out[s] = rates[s];  // external traffic is not scalable
+    } else {
+      out[s] = rates[s] / r_star;
+    }
+  }
+  return r_star;
+}
+
+void f_norm(const NumProblem& problem, std::span<const double> rates,
+            std::span<double> out) {
+  std::vector<double> ratios(problem.num_links());
+  link_ratios(problem, rates, ratios);
+  const auto flows = problem.flows();
+  for (std::size_t s = 0; s < flows.size(); ++s) {
+    if (!flows[s].active) {
+      out[s] = 0.0;
+      continue;
+    }
+    if (flows[s].util.is_fixed()) {
+      out[s] = rates[s];
+      continue;
+    }
+    double r = 0.0;
+    for (std::uint32_t l : flows[s].route()) {
+      r = std::max(r, ratios[l]);
+    }
+    out[s] = r > 0.0 ? rates[s] / r : rates[s];
+  }
+}
+
+void normalize(NormKind kind, const NumProblem& problem,
+               std::span<const double> rates, std::span<double> out) {
+  switch (kind) {
+    case NormKind::kNone:
+      if (out.data() != rates.data()) {
+        std::copy(rates.begin(), rates.end(), out.begin());
+      }
+      return;
+    case NormKind::kUniform:
+      u_norm(problem, rates, out);
+      return;
+    case NormKind::kPerFlow:
+      f_norm(problem, rates, out);
+      return;
+  }
+  FT_CHECK(false);
+}
+
+}  // namespace ft::core

@@ -1,0 +1,44 @@
+// Rate normalization (paper §4): the optimizer's momentary allocations can
+// exceed link capacities while prices re-converge after flowlet churn;
+// normalization scales rates so no link is over capacity, avoiding queuing
+// without waiting for convergence.
+//
+//   U-NORM: x_s / r*          with r* = max over links of alloc_l / c_l
+//   F-NORM: x_s / max r_l     over the links on s's own route
+//
+// F-NORM's guarantee: for any link l, sum over s in S(l) of
+// x_s / max_m r_m <= sum x_s / r_l = c_l. Both schemes can scale flows
+// *up* when their links are under-allocated (the paper notes F-NORM
+// "occasionally slightly exceeds the optimal" throughput -- at some
+// fairness cost -- while never exceeding link capacities).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/problem.h"
+
+namespace ft::core {
+
+// Per-link allocation ratios r_l = alloc_l / c_l for the given rates.
+void link_ratios(const NumProblem& problem, std::span<const double> rates,
+                 std::span<double> out_ratios);
+
+// U-NORM. Returns the scale factor r* that was applied (1 if no link has
+// any allocation). `out` may alias `rates`.
+double u_norm(const NumProblem& problem, std::span<const double> rates,
+              std::span<double> out);
+
+// F-NORM. `out` may alias `rates`. Flows whose every link has zero
+// aggregate allocation keep their rate (the division-by-zero case noted
+// in §4).
+void f_norm(const NumProblem& problem, std::span<const double> rates,
+            std::span<double> out);
+
+enum class NormKind { kNone, kUniform, kPerFlow };
+
+// Dispatch helper used by the allocator and benches.
+void normalize(NormKind kind, const NumProblem& problem,
+               std::span<const double> rates, std::span<double> out);
+
+}  // namespace ft::core

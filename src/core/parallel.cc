@@ -1,0 +1,255 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#define FT_HAVE_RDTSC 1
+#endif
+
+namespace ft::core {
+namespace {
+
+std::uint64_t read_cycles() {
+#ifdef FT_HAVE_RDTSC
+  return __rdtsc();
+#else
+  return 0;
+#endif
+}
+
+std::int32_t pick_threads(std::int32_t requested, std::int32_t workers) {
+  if (requested > 0) return std::min(requested, workers);
+  const auto hw = static_cast<std::int32_t>(
+      std::thread::hardware_concurrency());
+  return std::max(1, std::min(hw > 0 ? hw : 1, workers));
+}
+
+}  // namespace
+
+ParallelNed::ParallelNed(NumProblem& problem,
+                         const topo::BlockPartition& partition,
+                         ParallelConfig cfg)
+    : problem_(problem),
+      part_(partition),
+      schedule_(topo::AggregationSchedule::make(partition.num_blocks)),
+      cfg_(cfg),
+      n_(partition.num_blocks),
+      num_workers_(n_ * n_),
+      num_threads_(pick_threads(cfg.num_threads, num_workers_)),
+      workers_(static_cast<std::size_t>(num_workers_)),
+      global_price_(problem.num_links(), 1.0),
+      global_alloc_(problem.num_links(), 0.0),
+      start_barrier_(num_threads_ + 1),
+      end_barrier_(num_threads_ + 1),
+      phase_barrier_(num_threads_) {
+  FT_CHECK(cfg.num_blocks == partition.num_blocks);
+  const std::size_t links = problem.num_links();
+  for (auto& w : workers_) {
+    w.price.assign(links, 1.0);
+    w.alloc.assign(links, 0.0);
+    w.dxdp.assign(links, 0.0);
+    w.ratio.assign(links, 0.0);
+  }
+  threads_.reserve(static_cast<std::size_t>(num_threads_));
+  for (std::int32_t t = 0; t < num_threads_; ++t) {
+    threads_.emplace_back([this, t] { thread_main(t); });
+  }
+}
+
+ParallelNed::~ParallelNed() {
+  stop_.store(true, std::memory_order_release);
+  start_barrier_.arrive_and_wait();
+  // jthread joins on destruction.
+}
+
+void ParallelNed::assign_flow(FlowIndex slot, std::int32_t src_block,
+                              std::int32_t dst_block) {
+  FT_CHECK(src_block >= 0 && src_block < n_);
+  FT_CHECK(dst_block >= 0 && dst_block < n_);
+  const FlowEntry& f = problem_.flow(slot);
+  FT_CHECK(f.active);
+  // Validate the partition property: up links in src block, down links in
+  // dst block (Figure 2).
+  for (std::uint32_t l : f.route()) {
+    const topo::LinkClass& cls = part_.link_class[l];
+    if (cls.dir == topo::LinkDir::kUp) {
+      FT_CHECK(cls.block == src_block);
+    } else if (cls.dir == topo::LinkDir::kDown) {
+      FT_CHECK(cls.block == dst_block);
+    } else {
+      FT_CHECK(false);  // flows must not traverse unpartitioned links
+    }
+  }
+  if (flow_worker_.size() <= slot) {
+    flow_worker_.resize(slot + 1, -1);
+    flow_pos_.resize(slot + 1, 0);
+  }
+  FT_CHECK(flow_worker_[slot] == -1);
+  const std::int32_t w = src_block * n_ + dst_block;
+  flow_worker_[slot] = w;
+  flow_pos_[slot] =
+      static_cast<std::uint32_t>(workers_[static_cast<std::size_t>(w)]
+                                     .flows.size());
+  workers_[static_cast<std::size_t>(w)].flows.push_back(slot);
+}
+
+void ParallelNed::unassign_flow(FlowIndex slot) {
+  FT_CHECK(slot < flow_worker_.size());
+  const std::int32_t w = flow_worker_[slot];
+  FT_CHECK(w >= 0);
+  auto& flows = workers_[static_cast<std::size_t>(w)].flows;
+  const std::uint32_t pos = flow_pos_[slot];
+  FT_CHECK(pos < flows.size() && flows[pos] == slot);
+  // Swap-remove, fixing the moved slot's position index.
+  flows[pos] = flows.back();
+  flow_pos_[flows[pos]] = pos;
+  flows.pop_back();
+  flow_worker_[slot] = -1;
+}
+
+void ParallelNed::rate_update(WorkerState& w, std::int32_t row,
+                              std::int32_t col) {
+  for (LinkId l : block_links(true, row)) {
+    w.alloc[l.value()] = 0.0;
+    w.dxdp[l.value()] = 0.0;
+  }
+  for (LinkId l : block_links(false, col)) {
+    w.alloc[l.value()] = 0.0;
+    w.dxdp[l.value()] = 0.0;
+  }
+  for (FlowIndex slot : w.flows) {
+    const FlowEntry& f = problem_.flow(slot);
+    FT_CHECK(f.active);
+    double price_sum = 0.0;
+    for (std::uint32_t l : f.route()) price_sum += w.price[l];
+    const double x = f.demand(price_sum);
+    const double dx = f.demand_slope(price_sum, x);
+    rates_[slot] = x;
+    for (std::uint32_t l : f.route()) {
+      w.alloc[l] += x;
+      w.dxdp[l] += dx;
+    }
+  }
+}
+
+void ParallelNed::price_update_owned(std::int32_t worker) {
+  const std::int32_t row = worker / n_;
+  const std::int32_t col = worker % n_;
+  WorkerState& w = workers_[static_cast<std::size_t>(worker)];
+  // Identical update rule to NedSolver::iterate (see ned.cc).
+  const auto update = [&](LinkId link) {
+    const std::size_t l = link.value();
+    const double h = w.dxdp[l];
+    const double cap = problem_.capacity(l);
+    if (h < 0.0) {
+      const double g = w.alloc[l] - cap;
+      w.price[l] = std::max(0.0, w.price[l] - cfg_.gamma * g / h);
+    }
+    w.ratio[l] = w.alloc[l] / cap;
+    global_price_[l] = w.price[l];
+    global_alloc_[l] = w.alloc[l];
+  };
+  if (row == col) {  // upward owner of block `row`
+    for (LinkId l : block_links(true, row)) update(l);
+  }
+  if (row == n_ - 1 - col) {  // downward owner of block `col`
+    for (LinkId l : block_links(false, col)) update(l);
+  }
+}
+
+void ParallelNed::run_phases(std::int32_t t) {
+  const auto my_worker = [this, t](std::int32_t w) {
+    return w % num_threads_ == t;
+  };
+
+  // Phase 0: rate update on private copies.
+  for (std::int32_t w = 0; w < num_workers_; ++w) {
+    if (!my_worker(w)) continue;
+    rate_update(workers_[static_cast<std::size_t>(w)], w / n_, w % n_);
+  }
+  phase_barrier_.arrive_and_wait();
+
+  // Aggregation steps: receiver-side execution, one barrier per step.
+  for (const auto& step : schedule_.steps) {
+    for (const topo::Transfer& tr : step) {
+      if (!my_worker(tr.dst_worker)) continue;
+      const WorkerState& src =
+          workers_[static_cast<std::size_t>(tr.src_worker)];
+      WorkerState& dst = workers_[static_cast<std::size_t>(tr.dst_worker)];
+      for (LinkId l : block_links(tr.upward, tr.block)) {
+        dst.alloc[l.value()] += src.alloc[l.value()];
+        dst.dxdp[l.value()] += src.dxdp[l.value()];
+      }
+    }
+    phase_barrier_.arrive_and_wait();
+  }
+
+  // Price update + ratio computation at the owners.
+  for (std::int32_t w = 0; w < num_workers_; ++w) {
+    if (my_worker(w)) price_update_owned(w);
+  }
+  phase_barrier_.arrive_and_wait();
+
+  // Distribution: reverse schedule, reversed transfer direction,
+  // receiver-side execution (the receiver is the original src_worker).
+  for (auto it = schedule_.steps.rbegin(); it != schedule_.steps.rend();
+       ++it) {
+    for (const topo::Transfer& tr : *it) {
+      if (!my_worker(tr.src_worker)) continue;
+      const WorkerState& from =
+          workers_[static_cast<std::size_t>(tr.dst_worker)];
+      WorkerState& to = workers_[static_cast<std::size_t>(tr.src_worker)];
+      for (LinkId l : block_links(tr.upward, tr.block)) {
+        to.price[l.value()] = from.price[l.value()];
+        to.ratio[l.value()] = from.ratio[l.value()];
+      }
+    }
+    phase_barrier_.arrive_and_wait();
+  }
+
+  // Normalization (F-NORM) using the distributed ratios.
+  if (cfg_.compute_norm) {
+    for (std::int32_t wi = 0; wi < num_workers_; ++wi) {
+      if (!my_worker(wi)) continue;
+      const WorkerState& w = workers_[static_cast<std::size_t>(wi)];
+      for (FlowIndex slot : w.flows) {
+        const FlowEntry& f = problem_.flow(slot);
+        double r = 0.0;
+        for (std::uint32_t l : f.route()) r = std::max(r, w.ratio[l]);
+        norm_rates_[slot] = r > 0.0 ? rates_[slot] / r : rates_[slot];
+      }
+    }
+  }
+}
+
+void ParallelNed::thread_main(std::int32_t t) {
+  while (true) {
+    start_barrier_.arrive_and_wait();
+    if (stop_.load(std::memory_order_acquire)) return;
+    run_phases(t);
+    end_barrier_.arrive_and_wait();
+  }
+}
+
+void ParallelNed::iterate() {
+  rates_.resize(problem_.num_slots(), 0.0);
+  norm_rates_.resize(problem_.num_slots(), 0.0);
+  if (flow_worker_.size() < problem_.num_slots()) {
+    flow_worker_.resize(problem_.num_slots(), -1);
+    flow_pos_.resize(problem_.num_slots(), 0);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t c0 = read_cycles();
+  start_barrier_.arrive_and_wait();
+  end_barrier_.arrive_and_wait();
+  last_iter_cycles_ = read_cycles() - c0;
+  last_iter_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+}
+
+}  // namespace ft::core

@@ -1,0 +1,130 @@
+// Multicore NED + F-NORM engine (paper §5, Figures 2-3).
+//
+// Workers form an n x n grid of FlowBlocks (row = source block, column =
+// destination block). Each worker keeps *private copies* of the link
+// state (prices, aggregate allocation, Hessian diagonal) for its row's
+// upward LinkBlock and its column's downward LinkBlock, so the rate
+// update performs no cross-worker writes at all. A log2(n)-step pairwise
+// aggregation (Figure 3) then combines the private sums onto authoritative
+// owners -- upward LinkBlock i at worker (i,i), downward LinkBlock j at
+// worker (n-1-j, j) -- which apply the NED price update and compute
+// F-NORM's link ratios; the same schedule replayed in reverse distributes
+// fresh prices and ratios back to every worker's private copies.
+//
+// The engine produces results identical to the sequential NedSolver up to
+// floating-point summation order (unit-tested), and runs its workers on a
+// configurable number of threads, as in §6.1 where multiple FlowBlocks
+// are mapped to each CPU.
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/problem.h"
+#include "topo/partition.h"
+
+namespace ft::core {
+
+struct ParallelConfig {
+  std::int32_t num_blocks = 2;   // n; must be a power of two
+  std::int32_t num_threads = 0;  // 0 = min(n^2, hardware_concurrency)
+  double gamma = 1.0;
+  bool compute_norm = true;      // piggyback F-NORM on the same schedule
+};
+
+class ParallelNed {
+ public:
+  ParallelNed(NumProblem& problem, const topo::BlockPartition& partition,
+              ParallelConfig cfg);
+  ~ParallelNed();
+
+  ParallelNed(const ParallelNed&) = delete;
+  ParallelNed& operator=(const ParallelNed&) = delete;
+
+  // Assigns a flow slot to FlowBlock (src_block, dst_block). Every link
+  // on the flow's route must belong to the matching LinkBlock.
+  void assign_flow(FlowIndex slot, std::int32_t src_block,
+                   std::int32_t dst_block);
+  void unassign_flow(FlowIndex slot);
+
+  // One full parallel iteration (rate update, aggregate, price update,
+  // distribute, normalize).
+  void iterate();
+
+  [[nodiscard]] std::span<const double> rates() const { return rates_; }
+  [[nodiscard]] std::span<const double> norm_rates() const {
+    return norm_rates_;
+  }
+  // Authoritative per-link prices / allocations (written by owners).
+  [[nodiscard]] std::span<const double> prices() const {
+    return global_price_;
+  }
+  [[nodiscard]] std::span<const double> link_alloc() const {
+    return global_alloc_;
+  }
+
+  [[nodiscard]] std::int32_t num_workers() const { return num_workers_; }
+  [[nodiscard]] std::int32_t num_threads() const { return num_threads_; }
+
+  // Wall-clock duration of the last iterate() in seconds, and TSC cycles
+  // when available (0 otherwise).
+  [[nodiscard]] double last_iter_seconds() const {
+    return last_iter_seconds_;
+  }
+  [[nodiscard]] std::uint64_t last_iter_cycles() const {
+    return last_iter_cycles_;
+  }
+
+ private:
+  struct WorkerState {
+    std::vector<double> price;
+    std::vector<double> alloc;
+    std::vector<double> dxdp;
+    std::vector<double> ratio;
+    std::vector<FlowIndex> flows;
+  };
+
+  void thread_main(std::int32_t t);
+  void run_phases(std::int32_t t);
+  void rate_update(WorkerState& w, std::int32_t row, std::int32_t col);
+  void price_update_owned(std::int32_t worker);
+
+  [[nodiscard]] std::span<const LinkId> block_links(bool upward,
+                                                    std::int32_t b) const {
+    const auto& v = upward ? part_.up_links[static_cast<std::size_t>(b)]
+                           : part_.down_links[static_cast<std::size_t>(b)];
+    return v;
+  }
+
+  NumProblem& problem_;
+  topo::BlockPartition part_;
+  topo::AggregationSchedule schedule_;
+  ParallelConfig cfg_;
+  std::int32_t n_;
+  std::int32_t num_workers_;
+  std::int32_t num_threads_;
+
+  std::vector<WorkerState> workers_;
+  std::vector<std::int32_t> flow_worker_;    // slot -> worker (-1 = none)
+  std::vector<std::uint32_t> flow_pos_;      // slot -> index in flows vec
+  std::vector<double> rates_;
+  std::vector<double> norm_rates_;
+  std::vector<double> global_price_;
+  std::vector<double> global_alloc_;
+
+  std::vector<std::jthread> threads_;
+  std::barrier<> start_barrier_;   // num_threads + 1 (main)
+  std::barrier<> end_barrier_;     // num_threads + 1 (main)
+  std::barrier<> phase_barrier_;   // num_threads
+  std::atomic<bool> stop_{false};
+
+  double last_iter_seconds_ = 0.0;
+  std::uint64_t last_iter_cycles_ = 0;
+};
+
+}  // namespace ft::core

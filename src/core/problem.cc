@@ -1,0 +1,88 @@
+#include "core/problem.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ft::core {
+
+NumProblem::NumProblem(std::vector<double> link_capacities_bps)
+    : capacity_(std::move(link_capacities_bps)) {
+  FT_CHECK(!capacity_.empty());
+  for (double c : capacity_) FT_CHECK(c > 0.0);
+}
+
+void NumProblem::scale_capacities(double factor) {
+  FT_CHECK(factor > 0.0);
+  for (double& c : capacity_) c *= factor;
+}
+
+void NumProblem::set_capacity(std::size_t link, double capacity_bps) {
+  FT_CHECK(link < capacity_.size());
+  FT_CHECK(capacity_bps > 0.0);
+  capacity_[link] = capacity_bps;
+  for (FlowEntry& f : flows_) {
+    if (!f.active) continue;
+    bool on_link = false;
+    for (std::uint32_t l : f.route()) on_link = on_link || l == link;
+    if (!on_link) continue;
+    double cap = capacity_[f.links[0]];
+    for (std::uint32_t l : f.route()) cap = std::min(cap, capacity_[l]);
+    f.rate_cap = cap;
+    f.price_floor =
+        f.util.is_fixed()
+            ? 0.0
+            : f.util.weight /
+                  std::pow(kDemandCapFactor * cap, f.util.alpha);
+  }
+  ++version_;
+}
+
+FlowIndex NumProblem::add_flow(std::span<const LinkId> route,
+                               Utility util) {
+  FT_CHECK(!route.empty());
+  FT_CHECK(route.size() <= kMaxRouteLinks);
+  FT_CHECK(util.weight > 0.0);
+
+  FlowIndex idx;
+  if (!free_list_.empty()) {
+    idx = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    idx = static_cast<FlowIndex>(flows_.size());
+    flows_.emplace_back();
+  }
+  FlowEntry& f = flows_[idx];
+  f.util = util;
+  f.num_links = static_cast<std::uint8_t>(route.size());
+  double cap = capacity_[route[0].value()];
+  for (std::size_t i = 0; i < route.size(); ++i) {
+    FT_CHECK(route[i].value() < capacity_.size());
+    f.links[i] = route[i].value();
+    cap = std::min(cap, capacity_[route[i].value()]);
+  }
+  f.rate_cap = cap;
+  // x(P) = (w/P)^(1/alpha) == kDemandCapFactor * cap at
+  // P = w / (kDemandCapFactor * cap)^alpha. Fixed-demand flows ignore
+  // prices entirely.
+  f.price_floor =
+      util.is_fixed()
+          ? 0.0
+          : util.weight / std::pow(kDemandCapFactor * cap, util.alpha);
+  f.active = true;
+  ++num_active_;
+  ++version_;
+  return idx;
+}
+
+void NumProblem::remove_flow(FlowIndex idx) {
+  FT_CHECK(idx < flows_.size());
+  FT_CHECK(flows_[idx].active);
+  flows_[idx].active = false;
+  flows_[idx].num_links = 0;
+  free_list_.push_back(idx);
+  FT_CHECK(num_active_ > 0);
+  --num_active_;
+  ++version_;
+}
+
+}  // namespace ft::core

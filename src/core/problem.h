@@ -1,0 +1,106 @@
+// Online NUM problem instance: a fixed set of capacitated links and a
+// churning set of flows, each with a fixed route (<= 8 links) and a
+// utility function.
+//
+// Flow storage is slot-based with a free list: flowlet start/end is O(1)
+// and slot indices stay dense, so solvers iterate over slots linearly
+// (cache-friendly, branch on an active flag) exactly as the paper's
+// allocator does in its online setting.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "core/utility.h"
+
+namespace ft::core {
+
+using FlowIndex = std::uint32_t;
+inline constexpr FlowIndex kInvalidFlow = UINT32_MAX;
+
+inline constexpr std::size_t kMaxRouteLinks = 8;
+
+// Demand bound: a flow's demand x(P) is evaluated at an *effective* path
+// price P_eff = max(P, floor) chosen so that x never exceeds
+// kDemandCapFactor times the flow's bottleneck capacity. This keeps
+// transient demands finite (the paper's pure dynamics would request
+// unbounded rates when a path's prices are all ~0) while preserving
+// NED's conditioning: a flow at the bound still reports the clamp-edge
+// sensitivity dx/dP, so H_ll never collapses to zero on loaded links.
+// Factor 1.0 = a flow never demands more than its bottleneck capacity --
+// the physical NIC limit; endpoints cannot transmit faster regardless of
+// the allocation.
+inline constexpr double kDemandCapFactor = 1.0;
+
+struct FlowEntry {
+  Utility util;
+  std::uint8_t num_links = 0;
+  bool active = false;
+  std::array<std::uint32_t, kMaxRouteLinks> links{};
+  double rate_cap = 0.0;      // min capacity along the route
+  double price_floor = 0.0;   // P_eff floor implementing the demand bound
+
+  [[nodiscard]] std::span<const std::uint32_t> route() const {
+    return {links.data(), num_links};
+  }
+
+  // Demand and its derivative at path price `price_sum`, with the bound
+  // applied. Used identically by every solver.
+  [[nodiscard]] double demand(double price_sum) const {
+    return util.rate(price_sum < price_floor ? price_floor : price_sum);
+  }
+  [[nodiscard]] double demand_slope(double price_sum, double x) const {
+    return util.drate(price_sum < price_floor ? price_floor : price_sum,
+                      x);
+  }
+};
+
+class NumProblem {
+ public:
+  explicit NumProblem(std::vector<double> link_capacities_bps);
+
+  [[nodiscard]] std::size_t num_links() const { return capacity_.size(); }
+  [[nodiscard]] double capacity(std::size_t link) const {
+    return capacity_[link];
+  }
+  [[nodiscard]] std::span<const double> capacities() const {
+    return capacity_;
+  }
+
+  // Scales all capacities by `factor` (the allocator reserves headroom of
+  // one notification threshold, §6.4).
+  void scale_capacities(double factor);
+
+  // Adjusts one link's capacity at runtime (§7 closed loop: "dynamically
+  // adjust link capacities ... for external traffic"). Refreshes the
+  // demand bounds of flows traversing the link.
+  void set_capacity(std::size_t link, double capacity_bps);
+
+  FlowIndex add_flow(std::span<const LinkId> route, Utility util);
+  void remove_flow(FlowIndex idx);
+
+  [[nodiscard]] std::size_t num_slots() const { return flows_.size(); }
+  [[nodiscard]] std::size_t num_active() const { return num_active_; }
+  [[nodiscard]] const FlowEntry& flow(FlowIndex idx) const {
+    FT_CHECK(idx < flows_.size());
+    return flows_[idx];
+  }
+  [[nodiscard]] std::span<const FlowEntry> flows() const { return flows_; }
+
+  // Monotone counter bumped on every add/remove; lets solvers detect
+  // churn (e.g. to reset momentum state).
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
+ private:
+  std::vector<double> capacity_;
+  std::vector<FlowEntry> flows_;
+  std::vector<FlowIndex> free_list_;
+  std::size_t num_active_ = 0;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace ft::core

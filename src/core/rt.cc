@@ -1,0 +1,101 @@
+#include "core/rt.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+
+namespace ft::core {
+
+float fast_recip(float x) {
+  // 0x7EF311C3 is the magic constant minimizing worst-case error of the
+  // exponent-flip initial guess for 1/x.
+  const auto bits = std::bit_cast<std::uint32_t>(x);
+  float r = std::bit_cast<float>(0x7EF311C3u - bits);
+  r = r * (2.0f - x * r);
+  r = r * (2.0f - x * r);
+  return r;
+}
+
+namespace detail {
+
+RtBase::RtBase(NumProblem& problem)
+    : Solver(problem),
+      prices_f_(problem.num_links(), 1.0f),
+      alloc_f_(problem.num_links(), 0.0f),
+      dxdp_f_(problem.num_links(), 0.0f) {}
+
+void RtBase::update_rates_rt() {
+  rates_f_.resize(problem_.num_slots(), 0.0f);
+  std::fill(alloc_f_.begin(), alloc_f_.end(), 0.0f);
+  std::fill(dxdp_f_.begin(), dxdp_f_.end(), 0.0f);
+
+  const auto flows = problem_.flows();
+  for (std::size_t s = 0; s < flows.size(); ++s) {
+    const FlowEntry& f = flows[s];
+    if (!f.active) {
+      rates_f_[s] = 0.0f;
+      continue;
+    }
+    float price_sum = 0.0f;
+    for (std::uint32_t l : f.route()) price_sum += prices_f_[l];
+    const auto floor = static_cast<float>(f.price_floor);
+    if (price_sum < floor) price_sum = floor;
+
+    float x;
+    float dx;
+    if (f.util.alpha == 1.0) {
+      // Fast path: x = w / P, dx = -x / P via one shared reciprocal.
+      const float rp = fast_recip(price_sum);
+      x = static_cast<float>(f.util.weight) * rp;
+      dx = -x * rp;
+    } else {
+      x = static_cast<float>(f.util.rate(price_sum));
+      dx = static_cast<float>(f.util.drate(price_sum, x));
+    }
+    rates_f_[s] = x;
+    for (std::uint32_t l : f.route()) {
+      alloc_f_[l] += x;
+      dxdp_f_[l] += dx;
+    }
+  }
+}
+
+void RtBase::mirror_to_double() {
+  rates_.resize(rates_f_.size());
+  for (std::size_t i = 0; i < rates_f_.size(); ++i) {
+    rates_[i] = static_cast<double>(rates_f_[i]);
+  }
+  for (std::size_t l = 0; l < prices_f_.size(); ++l) {
+    prices_[l] = static_cast<double>(prices_f_[l]);
+    link_alloc_[l] = static_cast<double>(alloc_f_[l]);
+    link_dxdp_[l] = static_cast<double>(dxdp_f_[l]);
+  }
+}
+
+}  // namespace detail
+
+void NedRtSolver::iterate() {
+  update_rates_rt();
+  for (std::size_t l = 0; l < prices_f_.size(); ++l) {
+    const float h = dxdp_f_[l];
+    if (h < 0.0f) {
+      const auto cap = static_cast<float>(problem_.capacity(l));
+      const float g = alloc_f_[l] - cap;
+      const float step = gamma_ * g * fast_recip(-h);
+      prices_f_[l] = std::max(0.0f, prices_f_[l] + step);
+    }
+  }
+  mirror_to_double();
+}
+
+void GradientRtSolver::iterate() {
+  update_rates_rt();
+  for (std::size_t l = 0; l < prices_f_.size(); ++l) {
+    const auto cap = static_cast<float>(problem_.capacity(l));
+    const float g_rel = (alloc_f_[l] - cap) * fast_recip(cap);
+    prices_f_[l] = std::max(0.0f, prices_f_[l] + gamma_ * g_rel);
+  }
+  mirror_to_double();
+}
+
+}  // namespace ft::core

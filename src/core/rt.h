@@ -1,0 +1,68 @@
+// Real-time (RT) solver variants (§6.6, Figure 12): NED-RT and
+// Gradient-RT use single-precision floating point state and numeric
+// approximations for speed -- here, a bit-trick reciprocal with two
+// Newton refinements replacing the divisions on the rate-update fast
+// path. Only log utility (the paper's default) gets the fast path; other
+// utilities fall back to float math with true division.
+//
+// The RT solvers expose the same double-precision `rates()` / `prices()`
+// views as the reference solvers (converted after each iteration), so
+// harnesses can compare them drop-in; Figure 12 shows their allocations
+// track the reference implementations closely.
+#pragma once
+
+#include "core/solver.h"
+
+namespace ft::core {
+
+// Approximate 1/x for positive finite x: initial guess from exponent-bit
+// arithmetic plus two Newton-Raphson steps (~1e-5 relative error).
+[[nodiscard]] float fast_recip(float x);
+
+namespace detail {
+
+// Shared float-state machinery for RT solvers.
+class RtBase : public Solver {
+ public:
+  explicit RtBase(NumProblem& problem);
+
+ protected:
+  // Float rate update with fast reciprocals; fills the float sums and
+  // mirrors results into the base-class double vectors.
+  void update_rates_rt();
+
+  std::vector<float> prices_f_;
+  std::vector<float> alloc_f_;
+  std::vector<float> dxdp_f_;
+  std::vector<float> rates_f_;
+
+  void mirror_to_double();
+};
+
+}  // namespace detail
+
+class NedRtSolver : public detail::RtBase {
+ public:
+  explicit NedRtSolver(NumProblem& problem, double gamma = 1.0)
+      : RtBase(problem), gamma_(static_cast<float>(gamma)) {}
+
+  void iterate() override;
+  [[nodiscard]] const char* name() const override { return "NED-RT"; }
+
+ private:
+  float gamma_;
+};
+
+class GradientRtSolver : public detail::RtBase {
+ public:
+  explicit GradientRtSolver(NumProblem& problem, double gamma = 0.1)
+      : RtBase(problem), gamma_(static_cast<float>(gamma)) {}
+
+  void iterate() override;
+  [[nodiscard]] const char* name() const override { return "Gradient-RT"; }
+
+ private:
+  float gamma_;
+};
+
+}  // namespace ft::core

@@ -1,0 +1,45 @@
+#include "core/solver.h"
+
+#include <algorithm>
+
+namespace ft::core {
+
+Solver::Solver(NumProblem& problem)
+    : problem_(problem),
+      prices_(problem.num_links(), 1.0),
+      link_alloc_(problem.num_links(), 0.0),
+      link_dxdp_(problem.num_links(), 0.0) {}
+
+void Solver::update_rates() {
+  rates_.resize(problem_.num_slots(), 0.0);
+  std::fill(link_alloc_.begin(), link_alloc_.end(), 0.0);
+  std::fill(link_dxdp_.begin(), link_dxdp_.end(), 0.0);
+
+  const auto flows = problem_.flows();
+  for (std::size_t s = 0; s < flows.size(); ++s) {
+    const FlowEntry& f = flows[s];
+    if (!f.active) {
+      rates_[s] = 0.0;
+      continue;
+    }
+    double price_sum = 0.0;
+    for (std::uint32_t l : f.route()) price_sum += prices_[l];
+    const double x = f.demand(price_sum);
+    const double dx = f.demand_slope(price_sum, x);
+    rates_[s] = x;
+    for (std::uint32_t l : f.route()) {
+      link_alloc_[l] += x;
+      link_dxdp_[l] += dx;
+    }
+  }
+}
+
+double Solver::total_over_allocation() const {
+  double total = 0.0;
+  for (std::size_t l = 0; l < link_alloc_.size(); ++l) {
+    total += std::max(0.0, link_alloc_[l] - problem_.capacity(l));
+  }
+  return total;
+}
+
+}  // namespace ft::core

@@ -1,0 +1,59 @@
+// Common interface and shared machinery for NUM price-based solvers.
+//
+// Every solver alternates the two steps of Algorithm 1:
+//   rate update:  x_s = (U_s')^{-1}( sum of prices on the route ),
+//                 clamped to the flow's bottleneck capacity, and
+//   price update: solver-specific (NED / Gradient / Newton-like / FGM).
+//
+// The rate update also accumulates, per link, the aggregate allocation
+// G-term input (sum of x_s) and the exact Hessian diagonal (sum of
+// dx_s/dP) -- the quantity NED exploits (paper §3).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/problem.h"
+
+namespace ft::core {
+
+class Solver {
+ public:
+  explicit Solver(NumProblem& problem);
+  virtual ~Solver() = default;
+
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  // One rate-update + price-update iteration.
+  virtual void iterate() = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  // Per-flow-slot rates from the last iteration (undefined for inactive
+  // slots) and per-link prices / aggregate allocations.
+  [[nodiscard]] std::span<const double> rates() const { return rates_; }
+  [[nodiscard]] std::span<const double> prices() const { return prices_; }
+  [[nodiscard]] std::span<const double> link_alloc() const {
+    return link_alloc_;
+  }
+
+  [[nodiscard]] NumProblem& problem() { return problem_; }
+  [[nodiscard]] const NumProblem& problem() const { return problem_; }
+
+  // Sum of max(0, alloc_l - c_l): total over-allocation in bits/sec
+  // (Figure 12's metric).
+  [[nodiscard]] double total_over_allocation() const;
+
+ protected:
+  // Executes the rate-update step and fills rates_, link_alloc_ and
+  // link_dxdp_ (Hessian diagonal). Grows state vectors on flow churn.
+  void update_rates();
+
+  NumProblem& problem_;
+  std::vector<double> prices_;      // per link, init 1.0 (paper §3)
+  std::vector<double> rates_;       // per flow slot
+  std::vector<double> link_alloc_;  // per link: sum of rates
+  std::vector<double> link_dxdp_;   // per link: H_ll (<= 0)
+};
+
+}  // namespace ft::core

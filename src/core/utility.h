@@ -1,0 +1,95 @@
+// Flow utility functions for the NUM objective (paper §3).
+//
+// NED admits any strictly concave, differentiable, monotonically
+// increasing utility. We implement the weighted alpha-fair family
+// (Mo & Walrand), which covers the paper's default:
+//
+//   alpha = 1:  U(x) = w log x            (weighted proportional fairness)
+//   alpha != 1: U(x) = w x^(1-alpha) / (1-alpha)
+//
+// The solver needs the *demand function* x(P) = (U')^{-1}(P) mapping a
+// path price to the flow's selfish rate, and its derivative dx/dP (the
+// flow's contribution to the Hessian diagonal). For the alpha-fair family:
+//
+//   x(P)    = (w / P)^(1/alpha)
+//   dx/dP   = -x / (alpha * P)      (strictly negative)
+//
+// The default weight is 1 Gbit/s so that optimal prices are O(1) for
+// datacenter-scale capacities; NED's price update G/H is invariant to this
+// scaling (both G and H scale linearly with w), it only conditions the
+// numerics.
+#pragma once
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ft::core {
+
+// Smallest path price used in demand evaluations; prevents infinite rates
+// while prices re-converge after churn. Rate caps (per-flow bottleneck
+// capacity) provide the physically meaningful bound; this is only a
+// numerical guard. It must sit far below any realistic optimal price:
+// with alpha-fair utilities the optimal price scale is w / x^alpha, which
+// for alpha = 2, w = 1e9 and x = 10 Gbit/s is ~1e-11.
+inline constexpr double kMinPathPrice = 1e-18;
+
+struct Utility {
+  double weight = 1e9;  // w > 0
+  // alpha > 0 selects the alpha-fair family (1 = w log x). alpha == 0 is
+  // the special *fixed-demand* pseudo-utility used for external traffic
+  // (§7 "add dummy flows for external traffic"): the flow demands
+  // exactly `weight` bits/sec regardless of prices and contributes
+  // nothing to the Hessian -- it consumes capacity, price-responsive
+  // flows share the rest.
+  double alpha = 1.0;
+
+  [[nodiscard]] static Utility log_utility(double w = 1e9) {
+    return Utility{w, 1.0};
+  }
+  [[nodiscard]] static Utility alpha_fair(double alpha, double w = 1e9) {
+    FT_CHECK(alpha > 0.0);
+    return Utility{w, alpha};
+  }
+  [[nodiscard]] static Utility fixed_demand(double rate_bps) {
+    FT_CHECK(rate_bps > 0.0);
+    return Utility{rate_bps, 0.0};
+  }
+
+  [[nodiscard]] bool is_fixed() const { return alpha == 0.0; }
+
+  // Demand x(P) = (U')^{-1}(P).
+  [[nodiscard]] double rate(double price_sum) const {
+    if (is_fixed()) return weight;
+    const double p = price_sum < kMinPathPrice ? kMinPathPrice : price_sum;
+    if (alpha == 1.0) return weight / p;
+    return std::pow(weight / p, 1.0 / alpha);
+  }
+
+  // d x(P) / dP evaluated via the rate (avoids recomputing the power).
+  [[nodiscard]] double drate(double price_sum, double rate_at_p) const {
+    if (is_fixed()) return 0.0;
+    const double p = price_sum < kMinPathPrice ? kMinPathPrice : price_sum;
+    return -rate_at_p / (alpha * p);
+  }
+
+  // U(x); used for objective-value reporting and fairness scores.
+  // Fixed-demand flows carry no utility (they are constraints, not
+  // optimization variables).
+  [[nodiscard]] double value(double x) const {
+    if (is_fixed()) return 0.0;
+    FT_CHECK(x > 0.0);
+    if (alpha == 1.0) return weight * std::log(x);
+    return weight * std::pow(x, 1.0 - alpha) / (1.0 - alpha);
+  }
+
+  // U'(x); used in KKT residual checks.
+  [[nodiscard]] double marginal(double x) const {
+    if (is_fixed()) return 0.0;
+    FT_CHECK(x > 0.0);
+    if (alpha == 1.0) return weight / x;
+    return weight * std::pow(x, -alpha);
+  }
+};
+
+}  // namespace ft::core

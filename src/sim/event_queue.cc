@@ -1,0 +1,27 @@
+#include "sim/event_queue.h"
+
+namespace ft::sim {
+
+void EventQueue::run_until(Time horizon) {
+  while (!heap_.empty() && heap_.top().at <= horizon) {
+    const Event ev = heap_.top();
+    heap_.pop();
+    FT_CHECK(ev.at >= now_);
+    now_ = ev.at;
+    ++processed_;
+    ev.handler->on_event(ev.tag, ev.arg);
+  }
+  now_ = horizon;
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  const Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.at;
+  ++processed_;
+  ev.handler->on_event(ev.tag, ev.arg);
+  return true;
+}
+
+}  // namespace ft::sim

@@ -1,0 +1,69 @@
+// Discrete-event scheduler core.
+//
+// Events are (time, handler, tag, arg) tuples with a strictly increasing
+// sequence number as tie-breaker, so simulations are fully deterministic.
+// No allocation per event: the priority queue stores small PODs and
+// handlers dispatch on an integer tag. Cancellation is by generation
+// counting at the handler (schedule the timer with a generation arg and
+// ignore stale deliveries), which is cheaper and simpler than removing
+// heap entries.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "common/time.h"
+
+namespace ft::sim {
+
+class EventHandler {
+ public:
+  virtual ~EventHandler() = default;
+  virtual void on_event(std::uint32_t tag, std::uint64_t arg) = 0;
+};
+
+class EventQueue {
+ public:
+  void schedule(Time at, EventHandler* handler, std::uint32_t tag,
+                std::uint64_t arg = 0) {
+    FT_CHECK(at >= now_);
+    FT_CHECK(handler != nullptr);
+    heap_.push(Event{at, seq_++, handler, tag, arg});
+  }
+
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+
+  // Runs events with time <= horizon; leaves now() == horizon.
+  void run_until(Time horizon);
+
+  // Runs a single event if any exists; returns false when drained.
+  bool step();
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    EventHandler* handler;
+    std::uint32_t tag;
+    std::uint64_t arg;
+
+    // std::priority_queue is a max-heap; invert for earliest-first, with
+    // seq as the deterministic tie-break.
+    friend bool operator<(const Event& a, const Event& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event> heap_;
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace ft::sim

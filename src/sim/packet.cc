@@ -1,0 +1,30 @@
+#include "sim/packet.h"
+
+namespace ft::sim {
+
+PacketPool::~PacketPool() {
+  for (Packet* p : all_) delete p;
+}
+
+Packet* PacketPool::alloc() {
+  Packet* p;
+  if (free_list_.empty()) {
+    p = new Packet();
+    all_.push_back(p);
+  } else {
+    p = free_list_.back();
+    free_list_.pop_back();
+    *p = Packet{};  // reset to defaults
+  }
+  ++outstanding_;
+  return p;
+}
+
+void PacketPool::free(Packet* p) {
+  FT_CHECK(p != nullptr);
+  FT_CHECK(outstanding_ > 0);
+  --outstanding_;
+  free_list_.push_back(p);
+}
+
+}  // namespace ft::sim

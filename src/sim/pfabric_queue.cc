@@ -1,0 +1,55 @@
+#include "sim/pfabric_queue.h"
+
+#include <algorithm>
+
+namespace ft::sim {
+
+void PfabricQueue::enqueue(Packet* p, Time now) {
+  p->enq_at = now;
+  while (bytes_ + p->wire_bytes > limit_ && !q_.empty()) {
+    // Evict the worst (max remaining; FIFO-later tie-break) among queued
+    // packets; if the arrival itself is the worst, reject it instead.
+    std::size_t worst = 0;
+    for (std::size_t i = 1; i < q_.size(); ++i) {
+      if (q_[i]->remaining >= q_[worst]->remaining) worst = i;
+    }
+    if (q_[worst]->remaining < p->remaining) {
+      drop(p);
+      return;
+    }
+    Packet* victim = q_[worst];
+    q_[worst] = q_.back();
+    q_.pop_back();
+    bytes_ -= victim->wire_bytes;
+    drop(victim);
+  }
+  if (bytes_ + p->wire_bytes > limit_) {  // empty queue, oversized packet
+    drop(p);
+    return;
+  }
+  bytes_ += p->wire_bytes;
+  q_.push_back(p);
+  ++stats_.enqueued;
+}
+
+Packet* PfabricQueue::dequeue(Time /*now*/) {
+  if (q_.empty()) return nullptr;
+  // Find the highest-priority flow (min remaining), then the earliest
+  // sequence packet of that flow.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < q_.size(); ++i) {
+    if (q_[i]->remaining < q_[best]->remaining) best = i;
+  }
+  const std::uint32_t flow = q_[best]->flow_id;
+  for (std::size_t i = 0; i < q_.size(); ++i) {
+    if (q_[i]->flow_id == flow && q_[i]->seq < q_[best]->seq) best = i;
+  }
+  Packet* p = q_[best];
+  q_[best] = q_.back();
+  q_.pop_back();
+  bytes_ -= p->wire_bytes;
+  ++stats_.dequeued;
+  return p;
+}
+
+}  // namespace ft::sim

@@ -1,0 +1,33 @@
+// pFabric switch queue (Alizadeh et al., SIGCOMM 2013).
+//
+// Very small buffers; packets carry the flow's *remaining* bytes as
+// priority. Dequeue picks the packet of the flow with the minimum
+// remaining bytes -- but within that flow, the earliest-sequence packet,
+// to limit reordering (the paper's "starvation prevention" refinement).
+// On overflow the queue evicts the enqueued packet with the *maximum*
+// remaining bytes (or rejects the arrival if it is the worst). Buffers
+// hold tens of packets, so linear scans beat fancier structures.
+#pragma once
+
+#include <vector>
+
+#include "sim/queue.h"
+
+namespace ft::sim {
+
+class PfabricQueue : public QueueDisc {
+ public:
+  explicit PfabricQueue(std::int64_t limit_bytes)
+      : limit_(limit_bytes) {}
+
+  void enqueue(Packet* p, Time now) override;
+  Packet* dequeue(Time now) override;
+  [[nodiscard]] std::int64_t byte_length() const override { return bytes_; }
+
+ private:
+  std::int64_t limit_;
+  std::int64_t bytes_ = 0;
+  std::vector<Packet*> q_;  // unordered; scanned on demand
+};
+
+}  // namespace ft::sim

@@ -1,0 +1,33 @@
+#include "sim/queue.h"
+
+#include <functional>
+
+namespace ft::sim {
+
+void DropTailQueue::enqueue(Packet* p, Time now) {
+  if (bytes_ + p->wire_bytes > limit_) {
+    drop(p);
+    return;
+  }
+  // DCTCP marking: instantaneous queue above K marks the *arriving*
+  // packet (Alizadeh et al. §3.2).
+  if (ecn_threshold_ > 0 && p->ecn_capable && bytes_ >= ecn_threshold_) {
+    p->ecn_marked = true;
+    ++stats_.ecn_marked;
+  }
+  p->enq_at = now;
+  bytes_ += p->wire_bytes;
+  q_.push_back(p);
+  ++stats_.enqueued;
+}
+
+Packet* DropTailQueue::dequeue(Time /*now*/) {
+  if (q_.empty()) return nullptr;
+  Packet* p = q_.front();
+  q_.pop_front();
+  bytes_ -= p->wire_bytes;
+  ++stats_.dequeued;
+  return p;
+}
+
+}  // namespace ft::sim

@@ -1,0 +1,83 @@
+// Queue discipline interface and the DropTail / ECN-marking variant.
+//
+// A QueueDisc owns packets between enqueue and dequeue. Drops (on
+// enqueue overflow, victim eviction, or AQM decisions at dequeue) are
+// reported to a DropSink -- the owning Link -- which does the accounting
+// and recycles the packet.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "common/time.h"
+#include "sim/packet.h"
+
+namespace ft::sim {
+
+class DropSink {
+ public:
+  virtual ~DropSink() = default;
+  virtual void on_drop(Packet* p) = 0;
+};
+
+struct QueueStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t dequeued = 0;
+  std::uint64_t dropped = 0;
+  std::int64_t dropped_bytes = 0;
+  std::uint64_t ecn_marked = 0;
+};
+
+class QueueDisc {
+ public:
+  virtual ~QueueDisc() = default;
+
+  void set_drop_sink(DropSink* sink) { sink_ = sink; }
+
+  // Takes ownership; may drop (this packet or a queued victim).
+  virtual void enqueue(Packet* p, Time now) = 0;
+  // Returns the next packet to serialize, or nullptr if empty. May drop
+  // packets as a side effect (AQM).
+  virtual Packet* dequeue(Time now) = 0;
+
+  [[nodiscard]] virtual std::int64_t byte_length() const = 0;
+  [[nodiscard]] bool empty() const { return byte_length() == 0; }
+
+  [[nodiscard]] const QueueStats& stats() const { return stats_; }
+
+ protected:
+  void drop(Packet* p) {
+    ++stats_.dropped;
+    stats_.dropped_bytes += p->wire_bytes;
+    sink_->on_drop(p);
+  }
+
+  DropSink* sink_ = nullptr;
+  QueueStats stats_;
+};
+
+// Tail-drop FIFO with an optional ECN marking threshold (DCTCP's switch
+// behaviour: mark when the instantaneous queue exceeds K).
+class DropTailQueue : public QueueDisc {
+ public:
+  explicit DropTailQueue(std::int64_t limit_bytes,
+                         std::int64_t ecn_threshold_bytes = 0)
+      : limit_(limit_bytes), ecn_threshold_(ecn_threshold_bytes) {}
+
+  void enqueue(Packet* p, Time now) override;
+  Packet* dequeue(Time now) override;
+  [[nodiscard]] std::int64_t byte_length() const override { return bytes_; }
+
+ private:
+  std::int64_t limit_;
+  std::int64_t ecn_threshold_;
+  std::int64_t bytes_ = 0;
+  std::deque<Packet*> q_;
+};
+
+using QueueFactory =
+    std::function<std::unique_ptr<QueueDisc>(double link_capacity_bps)>;
+
+}  // namespace ft::sim

@@ -1,0 +1,143 @@
+#include "sim/sfq_codel.h"
+
+#include <cmath>
+
+namespace ft::sim {
+namespace {
+
+// Knuth multiplicative hash spreads flow ids across buckets.
+std::uint32_t hash_flow(std::uint32_t flow_id) {
+  return flow_id * 2654435761u;
+}
+
+}  // namespace
+
+SfqCodelQueue::SfqCodelQueue(SfqCodelConfig cfg)
+    : cfg_(cfg), buckets_(static_cast<std::size_t>(cfg.num_buckets)) {}
+
+void SfqCodelQueue::enqueue(Packet* p, Time now) {
+  if (bytes_ + p->wire_bytes > cfg_.limit_bytes) {
+    // Shared buffer full: drop from the head of the longest bucket (ns-2
+    // sfqcodel behaviour), making room for the arrival unless the
+    // arrival's own bucket is the only content.
+    std::size_t longest = 0;
+    for (std::size_t i = 1; i < buckets_.size(); ++i) {
+      if (buckets_[i].bytes > buckets_[longest].bytes) longest = i;
+    }
+    if (buckets_[longest].q.empty()) {
+      drop(p);
+      return;
+    }
+    drop(pop_head(buckets_[longest]));
+  }
+  const auto b_idx = static_cast<std::int32_t>(
+      hash_flow(p->flow_id) % static_cast<std::uint32_t>(cfg_.num_buckets));
+  Bucket& b = buckets_[static_cast<std::size_t>(b_idx)];
+  p->enq_at = now;
+  b.q.push_back(p);
+  b.bytes += p->wire_bytes;
+  bytes_ += p->wire_bytes;
+  ++stats_.enqueued;
+  if (!b.active) {
+    b.active = true;
+    b.deficit = cfg_.quantum_bytes;  // new flows get a fresh quantum
+    drr_.push_back(b_idx);
+  }
+}
+
+Packet* SfqCodelQueue::pop_head(Bucket& b) {
+  Packet* p = b.q.front();
+  b.q.pop_front();
+  b.bytes -= p->wire_bytes;
+  bytes_ -= p->wire_bytes;
+  return p;
+}
+
+Time SfqCodelQueue::control_law(Time t, std::uint32_t count) const {
+  return t + static_cast<Time>(
+                 static_cast<double>(cfg_.interval) /
+                 std::sqrt(static_cast<double>(count)));
+}
+
+bool SfqCodelQueue::should_drop(Bucket& b, const Packet* p, Time now) {
+  const Time sojourn = now - p->enq_at;
+  if (sojourn < cfg_.target || b.bytes <= cfg_.quantum_bytes) {
+    b.first_above_time = 0;
+    return false;
+  }
+  if (b.first_above_time == 0) {
+    b.first_above_time = now + cfg_.interval;
+    return false;
+  }
+  return now >= b.first_above_time;
+}
+
+Packet* SfqCodelQueue::dequeue(Time now) {
+  while (!drr_.empty()) {
+    const std::int32_t b_idx = drr_.front();
+    Bucket& b = buckets_[static_cast<std::size_t>(b_idx)];
+    if (b.q.empty()) {
+      drr_.pop_front();
+      b.active = false;
+      b.dropping = false;
+      continue;
+    }
+    if (b.deficit <= 0) {
+      // Rotate to the back with a refreshed quantum.
+      drr_.pop_front();
+      drr_.push_back(b_idx);
+      b.deficit += cfg_.quantum_bytes;
+      continue;
+    }
+    // CoDel on this bucket's head.
+    Packet* p = pop_head(b);
+    if (b.dropping) {
+      if (!should_drop(b, p, now)) {
+        b.dropping = false;
+      } else if (now >= b.drop_next) {
+        while (now >= b.drop_next && b.dropping) {
+          drop(p);
+          ++b.count;
+          if (b.q.empty()) {
+            b.dropping = false;
+            b.active = false;
+            // Bucket drained by drops: rotate it out.
+            p = nullptr;
+            break;
+          }
+          p = pop_head(b);
+          if (!should_drop(b, p, now)) {
+            b.dropping = false;
+          } else {
+            b.drop_next = control_law(b.drop_next, b.count);
+          }
+        }
+        if (p == nullptr) {
+          drr_.pop_front();
+          continue;
+        }
+      }
+    } else if (should_drop(b, p, now)) {
+      drop(p);
+      b.dropping = true;
+      // Start (or resume) a drop cycle; reuse recent count if we were
+      // dropping recently (CoDel's "count" hysteresis).
+      b.count = (b.count > 2 && now - b.drop_next < 8 * cfg_.interval)
+                    ? b.count - 2
+                    : 1;
+      b.drop_next = control_law(now, b.count);
+      if (b.q.empty()) {
+        b.active = false;
+        drr_.pop_front();
+        continue;
+      }
+      p = pop_head(b);
+    }
+    b.deficit -= p->wire_bytes;
+    ++stats_.dequeued;
+    return p;
+  }
+  return nullptr;
+}
+
+}  // namespace ft::sim

@@ -1,0 +1,24 @@
+// Umbrella for the simulation substrate plus the Simulator convenience
+// bundle (event queue + packet pool) every experiment starts from.
+#pragma once
+
+#include "sim/event_queue.h"  // IWYU pragma: export
+#include "sim/network.h"      // IWYU pragma: export
+#include "sim/packet.h"       // IWYU pragma: export
+#include "sim/pfabric_queue.h"  // IWYU pragma: export
+#include "sim/queue.h"        // IWYU pragma: export
+#include "sim/sfq_codel.h"    // IWYU pragma: export
+#include "sim/trace.h"        // IWYU pragma: export
+#include "sim/xcp_queue.h"    // IWYU pragma: export
+
+namespace ft::sim {
+
+struct Simulator {
+  EventQueue events;
+  PacketPool pool;
+
+  [[nodiscard]] Time now() const { return events.now(); }
+  void run_until(Time t) { events.run_until(t); }
+};
+
+}  // namespace ft::sim

@@ -1,0 +1,148 @@
+#include "sim/trace.h"
+
+#include <cmath>
+
+#include "common/wire.h"
+
+namespace ft::sim {
+
+PathDelaySampler::PathDelaySampler(Network& net, Time period,
+                                   std::int32_t paths_per_sample,
+                                   std::uint64_t seed)
+    : net_(net),
+      period_(period),
+      paths_per_sample_(paths_per_sample),
+      rng_(seed) {}
+
+void PathDelaySampler::start(Time until) {
+  until_ = until;
+  net_.events().schedule(net_.events().now() + period_, this, 0, 0);
+}
+
+void PathDelaySampler::on_event(std::uint32_t /*tag*/, std::uint64_t) {
+  if (net_.events().now() > until_) return;
+  sample_once();
+  if (net_.events().now() + period_ <= until_) {
+    net_.events().schedule(net_.events().now() + period_, this, 0, 0);
+  }
+}
+
+void PathDelaySampler::sample_once() {
+  const topo::ClosTopology& clos = net_.clos();
+  const auto hosts = static_cast<std::uint64_t>(clos.num_hosts());
+  for (std::int32_t i = 0; i < paths_per_sample_; ++i) {
+    // Random 2-hop path: two hosts in the same rack.
+    {
+      const auto rack = static_cast<std::int32_t>(
+          rng_.below(static_cast<std::uint64_t>(clos.config().racks)));
+      const auto spr =
+          static_cast<std::uint64_t>(clos.config().servers_per_rack);
+      if (spr >= 2) {
+        const auto a = static_cast<std::int32_t>(rng_.below(spr));
+        auto b = static_cast<std::int32_t>(rng_.below(spr - 1));
+        if (b >= a) ++b;
+        const auto p = clos.host_path(clos.host(rack, a),
+                                      clos.host(rack, b), rng_.next());
+        Time d = 0;
+        for (LinkId l : p) d += net_.link(l).queue_delay();
+        two_hop_.add(to_us(d));
+      }
+    }
+    // Random 4-hop path: hosts in different racks.
+    {
+      const auto a = static_cast<std::int32_t>(rng_.below(hosts));
+      auto b = static_cast<std::int32_t>(rng_.below(hosts - 1));
+      if (b >= a) ++b;
+      if (clos.rack_of_host(clos.host(a)) ==
+          clos.rack_of_host(clos.host(b))) {
+        continue;  // keep strictly 4-hop samples
+      }
+      const auto p =
+          clos.host_path(clos.host(a), clos.host(b), rng_.next());
+      Time d = 0;
+      for (LinkId l : p) d += net_.link(l).queue_delay();
+      four_hop_.add(to_us(d));
+    }
+  }
+}
+
+FlowStats::FlowStats(const topo::ClosTopology& clos) : clos_(clos) {}
+
+void FlowStats::on_flow_start(std::uint32_t flow_id, std::int64_t bytes,
+                              std::int32_t src, std::int32_t dst,
+                              Time now) {
+  if (records_.size() <= flow_id) records_.resize(flow_id + 1);
+  records_[flow_id] = Open{bytes, src, dst, now};
+}
+
+Time FlowStats::ideal_fct(std::int64_t bytes, std::int32_t src,
+                          std::int32_t dst) const {
+  const topo::ClosConfig& cfg = clos_.config();
+  // Serialization of every segment at the bottleneck host link rate plus
+  // one path round trip (SYN-less model: first byte out to last ack
+  // back), matching "send out and receive all its bytes on an empty
+  // network".
+  const std::int64_t full = bytes / kMss;
+  const std::int64_t rest = bytes % kMss;
+  std::int64_t wire = full * wire_bytes_tcp(kMss);
+  if (rest > 0) wire += wire_bytes_tcp(rest);
+  const Time serialize = tx_time(wire, cfg.host_link_bps);
+  const auto path = clos_.host_path(clos_.host(src), clos_.host(dst), 0);
+  Time prop = 2 * cfg.host_delay;
+  for (LinkId l : path) prop += clos_.graph().link(l).delay;
+  // ACK path back (symmetric propagation; ack serialization negligible
+  // but the 84-byte frame at host rate is included for exactness).
+  const Time ack = prop + tx_time(wire_bytes_tcp(0), cfg.host_link_bps);
+  return serialize + prop + ack;
+}
+
+void FlowStats::on_flow_complete(std::uint32_t flow_id, Time now) {
+  FT_CHECK(flow_id < records_.size());
+  const Open& r = records_[flow_id];
+  FT_CHECK(r.bytes > 0);
+  const Time fct = now - r.start;
+  FT_CHECK(fct > 0);
+  const double norm =
+      static_cast<double>(fct) /
+      static_cast<double>(ideal_fct(r.bytes, r.src, r.dst));
+  buckets_[static_cast<std::size_t>(wl::size_bucket(r.bytes))].add(norm);
+  all_norm_fct_.add(norm);
+  // Achieved rate in Gbit/s for the fairness score.
+  const double rate_gbps =
+      static_cast<double>(r.bytes) * 8.0 / to_sec(fct) / 1e9;
+  log2_rate_.add(std::log2(rate_gbps));
+  ++completed_;
+}
+
+double FlowStats::fairness_score() const { return log2_rate_.mean(); }
+
+double FlowStats::mean_normalized_fct() const {
+  return all_norm_fct_.mean();
+}
+
+ThroughputSeries::ThroughputSeries(std::size_t num_flows, Time bin,
+                                   Time horizon) {
+  const auto bins = static_cast<std::size_t>((horizon + bin - 1) / bin);
+  per_flow_.reserve(num_flows);
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    per_flow_.emplace_back(to_sec(bin), bins);
+  }
+}
+
+void ThroughputSeries::on_bytes(std::uint32_t flow_id, std::int64_t bytes,
+                                Time now) {
+  if (flow_id >= per_flow_.size()) return;
+  per_flow_[flow_id].add(to_sec(now), static_cast<double>(bytes));
+}
+
+double ThroughputSeries::gbps(std::uint32_t flow_id,
+                              std::size_t bin) const {
+  FT_CHECK(flow_id < per_flow_.size());
+  return per_flow_[flow_id].bin_rate(bin) * 8.0 / 1e9;
+}
+
+std::size_t ThroughputSeries::num_bins() const {
+  return per_flow_.empty() ? 0 : per_flow_[0].num_bins();
+}
+
+}  // namespace ft::sim

@@ -1,0 +1,117 @@
+// Measurement instruments for the paper's evaluation figures: path
+// queue-delay sampling (Figure 9), drop accounting (Figure 10), flow
+// completion recording (Figures 8 and 11) and throughput time series
+// (Figure 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "sim/network.h"
+#include "workload/size_dist.h"
+
+namespace ft::sim {
+
+// Samples the queuing delay of random 2-hop and 4-hop paths every
+// sampling period (the paper samples queue lengths every 1 ms and infers
+// path queuing delay).
+class PathDelaySampler : public EventHandler {
+ public:
+  PathDelaySampler(Network& net, Time period = 1 * kMillisecond,
+                   std::int32_t paths_per_sample = 32,
+                   std::uint64_t seed = 1);
+
+  // Samples every period until `until` (kTimeNever = forever).
+  void start(Time until = kTimeNever);
+
+  [[nodiscard]] const PercentileSampler& two_hop() const {
+    return two_hop_;
+  }
+  [[nodiscard]] const PercentileSampler& four_hop() const {
+    return four_hop_;
+  }
+
+  void on_event(std::uint32_t tag, std::uint64_t arg) override;
+
+ private:
+  void sample_once();
+
+  Network& net_;
+  Time period_;
+  Time until_ = kTimeNever;
+  std::int32_t paths_per_sample_;
+  Rng rng_;
+  PercentileSampler two_hop_;   // microseconds
+  PercentileSampler four_hop_;  // microseconds
+};
+
+// Per-flow completion records, bucketed as in Figure 8. FCTs are
+// normalized by the ideal completion time on an empty network
+// (paper §6.5: "we normalize each flow's completion time by the time it
+// would take to send out and receive all its bytes on an empty network").
+struct FlowRecord {
+  std::uint32_t flow_id = 0;
+  std::int64_t bytes = 0;
+  Time start = 0;
+  Time completion = 0;  // 0 = not finished
+};
+
+class FlowStats {
+ public:
+  explicit FlowStats(const topo::ClosTopology& clos);
+
+  void on_flow_start(std::uint32_t flow_id, std::int64_t bytes,
+                     std::int32_t src, std::int32_t dst, Time now);
+  void on_flow_complete(std::uint32_t flow_id, Time now);
+
+  // Ideal FCT on an empty network for a flow (serialization of all bytes
+  // at the host rate + path RTT components).
+  [[nodiscard]] Time ideal_fct(std::int64_t bytes, std::int32_t src,
+                               std::int32_t dst) const;
+
+  // Normalized-FCT percentile sampler per size bucket.
+  [[nodiscard]] const PercentileSampler& bucket(wl::SizeBucket b) const {
+    return buckets_[static_cast<std::size_t>(b)];
+  }
+  // Proportional-fairness score (Figure 11): mean over completed flows of
+  // log2(achieved rate in Gbit/s ... any common unit cancels when
+  // comparing schemes).
+  [[nodiscard]] double fairness_score() const;
+  [[nodiscard]] std::size_t completed() const { return completed_; }
+  [[nodiscard]] std::size_t started() const { return records_.size(); }
+  [[nodiscard]] double mean_normalized_fct() const;
+
+ private:
+  struct Open {
+    std::int64_t bytes;
+    std::int32_t src;
+    std::int32_t dst;
+    Time start;
+  };
+
+  const topo::ClosTopology& clos_;
+  std::vector<Open> records_;  // indexed by flow_id
+  std::array<PercentileSampler, wl::kNumSizeBuckets> buckets_;
+  PercentileSampler all_norm_fct_;
+  StreamingStats log2_rate_;
+  std::size_t completed_ = 0;
+};
+
+// Bytes-delivered time series per flow (Figure 4's throughput traces).
+class ThroughputSeries {
+ public:
+  ThroughputSeries(std::size_t num_flows, Time bin, Time horizon);
+
+  void on_bytes(std::uint32_t flow_id, std::int64_t bytes, Time now);
+
+  // Gbit/s of flow `f` in bin `b`.
+  [[nodiscard]] double gbps(std::uint32_t flow_id, std::size_t bin) const;
+  [[nodiscard]] std::size_t num_bins() const;
+
+ private:
+  std::vector<TimeSeriesBins> per_flow_;
+};
+
+}  // namespace ft::sim

@@ -1,0 +1,96 @@
+#include "sim/xcp_queue.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ft::sim {
+
+XcpQueue::XcpQueue(double capacity_bps, XcpConfig cfg)
+    : capacity_Bps_(capacity_bps / 8.0),
+      cfg_(cfg),
+      interval_len_(cfg.initial_interval) {}
+
+void XcpQueue::maybe_rollover(Time now) {
+  if (now - interval_start_ < interval_len_) return;
+  const double d = to_sec(now - interval_start_);
+
+  // Aggregate feedback (bytes over the interval).
+  const double spare =
+      capacity_Bps_ * d - static_cast<double>(input_bytes_);
+  const double phi = cfg_.alpha * spare -
+                     cfg_.beta * static_cast<double>(min_queue_);
+  const double shuffle =
+      std::max(0.0, cfg_.shuffle * static_cast<double>(input_bytes_) -
+                        std::abs(phi));
+  const double pos = shuffle + std::max(phi, 0.0);
+  const double neg = shuffle + std::max(-phi, 0.0);
+
+  // Scale factors (Katabi et al. §3.5): sum of p_i over an interval's
+  // packets equals P (each packet's rtt/d weighting cancels against the
+  // per-RTT application of feedback), and likewise for n_i.
+  xi_p_ = sum_rtt_s_over_cwnd_ > 0.0 ? pos / (d * sum_rtt_s_over_cwnd_)
+                                     : 0.0;
+  xi_n_ = sum_s_ > 0.0 ? neg / (d * sum_s_) : 0.0;
+
+  // Next interval length: mean RTT of traversing bytes (clamped).
+  if (data_bytes_ > 0 && sum_rtt_bytes_ > 0.0) {
+    const double mean_rtt =
+        sum_rtt_bytes_ / static_cast<double>(data_bytes_);
+    interval_len_ = std::clamp(from_sec(mean_rtt), 10 * kMicrosecond,
+                               10 * kMillisecond);
+  }
+
+  interval_start_ = now;
+  input_bytes_ = 0;
+  min_queue_ = bytes_;
+  sum_s_ = 0.0;
+  sum_rtt_s_over_cwnd_ = 0.0;
+  sum_rtt_bytes_ = 0.0;
+  data_bytes_ = 0;
+}
+
+void XcpQueue::apply_feedback(Packet* p) {
+  if (p->xcp_cwnd_bytes <= 0.0 || p->xcp_rtt_sec <= 0.0) return;
+  const auto s = static_cast<double>(p->wire_bytes);
+  const double pos =
+      xi_p_ * p->xcp_rtt_sec * p->xcp_rtt_sec * s / p->xcp_cwnd_bytes;
+  const double neg = xi_n_ * p->xcp_rtt_sec * s;
+  p->xcp_feedback_bytes = std::min(p->xcp_feedback_bytes, pos - neg);
+}
+
+void XcpQueue::enqueue(Packet* p, Time now) {
+  maybe_rollover(now);
+  input_bytes_ += p->wire_bytes;
+  if (p->kind == PacketKind::kData && p->xcp_rtt_sec > 0.0) {
+    const auto s = static_cast<double>(p->wire_bytes);
+    sum_s_ += s;
+    if (p->xcp_cwnd_bytes > 0.0) {
+      sum_rtt_s_over_cwnd_ += p->xcp_rtt_sec * s / p->xcp_cwnd_bytes;
+    }
+    sum_rtt_bytes_ += p->xcp_rtt_sec * s;
+    data_bytes_ += p->wire_bytes;
+  }
+  apply_feedback(p);
+
+  if (bytes_ + p->wire_bytes > cfg_.limit_bytes) {
+    drop(p);
+    return;
+  }
+  p->enq_at = now;
+  bytes_ += p->wire_bytes;
+  q_.push_back(p);
+  ++stats_.enqueued;
+}
+
+Packet* XcpQueue::dequeue(Time now) {
+  maybe_rollover(now);
+  min_queue_ = std::min(min_queue_, bytes_);
+  if (q_.empty()) return nullptr;
+  Packet* p = q_.front();
+  q_.pop_front();
+  bytes_ -= p->wire_bytes;
+  ++stats_.dequeued;
+  return p;
+}
+
+}  // namespace ft::sim

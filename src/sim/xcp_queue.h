@@ -1,0 +1,70 @@
+// XCP router queue (Katabi, Handley, Rohrs, SIGCOMM 2002).
+//
+// A drop-tail FIFO plus the XCP efficiency + fairness controllers. Every
+// control interval (the running mean RTT of traversing packets) the
+// router computes the aggregate feedback
+//
+//   phi = alpha * d * S - beta * Q
+//
+// where S is spare bandwidth (capacity minus input rate), Q the
+// persistent (minimum) queue over the interval, alpha = 0.4 and
+// beta = 0.226. Bandwidth shuffling (10% of traffic) redistributes
+// allocation between flows even at full utilization. Per-packet feedback
+// uses the previous interval's scale factors:
+//
+//   positive:  p_i = xi_p * rtt_i^2 * s_i / cwnd_i
+//   negative:  n_i = xi_n * rtt_i * s_i
+//
+// and the packet's congestion-header feedback field takes the minimum of
+// its current value and (p_i - n_i), so the bottleneck router governs.
+// Interval rollover is evaluated lazily on packet arrival, which is
+// equivalent under traffic (and irrelevant without it).
+#pragma once
+
+#include <deque>
+
+#include "sim/queue.h"
+
+namespace ft::sim {
+
+struct XcpConfig {
+  std::int64_t limit_bytes = 400 * 1500;
+  double alpha = 0.4;
+  double beta = 0.226;
+  double shuffle = 0.1;
+  Time initial_interval = 30 * kMicrosecond;
+};
+
+class XcpQueue : public QueueDisc {
+ public:
+  XcpQueue(double capacity_bps, XcpConfig cfg = XcpConfig());
+
+  void enqueue(Packet* p, Time now) override;
+  Packet* dequeue(Time now) override;
+  [[nodiscard]] std::int64_t byte_length() const override { return bytes_; }
+
+ private:
+  void maybe_rollover(Time now);
+  void apply_feedback(Packet* p);
+
+  double capacity_Bps_;  // bytes per second
+  XcpConfig cfg_;
+  std::int64_t bytes_ = 0;
+  std::deque<Packet*> q_;
+
+  // Current interval accumulators.
+  Time interval_start_ = 0;
+  Time interval_len_;
+  std::int64_t input_bytes_ = 0;
+  std::int64_t min_queue_ = 0;
+  double sum_s_ = 0.0;                // sum of s_i (data bytes)
+  double sum_rtt_s_over_cwnd_ = 0.0;  // sum of rtt_i * s_i / cwnd_i
+  double sum_rtt_bytes_ = 0.0;        // for mean RTT (weighted by bytes)
+  std::int64_t data_bytes_ = 0;
+
+  // Previous interval's per-packet feedback scale factors.
+  double xi_p_ = 0.0;
+  double xi_n_ = 0.0;
+};
+
+}  // namespace ft::sim

@@ -1,0 +1,145 @@
+#include "topo/clos.h"
+
+namespace ft::topo {
+
+ClosTopology::ClosTopology(const ClosConfig& cfg) : cfg_(cfg) {
+  FT_CHECK(cfg.racks > 0);
+  FT_CHECK(cfg.servers_per_rack > 0);
+  FT_CHECK(cfg.spines > 0);
+
+  const auto racks = static_cast<std::size_t>(cfg.racks);
+  const auto spines = static_cast<std::size_t>(cfg.spines);
+  const auto hosts = static_cast<std::size_t>(cfg.num_hosts());
+
+  hosts_.reserve(hosts);
+  tors_.reserve(racks);
+  spines_.reserve(spines);
+  host_up_.resize(hosts);
+  host_down_.resize(hosts);
+  tor_to_spine_.resize(racks * spines);
+  spine_to_tor_.resize(spines * racks);
+
+  for (std::int32_t r = 0; r < cfg.racks; ++r) {
+    tors_.push_back(topo_.add_node(NodeType::kTor, r));
+  }
+  for (std::int32_t s = 0; s < cfg.spines; ++s) {
+    spines_.push_back(topo_.add_node(NodeType::kSpine));
+  }
+  for (std::int32_t r = 0; r < cfg.racks; ++r) {
+    for (std::int32_t i = 0; i < cfg.servers_per_rack; ++i) {
+      const NodeId h = topo_.add_node(NodeType::kHost, r);
+      const auto hi = hosts_.size();
+      hosts_.push_back(h);
+      host_up_[hi] =
+          topo_.add_link(h, tors_[static_cast<std::size_t>(r)],
+                         cfg.host_link_bps, cfg.link_delay);
+      host_down_[hi] =
+          topo_.add_link(tors_[static_cast<std::size_t>(r)], h,
+                         cfg.host_link_bps, cfg.link_delay);
+    }
+  }
+  for (std::int32_t r = 0; r < cfg.racks; ++r) {
+    for (std::int32_t s = 0; s < cfg.spines; ++s) {
+      tor_to_spine_[static_cast<std::size_t>(r) * spines +
+                    static_cast<std::size_t>(s)] =
+          topo_.add_link(tors_[static_cast<std::size_t>(r)],
+                         spines_[static_cast<std::size_t>(s)],
+                         cfg.fabric_link_bps, cfg.link_delay);
+      spine_to_tor_[static_cast<std::size_t>(s) * racks +
+                    static_cast<std::size_t>(r)] =
+          topo_.add_link(spines_[static_cast<std::size_t>(s)],
+                         tors_[static_cast<std::size_t>(r)],
+                         cfg.fabric_link_bps, cfg.link_delay);
+    }
+  }
+  if (cfg.with_allocator) {
+    allocator_ = topo_.add_node(NodeType::kAllocator);
+    spine_to_alloc_.resize(spines);
+    alloc_to_spine_.resize(spines);
+    for (std::int32_t s = 0; s < cfg.spines; ++s) {
+      spine_to_alloc_[static_cast<std::size_t>(s)] =
+          topo_.add_link(spines_[static_cast<std::size_t>(s)], allocator_,
+                         cfg.allocator_link_bps, cfg.link_delay);
+      alloc_to_spine_[static_cast<std::size_t>(s)] =
+          topo_.add_link(allocator_, spines_[static_cast<std::size_t>(s)],
+                         cfg.allocator_link_bps, cfg.link_delay);
+    }
+  }
+}
+
+std::int32_t ClosTopology::host_index(NodeId h) const {
+  const Node& n = topo_.node(h);
+  FT_CHECK(n.type == NodeType::kHost);
+  // Hosts are created rack-major after ToRs and spines, so the dense index
+  // can be recovered from the node id.
+  const auto first_host = hosts_.front().value();
+  FT_CHECK(h.value() >= first_host);
+  // Each host allocates one node id; hosts within a rack are contiguous.
+  // Host node ids are not strictly contiguous across racks (no other nodes
+  // are interleaved, so they are in fact contiguous).
+  const auto idx = static_cast<std::int32_t>(h.value() - first_host);
+  FT_CHECK(idx < num_hosts());
+  FT_CHECK(hosts_[static_cast<std::size_t>(idx)] == h);
+  return idx;
+}
+
+Path ClosTopology::host_path(NodeId src, NodeId dst,
+                             std::uint64_t flow_hash) const {
+  FT_CHECK(src != dst);
+  const std::int32_t src_rack = rack_of_host(src);
+  const std::int32_t dst_rack = rack_of_host(dst);
+  const auto si = static_cast<std::size_t>(host_index(src));
+  const auto di = static_cast<std::size_t>(host_index(dst));
+  Path p;
+  p.push_back(host_up_[si]);
+  if (src_rack != dst_rack) {
+    const auto s = static_cast<std::size_t>(
+        flow_hash % static_cast<std::uint64_t>(cfg_.spines));
+    p.push_back(tor_to_spine_[static_cast<std::size_t>(src_rack) *
+                                  static_cast<std::size_t>(cfg_.spines) +
+                              s]);
+    p.push_back(spine_to_tor_[s * static_cast<std::size_t>(cfg_.racks) +
+                              static_cast<std::size_t>(dst_rack)]);
+  }
+  p.push_back(host_down_[di]);
+  return p;
+}
+
+Path ClosTopology::to_allocator_path(NodeId src,
+                                     std::uint64_t flow_hash) const {
+  FT_CHECK(cfg_.with_allocator);
+  const auto si = static_cast<std::size_t>(host_index(src));
+  const auto s = static_cast<std::size_t>(
+      flow_hash % static_cast<std::uint64_t>(cfg_.spines));
+  Path p;
+  p.push_back(host_up_[si]);
+  p.push_back(tor_to_spine_[static_cast<std::size_t>(rack_of_host(src)) *
+                                static_cast<std::size_t>(cfg_.spines) +
+                            s]);
+  p.push_back(spine_to_alloc_[s]);
+  return p;
+}
+
+Path ClosTopology::from_allocator_path(NodeId dst,
+                                       std::uint64_t flow_hash) const {
+  FT_CHECK(cfg_.with_allocator);
+  const auto di = static_cast<std::size_t>(host_index(dst));
+  const auto s = static_cast<std::size_t>(
+      flow_hash % static_cast<std::uint64_t>(cfg_.spines));
+  Path p;
+  p.push_back(alloc_to_spine_[s]);
+  p.push_back(spine_to_tor_[s * static_cast<std::size_t>(cfg_.racks) +
+                            static_cast<std::size_t>(rack_of_host(dst))]);
+  p.push_back(host_down_[di]);
+  return p;
+}
+
+LinkId ClosTopology::host_up_link(NodeId h) const {
+  return host_up_[static_cast<std::size_t>(host_index(h))];
+}
+
+LinkId ClosTopology::host_down_link(NodeId h) const {
+  return host_down_[static_cast<std::size_t>(host_index(h))];
+}
+
+}  // namespace ft::topo

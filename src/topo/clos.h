@@ -1,0 +1,98 @@
+// Two-tier full-bisection Clos topology builder (the paper's simulation
+// topology, §6.2: 4 spines, 9 racks x 16 servers, 10 Gbit/s host links,
+// 1.5 us link delay) plus ECMP path selection and the optional allocator
+// node attached to every spine by a 40 Gbit/s link.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/path.h"
+#include "topo/topology.h"
+
+namespace ft::topo {
+
+struct ClosConfig {
+  std::int32_t racks = 9;
+  std::int32_t servers_per_rack = 16;
+  std::int32_t spines = 4;
+  double host_link_bps = 10e9;
+  double fabric_link_bps = 40e9;
+  Time link_delay = 1500 * kNanosecond;
+  // Endpoint processing delay; applied by the simulator at hosts, stored
+  // here so topology and simulation agree on RTTs.
+  Time host_delay = 2 * kMicrosecond;
+  bool with_allocator = false;
+  double allocator_link_bps = 40e9;
+
+  [[nodiscard]] std::int32_t num_hosts() const {
+    return racks * servers_per_rack;
+  }
+};
+
+class ClosTopology {
+ public:
+  explicit ClosTopology(const ClosConfig& cfg);
+
+  [[nodiscard]] const ClosConfig& config() const { return cfg_; }
+  [[nodiscard]] const Topology& graph() const { return topo_; }
+
+  [[nodiscard]] std::int32_t num_hosts() const {
+    return static_cast<std::int32_t>(hosts_.size());
+  }
+  [[nodiscard]] NodeId host(std::int32_t index) const {
+    return hosts_[static_cast<std::size_t>(index)];
+  }
+  [[nodiscard]] NodeId host(std::int32_t rack, std::int32_t slot) const {
+    return hosts_[static_cast<std::size_t>(rack * cfg_.servers_per_rack +
+                                           slot)];
+  }
+  [[nodiscard]] NodeId tor(std::int32_t rack) const {
+    return tors_[static_cast<std::size_t>(rack)];
+  }
+  [[nodiscard]] NodeId spine(std::int32_t s) const {
+    return spines_[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] NodeId allocator_node() const {
+    FT_CHECK(cfg_.with_allocator);
+    return allocator_;
+  }
+  [[nodiscard]] std::int32_t rack_of_host(NodeId h) const {
+    return topo_.node(h).rack;
+  }
+  // Dense host index (0..num_hosts-1) of a host node.
+  [[nodiscard]] std::int32_t host_index(NodeId h) const;
+
+  // ECMP data path between two hosts. `flow_hash` selects the spine for
+  // inter-rack flows; intra-rack flows take host-ToR-host.
+  [[nodiscard]] Path host_path(NodeId src, NodeId dst,
+                               std::uint64_t flow_hash) const;
+
+  // Control paths between a host and the allocator node (3 hops:
+  // host-ToR-spine-allocator and the reverse).
+  [[nodiscard]] Path to_allocator_path(NodeId src,
+                                       std::uint64_t flow_hash) const;
+  [[nodiscard]] Path from_allocator_path(NodeId dst,
+                                         std::uint64_t flow_hash) const;
+
+  // Convenience link lookups (valid dense indices are checked).
+  [[nodiscard]] LinkId host_up_link(NodeId h) const;    // host -> ToR
+  [[nodiscard]] LinkId host_down_link(NodeId h) const;  // ToR -> host
+
+ private:
+  ClosConfig cfg_;
+  Topology topo_;
+  std::vector<NodeId> hosts_;
+  std::vector<NodeId> tors_;
+  std::vector<NodeId> spines_;
+  NodeId allocator_;
+  // Link id caches for O(1) path construction.
+  std::vector<LinkId> host_up_;               // by host index
+  std::vector<LinkId> host_down_;             // by host index
+  std::vector<LinkId> tor_to_spine_;          // [rack * spines + s]
+  std::vector<LinkId> spine_to_tor_;          // [s * racks + rack]
+  std::vector<LinkId> spine_to_alloc_;        // by spine
+  std::vector<LinkId> alloc_to_spine_;        // by spine
+};
+
+}  // namespace ft::topo

@@ -1,0 +1,123 @@
+#include "topo/partition.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ft::topo {
+namespace {
+
+[[nodiscard]] bool is_pow2(std::int32_t x) {
+  return x > 0 && (x & (x - 1)) == 0;
+}
+
+}  // namespace
+
+BlockPartition BlockPartition::make(const ClosTopology& clos,
+                                    std::int32_t num_blocks) {
+  const ClosConfig& cfg = clos.config();
+  FT_CHECK(num_blocks >= 1);
+  FT_CHECK(num_blocks <= cfg.racks);
+
+  BlockPartition p;
+  p.num_blocks = num_blocks;
+  p.block_of_rack.resize(static_cast<std::size_t>(cfg.racks));
+  // Contiguous rack ranges per block (ceil-sized), matching "groups of
+  // network racks form blocks" in the paper.
+  const std::int32_t per_block =
+      (cfg.racks + num_blocks - 1) / num_blocks;
+  for (std::int32_t r = 0; r < cfg.racks; ++r) {
+    p.block_of_rack[static_cast<std::size_t>(r)] =
+        std::min(r / per_block, num_blocks - 1);
+  }
+
+  const Topology& g = clos.graph();
+  p.link_class.resize(g.num_links());
+  p.up_links.resize(static_cast<std::size_t>(num_blocks));
+  p.down_links.resize(static_cast<std::size_t>(num_blocks));
+
+  for (const Link& l : g.links()) {
+    const Node& src = g.node(l.src);
+    const Node& dst = g.node(l.dst);
+    LinkClass cls;
+    if (src.type == NodeType::kHost && dst.type == NodeType::kTor) {
+      cls = {LinkDir::kUp, p.block_of_rack[static_cast<std::size_t>(
+                               src.rack)]};
+    } else if (src.type == NodeType::kTor &&
+               dst.type == NodeType::kSpine) {
+      cls = {LinkDir::kUp, p.block_of_rack[static_cast<std::size_t>(
+                               src.rack)]};
+    } else if (src.type == NodeType::kSpine &&
+               dst.type == NodeType::kTor) {
+      cls = {LinkDir::kDown, p.block_of_rack[static_cast<std::size_t>(
+                                 dst.rack)]};
+    } else if (src.type == NodeType::kTor &&
+               dst.type == NodeType::kHost) {
+      cls = {LinkDir::kDown, p.block_of_rack[static_cast<std::size_t>(
+                                 dst.rack)]};
+    } else {
+      cls = {LinkDir::kOther, -1};  // allocator attachment links
+    }
+    p.link_class[l.id.value()] = cls;
+    if (cls.dir == LinkDir::kUp) {
+      p.up_links[static_cast<std::size_t>(cls.block)].push_back(l.id);
+    } else if (cls.dir == LinkDir::kDown) {
+      p.down_links[static_cast<std::size_t>(cls.block)].push_back(l.id);
+    }
+  }
+  return p;
+}
+
+AggregationSchedule AggregationSchedule::make(std::int32_t n) {
+  FT_CHECK(is_pow2(n));
+  AggregationSchedule s;
+  s.n = n;
+  const auto worker = [n](std::int32_t row, std::int32_t col) {
+    return row * n + col;
+  };
+  // Level m combines 2^m x 2^m groups from four 2^(m-1) quadrants.
+  for (std::int32_t size = 2; size <= n; size *= 2) {
+    std::vector<Transfer> step;
+    const std::int32_t h = size / 2;
+    for (std::int32_t r0 = 0; r0 < n; r0 += size) {
+      for (std::int32_t c0 = 0; c0 < n; c0 += size) {
+        for (std::int32_t k = 0; k < h; ++k) {
+          // Upward LinkBlocks move along rows onto the group main
+          // diagonal: TR quadrant diagonal -> TL diagonal, and BL
+          // diagonal -> BR diagonal.
+          step.push_back(Transfer{worker(r0 + k, c0 + h + k),
+                                  worker(r0 + k, c0 + k), true,
+                                  /*block=*/-1});
+          step.push_back(Transfer{worker(r0 + h + k, c0 + k),
+                                  worker(r0 + h + k, c0 + h + k), true,
+                                  /*block=*/-1});
+          // Downward LinkBlocks move along columns onto the group
+          // secondary diagonal: TL secondary -> BL secondary, and BR
+          // secondary -> TR secondary.
+          step.push_back(Transfer{worker(r0 + h - 1 - k, c0 + k),
+                                  worker(r0 + size - 1 - k, c0 + k),
+                                  false, /*block=*/-1});
+          step.push_back(Transfer{worker(r0 + size - 1 - k, c0 + h + k),
+                                  worker(r0 + h - 1 - k, c0 + h + k),
+                                  false, /*block=*/-1});
+        }
+      }
+    }
+    s.steps.push_back(std::move(step));
+  }
+  // Fill in which block's LinkBlock each transfer carries: a worker on
+  // row i always carries up-block i; a worker in column j always carries
+  // down-block j.
+  for (auto& step : s.steps) {
+    for (Transfer& t : step) {
+      if (t.upward) {
+        t.block = t.src_worker / n;  // row
+      } else {
+        t.block = t.src_worker % n;  // column
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace ft::topo

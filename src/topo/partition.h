@@ -1,0 +1,76 @@
+// FlowBlock / LinkBlock partitioning of a 2-tier Clos network (paper §5,
+// Figures 2 and 3).
+//
+// Racks are grouped into `num_blocks` blocks. All links going *up* from a
+// block (host->ToR and ToR->spine) form its upward LinkBlock; all links
+// going *down* towards a block (spine->ToR and ToR->host) form its
+// downward LinkBlock. Flows are partitioned by (source block, destination
+// block) into FlowBlocks, laid out as an n x n worker grid.
+//
+// AggregationSchedule generates the log2(n)-step pairwise transfer pattern
+// of Figure 3: after step m, every 2^m x 2^m group of workers has upward
+// LinkBlock sums on its main diagonal and downward LinkBlock sums on its
+// secondary diagonal. Distribution (prices back to workers) replays the
+// schedule in reverse.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "topo/clos.h"
+
+namespace ft::topo {
+
+enum class LinkDir : std::uint8_t { kUp, kDown, kOther };
+
+struct LinkClass {
+  LinkDir dir = LinkDir::kOther;
+  std::int32_t block = -1;  // -1 for kOther (e.g. allocator links)
+};
+
+struct BlockPartition {
+  std::int32_t num_blocks = 1;
+  std::vector<std::int32_t> block_of_rack;
+  std::vector<LinkClass> link_class;             // indexed by LinkId
+  std::vector<std::vector<LinkId>> up_links;     // per block
+  std::vector<std::vector<LinkId>> down_links;   // per block
+
+  [[nodiscard]] std::int32_t block_of_host(const ClosTopology& clos,
+                                           NodeId host) const {
+    return block_of_rack[static_cast<std::size_t>(
+        clos.rack_of_host(host))];
+  }
+
+  // Partition `clos` into `num_blocks` blocks (must divide the rack count
+  // or be at most it; racks are assigned round-robin-contiguously).
+  static BlockPartition make(const ClosTopology& clos,
+                             std::int32_t num_blocks);
+};
+
+// One LinkBlock state transfer between two workers in the aggregation
+// tree. Workers are identified by grid coordinates (row = source block,
+// col = destination block), linearized as row * n + col.
+struct Transfer {
+  std::int32_t src_worker = 0;
+  std::int32_t dst_worker = 0;
+  bool upward = true;           // which LinkBlock kind moves
+  std::int32_t block = 0;       // which block's LinkBlock moves
+};
+
+struct AggregationSchedule {
+  std::int32_t n = 1;  // grid side; must be a power of two
+  std::vector<std::vector<Transfer>> steps;
+
+  // Owner workers after full aggregation.
+  [[nodiscard]] std::int32_t up_owner(std::int32_t block) const {
+    return block * n + block;
+  }
+  [[nodiscard]] std::int32_t down_owner(std::int32_t block) const {
+    return (n - 1 - block) * n + block;
+  }
+
+  static AggregationSchedule make(std::int32_t n);
+};
+
+}  // namespace ft::topo

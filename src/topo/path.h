@@ -1,0 +1,53 @@
+// A network path: a short inline sequence of link ids.
+//
+// Paths in 2-tier Clos networks have at most 4 hops (host-ToR-spine-ToR-
+// host); allocator paths have 3. A fixed-capacity inline array avoids heap
+// allocation on the flow-arrival fast path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/check.h"
+#include "common/ids.h"
+
+namespace ft::topo {
+
+class Path {
+ public:
+  static constexpr std::size_t kMaxHops = 8;
+
+  Path() = default;
+
+  void push_back(LinkId l) {
+    FT_CHECK(size_ < kMaxHops);
+    links_[size_++] = l;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] LinkId operator[](std::size_t i) const {
+    FT_CHECK(i < size_);
+    return links_[i];
+  }
+  [[nodiscard]] std::span<const LinkId> links() const {
+    return {links_.data(), size_};
+  }
+  [[nodiscard]] const LinkId* begin() const { return links_.data(); }
+  [[nodiscard]] const LinkId* end() const { return links_.data() + size_; }
+
+  friend bool operator==(const Path& a, const Path& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (a.links_[i] != b.links_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::array<LinkId, kMaxHops> links_{};
+  std::size_t size_ = 0;
+};
+
+}  // namespace ft::topo

@@ -1,0 +1,114 @@
+// Flowtune control plane inside the simulation (paper §6.2):
+//
+//  * ControlChannel -- typed messages framed over a reliable TcpFlow byte
+//    stream. Like ns-2's TcpApp (which the paper uses), the simulated
+//    stream carries byte *counts* through the network -- experiencing
+//    queueing, drops and retransmission -- while message content rides a
+//    parallel FIFO that is consumed exactly when the corresponding bytes
+//    arrive in order. Message sizes are the paper's 16 / 4 / 6 bytes.
+//
+//  * AllocatorApp -- the allocator process on the allocator node: one up
+//    channel (notifications) and one down channel (rate updates) per
+//    host, a NED+F-NORM core::Allocator, and a 10 us iteration timer.
+//    Allocator<->host connections use TCP with 20 us minRTO / 30 us
+//    maxRTO.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "core/allocator.h"
+#include "core/messages.h"
+#include "topo/clos.h"
+#include "transport/tcp.h"
+
+namespace ft::transport {
+
+class ControlChannel {
+ public:
+  explicit ControlChannel(std::unique_ptr<TcpFlow> flow);
+
+  void send_start(const core::FlowletStartMsg& m);
+  void send_end(const core::FlowletEndMsg& m);
+  void send_update(const core::RateUpdateMsg& m);
+
+  std::function<void(const core::FlowletStartMsg&)> on_start;
+  std::function<void(const core::FlowletEndMsg&)> on_end;
+  std::function<void(const core::RateUpdateMsg&)> on_update;
+
+  [[nodiscard]] std::int64_t payload_bytes_sent() const {
+    return payload_sent_;
+  }
+  [[nodiscard]] TcpFlow& flow() { return *flow_; }
+
+ private:
+  struct Pending {
+    std::uint8_t type;  // 0 start, 1 end, 2 update
+    core::FlowletStartMsg start;
+    core::FlowletEndMsg end;
+    core::RateUpdateMsg update;
+    std::int64_t bytes;
+  };
+
+  void deliver(std::int64_t bytes);
+
+  std::unique_ptr<TcpFlow> flow_;
+  std::deque<Pending> fifo_;
+  std::int64_t delivered_ = 0;
+  std::int64_t consumed_ = 0;
+  std::int64_t payload_sent_ = 0;
+};
+
+struct AllocatorAppConfig {
+  core::AllocatorConfig allocator;
+  Time iteration_period = 10 * kMicrosecond;
+  TcpConfig control_tcp = [] {
+    TcpConfig c;
+    c.min_rto = 20 * kMicrosecond;
+    c.max_rto = 30 * kMicrosecond;
+    return c;
+  }();
+};
+
+class AllocatorApp : public sim::EventHandler {
+ public:
+  AllocatorApp(FlowRegistry& reg, const topo::ClosTopology& clos,
+               AllocatorAppConfig cfg);
+
+  void start();  // begins the iteration timer
+  // Simulates an allocator failure (§2): iterations cease and no further
+  // rate updates are sent; endpoints keep their last allocated rates.
+  void stop() { stopped_ = true; }
+
+  // Endpoint-side API (used by Flowtune hosts).
+  void notify_start(std::int32_t src_host, const core::FlowletStartMsg& m);
+  void notify_end(std::int32_t src_host, const core::FlowletEndMsg& m);
+  // Rate updates arrive at the *source* host of the flow; endpoints
+  // subscribe here.
+  std::function<void(std::int32_t host, const core::RateUpdateMsg&)>
+      on_rate_update;
+
+  [[nodiscard]] const core::Allocator& allocator() const { return alloc_; }
+  [[nodiscard]] std::uint64_t iterations() const { return iterations_; }
+
+  void on_event(std::uint32_t tag, std::uint64_t arg) override;
+
+ private:
+  void handle_start(const core::FlowletStartMsg& m);
+  void handle_end(const core::FlowletEndMsg& m);
+  void run_iteration();
+
+  FlowRegistry& reg_;
+  const topo::ClosTopology& clos_;
+  AllocatorAppConfig cfg_;
+  core::Allocator alloc_;
+  std::vector<std::unique_ptr<ControlChannel>> up_;    // per host
+  std::vector<std::unique_ptr<ControlChannel>> down_;  // per host
+  std::unordered_map<std::uint32_t, std::int32_t> key_src_;
+  std::vector<core::RateUpdate> scratch_updates_;
+  std::uint64_t iterations_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace ft::transport

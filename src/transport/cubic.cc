@@ -1,0 +1,55 @@
+#include "transport/cubic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ft::transport {
+
+void CubicFlow::ca_increase(std::int64_t acked) {
+  const auto mss = static_cast<double>(cfg_.mss);
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += static_cast<double>(acked);
+    return;
+  }
+  if (epoch_start_ < 0) {
+    epoch_start_ = events().now();
+    const double cwnd_pkts = cwnd_ / mss;
+    if (w_max_pkts_ < cwnd_pkts) w_max_pkts_ = cwnd_pkts;
+    k_sec_ = std::cbrt((w_max_pkts_ - cwnd_pkts) / kC);
+    tcp_friendly_w_ = cwnd_pkts;
+  }
+  const double t = to_sec(events().now() - epoch_start_);
+  const double w_cubic =
+      kC * std::pow(t - k_sec_, 3.0) + w_max_pkts_;
+  // TCP-friendly region (average Reno window over the epoch).
+  const double rtt = std::max(to_sec(srtt_), 1e-6);
+  tcp_friendly_w_ += 3.0 * (1.0 - kBeta) / (1.0 + kBeta) *
+                     static_cast<double>(acked) / cwnd_ * mss / mss;
+  const double target_pkts = std::max(w_cubic, tcp_friendly_w_);
+  const double cwnd_pkts = cwnd_ / mss;
+  if (target_pkts > cwnd_pkts) {
+    // Spread the increase over the next window of ACKs.
+    cwnd_ += (target_pkts - cwnd_pkts) / cwnd_pkts *
+             static_cast<double>(acked);
+  } else {
+    // Slow growth floor so the window never stalls completely.
+    cwnd_ += 0.01 * mss * static_cast<double>(acked) / cwnd_;
+  }
+  (void)rtt;
+}
+
+void CubicFlow::on_loss_event(bool timeout) {
+  const auto mss = static_cast<double>(cfg_.mss);
+  w_max_pkts_ = cwnd_ / mss;
+  epoch_start_ = -1;
+  if (timeout) {
+    ssthresh_ = std::max(cwnd_ * kBeta, 2.0 * mss);
+    cwnd_ = mss;
+  } else {
+    cwnd_ = std::max(cwnd_ * kBeta, 2.0 * mss);
+    ssthresh_ = cwnd_;
+  }
+  last_loss_ = events().now();
+}
+
+}  // namespace ft::transport

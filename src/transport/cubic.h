@@ -1,0 +1,31 @@
+// TCP Cubic (Ha, Rhee, Xu 2008) -- the sender used on top of sfqCoDel in
+// the paper's comparison ("Cubic-over-sfqCoDel").
+//
+// Standard cubic window growth W(t) = C (t - K)^3 + W_max with the
+// TCP-friendly lower bound, beta = 0.7 multiplicative decrease.
+#pragma once
+
+#include "transport/tcp.h"
+
+namespace ft::transport {
+
+class CubicFlow : public TcpFlow {
+ public:
+  using TcpFlow::TcpFlow;
+
+ protected:
+  void ca_increase(std::int64_t acked) override;
+  void on_loss_event(bool timeout) override;
+
+ private:
+  static constexpr double kC = 0.4;     // scaling (packets/sec^3)
+  static constexpr double kBeta = 0.7;  // multiplicative decrease
+
+  double w_max_pkts_ = 0.0;
+  double k_sec_ = 0.0;
+  Time epoch_start_ = -1;
+  double tcp_friendly_w_ = 0.0;
+  Time last_loss_ = 0;
+};
+
+}  // namespace ft::transport

@@ -1,0 +1,29 @@
+#include "transport/dctcp.h"
+
+#include <algorithm>
+
+namespace ft::transport {
+
+void DctcpFlow::on_ack_hook(const sim::Packet& ack, std::int64_t acked) {
+  if (acked <= 0) return;
+  acked_bytes_ += acked;
+  if (ack.ecn_echo) marked_bytes_ += acked;
+  if (snd_una_ < window_end_) return;
+
+  // One observation window (~1 RTT of data) has elapsed.
+  if (acked_bytes_ > 0) {
+    const double f = static_cast<double>(marked_bytes_) /
+                     static_cast<double>(acked_bytes_);
+    alpha_ = (1.0 - kG) * alpha_ + kG * f;
+    if (marked_bytes_ > 0) {
+      const auto mss = static_cast<double>(cfg_.mss);
+      cwnd_ = std::max(cwnd_ * (1.0 - alpha_ / 2.0), mss);
+      ssthresh_ = cwnd_;
+    }
+  }
+  acked_bytes_ = 0;
+  marked_bytes_ = 0;
+  window_end_ = snd_nxt_;
+}
+
+}  // namespace ft::transport

@@ -1,0 +1,39 @@
+// DCTCP (Alizadeh et al., SIGCOMM 2010).
+//
+// Switches mark packets when the instantaneous queue exceeds K (the
+// DropTailQueue ECN threshold); the receiver echoes marks per packet
+// (per-packet ACKs make the echo exact, no delayed-ACK state machine
+// needed); the sender maintains the marked fraction EWMA
+// alpha <- (1-g) alpha + g F per window and cuts cwnd by alpha/2 at most
+// once per window of data.
+#pragma once
+
+#include "transport/tcp.h"
+
+namespace ft::transport {
+
+class DctcpFlow : public TcpFlow {
+ public:
+  DctcpFlow(FlowRegistry& reg, std::int32_t src_host,
+            std::int32_t dst_host, const topo::Path& fwd,
+            const topo::Path& rev, TcpConfig cfg)
+      : TcpFlow(reg, src_host, dst_host, fwd, rev, [&] {
+          cfg.ecn_capable = true;
+          return cfg;
+        }()) {}
+
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+ protected:
+  void on_ack_hook(const sim::Packet& ack, std::int64_t acked) override;
+
+ private:
+  static constexpr double kG = 1.0 / 16.0;
+
+  double alpha_ = 0.0;
+  std::int64_t window_end_ = 0;
+  std::int64_t acked_bytes_ = 0;
+  std::int64_t marked_bytes_ = 0;
+};
+
+}  // namespace ft::transport

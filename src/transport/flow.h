@@ -1,0 +1,60 @@
+// Transport-layer flow abstraction and the flow registry that dispatches
+// delivered packets.
+//
+// A Flow object owns *both* endpoints' transport state (sender at
+// src_host, receiver at dst_host); the registry routes a delivered packet
+// to its flow, and the flow tells the roles apart by packet kind. This
+// mirrors ns-2's agent pairs with less bookkeeping.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/packet.h"
+
+namespace ft::transport {
+
+class Flow {
+ public:
+  virtual ~Flow() = default;
+  // Takes ownership of the packet (must recycle it via the pool).
+  virtual void on_packet(sim::Packet* p) = 0;
+};
+
+class FlowRegistry {
+ public:
+  explicit FlowRegistry(sim::Network& net) : net_(net) {
+    net_.set_delivery_handler(
+        [this](sim::Packet* p) { dispatch(p); });
+  }
+
+  // Registers a flow and returns its flow id.
+  std::uint32_t add(Flow* f) {
+    flows_.push_back(f);
+    return static_cast<std::uint32_t>(flows_.size() - 1);
+  }
+
+  // The id the next add() will assign -- used to pick path hashes that
+  // the Flowtune allocator can reproduce from the flow key.
+  [[nodiscard]] std::uint32_t next_id() const {
+    return static_cast<std::uint32_t>(flows_.size());
+  }
+
+  void replace(std::uint32_t id, Flow* f) { flows_[id] = f; }
+
+  [[nodiscard]] sim::Network& net() { return net_; }
+
+ private:
+  void dispatch(sim::Packet* p) {
+    FT_CHECK(p->flow_id < flows_.size());
+    FT_CHECK(flows_[p->flow_id] != nullptr);
+    flows_[p->flow_id]->on_packet(p);
+  }
+
+  sim::Network& net_;
+  std::vector<Flow*> flows_;
+};
+
+}  // namespace ft::transport

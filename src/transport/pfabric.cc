@@ -1,0 +1,42 @@
+#include "transport/pfabric.h"
+
+namespace ft::transport {
+
+void PfabricFlow::on_ack_hook(const sim::Packet& ack, std::int64_t) {
+  if (ack.sack_seq >= 0) sacked_.insert(ack.sack_seq);
+  // Garbage-collect below the cumulative ack.
+  while (!sacked_.empty() && *sacked_.begin() < ack.ack_seq) {
+    sacked_.erase(sacked_.begin());
+  }
+}
+
+void PfabricFlow::on_dupacks() {
+  // Selective fast retransmit of the earliest hole; the fixed window is
+  // untouched (pFabric's minimal rate control).
+  const std::int64_t hole = first_unsacked();
+  if (hole < snd_nxt_) send_segment(hole, true);
+  dupacks_ = 0;  // allow re-triggering on further duplicate ACKs
+}
+
+std::int64_t PfabricFlow::first_unsacked() const {
+  std::int64_t seq = snd_una_;
+  auto it = sacked_.lower_bound(seq);
+  while (it != sacked_.end() && *it == seq) {
+    seq += cfg_.mss;
+    ++it;
+  }
+  return seq;
+}
+
+void PfabricFlow::on_rto() {
+  // Selective: resend only the earliest unacked segment; the fixed
+  // window keeps the rest of the flight outstanding.
+  const std::int64_t hole = first_unsacked();
+  if (hole < snd_nxt_) {
+    send_segment(hole, true);
+  } else if (snd_nxt_ < stream_end()) {
+    send_segment(snd_nxt_, true);
+  }
+}
+
+}  // namespace ft::transport

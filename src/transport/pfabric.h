@@ -1,0 +1,46 @@
+// pFabric endpoint (Alizadeh et al., SIGCOMM 2013).
+//
+// Rate control is "minimal": flows start at a fixed window sized to the
+// bandwidth-delay product and never reduce it; the fabric's tiny
+// remaining-size priority queues do the scheduling. Data packets carry
+// the flow's remaining bytes (the priority); ACKs travel at highest
+// priority. Loss recovery is per-packet: the receiver's exact-segment
+// echo (sack_seq) marks individual arrivals, dup-ACKs or a small fixed
+// RTO trigger retransmission of the earliest unacked segment only.
+#pragma once
+
+#include <set>
+
+#include "transport/tcp.h"
+
+namespace ft::transport {
+
+class PfabricFlow : public TcpFlow {
+ public:
+  PfabricFlow(FlowRegistry& reg, std::int32_t src_host,
+              std::int32_t dst_host, const topo::Path& fwd,
+              const topo::Path& rev, TcpConfig cfg)
+      : TcpFlow(reg, src_host, dst_host, fwd, rev, [&] {
+          if (cfg.fixed_window_pkts <= 0) cfg.fixed_window_pkts = 24;
+          return cfg;
+        }()) {}
+
+ protected:
+  void stamp_data(sim::Packet& p) override {
+    p.remaining = stream_end() - p.seq;
+  }
+  void stamp_ack(sim::Packet& ack, const sim::Packet&) override {
+    ack.remaining = 0;  // highest priority
+  }
+  void on_ack_hook(const sim::Packet& ack, std::int64_t acked) override;
+  void on_rto() override;
+  void on_dupacks() override;
+
+ private:
+  // First byte offset not yet individually acked at or after `from`.
+  [[nodiscard]] std::int64_t first_unsacked() const;
+
+  std::set<std::int64_t> sacked_;  // segment start offsets
+};
+
+}  // namespace ft::transport

@@ -1,0 +1,41 @@
+// XCP endpoint (Katabi et al., SIGCOMM 2002).
+//
+// Data packets carry the congestion header (cwnd, rtt, requested
+// feedback); routers (sim::XcpQueue) reduce the feedback field to the
+// allocation their control law grants; the receiver echoes it on the
+// ACK; the sender applies cwnd += feedback per ACK. Window growth from
+// ACK-clocking is disabled (XCP replaces AIMD); drops still halve the
+// window as a safety net, though XCP's explicit control keeps queues
+// short enough that drops are negligible (Figure 10).
+#pragma once
+
+#include "transport/tcp.h"
+
+namespace ft::transport {
+
+class XcpFlow : public TcpFlow {
+ public:
+  using TcpFlow::TcpFlow;
+
+ protected:
+  void stamp_data(sim::Packet& p) override {
+    p.xcp_cwnd_bytes = cwnd_;
+    p.xcp_rtt_sec =
+        srtt_ > 0 ? to_sec(srtt_) : to_sec(30 * kMicrosecond);
+    p.xcp_feedback_bytes = 1e18;  // unbounded demand; routers clamp
+  }
+  void stamp_ack(sim::Packet& ack, const sim::Packet& data) override {
+    ack.xcp_feedback_bytes = data.xcp_feedback_bytes;
+  }
+  void on_ack_hook(const sim::Packet& ack, std::int64_t acked) override {
+    if (acked <= 0) return;
+    const auto mss = static_cast<double>(cfg_.mss);
+    if (ack.xcp_feedback_bytes < 1e17) {  // header was processed
+      cwnd_ = std::max(cwnd_ + ack.xcp_feedback_bytes, mss);
+      ssthresh_ = cwnd_;
+    }
+  }
+  void ca_increase(std::int64_t) override {}  // no AIMD growth
+};
+
+}  // namespace ft::transport

@@ -1,0 +1,154 @@
+#include "workload/size_dist.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/wire.h"
+
+namespace ft::wl {
+namespace {
+
+// Mean of a log-linear CDF segment [(b0, p0), (b1, p1)]: sizes within the
+// segment are distributed with CDF linear in probability against
+// log(bytes), i.e. the quantile is b0 * (b1/b0)^((u - p0)/(p1 - p0)); the
+// conditional mean is the integral of the quantile over u, which has the
+// closed form (b1 - b0) / log(b1/b0) when b1 != b0.
+double segment_mean(double b0, double b1) {
+  if (b0 == b1) return b0;
+  return (b1 - b0) / std::log(b1 / b0);
+}
+
+}  // namespace
+
+SizeDistribution::SizeDistribution(std::string name,
+                                   std::vector<CdfPoint> points)
+    : name_(std::move(name)), points_(std::move(points)) {
+  FT_CHECK(points_.size() >= 2);
+  FT_CHECK(points_.front().cum_prob == 0.0);
+  FT_CHECK(points_.back().cum_prob == 1.0);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    FT_CHECK(points_[i].bytes >= points_[i - 1].bytes);
+    FT_CHECK(points_[i].cum_prob >= points_[i - 1].cum_prob);
+    FT_CHECK(points_[i].bytes > 0.0);
+  }
+  FT_CHECK(points_.front().bytes >= 1.0);
+  double mean = 0.0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double dp = points_[i].cum_prob - points_[i - 1].cum_prob;
+    mean += dp * segment_mean(points_[i - 1].bytes, points_[i].bytes);
+  }
+  mean_ = mean;
+}
+
+double SizeDistribution::quantile(double u) const {
+  FT_CHECK(u >= 0.0 && u <= 1.0);
+  // Find the segment containing u.
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), u,
+      [](const CdfPoint& p, double v) { return p.cum_prob < v; });
+  if (it == points_.begin()) return points_.front().bytes;
+  if (it == points_.end()) return points_.back().bytes;
+  const CdfPoint& hi = *it;
+  const CdfPoint& lo = *(it - 1);
+  if (hi.cum_prob == lo.cum_prob || hi.bytes == lo.bytes) return hi.bytes;
+  const double frac = (u - lo.cum_prob) / (hi.cum_prob - lo.cum_prob);
+  return lo.bytes * std::pow(hi.bytes / lo.bytes, frac);
+}
+
+std::int64_t SizeDistribution::sample(Rng& rng) const {
+  const double b = quantile(rng.uniform());
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(b + 0.5));
+}
+
+const SizeDistribution& workload_dist(Workload w) {
+  // Approximations of the Facebook flow-size CDFs (see header comment).
+  // Mean sizes: Web ~ 64 KB < Cache ~ 163 KB < Hadoop ~ 625 KB.
+  static const SizeDistribution web(
+      "web", {
+                 {64, 0.00},
+                 {256, 0.15},
+                 {512, 0.30},
+                 {1024, 0.50},
+                 {2048, 0.62},
+                 {4096, 0.72},
+                 {16384, 0.84},
+                 {65536, 0.91},
+                 {262144, 0.965},
+                 {1048576, 0.992},
+                 {10485760, 1.00},
+             });
+  static const SizeDistribution cache(
+      "cache", {
+                   {64, 0.00},
+                   {512, 0.12},
+                   {2048, 0.35},
+                   {8192, 0.56},
+                   {32768, 0.72},
+                   {131072, 0.84},
+                   {524288, 0.925},
+                   {2097152, 0.975},
+                   {8388608, 0.996},
+                   {33554432, 1.00},
+               });
+  static const SizeDistribution hadoop(
+      "hadoop", {
+                    {256, 0.00},
+                    {1024, 0.30},
+                    {4096, 0.52},
+                    {16384, 0.66},
+                    {131072, 0.80},
+                    {1048576, 0.90},
+                    {8388608, 0.965},
+                    {67108864, 0.995},
+                    {268435456, 1.00},
+                });
+  switch (w) {
+    case Workload::kWeb:
+      return web;
+    case Workload::kCache:
+      return cache;
+    case Workload::kHadoop:
+      return hadoop;
+  }
+  FT_CHECK(false);
+}
+
+const char* workload_name(Workload w) {
+  switch (w) {
+    case Workload::kWeb:
+      return "web";
+    case Workload::kCache:
+      return "cache";
+    case Workload::kHadoop:
+      return "hadoop";
+  }
+  return "?";
+}
+
+SizeBucket size_bucket(std::int64_t bytes) {
+  const auto pkts = (bytes + kMss - 1) / kMss;
+  if (pkts <= 1) return SizeBucket::kOnePacket;
+  if (pkts <= 10) return SizeBucket::k1To10;
+  if (pkts <= 100) return SizeBucket::k10To100;
+  if (pkts <= 1000) return SizeBucket::k100To1000;
+  return SizeBucket::kLarge;
+}
+
+const char* size_bucket_name(SizeBucket b) {
+  switch (b) {
+    case SizeBucket::kOnePacket:
+      return "1 packet";
+    case SizeBucket::k1To10:
+      return "1-10 packets";
+    case SizeBucket::k10To100:
+      return "10-100 packets";
+    case SizeBucket::k100To1000:
+      return "100-1000 packets";
+    case SizeBucket::kLarge:
+      return "large";
+  }
+  return "?";
+}
+
+}  // namespace ft::wl

@@ -1,0 +1,71 @@
+// Flow/flowlet size distributions.
+//
+// The paper draws flowlet sizes from the Web, Cache and Hadoop workloads
+// published by Facebook (Roy et al., "Inside the social network's
+// (datacenter) network", SIGCOMM 2015). The exact traces are proprietary;
+// the piecewise log-linear CDFs below approximate the published curves.
+// What Flowtune's results depend on -- and what these tables preserve --
+// is (a) most flows are a handful of packets, (b) heavy upper tails carry
+// most bytes, and (c) the mean flowlet size ordering Web < Cache < Hadoop,
+// which drives the relative allocator-traffic overhead of §6.4 (Web has
+// the smallest mean, hence the highest churn and the most update traffic).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ft::wl {
+
+struct CdfPoint {
+  double bytes;
+  double cum_prob;  // P(size <= bytes)
+};
+
+// Empirical CDF with log-linear interpolation between points; sampling is
+// by inverse transform.
+class SizeDistribution {
+ public:
+  SizeDistribution(std::string name, std::vector<CdfPoint> points);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::span<const CdfPoint> points() const { return points_; }
+
+  // Mean flow size in bytes (closed form over the log-linear segments).
+  [[nodiscard]] double mean_bytes() const { return mean_; }
+
+  // Inverse CDF at quantile u in [0, 1).
+  [[nodiscard]] double quantile(double u) const;
+
+  // Draw a flow size in bytes (>= 1).
+  [[nodiscard]] std::int64_t sample(Rng& rng) const;
+
+ private:
+  std::string name_;
+  std::vector<CdfPoint> points_;
+  double mean_ = 0.0;
+};
+
+enum class Workload { kWeb, kCache, kHadoop };
+
+[[nodiscard]] const SizeDistribution& workload_dist(Workload w);
+[[nodiscard]] const char* workload_name(Workload w);
+
+// FCT reporting buckets of Figure 8, in packets of kMss bytes:
+// "1 packet", "1-10", "10-100", "100-1000", "large".
+enum class SizeBucket : std::uint8_t {
+  kOnePacket = 0,
+  k1To10 = 1,
+  k10To100 = 2,
+  k100To1000 = 3,
+  kLarge = 4,
+};
+inline constexpr std::int32_t kNumSizeBuckets = 5;
+
+[[nodiscard]] SizeBucket size_bucket(std::int64_t bytes);
+[[nodiscard]] const char* size_bucket_name(SizeBucket b);
+
+}  // namespace ft::wl

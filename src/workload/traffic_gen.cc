@@ -1,0 +1,42 @@
+#include "workload/traffic_gen.h"
+
+#include "common/check.h"
+
+namespace ft::wl {
+
+double arrival_rate_per_sec(const TrafficConfig& cfg) {
+  FT_CHECK(cfg.num_hosts >= 2);
+  FT_CHECK(cfg.load > 0.0);
+  const double mean_bits = workload_dist(cfg.workload).mean_bytes() * 8.0;
+  return cfg.load * cfg.host_link_bps *
+         static_cast<double>(cfg.num_hosts) / mean_bits;
+}
+
+TrafficGenerator::TrafficGenerator(const TrafficConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed), rate_per_sec_(arrival_rate_per_sec(cfg)) {
+  next_time_ = static_cast<Time>(
+      rng_.exponential(static_cast<double>(kSecond) / rate_per_sec_));
+}
+
+FlowletEvent TrafficGenerator::next() {
+  FlowletEvent ev;
+  ev.start = next_time_;
+  const auto n = static_cast<std::uint64_t>(cfg_.num_hosts);
+  ev.src_host = static_cast<std::int32_t>(rng_.below(n));
+  // Uniform destination among the other hosts.
+  auto dst = static_cast<std::int32_t>(rng_.below(n - 1));
+  if (dst >= ev.src_host) ++dst;
+  ev.dst_host = dst;
+  ev.bytes = workload_dist(cfg_.workload).sample(rng_);
+  next_time_ += static_cast<Time>(
+      rng_.exponential(static_cast<double>(kSecond) / rate_per_sec_));
+  return ev;
+}
+
+std::vector<FlowletEvent> TrafficGenerator::generate(Time horizon) {
+  std::vector<FlowletEvent> out;
+  while (next_time_ < horizon) out.push_back(next());
+  return out;
+}
+
+}  // namespace ft::wl

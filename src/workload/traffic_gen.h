@@ -1,0 +1,54 @@
+// Open-loop Poisson flowlet generator (§6.2): flowlets arrive as a Poisson
+// process; sizes come from a workload distribution; sources and
+// destinations are chosen uniformly at random (src != dst). 100% load is
+// the arrival rate at which the mean per-server offered load equals the
+// server link capacity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "workload/size_dist.h"
+
+namespace ft::wl {
+
+struct FlowletEvent {
+  Time start = 0;
+  std::int32_t src_host = 0;
+  std::int32_t dst_host = 0;
+  std::int64_t bytes = 0;
+};
+
+struct TrafficConfig {
+  std::int32_t num_hosts = 144;
+  double host_link_bps = 10e9;
+  double load = 0.6;  // fraction of aggregate host capacity
+  Workload workload = Workload::kWeb;
+  std::uint64_t seed = 1;
+};
+
+// Aggregate flowlet arrival rate (flowlets/sec) for a config.
+[[nodiscard]] double arrival_rate_per_sec(const TrafficConfig& cfg);
+
+class TrafficGenerator {
+ public:
+  explicit TrafficGenerator(const TrafficConfig& cfg);
+
+  // Next flowlet in arrival order; advances internal state.
+  [[nodiscard]] FlowletEvent next();
+
+  // All flowlets with start < horizon, in arrival order.
+  [[nodiscard]] std::vector<FlowletEvent> generate(Time horizon);
+
+  [[nodiscard]] const TrafficConfig& config() const { return cfg_; }
+
+ private:
+  TrafficConfig cfg_;
+  Rng rng_;
+  double rate_per_sec_;
+  Time next_time_ = 0;
+};
+
+}  // namespace ft::wl

@@ -1,0 +1,302 @@
+// Tests for the allocator facade: flowlet bookkeeping, thresholded update
+// emission (§6.4), capacity headroom, message codecs, and end-to-end
+// allocation behaviour on the paper's topology.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/ratecode.h"
+#include "core/allocator.h"
+#include "core/messages.h"
+#include "topo/clos.h"
+
+namespace ft::core {
+namespace {
+
+std::vector<double> caps_of(const topo::ClosTopology& clos) {
+  std::vector<double> caps;
+  for (const auto& l : clos.graph().links()) {
+    caps.push_back(l.capacity_bps);
+  }
+  return caps;
+}
+
+std::vector<LinkId> to_vec(const topo::Path& p) {
+  return {p.begin(), p.end()};
+}
+
+TEST(MessagesTest, SizesMatchPaper) {
+  EXPECT_EQ(kFlowletStartBytes, 16u);
+  EXPECT_EQ(kFlowletEndBytes, 4u);
+  EXPECT_EQ(kRateUpdateBytes, 6u);
+}
+
+TEST(MessagesTest, RoundTrip) {
+  const FlowletStartMsg start{0xDEADBEEF, 42, 1337, 1'000'000, 500, 3};
+  EXPECT_EQ(decode_flowlet_start(encode(start)), start);
+  const FlowletEndMsg end{0xCAFEBABE};
+  EXPECT_EQ(decode_flowlet_end(encode(end)), end);
+  const RateUpdateMsg upd{7, encode_rate(3.3e9)};
+  EXPECT_EQ(decode_rate_update(encode(upd)), upd);
+}
+
+class AllocatorTest : public ::testing::Test {
+ protected:
+  AllocatorTest()
+      : clos_([] {
+          topo::ClosConfig cfg;
+          cfg.racks = 4;
+          cfg.servers_per_rack = 4;
+          cfg.spines = 2;
+          cfg.fabric_link_bps = 20e9;
+          return cfg;
+        }()),
+        alloc_(caps_of(clos_), AllocatorConfig{}) {}
+
+  std::uint64_t start_flow(std::uint64_t key, int src, int dst) {
+    const auto p = clos_.host_path(clos_.host(src), clos_.host(dst), key);
+    EXPECT_TRUE(alloc_.flowlet_start(key, to_vec(p)));
+    return key;
+  }
+
+  topo::ClosTopology clos_;
+  Allocator alloc_;
+};
+
+TEST_F(AllocatorTest, DuplicateStartRejected) {
+  start_flow(1, 0, 5);
+  const auto p = clos_.host_path(clos_.host(0), clos_.host(5), 1);
+  EXPECT_FALSE(alloc_.flowlet_start(1, to_vec(p)));
+  EXPECT_EQ(alloc_.num_active_flowlets(), 1u);
+}
+
+TEST_F(AllocatorTest, UnknownEndRejected) {
+  EXPECT_FALSE(alloc_.flowlet_end(99));
+  start_flow(1, 0, 5);
+  EXPECT_TRUE(alloc_.flowlet_end(1));
+  EXPECT_FALSE(alloc_.flowlet_end(1));
+  EXPECT_EQ(alloc_.num_active_flowlets(), 0u);
+}
+
+TEST_F(AllocatorTest, FirstIterationNotifiesNewFlows) {
+  start_flow(1, 0, 5);
+  start_flow(2, 1, 9);
+  std::vector<RateUpdate> updates;
+  alloc_.run_iteration(updates);
+  ASSERT_EQ(updates.size(), 2u);
+  for (const auto& u : updates) {
+    EXPECT_GT(u.rate_bps, 0.0);
+    EXPECT_DOUBLE_EQ(u.rate_bps, decode_rate(u.rate_code));
+  }
+}
+
+TEST_F(AllocatorTest, SteadyStateSuppressesUpdates) {
+  start_flow(1, 0, 5);
+  start_flow(2, 1, 9);
+  std::vector<RateUpdate> updates;
+  for (int i = 0; i < 100; ++i) alloc_.run_iteration(updates);
+  // After convergence, further iterations emit nothing.
+  updates.clear();
+  for (int i = 0; i < 50; ++i) alloc_.run_iteration(updates);
+  EXPECT_TRUE(updates.empty());
+  EXPECT_GT(alloc_.stats().updates_suppressed, 0u);
+}
+
+TEST_F(AllocatorTest, ChurnTriggersUpdatesForAffectedFlows) {
+  // Two flows from the same source share the host uplink; when one ends,
+  // the other's allocation roughly doubles and must be re-notified.
+  start_flow(1, 0, 5);
+  start_flow(2, 0, 9);
+  std::vector<RateUpdate> updates;
+  for (int i = 0; i < 200; ++i) alloc_.run_iteration(updates);
+  const double before = alloc_.notified_rate(1);
+  EXPECT_NEAR(before, 10e9 / 2, 10e9 / 2 * 0.1);
+
+  alloc_.flowlet_end(2);
+  updates.clear();
+  for (int i = 0; i < 200; ++i) alloc_.run_iteration(updates);
+  ASSERT_FALSE(updates.empty());
+  const double after = alloc_.notified_rate(1);
+  EXPECT_NEAR(after, 10e9 * (1 - 0.01), 10e9 * 0.05);
+}
+
+TEST_F(AllocatorTest, HeadroomReserved) {
+  // With threshold 0.01 the allocator allocates at most 99% of capacity
+  // (§6.4): a single flow on an uncontended path gets ~0.99 * 10G.
+  start_flow(1, 0, 5);
+  std::vector<RateUpdate> updates;
+  for (int i = 0; i < 200; ++i) alloc_.run_iteration(updates);
+  EXPECT_LE(alloc_.notified_rate(1), 0.99 * 10e9 * 1.001);
+  EXPECT_GT(alloc_.notified_rate(1), 0.99 * 10e9 * 0.97);
+}
+
+TEST_F(AllocatorTest, FairShareAcrossSharedBottleneck) {
+  // Four flows into the same destination host share its downlink.
+  for (int i = 0; i < 4; ++i) start_flow(10 + i, i * 2, 15);
+  std::vector<RateUpdate> updates;
+  for (int i = 0; i < 300; ++i) alloc_.run_iteration(updates);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(alloc_.notified_rate(10 + i), 0.99 * 10e9 / 4,
+                10e9 / 4 * 0.05);
+  }
+}
+
+TEST_F(AllocatorTest, AllocationsRespectEveryCapacity) {
+  // Load up a busy pattern and verify no link is over-allocated after
+  // normalization (F-NORM invariant at the allocator level).
+  std::uint64_t key = 1;
+  for (int s = 0; s < 8; ++s) {
+    for (int d = 8; d < 16; d += 2) {
+      start_flow(key++, s, d);
+    }
+  }
+  std::vector<RateUpdate> updates;
+  for (int i = 0; i < 100; ++i) alloc_.run_iteration(updates);
+  for (std::uint64_t k = 1; k < key; ++k) {
+    ASSERT_GT(alloc_.notified_rate(k), 0.0);
+  }
+  // F-NORM invariant: the solver's normalized allocation never exceeds
+  // any (headroom-scaled) link capacity. Recompute per-link sums from
+  // the per-flow allocated rates.
+  const auto& problem = alloc_.problem();
+  std::vector<double> per_link(problem.num_links(), 0.0);
+  const auto flows = problem.flows();
+  std::size_t active = 0;
+  for (std::size_t s = 0; s < flows.size(); ++s) {
+    if (!flows[s].active) continue;
+    ++active;
+    // allocated_rate by key: keys were dense 1..key-1 and none ended, so
+    // slot order matches insertion order.
+    const double r = alloc_.allocated_rate(s + 1);
+    for (std::uint32_t l : flows[s].route()) per_link[l] += r;
+  }
+  EXPECT_EQ(active, static_cast<std::size_t>(key - 1));
+  for (std::size_t l = 0; l < per_link.size(); ++l) {
+    EXPECT_LE(per_link[l], problem.capacity(l) * (1 + 1e-6));
+  }
+  // Aggregate check: total notified throughput cannot exceed the sum of
+  // destination downlink capacities involved (4 dests x 10G) plus slack.
+  double total = 0.0;
+  for (std::uint64_t k = 1; k < key; ++k) total += alloc_.notified_rate(k);
+  EXPECT_LE(total, 4 * 10e9 * 1.02);
+}
+
+TEST_F(AllocatorTest, StatsAreConsistent) {
+  start_flow(1, 0, 5);
+  std::vector<RateUpdate> updates;
+  for (int i = 0; i < 10; ++i) alloc_.run_iteration(updates);
+  alloc_.flowlet_end(1);
+  const auto& st = alloc_.stats();
+  EXPECT_EQ(st.flowlet_starts, 1u);
+  EXPECT_EQ(st.flowlet_ends, 1u);
+  EXPECT_EQ(st.iterations, 10u);
+  EXPECT_EQ(st.updates_emitted, updates.size());
+}
+
+TEST(AllocatorThresholdTest, HigherThresholdEmitsFewerUpdates) {
+  // Figure 6's mechanism at unit scale: the same churn pattern produces
+  // fewer updates at higher notification thresholds.
+  topo::ClosConfig cfg;
+  cfg.racks = 4;
+  cfg.servers_per_rack = 4;
+  cfg.spines = 2;
+  cfg.fabric_link_bps = 20e9;
+  topo::ClosTopology clos(cfg);
+
+  auto run = [&](double threshold) {
+    AllocatorConfig acfg;
+    acfg.threshold = threshold;
+    Allocator alloc(caps_of(clos), acfg);
+    std::vector<RateUpdate> updates;
+    std::uint64_t key = 1;
+    // Staircase churn on a shared bottleneck.
+    for (int round = 0; round < 30; ++round) {
+      const auto p =
+          clos.host_path(clos.host(round % 8), clos.host(15), key);
+      alloc.flowlet_start(key++, to_vec(p));
+      for (int i = 0; i < 20; ++i) alloc.run_iteration(updates);
+    }
+    return alloc.stats().updates_emitted;
+  };
+
+  const auto low = run(0.01);
+  const auto high = run(0.05);
+  EXPECT_LT(high, low);
+}
+
+TEST(AllocatorConfigTest, MultipleItersPerRoundConvergeFaster) {
+  topo::ClosConfig cfg;
+  cfg.racks = 2;
+  cfg.servers_per_rack = 2;
+  cfg.spines = 1;
+  cfg.fabric_link_bps = 20e9;
+  topo::ClosTopology clos(cfg);
+  const auto run_rounds_to_converge = [&](int iters_per_round) {
+    AllocatorConfig acfg;
+    acfg.iters_per_round = iters_per_round;
+    Allocator alloc(caps_of(clos), acfg);
+    const auto p1 = clos.host_path(clos.host(0), clos.host(3), 1);
+    const auto p2 = clos.host_path(clos.host(1), clos.host(3), 2);
+    alloc.flowlet_start(1, to_vec(p1));
+    alloc.flowlet_start(2, to_vec(p2));
+    std::vector<RateUpdate> updates;
+    const double fair = 0.99 * 5e9;
+    for (int round = 1; round <= 500; ++round) {
+      alloc.run_iteration(updates);
+      if (std::abs(alloc.notified_rate(1) - fair) < fair * 0.01 &&
+          std::abs(alloc.notified_rate(2) - fair) < fair * 0.01) {
+        return round;
+      }
+    }
+    return -1;
+  };
+  const int one = run_rounds_to_converge(1);
+  const int four = run_rounds_to_converge(4);
+  ASSERT_GT(one, 0);
+  ASSERT_GT(four, 0);
+  EXPECT_LE(four, one);
+}
+
+TEST(AllocatorConfigTest, UniformNormalizationOption) {
+  topo::ClosConfig cfg;
+  cfg.racks = 2;
+  cfg.servers_per_rack = 2;
+  cfg.spines = 1;
+  cfg.fabric_link_bps = 20e9;
+  topo::ClosTopology clos(cfg);
+  AllocatorConfig acfg;
+  acfg.norm = NormKind::kUniform;
+  Allocator alloc(caps_of(clos), acfg);
+  const auto p1 = clos.host_path(clos.host(0), clos.host(3), 1);
+  alloc.flowlet_start(1, to_vec(p1));
+  std::vector<RateUpdate> updates;
+  for (int i = 0; i < 200; ++i) alloc.run_iteration(updates);
+  // Single flow: U-NORM also drives it to its bottleneck.
+  EXPECT_NEAR(alloc.notified_rate(1), 0.99 * 10e9, 10e9 * 0.02);
+}
+
+TEST(AllocatorUtilityTest, WeightedFlowsGetWeightedShares) {
+  topo::ClosConfig cfg;
+  cfg.racks = 2;
+  cfg.servers_per_rack = 2;
+  cfg.spines = 1;
+  cfg.fabric_link_bps = 20e9;
+  topo::ClosTopology clos(cfg);
+  AllocatorConfig acfg;
+  acfg.threshold = 0.0;  // exact notifications
+  acfg.reserve_headroom = false;
+  Allocator alloc(caps_of(clos), acfg);
+
+  const auto p1 = clos.host_path(clos.host(0), clos.host(3), 1);
+  const auto p2 = clos.host_path(clos.host(1), clos.host(3), 2);
+  alloc.flowlet_start(1, to_vec(p1), Utility::log_utility(1e9));
+  alloc.flowlet_start(2, to_vec(p2), Utility::log_utility(3e9));
+  std::vector<RateUpdate> updates;
+  for (int i = 0; i < 300; ++i) alloc.run_iteration(updates);
+  // Shared bottleneck: dst host downlink (10G), split 1:3.
+  EXPECT_NEAR(alloc.notified_rate(1), 2.5e9, 2.5e9 * 0.05);
+  EXPECT_NEAR(alloc.notified_rate(2), 7.5e9, 7.5e9 * 0.05);
+}
+
+}  // namespace
+}  // namespace ft::core

@@ -1,0 +1,179 @@
+// Unit tests for src/common: time conversions, RNG determinism and
+// distribution sanity, streaming stats, percentile estimation, the
+// 16-bit rate codec, and wire-size accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/ratecode.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/time.h"
+#include "common/wire.h"
+
+namespace ft {
+namespace {
+
+TEST(TimeTest, Conversions) {
+  EXPECT_EQ(from_us(1.0), kMicrosecond);
+  EXPECT_EQ(from_ms(2.5), 2 * kMillisecond + 500 * kMicrosecond);
+  EXPECT_DOUBLE_EQ(to_us(kMillisecond), 1000.0);
+  EXPECT_DOUBLE_EQ(to_sec(kSecond), 1.0);
+}
+
+TEST(TimeTest, TxTimeMatchesLinkSpeeds) {
+  // 1500 bytes at 10 Gbit/s = 1.2 us exactly.
+  EXPECT_EQ(tx_time(1500, 10e9), 1'200 * kNanosecond);
+  // 84 bytes (minimum wire frame) at 40 Gbit/s = 16.8 ns.
+  EXPECT_EQ(tx_time(84, 40e9), 16'800);  // picoseconds
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, BelowIsUnbiasedAcrossRange) {
+  Rng r(13);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[r.below(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, kDraws / 10 * 0.1);
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng r(99);
+  double sum = 0.0;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / kDraws, 5.0, 0.1);
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng parent(3);
+  Rng child = parent.fork();
+  // Child stream should not replicate the parent stream.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (parent.next() == child.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(StreamingStatsTest, Moments) {
+  StreamingStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+}
+
+TEST(StreamingStatsTest, MergeMatchesCombined) {
+  Rng r(5);
+  StreamingStats a, b, all;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(0, 10);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(PercentileTest, ExactQuantiles) {
+  PercentileSampler p;
+  for (int i = 1; i <= 100; ++i) p.add(i);
+  EXPECT_DOUBLE_EQ(p.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.percentile(1.0), 100.0);
+  EXPECT_NEAR(p.p50(), 50.5, 1e-9);
+  EXPECT_NEAR(p.p99(), 99.01, 1e-9);
+}
+
+TEST(PercentileTest, AddAfterQueryResorts) {
+  PercentileSampler p;
+  p.add(10);
+  p.add(20);
+  EXPECT_DOUBLE_EQ(p.percentile(1.0), 20.0);
+  p.add(5);
+  EXPECT_DOUBLE_EQ(p.percentile(0.0), 5.0);
+}
+
+TEST(TimeSeriesBinsTest, BinningAndRates) {
+  TimeSeriesBins bins(0.1, 10);
+  bins.add(0.05, 3.0);
+  bins.add(0.06, 1.0);
+  bins.add(0.95, 2.0);
+  bins.add(5.0, 100.0);  // out of range: dropped
+  EXPECT_DOUBLE_EQ(bins.bin_sum(0), 4.0);
+  EXPECT_DOUBLE_EQ(bins.bin_sum(9), 2.0);
+  EXPECT_DOUBLE_EQ(bins.bin_rate(0), 40.0);
+}
+
+TEST(RateCodeTest, RoundTripAccuracy) {
+  // All rates the datacenter cares about encode within the documented
+  // relative error.
+  for (double rate = 1e6; rate <= 100e9; rate *= 1.37) {
+    const double decoded = decode_rate(encode_rate(rate));
+    EXPECT_NEAR(decoded, rate, rate * kRateCodeMaxRelError * 2)
+        << "rate=" << rate;
+  }
+}
+
+TEST(RateCodeTest, EdgeCases) {
+  EXPECT_EQ(encode_rate(0.0), 0);
+  EXPECT_EQ(encode_rate(-5.0), 0);
+  EXPECT_DOUBLE_EQ(decode_rate(0), 0.0);
+  // Tiny rates below granularity go to zero.
+  EXPECT_EQ(encode_rate(10.0), 0);
+  // Monotonicity over a broad sweep.
+  double prev = -1.0;
+  for (double rate = 1e3; rate <= 1e13; rate *= 1.1) {
+    const double d = decode_rate(encode_rate(rate));
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(RateCodeTest, CodesAreCompact) {
+  // Distinct rates 2% apart must map to distinct codes (threshold 0.01
+  // notifications must survive quantization).
+  const double r1 = 1e9;
+  const double r2 = 1.02e9;
+  EXPECT_NE(encode_rate(r1), encode_rate(r2));
+}
+
+TEST(WireTest, MinimumFrame) {
+  // A 4-byte flowlet-end message inside TCP/IP is still a minimum frame.
+  EXPECT_EQ(wire_bytes_tcp(4), kMinFrame + kEthPreambleIfg);  // 84
+  // A 0-byte pure ACK too.
+  EXPECT_EQ(wire_bytes_tcp(0), 84);
+}
+
+TEST(WireTest, FullSegment) {
+  EXPECT_EQ(wire_bytes_tcp(kMss), kMss + 40 + 18 + 20);
+}
+
+}  // namespace
+}  // namespace ft

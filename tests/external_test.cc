@@ -1,0 +1,156 @@
+// Tests for the §7 "closed loop" extensions: fixed-demand external
+// traffic, runtime link-capacity adjustment, and the residual-capacity
+// semantics of normalization in their presence.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/exact.h"
+#include "core/flowtune.h"
+
+namespace ft::core {
+namespace {
+
+std::vector<LinkId> route(std::initializer_list<std::uint32_t> ids) {
+  std::vector<LinkId> r;
+  for (auto i : ids) r.emplace_back(i);
+  return r;
+}
+
+TEST(FixedDemandTest, UtilityBasics) {
+  const Utility u = Utility::fixed_demand(3e9);
+  EXPECT_TRUE(u.is_fixed());
+  EXPECT_DOUBLE_EQ(u.rate(0.0), 3e9);
+  EXPECT_DOUBLE_EQ(u.rate(123.0), 3e9);
+  EXPECT_DOUBLE_EQ(u.drate(1.0, 3e9), 0.0);
+  EXPECT_DOUBLE_EQ(u.value(3e9), 0.0);
+  EXPECT_FALSE(Utility::log_utility().is_fixed());
+}
+
+TEST(FixedDemandTest, AdaptiveFlowsShareResidualCapacity) {
+  // External traffic takes 4G of a 10G link; two adaptive flows share
+  // the remaining 6G.
+  NumProblem p({10e9});
+  p.add_flow(route({0}), Utility::fixed_demand(4e9));
+  const FlowIndex a = p.add_flow(route({0}), Utility::log_utility());
+  const FlowIndex b = p.add_flow(route({0}), Utility::log_utility());
+  NedSolver ned(p);
+  for (int i = 0; i < 400; ++i) ned.iterate();
+  EXPECT_NEAR(ned.rates()[a], 3e9, 3e9 * 0.01);
+  EXPECT_NEAR(ned.rates()[b], 3e9, 3e9 * 0.01);
+  EXPECT_LE(ned.link_alloc()[0], 10e9 * 1.001);
+}
+
+TEST(FixedDemandTest, FNormNeverScalesExternalTraffic) {
+  NumProblem p({10e9});
+  const FlowIndex ext =
+      p.add_flow(route({0}), Utility::fixed_demand(6e9));
+  const FlowIndex a = p.add_flow(route({0}), Utility::log_utility());
+  // Deliberately infeasible adaptive rate: F-NORM must squeeze the
+  // adaptive flow into the 4G residual, leaving the external flow at 6G.
+  std::vector<double> rates(p.num_slots(), 0.0);
+  rates[ext] = 6e9;
+  rates[a] = 9e9;
+  std::vector<double> out(p.num_slots());
+  f_norm(p, rates, out);
+  EXPECT_DOUBLE_EQ(out[ext], 6e9);
+  EXPECT_NEAR(out[a], 4e9, 1.0);
+  EXPECT_LE(out[ext] + out[a], 10e9 * (1 + 1e-9));
+}
+
+TEST(FixedDemandTest, SaturatedExternalSqueezesAdaptiveToZero) {
+  NumProblem p({10e9});
+  const FlowIndex ext =
+      p.add_flow(route({0}), Utility::fixed_demand(10e9));
+  const FlowIndex a = p.add_flow(route({0}), Utility::log_utility());
+  std::vector<double> rates(p.num_slots(), 0.0);
+  rates[ext] = 10e9;
+  rates[a] = 1e9;
+  std::vector<double> out(p.num_slots());
+  f_norm(p, rates, out);
+  EXPECT_DOUBLE_EQ(out[ext], 10e9);
+  EXPECT_LT(out[a], 1e5);  // squeezed to the epsilon residual
+}
+
+TEST(SetCapacityTest, AllocationsFollowCapacityChanges) {
+  NumProblem p({10e9, 40e9});
+  const FlowIndex a = p.add_flow(route({0, 1}), Utility::log_utility());
+  const FlowIndex b = p.add_flow(route({0}), Utility::log_utility());
+  NedSolver ned(p);
+  for (int i = 0; i < 300; ++i) ned.iterate();
+  EXPECT_NEAR(ned.rates()[a], 5e9, 5e9 * 0.01);
+  EXPECT_NEAR(ned.rates()[b], 5e9, 5e9 * 0.01);
+
+  // Link 0 shrinks to 4G (e.g. measured external interference).
+  p.set_capacity(0, 4e9);
+  for (int i = 0; i < 400; ++i) ned.iterate();
+  EXPECT_NEAR(ned.rates()[a], 2e9, 2e9 * 0.02);
+  EXPECT_NEAR(ned.rates()[b], 2e9, 2e9 * 0.02);
+  EXPECT_LE(ned.link_alloc()[0], 4e9 * 1.001);
+
+  // And grows back.
+  p.set_capacity(0, 10e9);
+  for (int i = 0; i < 400; ++i) ned.iterate();
+  EXPECT_NEAR(ned.rates()[a], 5e9, 5e9 * 0.02);
+}
+
+TEST(SetCapacityTest, RateCapAndFloorRefreshed) {
+  NumProblem p({10e9, 40e9});
+  const FlowIndex f = p.add_flow(route({0, 1}), Utility::log_utility());
+  EXPECT_DOUBLE_EQ(p.flow(f).rate_cap, 10e9);
+  p.set_capacity(0, 2e9);
+  EXPECT_DOUBLE_EQ(p.flow(f).rate_cap, 2e9);
+  const double expected_floor = 1e9 / (kDemandCapFactor * 2e9);
+  EXPECT_DOUBLE_EQ(p.flow(f).price_floor, expected_floor);
+}
+
+TEST(AllocatorExternalTest, EndToEnd) {
+  // 4-link toy: external traffic on the shared link; allocator must
+  // notify adaptive flows of residual-share rates, and react when the
+  // external flow leaves.
+  AllocatorConfig cfg;
+  cfg.threshold = 0.0;
+  cfg.reserve_headroom = false;
+  Allocator alloc({10e9, 10e9, 10e9}, cfg);
+  EXPECT_TRUE(alloc.external_traffic_start(100, route({1}), 5e9));
+  EXPECT_TRUE(alloc.flowlet_start(1, route({0, 1})));
+  EXPECT_TRUE(alloc.flowlet_start(2, route({1, 2})));
+  std::vector<RateUpdate> updates;
+  for (int i = 0; i < 400; ++i) alloc.run_iteration(updates);
+  EXPECT_NEAR(alloc.notified_rate(1), 2.5e9, 2.5e9 * 0.02);
+  EXPECT_NEAR(alloc.notified_rate(2), 2.5e9, 2.5e9 * 0.02);
+
+  // External traffic ends: adaptive flows reclaim the link.
+  EXPECT_TRUE(alloc.flowlet_end(100));
+  for (int i = 0; i < 400; ++i) alloc.run_iteration(updates);
+  EXPECT_NEAR(alloc.notified_rate(1), 5e9, 5e9 * 0.02);
+  EXPECT_NEAR(alloc.notified_rate(2), 5e9, 5e9 * 0.02);
+}
+
+TEST(AllocatorExternalTest, SetLinkCapacityAppliesHeadroom) {
+  AllocatorConfig cfg;  // threshold 0.01 -> 99% headroom
+  Allocator alloc({10e9}, cfg);
+  alloc.flowlet_start(1, route({0}));
+  std::vector<RateUpdate> updates;
+  for (int i = 0; i < 200; ++i) alloc.run_iteration(updates);
+  EXPECT_NEAR(alloc.notified_rate(1), 0.99 * 10e9, 10e9 * 0.02);
+  alloc.set_link_capacity(0, 5e9);
+  for (int i = 0; i < 300; ++i) alloc.run_iteration(updates);
+  EXPECT_NEAR(alloc.notified_rate(1), 0.99 * 5e9, 5e9 * 0.02);
+}
+
+TEST(ExactTest, ExternalTrafficRespectedAtOptimum) {
+  NumProblem p({10e9, 10e9});
+  p.add_flow(route({0}), Utility::fixed_demand(7e9));
+  const FlowIndex a = p.add_flow(route({0, 1}), Utility::log_utility());
+  const FlowIndex b = p.add_flow(route({1}), Utility::log_utility());
+  const ExactResult res = solve_exact(p);
+  ASSERT_TRUE(res.converged);
+  // Flow a bottlenecked by link 0's 3G residual; flow b gets the rest
+  // of link 1.
+  EXPECT_NEAR(res.rates[a], 3e9, 3e9 * 0.02);
+  EXPECT_NEAR(res.rates[b], 7e9, 7e9 * 0.02);
+}
+
+}  // namespace
+}  // namespace ft::core

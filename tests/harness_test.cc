@@ -1,0 +1,143 @@
+// Tests for the benchmark churn harnesses (bench/churn_harness.*):
+// these drive Figures 5-7 and 12-13, so their own behaviour -- load
+// monotonicity, determinism, solver orderings -- is verified here.
+#include <gtest/gtest.h>
+
+#include "churn_harness.h"
+
+namespace ft::bench {
+namespace {
+
+TEST(UpdateTrafficTest, OverheadIncreasesWithLoad) {
+  UpdateTrafficConfig cfg;
+  cfg.servers = 32;
+  cfg.duration = from_ms(10);
+  cfg.load = 0.2;
+  const auto low = run_update_traffic(cfg);
+  cfg.load = 0.8;
+  const auto high = run_update_traffic(cfg);
+  EXPECT_GT(high.from_allocator_frac, low.from_allocator_frac);
+  EXPECT_GT(high.to_allocator_frac, low.to_allocator_frac);
+}
+
+TEST(UpdateTrafficTest, FromAllocatorDominates) {
+  // Figure 5's asymmetry: many updates per flowlet, two notifications.
+  UpdateTrafficConfig cfg;
+  cfg.servers = 32;
+  cfg.load = 0.6;
+  cfg.duration = from_ms(10);
+  const auto r = run_update_traffic(cfg);
+  EXPECT_GT(r.from_allocator_bytes, r.to_allocator_bytes);
+  EXPECT_GT(r.updates, r.flowlet_starts);  // > 1 update per flowlet
+}
+
+TEST(UpdateTrafficTest, WorkloadOrderingMatchesFig5) {
+  UpdateTrafficConfig cfg;
+  cfg.servers = 32;
+  cfg.load = 0.6;
+  cfg.duration = from_ms(10);
+  cfg.workload = wl::Workload::kWeb;
+  const auto web = run_update_traffic(cfg);
+  cfg.workload = wl::Workload::kCache;
+  const auto cache = run_update_traffic(cfg);
+  cfg.workload = wl::Workload::kHadoop;
+  const auto hadoop = run_update_traffic(cfg);
+  EXPECT_GT(web.from_allocator_frac, cache.from_allocator_frac);
+  EXPECT_GT(cache.from_allocator_frac, hadoop.from_allocator_frac);
+}
+
+TEST(UpdateTrafficTest, HigherThresholdFewerUpdates) {
+  UpdateTrafficConfig cfg;
+  cfg.servers = 32;
+  cfg.load = 0.6;
+  cfg.duration = from_ms(10);
+  cfg.threshold = 0.01;
+  const auto t1 = run_update_traffic(cfg);
+  cfg.threshold = 0.05;
+  const auto t5 = run_update_traffic(cfg);
+  EXPECT_LT(t5.from_allocator_bytes, t1.from_allocator_bytes);
+}
+
+TEST(UpdateTrafficTest, Deterministic) {
+  UpdateTrafficConfig cfg;
+  cfg.servers = 32;
+  cfg.duration = from_ms(5);
+  const auto a = run_update_traffic(cfg);
+  const auto b = run_update_traffic(cfg);
+  EXPECT_EQ(a.from_allocator_bytes, b.from_allocator_bytes);
+  EXPECT_EQ(a.to_allocator_bytes, b.to_allocator_bytes);
+  EXPECT_EQ(a.updates, b.updates);
+}
+
+TEST(ChurnSolverTest, Fig12OrderingAtSmallScale) {
+  // FGM over-allocates more than NED; both more than zero.
+  ChurnSolverConfig cfg;
+  cfg.servers = 32;
+  cfg.load = 0.6;
+  cfg.duration = from_ms(8);
+  cfg.solver = SolverKind::kNed;
+  const auto ned = run_churn_solver(cfg);
+  cfg.solver = SolverKind::kFgm;
+  const auto fgm = run_churn_solver(cfg);
+  EXPECT_GT(ned.overalloc_gbps.mean(), 0.0);
+  EXPECT_GT(fgm.overalloc_gbps.mean(), 1.5 * ned.overalloc_gbps.mean());
+}
+
+TEST(ChurnSolverTest, RtTracksReference) {
+  ChurnSolverConfig cfg;
+  cfg.servers = 32;
+  cfg.load = 0.5;
+  cfg.duration = from_ms(8);
+  cfg.solver = SolverKind::kNed;
+  const auto ref = run_churn_solver(cfg);
+  cfg.solver = SolverKind::kNedRt;
+  const auto rt = run_churn_solver(cfg);
+  EXPECT_NEAR(rt.overalloc_gbps.mean(), ref.overalloc_gbps.mean(),
+              0.05 * ref.overalloc_gbps.mean() + 0.5);
+}
+
+TEST(ChurnSolverTest, FNormBeatsUNormVsOptimal) {
+  // Figure 13 at small scale.
+  ChurnSolverConfig cfg;
+  cfg.servers = 16;
+  cfg.load = 0.5;
+  cfg.duration = from_ms(5);
+  cfg.exact_every = 50;
+  const auto r = run_churn_solver(cfg);
+  ASSERT_GT(r.fnorm_frac.count(), 3u);
+  EXPECT_GT(r.fnorm_frac.mean(), 0.85);
+  EXPECT_LT(r.unorm_frac.mean(), r.fnorm_frac.mean());
+}
+
+TEST(UpdateTrafficTest, IntermediariesCutUpdateTraffic) {
+  // §7: batching updates per 32-host intermediary instead of per host
+  // amortizes the 84-byte minimum frame across many 6-byte updates.
+  UpdateTrafficConfig cfg;
+  cfg.servers = 64;
+  cfg.load = 0.8;
+  cfg.duration = from_ms(10);
+  const auto direct = run_update_traffic(cfg);
+  cfg.hosts_per_intermediary = 32;
+  const auto batched = run_update_traffic(cfg);
+  EXPECT_LT(batched.from_allocator_bytes,
+            direct.from_allocator_bytes / 2);
+  // Notifications (to-allocator) are unaffected.
+  EXPECT_EQ(batched.to_allocator_bytes, direct.to_allocator_bytes);
+}
+
+TEST(ChurnSolverTest, LoadIsApproximatelyConserved) {
+  // The drain-at-allocated-rate loop must sustain roughly the offered
+  // load: mean active flows should stabilize (not grow unboundedly).
+  ChurnSolverConfig cfg;
+  cfg.servers = 32;
+  cfg.load = 0.5;
+  cfg.duration = from_ms(6);
+  const auto a = run_churn_solver(cfg);
+  cfg.duration = from_ms(12);
+  const auto b = run_churn_solver(cfg);
+  // Doubling the horizon must not double the active-flow count.
+  EXPECT_LT(b.mean_active_flows, 1.6 * a.mean_active_flows);
+}
+
+}  // namespace
+}  // namespace ft::bench

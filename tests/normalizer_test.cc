@@ -1,0 +1,204 @@
+// Tests for U-NORM / F-NORM (paper §4): feasibility guarantees, ratio
+// preservation, scale-up behaviour, and the relative-throughput ordering
+// behind Figure 13.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/exact.h"
+#include "core/ned.h"
+#include "core/normalizer.h"
+#include "core/problem.h"
+
+namespace ft::core {
+namespace {
+
+std::vector<LinkId> route(std::initializer_list<std::uint32_t> ids) {
+  std::vector<LinkId> r;
+  for (auto i : ids) r.emplace_back(i);
+  return r;
+}
+
+std::vector<double> alloc_per_link(const NumProblem& p,
+                                   std::span<const double> rates) {
+  std::vector<double> alloc(p.num_links(), 0.0);
+  const auto flows = p.flows();
+  for (std::size_t s = 0; s < flows.size(); ++s) {
+    if (!flows[s].active) continue;
+    for (std::uint32_t l : flows[s].route()) alloc[l] += rates[s];
+  }
+  return alloc;
+}
+
+TEST(NormalizerTest, LinkRatios) {
+  NumProblem p({10e9, 20e9});
+  p.add_flow(route({0, 1}), {});
+  p.add_flow(route({1}), {});
+  std::vector<double> rates{5e9, 10e9};
+  std::vector<double> ratios(2);
+  link_ratios(p, rates, ratios);
+  EXPECT_DOUBLE_EQ(ratios[0], 0.5);
+  EXPECT_DOUBLE_EQ(ratios[1], 0.75);
+}
+
+TEST(UNormTest, ScalesByMostCongestedLink) {
+  NumProblem p({10e9, 10e9});
+  p.add_flow(route({0}), {});
+  p.add_flow(route({1}), {});
+  std::vector<double> rates{20e9, 5e9};  // link0 at 2.0x, link1 at 0.5x
+  std::vector<double> out(2);
+  const double r_star = u_norm(p, rates, out);
+  EXPECT_DOUBLE_EQ(r_star, 2.0);
+  EXPECT_DOUBLE_EQ(out[0], 10e9);
+  EXPECT_DOUBLE_EQ(out[1], 2.5e9);  // scaled down too (the U-NORM cost)
+}
+
+TEST(UNormTest, PreservesRelativeRates) {
+  Rng rng(3);
+  NumProblem p({10e9, 10e9, 10e9});
+  for (int i = 0; i < 6; ++i) {
+    p.add_flow(route({static_cast<std::uint32_t>(i % 3)}), {});
+  }
+  std::vector<double> rates(6), out(6);
+  for (auto& r : rates) r = rng.uniform(1e9, 20e9);
+  u_norm(p, rates, out);
+  for (int i = 1; i < 6; ++i) {
+    EXPECT_NEAR(out[i] / out[0], rates[i] / rates[0], 1e-12);
+  }
+}
+
+TEST(FNormTest, NeverExceedsAnyCapacity) {
+  // Property (paper §4.2): after F-NORM every link's aggregate is at most
+  // its capacity -- even from wildly over-allocated inputs.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const std::size_t links = 2 + rng.below(8);
+    std::vector<double> caps;
+    for (std::size_t l = 0; l < links; ++l) {
+      caps.push_back(rng.uniform(1e9, 40e9));
+    }
+    NumProblem p(caps);
+    const std::size_t flows = 1 + rng.below(30);
+    for (std::size_t f = 0; f < flows; ++f) {
+      std::vector<LinkId> r;
+      const std::size_t hops = 1 + rng.below(std::min<std::size_t>(links, 4));
+      std::size_t start = rng.below(links);
+      for (std::size_t h = 0; h < hops; ++h) {
+        const auto l =
+            static_cast<std::uint32_t>((start + h) % links);
+        r.emplace_back(l);
+      }
+      p.add_flow(r, {});
+    }
+    std::vector<double> rates(p.num_slots());
+    for (auto& x : rates) x = rng.uniform(0.0, 80e9);
+    std::vector<double> out(p.num_slots());
+    f_norm(p, rates, out);
+    const auto alloc = alloc_per_link(p, out);
+    for (std::size_t l = 0; l < links; ++l) {
+      EXPECT_LE(alloc[l], caps[l] * (1 + 1e-9)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(FNormTest, ScalesUpUnderAllocatedFlows) {
+  // A lone flow allocated half its bottleneck is scaled *up* to fill it
+  // (§4.2 / §6.6: F-NORM occasionally slightly exceeds the optimal).
+  NumProblem p({10e9});
+  p.add_flow(route({0}), {});
+  std::vector<double> rates{5e9}, out(1);
+  f_norm(p, rates, out);
+  EXPECT_DOUBLE_EQ(out[0], 10e9);
+}
+
+TEST(FNormTest, OnlyCongestedFlowsScaledDown) {
+  // Two disjoint links: one over-allocated, one under. F-NORM fixes each
+  // independently; U-NORM punishes both (the Figure 13 mechanism).
+  NumProblem p({10e9, 10e9});
+  p.add_flow(route({0}), {});
+  p.add_flow(route({1}), {});
+  std::vector<double> rates{20e9, 8e9};
+  std::vector<double> f_out(2), u_out(2);
+  f_norm(p, rates, f_out);
+  u_norm(p, rates, u_out);
+  EXPECT_DOUBLE_EQ(f_out[0], 10e9);
+  EXPECT_DOUBLE_EQ(f_out[1], 10e9);  // scaled up to its own bottleneck
+  EXPECT_DOUBLE_EQ(u_out[0], 10e9);
+  EXPECT_DOUBLE_EQ(u_out[1], 4e9);   // collateral damage
+  EXPECT_GT(f_out[0] + f_out[1], u_out[0] + u_out[1]);
+}
+
+TEST(FNormTest, ZeroAllocationKeepsRate) {
+  // The division-by-zero case called out in §4: flows whose links carry
+  // no aggregate allocation pass through unchanged.
+  NumProblem p({10e9});
+  p.add_flow(route({0}), {});
+  std::vector<double> rates{0.0}, out(1);
+  f_norm(p, rates, out);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+}
+
+TEST(FNormTest, ThroughputNearOptimalDuringChurn) {
+  // Mini Figure 13: run NED under churn; F-NORM throughput should stay
+  // close to the converged optimum, and strictly dominate U-NORM.
+  Rng rng(11);
+  NumProblem p({10e9, 10e9, 10e9, 10e9});
+  NedSolver ned(p);
+  std::vector<FlowIndex> live;
+  double f_total = 0, u_total = 0, opt_total = 0;
+  int samples = 0;
+  for (int step = 0; step < 400; ++step) {
+    if (live.size() < 3 || rng.uniform() < 0.55) {
+      const auto a = static_cast<std::uint32_t>(rng.below(4));
+      const auto b = static_cast<std::uint32_t>(rng.below(4));
+      live.push_back(
+          p.add_flow(a == b ? route({a}) : route({a, b}), {}));
+    } else {
+      const auto pick = rng.below(live.size());
+      p.remove_flow(live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    for (int i = 0; i < 2; ++i) ned.iterate();
+    if (step < 50) continue;  // warm-up
+    std::vector<double> f_out(p.num_slots()), u_out(p.num_slots());
+    f_norm(p, ned.rates(), f_out);
+    u_norm(p, ned.rates(), u_out);
+    // Converged reference on a copy of the same flow set.
+    NumProblem ref({10e9, 10e9, 10e9, 10e9});
+    const auto flows = p.flows();
+    for (std::size_t s = 0; s < flows.size(); ++s) {
+      if (!flows[s].active) continue;
+      std::vector<LinkId> r;
+      for (std::uint32_t l : flows[s].route()) r.emplace_back(l);
+      ref.add_flow(r, flows[s].util);
+    }
+    const ExactResult opt = solve_exact(ref);
+    for (std::size_t s = 0; s < flows.size(); ++s) {
+      if (!flows[s].active) continue;
+      f_total += f_out[s];
+      u_total += u_out[s];
+    }
+    opt_total += opt.total_rate;
+    ++samples;
+  }
+  ASSERT_GT(samples, 100);
+  EXPECT_GT(f_total / opt_total, 0.95);
+  EXPECT_LT(u_total / opt_total, f_total / opt_total);
+}
+
+TEST(NormalizeDispatchTest, KindsRouteCorrectly) {
+  NumProblem p({10e9});
+  p.add_flow(route({0}), {});
+  std::vector<double> rates{20e9}, out(1, 0.0);
+  normalize(NormKind::kNone, p, rates, out);
+  EXPECT_DOUBLE_EQ(out[0], 20e9);
+  normalize(NormKind::kUniform, p, rates, out);
+  EXPECT_DOUBLE_EQ(out[0], 10e9);
+  normalize(NormKind::kPerFlow, p, rates, out);
+  EXPECT_DOUBLE_EQ(out[0], 10e9);
+}
+
+}  // namespace
+}  // namespace ft::core

@@ -1,0 +1,276 @@
+// Tests for the multicore FlowBlock/LinkBlock engine (§5): bit-level
+// behavioural equivalence with the sequential NED solver (up to fp
+// summation order), F-NORM piggybacking, flow churn bookkeeping, and
+// determinism across thread counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/ned.h"
+#include "core/normalizer.h"
+#include "core/parallel.h"
+#include "topo/clos.h"
+#include "topo/partition.h"
+
+namespace ft::core {
+namespace {
+
+struct Instance {
+  topo::ClosTopology clos;
+  topo::BlockPartition part;
+  std::vector<double> caps;
+
+  Instance(std::int32_t racks, std::int32_t servers, std::int32_t spines,
+           std::int32_t blocks)
+      : clos([&] {
+          topo::ClosConfig cfg;
+          cfg.racks = racks;
+          cfg.servers_per_rack = servers;
+          cfg.spines = spines;
+          return topo::ClosTopology(cfg);
+        }()),
+        part(topo::BlockPartition::make(clos, blocks)) {
+    for (const auto& l : clos.graph().links()) {
+      caps.push_back(l.capacity_bps);
+    }
+  }
+};
+
+struct FlowSpec {
+  std::vector<LinkId> route;
+  std::int32_t src_block;
+  std::int32_t dst_block;
+};
+
+std::vector<FlowSpec> random_flows(const Instance& inst, std::size_t count,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FlowSpec> specs;
+  const auto hosts = static_cast<std::uint64_t>(inst.clos.num_hosts());
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto s = static_cast<std::int32_t>(rng.below(hosts));
+    auto d = static_cast<std::int32_t>(rng.below(hosts - 1));
+    if (d >= s) ++d;
+    const auto path =
+        inst.clos.host_path(inst.clos.host(s), inst.clos.host(d),
+                            rng.next());
+    FlowSpec spec;
+    spec.route = {path.begin(), path.end()};
+    spec.src_block = inst.part.block_of_host(inst.clos, inst.clos.host(s));
+    spec.dst_block = inst.part.block_of_host(inst.clos, inst.clos.host(d));
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+class ParallelEquivalenceP
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ParallelEquivalenceP, MatchesSequentialNed) {
+  const auto [blocks, threads] = GetParam();
+  Instance inst(8, 2, 2, blocks);
+  const auto specs = random_flows(inst, 60, 42);
+
+  // Sequential reference.
+  NumProblem seq_p(inst.caps);
+  NedSolver seq(seq_p, 1.0);
+  for (const auto& s : specs) {
+    seq_p.add_flow(s.route, Utility::log_utility());
+  }
+
+  // Parallel engine.
+  NumProblem par_p(inst.caps);
+  ParallelConfig cfg;
+  cfg.num_blocks = blocks;
+  cfg.num_threads = threads;
+  cfg.gamma = 1.0;
+  ParallelNed par(par_p, inst.part, cfg);
+  for (const auto& s : specs) {
+    const FlowIndex idx = par_p.add_flow(s.route, Utility::log_utility());
+    par.assign_flow(idx, s.src_block, s.dst_block);
+  }
+
+  for (int it = 0; it < 50; ++it) {
+    seq.iterate();
+    par.iterate();
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      ASSERT_NEAR(par.rates()[s], seq.rates()[s],
+                  std::max(1.0, seq.rates()[s]) * 1e-9)
+          << "iter " << it << " flow " << s;
+    }
+  }
+  // Prices agree too.
+  for (std::size_t l = 0; l < inst.caps.size(); ++l) {
+    EXPECT_NEAR(par.prices()[l], seq.prices()[l],
+                std::max(1e-12, seq.prices()[l]) * 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BlocksAndThreads, ParallelEquivalenceP,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(2, 1),
+                      std::make_tuple(2, 2), std::make_tuple(2, 4),
+                      std::make_tuple(4, 1), std::make_tuple(4, 4),
+                      std::make_tuple(4, 16), std::make_tuple(8, 4)));
+
+TEST(ParallelNormTest, FNormMatchesSequential) {
+  Instance inst(4, 2, 2, 4);
+  const auto specs = random_flows(inst, 40, 7);
+
+  NumProblem par_p(inst.caps);
+  ParallelConfig cfg;
+  cfg.num_blocks = 4;
+  cfg.num_threads = 4;
+  ParallelNed par(par_p, inst.part, cfg);
+  for (const auto& s : specs) {
+    par.assign_flow(par_p.add_flow(s.route, {}), s.src_block,
+                    s.dst_block);
+  }
+  for (int it = 0; it < 30; ++it) par.iterate();
+
+  // Reference normalization of the same rates.
+  std::vector<double> expect(par_p.num_slots());
+  f_norm(par_p, par.rates(), expect);
+  for (std::size_t s = 0; s < expect.size(); ++s) {
+    EXPECT_NEAR(par.norm_rates()[s], expect[s],
+                std::max(1.0, expect[s]) * 1e-9);
+  }
+}
+
+TEST(ParallelChurnTest, AssignUnassignKeepsEquivalence) {
+  Instance inst(4, 2, 2, 2);
+  auto specs = random_flows(inst, 30, 99);
+
+  NumProblem seq_p(inst.caps);
+  NedSolver seq(seq_p, 1.0);
+  NumProblem par_p(inst.caps);
+  ParallelConfig cfg;
+  cfg.num_blocks = 2;
+  cfg.num_threads = 2;
+  ParallelNed par(par_p, inst.part, cfg);
+
+  Rng rng(5);
+  std::vector<FlowIndex> live_seq, live_par;
+  std::size_t next = 0;
+  for (int round = 0; round < 60; ++round) {
+    const bool add =
+        live_seq.empty() || (next < specs.size() && rng.uniform() < 0.6);
+    if (add && next < specs.size()) {
+      const auto& s = specs[next++];
+      live_seq.push_back(seq_p.add_flow(s.route, {}));
+      const FlowIndex idx = par_p.add_flow(s.route, {});
+      par.assign_flow(idx, s.src_block, s.dst_block);
+      live_par.push_back(idx);
+    } else if (!live_seq.empty()) {
+      const auto pick = rng.below(live_seq.size());
+      seq_p.remove_flow(live_seq[pick]);
+      par.unassign_flow(live_par[pick]);
+      par_p.remove_flow(live_par[pick]);
+      live_seq.erase(live_seq.begin() + static_cast<std::ptrdiff_t>(pick));
+      live_par.erase(live_par.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    for (int i = 0; i < 3; ++i) {
+      seq.iterate();
+      par.iterate();
+    }
+    for (std::size_t i = 0; i < live_seq.size(); ++i) {
+      ASSERT_NEAR(par.rates()[live_par[i]], seq.rates()[live_seq[i]],
+                  std::max(1.0, seq.rates()[live_seq[i]]) * 1e-9)
+          << "round " << round;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, SameResultsAcrossThreadCounts) {
+  Instance inst(8, 2, 2, 4);
+  const auto specs = random_flows(inst, 50, 1234);
+
+  auto run = [&](std::int32_t threads) {
+    NumProblem p(inst.caps);
+    ParallelConfig cfg;
+    cfg.num_blocks = 4;
+    cfg.num_threads = threads;
+    ParallelNed par(p, inst.part, cfg);
+    for (const auto& s : specs) {
+      par.assign_flow(p.add_flow(s.route, {}), s.src_block, s.dst_block);
+    }
+    for (int i = 0; i < 40; ++i) par.iterate();
+    return std::vector<double>(par.rates().begin(), par.rates().end());
+  };
+
+  const auto r1 = run(1);
+  const auto r4 = run(4);
+  const auto r16 = run(16);
+  ASSERT_EQ(r1.size(), r4.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    // Identical arithmetic regardless of thread count (worker order is
+    // fixed): bitwise equality expected.
+    EXPECT_DOUBLE_EQ(r1[i], r4[i]);
+    EXPECT_DOUBLE_EQ(r1[i], r16[i]);
+  }
+}
+
+TEST(ParallelUtilityTest, AlphaFairAndFixedDemandMatchSequential) {
+  // The parallel engine must agree with the sequential solver for the
+  // whole utility family, including fixed-demand external flows.
+  Instance inst(4, 2, 2, 2);
+  Rng rng(21);
+  NumProblem seq_p(inst.caps);
+  NedSolver seq(seq_p, 1.0);
+  NumProblem par_p(inst.caps);
+  ParallelConfig cfg;
+  cfg.num_blocks = 2;
+  cfg.num_threads = 2;
+  ParallelNed par(par_p, inst.part, cfg);
+
+  const auto specs = random_flows(inst, 24, 77);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    Utility util;
+    switch (i % 4) {
+      case 0:
+        util = Utility::log_utility(1e9);
+        break;
+      case 1:
+        util = Utility::alpha_fair(2.0, 1e19);
+        break;
+      case 2:
+        util = Utility::alpha_fair(0.5, 1e5);
+        break;
+      case 3:
+        util = Utility::fixed_demand(rng.uniform(0.5e9, 2e9));
+        break;
+    }
+    seq_p.add_flow(specs[i].route, util);
+    const FlowIndex idx = par_p.add_flow(specs[i].route, util);
+    par.assign_flow(idx, specs[i].src_block, specs[i].dst_block);
+  }
+  for (int it = 0; it < 50; ++it) {
+    seq.iterate();
+    par.iterate();
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      ASSERT_NEAR(par.rates()[s], seq.rates()[s],
+                  std::max(1.0, seq.rates()[s]) * 1e-9)
+          << "iter " << it;
+    }
+  }
+}
+
+TEST(ParallelTimingTest, ReportsIterationTime) {
+  Instance inst(4, 2, 2, 2);
+  NumProblem p(inst.caps);
+  ParallelConfig cfg;
+  cfg.num_blocks = 2;
+  cfg.num_threads = 2;
+  ParallelNed par(p, inst.part, cfg);
+  const auto specs = random_flows(inst, 20, 3);
+  for (const auto& s : specs) {
+    par.assign_flow(p.add_flow(s.route, {}), s.src_block, s.dst_block);
+  }
+  par.iterate();
+  EXPECT_GT(par.last_iter_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace ft::core

@@ -1,0 +1,234 @@
+// Property-based tests (parameterized sweeps) on core invariants:
+// optimality across utility families, scale invariance, normalization
+// feasibility, codec error bounds, and event-ordering determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/ratecode.h"
+#include "common/rng.h"
+#include "core/exact.h"
+#include "core/messages.h"
+#include "core/ned.h"
+#include "core/normalizer.h"
+#include "core/problem.h"
+#include "sim/event_queue.h"
+
+namespace ft::core {
+namespace {
+
+struct RandomCase {
+  std::uint64_t seed;
+  double alpha;  // utility family
+};
+
+NumProblem random_problem(std::uint64_t seed, double alpha,
+                          std::size_t links = 10,
+                          std::size_t flows = 30) {
+  Rng rng(seed);
+  std::vector<double> caps;
+  for (std::size_t l = 0; l < links; ++l) {
+    caps.push_back(rng.uniform(5e9, 40e9));
+  }
+  NumProblem p(std::move(caps));
+  // Weight scale keeping optimal prices O(1) for the family: w ~ x^alpha
+  // at x ~ 1e9..1e10.
+  const double wscale = std::pow(5e9, alpha - 1.0) * 1e9;
+  for (std::size_t f = 0; f < flows; ++f) {
+    const std::size_t hops = 1 + rng.below(3);
+    std::vector<LinkId> route;
+    const std::size_t start = rng.below(links);
+    for (std::size_t h = 0; h < hops; ++h) {
+      const auto l = static_cast<std::uint32_t>((start + 3 * h) % links);
+      bool dup = false;
+      for (LinkId existing : route) dup = dup || existing.value() == l;
+      if (!dup) route.emplace_back(l);
+    }
+    p.add_flow(route,
+               Utility::alpha_fair(alpha, rng.uniform(0.5, 2.0) * wscale));
+  }
+  return p;
+}
+
+class UtilityFamilyP : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(UtilityFamilyP, ExactSolutionSatisfiesKkt) {
+  NumProblem p =
+      random_problem(GetParam().seed, GetParam().alpha);
+  const ExactResult res = solve_exact(p);
+  EXPECT_TRUE(res.converged)
+      << "seed " << GetParam().seed << " alpha " << GetParam().alpha;
+  EXPECT_LT(res.kkt_residual, 2e-3);
+  // Feasibility explicitly.
+  std::vector<double> alloc(p.num_links(), 0.0);
+  const auto flows = p.flows();
+  for (std::size_t s = 0; s < flows.size(); ++s) {
+    if (!flows[s].active) continue;
+    EXPECT_GT(res.rates[s], 0.0);
+    for (std::uint32_t l : flows[s].route()) alloc[l] += res.rates[s];
+  }
+  for (std::size_t l = 0; l < p.num_links(); ++l) {
+    EXPECT_LE(alloc[l], p.capacity(l) * (1 + 1e-4));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, UtilityFamilyP,
+    ::testing::Values(RandomCase{1, 1.0}, RandomCase{2, 1.0},
+                      RandomCase{3, 1.0}, RandomCase{4, 2.0},
+                      RandomCase{5, 2.0}, RandomCase{6, 0.5},
+                      RandomCase{7, 0.5}, RandomCase{8, 1.5},
+                      RandomCase{9, 3.0}, RandomCase{10, 1.0}));
+
+TEST(ScaleInvarianceTest, RatesScaleWithCapacityAndWeight) {
+  // Scaling capacities and (log-utility) weights by k scales the optimal
+  // rates by k and leaves prices unchanged -- the conditioning argument
+  // behind the default 1 Gbit/s weight.
+  const double k = 7.5;
+  NumProblem a({10e9, 20e9});
+  NumProblem b({k * 10e9, k * 20e9});
+  const std::vector<LinkId> r01{LinkId(0), LinkId(1)};
+  const std::vector<LinkId> r0{LinkId(0)};
+  a.add_flow(r01, Utility::log_utility(1e9));
+  a.add_flow(r0, Utility::log_utility(2e9));
+  b.add_flow(r01, Utility::log_utility(k * 1e9));
+  b.add_flow(r0, Utility::log_utility(k * 2e9));
+  const ExactResult ra = solve_exact(a);
+  const ExactResult rb = solve_exact(b);
+  ASSERT_TRUE(ra.converged);
+  ASSERT_TRUE(rb.converged);
+  for (std::size_t s = 0; s < 2; ++s) {
+    EXPECT_NEAR(rb.rates[s], k * ra.rates[s], k * ra.rates[s] * 1e-4);
+  }
+  for (std::size_t l = 0; l < 2; ++l) {
+    EXPECT_NEAR(rb.prices[l], ra.prices[l],
+                std::max(1e-6, ra.prices[l]) * 1e-3);
+  }
+}
+
+TEST(ScaleInvarianceTest, NedIterationDeterministic) {
+  NumProblem p1 = random_problem(42, 1.0);
+  NumProblem p2 = random_problem(42, 1.0);
+  NedSolver a(p1), b(p2);
+  for (int i = 0; i < 100; ++i) {
+    a.iterate();
+    b.iterate();
+  }
+  for (std::size_t s = 0; s < p1.num_slots(); ++s) {
+    EXPECT_DOUBLE_EQ(a.rates()[s], b.rates()[s]);
+  }
+}
+
+class FNormFamilyP : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(FNormFamilyP, FeasibleForAllUtilityFamilies) {
+  NumProblem p =
+      random_problem(GetParam().seed + 100, GetParam().alpha);
+  NedSolver ned(p);
+  // Sample feasibility mid-convergence (the hard case) and at
+  // convergence.
+  std::vector<double> out(p.num_slots());
+  for (int it = 1; it <= 64; ++it) {
+    ned.iterate();
+    if ((it & (it - 1)) != 0) continue;  // powers of two
+    f_norm(p, ned.rates(), out);
+    std::vector<double> alloc(p.num_links(), 0.0);
+    const auto flows = p.flows();
+    for (std::size_t s = 0; s < flows.size(); ++s) {
+      if (!flows[s].active) continue;
+      for (std::uint32_t l : flows[s].route()) alloc[l] += out[s];
+    }
+    for (std::size_t l = 0; l < p.num_links(); ++l) {
+      ASSERT_LE(alloc[l], p.capacity(l) * (1 + 1e-9))
+          << "iteration " << it;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, FNormFamilyP,
+    ::testing::Values(RandomCase{1, 1.0}, RandomCase{2, 2.0},
+                      RandomCase{3, 0.5}, RandomCase{4, 1.0},
+                      RandomCase{5, 1.5}, RandomCase{6, 1.0},
+                      RandomCase{7, 2.0}, RandomCase{8, 1.0}));
+
+class RateCodeP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RateCodeP, QuantizationErrorBounded) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 5000; ++i) {
+    // Log-uniform across the normalized range (>= 2048 granularity
+    // units); below that the format is denormal with absolute error
+    // bounded by one granule, checked separately.
+    const double rate = std::exp(rng.uniform(std::log(3e6), std::log(1e12)));
+    const double decoded = ft::decode_rate(ft::encode_rate(rate));
+    EXPECT_NEAR(decoded, rate, rate * ft::kRateCodeMaxRelError * 2.01)
+        << rate;
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double rate = rng.uniform(1e3, 2e6);
+    const double decoded = ft::decode_rate(ft::encode_rate(rate));
+    EXPECT_NEAR(decoded, rate, 1e3) << rate;  // one 1 Kbit/s granule
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RateCodeP, ::testing::Values(1, 2, 3, 4));
+
+TEST(MessageFuzzTest, RoundTripRandomValues) {
+  Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    FlowletStartMsg s;
+    s.flow_key = static_cast<std::uint32_t>(rng.next());
+    s.src_host = static_cast<std::uint16_t>(rng.next());
+    s.dst_host = static_cast<std::uint16_t>(rng.next());
+    s.size_hint_bytes = static_cast<std::uint32_t>(rng.next());
+    s.weight_milli = static_cast<std::uint16_t>(rng.next());
+    s.flags = static_cast<std::uint16_t>(rng.next());
+    EXPECT_EQ(decode_flowlet_start(encode(s)), s);
+    FlowletEndMsg e{static_cast<std::uint32_t>(rng.next())};
+    EXPECT_EQ(decode_flowlet_end(encode(e)), e);
+    RateUpdateMsg u{static_cast<std::uint32_t>(rng.next()),
+                    static_cast<std::uint16_t>(rng.next())};
+    EXPECT_EQ(decode_rate_update(encode(u)), u);
+  }
+}
+
+}  // namespace
+}  // namespace ft::core
+
+namespace ft::sim {
+namespace {
+
+struct OrderChecker : EventHandler {
+  Time last = -1;
+  EventQueue* q = nullptr;
+  std::size_t fired = 0;
+  void on_event(std::uint32_t, std::uint64_t) override {
+    EXPECT_GE(q->now(), last);
+    last = q->now();
+    ++fired;
+  }
+};
+
+class EventOrderP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventOrderP, RandomScheduleProcessesInTimeOrder) {
+  EventQueue q;
+  OrderChecker checker;
+  checker.q = &q;
+  Rng rng(GetParam());
+  std::size_t scheduled = 0;
+  for (int i = 0; i < 5000; ++i) {
+    q.schedule(static_cast<Time>(rng.below(1'000'000)), &checker, 0);
+    ++scheduled;
+  }
+  q.run_until(2'000'000);
+  EXPECT_EQ(checker.fired, scheduled);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventOrderP,
+                         ::testing::Values(7, 8, 9, 10));
+
+}  // namespace
+}  // namespace ft::sim

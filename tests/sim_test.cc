@@ -1,0 +1,412 @@
+// Tests for the discrete-event simulator: event ordering, packet pool
+// hygiene, queue disciplines (DropTail/ECN, pFabric, sfqCoDel, XCP), link
+// serialization timing and end-to-end path delays.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "topo/clos.h"
+
+namespace ft::sim {
+namespace {
+
+// ---------------------------------------------------------------------
+// EventQueue
+// ---------------------------------------------------------------------
+
+struct Recorder : EventHandler {
+  std::vector<std::pair<std::uint32_t, Time>> fired;
+  EventQueue* q = nullptr;
+  void on_event(std::uint32_t tag, std::uint64_t) override {
+    fired.emplace_back(tag, q->now());
+  }
+};
+
+TEST(EventQueueTest, OrdersByTimeThenSeq) {
+  EventQueue q;
+  Recorder r;
+  r.q = &q;
+  q.schedule(30, &r, 3);
+  q.schedule(10, &r, 1);
+  q.schedule(10, &r, 2);  // same time: insertion order wins
+  q.schedule(20, &r, 9);
+  q.run_until(100);
+  ASSERT_EQ(r.fired.size(), 4u);
+  EXPECT_EQ(r.fired[0].first, 1u);
+  EXPECT_EQ(r.fired[1].first, 2u);
+  EXPECT_EQ(r.fired[2].first, 9u);
+  EXPECT_EQ(r.fired[3].first, 3u);
+  EXPECT_EQ(q.now(), 100);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtHorizon) {
+  EventQueue q;
+  Recorder r;
+  r.q = &q;
+  q.schedule(10, &r, 1);
+  q.schedule(50, &r, 2);
+  q.run_until(20);
+  EXPECT_EQ(r.fired.size(), 1u);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_until(50);
+  EXPECT_EQ(r.fired.size(), 2u);
+}
+
+struct Rescheduler : EventHandler {
+  EventQueue* q;
+  int count = 0;
+  void on_event(std::uint32_t, std::uint64_t) override {
+    if (++count < 5) q->schedule(q->now() + 10, this, 0);
+  }
+};
+
+TEST(EventQueueTest, HandlersCanReschedule) {
+  EventQueue q;
+  Rescheduler r;
+  r.q = &q;
+  q.schedule(0, &r, 0);
+  q.run_until(1000);
+  EXPECT_EQ(r.count, 5);
+}
+
+TEST(EventQueueTest, StepProcessesOneEvent) {
+  EventQueue q;
+  Recorder r;
+  r.q = &q;
+  q.schedule(10, &r, 1);
+  q.schedule(20, &r, 2);
+  EXPECT_TRUE(q.step());
+  EXPECT_EQ(r.fired.size(), 1u);
+  EXPECT_EQ(q.now(), 10);
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+  EXPECT_EQ(q.processed(), 2u);
+}
+
+TEST(PacketPoolTest, RecyclesAndResets) {
+  PacketPool pool;
+  Packet* a = pool.alloc();
+  a->flow_id = 42;
+  a->payload = 1460;
+  pool.free(a);
+  Packet* b = pool.alloc();
+  EXPECT_EQ(b, a);  // recycled
+  EXPECT_EQ(b->flow_id, 0u);  // reset
+  EXPECT_EQ(b->payload, 0);
+  pool.free(b);
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Queues
+// ---------------------------------------------------------------------
+
+struct DropCounter : DropSink {
+  std::vector<Packet*> dropped;
+  PacketPool* pool = nullptr;
+  void on_drop(Packet* p) override {
+    dropped.push_back(p);
+    if (pool) pool->free(p);
+  }
+};
+
+Packet* make_pkt(PacketPool& pool, std::int64_t payload,
+                 std::uint32_t flow = 0, std::int64_t seq = 0) {
+  Packet* p = pool.alloc();
+  p->flow_id = flow;
+  p->payload = payload;
+  p->seq = seq;
+  p->finalize_size();
+  return p;
+}
+
+TEST(DropTailTest, FifoAndDrop) {
+  PacketPool pool;
+  DropCounter sink;
+  sink.pool = &pool;
+  DropTailQueue q(3200);
+  q.set_drop_sink(&sink);
+  Packet* a = make_pkt(pool, 1460, 1);
+  Packet* b = make_pkt(pool, 1460, 2);
+  Packet* c = make_pkt(pool, 1460, 3);  // exceeds 3200B with a+b queued
+  q.enqueue(a, 0);
+  q.enqueue(b, 0);
+  q.enqueue(c, 0);
+  EXPECT_EQ(sink.dropped.size(), 1u);
+  EXPECT_EQ(q.dequeue(0), a);
+  EXPECT_EQ(q.dequeue(0), b);
+  EXPECT_EQ(q.dequeue(0), nullptr);
+  pool.free(a);
+  pool.free(b);
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+TEST(DropTailTest, EcnMarksAboveThreshold) {
+  PacketPool pool;
+  DropCounter sink;
+  sink.pool = &pool;
+  DropTailQueue q(1 << 20, 3000);
+  q.set_drop_sink(&sink);
+  std::vector<Packet*> pkts;
+  for (int i = 0; i < 5; ++i) {
+    Packet* p = make_pkt(pool, 1460);
+    p->ecn_capable = true;
+    q.enqueue(p, 0);
+    pkts.push_back(p);
+  }
+  // First two arrive under the threshold (0 and 1538 bytes queued);
+  // later arrivals see >= 3000 queued and get marked.
+  EXPECT_FALSE(pkts[0]->ecn_marked);
+  EXPECT_FALSE(pkts[1]->ecn_marked);
+  EXPECT_TRUE(pkts[2]->ecn_marked);
+  EXPECT_TRUE(pkts[4]->ecn_marked);
+  for (auto* p : pkts) {
+    q.dequeue(0);
+    pool.free(p);
+  }
+}
+
+TEST(PfabricQueueTest, DequeuesMinRemaining) {
+  PacketPool pool;
+  DropCounter sink;
+  sink.pool = &pool;
+  PfabricQueue q(1 << 20);
+  q.set_drop_sink(&sink);
+  Packet* big = make_pkt(pool, 1460, 1);
+  big->remaining = 100000;
+  Packet* small = make_pkt(pool, 1460, 2);
+  small->remaining = 1460;
+  q.enqueue(big, 0);
+  q.enqueue(small, 0);
+  EXPECT_EQ(q.dequeue(0), small);  // priority inversion of FIFO
+  EXPECT_EQ(q.dequeue(0), big);
+  pool.free(big);
+  pool.free(small);
+}
+
+TEST(PfabricQueueTest, SameFlowStaysInOrder) {
+  PacketPool pool;
+  DropCounter sink;
+  sink.pool = &pool;
+  PfabricQueue q(1 << 20);
+  q.set_drop_sink(&sink);
+  // Same flow: remaining decreases with seq, but dequeue must prefer the
+  // earliest seq of the chosen flow.
+  Packet* first = make_pkt(pool, 1460, 7, /*seq=*/0);
+  first->remaining = 4380;
+  Packet* second = make_pkt(pool, 1460, 7, /*seq=*/1460);
+  second->remaining = 2920;
+  q.enqueue(first, 0);
+  q.enqueue(second, 0);
+  EXPECT_EQ(q.dequeue(0), first);
+  EXPECT_EQ(q.dequeue(0), second);
+  pool.free(first);
+  pool.free(second);
+}
+
+TEST(PfabricQueueTest, DropsMaxRemainingOnOverflow) {
+  PacketPool pool;
+  DropCounter sink;
+  sink.pool = &pool;
+  PfabricQueue q(3200);
+  q.set_drop_sink(&sink);
+  Packet* big = make_pkt(pool, 1460, 1);
+  big->remaining = 100000;
+  Packet* mid = make_pkt(pool, 1460, 2);
+  mid->remaining = 50000;
+  Packet* small = make_pkt(pool, 1460, 3);
+  small->remaining = 1460;
+  q.enqueue(big, 0);
+  q.enqueue(mid, 0);
+  q.enqueue(small, 0);  // overflow: evict `big`, keep small
+  ASSERT_EQ(sink.dropped.size(), 1u);
+  EXPECT_EQ(sink.dropped[0], big);
+  EXPECT_EQ(q.dequeue(0), small);
+  EXPECT_EQ(q.dequeue(0), mid);
+  pool.free(small);
+  pool.free(mid);
+}
+
+TEST(PfabricQueueTest, RejectsArrivalIfItIsWorst) {
+  PacketPool pool;
+  DropCounter sink;
+  sink.pool = &pool;
+  PfabricQueue q(3200);
+  q.set_drop_sink(&sink);
+  Packet* a = make_pkt(pool, 1460, 1);
+  a->remaining = 1000;
+  Packet* b = make_pkt(pool, 1460, 2);
+  b->remaining = 2000;
+  Packet* worst = make_pkt(pool, 1460, 3);
+  worst->remaining = 99999;
+  q.enqueue(a, 0);
+  q.enqueue(b, 0);
+  q.enqueue(worst, 0);
+  ASSERT_EQ(sink.dropped.size(), 1u);
+  EXPECT_EQ(sink.dropped[0], worst);
+  q.dequeue(0);
+  q.dequeue(0);
+  pool.free(a);
+  pool.free(b);
+}
+
+TEST(SfqCodelTest, SeparatesFlowsRoundRobin) {
+  PacketPool pool;
+  DropCounter sink;
+  sink.pool = &pool;
+  SfqCodelQueue q;
+  q.set_drop_sink(&sink);
+  // Flow 1 floods; flow 2 sends one packet. DRR must serve flow 2 within
+  // one quantum even though it arrived last.
+  std::vector<Packet*> flood;
+  for (int i = 0; i < 20; ++i) {
+    Packet* p = make_pkt(pool, 1460, 1, i * 1460);
+    q.enqueue(p, 0);
+    flood.push_back(p);
+  }
+  Packet* lone = make_pkt(pool, 1460, 2);
+  q.enqueue(lone, 0);
+  // Collect the first few dequeues; the lone packet must appear within
+  // the first two.
+  Packet* d1 = q.dequeue(0);
+  Packet* d2 = q.dequeue(0);
+  EXPECT_TRUE(d1 == lone || d2 == lone);
+  pool.free(d1);
+  pool.free(d2);
+  while (Packet* p = q.dequeue(0)) pool.free(p);
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+TEST(SfqCodelTest, CodelDropsUnderSustainedDelay) {
+  PacketPool pool;
+  DropCounter sink;
+  sink.pool = &pool;
+  SfqCodelConfig cfg;
+  cfg.target = 50 * kMicrosecond;
+  cfg.interval = 1 * kMillisecond;
+  SfqCodelQueue q(cfg);
+  q.set_drop_sink(&sink);
+  // Feed and drain at a rate that keeps sojourn far above target for
+  // many intervals: enqueue 10 packets every ms, dequeue 5.
+  Time now = 0;
+  std::int64_t seq = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      q.enqueue(make_pkt(pool, 1460, 1, seq), now);
+      seq += 1460;
+    }
+    for (int i = 0; i < 5; ++i) {
+      if (Packet* p = q.dequeue(now)) pool.free(p);
+    }
+    now += 1 * kMillisecond;
+  }
+  EXPECT_GT(sink.dropped.size(), 0u);
+  while (Packet* p = q.dequeue(now)) pool.free(p);
+}
+
+TEST(XcpQueueTest, GrantsPositiveFeedbackWhenIdle) {
+  PacketPool pool;
+  DropCounter sink;
+  sink.pool = &pool;
+  XcpQueue q(10e9);
+  q.set_drop_sink(&sink);
+  Time now = 0;
+  double last_feedback = 0;
+  // Trickle packets from a small-cwnd flow; after the first interval
+  // rollover the router should grant positive feedback (spare capacity).
+  for (int i = 0; i < 100; ++i) {
+    Packet* p = make_pkt(pool, 1460, 1, i * 1460);
+    p->xcp_cwnd_bytes = 14600;
+    p->xcp_rtt_sec = 20e-6;
+    p->xcp_feedback_bytes = 1e18;
+    q.enqueue(p, now);
+    Packet* out = q.dequeue(now);
+    if (out != nullptr) {
+      last_feedback = out->xcp_feedback_bytes;
+      pool.free(out);
+    }
+    now += 100 * kMicrosecond;  // 1460B / 100us << 10G: mostly idle
+  }
+  EXPECT_GT(last_feedback, 0.0);
+  EXPECT_LT(last_feedback, 1e17);  // header actually processed
+}
+
+// ---------------------------------------------------------------------
+// Link + Network timing
+// ---------------------------------------------------------------------
+
+topo::ClosConfig tiny_clos() {
+  topo::ClosConfig cfg;
+  cfg.racks = 2;
+  cfg.servers_per_rack = 2;
+  cfg.spines = 1;
+  cfg.fabric_link_bps = 20e9;
+  return cfg;
+}
+
+struct DeliverySink {
+  std::vector<std::pair<Packet*, Time>> got;
+};
+
+TEST(NetworkTest, EndToEndLatencyMatchesTopology) {
+  Simulator s;
+  topo::ClosTopology clos(tiny_clos());
+  Network net(s.events, s.pool, clos, [](double) {
+    return std::make_unique<DropTailQueue>(1 << 20);
+  });
+  DeliverySink sink;
+  net.set_delivery_handler([&](Packet* p) {
+    sink.got.emplace_back(p, s.now());
+  });
+
+  // Intra-rack (2 hops): host egress 2us + 2x (serialize 1538B @ 10G =
+  // 1.2304us + prop 1.5us) + host ingress 2us.
+  Packet* p = s.pool.alloc();
+  p->src_host = 0;
+  p->dst_host = 1;
+  p->payload = kMss;
+  p->finalize_size();
+  const auto path = clos.host_path(clos.host(0), clos.host(1), 0);
+  p->set_path(path.begin(), path.size());
+  net.send(p);
+  s.run_until(from_us(100));
+  ASSERT_EQ(sink.got.size(), 1u);
+  const Time expect = 2 * from_us(2) + 2 * (tx_time(1538, 10e9) +
+                                            from_us(1.5));
+  EXPECT_EQ(sink.got[0].second, expect);
+  s.pool.free(sink.got[0].first);
+}
+
+TEST(LinkTest, BackToBackPacketsPipeline) {
+  Simulator s;
+  topo::ClosTopology clos(tiny_clos());
+  Network net(s.events, s.pool, clos, [](double) {
+    return std::make_unique<DropTailQueue>(1 << 20);
+  });
+  std::vector<Time> arrivals;
+  net.set_delivery_handler([&](Packet* p) {
+    arrivals.push_back(s.now());
+    s.pool.free(p);
+  });
+  const auto path = clos.host_path(clos.host(0), clos.host(1), 0);
+  for (int i = 0; i < 3; ++i) {
+    Packet* p = s.pool.alloc();
+    p->src_host = 0;
+    p->dst_host = 1;
+    p->payload = kMss;
+    p->finalize_size();
+    p->set_path(path.begin(), path.size());
+    net.send(p);
+  }
+  s.run_until(from_us(100));
+  ASSERT_EQ(arrivals.size(), 3u);
+  // Successive arrivals separated by exactly one serialization time
+  // (pipelined through the 2-hop path at equal rates).
+  const Time ser = tx_time(1538, 10e9);
+  EXPECT_EQ(arrivals[1] - arrivals[0], ser);
+  EXPECT_EQ(arrivals[2] - arrivals[1], ser);
+}
+
+}  // namespace
+}  // namespace ft::sim

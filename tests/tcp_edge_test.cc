@@ -1,0 +1,194 @@
+// TCP edge cases: stream semantics, abort, reordering tolerance, RTO
+// backoff, and packet-pool hygiene (no leaks after a full simulation).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/simulator.h"
+#include "topo/clos.h"
+#include "transport/pfabric.h"
+#include "transport/tcp.h"
+
+namespace ft::transport {
+namespace {
+
+struct Net {
+  topo::ClosTopology clos;
+  sim::Simulator s;
+  sim::Network net;
+  FlowRegistry reg;
+
+  explicit Net(sim::QueueFactory factory = nullptr)
+      : clos([] {
+          topo::ClosConfig cfg;
+          cfg.racks = 2;
+          cfg.servers_per_rack = 2;
+          cfg.spines = 2;
+          cfg.fabric_link_bps = 10e9;
+          return cfg;
+        }()),
+        net(s.events, s.pool, clos,
+            factory ? factory
+                    : [](double) -> std::unique_ptr<sim::QueueDisc> {
+                        return std::make_unique<sim::DropTailQueue>(1
+                                                                    << 20);
+                      }),
+        reg(net) {}
+
+  std::unique_ptr<TcpFlow> flow(std::int32_t src, std::int32_t dst,
+                                TcpConfig cfg = TcpConfig()) {
+    const auto fwd = clos.host_path(clos.host(src), clos.host(dst), 0);
+    const auto rev = clos.host_path(clos.host(dst), clos.host(src), 0);
+    return std::make_unique<TcpFlow>(reg, src, dst, fwd, rev, cfg);
+  }
+};
+
+TEST(TcpEdgeTest, StreamingMultipleSends) {
+  Net n;
+  auto f = n.flow(0, 2);
+  std::int64_t delivered = 0;
+  bool done = false;
+  f->on_delivered = [&](std::int64_t b) { delivered += b; };
+  f->on_complete = [&] { done = true; };
+  // Bytes trickle in over time (a control-channel-style stream).
+  f->app_send(100);
+  n.s.run_until(from_us(200));
+  f->app_send(5000);
+  n.s.run_until(from_us(400));
+  f->app_send(70000);
+  f->app_close();
+  n.s.run_until(from_ms(20));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(delivered, 100 + 5000 + 70000);
+}
+
+TEST(TcpEdgeTest, AbortWithNothingInFlightCompletesImmediately) {
+  Net n;
+  auto f = n.flow(0, 2);
+  bool done = false;
+  f->on_complete = [&] { done = true; };
+  f->app_send(2000);
+  n.s.run_until(from_ms(5));  // everything acked
+  EXPECT_FALSE(done);         // no close yet
+  f->app_abort();
+  EXPECT_TRUE(done);  // completes synchronously
+}
+
+TEST(TcpEdgeTest, AbortMidTransferCompletesAfterDrain) {
+  Net n;
+  auto f = n.flow(0, 2);
+  bool done = false;
+  f->on_complete = [&] { done = true; };
+  f->app_send(1 << 24);  // 16 MB, will not finish quickly
+  // Abort early, while the window is still modest (no overshoot loss):
+  // completion must wait for the in-flight data to be acked.
+  n.s.run_until(from_us(100));
+  EXPECT_FALSE(done);
+  f->app_abort();
+  EXPECT_FALSE(done);  // flight still being acked
+  n.s.run_until(from_ms(5));
+  EXPECT_TRUE(done);
+}
+
+TEST(TcpEdgeTest, SurvivesReorderingQueues) {
+  // pFabric queues reorder across flows and (slightly) within a flow
+  // via retransmission priorities; TCP's ooo tracking must reassemble.
+  Net n([](double) -> std::unique_ptr<sim::QueueDisc> {
+    return std::make_unique<sim::PfabricQueue>(64 * 1538);
+  });
+  TcpConfig cfg;
+  cfg.fixed_window_pkts = 16;
+  cfg.min_rto = from_us(100);
+  const auto fwd = n.clos.host_path(n.clos.host(0), n.clos.host(2), 0);
+  const auto rev = n.clos.host_path(n.clos.host(2), n.clos.host(0), 0);
+  PfabricFlow f(n.reg, 0, 2, fwd, rev, cfg);
+  std::int64_t delivered = 0;
+  bool done = false;
+  f.on_delivered = [&](std::int64_t b) { delivered += b; };
+  f.on_complete = [&] { done = true; };
+  f.app_send(2'000'000);
+  f.app_close();
+  n.s.run_until(from_ms(50));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(delivered, 2'000'000);
+}
+
+TEST(TcpEdgeTest, RtoBackoffIsExponentialAndCapped) {
+  // Blackhole everything after the first packets with a 1-packet queue
+  // shared by data and ACKs in both directions: timeouts then repeat
+  // with doubling RTO up to max_rto.
+  Net n([](double) -> std::unique_ptr<sim::QueueDisc> {
+    return std::make_unique<sim::DropTailQueue>(1 * 1538);
+  });
+  TcpConfig cfg;
+  cfg.min_rto = from_us(100);
+  cfg.max_rto = from_us(800);
+  cfg.init_cwnd_pkts = 8;  // burst so most of the window drops
+  auto f = n.flow(0, 2, cfg);
+  f->app_send(64 * 1460);
+  f->app_close();
+  n.s.run_until(from_ms(30));
+  // The transfer makes progress only via timeouts; with the cap at 8x
+  // min, 30 ms admits at least ~35 of them if uncapped doubling didn't
+  // stall... just assert several happened and the flow kept moving.
+  EXPECT_GT(f->timeouts(), 5u);
+  EXPECT_GT(f->retransmits(), 5u);
+}
+
+TEST(TcpEdgeTest, NoPacketLeaksAfterQuiescence) {
+  Net n;
+  {
+    auto a = n.flow(0, 3);
+    auto b = n.flow(1, 2);
+    bool done_a = false, done_b = false;
+    a->on_complete = [&] { done_a = true; };
+    b->on_complete = [&] { done_b = true; };
+    a->app_send(500'000);
+    a->app_close();
+    b->app_send(300'000);
+    b->app_close();
+    n.s.run_until(from_ms(50));
+    EXPECT_TRUE(done_a);
+    EXPECT_TRUE(done_b);
+  }
+  // Everything delivered and acknowledged; every packet recycled.
+  EXPECT_EQ(n.s.pool.outstanding(), 0u);
+}
+
+TEST(TcpEdgeTest, PacedFlowStopsCleanlyOnAbort) {
+  Net n;
+  auto f = n.flow(0, 2);
+  bool done = false;
+  f->on_complete = [&] { done = true; };
+  f->set_pacing_rate(1e9);
+  f->app_send(1 << 22);
+  n.s.run_until(from_ms(3));
+  f->app_abort();
+  n.s.run_until(from_ms(10));
+  EXPECT_TRUE(done);
+  n.s.run_until(from_ms(30));
+  EXPECT_EQ(n.s.pool.outstanding(), 0u);
+}
+
+TEST(TcpEdgeTest, ControlRtoBoundsRespected) {
+  // The paper's control channels: 20 us minRTO means a lost notification
+  // retransmits within tens of microseconds.
+  Net n([](double) -> std::unique_ptr<sim::QueueDisc> {
+    // 2-packet queues: first burst partly dropped.
+    return std::make_unique<sim::DropTailQueue>(2 * 1538);
+  });
+  TcpConfig cfg;
+  cfg.min_rto = from_us(20);
+  cfg.max_rto = from_us(30);
+  cfg.init_cwnd_pkts = 6;
+  auto f = n.flow(0, 2, cfg);
+  bool done = false;
+  f->on_complete = [&] { done = true; };
+  f->app_send(6 * 1460);
+  f->app_close();
+  n.s.run_until(from_ms(2));
+  EXPECT_TRUE(done);  // losses repaired within ~tens of microsecond RTOs
+}
+
+}  // namespace
+}  // namespace ft::transport

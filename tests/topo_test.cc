@@ -1,0 +1,316 @@
+// Tests for the topology graph, Clos builder, ECMP routing, and the
+// FlowBlock/LinkBlock partition + aggregation schedule of paper §5.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+#include <vector>
+
+#include "topo/clos.h"
+#include "topo/partition.h"
+#include "topo/topology.h"
+
+namespace ft::topo {
+namespace {
+
+TEST(TopologyTest, AddNodesAndLinks) {
+  Topology t;
+  const NodeId a = t.add_node(NodeType::kHost, 0);
+  const NodeId b = t.add_node(NodeType::kTor, 0);
+  const LinkId l = t.add_link(a, b, 10e9, 1500 * kNanosecond);
+  EXPECT_EQ(t.num_nodes(), 2u);
+  EXPECT_EQ(t.num_links(), 1u);
+  EXPECT_EQ(t.link(l).src, a);
+  EXPECT_EQ(t.link(l).dst, b);
+  EXPECT_EQ(t.find_link(a, b), l);
+  EXPECT_FALSE(t.find_link(b, a).valid());
+  EXPECT_EQ(t.out_links(a).size(), 1u);
+  EXPECT_EQ(t.out_links(b).size(), 0u);
+}
+
+ClosConfig paper_config() {
+  ClosConfig cfg;  // defaults are the paper's §6.2 topology
+  return cfg;
+}
+
+TEST(ClosTest, PaperTopologyShape) {
+  ClosTopology clos(paper_config());
+  EXPECT_EQ(clos.num_hosts(), 144);
+  // Nodes: 144 hosts + 9 ToRs + 4 spines.
+  EXPECT_EQ(clos.graph().num_nodes(), 144u + 9u + 4u);
+  // Links: 2 per host + 2 per (rack, spine) pair.
+  EXPECT_EQ(clos.graph().num_links(), 2u * 144u + 2u * 9u * 4u);
+}
+
+TEST(ClosTest, FullBisection) {
+  const ClosConfig cfg = paper_config();
+  // 16 servers x 10G up = 160G; 4 spines x 40G = 160G.
+  const double up = cfg.servers_per_rack * cfg.host_link_bps;
+  const double fabric = cfg.spines * cfg.fabric_link_bps;
+  EXPECT_DOUBLE_EQ(up, fabric);
+}
+
+TEST(ClosTest, IntraRackPathHasTwoHops) {
+  ClosTopology clos(paper_config());
+  const Path p = clos.host_path(clos.host(0, 0), clos.host(0, 5), 77);
+  ASSERT_EQ(p.size(), 2u);
+  const Topology& g = clos.graph();
+  EXPECT_EQ(g.link(p[0]).src, clos.host(0, 0));
+  EXPECT_EQ(g.link(p[0]).dst, clos.tor(0));
+  EXPECT_EQ(g.link(p[1]).src, clos.tor(0));
+  EXPECT_EQ(g.link(p[1]).dst, clos.host(0, 5));
+}
+
+TEST(ClosTest, InterRackPathHasFourHops) {
+  ClosTopology clos(paper_config());
+  const Path p = clos.host_path(clos.host(0, 0), clos.host(3, 2), 1);
+  ASSERT_EQ(p.size(), 4u);
+  const Topology& g = clos.graph();
+  // Path is connected: dst of hop k == src of hop k+1.
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    EXPECT_EQ(g.link(p[i]).dst, g.link(p[i + 1]).src);
+  }
+  EXPECT_EQ(g.link(p[0]).src, clos.host(0, 0));
+  EXPECT_EQ(g.link(p[3]).dst, clos.host(3, 2));
+}
+
+TEST(ClosTest, EcmpSpreadsOverSpines) {
+  ClosTopology clos(paper_config());
+  std::set<std::uint32_t> spine_links;
+  for (std::uint64_t h = 0; h < 64; ++h) {
+    const Path p = clos.host_path(clos.host(0, 0), clos.host(1, 0), h);
+    spine_links.insert(p[1].value());
+  }
+  EXPECT_EQ(spine_links.size(), 4u);  // all four spines used
+}
+
+TEST(ClosTest, PathRtts) {
+  // One-way: host delay applies at endpoints (modeled by the simulator);
+  // link propagation sums along the path. 2-hop: 2*2us + 2*1.5us = 7us
+  // one-way -> 14us RTT. 4-hop: 2*2us + 4*1.5us = 10us -> 20us RTT
+  // (the paper quotes 22us; see EXPERIMENTS.md).
+  ClosTopology clos(paper_config());
+  const ClosConfig& cfg = clos.config();
+  const Path p2 = clos.host_path(clos.host(0, 0), clos.host(0, 1), 0);
+  Time d2 = 2 * cfg.host_delay;
+  for (LinkId l : p2) d2 += clos.graph().link(l).delay;
+  EXPECT_EQ(2 * d2, from_us(14));
+  const Path p4 = clos.host_path(clos.host(0, 0), clos.host(1, 0), 0);
+  Time d4 = 2 * cfg.host_delay;
+  for (LinkId l : p4) d4 += clos.graph().link(l).delay;
+  EXPECT_EQ(2 * d4, from_us(20));
+}
+
+TEST(ClosTest, AllocatorPaths) {
+  ClosConfig cfg = paper_config();
+  cfg.with_allocator = true;
+  ClosTopology clos(cfg);
+  const Path to = clos.to_allocator_path(clos.host(2, 3), 9);
+  ASSERT_EQ(to.size(), 3u);
+  EXPECT_EQ(clos.graph().link(to[2]).dst, clos.allocator_node());
+  const Path from = clos.from_allocator_path(clos.host(2, 3), 9);
+  ASSERT_EQ(from.size(), 3u);
+  EXPECT_EQ(clos.graph().link(from[0]).src, clos.allocator_node());
+  EXPECT_EQ(clos.graph().link(from[2]).dst, clos.host(2, 3));
+  // Allocator links are 40G.
+  EXPECT_DOUBLE_EQ(clos.graph().link(to[2]).capacity_bps, 40e9);
+}
+
+TEST(ClosTest, HostIndexRoundTrip) {
+  ClosTopology clos(paper_config());
+  for (std::int32_t i = 0; i < clos.num_hosts(); ++i) {
+    EXPECT_EQ(clos.host_index(clos.host(i)), i);
+  }
+}
+
+// ---------------------------------------------------------------------
+// BlockPartition
+// ---------------------------------------------------------------------
+
+ClosTopology make_clos(std::int32_t racks, std::int32_t servers,
+                       std::int32_t spines) {
+  ClosConfig cfg;
+  cfg.racks = racks;
+  cfg.servers_per_rack = servers;
+  cfg.spines = spines;
+  return ClosTopology(cfg);
+}
+
+TEST(PartitionTest, EveryDataLinkClassifiedExactlyOnce) {
+  ClosTopology clos = make_clos(8, 4, 4);
+  const BlockPartition part = BlockPartition::make(clos, 4);
+  std::size_t classified = 0;
+  for (std::int32_t b = 0; b < part.num_blocks; ++b) {
+    classified += part.up_links[b].size() + part.down_links[b].size();
+  }
+  EXPECT_EQ(classified, clos.graph().num_links());
+  // Up and down LinkBlocks have identical sizes per block (symmetric
+  // topology): hosts*2... per block: hosts_up + tor->spine.
+  for (std::int32_t b = 0; b < part.num_blocks; ++b) {
+    EXPECT_EQ(part.up_links[b].size(), part.down_links[b].size());
+    EXPECT_FALSE(part.up_links[b].empty());
+  }
+}
+
+TEST(PartitionTest, UpLinksGoUpDownLinksGoDown) {
+  ClosTopology clos = make_clos(8, 4, 4);
+  const BlockPartition part = BlockPartition::make(clos, 2);
+  const Topology& g = clos.graph();
+  for (std::int32_t b = 0; b < part.num_blocks; ++b) {
+    for (LinkId l : part.up_links[b]) {
+      const auto st = g.node(g.link(l).src).type;
+      const auto dt = g.node(g.link(l).dst).type;
+      EXPECT_TRUE((st == NodeType::kHost && dt == NodeType::kTor) ||
+                  (st == NodeType::kTor && dt == NodeType::kSpine));
+    }
+    for (LinkId l : part.down_links[b]) {
+      const auto st = g.node(g.link(l).src).type;
+      const auto dt = g.node(g.link(l).dst).type;
+      EXPECT_TRUE((st == NodeType::kSpine && dt == NodeType::kTor) ||
+                  (st == NodeType::kTor && dt == NodeType::kHost));
+    }
+  }
+}
+
+TEST(PartitionTest, FlowRoutePropertyHolds) {
+  // The Figure 2 property: a flow's up links are in its source block and
+  // its down links in its destination block, for every src/dst pair.
+  ClosTopology clos = make_clos(8, 2, 2);
+  const BlockPartition part = BlockPartition::make(clos, 4);
+  for (std::int32_t s = 0; s < clos.num_hosts(); s += 3) {
+    for (std::int32_t d = 0; d < clos.num_hosts(); d += 5) {
+      if (s == d) continue;
+      const Path p = clos.host_path(clos.host(s), clos.host(d), 17);
+      const std::int32_t sb = part.block_of_host(clos, clos.host(s));
+      const std::int32_t db = part.block_of_host(clos, clos.host(d));
+      for (LinkId l : p) {
+        const LinkClass& c = part.link_class[l.value()];
+        if (c.dir == LinkDir::kUp) {
+          EXPECT_EQ(c.block, sb);
+        } else {
+          ASSERT_EQ(c.dir, LinkDir::kDown);
+          EXPECT_EQ(c.block, db);
+        }
+      }
+    }
+  }
+}
+
+// Simulates the aggregation schedule symbolically: each worker's "copy"
+// is the set of (worker) contributions folded in; after aggregation the
+// owner must hold exactly the full row (up) or column (down).
+TEST(PartitionTest, AggregationScheduleCollectsFullSums) {
+  for (std::int32_t n : {1, 2, 4, 8}) {
+    const AggregationSchedule sched = AggregationSchedule::make(n);
+    EXPECT_EQ(sched.steps.size(),
+              static_cast<std::size_t>(n == 1 ? 0
+                                               : std::countr_zero(
+                                                     static_cast<unsigned>(
+                                                         n))));
+    // up[w] = multiset of workers whose up contribution w has folded in.
+    std::vector<std::set<std::int32_t>> up(n * n), down(n * n);
+    for (std::int32_t w = 0; w < n * n; ++w) {
+      up[w] = {w};
+      down[w] = {w};
+    }
+    for (const auto& step : sched.steps) {
+      // Transfers within a step must have disjoint destinations per kind.
+      std::set<std::int32_t> dsts_up, dsts_down, srcs_up, srcs_down;
+      for (const Transfer& t : step) {
+        auto& dsts = t.upward ? dsts_up : dsts_down;
+        auto& srcs = t.upward ? srcs_up : srcs_down;
+        EXPECT_TRUE(dsts.insert(t.dst_worker).second);
+        EXPECT_TRUE(srcs.insert(t.src_worker).second);
+        // Row consistency for up, column consistency for down.
+        if (t.upward) {
+          EXPECT_EQ(t.src_worker / n, t.dst_worker / n);
+          EXPECT_EQ(t.block, t.src_worker / n);
+        } else {
+          EXPECT_EQ(t.src_worker % n, t.dst_worker % n);
+          EXPECT_EQ(t.block, t.src_worker % n);
+        }
+      }
+      // No worker is both source and destination for the same kind.
+      for (std::int32_t w : srcs_up) EXPECT_FALSE(dsts_up.contains(w));
+      for (std::int32_t w : srcs_down) EXPECT_FALSE(dsts_down.contains(w));
+      // Apply the step.
+      for (const Transfer& t : step) {
+        auto& dst = t.upward ? up[t.dst_worker] : down[t.dst_worker];
+        auto& src = t.upward ? up[t.src_worker] : down[t.src_worker];
+        for (std::int32_t w : src) {
+          EXPECT_TRUE(dst.insert(w).second)
+              << "duplicate contribution: worker " << w;
+        }
+      }
+    }
+    // Owners hold complete rows / columns.
+    for (std::int32_t b = 0; b < n; ++b) {
+      const auto& u = up[sched.up_owner(b)];
+      EXPECT_EQ(u.size(), static_cast<std::size_t>(n));
+      for (std::int32_t j = 0; j < n; ++j) {
+        EXPECT_TRUE(u.contains(b * n + j));
+      }
+      const auto& d = down[sched.down_owner(b)];
+      EXPECT_EQ(d.size(), static_cast<std::size_t>(n));
+      for (std::int32_t i = 0; i < n; ++i) {
+        EXPECT_TRUE(d.contains(i * n + b));
+      }
+    }
+  }
+}
+
+// The distribution phase is the reverse schedule; verify that replaying
+// it in reverse from the owners reaches every worker.
+TEST(PartitionTest, ReverseScheduleReachesAllWorkers) {
+  for (std::int32_t n : {2, 4, 8}) {
+    const AggregationSchedule sched = AggregationSchedule::make(n);
+    std::vector<bool> has_up(n * n, false), has_down(n * n, false);
+    for (std::int32_t b = 0; b < n; ++b) {
+      has_up[sched.up_owner(b)] = true;
+      has_down[sched.down_owner(b)] = true;
+    }
+    for (auto it = sched.steps.rbegin(); it != sched.steps.rend(); ++it) {
+      for (const Transfer& t : *it) {
+        if (t.upward) {
+          EXPECT_TRUE(has_up[t.dst_worker])
+              << "distributing from a worker without fresh prices";
+          has_up[t.src_worker] = true;
+        } else {
+          EXPECT_TRUE(has_down[t.dst_worker]);
+          has_down[t.src_worker] = true;
+        }
+      }
+    }
+    for (std::int32_t w = 0; w < n * n; ++w) {
+      EXPECT_TRUE(has_up[w]) << "worker " << w;
+      EXPECT_TRUE(has_down[w]) << "worker " << w;
+    }
+  }
+}
+
+TEST(PartitionTest, StepCountScalesWithLog) {
+  // n^2 processors need log2(n) steps (§5: "the number of steps
+  // increases every quadrupling of processors, not doubling").
+  EXPECT_EQ(AggregationSchedule::make(2).steps.size(), 1u);
+  EXPECT_EQ(AggregationSchedule::make(4).steps.size(), 2u);
+  EXPECT_EQ(AggregationSchedule::make(8).steps.size(), 3u);
+}
+
+TEST(PartitionTest, UniformTransferCounts) {
+  // Each step moves the same amount of LinkBlock state per participating
+  // worker pair: 4 transfers per 2x2 group position, i.e. 2*n transfers
+  // per kind per step... verify total count = 4 * (n/2) * groups.
+  for (std::int32_t n : {2, 4, 8}) {
+    const AggregationSchedule sched = AggregationSchedule::make(n);
+    std::int32_t size = 2;
+    for (const auto& step : sched.steps) {
+      const std::int32_t groups = (n / size) * (n / size);
+      EXPECT_EQ(step.size(),
+                static_cast<std::size_t>(groups * 4 * (size / 2)));
+      size *= 2;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ft::topo

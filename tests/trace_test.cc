@@ -1,0 +1,137 @@
+// Tests for the measurement instruments (sim/trace.*): ideal-FCT model,
+// bucket accounting, fairness scores, throughput series, and the path
+// delay sampler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "sim/simulator.h"
+#include "topo/clos.h"
+
+namespace ft::sim {
+namespace {
+
+topo::ClosConfig paper_cfg() { return topo::ClosConfig(); }
+
+TEST(FlowStatsTest, IdealFctHandComputed) {
+  topo::ClosTopology clos(paper_cfg());
+  FlowStats stats(clos);
+  // 1 MSS intra-rack: serialize 1538B at 10G = 1.2304 us; one-way
+  // 2 (host) + 1.5 + 1.5 (links) + 2 (host) = 7 us; ack path back
+  // 7 us + 84B at 10G (0.0672 us).
+  const Time ideal = stats.ideal_fct(1460, 0, 1);
+  const Time expect = tx_time(1538, 10e9)     // data serialization
+                      + from_us(7)            // propagation out
+                      + from_us(7)            // ack propagation back
+                      + tx_time(84, 10e9);    // ack serialization
+  EXPECT_EQ(ideal, expect);
+}
+
+TEST(FlowStatsTest, IdealFctScalesWithSizeAndHops) {
+  topo::ClosTopology clos(paper_cfg());
+  FlowStats stats(clos);
+  // Larger flows take longer; cross-rack adds 2x1.5us each way.
+  EXPECT_GT(stats.ideal_fct(100 * 1460, 0, 1),
+            stats.ideal_fct(1460, 0, 1));
+  const Time intra = stats.ideal_fct(1460, 0, 1);
+  const Time inter = stats.ideal_fct(1460, 0, 16);  // different rack
+  EXPECT_EQ(inter - intra, 2 * 2 * from_us(1.5));
+}
+
+TEST(FlowStatsTest, BucketsAndScores) {
+  topo::ClosTopology clos(paper_cfg());
+  FlowStats stats(clos);
+  // Two flows: one 1-packet, one 50-packet.
+  stats.on_flow_start(0, 1000, 0, 1, 0);
+  stats.on_flow_start(1, 50 * 1460, 0, 17, 0);
+  stats.on_flow_complete(0, stats.ideal_fct(1000, 0, 1) * 2);
+  stats.on_flow_complete(1, stats.ideal_fct(50 * 1460, 0, 17) * 4);
+  EXPECT_EQ(stats.completed(), 2u);
+  EXPECT_EQ(stats.bucket(wl::SizeBucket::kOnePacket).count(), 1u);
+  EXPECT_EQ(stats.bucket(wl::SizeBucket::k10To100).count(), 1u);
+  EXPECT_NEAR(stats.bucket(wl::SizeBucket::kOnePacket).p99(), 2.0, 1e-9);
+  EXPECT_NEAR(stats.bucket(wl::SizeBucket::k10To100).p99(), 4.0, 1e-9);
+  EXPECT_NEAR(stats.mean_normalized_fct(), 3.0, 1e-9);
+  // Fairness score = mean log2(rate in Gbit/s).
+  const double r0 =
+      1000 * 8.0 / to_sec(stats.ideal_fct(1000, 0, 1) * 2) / 1e9;
+  const double r1 = 50 * 1460 * 8.0 /
+                    to_sec(stats.ideal_fct(50 * 1460, 0, 17) * 4) / 1e9;
+  EXPECT_NEAR(stats.fairness_score(),
+              (std::log2(r0) + std::log2(r1)) / 2, 1e-9);
+}
+
+TEST(ThroughputSeriesTest, BinsBytesIntoGbps) {
+  ThroughputSeries series(2, from_ms(1), from_ms(10));
+  EXPECT_EQ(series.num_bins(), 10u);
+  // 1.25 MB in bin 3 of flow 0 = 10 Gbit/s over 1 ms.
+  series.on_bytes(0, 1'250'000, from_ms(3) + from_us(100));
+  EXPECT_NEAR(series.gbps(0, 3), 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(series.gbps(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(series.gbps(1, 3), 0.0);
+  // Out-of-range flow ids and times are ignored, not fatal.
+  series.on_bytes(99, 1000, from_ms(1));
+  series.on_bytes(0, 1000, from_ms(99));
+}
+
+TEST(PathDelaySamplerTest, SeesQueuedBytes) {
+  topo::ClosConfig cfg;
+  cfg.racks = 2;
+  cfg.servers_per_rack = 2;
+  cfg.spines = 1;
+  cfg.fabric_link_bps = 20e9;
+  Simulator s;
+  topo::ClosTopology clos(cfg);
+  Network net(s.events, s.pool, clos, [](double) {
+    return std::make_unique<DropTailQueue>(1 << 20);
+  });
+  net.set_delivery_handler([&](Packet* p) { s.pool.free(p); });
+
+  // Pre-load every host-adjacent queue with ~50 packets by sending
+  // bursts; then sample.
+  const auto burst = [&](std::int32_t src, std::int32_t dst) {
+    const auto path = clos.host_path(clos.host(src), clos.host(dst), 0);
+    for (int i = 0; i < 50; ++i) {
+      Packet* p = s.pool.alloc();
+      p->src_host = src;
+      p->dst_host = dst;
+      p->payload = 1460;
+      p->finalize_size();
+      p->set_path(path.begin(), path.size());
+      net.send(p);
+    }
+  };
+  burst(0, 1);
+  burst(1, 0);
+  burst(2, 3);
+  burst(3, 2);
+  PathDelaySampler sampler(net, from_us(10), 16, 1);
+  sampler.start(from_us(40));
+  s.run_until(from_us(35));  // sample while queues are still draining
+  EXPECT_GT(sampler.two_hop().count(), 0u);
+  EXPECT_GT(sampler.two_hop().p99(), 1.0);  // tens of us of queue
+  s.run_until(from_ms(5));
+}
+
+TEST(PathDelaySamplerTest, StopsAtHorizon) {
+  topo::ClosConfig cfg;
+  cfg.racks = 2;
+  cfg.servers_per_rack = 2;
+  cfg.spines = 1;
+  cfg.fabric_link_bps = 20e9;
+  Simulator s;
+  topo::ClosTopology clos(cfg);
+  Network net(s.events, s.pool, clos, [](double) {
+    return std::make_unique<DropTailQueue>(1 << 20);
+  });
+  PathDelaySampler sampler(net, from_us(100), 4, 1);
+  sampler.start(from_ms(1));
+  s.run_until(from_ms(50));
+  // ~10 sampling ticks, 4 2-hop samples each; none after the horizon.
+  EXPECT_LE(sampler.two_hop().count(), 40u);
+  EXPECT_GT(sampler.two_hop().count(), 0u);
+}
+
+}  // namespace
+}  // namespace ft::sim

@@ -1,0 +1,159 @@
+// Tests for flow-size distributions and the Poisson traffic generator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/wire.h"
+#include "workload/size_dist.h"
+#include "workload/traffic_gen.h"
+
+namespace ft::wl {
+namespace {
+
+TEST(SizeDistTest, MeanOrderingDrivesOverheadOrdering) {
+  // §6.4: update-traffic overhead is Web > Cache > Hadoop because the
+  // mean flowlet size is Web < Cache < Hadoop.
+  const double web = workload_dist(Workload::kWeb).mean_bytes();
+  const double cache = workload_dist(Workload::kCache).mean_bytes();
+  const double hadoop = workload_dist(Workload::kHadoop).mean_bytes();
+  EXPECT_LT(web, cache);
+  EXPECT_LT(cache, hadoop);
+  // All in plausible datacenter ranges.
+  EXPECT_GT(web, 10e3);
+  EXPECT_LT(hadoop, 100e6);
+}
+
+TEST(SizeDistTest, MostFlowsAreSmall) {
+  // Workload shape sanity: the majority of Web flows fit in 10 packets
+  // (cited in §1: "the majority of flows are under 10 packets").
+  const auto& web = workload_dist(Workload::kWeb);
+  EXPECT_LT(web.quantile(0.5), 10.0 * kMss);
+}
+
+TEST(SizeDistTest, QuantileMonotone) {
+  for (auto w : {Workload::kWeb, Workload::kCache, Workload::kHadoop}) {
+    const auto& d = workload_dist(w);
+    double prev = 0.0;
+    for (double q = 0.0; q <= 1.0; q += 0.01) {
+      const double v = d.quantile(q);
+      EXPECT_GE(v, prev);
+      prev = v;
+    }
+    EXPECT_DOUBLE_EQ(d.quantile(1.0), d.points().back().bytes);
+  }
+}
+
+TEST(SizeDistTest, SampleMeanMatchesAnalyticMean) {
+  for (auto w : {Workload::kWeb, Workload::kCache, Workload::kHadoop}) {
+    const auto& d = workload_dist(w);
+    Rng rng(42);
+    double sum = 0.0;
+    const int kDraws = 400000;
+    for (int i = 0; i < kDraws; ++i) {
+      sum += static_cast<double>(d.sample(rng));
+    }
+    const double sample_mean = sum / kDraws;
+    // Heavy tails need loose tolerance.
+    EXPECT_NEAR(sample_mean, d.mean_bytes(), 0.05 * d.mean_bytes())
+        << d.name();
+  }
+}
+
+TEST(SizeDistTest, SamplesWithinSupport) {
+  const auto& d = workload_dist(Workload::kCache);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const auto s = d.sample(rng);
+    EXPECT_GE(s, 1);
+    EXPECT_LE(static_cast<double>(s), d.points().back().bytes + 1);
+  }
+}
+
+TEST(SizeBucketTest, PaperBuckets) {
+  EXPECT_EQ(size_bucket(1), SizeBucket::kOnePacket);
+  EXPECT_EQ(size_bucket(kMss), SizeBucket::kOnePacket);
+  EXPECT_EQ(size_bucket(kMss + 1), SizeBucket::k1To10);
+  EXPECT_EQ(size_bucket(10 * kMss), SizeBucket::k1To10);
+  EXPECT_EQ(size_bucket(100 * kMss), SizeBucket::k10To100);
+  EXPECT_EQ(size_bucket(1000 * kMss), SizeBucket::k100To1000);
+  EXPECT_EQ(size_bucket(1001 * kMss), SizeBucket::kLarge);
+}
+
+TEST(TrafficGenTest, ArrivalRateMatchesLoadDefinition) {
+  TrafficConfig cfg;
+  cfg.num_hosts = 144;
+  cfg.host_link_bps = 10e9;
+  cfg.load = 0.8;
+  cfg.workload = Workload::kWeb;
+  const double mean_bits = workload_dist(cfg.workload).mean_bytes() * 8;
+  EXPECT_NEAR(arrival_rate_per_sec(cfg),
+              0.8 * 10e9 * 144 / mean_bits, 1e-6);
+}
+
+TEST(TrafficGenTest, EventsSortedAndValid) {
+  TrafficConfig cfg;
+  cfg.num_hosts = 16;
+  cfg.load = 0.5;
+  cfg.seed = 7;
+  TrafficGenerator gen(cfg);
+  const auto events = gen.generate(from_ms(20));
+  ASSERT_GT(events.size(), 10u);
+  Time prev = -1;
+  for (const auto& e : events) {
+    EXPECT_GE(e.start, prev);
+    prev = e.start;
+    EXPECT_GE(e.src_host, 0);
+    EXPECT_LT(e.src_host, 16);
+    EXPECT_GE(e.dst_host, 0);
+    EXPECT_LT(e.dst_host, 16);
+    EXPECT_NE(e.src_host, e.dst_host);
+    EXPECT_GE(e.bytes, 1);
+  }
+}
+
+TEST(TrafficGenTest, EmpiricalLoadApproximatesTarget) {
+  TrafficConfig cfg;
+  cfg.num_hosts = 64;
+  cfg.load = 0.6;
+  cfg.workload = Workload::kWeb;
+  cfg.seed = 3;
+  TrafficGenerator gen(cfg);
+  const Time horizon = from_ms(400);
+  double bytes = 0;
+  for (const auto& e : gen.generate(horizon)) {
+    bytes += static_cast<double>(e.bytes);
+  }
+  const double offered_bps = bytes * 8 / to_sec(horizon);
+  const double capacity = 64 * 10e9;
+  EXPECT_NEAR(offered_bps / capacity, 0.6, 0.08);
+}
+
+TEST(TrafficGenTest, DeterministicAcrossRuns) {
+  TrafficConfig cfg;
+  cfg.num_hosts = 8;
+  cfg.seed = 11;
+  TrafficGenerator a(cfg), b(cfg);
+  for (int i = 0; i < 1000; ++i) {
+    const auto ea = a.next();
+    const auto eb = b.next();
+    EXPECT_EQ(ea.start, eb.start);
+    EXPECT_EQ(ea.src_host, eb.src_host);
+    EXPECT_EQ(ea.dst_host, eb.dst_host);
+    EXPECT_EQ(ea.bytes, eb.bytes);
+  }
+}
+
+TEST(TrafficGenTest, UniformSourceSelection) {
+  TrafficConfig cfg;
+  cfg.num_hosts = 8;
+  cfg.seed = 23;
+  TrafficGenerator gen(cfg);
+  std::vector<int> counts(8, 0);
+  const int kEvents = 80000;
+  for (int i = 0; i < kEvents; ++i) ++counts[gen.next().src_host];
+  for (int c : counts) EXPECT_NEAR(c, kEvents / 8, kEvents / 8 * 0.1);
+}
+
+}  // namespace
+}  // namespace ft::wl
