@@ -1,0 +1,160 @@
+// Control-plane throughput over loopback: an endpoint agent blasts
+// flowlet start/end notifications at the AllocatorService and we measure
+// control messages/sec through the full path (agent framing -> socket ->
+// epoll -> deframing -> allocator churn) plus bytes-on-wire with and
+// without batching. Single-threaded: the bench interleaves client sends,
+// the service's epoll loop and allocation rounds, so every number is
+// read race-free.
+//
+//   $ ./bench_net_throughput --messages=400000 --batch=256 --unix=1
+#include <algorithm>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/wire.h"
+#include "core/allocator.h"
+#include "net/client.h"
+#include "net/epoll_loop.h"
+#include "net/server.h"
+#include "topo/clos.h"
+
+namespace {
+
+std::vector<double> caps_of(const ft::topo::ClosTopology& clos) {
+  std::vector<double> caps;
+  for (const auto& l : clos.graph().links()) caps.push_back(l.capacity_bps);
+  return caps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ft;
+  bench::Flags flags(argc, argv);
+  const auto messages = flags.int_flag("messages", 400'000,
+                                       "control messages to send");
+  const auto batch = flags.int_flag("batch", 256,
+                                    "records per client batch flush");
+  const auto period_us = flags.int_flag("period-us", 100,
+                                        "allocation round period (us)");
+  const bool use_unix = flags.bool_flag("unix", false,
+                                        "Unix socket instead of TCP");
+  flags.done("Allocator control-plane throughput over loopback.");
+
+  topo::ClosConfig tcfg;
+  tcfg.racks = 4;
+  tcfg.servers_per_rack = 8;
+  tcfg.spines = 2;
+  const topo::ClosTopology clos(tcfg);
+  core::Allocator alloc(caps_of(clos), core::AllocatorConfig{});
+
+  net::EpollLoop loop;
+  net::ServerConfig scfg;
+  scfg.tcp_port = use_unix ? -1 : 0;
+  if (use_unix) scfg.unix_path = "/tmp/flowtune_bench_net.sock";
+  scfg.iteration_period_us = 0;  // rounds interleaved below
+  net::AllocatorService svc(loop, alloc, clos, scfg);
+
+  net::EndpointAgent agent;
+  const bool ok = use_unix
+                      ? agent.connect_unix(scfg.unix_path)
+                      : agent.connect_tcp("127.0.0.1", svc.tcp_port());
+  if (!ok) {
+    std::fprintf(stderr, "connect failed\n");
+    return 1;
+  }
+
+  bench::banner("Control-plane throughput",
+                "messages/sec over loopback, §6.2 encodings");
+
+  // Steady-state churn: every start is eventually ended, so sends are
+  // half starts, half ends, in batches of `batch` records per frame.
+  const int hosts = clos.num_hosts();
+  Rng rng(42);
+  std::vector<std::uint32_t> live;
+  std::uint32_t next_key = 1;
+  const std::int64_t total = messages;
+  std::int64_t sent = 0;
+  std::int64_t next_round_us = net::EpollLoop::now_us() + period_us;
+  const auto t0 = net::EpollLoop::now_us();
+  const std::int64_t per_burst = std::max<std::int64_t>(1, batch / 2);
+  while (sent < total) {
+    for (std::int64_t b = 0; b < per_burst && sent < total; ++b) {
+      const auto src = static_cast<std::uint16_t>(rng.below(hosts));
+      auto dst = static_cast<std::uint16_t>(rng.below(hosts - 1));
+      if (dst >= src) ++dst;
+      agent.flowlet_start(next_key, src, dst);
+      live.push_back(next_key++);
+      ++sent;
+      if (live.size() > 64) {
+        agent.flowlet_end(live.front());
+        live.erase(live.begin());
+        ++sent;
+      }
+    }
+    agent.flush();
+    if (!agent.poll()) {
+      std::fprintf(stderr, "connection lost\n");
+      return 1;
+    }
+    loop.run_once(0);
+    const std::int64_t now = net::EpollLoop::now_us();
+    if (now >= next_round_us) {
+      svc.run_allocation_round();
+      next_round_us = now + period_us;
+    }
+  }
+  // Drain: pump until the service has consumed every message sent.
+  const std::int64_t drain_deadline = net::EpollLoop::now_us() + 30'000'000;
+  while (static_cast<std::int64_t>(svc.stats().flowlet_starts +
+                                   svc.stats().flowlet_ends) < sent &&
+         net::EpollLoop::now_us() < drain_deadline) {
+    if (!agent.poll()) break;
+    loop.run_once(1'000);
+  }
+  const auto t1 = net::EpollLoop::now_us();
+
+  const auto& s = svc.stats();
+  const double secs = static_cast<double>(t1 - t0) / 1e6;
+  const double msgs_per_sec = static_cast<double>(sent) / secs;
+  const auto& as = agent.stats();
+  // What the same messages would cost unbatched: one TCP segment per
+  // §6.2 message (paper's "plus standard TCP/IP overheads").
+  const std::int64_t unbatched_wire =
+      static_cast<std::int64_t>(as.starts_sent) *
+          wire_bytes_tcp(core::kFlowletStartBytes) +
+      static_cast<std::int64_t>(as.ends_sent) *
+          wire_bytes_tcp(core::kFlowletEndBytes);
+
+  bench::Table table({"metric", "value"});
+  table.add_row({"transport", use_unix ? "unix" : "tcp"});
+  table.add_row({"control messages sent", bench::fmt("%lld",
+                 static_cast<long long>(sent))});
+  table.add_row({"elapsed", bench::fmt("%.3f s", secs)});
+  table.add_row({"messages/sec", bench::fmt("%.0f", msgs_per_sec)});
+  table.add_row({"server starts/ends", bench::fmt("%llu / %llu",
+                 static_cast<unsigned long long>(s.flowlet_starts),
+                 static_cast<unsigned long long>(s.flowlet_ends))});
+  table.add_row({"allocation rounds", bench::fmt("%llu",
+                 static_cast<unsigned long long>(s.iterations))});
+  table.add_row({"rate updates pushed", bench::fmt("%llu (coalesced %llu)",
+                 static_cast<unsigned long long>(s.updates_sent),
+                 static_cast<unsigned long long>(s.updates_coalesced))});
+  table.add_row({"client bytes out", bench::fmt("%lld",
+                 static_cast<long long>(as.bytes_out))});
+  table.add_row({"wire bytes (batched)", bench::fmt("%lld",
+                 static_cast<long long>(as.wire_bytes_out))});
+  table.add_row({"wire bytes (unbatched)", bench::fmt("%lld",
+                 static_cast<long long>(unbatched_wire))});
+  table.add_row({"batching saving", bench::fmt("%.1fx",
+                 static_cast<double>(unbatched_wire) /
+                     static_cast<double>(as.wire_bytes_out > 0
+                                             ? as.wire_bytes_out
+                                             : 1))});
+  table.print();
+
+  const bool pass = msgs_per_sec >= 100'000.0;
+  std::printf("\n%s: %.0f control messages/sec (target >= 100k)\n",
+              pass ? "PASS" : "FAIL", msgs_per_sec);
+  return pass ? 0 : 1;
+}

@@ -1,98 +1,120 @@
-// Standalone multicore allocator loop: what the Flowtune allocator
-// process does in production. Builds a 1536-server pod, spins up the
-// partitioned NED+F-NORM engine (§5) across 64 FlowBlocks, replays a
-// flowlet event stream against it, and reports per-iteration latency
-// percentiles -- the numbers behind the paper's §6.1 table.
+// The Flowtune allocator as a standalone daemon: the production shape of
+// §6.2/§7. Endpoint agents (net::EndpointAgent) connect over TCP or a
+// Unix-domain socket, send flowlet start/end notifications, and receive
+// batched rate updates as the epoll-driven service runs the NED+F-NORM
+// iteration on its timer.
 //
-//   $ ./allocator_server             # 8 blocks, 20k flows, 2000 iters
-//   $ ./allocator_server 4 50000     # 4 blocks, 50k flows
-#include <algorithm>
+//   $ ./allocator_server --port=9090
+//   $ ./allocator_server --unix=/tmp/flowtune.sock --period-us=100
+//
+// Flowlet churn is handled through the allocator's key->slot map (slots
+// are recycled by NumProblem's free list, so wire-level flow keys -- not
+// slot indices -- are the only stable handle; the pre-daemon version of
+// this example tracked raw FlowIndex values and could double-free a
+// recycled slot).
+#include <csignal>
 #include <cstdio>
-#include <cstdlib>
 #include <vector>
 
-#include "common/rng.h"
-#include "core/flowtune.h"
+#include "bench_util.h"
+#include "core/allocator.h"
+#include "net/client.h"
+#include "net/epoll_loop.h"
+#include "net/server.h"
 #include "topo/clos.h"
-#include "topo/partition.h"
+
+namespace {
+
+ft::net::EpollLoop* g_loop = nullptr;
+
+void handle_signal(int) {
+  if (g_loop != nullptr) g_loop->stop();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ft;
 
-  const std::int32_t blocks = argc > 1 ? std::atoi(argv[1]) : 8;
-  const std::int32_t target_flows = argc > 2 ? std::atoi(argv[2]) : 20000;
-  const std::int32_t iters = 2000;
-
+  bench::Flags flags(argc, argv);
   topo::ClosConfig tcfg;
-  tcfg.racks = 96;  // 1536 servers
-  tcfg.servers_per_rack = 16;
-  tcfg.spines = 4;
-  topo::ClosTopology clos(tcfg);
-  const auto part = topo::BlockPartition::make(clos, blocks);
+  tcfg.racks = static_cast<std::int32_t>(
+      flags.int_flag("racks", 9, "Clos racks"));
+  tcfg.servers_per_rack = static_cast<std::int32_t>(
+      flags.int_flag("servers", 16, "servers per rack"));
+  tcfg.spines = static_cast<std::int32_t>(
+      flags.int_flag("spines", 4, "Clos spines"));
 
+  core::AllocatorConfig acfg;
+  acfg.gamma = flags.double_flag("gamma", acfg.gamma, "NED step size");
+  acfg.threshold = flags.double_flag("threshold", acfg.threshold,
+                                     "notification threshold");
+
+  net::ServerConfig scfg;
+  scfg.tcp_port = static_cast<int>(
+      flags.int_flag("port", 9090, "TCP listen port (-1 disables)"));
+  scfg.unix_path =
+      flags.string_flag("unix", "", "Unix-domain socket path");
+  scfg.iteration_period_us = flags.int_flag(
+      "period-us", 100, "allocation round period (us)");
+  const auto stats_sec =
+      flags.double_flag("stats-sec", 5, "stats print interval (s)");
+  flags.done(
+      "Flowtune allocator daemon: serves endpoint agents over TCP/Unix "
+      "sockets, runs the NED+F-NORM round every --period-us.");
+
+  topo::ClosTopology clos(tcfg);
   std::vector<double> caps;
   for (const auto& l : clos.graph().links()) caps.push_back(l.capacity_bps);
-  core::NumProblem problem(caps);
+  core::Allocator alloc(std::move(caps), acfg);
 
-  core::ParallelConfig pcfg;
-  pcfg.num_blocks = blocks;
-  core::ParallelNed engine(problem, part, pcfg);
-  std::printf("%d FlowBlocks on %d threads, %zu links, %d servers\n",
-              blocks * blocks, engine.num_threads(),
-              problem.num_links(), clos.num_hosts());
-
-  // Seed the pod with random flows, then run iterations with churn:
-  // every iteration a handful of flowlets start and end, as they would
-  // arrive from endpoint notifications.
-  Rng rng(7);
-  const auto hosts = static_cast<std::uint64_t>(clos.num_hosts());
-  std::vector<core::FlowIndex> live;
-  const auto add_flow = [&] {
-    const auto s = static_cast<std::int32_t>(rng.below(hosts));
-    auto d = static_cast<std::int32_t>(rng.below(hosts - 1));
-    if (d >= s) ++d;
-    const auto path = clos.host_path(clos.host(s), clos.host(d), rng.next());
-    std::vector<LinkId> route(path.begin(), path.end());
-    const core::FlowIndex idx =
-        problem.add_flow(route, core::Utility::log_utility());
-    engine.assign_flow(idx, part.block_of_host(clos, clos.host(s)),
-                       part.block_of_host(clos, clos.host(d)));
-    live.push_back(idx);
-  };
-  for (std::int32_t i = 0; i < target_flows; ++i) add_flow();
-
-  std::vector<double> us;
-  us.reserve(static_cast<std::size_t>(iters));
-  double total_alloc_tbps = 0.0;
-  for (std::int32_t it = 0; it < iters; ++it) {
-    // Churn: ~4 flowlet events per 10 us iteration.
-    for (int e = 0; e < 2; ++e) {
-      const auto pick = rng.below(live.size());
-      engine.unassign_flow(live[pick]);
-      problem.remove_flow(live[pick]);
-      live[pick] = live.back();
-      live.pop_back();
-      add_flow();
-    }
-    engine.iterate();
-    us.push_back(engine.last_iter_seconds() * 1e6);
-    if (it == iters - 1) {
-      for (core::FlowIndex f : live) {
-        total_alloc_tbps += engine.norm_rates()[f] / 1e12;
-      }
-    }
+  if (scfg.tcp_port < 0 && scfg.unix_path.empty()) {
+    std::fprintf(stderr, "need --port or --unix (see --help)\n");
+    return 1;
   }
-  std::sort(us.begin(), us.end());
-  const auto pct = [&](double q) {
-    return us[static_cast<std::size_t>(q * (us.size() - 1))];
-  };
-  std::printf("\n%d iterations over %zu flows:\n", iters, live.size());
-  std::printf("  per-iteration latency: p50 %.1f us  p90 %.1f us  p99 %.1f us\n",
-              pct(0.50), pct(0.90), pct(0.99));
-  std::printf("  allocated throughput (F-NORM): %.2f Tbit/s\n",
-              total_alloc_tbps);
-  std::printf(
-      "\nPaper (§6.1, 80-core machine): 64 FlowBlocks allocate 1536 "
-      "nodes / 49k flows in 16.9 us per iteration.\n");
+
+  net::EpollLoop loop;
+  net::AllocatorService svc(loop, alloc, clos, scfg);
+  g_loop = &loop;
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  std::printf("flowtune allocator daemon: %d hosts, %zu links\n",
+              clos.num_hosts(), alloc.problem().num_links());
+  if (svc.tcp_port() >= 0) {
+    std::printf("  tcp   127.0.0.1:%d\n", svc.tcp_port());
+  }
+  if (!svc.unix_path().empty()) {
+    std::printf("  unix  %s\n", svc.unix_path().c_str());
+  }
+  std::printf("  round period %lld us, gamma %.2f, threshold %.3f\n",
+              static_cast<long long>(scfg.iteration_period_us), acfg.gamma,
+              acfg.threshold);
+
+  const auto stats_period_us = static_cast<std::int64_t>(stats_sec * 1e6);
+  if (stats_period_us > 0) {
+    loop.add_periodic(stats_period_us, [&] {
+      const auto& s = svc.stats();
+      std::printf(
+          "[stats] conns=%zu flows=%zu starts=%llu ends=%llu "
+          "iters=%llu updates=%llu (coalesced %llu) out=%lld B "
+          "(wire %lld B) in=%lld B\n",
+          svc.num_connections(), alloc.num_active_flowlets(),
+          static_cast<unsigned long long>(s.flowlet_starts),
+          static_cast<unsigned long long>(s.flowlet_ends),
+          static_cast<unsigned long long>(s.iterations),
+          static_cast<unsigned long long>(s.updates_sent),
+          static_cast<unsigned long long>(s.updates_coalesced),
+          static_cast<long long>(s.bytes_out),
+          static_cast<long long>(s.wire_bytes_out),
+          static_cast<long long>(s.bytes_in));
+      std::fflush(stdout);
+    });
+  }
+
+  loop.run();
+  std::printf("shutting down: %llu flowlet starts, %llu iterations\n",
+              static_cast<unsigned long long>(svc.stats().flowlet_starts),
+              static_cast<unsigned long long>(svc.stats().iterations));
   return 0;
 }

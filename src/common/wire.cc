@@ -13,4 +13,11 @@ std::int64_t wire_bytes_tcp(std::int64_t payload) {
   return wire_bytes_l3(payload + kTcpIpHeader);
 }
 
+std::int64_t wire_bytes_tcp_stream(std::int64_t payload) {
+  if (payload <= 0) return 0;
+  const std::int64_t full = payload / kMss;
+  const std::int64_t rem = payload % kMss;
+  return full * wire_bytes_tcp(kMss) + (rem > 0 ? wire_bytes_tcp(rem) : 0);
+}
+
 }  // namespace ft

@@ -19,4 +19,9 @@ inline constexpr std::int64_t kMinFrame = 64;       // excl. preamble/IFG
 // Bytes occupied on the wire by a raw L3 datagram of `l3_bytes`.
 [[nodiscard]] std::int64_t wire_bytes_l3(std::int64_t l3_bytes);
 
+// Bytes occupied on the wire by `payload` bytes sent over an established
+// TCP stream, split into MSS-sized segments (control-plane batches can
+// exceed one MSS). 0 payload costs nothing: it generates no segment.
+[[nodiscard]] std::int64_t wire_bytes_tcp_stream(std::int64_t payload);
+
 }  // namespace ft

@@ -50,8 +50,9 @@ std::array<std::uint8_t, kRateUpdateBytes> encode(const RateUpdateMsg& m) {
   return buf;
 }
 
-FlowletStartMsg decode_flowlet_start(
-    const std::array<std::uint8_t, kFlowletStartBytes>& buf) {
+std::optional<FlowletStartMsg> try_decode_flowlet_start(
+    std::span<const std::uint8_t> buf) {
+  if (buf.size() < kFlowletStartBytes) return std::nullopt;
   FlowletStartMsg m;
   m.flow_key = get32(&buf[0]);
   m.src_host = get16(&buf[4]);
@@ -62,17 +63,34 @@ FlowletStartMsg decode_flowlet_start(
   return m;
 }
 
-FlowletEndMsg decode_flowlet_end(
-    const std::array<std::uint8_t, kFlowletEndBytes>& buf) {
+std::optional<FlowletEndMsg> try_decode_flowlet_end(
+    std::span<const std::uint8_t> buf) {
+  if (buf.size() < kFlowletEndBytes) return std::nullopt;
   return FlowletEndMsg{get32(&buf[0])};
 }
 
-RateUpdateMsg decode_rate_update(
-    const std::array<std::uint8_t, kRateUpdateBytes>& buf) {
+std::optional<RateUpdateMsg> try_decode_rate_update(
+    std::span<const std::uint8_t> buf) {
+  if (buf.size() < kRateUpdateBytes) return std::nullopt;
   RateUpdateMsg m;
   m.flow_key = get32(&buf[0]);
   m.rate_code = get16(&buf[4]);
   return m;
+}
+
+FlowletStartMsg decode_flowlet_start(
+    const std::array<std::uint8_t, kFlowletStartBytes>& buf) {
+  return *try_decode_flowlet_start(std::span<const std::uint8_t>(buf));
+}
+
+FlowletEndMsg decode_flowlet_end(
+    const std::array<std::uint8_t, kFlowletEndBytes>& buf) {
+  return *try_decode_flowlet_end(std::span<const std::uint8_t>(buf));
+}
+
+RateUpdateMsg decode_rate_update(
+    const std::array<std::uint8_t, kRateUpdateBytes>& buf) {
+  return *try_decode_rate_update(std::span<const std::uint8_t>(buf));
 }
 
 }  // namespace ft::core

@@ -8,6 +8,7 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <span>
 
 namespace ft::core {
 
@@ -49,6 +50,18 @@ struct RateUpdateMsg {
 [[nodiscard]] std::array<std::uint8_t, kRateUpdateBytes> encode(
     const RateUpdateMsg& m);
 
+// Stream-oriented decoders: parse a message from the front of `buf`
+// without copying into a fixed array first. Returns nullopt when fewer
+// than the message's fixed size bytes are available (the caller keeps
+// buffering); extra trailing bytes are ignored.
+[[nodiscard]] std::optional<FlowletStartMsg> try_decode_flowlet_start(
+    std::span<const std::uint8_t> buf);
+[[nodiscard]] std::optional<FlowletEndMsg> try_decode_flowlet_end(
+    std::span<const std::uint8_t> buf);
+[[nodiscard]] std::optional<RateUpdateMsg> try_decode_rate_update(
+    std::span<const std::uint8_t> buf);
+
+// Fixed-array decoders (thin wrappers over the span overloads).
 [[nodiscard]] FlowletStartMsg decode_flowlet_start(
     const std::array<std::uint8_t, kFlowletStartBytes>& buf);
 [[nodiscard]] FlowletEndMsg decode_flowlet_end(

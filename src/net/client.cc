@@ -1,0 +1,215 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/ratecode.h"
+#include "common/wire.h"
+#include "net/epoll_loop.h"
+
+namespace ft::net {
+
+EndpointAgent::EndpointAgent(AgentConfig cfg)
+    : cfg_(cfg), parser_(cfg.max_frame_payload) {}
+
+EndpointAgent::~EndpointAgent() { disconnect(); }
+
+bool EndpointAgent::adopt_socket(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  return true;
+}
+
+bool EndpointAgent::connect_tcp(const std::string& host, int port) {
+  FT_CHECK(fd_ < 0);
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return adopt_socket(fd);
+}
+
+bool EndpointAgent::connect_unix(const std::string& path) {
+  FT_CHECK(fd_ < 0);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    ::close(fd);
+    return false;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return false;
+  }
+  return adopt_socket(fd);
+}
+
+void EndpointAgent::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool EndpointAgent::flowlet_start(std::uint32_t key, std::uint16_t src,
+                                  std::uint16_t dst,
+                                  std::uint32_t size_hint_bytes,
+                                  std::uint16_t weight_milli) {
+  if (flows_.contains(key)) return false;
+  flows_.emplace(key,
+                 FlowletState{0.0, 0, EpollLoop::now_us()});
+  writer_.add(core::FlowletStartMsg{key, src, dst, size_hint_bytes,
+                                    weight_milli, 0});
+  ++stats_.starts_sent;
+  if (writer_.pending_bytes() >= cfg_.flush_threshold_bytes) flush();
+  return true;
+}
+
+bool EndpointAgent::flowlet_end(std::uint32_t key) {
+  if (flows_.erase(key) == 0) return false;
+  writer_.add(core::FlowletEndMsg{key});
+  ++stats_.ends_sent;
+  if (writer_.pending_bytes() >= cfg_.flush_threshold_bytes) flush();
+  return true;
+}
+
+void EndpointAgent::touch(std::uint32_t key) {
+  const auto it = flows_.find(key);
+  if (it != flows_.end()) it->second.last_activity_us = EpollLoop::now_us();
+}
+
+void EndpointAgent::on_rate_update(const core::RateUpdateMsg& m) {
+  ++stats_.updates_received;
+  const auto it = flows_.find(m.flow_key);
+  if (it == flows_.end()) return;  // raced with a local flowlet-end
+  it->second.rate_code = m.rate_code;
+  it->second.rate_bps = decode_rate(m.rate_code);
+  if (on_rate_) on_rate_(m.flow_key, it->second.rate_bps, m.rate_code);
+}
+
+double EndpointAgent::rate_bps(std::uint32_t key) const {
+  const auto it = flows_.find(key);
+  return it == flows_.end() ? 0.0 : it->second.rate_bps;
+}
+
+std::uint16_t EndpointAgent::rate_code(std::uint32_t key) const {
+  const auto it = flows_.find(key);
+  return it == flows_.end() ? 0 : it->second.rate_code;
+}
+
+void EndpointAgent::expire_idle(std::int64_t now_us) {
+  if (cfg_.idle_gap_us <= 0) return;
+  // Collect first: flowlet_end mutates flows_.
+  std::vector<std::uint32_t> idle;
+  for (const auto& [key, st] : flows_) {
+    if (now_us - st.last_activity_us >= cfg_.idle_gap_us) {
+      idle.push_back(key);
+    }
+  }
+  for (const std::uint32_t key : idle) {
+    if (flowlet_end(key)) ++stats_.idle_ends;
+  }
+}
+
+bool EndpointAgent::drain_socket() {
+  std::uint8_t buf[64 * 1024];
+  while (true) {
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n > 0) {
+      stats_.bytes_in += n;
+      if (!parser_.feed({buf, static_cast<std::size_t>(n)}, *this)) {
+        return false;  // malformed stream from the service
+      }
+      if (static_cast<std::size_t>(n) < sizeof buf) return true;
+      continue;
+    }
+    if (n == 0) return false;  // service closed
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+bool EndpointAgent::try_write() {
+  while (out_off_ < outbox_.size()) {
+    const ssize_t n = ::send(fd_, outbox_.data() + out_off_,
+                             outbox_.size() - out_off_, MSG_NOSIGNAL);
+    if (n > 0) {
+      out_off_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  outbox_.clear();
+  out_off_ = 0;
+  return true;
+}
+
+void EndpointAgent::flush() {
+  if (fd_ < 0) {
+    // Disconnected: nothing will ever be sent; drop instead of letting
+    // pending output grow without bound.
+    std::vector<std::uint8_t> discard;
+    writer_.flush(discard);
+    outbox_.clear();
+    out_off_ = 0;
+    return;
+  }
+  const std::size_t framed = writer_.flush(outbox_);
+  if (framed > 0) {
+    ++stats_.frames_out;
+    stats_.bytes_out += static_cast<std::int64_t>(framed);
+    stats_.wire_bytes_out +=
+        wire_bytes_tcp_stream(static_cast<std::int64_t>(framed));
+  }
+  if (outbox_.size() - out_off_ > cfg_.max_outbox_bytes) {
+    // The service stopped reading; give up rather than buffer forever.
+    disconnect();
+    outbox_.clear();
+    out_off_ = 0;
+    return;
+  }
+  if (!try_write()) disconnect();
+}
+
+bool EndpointAgent::poll() {
+  if (fd_ < 0) return false;
+  if (!drain_socket()) {
+    disconnect();
+    return false;
+  }
+  expire_idle(EpollLoop::now_us());
+  flush();
+  return fd_ >= 0;
+}
+
+}  // namespace ft::net

@@ -1,0 +1,118 @@
+// EndpointAgent: the endpoint side of the allocator control plane.
+//
+// The agent owns one socket to the allocator service. The application
+// registers flowlets (flowlet_start) and reports traffic activity
+// (touch); the agent frames and batches the outgoing notifications,
+// applies incoming rate updates to its local table, and -- mirroring
+// endpoint-side flowlet detection -- auto-emits a flowlet-end once a
+// flowlet has been idle longer than the configured gap, so applications
+// that stop sending need not remember to deregister.
+//
+// Single-threaded: call poll() from one thread (an event loop tick or a
+// pacing loop). poll() drains the socket, expires idle flowlets and
+// flushes pending writes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/frame.h"
+
+namespace ft::net {
+
+struct AgentConfig {
+  // Auto flowlet-end after this much inactivity; <= 0 disables it.
+  std::int64_t idle_gap_us = 0;
+  // Flush the outgoing batch automatically when it grows past this many
+  // payload bytes (latency/amortization trade-off).
+  std::size_t flush_threshold_bytes = 16 * 1024;
+  std::size_t max_frame_payload = kMaxFramePayload;
+  // Give up (disconnect) once this much unsent output is buffered: a
+  // service that stopped reading must not grow the agent without bound.
+  std::size_t max_outbox_bytes = 4 * 1024 * 1024;
+};
+
+struct AgentStats {
+  std::uint64_t starts_sent = 0;
+  std::uint64_t ends_sent = 0;
+  std::uint64_t idle_ends = 0;  // subset of ends_sent emitted by the gap
+  std::uint64_t updates_received = 0;
+  std::uint64_t frames_out = 0;
+  std::int64_t bytes_out = 0;
+  std::int64_t bytes_in = 0;
+  std::int64_t wire_bytes_out = 0;
+};
+
+class EndpointAgent : MessageSink {
+ public:
+  // Rate-update observer: (flow_key, rate_bps, rate_code).
+  using RateCallback =
+      std::function<void(std::uint32_t, double, std::uint16_t)>;
+
+  explicit EndpointAgent(AgentConfig cfg = {});
+  ~EndpointAgent() override;
+  EndpointAgent(const EndpointAgent&) = delete;
+  EndpointAgent& operator=(const EndpointAgent&) = delete;
+
+  [[nodiscard]] bool connect_tcp(const std::string& host, int port);
+  [[nodiscard]] bool connect_unix(const std::string& path);
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  void disconnect();
+
+  void set_rate_callback(RateCallback cb) { on_rate_ = std::move(cb); }
+
+  // Registers a flowlet from host index `src` to `dst` (batched; sent on
+  // the next flush/poll). Returns false if the key is already active.
+  bool flowlet_start(std::uint32_t key, std::uint16_t src,
+                     std::uint16_t dst, std::uint32_t size_hint_bytes = 0,
+                     std::uint16_t weight_milli = 1000);
+  // Explicitly ends a flowlet. Returns false if the key is unknown.
+  bool flowlet_end(std::uint32_t key);
+  // Marks traffic activity on a flowlet, deferring its idle-gap expiry.
+  void touch(std::uint32_t key);
+
+  // Drains incoming rate updates, expires idle flowlets (against the
+  // same CLOCK_MONOTONIC clock that stamps activity), flushes pending
+  // writes. Returns false once the connection is lost.
+  bool poll();
+  // Forces the open batch onto the wire.
+  void flush();
+
+  [[nodiscard]] bool is_active(std::uint32_t key) const {
+    return flows_.contains(key);
+  }
+  [[nodiscard]] std::size_t num_active() const { return flows_.size(); }
+  // Last rate applied for a flow (0 before the first update / unknown).
+  [[nodiscard]] double rate_bps(std::uint32_t key) const;
+  [[nodiscard]] std::uint16_t rate_code(std::uint32_t key) const;
+
+  [[nodiscard]] const AgentStats& stats() const { return stats_; }
+
+ private:
+  struct FlowletState {
+    double rate_bps = 0.0;
+    std::uint16_t rate_code = 0;
+    std::int64_t last_activity_us = 0;
+  };
+
+  void on_rate_update(const core::RateUpdateMsg& m) override;
+  bool adopt_socket(int fd);
+  bool drain_socket();
+  bool try_write();
+  void expire_idle(std::int64_t now_us);
+
+  AgentConfig cfg_;
+  int fd_ = -1;
+  FrameParser parser_;
+  FrameWriter writer_;
+  std::vector<std::uint8_t> outbox_;
+  std::size_t out_off_ = 0;
+  std::unordered_map<std::uint32_t, FlowletState> flows_;
+  RateCallback on_rate_;
+  AgentStats stats_;
+};
+
+}  // namespace ft::net

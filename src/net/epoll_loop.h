@@ -1,0 +1,84 @@
+// Non-blocking epoll event loop with monotonic timers.
+//
+// Single-threaded by design: all callbacks run on the thread calling
+// run()/run_once(). The only thread-safe entry point is stop(), which
+// wakes the loop through an eventfd. Timers are a min-heap keyed on
+// CLOCK_MONOTONIC microseconds and drive the epoll_wait timeout, so a
+// periodic allocator iteration coexists with socket readiness without
+// busy-waiting.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace ft::net {
+
+class EpollLoop {
+ public:
+  using FdCallback = std::function<void(std::uint32_t epoll_events)>;
+  using TimerCallback = std::function<void()>;
+  using TimerId = std::uint64_t;
+
+  EpollLoop();
+  ~EpollLoop();
+  EpollLoop(const EpollLoop&) = delete;
+  EpollLoop& operator=(const EpollLoop&) = delete;
+
+  // Registers `fd` for `events` (EPOLLIN | EPOLLOUT | ...). The callback
+  // receives the ready event mask. The loop does not own the fd.
+  void add_fd(int fd, std::uint32_t events, FdCallback cb);
+  void mod_fd(int fd, std::uint32_t events);
+  void del_fd(int fd);  // safe to call from inside any callback
+  [[nodiscard]] bool watching(int fd) const { return fds_.contains(fd); }
+
+  // One-shot timer firing `delay_us` from now (<=0 fires on the next
+  // run_once). Periodic timers re-arm at fixed period from the previous
+  // deadline. Both may be cancelled; ids are never reused.
+  TimerId add_timer(std::int64_t delay_us, TimerCallback cb);
+  TimerId add_periodic(std::int64_t period_us, TimerCallback cb);
+  void cancel_timer(TimerId id);
+
+  // Waits for readiness or the next timer deadline (capped by
+  // `max_wait_us`, -1 = no cap), dispatches fd events then due timers.
+  // Returns the number of callbacks dispatched.
+  int run_once(std::int64_t max_wait_us = 0);
+
+  // Dispatches until stop() is called.
+  void run();
+  // Thread-safe: requests run() to return after the current dispatch.
+  void stop();
+
+  [[nodiscard]] static std::int64_t now_us();
+
+ private:
+  struct Timer {
+    TimerCallback cb;
+    std::int64_t period_us = 0;  // 0 = one-shot
+    bool cancelled = false;
+  };
+  struct Deadline {
+    std::int64_t at_us;
+    TimerId id;
+    bool operator>(const Deadline& o) const {
+      return at_us != o.at_us ? at_us > o.at_us : id > o.id;
+    }
+  };
+
+  int fire_due_timers(std::int64_t now);
+  [[nodiscard]] std::int64_t wait_budget_us(std::int64_t max_wait_us) const;
+
+  int epfd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::unordered_map<int, FdCallback> fds_;
+  std::unordered_map<TimerId, Timer> timers_;
+  std::priority_queue<Deadline, std::vector<Deadline>, std::greater<>>
+      deadlines_;
+  TimerId next_timer_id_ = 1;
+};
+
+}  // namespace ft::net

@@ -1,0 +1,117 @@
+// Length-prefixed batch framing for the allocator control plane.
+//
+// Endpoints and the allocator exchange the §6.2 message encodings
+// (core/messages.h) over byte streams (TCP or Unix-domain sockets). A
+// *frame* is one batch: a 4-byte little-endian payload length followed by
+// back-to-back records, each a 1-byte type tag plus the message's fixed
+// encoding. Batching amortizes the per-segment TCP/IP overhead that
+// dominates 4..16-byte control messages, and rate updates coalesce
+// *latest-wins per flow* within the open batch -- an endpoint only ever
+// needs the newest rate, so an update superseded before the batch is
+// flushed costs zero bytes on the wire.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/messages.h"
+
+namespace ft::net {
+
+enum class MsgType : std::uint8_t {
+  kFlowletStart = 1,
+  kFlowletEnd = 2,
+  kRateUpdate = 3,
+};
+
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+// Upper bound on a frame payload; a peer announcing more is malformed
+// (guards against unbounded buffering on corrupt or hostile input).
+inline constexpr std::size_t kMaxFramePayload = 1 << 20;
+
+inline constexpr std::size_t kStartRecordBytes =
+    1 + core::kFlowletStartBytes;
+inline constexpr std::size_t kEndRecordBytes = 1 + core::kFlowletEndBytes;
+inline constexpr std::size_t kRateRecordBytes = 1 + core::kRateUpdateBytes;
+
+struct FrameWriterStats {
+  std::uint64_t frames = 0;
+  std::uint64_t records = 0;            // records actually framed
+  std::uint64_t coalesced_updates = 0;  // rate updates absorbed in place
+  std::int64_t payload_bytes = 0;       // sum of flushed payloads
+  std::int64_t wire_bytes = 0;          // incl. header + TCP/IP/Ethernet
+};
+
+// Accumulates one outgoing batch per peer. add() appends records to the
+// open batch; flush() finalizes it (length prefix + payload) into an
+// output buffer and starts a new one.
+class FrameWriter {
+ public:
+  void add(const core::FlowletStartMsg& m);
+  void add(const core::FlowletEndMsg& m);
+  // Latest-wins: if the open batch already carries an update for
+  // m.flow_key, its rate code is overwritten in place.
+  void add(const core::RateUpdateMsg& m);
+
+  [[nodiscard]] bool empty() const { return payload_.empty(); }
+  [[nodiscard]] std::size_t pending_bytes() const { return payload_.size(); }
+
+  // Appends the finished frame (header + payload) to `out` and resets the
+  // open batch. Returns the number of bytes appended (0 if empty).
+  std::size_t flush(std::vector<std::uint8_t>& out);
+
+  [[nodiscard]] const FrameWriterStats& stats() const { return stats_; }
+
+ private:
+  std::vector<std::uint8_t> payload_;
+  // flow_key -> payload offset of that flow's rate-update record.
+  std::unordered_map<std::uint32_t, std::size_t> rate_record_at_;
+  std::uint64_t open_records_ = 0;
+  FrameWriterStats stats_;
+};
+
+// Decoded-record sink for FrameParser. Virtual dispatch keeps the parser
+// allocation-free on the hot path (no std::function).
+class MessageSink {
+ public:
+  virtual ~MessageSink() = default;
+  virtual void on_flowlet_start(const core::FlowletStartMsg&) {}
+  virtual void on_flowlet_end(const core::FlowletEndMsg&) {}
+  virtual void on_rate_update(const core::RateUpdateMsg&) {}
+};
+
+struct FrameParserStats {
+  std::uint64_t frames = 0;
+  std::uint64_t records = 0;
+  std::int64_t bytes_in = 0;
+};
+
+// Incremental stream parser: feed() arbitrary byte chunks in arrival
+// order; every completed frame is decoded record-by-record into the sink.
+// Tolerates any split boundary, including mid-header and mid-record.
+class FrameParser {
+ public:
+  explicit FrameParser(std::size_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  // Returns false on a malformed stream (oversized frame, unknown record
+  // tag, or a frame whose payload does not split exactly into records);
+  // the caller should drop the connection. Once malformed, stays false.
+  [[nodiscard]] bool feed(std::span<const std::uint8_t> bytes,
+                          MessageSink& sink);
+
+  [[nodiscard]] const FrameParserStats& stats() const { return stats_; }
+
+ private:
+  bool parse_payload(std::span<const std::uint8_t> payload,
+                     MessageSink& sink);
+
+  std::size_t max_payload_;
+  std::vector<std::uint8_t> buf_;
+  bool corrupt_ = false;
+  FrameParserStats stats_;
+};
+
+}  // namespace ft::net

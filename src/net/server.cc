@@ -1,0 +1,324 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/wire.h"
+
+namespace ft::net {
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  FT_CHECK(flags >= 0);
+  FT_CHECK(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+}  // namespace
+
+// One endpoint connection. Routes decoded records straight into the
+// service (MessageSink keeps the parser callback-free).
+struct AllocatorService::Connection : MessageSink {
+  AllocatorService* svc = nullptr;
+  int fd = -1;
+  FrameParser parser;
+  FrameWriter writer;
+  std::vector<std::uint8_t> outbox;
+  std::size_t out_off = 0;
+  bool epollout_armed = false;
+  std::uint64_t coalesced_reported = 0;
+  std::unordered_set<std::uint32_t> owned_keys;
+
+  explicit Connection(std::size_t max_payload) : parser(max_payload) {}
+
+  void on_flowlet_start(const core::FlowletStartMsg& m) override {
+    svc->handle_start(*this, m);
+  }
+  void on_flowlet_end(const core::FlowletEndMsg& m) override {
+    svc->handle_end(*this, m);
+  }
+  // Endpoints never send rate updates; MessageSink's default ignores
+  // them, which keeps an agent bug from taking the service down.
+};
+
+AllocatorService::AllocatorService(EpollLoop& loop, core::Allocator& alloc,
+                                   const topo::ClosTopology& topo,
+                                   ServerConfig cfg)
+    : loop_(loop), alloc_(alloc), topo_(topo), cfg_(std::move(cfg)) {
+  FT_CHECK(cfg_.tcp_port >= 0 || !cfg_.unix_path.empty());
+  if (cfg_.tcp_port >= 0) setup_tcp_listener();
+  if (!cfg_.unix_path.empty()) setup_unix_listener();
+  if (cfg_.iteration_period_us > 0) {
+    iter_timer_ = loop_.add_periodic(cfg_.iteration_period_us,
+                                     [this] { run_allocation_round(); });
+  }
+}
+
+AllocatorService::~AllocatorService() {
+  while (!conns_.empty()) close_conn(conns_.begin()->first);
+  if (iter_timer_ != 0) loop_.cancel_timer(iter_timer_);
+  for (const auto& [fd, id] : accept_retry_timer_) loop_.cancel_timer(id);
+  for (const int fd : {tcp_listen_fd_, unix_listen_fd_}) {
+    if (fd >= 0) {
+      loop_.del_fd(fd);
+      ::close(fd);
+    }
+  }
+  if (!cfg_.unix_path.empty()) ::unlink(cfg_.unix_path.c_str());
+}
+
+void AllocatorService::setup_tcp_listener() {
+  tcp_listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  FT_CHECK(tcp_listen_fd_ >= 0);
+  const int one = 1;
+  ::setsockopt(tcp_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr =
+      htonl(cfg_.listen_any ? INADDR_ANY : INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(cfg_.tcp_port));
+  FT_CHECK(::bind(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof addr) == 0);
+  FT_CHECK(::listen(tcp_listen_fd_, 128) == 0);
+  socklen_t len = sizeof addr;
+  FT_CHECK(::getsockname(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                         &len) == 0);
+  tcp_port_ = ntohs(addr.sin_port);
+  set_nonblocking(tcp_listen_fd_);
+  loop_.add_fd(tcp_listen_fd_, EPOLLIN,
+               [this](std::uint32_t) { accept_ready(tcp_listen_fd_); });
+}
+
+void AllocatorService::setup_unix_listener() {
+  unix_listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  FT_CHECK(unix_listen_fd_ >= 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  FT_CHECK(cfg_.unix_path.size() < sizeof addr.sun_path);
+  std::strncpy(addr.sun_path, cfg_.unix_path.c_str(),
+               sizeof addr.sun_path - 1);
+  ::unlink(cfg_.unix_path.c_str());
+  FT_CHECK(::bind(unix_listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof addr) == 0);
+  FT_CHECK(::listen(unix_listen_fd_, 128) == 0);
+  set_nonblocking(unix_listen_fd_);
+  loop_.add_fd(unix_listen_fd_, EPOLLIN,
+               [this](std::uint32_t) { accept_ready(unix_listen_fd_); });
+}
+
+void AllocatorService::accept_ready(int listen_fd) {
+  while (true) {
+    const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        // Out of fds: the pending connection stays in the backlog and
+        // keeps the listener level-triggered readable, which would spin
+        // the loop at 100% CPU. Mute the listener and retry shortly.
+        loop_.mod_fd(listen_fd, 0);
+        accept_retry_timer_[listen_fd] =
+            loop_.add_timer(100'000, [this, listen_fd] {
+              if (loop_.watching(listen_fd)) {
+                loop_.mod_fd(listen_fd, EPOLLIN);
+              }
+            });
+        return;
+      }
+      return;  // transient accept failure; keep serving
+    }
+    set_nonblocking(fd);
+    if (listen_fd == tcp_listen_fd_) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    }
+    auto conn = std::make_unique<Connection>(cfg_.max_frame_payload);
+    conn->svc = this;
+    conn->fd = fd;
+    Connection* c = conn.get();
+    conns_.emplace(fd, std::move(conn));
+    loop_.add_fd(fd, EPOLLIN,
+                 [this, c](std::uint32_t ev) { conn_ready(*c, ev); });
+    ++stats_.accepted;
+  }
+}
+
+void AllocatorService::conn_ready(Connection& c, std::uint32_t events) {
+  const int fd = c.fd;  // c may be destroyed by close_conn below
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    close_conn(fd);
+    return;
+  }
+  if (events & EPOLLOUT) {
+    try_write(c);
+    if (!conns_.contains(fd)) return;
+  }
+  if (!(events & EPOLLIN)) return;
+  std::uint8_t buf[64 * 1024];
+  while (true) {
+    const ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      stats_.bytes_in += n;
+      if (!c.parser.feed({buf, static_cast<std::size_t>(n)}, c)) {
+        ++stats_.protocol_errors;
+        close_conn(c.fd);
+        return;
+      }
+      if (static_cast<std::size_t>(n) < sizeof buf) return;
+      continue;
+    }
+    if (n == 0) {
+      close_conn(c.fd);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    close_conn(c.fd);
+    return;
+  }
+}
+
+void AllocatorService::handle_start(Connection& c,
+                                    const core::FlowletStartMsg& m) {
+  const auto hosts = topo_.num_hosts();
+  if (m.src_host >= hosts || m.dst_host >= hosts ||
+      m.src_host == m.dst_host || key_owner_.contains(m.flow_key)) {
+    ++stats_.rejected_starts;
+    return;
+  }
+  const auto path = topo_.host_path(topo_.host(m.src_host),
+                                    topo_.host(m.dst_host), m.flow_key);
+  const std::vector<LinkId> route(path.begin(), path.end());
+  const double weight =
+      1e9 * (m.weight_milli == 0 ? 1000 : m.weight_milli) / 1000.0;
+  if (!alloc_.flowlet_start(m.flow_key, route,
+                            core::Utility::log_utility(weight))) {
+    ++stats_.rejected_starts;
+    return;
+  }
+  key_owner_.emplace(m.flow_key, &c);
+  c.owned_keys.insert(m.flow_key);
+  ++stats_.flowlet_starts;
+}
+
+void AllocatorService::handle_end(Connection& c,
+                                  const core::FlowletEndMsg& m) {
+  const auto it = key_owner_.find(m.flow_key);
+  if (it == key_owner_.end() || it->second != &c) {
+    ++stats_.unknown_ends;
+    return;
+  }
+  FT_CHECK(alloc_.flowlet_end(m.flow_key));
+  key_owner_.erase(it);
+  c.owned_keys.erase(m.flow_key);
+  ++stats_.flowlet_ends;
+}
+
+void AllocatorService::run_allocation_round() {
+  updates_scratch_.clear();
+  alloc_.run_iteration(updates_scratch_);
+  ++stats_.iterations;
+  touched_scratch_.clear();
+  for (const core::RateUpdate& u : updates_scratch_) {
+    const auto it = key_owner_.find(static_cast<std::uint32_t>(u.key));
+    if (it == key_owner_.end()) continue;
+    Connection& c = *it->second;
+    if (c.writer.empty()) touched_scratch_.push_back(c.fd);
+    c.writer.add(core::RateUpdateMsg{static_cast<std::uint32_t>(u.key),
+                                     u.rate_code});
+    ++stats_.updates_sent;
+    // Cut the batch before it can overrun the frame size limit (an
+    // endpoint may own arbitrarily many flows). flush_conn can close
+    // the connection on a dead socket; lookups above go through
+    // key_owner_, which close_conn scrubs, so iteration stays safe.
+    if (c.writer.pending_bytes() >= cfg_.flush_chunk_bytes) {
+      flush_conn(c);
+    }
+  }
+  // Batched push: one frame per endpoint per round, however many of its
+  // flows changed rate -- only connections touched above are visited
+  // (idle endpoints cost nothing). Lookups go back through conns_
+  // because flush_conn may close (erase) a connection, and a chunked
+  // flush above may have left a fd in the list twice (harmless: the
+  // second visit sees an empty writer).
+  for (const int fd : touched_scratch_) {
+    const auto it = conns_.find(fd);
+    if (it != conns_.end() && !it->second->writer.empty()) {
+      flush_conn(*it->second);
+    }
+  }
+}
+
+void AllocatorService::flush_conn(Connection& c) {
+  const std::size_t framed = c.writer.flush(c.outbox);
+  if (framed == 0) return;
+  ++stats_.frames_out;
+  stats_.bytes_out += static_cast<std::int64_t>(framed);
+  stats_.wire_bytes_out +=
+      wire_bytes_tcp_stream(static_cast<std::int64_t>(framed));
+  const std::uint64_t coalesced = c.writer.stats().coalesced_updates;
+  stats_.updates_coalesced += coalesced - c.coalesced_reported;
+  c.coalesced_reported = coalesced;
+  if (c.outbox.size() - c.out_off > cfg_.max_outbox_bytes) {
+    // The peer has stopped reading; drop it rather than buffer forever.
+    close_conn(c.fd);
+    return;
+  }
+  try_write(c);
+}
+
+void AllocatorService::try_write(Connection& c) {
+  while (c.out_off < c.outbox.size()) {
+    const ssize_t n = ::send(c.fd, c.outbox.data() + c.out_off,
+                             c.outbox.size() - c.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!c.epollout_armed) {
+        loop_.mod_fd(c.fd, EPOLLIN | EPOLLOUT);
+        c.epollout_armed = true;
+      }
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    close_conn(c.fd);
+    return;
+  }
+  c.outbox.clear();
+  c.out_off = 0;
+  if (c.epollout_armed) {
+    loop_.mod_fd(c.fd, EPOLLIN);
+    c.epollout_armed = false;
+  }
+}
+
+void AllocatorService::close_conn(int fd) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Connection& c = *it->second;
+  // The endpoint is gone: everything it owned ends now, exactly as if it
+  // had sent flowlet-end for each key.
+  for (const std::uint32_t key : c.owned_keys) {
+    FT_CHECK(alloc_.flowlet_end(key));
+    key_owner_.erase(key);
+    ++stats_.flowlet_ends;
+  }
+  loop_.del_fd(fd);
+  ::close(fd);
+  conns_.erase(it);
+  ++stats_.closed;
+}
+
+}  // namespace ft::net

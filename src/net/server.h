@@ -1,0 +1,124 @@
+// AllocatorService: the Flowtune allocator as a network service (§6.2,
+// §7). Endpoint agents connect over TCP or a Unix-domain socket and send
+// flowlet start/end notifications; the service resolves each flowlet's
+// ECMP route through the Clos topology, registers it with the
+// core::Allocator, runs the allocation iteration on a periodic timer, and
+// pushes thresholded rate updates back -- batched and coalesced per
+// endpoint, and only to the endpoint that owns the flow.
+//
+// Flow ownership is tracked by flow key (the wire-level 32-bit id), never
+// by allocator slot index: NumProblem recycles slots through its free
+// list on every flowlet end, so keys are the only stable handle across
+// churn.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/allocator.h"
+#include "net/epoll_loop.h"
+#include "net/frame.h"
+#include "topo/clos.h"
+
+namespace ft::net {
+
+struct ServerConfig {
+  // TCP listener: port >= 0 enables it (0 = kernel-assigned, see
+  // tcp_port()). Listens on 127.0.0.1 unless listen_any is set.
+  int tcp_port = -1;
+  bool listen_any = false;
+  // Unix-domain listener: non-empty path enables it (unlinked first).
+  std::string unix_path;
+  // Allocation round period; <= 0 disables the timer (drive rounds
+  // manually with run_allocation_round, e.g. from tests).
+  std::int64_t iteration_period_us = 100;
+  std::size_t max_frame_payload = kMaxFramePayload;
+  // Outgoing frames are cut at this payload size, so a round touching
+  // arbitrarily many of one endpoint's flows emits several frames
+  // instead of overrunning max_frame_payload.
+  std::size_t flush_chunk_bytes = 64 * 1024;
+  // A peer that stops reading gets dropped once this much output is
+  // buffered for it (close_conn ends its flowlets cleanly); without the
+  // cap a stalled endpoint grows the outbox by one frame per round.
+  std::size_t max_outbox_bytes = 4 * 1024 * 1024;
+};
+
+struct ServiceStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t flowlet_starts = 0;
+  std::uint64_t flowlet_ends = 0;
+  std::uint64_t rejected_starts = 0;  // duplicate key or bad host index
+  std::uint64_t unknown_ends = 0;
+  std::uint64_t protocol_errors = 0;  // malformed streams (conn dropped)
+  std::uint64_t iterations = 0;
+  std::uint64_t updates_sent = 0;
+  std::uint64_t updates_coalesced = 0;
+  std::uint64_t frames_out = 0;
+  std::int64_t bytes_in = 0;        // stream bytes received
+  std::int64_t bytes_out = 0;       // stream bytes queued out (framed)
+  std::int64_t wire_bytes_out = 0;  // common/wire.h accounting
+};
+
+class AllocatorService {
+ public:
+  AllocatorService(EpollLoop& loop, core::Allocator& alloc,
+                   const topo::ClosTopology& topo, ServerConfig cfg);
+  ~AllocatorService();
+  AllocatorService(const AllocatorService&) = delete;
+  AllocatorService& operator=(const AllocatorService&) = delete;
+
+  // Actual TCP port after binding (meaningful when cfg.tcp_port >= 0).
+  [[nodiscard]] int tcp_port() const { return tcp_port_; }
+  [[nodiscard]] const std::string& unix_path() const {
+    return cfg_.unix_path;
+  }
+
+  // One allocation round: allocator iteration + normalized, thresholded
+  // rate updates pushed to their owning endpoints. Runs on the iteration
+  // timer when cfg.iteration_period_us > 0.
+  void run_allocation_round();
+
+  [[nodiscard]] const ServiceStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t num_connections() const {
+    return conns_.size();
+  }
+
+ private:
+  struct Connection;
+
+  void setup_tcp_listener();
+  void setup_unix_listener();
+  void accept_ready(int listen_fd);
+  void conn_ready(Connection& c, std::uint32_t events);
+  void handle_start(Connection& c, const core::FlowletStartMsg& m);
+  void handle_end(Connection& c, const core::FlowletEndMsg& m);
+  // Frames the connection's pending batch and writes as much as the
+  // socket accepts; the rest waits for EPOLLOUT.
+  void flush_conn(Connection& c);
+  void try_write(Connection& c);
+  void close_conn(int fd);
+
+  EpollLoop& loop_;
+  core::Allocator& alloc_;
+  const topo::ClosTopology& topo_;
+  ServerConfig cfg_;
+  int tcp_listen_fd_ = -1;
+  int unix_listen_fd_ = -1;
+  int tcp_port_ = -1;
+  EpollLoop::TimerId iter_timer_ = 0;
+  std::unordered_map<int, std::unique_ptr<Connection>> conns_;
+  std::unordered_map<std::uint32_t, Connection*> key_owner_;
+  std::vector<core::RateUpdate> updates_scratch_;
+  std::vector<int> touched_scratch_;
+  // One pending accept-retry timer per listener fd (overwritten on
+  // re-arm; the previous one-shot has always fired by then).
+  std::unordered_map<int, EpollLoop::TimerId> accept_retry_timer_;
+  ServiceStats stats_;
+};
+
+}  // namespace ft::net

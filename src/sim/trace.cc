@@ -82,10 +82,7 @@ Time FlowStats::ideal_fct(std::int64_t bytes, std::int32_t src,
   // one path round trip (SYN-less model: first byte out to last ack
   // back), matching "send out and receive all its bytes on an empty
   // network".
-  const std::int64_t full = bytes / kMss;
-  const std::int64_t rest = bytes % kMss;
-  std::int64_t wire = full * wire_bytes_tcp(kMss);
-  if (rest > 0) wire += wire_bytes_tcp(rest);
+  const std::int64_t wire = wire_bytes_tcp_stream(bytes);
   const Time serialize = tx_time(wire, cfg.host_link_bps);
   const auto path = clos_.host_path(clos_.host(src), clos_.host(dst), 0);
   Time prop = 2 * cfg.host_delay;

@@ -1,0 +1,551 @@
+// Tests for the allocator control plane (src/net/): framing round-trips
+// under arbitrary stream segmentation (property test), latest-wins
+// coalescing, the epoll loop, and the loopback integration of N endpoint
+// agents against AllocatorService -- whose converged rates must match an
+// equivalent in-process core::Allocator run.
+#include <gtest/gtest.h>
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "common/ratecode.h"
+#include "common/rng.h"
+#include "common/wire.h"
+#include "core/allocator.h"
+#include "net/client.h"
+#include "net/epoll_loop.h"
+#include "net/frame.h"
+#include "net/server.h"
+#include "topo/clos.h"
+
+namespace ft::net {
+namespace {
+
+using AnyMsg = std::variant<core::FlowletStartMsg, core::FlowletEndMsg,
+                            core::RateUpdateMsg>;
+
+// Records every decoded message in order.
+struct Collector : MessageSink {
+  std::vector<AnyMsg> msgs;
+  void on_flowlet_start(const core::FlowletStartMsg& m) override {
+    msgs.emplace_back(m);
+  }
+  void on_flowlet_end(const core::FlowletEndMsg& m) override {
+    msgs.emplace_back(m);
+  }
+  void on_rate_update(const core::RateUpdateMsg& m) override {
+    msgs.emplace_back(m);
+  }
+};
+
+TEST(MessagesSpanTest, TryDecodeMatchesArrayApi) {
+  const core::FlowletStartMsg start{0x01020304, 7, 11, 999, 250, 1};
+  const auto enc = core::encode(start);
+  const auto via_span =
+      core::try_decode_flowlet_start(std::span<const std::uint8_t>(enc));
+  ASSERT_TRUE(via_span.has_value());
+  EXPECT_EQ(*via_span, core::decode_flowlet_start(enc));
+}
+
+TEST(MessagesSpanTest, ShortBuffersReturnNullopt) {
+  std::vector<std::uint8_t> buf(core::kFlowletStartBytes - 1, 0xFF);
+  EXPECT_FALSE(core::try_decode_flowlet_start(buf).has_value());
+  buf.resize(core::kFlowletEndBytes - 1);
+  EXPECT_FALSE(core::try_decode_flowlet_end(buf).has_value());
+  buf.resize(core::kRateUpdateBytes - 1);
+  EXPECT_FALSE(core::try_decode_rate_update(buf).has_value());
+}
+
+TEST(MessagesSpanTest, ExtraTrailingBytesIgnored) {
+  const core::RateUpdateMsg upd{42, 1234};
+  const auto enc = core::encode(upd);
+  std::vector<std::uint8_t> padded(enc.begin(), enc.end());
+  padded.resize(padded.size() + 13, 0xAB);
+  const auto m = core::try_decode_rate_update(padded);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, upd);
+}
+
+// Property test (satellite): random message sequences survive
+// encode -> frame -> split at arbitrary byte boundaries -> reassemble ->
+// decode with identical content and order.
+TEST(FramePropertyTest, RoundTripUnderArbitrarySegmentation) {
+  Rng rng(0xF10771E5);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Build a random batch sequence across several frames. Rate updates
+    // use distinct keys so coalescing does not change the sequence (it
+    // is exercised separately below).
+    std::vector<AnyMsg> sent;
+    std::vector<std::uint8_t> stream;
+    FrameWriter writer;
+    std::uint32_t next_key = 1;
+    const int frames = 1 + static_cast<int>(rng.below(4));
+    for (int f = 0; f < frames; ++f) {
+      const int records = 1 + static_cast<int>(rng.below(40));
+      for (int r = 0; r < records; ++r) {
+        switch (rng.below(3)) {
+          case 0: {
+            core::FlowletStartMsg m;
+            m.flow_key = next_key++;
+            m.src_host = static_cast<std::uint16_t>(rng.next());
+            m.dst_host = static_cast<std::uint16_t>(rng.next());
+            m.size_hint_bytes = static_cast<std::uint32_t>(rng.next());
+            m.weight_milli = static_cast<std::uint16_t>(rng.next());
+            m.flags = static_cast<std::uint16_t>(rng.next());
+            writer.add(m);
+            sent.emplace_back(m);
+            break;
+          }
+          case 1: {
+            const core::FlowletEndMsg m{next_key++};
+            writer.add(m);
+            sent.emplace_back(m);
+            break;
+          }
+          default: {
+            const core::RateUpdateMsg m{
+                next_key++, static_cast<std::uint16_t>(rng.next())};
+            writer.add(m);
+            sent.emplace_back(m);
+            break;
+          }
+        }
+      }
+      ASSERT_GT(writer.flush(stream), 0u);
+    }
+
+    // Feed the stream in chunks split at arbitrary boundaries.
+    Collector got;
+    FrameParser parser;
+    std::size_t off = 0;
+    while (off < stream.size()) {
+      const std::size_t chunk = std::min<std::size_t>(
+          1 + rng.below(23), stream.size() - off);
+      ASSERT_TRUE(parser.feed({stream.data() + off, chunk}, got));
+      off += chunk;
+    }
+    ASSERT_EQ(got.msgs.size(), sent.size());
+    for (std::size_t i = 0; i < sent.size(); ++i) {
+      EXPECT_EQ(got.msgs[i], sent[i]) << "trial " << trial << " msg " << i;
+    }
+  }
+}
+
+TEST(FrameWriterTest, RateUpdatesCoalesceLatestWinsPerFlow) {
+  FrameWriter writer;
+  writer.add(core::RateUpdateMsg{1, 100});
+  writer.add(core::RateUpdateMsg{2, 200});
+  writer.add(core::RateUpdateMsg{1, 111});  // supersedes in place
+  writer.add(core::RateUpdateMsg{1, 122});
+  std::vector<std::uint8_t> stream;
+  writer.flush(stream);
+
+  Collector got;
+  FrameParser parser;
+  ASSERT_TRUE(parser.feed(stream, got));
+  ASSERT_EQ(got.msgs.size(), 2u);
+  EXPECT_EQ(got.msgs[0], AnyMsg(core::RateUpdateMsg{1, 122}));
+  EXPECT_EQ(got.msgs[1], AnyMsg(core::RateUpdateMsg{2, 200}));
+  EXPECT_EQ(writer.stats().coalesced_updates, 2u);
+  EXPECT_EQ(writer.stats().records, 2u);
+}
+
+TEST(FrameWriterTest, CoalescingStopsAtFlowletEnd) {
+  // rate(1), end(1), rate(1): the second update must NOT be folded into
+  // the record that precedes the end, or the endpoint would drop it.
+  FrameWriter writer;
+  writer.add(core::RateUpdateMsg{1, 100});
+  writer.add(core::FlowletEndMsg{1});
+  writer.add(core::RateUpdateMsg{1, 300});
+  std::vector<std::uint8_t> stream;
+  writer.flush(stream);
+
+  Collector got;
+  FrameParser parser;
+  ASSERT_TRUE(parser.feed(stream, got));
+  ASSERT_EQ(got.msgs.size(), 3u);
+  EXPECT_EQ(got.msgs[0], AnyMsg(core::RateUpdateMsg{1, 100}));
+  EXPECT_EQ(got.msgs[1], AnyMsg(core::FlowletEndMsg{1}));
+  EXPECT_EQ(got.msgs[2], AnyMsg(core::RateUpdateMsg{1, 300}));
+}
+
+TEST(FrameWriterTest, WireAccountingUsesTcpOverheads) {
+  FrameWriter writer;
+  writer.add(core::FlowletEndMsg{9});
+  std::vector<std::uint8_t> stream;
+  const std::size_t framed = writer.flush(stream);
+  EXPECT_EQ(framed, kFrameHeaderBytes + kEndRecordBytes);
+  EXPECT_EQ(writer.stats().wire_bytes,
+            wire_bytes_tcp_stream(static_cast<std::int64_t>(framed)));
+}
+
+TEST(FrameParserTest, RejectsMalformedStreams) {
+  {  // unknown record tag
+    FrameParser parser;
+    Collector sink;
+    const std::vector<std::uint8_t> bad = {1, 0, 0, 0, 0x7F};
+    EXPECT_FALSE(parser.feed(bad, sink));
+    EXPECT_FALSE(parser.feed({}, sink));  // stays corrupt
+  }
+  {  // oversized frame announcement
+    FrameParser parser(1024);
+    Collector sink;
+    const std::vector<std::uint8_t> bad = {0xFF, 0xFF, 0xFF, 0x7F};
+    EXPECT_FALSE(parser.feed(bad, sink));
+  }
+  {  // truncated record inside a complete frame
+    FrameParser parser;
+    Collector sink;
+    std::vector<std::uint8_t> bad = {2, 0, 0, 0,
+                                     static_cast<std::uint8_t>(
+                                         MsgType::kFlowletEnd),
+                                     0x01};
+    EXPECT_FALSE(parser.feed(bad, sink));
+  }
+}
+
+TEST(EpollLoopTest, TimersFireInOrderAndPeriodicsRearm) {
+  EpollLoop loop;
+  std::vector<int> order;
+  loop.add_timer(2'000, [&] { order.push_back(2); });
+  loop.add_timer(0, [&] { order.push_back(1); });
+  int periodic_fires = 0;
+  EpollLoop::TimerId pid = 0;
+  pid = loop.add_periodic(1'000, [&] {
+    if (++periodic_fires == 3) loop.cancel_timer(pid);
+  });
+  const std::int64_t deadline = EpollLoop::now_us() + 1'000'000;
+  while ((order.size() < 2 || periodic_fires < 3) &&
+         EpollLoop::now_us() < deadline) {
+    loop.run_once(10'000);
+  }
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(periodic_fires, 3);
+}
+
+TEST(EpollLoopTest, DispatchesFdReadiness) {
+  EpollLoop loop;
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  bool readable = false;
+  loop.add_fd(fds[0], EPOLLIN, [&](std::uint32_t ev) {
+    readable = (ev & EPOLLIN) != 0;
+    char c;
+    ASSERT_EQ(::read(fds[0], &c, 1), 1);
+  });
+  ASSERT_EQ(::write(fds[1], "x", 1), 1);
+  loop.run_once(100'000);
+  EXPECT_TRUE(readable);
+  loop.del_fd(fds[0]);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// ---------------------------------------------------------------------
+// Loopback integration: N endpoint agents against the service must end
+// up with the same rates as the equivalent in-process allocator run.
+// Everything runs single-threaded for determinism: the test interleaves
+// service rounds (manual run_allocation_round), the epoll loop, and
+// agent polls.
+
+struct Flow {
+  std::uint32_t key;
+  std::uint16_t src;
+  std::uint16_t dst;
+};
+
+class LoopbackTest : public ::testing::Test {
+ protected:
+  static topo::ClosConfig small_clos() {
+    topo::ClosConfig cfg;
+    cfg.racks = 4;
+    cfg.servers_per_rack = 4;
+    cfg.spines = 2;
+    cfg.fabric_link_bps = 20e9;
+    return cfg;
+  }
+
+  static std::vector<double> caps_of(const topo::ClosTopology& clos) {
+    std::vector<double> caps;
+    for (const auto& l : clos.graph().links()) {
+      caps.push_back(l.capacity_bps);
+    }
+    return caps;
+  }
+
+  static core::AllocatorConfig alloc_cfg() {
+    core::AllocatorConfig cfg;
+    // Threshold 0 so every rate change is notified: the agents' final
+    // rates then equal the service's quantized allocation exactly.
+    cfg.threshold = 0.0;
+    return cfg;
+  }
+
+  void pump(EpollLoop& loop, std::vector<EndpointAgent*>& agents) {
+    loop.run_once(0);
+    for (auto* a : agents) ASSERT_TRUE(a->poll());
+    loop.run_once(0);
+  }
+};
+
+TEST_F(LoopbackTest, AgentsMatchInProcessAllocator) {
+  const topo::ClosTopology clos(small_clos());
+  core::Allocator alloc(caps_of(clos), alloc_cfg());
+
+  EpollLoop loop;
+  ServerConfig scfg;
+  scfg.tcp_port = 0;                // ephemeral
+  scfg.iteration_period_us = 0;     // rounds driven manually
+  AllocatorService svc(loop, alloc, clos, scfg);
+  ASSERT_GT(svc.tcp_port(), 0);
+
+  // 4 agents x 8 flows over a fixed pattern of host pairs.
+  constexpr int kAgents = 4;
+  constexpr int kFlowsPerAgent = 8;
+  Rng rng(1234);
+  const int hosts = clos.num_hosts();
+  std::vector<std::vector<Flow>> flows(kAgents);
+  std::uint32_t key = 1;
+  for (int a = 0; a < kAgents; ++a) {
+    for (int f = 0; f < kFlowsPerAgent; ++f) {
+      const auto src = static_cast<std::uint16_t>(rng.below(hosts));
+      auto dst = static_cast<std::uint16_t>(rng.below(hosts - 1));
+      if (dst >= src) ++dst;
+      flows[a].push_back({key++, src, dst});
+    }
+  }
+
+  std::vector<std::unique_ptr<EndpointAgent>> agents;
+  std::vector<EndpointAgent*> raw;
+  for (int a = 0; a < kAgents; ++a) {
+    agents.push_back(std::make_unique<EndpointAgent>());
+    ASSERT_TRUE(agents.back()->connect_tcp("127.0.0.1", svc.tcp_port()));
+    raw.push_back(agents.back().get());
+  }
+  for (int a = 0; a < kAgents; ++a) {
+    for (const Flow& fl : flows[a]) {
+      ASSERT_TRUE(agents[a]->flowlet_start(fl.key, fl.src, fl.dst));
+    }
+    agents[a]->flush();
+  }
+
+  // Let the service accept and register everything.
+  const std::int64_t deadline = EpollLoop::now_us() + 2'000'000;
+  while (alloc.num_active_flowlets() <
+             static_cast<std::size_t>(kAgents * kFlowsPerAgent) &&
+         EpollLoop::now_us() < deadline) {
+    pump(loop, raw);
+  }
+  ASSERT_EQ(alloc.num_active_flowlets(),
+            static_cast<std::size_t>(kAgents * kFlowsPerAgent));
+
+  constexpr int kIters = 300;
+  for (int i = 0; i < kIters; ++i) {
+    svc.run_allocation_round();
+    pump(loop, raw);
+  }
+  // Drain any updates still in flight.
+  for (int i = 0; i < 50; ++i) pump(loop, raw);
+
+  // Reference: identical flows through an in-process allocator (same
+  // route selection: host_path keyed by flow key, as the service does).
+  core::Allocator ref(caps_of(clos), alloc_cfg());
+  for (int a = 0; a < kAgents; ++a) {
+    for (const Flow& fl : flows[a]) {
+      const auto p =
+          clos.host_path(clos.host(fl.src), clos.host(fl.dst), fl.key);
+      const std::vector<LinkId> route(p.begin(), p.end());
+      ASSERT_TRUE(ref.flowlet_start(fl.key, route));
+    }
+  }
+  std::vector<core::RateUpdate> sink;
+  for (int i = 0; i < kIters; ++i) {
+    sink.clear();
+    ref.run_iteration(sink);
+  }
+
+  // Every agent-side rate matches the reference within +-1 rate-code
+  // quantum (the codes themselves should be within 1 of each other).
+  for (int a = 0; a < kAgents; ++a) {
+    for (const Flow& fl : flows[a]) {
+      const std::uint16_t got = agents[a]->rate_code(fl.key);
+      const std::uint16_t want = encode_rate(ref.notified_rate(fl.key));
+      EXPECT_NEAR(got, want, 1)
+          << "agent " << a << " flow " << fl.key << " got "
+          << agents[a]->rate_bps(fl.key) << " bps, want "
+          << ref.notified_rate(fl.key) << " bps";
+      EXPECT_GT(agents[a]->rate_bps(fl.key), 0.0);
+    }
+  }
+  EXPECT_EQ(svc.stats().protocol_errors, 0u);
+  EXPECT_EQ(svc.stats().rejected_starts, 0u);
+}
+
+TEST_F(LoopbackTest, UnixSocketFlowletLifecycleAndIdleGap) {
+  const topo::ClosTopology clos(small_clos());
+  core::Allocator alloc(caps_of(clos), alloc_cfg());
+
+  EpollLoop loop;
+  ServerConfig scfg;
+  scfg.unix_path = "/tmp/flowtune_net_test.sock";
+  scfg.iteration_period_us = 0;
+  AllocatorService svc(loop, alloc, clos, scfg);
+
+  AgentConfig acfg;
+  acfg.idle_gap_us = 30'000;
+  EndpointAgent agent(acfg);
+  ASSERT_TRUE(agent.connect_unix(scfg.unix_path));
+  std::vector<EndpointAgent*> raw = {&agent};
+
+  ASSERT_TRUE(agent.flowlet_start(7, 0, 5));
+  ASSERT_TRUE(agent.flowlet_start(8, 1, 9));
+  agent.flush();
+  std::int64_t deadline = EpollLoop::now_us() + 2'000'000;
+  while (alloc.num_active_flowlets() < 2 &&
+         EpollLoop::now_us() < deadline) {
+    pump(loop, raw);
+  }
+  ASSERT_EQ(alloc.num_active_flowlets(), 2u);
+
+  svc.run_allocation_round();
+  pump(loop, raw);
+  pump(loop, raw);
+  EXPECT_GT(agent.rate_bps(7), 0.0);
+  EXPECT_GT(agent.rate_bps(8), 0.0);
+
+  // Keep flow 7 alive by touching it; flow 8 idles out after the gap.
+  deadline = EpollLoop::now_us() + 2'000'000;
+  while (alloc.num_active_flowlets() > 1 &&
+         EpollLoop::now_us() < deadline) {
+    agent.touch(7);
+    pump(loop, raw);
+  }
+  EXPECT_EQ(alloc.num_active_flowlets(), 1u);
+  EXPECT_TRUE(alloc.is_active(7));
+  EXPECT_FALSE(alloc.is_active(8));
+  EXPECT_EQ(agent.stats().idle_ends, 1u);
+  EXPECT_TRUE(agent.is_active(7));
+  EXPECT_FALSE(agent.is_active(8));
+
+  // Disconnect ends the remaining flowlet server-side.
+  agent.disconnect();
+  deadline = EpollLoop::now_us() + 2'000'000;
+  while (alloc.num_active_flowlets() > 0 &&
+         EpollLoop::now_us() < deadline) {
+    loop.run_once(1'000);
+  }
+  EXPECT_EQ(alloc.num_active_flowlets(), 0u);
+  EXPECT_EQ(svc.stats().flowlet_ends, 2u);
+}
+
+TEST_F(LoopbackTest, BigRoundsSplitIntoChunkedFrames) {
+  // An endpoint owning many flows must receive its round as several
+  // frames cut at flush_chunk_bytes, never one oversized frame (which
+  // would trip the kMaxFramePayload invariant on a big deployment).
+  const topo::ClosTopology clos(small_clos());
+  core::Allocator alloc(caps_of(clos), alloc_cfg());
+
+  EpollLoop loop;
+  ServerConfig scfg;
+  scfg.tcp_port = 0;
+  scfg.iteration_period_us = 0;
+  scfg.flush_chunk_bytes = 64;  // ~9 rate records per frame
+  AllocatorService svc(loop, alloc, clos, scfg);
+
+  EndpointAgent agent;
+  ASSERT_TRUE(agent.connect_tcp("127.0.0.1", svc.tcp_port()));
+  std::vector<EndpointAgent*> raw = {&agent};
+
+  constexpr int kFlows = 24;
+  for (std::uint32_t key = 1; key <= kFlows; ++key) {
+    const auto src = static_cast<std::uint16_t>(key % 16);
+    const auto dst = static_cast<std::uint16_t>((key + 7) % 16);
+    ASSERT_TRUE(agent.flowlet_start(key, src, dst));
+  }
+  agent.flush();
+  const std::int64_t deadline = EpollLoop::now_us() + 2'000'000;
+  while (alloc.num_active_flowlets() < kFlows &&
+         EpollLoop::now_us() < deadline) {
+    pump(loop, raw);
+  }
+  ASSERT_EQ(alloc.num_active_flowlets(), static_cast<std::size_t>(kFlows));
+
+  svc.run_allocation_round();
+  // First round notifies all 24 flows: 24 * 7 B of records across
+  // 64-byte chunks is at least 3 frames.
+  EXPECT_GE(svc.stats().frames_out, 3u);
+  for (int i = 0; i < 20; ++i) pump(loop, raw);
+  for (std::uint32_t key = 1; key <= kFlows; ++key) {
+    EXPECT_GT(agent.rate_bps(key), 0.0) << "flow " << key;
+  }
+}
+
+TEST_F(LoopbackTest, ServiceSurvivesChurn) {
+  // Regression for the pre-daemon churn loop, which tracked raw
+  // FlowIndex slots across remove_flow and could hit recycled slots:
+  // keys, not slots, are the contract here.
+  const topo::ClosTopology clos(small_clos());
+  core::Allocator alloc(caps_of(clos), alloc_cfg());
+
+  EpollLoop loop;
+  ServerConfig scfg;
+  scfg.tcp_port = 0;
+  scfg.iteration_period_us = 0;
+  AllocatorService svc(loop, alloc, clos, scfg);
+
+  EndpointAgent agent;
+  ASSERT_TRUE(agent.connect_tcp("127.0.0.1", svc.tcp_port()));
+  std::vector<EndpointAgent*> raw = {&agent};
+
+  Rng rng(99);
+  const int hosts = clos.num_hosts();
+  std::vector<std::uint32_t> live;
+  std::uint32_t next_key = 1;
+  const auto start_one = [&] {
+    const auto src = static_cast<std::uint16_t>(rng.below(hosts));
+    auto dst = static_cast<std::uint16_t>(rng.below(hosts - 1));
+    if (dst >= src) ++dst;
+    ASSERT_TRUE(agent.flowlet_start(next_key, src, dst));
+    live.push_back(next_key++);
+  };
+  for (int i = 0; i < 32; ++i) start_one();
+  agent.flush();
+
+  for (int round = 0; round < 200; ++round) {
+    // Churn a few flowlets per round through slot reuse.
+    for (int e = 0; e < 2 && !live.empty(); ++e) {
+      const auto pick = rng.below(live.size());
+      ASSERT_TRUE(agent.flowlet_end(live[pick]));
+      live[pick] = live.back();
+      live.pop_back();
+      start_one();
+    }
+    agent.flush();
+    pump(loop, raw);
+    svc.run_allocation_round();
+    pump(loop, raw);
+  }
+  for (int i = 0; i < 50; ++i) pump(loop, raw);
+
+  EXPECT_EQ(alloc.num_active_flowlets(), live.size());
+  for (const std::uint32_t key : live) EXPECT_TRUE(alloc.is_active(key));
+  EXPECT_EQ(svc.stats().protocol_errors, 0u);
+  EXPECT_EQ(svc.stats().unknown_ends, 0u);
+  EXPECT_EQ(svc.stats().rejected_starts, 0u);
+  // Rates kept flowing to the surviving flowlets.
+  std::size_t with_rate = 0;
+  for (const std::uint32_t key : live) {
+    if (agent.rate_bps(key) > 0.0) ++with_rate;
+  }
+  EXPECT_GT(with_rate, live.size() / 2);
+}
+
+}  // namespace
+}  // namespace ft::net
