@@ -1,0 +1,157 @@
+// Flowlet detection engine benchmark: raw packets/sec through each
+// detector, plus a boundary-accuracy sweep (precision/recall against the
+// packet trace's ground truth) across static gap thresholds, the
+// FlowDyn-style dynamic detector, and offered loads.
+//
+// The PASS gate is the subsystem's acceptance bar: on the Web workload
+// at 0.6 load the dynamic detector must reach >= 95% precision and
+// recall with its default (untuned) config, while a 4x-misconfigured
+// static gap measurably degrades on the same trace.
+//
+//   $ ./bench_flowlet_detect --hosts=64 --load=0.6 --horizon-ms=50
+#include <chrono>
+
+#include "bench_util.h"
+#include "flowlet/accuracy.h"
+#include "flowlet/detector.h"
+#include "workload/traffic_gen.h"
+
+namespace {
+
+using namespace ft;
+
+wl::PacketTrace make_trace(std::int64_t hosts, double load,
+                           Time horizon) {
+  wl::TrafficConfig cfg;
+  cfg.num_hosts = static_cast<std::int32_t>(hosts);
+  cfg.load = load;
+  cfg.workload = wl::Workload::kWeb;
+  cfg.seed = 7;
+  wl::PacketTraceGenerator gen(cfg);
+  return gen.generate(horizon);
+}
+
+// Feeds the trace through a detector repeatedly (shifting timestamps so
+// time keeps advancing) until `target_packets`, returns packets/sec.
+double throughput_pps(flowlet::FlowletDetector& det,
+                      const wl::PacketTrace& trace,
+                      std::uint64_t target_packets) {
+  det.set_callbacks(nullptr, nullptr);
+  const Time span = trace.packets.back().at + kMillisecond;
+  std::uint64_t fed = 0;
+  Time offset = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (fed < target_packets) {
+    for (const wl::PacketEvent& ev : trace.packets) {
+      flowlet::PacketRecord rec;
+      rec.flow_key = ev.flow_id;
+      rec.src_host = static_cast<std::uint16_t>(ev.src_host);
+      rec.dst_host = static_cast<std::uint16_t>(ev.dst_host);
+      rec.bytes = static_cast<std::uint32_t>(ev.bytes);
+      rec.at = ev.at + offset;
+      det.on_packet(rec);
+    }
+    fed += trace.packets.size();
+    offset += span;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs =
+      std::chrono::duration<double>(t1 - t0).count();
+  return static_cast<double>(fed) / secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ft;
+  bench::Flags flags(argc, argv);
+  const auto hosts = flags.int_flag("hosts", 64, "number of hosts");
+  const double load = flags.double_flag("load", 0.6, "offered load");
+  const auto horizon_ms =
+      flags.int_flag("horizon-ms", 50, "trace horizon (ms)");
+  const auto tput_packets = flags.int_flag(
+      "tput-packets", 2'000'000, "packets for the throughput phase");
+  flags.done("Flowlet detection: packets/sec and boundary accuracy.");
+
+  bench::banner("Flowlet detection engine",
+                "FlowDyn-style dynamic gap vs static thresholds");
+
+  const Time horizon = horizon_ms * kMillisecond;
+  const wl::PacketTrace trace = make_trace(hosts, load, horizon);
+  if (trace.packets.empty()) {
+    std::fprintf(stderr, "empty trace (horizon/load too small)\n");
+    return 1;
+  }
+  std::printf("trace: %zu packets, %zu flows, %zu ground-truth "
+              "flowlets (web, load %.2f)\n\n",
+              trace.packets.size(), trace.flows, trace.bursts, load);
+
+  // --- Phase 1: raw detection throughput.
+  bench::Table tput({"detector", "packets/sec"});
+  {
+    flowlet::StaticGapDetector det;
+    tput.add_row({"static-gap", bench::fmt("%.2fM",
+                  throughput_pps(det, trace, tput_packets) / 1e6)});
+  }
+  {
+    flowlet::DynamicGapDetector det;
+    tput.add_row({"dynamic-gap", bench::fmt("%.2fM",
+                  throughput_pps(det, trace, tput_packets) / 1e6)});
+  }
+  tput.print();
+
+  // --- Phase 2: accuracy sweep across gap thresholds and loads.
+  const double static_gaps_us[] = {12.5, 25, 50, 100, 200, 400, 800};
+  const double loads[] = {0.3, load, 0.9};
+  std::printf("\n");
+  bench::Table acc({"detector", "load", "precision", "recall",
+                    "truth", "detected", "evictions"});
+  const auto u64 = [](std::uint64_t v) {
+    return bench::fmt("%llu", static_cast<unsigned long long>(v));
+  };
+  double dyn_precision = 0.0;
+  double dyn_recall = 0.0;
+  double static4x_recall = 0.0;
+  for (const double l : loads) {
+    const wl::PacketTrace t =
+        (l == load) ? trace : make_trace(hosts, l, horizon);
+    {
+      flowlet::DynamicGapDetector det;
+      const auto s = flowlet::score_trace(det, t.packets);
+      if (l == load) {
+        dyn_precision = s.precision;
+        dyn_recall = s.recall;
+      }
+      acc.add_row({"dynamic", bench::fmt("%.1f", l),
+                   bench::fmt("%.4f", s.precision),
+                   bench::fmt("%.4f", s.recall), u64(s.truth_boundaries),
+                   u64(s.detected_boundaries), u64(s.evictions)});
+    }
+    for (const double gap_us : static_gaps_us) {
+      flowlet::StaticGapConfig cfg;
+      cfg.gap = from_us(gap_us);
+      flowlet::StaticGapDetector det(cfg);
+      const auto s = flowlet::score_trace(det, t.packets);
+      if (l == load && gap_us == 200.0) static4x_recall = s.recall;
+      acc.add_row({bench::fmt("static %.1fus", gap_us),
+                   bench::fmt("%.1f", l),
+                   bench::fmt("%.4f", s.precision),
+                   bench::fmt("%.4f", s.recall), u64(s.truth_boundaries),
+                   u64(s.detected_boundaries), u64(s.evictions)});
+    }
+  }
+  acc.print();
+
+  // --- PASS gate: untuned dynamic >= 95/95; a 4x-misconfigured static
+  // (200us against the trace's ~50us sweet spot) measurably degrades.
+  const bool dyn_ok = dyn_precision >= 0.95 && dyn_recall >= 0.95;
+  const bool static_degrades = static4x_recall < dyn_recall - 0.05;
+  std::printf("\ndynamic @ load %.1f: precision %.4f recall %.4f "
+              "(target >= 0.95/0.95)\n",
+              load, dyn_precision, dyn_recall);
+  std::printf("static 4x-misconfigured (200us) recall: %.4f "
+              "(must trail dynamic by > 0.05)\n", static4x_recall);
+  const bool pass = dyn_ok && static_degrades;
+  std::printf("%s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -6,8 +6,15 @@
 // the service's epoll loop and allocation rounds, so every number is
 // read race-free.
 //
+// The multi-client fan-out phase then re-runs the same churn from N
+// agent threads (N = 1/2/4/8) against one service thread driving its
+// own epoll loop and iteration timer, reporting aggregate msgs/sec
+// scaling.
+//
 //   $ ./bench_net_throughput --messages=400000 --batch=256 --unix=1
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
 #include "bench_util.h"
 #include "common/rng.h"
@@ -26,6 +33,110 @@ std::vector<double> caps_of(const ft::topo::ClosTopology& clos) {
   return caps;
 }
 
+// One fan-out run: `nclients` agent threads blast start/end churn at a
+// service whose epoll loop (and allocation timer) runs in its own
+// thread. Returns aggregate msgs/sec, or < 0 on connection loss.
+double run_fanout(const ft::topo::ClosTopology& clos, int nclients,
+                  std::int64_t messages_per_client, std::int64_t batch,
+                  bool use_unix) {
+  using namespace ft;
+  core::Allocator alloc(caps_of(clos), core::AllocatorConfig{});
+  net::EpollLoop loop;
+  net::ServerConfig scfg;
+  scfg.tcp_port = use_unix ? -1 : 0;
+  if (use_unix) {
+    scfg.unix_path = "/tmp/flowtune_bench_fanout_" +
+                     std::to_string(nclients) + ".sock";
+  }
+  scfg.iteration_period_us = 100;  // timer-driven rounds
+  net::AllocatorService svc(loop, alloc, clos, scfg);
+
+  const std::int64_t expected =
+      static_cast<std::int64_t>(nclients) * messages_per_client;
+  std::atomic<bool> all_consumed{false};
+  std::atomic<bool> failed{false};
+  std::atomic<std::int64_t> t_end_us{0};
+
+  std::thread service([&] {
+    const std::int64_t deadline = net::EpollLoop::now_us() + 60'000'000;
+    while (!failed.load(std::memory_order_relaxed)) {
+      loop.run_once(500);
+      const auto consumed = static_cast<std::int64_t>(
+          svc.stats().flowlet_starts + svc.stats().flowlet_ends);
+      if (consumed >= expected) {
+        t_end_us.store(net::EpollLoop::now_us(),
+                       std::memory_order_relaxed);
+        break;
+      }
+      if (net::EpollLoop::now_us() > deadline) {
+        failed.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+    all_consumed.store(true, std::memory_order_release);
+  });
+
+  const std::int64_t t0 = net::EpollLoop::now_us();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < nclients; ++c) {
+    clients.emplace_back([&, c] {
+      net::EndpointAgent agent;
+      const bool connected =
+          use_unix ? agent.connect_unix(svc.unix_path())
+                   : agent.connect_tcp("127.0.0.1", svc.tcp_port());
+      if (!connected) {
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      Rng rng(1000 + static_cast<std::uint64_t>(c));
+      const int hosts = clos.num_hosts();
+      std::vector<std::uint32_t> live;
+      std::uint32_t next_key =
+          (static_cast<std::uint32_t>(c) << 24) | 1U;
+      std::int64_t sent = 0;
+      const std::int64_t per_burst = std::max<std::int64_t>(1, batch / 2);
+      while (sent < messages_per_client &&
+             !failed.load(std::memory_order_relaxed)) {
+        for (std::int64_t b = 0;
+             b < per_burst && sent < messages_per_client; ++b) {
+          const auto src = static_cast<std::uint16_t>(rng.below(hosts));
+          auto dst = static_cast<std::uint16_t>(rng.below(hosts - 1));
+          if (dst >= src) ++dst;
+          agent.flowlet_start(next_key, src, dst);
+          live.push_back(next_key++);
+          ++sent;
+          if (live.size() > 64 && sent < messages_per_client) {
+            agent.flowlet_end(live.front());
+            live.erase(live.begin());
+            ++sent;
+          }
+        }
+        agent.flush();
+        if (!agent.poll()) {
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+      // Keep draining rate updates until the service has consumed
+      // everything, then disconnect.
+      while (!all_consumed.load(std::memory_order_acquire)) {
+        if (!agent.poll()) {
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+      agent.disconnect();
+    });
+  }
+  for (auto& t : clients) t.join();
+  service.join();
+  if (failed.load(std::memory_order_relaxed)) return -1.0;
+  const double secs =
+      static_cast<double>(t_end_us.load(std::memory_order_relaxed) - t0) /
+      1e6;
+  return static_cast<double>(expected) / secs;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -39,6 +150,10 @@ int main(int argc, char** argv) {
                                         "allocation round period (us)");
   const bool use_unix = flags.bool_flag("unix", false,
                                         "Unix socket instead of TCP");
+  const bool fanout = flags.bool_flag("fanout", true,
+                                      "run the multi-client scaling phase");
+  const auto fanout_messages = flags.int_flag(
+      "fanout-messages", 400'000, "total messages per fan-out run");
   flags.done("Allocator control-plane throughput over loopback.");
 
   topo::ClosConfig tcfg;
@@ -153,7 +268,30 @@ int main(int argc, char** argv) {
                                              : 1))});
   table.print();
 
-  const bool pass = msgs_per_sec >= 100'000.0;
+  bool fanout_ok = true;
+  if (fanout) {
+    bench::banner("Multi-client fan-out",
+                  "N agent threads vs one service thread");
+    bench::Table ft_table({"clients", "aggregate msgs/sec", "scaling"});
+    double base = 0.0;
+    for (const int n : {1, 2, 4, 8}) {
+      const double rate =
+          run_fanout(clos, n, fanout_messages / n, batch, use_unix);
+      if (rate < 0.0) {
+        fanout_ok = false;
+        ft_table.add_row({bench::fmt("%d", n), "FAILED", "-"});
+        continue;
+      }
+      if (n == 1) base = rate;
+      ft_table.add_row({bench::fmt("%d", n),
+                        bench::fmt("%.0f", rate),
+                        base > 0.0 ? bench::fmt("%.2fx", rate / base)
+                                   : "-"});
+    }
+    ft_table.print();
+  }
+
+  const bool pass = msgs_per_sec >= 100'000.0 && fanout_ok;
   std::printf("\n%s: %.0f control messages/sec (target >= 100k)\n",
               pass ? "PASS" : "FAIL", msgs_per_sec);
   return pass ? 0 : 1;

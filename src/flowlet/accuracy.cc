@@ -1,0 +1,45 @@
+#include "flowlet/accuracy.h"
+
+namespace ft::flowlet {
+
+TraceScore score_trace(FlowletDetector& det,
+                       std::span<const wl::PacketEvent> trace,
+                       Time advance_period) {
+  BoundaryScorer scorer;
+  bool started_here = false;
+  det.set_callbacks(
+      [&started_here](const PacketRecord&) { started_here = true; },
+      nullptr);
+  Time next_advance =
+      trace.empty() ? 0 : trace.front().at + advance_period;
+  for (const wl::PacketEvent& ev : trace) {
+    if (advance_period > 0 && ev.at >= next_advance) {
+      det.advance(ev.at);
+      next_advance = ev.at + advance_period;
+    }
+    started_here = false;
+    PacketRecord rec;
+    rec.flow_key = ev.flow_id;
+    rec.src_host = static_cast<std::uint16_t>(ev.src_host);
+    rec.dst_host = static_cast<std::uint16_t>(ev.dst_host);
+    rec.bytes = static_cast<std::uint32_t>(ev.bytes);
+    rec.at = ev.at;
+    det.on_packet(rec);
+    scorer.record(ev.burst_start, started_here);
+  }
+  if (!trace.empty()) det.flush(trace.back().at);
+  det.set_callbacks(nullptr, nullptr);  // they reference locals
+
+  TraceScore score;
+  score.precision = scorer.precision();
+  score.recall = scorer.recall();
+  score.truth_boundaries =
+      scorer.true_positives() + scorer.false_negatives();
+  score.detected_boundaries =
+      scorer.true_positives() + scorer.false_positives();
+  score.packets = scorer.packets();
+  score.evictions = det.table().stats().evictions;
+  return score;
+}
+
+}  // namespace ft::flowlet

@@ -1,0 +1,67 @@
+// Detection accuracy against ground truth.
+//
+// Boundary detection is a per-packet binary decision: "does this packet
+// begin a new flowlet?". The workload's packet traces carry the true
+// answer (PacketEvent::burst_start), so precision/recall reduce to
+// counting per-packet agreement -- no time-window matching heuristics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "flowlet/detector.h"
+#include "workload/traffic_gen.h"
+
+namespace ft::flowlet {
+
+class BoundaryScorer {
+ public:
+  void record(bool truth_start, bool predicted_start) {
+    if (truth_start && predicted_start) ++tp_;
+    if (!truth_start && predicted_start) ++fp_;
+    if (truth_start && !predicted_start) ++fn_;
+    if (!truth_start && !predicted_start) ++tn_;
+  }
+
+  [[nodiscard]] double precision() const {
+    return tp_ + fp_ == 0 ? 1.0
+                          : static_cast<double>(tp_) /
+                                static_cast<double>(tp_ + fp_);
+  }
+  [[nodiscard]] double recall() const {
+    return tp_ + fn_ == 0 ? 1.0
+                          : static_cast<double>(tp_) /
+                                static_cast<double>(tp_ + fn_);
+  }
+  [[nodiscard]] std::uint64_t true_positives() const { return tp_; }
+  [[nodiscard]] std::uint64_t false_positives() const { return fp_; }
+  [[nodiscard]] std::uint64_t false_negatives() const { return fn_; }
+  [[nodiscard]] std::uint64_t packets() const {
+    return tp_ + fp_ + fn_ + tn_;
+  }
+
+ private:
+  std::uint64_t tp_ = 0;
+  std::uint64_t fp_ = 0;
+  std::uint64_t fn_ = 0;
+  std::uint64_t tn_ = 0;
+};
+
+struct TraceScore {
+  double precision = 0.0;
+  double recall = 0.0;
+  std::uint64_t truth_boundaries = 0;
+  std::uint64_t detected_boundaries = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t evictions = 0;
+};
+
+// Runs `det` over a time-sorted packet trace and scores its boundary
+// decisions. Installs its own callbacks on the detector (any previously
+// set callbacks are replaced) and calls advance() every
+// `advance_period` of trace time, mirroring a periodic poll loop.
+[[nodiscard]] TraceScore score_trace(FlowletDetector& det,
+                                     std::span<const wl::PacketEvent> trace,
+                                     Time advance_period = kMillisecond);
+
+}  // namespace ft::flowlet

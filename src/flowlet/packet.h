@@ -1,0 +1,34 @@
+// The observation boundary of the flowlet detection engine.
+//
+// A PacketRecord is the minimal view of one transmitted packet that a
+// detector needs: flow identity, endpoints, size, a timestamp on the
+// simulation/monotonic clock (common/time.h picoseconds) and an optional
+// RTT measurement. Anything that transmits packets -- the simulator's
+// host NIC tap, the endpoint agent's send path, a trace replayer -- can
+// produce records; anything implementing PacketObserver can consume them.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace ft::flowlet {
+
+struct PacketRecord {
+  std::uint32_t flow_key = 0;
+  std::uint16_t src_host = 0;
+  std::uint16_t dst_host = 0;
+  std::uint32_t bytes = 0;
+  Time at = 0;
+  // Most recent RTT measurement for this flow, if the producer has one
+  // (0 = unknown). Dynamic detectors fold it into their gap threshold.
+  Time rtt_hint = 0;
+};
+
+class PacketObserver {
+ public:
+  virtual ~PacketObserver() = default;
+  virtual void on_packet(const PacketRecord& p) = 0;
+};
+
+}  // namespace ft::flowlet

@@ -1,0 +1,76 @@
+#include "flowlet/table.h"
+
+#include "common/check.h"
+
+namespace ft::flowlet {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// murmur3 finalizer: flow keys are often sequential, so the raw key
+// would pile consecutive flows into consecutive slots and make eviction
+// behaviour depend on allocation order instead of being hash-uniform.
+std::uint32_t mix(std::uint32_t k) {
+  k ^= k >> 16;
+  k *= 0x85ebca6bU;
+  k ^= k >> 13;
+  k *= 0xc2b2ae35U;
+  k ^= k >> 16;
+  return k;
+}
+
+}  // namespace
+
+FlowletTable::FlowletTable(std::size_t capacity)
+    : slots_(round_up_pow2(capacity)), mask_(slots_.size() - 1) {
+  FT_CHECK(capacity >= 1);
+}
+
+std::size_t FlowletTable::index_of(std::uint32_t key) const {
+  return static_cast<std::size_t>(mix(key)) & mask_;
+}
+
+FlowSlot& FlowletTable::claim(std::uint32_t key, bool& was_evicted,
+                              FlowSlot& evicted) {
+  FlowSlot& s = slots_[index_of(key)];
+  was_evicted = false;
+  if (s.occupied && s.key == key) {
+    ++stats_.hits;
+    return s;
+  }
+  if (s.occupied) {
+    was_evicted = true;
+    evicted = s;
+    ++stats_.evictions;
+  } else {
+    ++occupied_;
+  }
+  s = FlowSlot{};
+  s.key = key;
+  s.occupied = true;
+  ++stats_.inserts;
+  return s;
+}
+
+FlowSlot* FlowletTable::find(std::uint32_t key) {
+  FlowSlot& s = slots_[index_of(key)];
+  return (s.occupied && s.key == key) ? &s : nullptr;
+}
+
+const FlowSlot* FlowletTable::find(std::uint32_t key) const {
+  const FlowSlot& s = slots_[index_of(key)];
+  return (s.occupied && s.key == key) ? &s : nullptr;
+}
+
+void FlowletTable::release(FlowSlot& slot) {
+  if (!slot.occupied) return;
+  slot = FlowSlot{};
+  --occupied_;
+}
+
+}  // namespace ft::flowlet

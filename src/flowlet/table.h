@@ -1,0 +1,87 @@
+// Bounded per-flow state store for flowlet detection.
+//
+// The table mirrors what a programmable data plane or NIC could hold: a
+// fixed, power-of-two array of slots indexed by a hash of the flow key,
+// direct-mapped with eviction-on-collision (the incumbent flow's state is
+// recycled for the newcomer, exactly like a P4 register array that has no
+// room for chaining). Memory is allocated once at construction and never
+// grows, so detection state stays bounded under arbitrary flow churn; the
+// cost is occasional evictions, which the detector surfaces as forced
+// flowlet-ends and the stats make measurable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/time.h"
+
+namespace ft::flowlet {
+
+// One flow's detection state. `gap` is the flow's current boundary
+// threshold; the EWMAs feed the dynamic policy and persist across
+// flowlets of the same flow, so a flow's learned spacing survives idle
+// periods until the slot is evicted.
+struct FlowSlot {
+  std::uint32_t key = 0;
+  std::uint16_t src_host = 0;
+  std::uint16_t dst_host = 0;
+  bool occupied = false;
+  bool in_flowlet = false;
+  Time last_seen = 0;
+  Time gap = 0;
+  Time ewma_ipt = 0;  // intra-flowlet packet inter-arrival (0 = no sample)
+  Time ewma_rtt = 0;  // measured RTT (0 = no sample)
+  std::uint32_t flowlet_packets = 0;  // packets in the current flowlet
+  std::uint64_t flowlets = 0;         // flowlets this slot has seen
+  // Opaque per-flow tag for the detector's owner (the endpoint agent
+  // stores the flow's weight here); persists across flowlets of the
+  // same flow, dies with the slot on eviction -- bounded like all
+  // detection state. 0 = unset.
+  std::uint16_t user_tag = 0;
+};
+
+struct TableStats {
+  std::uint64_t hits = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t evictions = 0;
+};
+
+class FlowletTable {
+ public:
+  // Capacity is rounded up to a power of two (minimum 2).
+  explicit FlowletTable(std::size_t capacity);
+
+  // Returns the slot for `key`, claiming it if free. If the slot is held
+  // by a different flow, that flow is evicted: its state is copied to
+  // `evicted` and `was_evicted` is set so the caller can emit a forced
+  // flowlet-end before the slot is reused. The returned slot is always
+  // initialized for `key` (fresh slots zeroed except key/occupied).
+  [[nodiscard]] FlowSlot& claim(std::uint32_t key, bool& was_evicted,
+                                FlowSlot& evicted);
+
+  // The slot currently holding `key`, or nullptr.
+  [[nodiscard]] FlowSlot* find(std::uint32_t key);
+  [[nodiscard]] const FlowSlot* find(std::uint32_t key) const;
+
+  // Frees a slot (manual recycling; the next claim re-inserts).
+  void release(FlowSlot& slot);
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  [[nodiscard]] std::size_t occupied() const { return occupied_; }
+  [[nodiscard]] const TableStats& stats() const { return stats_; }
+
+  // Full slot array (occupied or not), for idle-expiry scans.
+  [[nodiscard]] std::span<FlowSlot> slots() { return slots_; }
+  [[nodiscard]] std::span<const FlowSlot> slots() const { return slots_; }
+
+ private:
+  [[nodiscard]] std::size_t index_of(std::uint32_t key) const;
+
+  std::vector<FlowSlot> slots_;
+  std::size_t mask_;
+  std::size_t occupied_ = 0;
+  TableStats stats_;
+};
+
+}  // namespace ft::flowlet

@@ -13,15 +13,38 @@
 
 #include "common/check.h"
 #include "common/ratecode.h"
+#include "common/time.h"
 #include "common/wire.h"
 #include "net/epoll_loop.h"
 
 namespace ft::net {
 
-EndpointAgent::EndpointAgent(AgentConfig cfg)
-    : cfg_(cfg), parser_(cfg.max_frame_payload) {}
+EndpointAgent::EndpointAgent(
+    AgentConfig cfg, std::unique_ptr<flowlet::FlowletDetector> detector)
+    : cfg_(cfg),
+      epoch_us_(EpollLoop::now_us()),
+      detector_(std::move(detector)),
+      parser_(cfg.max_frame_payload) {
+  if (!detector_ && cfg_.idle_gap_us > 0) {
+    // Pre-detector behaviour: one fixed idle gap for every flow.
+    flowlet::StaticGapConfig dcfg;
+    dcfg.gap = cfg_.idle_gap_us * kMicrosecond;
+    dcfg.table_capacity = cfg_.detector_table_capacity;
+    detector_ = std::make_unique<flowlet::StaticGapDetector>(dcfg);
+  }
+  if (detector_) {
+    detector_->set_callbacks(
+        [this](const flowlet::PacketRecord& p) { detected_start(p); },
+        [this](std::uint32_t key, Time) { detected_end(key); });
+  }
+}
 
 EndpointAgent::~EndpointAgent() { disconnect(); }
+
+Time EndpointAgent::now_ps() const {
+  return static_cast<Time>(EpollLoop::now_us() - epoch_us_) *
+         kMicrosecond;
+}
 
 bool EndpointAgent::adopt_socket(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -83,17 +106,35 @@ bool EndpointAgent::flowlet_start(std::uint32_t key, std::uint16_t src,
                                   std::uint32_t size_hint_bytes,
                                   std::uint16_t weight_milli) {
   if (flows_.contains(key)) return false;
-  flows_.emplace(key,
-                 FlowletState{0.0, 0, EpollLoop::now_us()});
+  flows_.emplace(key, FlowletState{0.0, 0, src, dst, weight_milli});
   writer_.add(core::FlowletStartMsg{key, src, dst, size_hint_bytes,
                                     weight_milli, 0});
   ++stats_.starts_sent;
+  if (detector_) {
+    // Prime the detector so the idle sweep covers explicit
+    // registrations too; detected_start sees the key active and does
+    // not double-send. The weight rides in the flow's slot so a
+    // detector-driven restart of this flow re-registers with it.
+    detector_->on_packet(
+        {key, src, dst, size_hint_bytes, now_ps(), 0});
+    if (flowlet::FlowSlot* s = detector_->find_flow(key)) {
+      s->user_tag = weight_milli;
+    }
+  }
   if (writer_.pending_bytes() >= cfg_.flush_threshold_bytes) flush();
   return true;
 }
 
 bool EndpointAgent::flowlet_end(std::uint32_t key) {
   if (flows_.erase(key) == 0) return false;
+  if (detector_) {
+    detector_->end_flow(key);
+    // Explicit deregistration retires the weight; a later detected
+    // restart of this key is a fresh flow.
+    if (flowlet::FlowSlot* s = detector_->find_flow(key)) {
+      s->user_tag = 0;
+    }
+  }
   writer_.add(core::FlowletEndMsg{key});
   ++stats_.ends_sent;
   if (writer_.pending_bytes() >= cfg_.flush_threshold_bytes) flush();
@@ -101,8 +142,43 @@ bool EndpointAgent::flowlet_end(std::uint32_t key) {
 }
 
 void EndpointAgent::touch(std::uint32_t key) {
+  if (!detector_) return;
   const auto it = flows_.find(key);
-  if (it != flows_.end()) it->second.last_activity_us = EpollLoop::now_us();
+  if (it == flows_.end()) return;
+  detector_->on_packet(
+      {key, it->second.src, it->second.dst, 0, now_ps(), 0});
+}
+
+void EndpointAgent::observe_packet(std::uint32_t key, std::uint16_t src,
+                                   std::uint16_t dst,
+                                   std::uint32_t bytes) {
+  FT_CHECK(detector_ != nullptr);
+  detector_->on_packet({key, src, dst, bytes, now_ps(), 0});
+  if (writer_.pending_bytes() >= cfg_.flush_threshold_bytes) flush();
+}
+
+void EndpointAgent::detected_start(const flowlet::PacketRecord& p) {
+  if (flows_.contains(p.flow_key)) return;  // explicitly registered
+  // A flow registered with a non-default weight keeps it when the
+  // detector restarts it after a gap (the weight lives in the flow's
+  // slot); size hint 0 = unknown, we only ever see one packet here.
+  std::uint16_t weight = 1000;
+  if (const flowlet::FlowSlot* s = detector_->find_flow(p.flow_key);
+      s != nullptr && s->user_tag != 0) {
+    weight = s->user_tag;
+  }
+  flows_.emplace(p.flow_key,
+                 FlowletState{0.0, 0, p.src_host, p.dst_host, weight});
+  writer_.add(core::FlowletStartMsg{p.flow_key, p.src_host, p.dst_host,
+                                    0, weight, 0});
+  ++stats_.starts_sent;
+}
+
+void EndpointAgent::detected_end(std::uint32_t key) {
+  if (flows_.erase(key) == 0) return;
+  writer_.add(core::FlowletEndMsg{key});
+  ++stats_.ends_sent;
+  ++stats_.idle_ends;
 }
 
 void EndpointAgent::on_rate_update(const core::RateUpdateMsg& m) {
@@ -122,20 +198,6 @@ double EndpointAgent::rate_bps(std::uint32_t key) const {
 std::uint16_t EndpointAgent::rate_code(std::uint32_t key) const {
   const auto it = flows_.find(key);
   return it == flows_.end() ? 0 : it->second.rate_code;
-}
-
-void EndpointAgent::expire_idle(std::int64_t now_us) {
-  if (cfg_.idle_gap_us <= 0) return;
-  // Collect first: flowlet_end mutates flows_.
-  std::vector<std::uint32_t> idle;
-  for (const auto& [key, st] : flows_) {
-    if (now_us - st.last_activity_us >= cfg_.idle_gap_us) {
-      idle.push_back(key);
-    }
-  }
-  for (const std::uint32_t key : idle) {
-    if (flowlet_end(key)) ++stats_.idle_ends;
-  }
 }
 
 bool EndpointAgent::drain_socket() {
@@ -207,7 +269,10 @@ bool EndpointAgent::poll() {
     disconnect();
     return false;
   }
-  expire_idle(EpollLoop::now_us());
+  // The detector's idle sweep replaces the old per-poll expire_idle
+  // vector churn: expiry state lives in the detector's bounded table
+  // and its reused scratch buffer.
+  if (detector_) detector_->advance(now_ps());
   flush();
   return fd_ >= 0;
 }

@@ -1,31 +1,44 @@
 // EndpointAgent: the endpoint side of the allocator control plane.
 //
 // The agent owns one socket to the allocator service. The application
-// registers flowlets (flowlet_start) and reports traffic activity
-// (touch); the agent frames and batches the outgoing notifications,
-// applies incoming rate updates to its local table, and -- mirroring
-// endpoint-side flowlet detection -- auto-emits a flowlet-end once a
-// flowlet has been idle longer than the configured gap, so applications
-// that stop sending need not remember to deregister.
+// either registers flowlets explicitly (flowlet_start/flowlet_end) or --
+// the detection path -- just reports transmitted packets via
+// observe_packet() and lets the agent's FlowletDetector decide where
+// flowlets begin and end: detected starts and gap/idle ends are framed
+// and batched to the service automatically, so the exact same detection
+// policy (src/flowlet/) runs in simulation and on the live control
+// plane. By default the agent builds a StaticGapDetector from
+// AgentConfig::idle_gap_us (the pre-detector behaviour); pass any
+// FlowletDetector (e.g. a FlowDyn-style DynamicGapDetector) to replace
+// the policy.
 //
 // Single-threaded: call poll() from one thread (an event loop tick or a
-// pacing loop). poll() drains the socket, expires idle flowlets and
-// flushes pending writes.
+// pacing loop). poll() drains the socket, runs the detector's idle sweep
+// and flushes pending writes.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "flowlet/detector.h"
 #include "net/frame.h"
 
 namespace ft::net {
 
 struct AgentConfig {
-  // Auto flowlet-end after this much inactivity; <= 0 disables it.
+  // When no detector is supplied: auto flowlet-end after this much
+  // inactivity via a StaticGapDetector; <= 0 disables detection.
   std::int64_t idle_gap_us = 0;
+  // Slot count for the auto-built detector's flow table. Detection
+  // state is bounded and direct-mapped, so two live flows whose keys
+  // hash to the same slot evict each other (the evicted flowlet is
+  // ended and its next packet re-registers it). Size this comfortably
+  // above the expected number of concurrent flows.
+  std::size_t detector_table_capacity = 1 << 14;
   // Flush the outgoing batch automatically when it grows past this many
   // payload bytes (latency/amortization trade-off).
   std::size_t flush_threshold_bytes = 16 * 1024;
@@ -38,7 +51,7 @@ struct AgentConfig {
 struct AgentStats {
   std::uint64_t starts_sent = 0;
   std::uint64_t ends_sent = 0;
-  std::uint64_t idle_ends = 0;  // subset of ends_sent emitted by the gap
+  std::uint64_t idle_ends = 0;  // subset of ends_sent from the detector
   std::uint64_t updates_received = 0;
   std::uint64_t frames_out = 0;
   std::int64_t bytes_out = 0;
@@ -52,7 +65,9 @@ class EndpointAgent : MessageSink {
   using RateCallback =
       std::function<void(std::uint32_t, double, std::uint16_t)>;
 
-  explicit EndpointAgent(AgentConfig cfg = {});
+  explicit EndpointAgent(
+      AgentConfig cfg = {},
+      std::unique_ptr<flowlet::FlowletDetector> detector = nullptr);
   ~EndpointAgent() override;
   EndpointAgent(const EndpointAgent&) = delete;
   EndpointAgent& operator=(const EndpointAgent&) = delete;
@@ -66,17 +81,32 @@ class EndpointAgent : MessageSink {
 
   // Registers a flowlet from host index `src` to `dst` (batched; sent on
   // the next flush/poll). Returns false if the key is already active.
+  // When detection is enabled, an idle gap (or, rarely, a detector
+  // table collision) auto-ends the flowlet exactly like the old idle
+  // timer did: it drops out of is_active() and later touch() calls
+  // no-op, so an app that keeps sending should watch is_active() and
+  // re-register -- or report traffic via observe_packet(), which
+  // re-registers automatically. A non-default weight survives
+  // detector-driven end/restart cycles (it rides in the detector's
+  // bounded flow table) until the slot is evicted.
   bool flowlet_start(std::uint32_t key, std::uint16_t src,
                      std::uint16_t dst, std::uint32_t size_hint_bytes = 0,
                      std::uint16_t weight_milli = 1000);
   // Explicitly ends a flowlet. Returns false if the key is unknown.
   bool flowlet_end(std::uint32_t key);
-  // Marks traffic activity on a flowlet, deferring its idle-gap expiry.
+  // Marks traffic activity on a flowlet, deferring its idle expiry.
   void touch(std::uint32_t key);
 
-  // Drains incoming rate updates, expires idle flowlets (against the
-  // same CLOCK_MONOTONIC clock that stamps activity), flushes pending
-  // writes. Returns false once the connection is lost.
+  // Detection path: reports one transmitted packet of flow `key`. The
+  // detector auto-registers the flowlet on its first packet (and after
+  // every detected gap), so no flowlet_start call is needed. Requires a
+  // detector (idle_gap_us > 0 or one passed at construction).
+  void observe_packet(std::uint32_t key, std::uint16_t src,
+                      std::uint16_t dst, std::uint32_t bytes = 0);
+
+  // Drains incoming rate updates, runs the detector's idle sweep
+  // (against the same CLOCK_MONOTONIC clock that stamps activity),
+  // flushes pending writes. Returns false once the connection is lost.
   bool poll();
   // Forces the open batch onto the wire.
   void flush();
@@ -90,21 +120,34 @@ class EndpointAgent : MessageSink {
   [[nodiscard]] std::uint16_t rate_code(std::uint32_t key) const;
 
   [[nodiscard]] const AgentStats& stats() const { return stats_; }
+  // The active detection policy (nullptr when detection is disabled).
+  [[nodiscard]] const flowlet::FlowletDetector* detector() const {
+    return detector_.get();
+  }
 
  private:
   struct FlowletState {
     double rate_bps = 0.0;
     std::uint16_t rate_code = 0;
-    std::int64_t last_activity_us = 0;
+    std::uint16_t src = 0;
+    std::uint16_t dst = 0;
+    std::uint16_t weight_milli = 1000;
   };
 
   void on_rate_update(const core::RateUpdateMsg& m) override;
   bool adopt_socket(int fd);
   bool drain_socket();
   bool try_write();
-  void expire_idle(std::int64_t now_us);
+  // Detector callbacks: auto-register / auto-end flowlets.
+  void detected_start(const flowlet::PacketRecord& p);
+  void detected_end(std::uint32_t key);
+  // Detector clock: picoseconds since agent construction (rebased so
+  // the us -> ps conversion cannot overflow on a long-uptime host).
+  [[nodiscard]] Time now_ps() const;
 
   AgentConfig cfg_;
+  std::int64_t epoch_us_;
+  std::unique_ptr<flowlet::FlowletDetector> detector_;
   int fd_ = -1;
   FrameParser parser_;
   FrameWriter writer_;

@@ -1,0 +1,84 @@
+#include "sim/flowlet_tap.h"
+
+#include <algorithm>
+
+namespace ft::sim {
+
+FlowletTap::FlowletTap(Network& net, flowlet::FlowletDetector& det,
+                       Time advance_period)
+    : net_(net), det_(det), period_(advance_period) {
+  net_.set_tx_observer([this](const Packet& p) { on_tx(p); });
+  det_.set_callbacks(
+      [this](const flowlet::PacketRecord&) { started_here_ = true; },
+      nullptr);
+}
+
+FlowletTap::~FlowletTap() {
+  net_.set_tx_observer(nullptr);
+  det_.set_callbacks(nullptr, nullptr);
+}
+
+void FlowletTap::start(Time until) {
+  until_ = until;
+  net_.events().schedule(net_.events().now() + period_, this, 0);
+}
+
+void FlowletTap::on_event(std::uint32_t /*tag*/, std::uint64_t /*arg*/) {
+  const Time now = net_.events().now();
+  det_.advance(now);
+  if (now + period_ <= until_) {
+    net_.events().schedule(now + period_, this, 0);
+  }
+}
+
+void FlowletTap::on_tx(const Packet& p) {
+  started_here_ = false;
+  flowlet::PacketRecord rec;
+  rec.flow_key = p.flow_id;
+  rec.src_host = static_cast<std::uint16_t>(p.src_host);
+  rec.dst_host = static_cast<std::uint16_t>(p.dst_host);
+  rec.bytes = static_cast<std::uint32_t>(p.payload);
+  rec.at = net_.events().now();
+  det_.on_packet(rec);
+  scorer_.record(p.truth_burst_start, started_here_);
+}
+
+TraceReplay::TraceReplay(Network& net, std::vector<wl::PacketEvent> trace)
+    : net_(net), trace_(std::move(trace)) {}
+
+void TraceReplay::start() {
+  net_.set_delivery_handler([this](Packet* p) {
+    ++delivered_;
+    net_.pool().free(p);
+  });
+  if (trace_.empty()) return;
+  net_.events().schedule(
+      std::max(trace_.front().at, net_.events().now()), this, 0);
+}
+
+void TraceReplay::on_event(std::uint32_t /*tag*/, std::uint64_t /*arg*/) {
+  inject_next();
+  if (next_ < trace_.size()) {
+    net_.events().schedule(
+        std::max(trace_[next_].at, net_.events().now()), this, 0);
+  }
+}
+
+void TraceReplay::inject_next() {
+  const wl::PacketEvent& ev = trace_[next_++];
+  Packet* p = net_.pool().alloc();
+  p->flow_id = ev.flow_id;
+  p->src_host = ev.src_host;
+  p->dst_host = ev.dst_host;
+  p->payload = ev.bytes;
+  p->finalize_size();
+  p->truth_burst_start = ev.burst_start;
+  p->sent_at = net_.events().now();
+  const topo::ClosTopology& clos = net_.clos();
+  const topo::Path path = clos.host_path(
+      clos.host(ev.src_host), clos.host(ev.dst_host), ev.flow_id);
+  p->set_path(path.begin(), path.size());
+  net_.send(p);
+}
+
+}  // namespace ft::sim

@@ -1,0 +1,84 @@
+// In-simulation flowlet detection: a host-NIC tap plus a packet-trace
+// replayer.
+//
+// FlowletTap hooks the network's tx observer (the sending host's NIC,
+// before any network delay -- exactly where endpoint-side detection
+// runs) and feeds every transmitted packet to a flowlet::FlowletDetector.
+// When replayed packets carry ground-truth boundary flags, the tap
+// scores the detector's per-packet decisions as it goes, so detection
+// accuracy is measured under full simulation timing.
+//
+// TraceReplay injects a workload PacketTrace into the network verbatim:
+// each PacketEvent becomes a source-routed packet sent at its trace
+// time along its flow's ECMP path, with the ground-truth flag stamped
+// for the tap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flowlet/accuracy.h"
+#include "flowlet/detector.h"
+#include "sim/network.h"
+#include "workload/traffic_gen.h"
+
+namespace ft::sim {
+
+class FlowletTap : public EventHandler {
+ public:
+  // Installs itself as `net`'s tx observer and takes over the detector's
+  // callbacks (start events feed the scorer).
+  FlowletTap(Network& net, flowlet::FlowletDetector& det,
+             Time advance_period = kMillisecond);
+  // Unhooks both (the network and detector may outlive the tap).
+  ~FlowletTap() override;
+  FlowletTap(const FlowletTap&) = delete;
+  FlowletTap& operator=(const FlowletTap&) = delete;
+
+  // Runs the detector's idle sweep every advance_period until `until`.
+  void start(Time until = kTimeNever);
+
+  [[nodiscard]] const flowlet::BoundaryScorer& scorer() const {
+    return scorer_;
+  }
+  [[nodiscard]] const flowlet::FlowletDetector& detector() const {
+    return det_;
+  }
+
+  void on_event(std::uint32_t tag, std::uint64_t arg) override;
+
+ private:
+  void on_tx(const Packet& p);
+
+  Network& net_;
+  flowlet::FlowletDetector& det_;
+  Time period_;
+  Time until_ = kTimeNever;
+  bool started_here_ = false;
+  flowlet::BoundaryScorer scorer_;
+};
+
+class TraceReplay : public EventHandler {
+ public:
+  // `trace` must be time-sorted (PacketTraceGenerator output is).
+  TraceReplay(Network& net, std::vector<wl::PacketEvent> trace);
+
+  // Installs the delivery handler (packets are freed on arrival) and
+  // schedules the injections; run the event queue to completion after.
+  void start();
+
+  [[nodiscard]] std::size_t injected() const { return next_; }
+  [[nodiscard]] std::size_t delivered() const { return delivered_; }
+
+  void on_event(std::uint32_t tag, std::uint64_t arg) override;
+
+ private:
+  void inject_next();
+
+  Network& net_;
+  std::vector<wl::PacketEvent> trace_;
+  std::size_t next_ = 0;
+  std::size_t delivered_ = 0;
+};
+
+}  // namespace ft::sim

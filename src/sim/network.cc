@@ -26,6 +26,7 @@ void Network::set_drop_observer(
 void Network::send(Packet* p) {
   FT_CHECK(p->path_len > 0);
   FT_CHECK(deliver_ != nullptr);
+  if (tx_observer_) tx_observer_(*p);
   events_.schedule(events_.now() + host_delay_, this, kHostEgress,
                    reinterpret_cast<std::uint64_t>(p));
 }

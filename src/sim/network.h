@@ -31,6 +31,11 @@ class Network : public EventHandler {
     deliver_ = std::move(handler);
   }
   void set_drop_observer(std::function<void(LinkId, const Packet*)> obs);
+  // Observes every packet at injection time (the sending host's NIC),
+  // before any network delay -- the hook a flowlet detection tap uses.
+  void set_tx_observer(std::function<void(const Packet&)> obs) {
+    tx_observer_ = std::move(obs);
+  }
 
   // Injects a packet at its source host. The packet's path must be set;
   // host egress delay applies before it reaches the first link.
@@ -64,6 +69,7 @@ class Network : public EventHandler {
   const topo::ClosTopology& clos_;
   std::vector<std::unique_ptr<Link>> links_;
   std::function<void(Packet*)> deliver_;
+  std::function<void(const Packet&)> tx_observer_;
   Time host_delay_;
 };
 

@@ -58,6 +58,9 @@ struct Packet {
   // Tracing.
   Time sent_at = 0;    // transport transmission time (RTT estimation)
   Time enq_at = 0;     // last queue-entry time (CoDel sojourn, delay traces)
+  // Ground-truth flowlet boundary carried by replayed workload traces,
+  // so a host-NIC detection tap can be scored in-simulation.
+  bool truth_burst_start = false;
 
   void set_path(const LinkId* links, std::size_t n) {
     FT_CHECK(n <= path.size());

@@ -1,5 +1,7 @@
 #include "workload/traffic_gen.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace ft::wl {
@@ -37,6 +39,66 @@ std::vector<FlowletEvent> TrafficGenerator::generate(Time horizon) {
   std::vector<FlowletEvent> out;
   while (next_time_ < horizon) out.push_back(next());
   return out;
+}
+
+PacketTraceGenerator::PacketTraceGenerator(const TrafficConfig& cfg,
+                                           BurstConfig burst)
+    : flows_(cfg), burst_(burst), rng_(cfg.seed ^ 0xB0B5B0B5ULL) {
+  FT_CHECK(burst_.mtu_bytes >= 1);
+  FT_CHECK(burst_.pacing_bps > 0.0);
+  FT_CHECK(burst_.mean_burst_packets >= 1.0);
+}
+
+PacketTrace PacketTraceGenerator::generate(Time horizon) {
+  PacketTrace trace;
+  const Time base_spacing = tx_time(burst_.mtu_bytes, burst_.pacing_bps);
+  for (const FlowletEvent& flow : flows_.generate(horizon)) {
+    const auto flow_id = static_cast<std::uint32_t>(trace.flows++);
+    std::int64_t remaining =
+        (flow.bytes + burst_.mtu_bytes - 1) / burst_.mtu_bytes;
+    std::int64_t last_bytes =
+        flow.bytes - (remaining - 1) * burst_.mtu_bytes;
+    Time t = flow.start;
+    std::uint32_t burst_index = 0;
+    while (remaining > 0) {
+      std::int64_t burst_len = 1;
+      if (burst_.mean_burst_packets > 1.0) {
+        burst_len += static_cast<std::int64_t>(
+            rng_.exponential(burst_.mean_burst_packets - 1.0));
+      }
+      burst_len = std::min(burst_len, remaining);
+      ++trace.bursts;
+      for (std::int64_t i = 0; i < burst_len; ++i) {
+        PacketEvent p;
+        p.at = t;
+        p.flow_id = flow_id;
+        p.src_host = flow.src_host;
+        p.dst_host = flow.dst_host;
+        p.bytes = (remaining == 1)
+                      ? static_cast<std::int32_t>(last_bytes)
+                      : burst_.mtu_bytes;
+        p.burst_index = burst_index;
+        p.burst_start = (i == 0);
+        p.burst_end = (i == burst_len - 1);
+        trace.packets.push_back(p);
+        --remaining;
+        t += static_cast<Time>(
+            static_cast<double>(base_spacing) *
+            rng_.uniform(1.0, 1.0 + burst_.jitter_max));
+      }
+      ++burst_index;
+      if (remaining > 0) {
+        t += burst_.min_think_gap +
+             static_cast<Time>(rng_.exponential(
+                 static_cast<double>(burst_.mean_think_gap)));
+      }
+    }
+  }
+  std::stable_sort(trace.packets.begin(), trace.packets.end(),
+                   [](const PacketEvent& a, const PacketEvent& b) {
+                     return a.at < b.at;
+                   });
+  return trace;
 }
 
 }  // namespace ft::wl

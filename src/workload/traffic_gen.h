@@ -51,4 +51,60 @@ class TrafficGenerator {
   Time next_time_ = 0;
 };
 
+// ---------------------------------------------------------------------
+// Packet-level sub-structure. Each arrival from TrafficGenerator is
+// treated as one flow whose bytes are transmitted as a sequence of
+// bursts -- the ground-truth flowlets -- of MTU packets paced at the
+// host line rate (with jitter), separated by application think-time
+// gaps. The emitted trace carries the true flowlet boundaries, so a
+// detector run over it can be scored for precision/recall
+// (flowlet/accuracy.h).
+
+struct PacketEvent {
+  Time at = 0;
+  std::uint32_t flow_id = 0;  // dense, in flow-arrival order
+  std::int32_t src_host = 0;
+  std::int32_t dst_host = 0;
+  std::int32_t bytes = 0;
+  std::uint32_t burst_index = 0;  // flowlet ordinal within the flow
+  bool burst_start = false;  // ground truth: first packet of a flowlet
+  bool burst_end = false;    // ground truth: last packet of a flowlet
+};
+
+struct BurstConfig {
+  std::int32_t mtu_bytes = 1500;
+  // Intra-burst packet spacing: mtu serialization at this rate,
+  // stretched by a uniform [1, 1 + jitter_max] factor per packet.
+  double pacing_bps = 10e9;
+  double jitter_max = 1.0;
+  // Burst length in packets: 1 + geometric, mean `mean_burst_packets`.
+  double mean_burst_packets = 16.0;
+  // Think-time between bursts of one flow: min + exponential(mean).
+  // The floor keeps ground-truth gaps separable from pacing jitter.
+  Time min_think_gap = 80 * kMicrosecond;
+  Time mean_think_gap = 250 * kMicrosecond;
+};
+
+struct PacketTrace {
+  std::vector<PacketEvent> packets;  // time-sorted across flows
+  std::size_t flows = 0;
+  std::size_t bursts = 0;  // total ground-truth flowlets
+};
+
+class PacketTraceGenerator {
+ public:
+  PacketTraceGenerator(const TrafficConfig& cfg, BurstConfig burst = {});
+
+  // Expands every flow arriving before `horizon` into its packets
+  // (which may extend past the horizon), merged in time order.
+  [[nodiscard]] PacketTrace generate(Time horizon);
+
+  [[nodiscard]] const BurstConfig& burst_config() const { return burst_; }
+
+ private:
+  TrafficGenerator flows_;
+  BurstConfig burst_;
+  Rng rng_;
+};
+
 }  // namespace ft::wl

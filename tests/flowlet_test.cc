@@ -1,0 +1,341 @@
+// Tests for the flowlet detection engine (src/flowlet/): the bounded
+// FlowletTable, the static and FlowDyn-style dynamic gap detectors,
+// accuracy scoring against packet-trace ground truth, and the
+// in-simulation host-NIC tap.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "flowlet/accuracy.h"
+#include "flowlet/detector.h"
+#include "flowlet/table.h"
+#include "sim/flowlet_tap.h"
+#include "sim/queue.h"
+#include "sim/simulator.h"
+#include "topo/clos.h"
+#include "workload/traffic_gen.h"
+
+namespace ft::flowlet {
+namespace {
+
+// ---------------------------------------------------------------------
+// FlowletTable
+
+TEST(FlowletTableTest, ClaimFindRelease) {
+  FlowletTable table(8);
+  EXPECT_EQ(table.capacity(), 8u);
+  EXPECT_EQ(table.find(42), nullptr);
+
+  bool evicted = false;
+  FlowSlot dead;
+  FlowSlot& s = table.claim(42, evicted, dead);
+  EXPECT_FALSE(evicted);
+  EXPECT_EQ(s.key, 42u);
+  EXPECT_TRUE(s.occupied);
+  EXPECT_EQ(table.occupied(), 1u);
+
+  s.last_seen = 123;
+  s.user_tag = 500;
+  FlowSlot& again = table.claim(42, evicted, dead);
+  EXPECT_FALSE(evicted);
+  EXPECT_EQ(again.last_seen, 123);  // state persisted
+  EXPECT_EQ(again.user_tag, 500);   // owner tag persisted too
+  EXPECT_EQ(table.stats().hits, 1u);
+
+  ASSERT_NE(table.find(42), nullptr);
+  table.release(*table.find(42));
+  EXPECT_EQ(table.find(42), nullptr);
+  EXPECT_EQ(table.occupied(), 0u);
+}
+
+TEST(FlowletTableTest, EvictionRecyclesSlotAndReturnsIncumbent) {
+  FlowletTable table(2);  // 2 slots: collisions guaranteed quickly
+  bool evicted = false;
+  FlowSlot dead;
+  std::uint64_t evictions = 0;
+  for (std::uint32_t key = 1; key <= 64; ++key) {
+    FlowSlot& s = table.claim(key, evicted, dead);
+    EXPECT_EQ(s.key, key);
+    if (evicted) {
+      ++evictions;
+      EXPECT_NE(dead.key, key);
+      EXPECT_TRUE(dead.occupied);
+    }
+  }
+  EXPECT_EQ(evictions, table.stats().evictions);
+  EXPECT_GE(evictions, 62u);  // 64 keys into 2 slots
+  EXPECT_LE(table.occupied(), 2u);
+}
+
+TEST(FlowletTableTest, MemoryBoundedUnderMillionFlowChurn) {
+  constexpr std::size_t kCapacity = 4096;
+  FlowletTable table(kCapacity);
+  bool evicted = false;
+  FlowSlot dead;
+  for (std::uint32_t key = 1; key <= 1'000'000; ++key) {
+    FlowSlot& s = table.claim(key, evicted, dead);
+    s.in_flowlet = true;  // slots carry live state through recycling
+    s.last_seen = key;
+  }
+  // The table never grew: one million flows churned through the same
+  // fixed slot array.
+  EXPECT_EQ(table.capacity(), kCapacity);
+  EXPECT_EQ(table.slots().size(), kCapacity);
+  EXPECT_LE(table.occupied(), kCapacity);
+  EXPECT_EQ(table.stats().inserts, 1'000'000u);
+  EXPECT_EQ(table.stats().evictions,
+            1'000'000u - table.occupied());
+}
+
+// ---------------------------------------------------------------------
+// Detectors
+
+struct EventLog {
+  std::vector<std::uint32_t> starts;
+  std::vector<std::uint32_t> ends;
+
+  void attach(FlowletDetector& det) {
+    det.set_callbacks(
+        [this](const PacketRecord& p) { starts.push_back(p.flow_key); },
+        [this](std::uint32_t key, Time) { ends.push_back(key); });
+  }
+};
+
+PacketRecord pkt(std::uint32_t key, Time at, std::uint32_t bytes = 1500) {
+  PacketRecord p;
+  p.flow_key = key;
+  p.at = at;
+  p.bytes = bytes;
+  return p;
+}
+
+TEST(StaticGapDetectorTest, SplitsExactlyAtGapExceedingSilences) {
+  StaticGapConfig cfg;
+  cfg.gap = 50 * kMicrosecond;
+  StaticGapDetector det(cfg);
+  EventLog log;
+  log.attach(det);
+
+  // Three packets 10us apart, a 200us silence, three more.
+  for (int i = 0; i < 3; ++i) {
+    det.on_packet(pkt(7, i * 10 * kMicrosecond));
+  }
+  const Time resume = 20 * kMicrosecond + 200 * kMicrosecond;
+  for (int i = 0; i < 3; ++i) {
+    det.on_packet(pkt(7, resume + i * 10 * kMicrosecond));
+  }
+  EXPECT_EQ(log.starts, (std::vector<std::uint32_t>{7, 7}));
+  EXPECT_EQ(log.ends, (std::vector<std::uint32_t>{7}));
+  EXPECT_EQ(det.stats().gap_ends, 1u);
+
+  // Idle sweep past the gap ends the second flowlet.
+  det.advance(resume + 20 * kMicrosecond + 51 * kMicrosecond);
+  EXPECT_EQ(log.ends, (std::vector<std::uint32_t>{7, 7}));
+  EXPECT_EQ(det.stats().idle_ends, 1u);
+}
+
+TEST(DynamicGapDetectorTest, NeverSplitsSteadyPacedStream) {
+  DynamicGapDetector det;
+  EventLog log;
+  log.attach(det);
+  // 20k packets at a constant 5us: EWMA converges to 5us, gap to
+  // 8 x 5us = 40us; the stream must stay one flowlet.
+  for (int i = 0; i < 20'000; ++i) {
+    det.on_packet(pkt(1, static_cast<Time>(i) * 5 * kMicrosecond));
+  }
+  EXPECT_EQ(log.starts.size(), 1u);
+  EXPECT_TRUE(log.ends.empty());
+  EXPECT_EQ(det.stats().gap_ends, 0u);
+}
+
+TEST(DynamicGapDetectorTest, NeverSplitsJitteredPacedStream) {
+  DynamicGapDetector det;
+  EventLog log;
+  log.attach(det);
+  Rng rng(5);
+  Time t = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    det.on_packet(pkt(1, t));
+    // Spacing uniform in [2us, 6us): bounded jitter well inside the
+    // 8x EWMA threshold.
+    t += static_cast<Time>(rng.uniform(2.0, 6.0) *
+                           static_cast<double>(kMicrosecond));
+  }
+  EXPECT_EQ(log.starts.size(), 1u);
+  EXPECT_EQ(det.stats().gap_ends, 0u);
+}
+
+TEST(DynamicGapDetectorTest, AdaptsGapPerFlow) {
+  DynamicGapDetector det;
+  // Flow 1 paced at 2us, flow 2 paced at 30us: each flow's learned gap
+  // tracks its own spacing (8x the EWMA), so the thresholds end up
+  // ~15x apart -- the per-flow adaptation a single static gap cannot do.
+  for (int i = 0; i < 1000; ++i) {
+    det.on_packet(pkt(1, static_cast<Time>(i) * 2 * kMicrosecond));
+    det.on_packet(pkt(2, static_cast<Time>(i) * 30 * kMicrosecond));
+  }
+  const FlowSlot* f1 = det.table().find(1);
+  const FlowSlot* f2 = det.table().find(2);
+  ASSERT_NE(f1, nullptr);
+  ASSERT_NE(f2, nullptr);
+  EXPECT_EQ(f1->gap, 8 * 2 * kMicrosecond);
+  EXPECT_EQ(f2->gap, 8 * 30 * kMicrosecond);
+  // A flow paced slower than its gap ever allows degenerates into
+  // single-packet flowlets and must keep its initial threshold.
+  for (int i = 0; i < 100; ++i) {
+    det.on_packet(pkt(3, static_cast<Time>(i) * 200 * kMicrosecond));
+  }
+  ASSERT_NE(det.table().find(3), nullptr);
+  EXPECT_EQ(det.table().find(3)->gap, det.config().initial_gap);
+}
+
+TEST(DynamicGapDetectorTest, RttFloorRaisesGap) {
+  DynamicGapDetector det;
+  // Paced at 1us (gap would clamp to min_gap = 10us), but with a
+  // measured RTT of 40us the gap must rise to rtt_mult x 40us = 60us.
+  Time t = 0;
+  for (int i = 0; i < 1000; ++i) {
+    PacketRecord p = pkt(3, t);
+    p.rtt_hint = 40 * kMicrosecond;
+    det.on_packet(p);
+    t += kMicrosecond;
+  }
+  const FlowSlot* s = det.table().find(3);
+  ASSERT_NE(s, nullptr);
+  EXPECT_NEAR(static_cast<double>(s->gap),
+              1.5 * 40.0 * static_cast<double>(kMicrosecond),
+              2.0 * static_cast<double>(kMicrosecond));
+}
+
+TEST(GapDetectorTest, EvictionForcesFlowletEnd) {
+  StaticGapConfig cfg;
+  cfg.table_capacity = 2;
+  StaticGapDetector det(cfg);
+  EventLog log;
+  log.attach(det);
+  for (std::uint32_t key = 1; key <= 8; ++key) {
+    det.on_packet(pkt(key, static_cast<Time>(key) * kMicrosecond));
+  }
+  EXPECT_GT(det.stats().evicted_ends, 0u);
+  EXPECT_EQ(det.stats().ends, log.ends.size());
+  EXPECT_EQ(det.stats().starts, 8u);
+}
+
+TEST(GapDetectorTest, EndFlowSuppressesIdleCallback) {
+  StaticGapConfig cfg;
+  cfg.gap = 10 * kMicrosecond;
+  StaticGapDetector det(cfg);
+  EventLog log;
+  log.attach(det);
+  det.on_packet(pkt(5, 0));
+  EXPECT_TRUE(det.end_flow(5));
+  EXPECT_FALSE(det.end_flow(5));  // already ended
+  det.advance(kSecond);
+  EXPECT_TRUE(log.ends.empty());  // externally ended: no idle callback
+}
+
+// ---------------------------------------------------------------------
+// Accuracy against generated ground truth
+
+TEST(AccuracyTest, RecoversExactBoundariesWhenGapsDominateSpacing) {
+  // Property: when inter-flowlet think gaps (>= 200us) dwarf the paced
+  // intra-flowlet spacing (~1.2-2.4us), the dynamic detector must
+  // recover exactly the ground-truth boundaries -- every trace, every
+  // seed, no tuning.
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL, 5ULL}) {
+    wl::TrafficConfig cfg;
+    cfg.num_hosts = 16;
+    cfg.load = 0.2;
+    cfg.workload = wl::Workload::kWeb;
+    cfg.seed = seed;
+    wl::BurstConfig burst;
+    burst.min_think_gap = 200 * kMicrosecond;
+    burst.mean_think_gap = 300 * kMicrosecond;
+    DynamicGapConfig dcfg;
+    dcfg.table_capacity = 1 << 16;  // collision-free at this scale
+    wl::PacketTraceGenerator gen(cfg, burst);
+    const wl::PacketTrace trace = gen.generate(from_ms(10));
+    ASSERT_GT(trace.bursts, 100u) << "seed " << seed;
+
+    DynamicGapDetector det(dcfg);
+    const TraceScore score = score_trace(det, trace.packets);
+    EXPECT_EQ(score.truth_boundaries, trace.bursts) << "seed " << seed;
+    EXPECT_EQ(score.packets, trace.packets.size()) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(score.precision, 1.0) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(score.recall, 1.0) << "seed " << seed;
+  }
+}
+
+TEST(AccuracyTest, DynamicBeatsMisconfiguredStaticOnWebTrace) {
+  // Acceptance criterion at coarse tolerance: web workload, 0.6 load,
+  // default burst structure. The untuned dynamic detector clears
+  // 95/95; a 4x-misconfigured static gap (200us vs the trace's ~50us
+  // sweet spot) loses a measurable chunk of recall.
+  wl::TrafficConfig cfg;
+  cfg.num_hosts = 32;
+  cfg.load = 0.6;
+  cfg.workload = wl::Workload::kWeb;
+  cfg.seed = 11;
+  wl::PacketTraceGenerator gen(cfg);
+  const wl::PacketTrace trace = gen.generate(from_ms(20));
+
+  DynamicGapDetector dyn;
+  const TraceScore ds = score_trace(dyn, trace.packets);
+  EXPECT_GE(ds.precision, 0.95);
+  EXPECT_GE(ds.recall, 0.95);
+
+  StaticGapConfig scfg;
+  scfg.gap = 200 * kMicrosecond;  // 4x the appropriate threshold
+  StaticGapDetector misconfigured(scfg);
+  const TraceScore ss = score_trace(misconfigured, trace.packets);
+  EXPECT_LT(ss.recall, ds.recall - 0.05);
+}
+
+// ---------------------------------------------------------------------
+// In-simulation host-NIC tap
+
+TEST(FlowletTapTest, ScoresDetectionUnderSimulationTiming) {
+  topo::ClosConfig tcfg;
+  tcfg.racks = 2;
+  tcfg.servers_per_rack = 4;
+  tcfg.spines = 2;
+  topo::ClosTopology clos(tcfg);
+
+  wl::TrafficConfig cfg;
+  cfg.num_hosts = clos.num_hosts();
+  cfg.load = 0.4;
+  cfg.workload = wl::Workload::kWeb;
+  cfg.seed = 3;
+  wl::PacketTraceGenerator gen(cfg);
+  wl::PacketTrace trace = gen.generate(from_ms(5));
+  ASSERT_GT(trace.packets.size(), 1000u);
+  const std::size_t packets = trace.packets.size();
+  const std::size_t bursts = trace.bursts;
+
+  sim::Simulator s;
+  sim::Network net(s.events, s.pool, clos, [](double) {
+    return std::make_unique<sim::DropTailQueue>(1 << 22);
+  });
+  DynamicGapDetector det;
+  sim::FlowletTap tap(net, det, kMillisecond);
+  sim::TraceReplay replay(net, std::move(trace.packets));
+  replay.start();
+  tap.start(from_ms(60));
+  s.run_until(from_ms(80));
+
+  EXPECT_EQ(replay.injected(), packets);
+  EXPECT_EQ(replay.delivered(), packets);
+  EXPECT_EQ(tap.scorer().packets(), packets);
+  const std::uint64_t truth = tap.scorer().true_positives() +
+                              tap.scorer().false_negatives();
+  EXPECT_EQ(truth, bursts);
+  EXPECT_GE(tap.scorer().precision(), 0.95);
+  EXPECT_GE(tap.scorer().recall(), 0.95);
+  EXPECT_EQ(s.pool.outstanding(), 0u);
+}
+
+}  // namespace
+}  // namespace ft::flowlet

@@ -17,6 +17,7 @@
 #include "common/rng.h"
 #include "common/wire.h"
 #include "core/allocator.h"
+#include "flowlet/detector.h"
 #include "net/client.h"
 #include "net/epoll_loop.h"
 #include "net/frame.h"
@@ -443,6 +444,72 @@ TEST_F(LoopbackTest, UnixSocketFlowletLifecycleAndIdleGap) {
   }
   EXPECT_EQ(alloc.num_active_flowlets(), 0u);
   EXPECT_EQ(svc.stats().flowlet_ends, 2u);
+}
+
+TEST_F(LoopbackTest, DetectorDrivenAgentAutoStartsAndEnds) {
+  // The agent owns a FlowDyn-style dynamic detector and no flowlet is
+  // ever registered explicitly: observe_packet() drives the whole
+  // lifecycle -- auto start on the first packet, auto end after the
+  // adaptive gap, auto re-start on the next burst.
+  const topo::ClosTopology clos(small_clos());
+  core::Allocator alloc(caps_of(clos), alloc_cfg());
+
+  EpollLoop loop;
+  ServerConfig scfg;
+  scfg.tcp_port = 0;
+  scfg.iteration_period_us = 0;
+  AllocatorService svc(loop, alloc, clos, scfg);
+
+  flowlet::DynamicGapConfig dcfg;
+  // Floors sized for a real-time test: the gap settles at min_gap.
+  dcfg.min_gap = 40 * kMillisecond;
+  dcfg.initial_gap = 40 * kMillisecond;
+  dcfg.max_gap = kSecond;
+  EndpointAgent agent(
+      AgentConfig{},
+      std::make_unique<flowlet::DynamicGapDetector>(dcfg));
+  ASSERT_NE(agent.detector(), nullptr);
+  ASSERT_TRUE(agent.connect_tcp("127.0.0.1", svc.tcp_port()));
+  std::vector<EndpointAgent*> raw = {&agent};
+
+  agent.observe_packet(99, 2, 9, 1500);
+  std::int64_t deadline = EpollLoop::now_us() + 2'000'000;
+  while (alloc.num_active_flowlets() < 1 &&
+         EpollLoop::now_us() < deadline) {
+    pump(loop, raw);
+  }
+  ASSERT_EQ(alloc.num_active_flowlets(), 1u);
+  EXPECT_TRUE(agent.is_active(99));
+  EXPECT_EQ(agent.stats().starts_sent, 1u);
+
+  // Rates flow to the detected flowlet like any registered one.
+  svc.run_allocation_round();
+  pump(loop, raw);
+  pump(loop, raw);
+  EXPECT_GT(agent.rate_bps(99), 0.0);
+
+  // Silence: the detector's idle sweep ends it after the gap.
+  deadline = EpollLoop::now_us() + 2'000'000;
+  while (alloc.num_active_flowlets() > 0 &&
+         EpollLoop::now_us() < deadline) {
+    pump(loop, raw);
+  }
+  EXPECT_EQ(alloc.num_active_flowlets(), 0u);
+  EXPECT_FALSE(agent.is_active(99));
+  EXPECT_EQ(agent.stats().ends_sent, 1u);
+  EXPECT_EQ(agent.stats().idle_ends, 1u);
+
+  // The next burst on the same key re-registers automatically.
+  agent.observe_packet(99, 2, 9, 1500);
+  deadline = EpollLoop::now_us() + 2'000'000;
+  while (alloc.num_active_flowlets() < 1 &&
+         EpollLoop::now_us() < deadline) {
+    pump(loop, raw);
+  }
+  EXPECT_EQ(alloc.num_active_flowlets(), 1u);
+  EXPECT_EQ(agent.stats().starts_sent, 2u);
+  EXPECT_EQ(svc.stats().flowlet_starts, 2u);
+  EXPECT_EQ(svc.stats().protocol_errors, 0u);
 }
 
 TEST_F(LoopbackTest, BigRoundsSplitIntoChunkedFrames) {

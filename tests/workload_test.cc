@@ -144,6 +144,115 @@ TEST(TrafficGenTest, DeterministicAcrossRuns) {
   }
 }
 
+TEST(PacketTraceTest, SortedWellFormedAndBytesConserved) {
+  TrafficConfig cfg;
+  cfg.num_hosts = 16;
+  cfg.load = 0.4;
+  cfg.seed = 9;
+  PacketTraceGenerator gen(cfg);
+  const PacketTrace trace = gen.generate(from_ms(10));
+  ASSERT_GT(trace.packets.size(), 1000u);
+  ASSERT_GT(trace.flows, 0u);
+  ASSERT_GE(trace.bursts, trace.flows);
+
+  // Time-sorted across flows.
+  Time prev = -1;
+  for (const auto& p : trace.packets) {
+    EXPECT_GE(p.at, prev);
+    prev = p.at;
+  }
+
+  // Per-flow: boundary flags pair up (every burst has exactly one start
+  // and one end), burst indexes increase, and packet bytes sum to the
+  // flow size the underlying generator produced.
+  TrafficGenerator flows(cfg);
+  const auto flow_events = flows.generate(from_ms(10));
+  ASSERT_EQ(flow_events.size(), trace.flows);
+  std::vector<std::int64_t> bytes(trace.flows, 0);
+  std::vector<std::uint32_t> starts(trace.flows, 0);
+  std::vector<std::uint32_t> ends(trace.flows, 0);
+  std::vector<bool> open(trace.flows, false);
+  std::size_t bursts = 0;
+  for (const auto& p : trace.packets) {
+    ASSERT_LT(p.flow_id, trace.flows);
+    EXPECT_GE(p.bytes, 1);
+    EXPECT_LE(p.bytes, gen.burst_config().mtu_bytes);
+    EXPECT_EQ(p.src_host, flow_events[p.flow_id].src_host);
+    EXPECT_EQ(p.dst_host, flow_events[p.flow_id].dst_host);
+    bytes[p.flow_id] += p.bytes;
+    if (p.burst_start) {
+      EXPECT_FALSE(open[p.flow_id]) << "unclosed previous burst";
+      open[p.flow_id] = true;
+      ++starts[p.flow_id];
+      ++bursts;
+    }
+    if (p.burst_end) {
+      EXPECT_TRUE(open[p.flow_id]) << "end without start";
+      open[p.flow_id] = false;
+      ++ends[p.flow_id];
+    }
+  }
+  EXPECT_EQ(bursts, trace.bursts);
+  for (std::size_t f = 0; f < trace.flows; ++f) {
+    EXPECT_EQ(bytes[f], flow_events[f].bytes) << "flow " << f;
+    EXPECT_EQ(starts[f], ends[f]) << "flow " << f;
+    EXPECT_FALSE(open[f]) << "flow " << f;
+  }
+}
+
+TEST(PacketTraceTest, ThinkGapsRespectFloorAndSpacingStaysTight) {
+  TrafficConfig cfg;
+  cfg.num_hosts = 8;
+  cfg.load = 0.3;
+  cfg.seed = 4;
+  BurstConfig burst;
+  burst.min_think_gap = 100 * kMicrosecond;
+  burst.mean_think_gap = 200 * kMicrosecond;
+  PacketTraceGenerator gen(cfg, burst);
+  const PacketTrace trace = gen.generate(from_ms(10));
+  ASSERT_GT(trace.bursts, trace.flows);  // some multi-burst flows
+
+  // Reconstruct per-flow packet sequences and check the gap structure:
+  // intra-burst spacing bounded by pacing x (1 + jitter), think gaps
+  // at least the configured floor.
+  const Time spacing = tx_time(burst.mtu_bytes, burst.pacing_bps);
+  const Time max_spacing = static_cast<Time>(
+      static_cast<double>(spacing) * (1.0 + burst.jitter_max) + 1);
+  std::vector<Time> last_at(trace.flows, -1);
+  std::vector<bool> have_last(trace.flows, false);
+  for (const auto& p : trace.packets) {
+    if (have_last[p.flow_id]) {
+      const Time gap = p.at - last_at[p.flow_id];
+      if (p.burst_start) {
+        EXPECT_GE(gap, burst.min_think_gap) << "think gap below floor";
+      } else {
+        EXPECT_LE(gap, max_spacing) << "intra-burst spacing too wide";
+        EXPECT_GE(gap, spacing);
+      }
+    }
+    last_at[p.flow_id] = p.at;
+    have_last[p.flow_id] = true;
+  }
+}
+
+TEST(PacketTraceTest, DeterministicAcrossRuns) {
+  TrafficConfig cfg;
+  cfg.num_hosts = 8;
+  cfg.seed = 21;
+  PacketTraceGenerator a(cfg), b(cfg);
+  const PacketTrace ta = a.generate(from_ms(5));
+  const PacketTrace tb = b.generate(from_ms(5));
+  ASSERT_EQ(ta.packets.size(), tb.packets.size());
+  ASSERT_EQ(ta.bursts, tb.bursts);
+  for (std::size_t i = 0; i < ta.packets.size(); ++i) {
+    EXPECT_EQ(ta.packets[i].at, tb.packets[i].at);
+    EXPECT_EQ(ta.packets[i].flow_id, tb.packets[i].flow_id);
+    EXPECT_EQ(ta.packets[i].bytes, tb.packets[i].bytes);
+    EXPECT_EQ(ta.packets[i].burst_start, tb.packets[i].burst_start);
+    EXPECT_EQ(ta.packets[i].burst_end, tb.packets[i].burst_end);
+  }
+}
+
 TEST(TrafficGenTest, UniformSourceSelection) {
   TrafficConfig cfg;
   cfg.num_hosts = 8;
