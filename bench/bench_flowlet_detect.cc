@@ -71,7 +71,12 @@ int main(int argc, char** argv) {
       flags.int_flag("horizon-ms", 50, "trace horizon (ms)");
   const auto tput_packets = flags.int_flag(
       "tput-packets", 2'000'000, "packets for the throughput phase");
+  const auto json_path = flags.string_flag(
+      "json", "BENCH_flowlet_detect.json",
+      "machine-readable results file (empty disables)");
   flags.done("Flowlet detection: packets/sec and boundary accuracy.");
+
+  bench::Json json;
 
   bench::banner("Flowlet detection engine",
                 "FlowDyn-style dynamic gap vs static thresholds");
@@ -90,13 +95,15 @@ int main(int argc, char** argv) {
   bench::Table tput({"detector", "packets/sec"});
   {
     flowlet::StaticGapDetector det;
-    tput.add_row({"static-gap", bench::fmt("%.2fM",
-                  throughput_pps(det, trace, tput_packets) / 1e6)});
+    const double pps = throughput_pps(det, trace, tput_packets);
+    tput.add_row({"static-gap", bench::fmt("%.2fM", pps / 1e6)});
+    json.child("throughput").set("static_gap_pps", pps);
   }
   {
     flowlet::DynamicGapDetector det;
-    tput.add_row({"dynamic-gap", bench::fmt("%.2fM",
-                  throughput_pps(det, trace, tput_packets) / 1e6)});
+    const double pps = throughput_pps(det, trace, tput_packets);
+    tput.add_row({"dynamic-gap", bench::fmt("%.2fM", pps / 1e6)});
+    json.child("throughput").set("dynamic_gap_pps", pps);
   }
   tput.print();
 
@@ -126,6 +133,11 @@ int main(int argc, char** argv) {
                    bench::fmt("%.4f", s.precision),
                    bench::fmt("%.4f", s.recall), u64(s.truth_boundaries),
                    u64(s.detected_boundaries), u64(s.evictions)});
+      auto& j = json.append("accuracy");
+      j.set("detector", "dynamic");
+      j.set("load", l);
+      j.set("precision", s.precision);
+      j.set("recall", s.recall);
     }
     for (const double gap_us : static_gaps_us) {
       flowlet::StaticGapConfig cfg;
@@ -138,6 +150,11 @@ int main(int argc, char** argv) {
                    bench::fmt("%.4f", s.precision),
                    bench::fmt("%.4f", s.recall), u64(s.truth_boundaries),
                    u64(s.detected_boundaries), u64(s.evictions)});
+      auto& j = json.append("accuracy");
+      j.set("detector", bench::fmt("static_%.1fus", gap_us));
+      j.set("load", l);
+      j.set("precision", s.precision);
+      j.set("recall", s.recall);
     }
   }
   acc.print();
@@ -152,6 +169,12 @@ int main(int argc, char** argv) {
   std::printf("static 4x-misconfigured (200us) recall: %.4f "
               "(must trail dynamic by > 0.05)\n", static4x_recall);
   const bool pass = dyn_ok && static_degrades;
+  json.set("load", load);
+  json.set("dynamic_precision", dyn_precision);
+  json.set("dynamic_recall", dyn_recall);
+  json.set("static_4x_recall", static4x_recall);
+  json.set("pass", pass);
+  if (!json_path.empty()) json.write_file(json_path);
   std::printf("%s\n", pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }

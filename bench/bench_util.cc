@@ -1,5 +1,6 @@
 #include "bench_util.h"
 
+#include <cmath>
 #include <cstdarg>
 #include <cstdlib>
 #include <cstring>
@@ -132,6 +133,137 @@ std::string fmt(const char* format, ...) {
 void banner(const std::string& title, const std::string& paper_ref) {
   std::printf("\n=== %s ===\n", title.c_str());
   std::printf("[reproduces %s]\n\n", paper_ref.c_str());
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += fmt("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Json::Entry& Json::slot(const std::string& key) {
+  for (Entry& e : entries_) {
+    if (e.key == key) return e;
+  }
+  entries_.push_back(Entry{});
+  entries_.back().key = key;
+  return entries_.back();
+}
+
+Json& Json::set(const std::string& key, double v) {
+  Entry& e = slot(key);
+  e.is_scalar = true;
+  // %.17g round-trips doubles; trim the common integral case. The
+  // range check must short-circuit the cast (UB for NaN/huge values),
+  // and non-finite values have no JSON number form -- emit null.
+  if (!std::isfinite(v)) {
+    e.scalar = "null";
+  } else if (std::abs(v) < 1e15 && v == static_cast<std::int64_t>(v)) {
+    e.scalar = fmt("%lld", static_cast<long long>(v));
+  } else {
+    e.scalar = fmt("%.17g", v);
+  }
+  return *this;
+}
+
+Json& Json::set(const std::string& key, std::int64_t v) {
+  Entry& e = slot(key);
+  e.is_scalar = true;
+  e.scalar = fmt("%lld", static_cast<long long>(v));
+  return *this;
+}
+
+Json& Json::set(const std::string& key, bool v) {
+  Entry& e = slot(key);
+  e.is_scalar = true;
+  e.scalar = v ? "true" : "false";
+  return *this;
+}
+
+Json& Json::set(const std::string& key, const std::string& v) {
+  Entry& e = slot(key);
+  e.is_scalar = true;
+  e.scalar = "\"" + json_escape(v) + "\"";
+  return *this;
+}
+
+Json& Json::child(const std::string& key) {
+  Entry& e = slot(key);
+  if (!e.object) e.object = std::make_unique<Json>();
+  return *e.object;
+}
+
+Json& Json::append(const std::string& key) {
+  Entry& e = slot(key);
+  e.array.push_back(std::make_unique<Json>());
+  return *e.array.back();
+}
+
+std::string Json::dump(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  const std::string pad_in(static_cast<std::size_t>(indent + 1) * 2, ' ');
+  std::string out = "{\n";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    out += pad_in + "\"" + json_escape(e.key) + "\": ";
+    if (e.is_scalar) {
+      out += e.scalar;
+    } else if (e.object) {
+      out += e.object->dump(indent + 1);
+    } else {
+      out += "[";
+      for (std::size_t a = 0; a < e.array.size(); ++a) {
+        out += "\n" + pad_in + "  " + e.array[a]->dump(indent + 2);
+        if (a + 1 < e.array.size()) out += ",";
+      }
+      if (!e.array.empty()) out += "\n" + pad_in;
+      out += "]";
+    }
+    if (i + 1 < entries_.size()) out += ",";
+    out += "\n";
+  }
+  out += pad + "}";
+  return out;
+}
+
+bool Json::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string body = dump() + "\n";
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) ==
+                  body.size();
+  std::fclose(f);
+  if (ok) std::printf("results written to %s\n", path.c_str());
+  return ok;
 }
 
 }  // namespace ft::bench

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -62,5 +63,54 @@ class Table {
 
 // Prints a section banner for a figure/table reproduction.
 void banner(const std::string& title, const std::string& paper_ref);
+
+// Minimal ordered JSON object builder for the BENCH_*.json result files
+// the CI tracks across PRs. Scalars, nested objects and arrays of
+// objects; keys keep insertion order so diffs stay stable.
+class Json {
+ public:
+  Json() = default;
+  Json(const Json&) = delete;
+  Json& operator=(const Json&) = delete;
+  Json(Json&&) = default;
+  Json& operator=(Json&&) = default;
+
+  Json& set(const std::string& key, double v);
+  Json& set(const std::string& key, std::int64_t v);
+  Json& set(const std::string& key, int v) {
+    return set(key, static_cast<std::int64_t>(v));
+  }
+  Json& set(const std::string& key, std::uint64_t v) {
+    return set(key, static_cast<std::int64_t>(v));
+  }
+  Json& set(const std::string& key, bool v);
+  Json& set(const std::string& key, const std::string& v);
+  Json& set(const std::string& key, const char* v) {
+    return set(key, std::string(v));
+  }
+
+  // Nested object under `key` (created on first use).
+  Json& child(const std::string& key);
+  // Appends a fresh object to the array under `key`.
+  Json& append(const std::string& key);
+
+  [[nodiscard]] std::string dump(int indent = 0) const;
+  // Writes dump() to `path`; returns false (with a message to stderr)
+  // on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  struct Entry {
+    std::string key;
+    // Exactly one is used: a pre-rendered scalar, a nested object, or
+    // an array of objects.
+    std::string scalar;
+    std::unique_ptr<Json> object;
+    std::vector<std::unique_ptr<Json>> array;
+    bool is_scalar = false;
+  };
+  Entry& slot(const std::string& key);
+  std::vector<Entry> entries_;
+};
 
 }  // namespace ft::bench

@@ -14,14 +14,17 @@
 // recycled slot).
 #include <csignal>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/allocator.h"
+#include "core/backend.h"
 #include "net/client.h"
 #include "net/epoll_loop.h"
 #include "net/server.h"
 #include "topo/clos.h"
+#include "topo/partition.h"
 
 namespace {
 
@@ -57,16 +60,41 @@ int main(int argc, char** argv) {
       flags.string_flag("unix", "", "Unix-domain socket path");
   scfg.iteration_period_us = flags.int_flag(
       "period-us", 100, "allocation round period (us)");
+  scfg.num_shards = static_cast<int>(flags.int_flag(
+      "shards", 0, "I/O shard threads (0 = single-threaded service)"));
+  const auto alloc_threads = flags.int_flag(
+      "alloc-threads", 0,
+      "ParallelNed solver threads (0 = sequential NED backend)");
+  auto blocks = static_cast<std::int32_t>(flags.int_flag(
+      "blocks", 0,
+      "FlowBlock grid side for --alloc-threads (power of two; 0 = "
+      "largest fitting the rack count)"));
   const auto stats_sec =
       flags.double_flag("stats-sec", 5, "stats print interval (s)");
   flags.done(
       "Flowtune allocator daemon: serves endpoint agents over TCP/Unix "
-      "sockets, runs the NED+F-NORM round every --period-us.");
+      "sockets, runs the NED+F-NORM round every --period-us. "
+      "--shards spreads connection I/O over N epoll threads behind one "
+      "listener; --alloc-threads runs the §5 multicore allocation "
+      "backend.");
 
   topo::ClosTopology clos(tcfg);
   std::vector<double> caps;
   for (const auto& l : clos.graph().links()) caps.push_back(l.capacity_bps);
-  core::Allocator alloc(std::move(caps), acfg);
+  if (blocks <= 0) blocks = topo::BlockPartition::default_blocks(clos);
+  std::unique_ptr<core::Allocator> alloc_holder;
+  if (alloc_threads > 0) {
+    core::ParallelConfig pcfg;
+    pcfg.num_threads = static_cast<std::int32_t>(alloc_threads);
+    alloc_holder = std::make_unique<core::Allocator>(
+        std::move(caps), acfg,
+        core::parallel_backend(topo::BlockPartition::make(clos, blocks),
+                               pcfg));
+  } else {
+    alloc_holder = std::make_unique<core::Allocator>(std::move(caps),
+                                                     acfg);
+  }
+  core::Allocator& alloc = *alloc_holder;
 
   if (scfg.tcp_port < 0 && scfg.unix_path.empty()) {
     std::fprintf(stderr, "need --port or --unix (see --help)\n");
@@ -79,8 +107,11 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
 
-  std::printf("flowtune allocator daemon: %d hosts, %zu links\n",
-              clos.num_hosts(), alloc.problem().num_links());
+  std::printf("flowtune allocator daemon: %d hosts, %zu links, "
+              "%s backend, %d I/O shard(s)\n",
+              clos.num_hosts(), alloc.problem().num_links(),
+              alloc.backend().name(),
+              svc.num_shards() > 0 ? svc.num_shards() : 1);
   if (svc.tcp_port() >= 0) {
     std::printf("  tcp   127.0.0.1:%d\n", svc.tcp_port());
   }

@@ -1,6 +1,7 @@
 #include "core/allocator.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 #include "common/ratecode.h"
@@ -9,14 +10,19 @@ namespace ft::core {
 
 Allocator::Allocator(std::vector<double> link_capacities_bps,
                      AllocatorConfig cfg)
-    : cfg_(cfg),
-      problem_(std::move(link_capacities_bps)),
-      ned_(problem_, cfg.gamma) {
+    : Allocator(std::move(link_capacities_bps), cfg,
+                sequential_backend()) {}
+
+Allocator::Allocator(std::vector<double> link_capacities_bps,
+                     AllocatorConfig cfg, BackendFactory backend)
+    : cfg_(cfg), problem_(std::move(link_capacities_bps)) {
   FT_CHECK(cfg.threshold >= 0.0 && cfg.threshold < 1.0);
   FT_CHECK(cfg.iters_per_round >= 1);
   if (cfg_.reserve_headroom && cfg_.threshold > 0.0) {
     problem_.scale_capacities(1.0 - cfg_.threshold);
   }
+  backend_ = backend(problem_, cfg_.gamma, cfg_.norm);
+  FT_CHECK(backend_ != nullptr);
 }
 
 bool Allocator::flowlet_start(std::uint64_t key,
@@ -28,6 +34,7 @@ bool Allocator::flowlet_start(std::uint64_t key,
                               std::span<const LinkId> route, Utility util) {
   if (key_to_slot_.contains(key)) return false;
   const FlowIndex slot = problem_.add_flow(route, util);
+  backend_->flow_added(slot);
   key_to_slot_.emplace(key, slot);
   if (slot >= slot_to_key_.size()) {
     slot_to_key_.resize(slot + 1, 0);
@@ -50,6 +57,7 @@ void Allocator::set_link_capacity(std::size_t link, double capacity_bps) {
 bool Allocator::flowlet_end(std::uint64_t key) {
   const auto it = key_to_slot_.find(key);
   if (it == key_to_slot_.end()) return false;
+  backend_->flow_removed(it->second);
   problem_.remove_flow(it->second);
   last_notified_[it->second] = -1.0;
   key_to_slot_.erase(it);
@@ -58,16 +66,14 @@ bool Allocator::flowlet_end(std::uint64_t key) {
 }
 
 void Allocator::run_iteration(std::vector<RateUpdate>& out) {
-  for (int i = 0; i < cfg_.iters_per_round; ++i) ned_.iterate();
+  backend_->solve(cfg_.iters_per_round);
   ++stats_.iterations;
 
-  norm_rates_.resize(problem_.num_slots());
-  normalize(cfg_.norm, problem_, ned_.rates(), norm_rates_);
-
+  const std::span<const double> norm_rates = backend_->norm_rates();
   const auto flows = problem_.flows();
   for (std::size_t s = 0; s < flows.size(); ++s) {
     if (!flows[s].active) continue;
-    const double rate = norm_rates_[s];
+    const double rate = norm_rates[s];
     const double last = last_notified_[s];
     const bool first = last < 0.0;
     // Notify when the rate moved by more than the threshold relative to
@@ -89,6 +95,12 @@ void Allocator::run_iteration(std::vector<RateUpdate>& out) {
   }
 }
 
+void Allocator::invalidate_notification(std::uint64_t key) {
+  const auto it = key_to_slot_.find(key);
+  if (it == key_to_slot_.end()) return;
+  last_notified_[it->second] = -1.0;
+}
+
 double Allocator::notified_rate(std::uint64_t key) const {
   const auto it = key_to_slot_.find(key);
   if (it == key_to_slot_.end()) return 0.0;
@@ -99,8 +111,9 @@ double Allocator::notified_rate(std::uint64_t key) const {
 double Allocator::allocated_rate(std::uint64_t key) const {
   const auto it = key_to_slot_.find(key);
   if (it == key_to_slot_.end()) return 0.0;
-  if (it->second >= norm_rates_.size()) return 0.0;
-  return norm_rates_[it->second];
+  const std::span<const double> norm_rates = backend_->norm_rates();
+  if (it->second >= norm_rates.size()) return 0.0;
+  return norm_rates[it->second];
 }
 
 }  // namespace ft::core

@@ -5,6 +5,12 @@
 // suppressed drift from over-filling links, the allocator reserves one
 // threshold's worth of headroom by scaling link capacities by
 // (1 - threshold).
+//
+// The NED+normalization computation itself is a pluggable SolveBackend
+// (core/backend.h): the default is the sequential NedSolver; pass
+// core::parallel_backend(...) to run the §5 multicore FlowBlock engine
+// instead -- the allocator keeps the grid assignment in sync with
+// flowlet churn and the rest of its behaviour is identical.
 #pragma once
 
 #include <cstdint>
@@ -14,7 +20,7 @@
 #include <vector>
 
 #include "common/ids.h"
-#include "core/ned.h"
+#include "core/backend.h"
 #include "core/normalizer.h"
 #include "core/problem.h"
 
@@ -46,6 +52,14 @@ struct AllocatorStats {
 class Allocator {
  public:
   Allocator(std::vector<double> link_capacities_bps, AllocatorConfig cfg);
+  // With an explicit solve backend (core/backend.h). The factory runs
+  // after headroom scaling, so the backend sees final capacities.
+  Allocator(std::vector<double> link_capacities_bps, AllocatorConfig cfg,
+            BackendFactory backend);
+  // Not movable: the backend holds a reference to problem_ (prvalue
+  // returns still work through guaranteed copy elision).
+  Allocator(const Allocator&) = delete;
+  Allocator& operator=(const Allocator&) = delete;
 
   // Registers a new flowlet with the given route. Returns false (no-op)
   // if the key is already active.
@@ -76,6 +90,13 @@ class Allocator {
   // update emission. Updates are appended to `out`.
   void run_iteration(std::vector<RateUpdate>& out);
 
+  // Marks a flow as never-notified so the next run_iteration re-emits
+  // its rate unconditionally. For delivery layers that can drop an
+  // emitted update (e.g. a full shard ring under overload): without
+  // this the threshold filter would suppress the flow until its rate
+  // drifted past the threshold again.
+  void invalidate_notification(std::uint64_t key);
+
   // Most recent *normalized, quantized* rate notified for a flow (0 if
   // never notified or unknown).
   [[nodiscard]] double notified_rate(std::uint64_t key) const;
@@ -85,7 +106,7 @@ class Allocator {
   [[nodiscard]] const AllocatorStats& stats() const { return stats_; }
   [[nodiscard]] const AllocatorConfig& config() const { return cfg_; }
   [[nodiscard]] const NumProblem& problem() const { return problem_; }
-  [[nodiscard]] const NedSolver& solver() const { return ned_; }
+  [[nodiscard]] const SolveBackend& backend() const { return *backend_; }
   [[nodiscard]] std::size_t num_active_flowlets() const {
     return key_to_slot_.size();
   }
@@ -93,12 +114,11 @@ class Allocator {
  private:
   AllocatorConfig cfg_;
   NumProblem problem_;
-  NedSolver ned_;
+  std::unique_ptr<SolveBackend> backend_;
   AllocatorStats stats_;
   std::unordered_map<std::uint64_t, FlowIndex> key_to_slot_;
   std::vector<std::uint64_t> slot_to_key_;
   std::vector<double> last_notified_;  // per slot; <0 = never notified
-  std::vector<double> norm_rates_;     // per slot scratch
 };
 
 }  // namespace ft::core

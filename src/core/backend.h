@@ -1,0 +1,68 @@
+// Pluggable solve backends for the allocator (paper §5, §6.1).
+//
+// The Allocator's control logic (flowlet bookkeeping, thresholded update
+// emission, headroom) is independent of *how* the NED iteration and
+// F-NORM normalization are computed. A SolveBackend owns that part:
+//
+//   * SequentialNedBackend -- the single-core reference: NedSolver
+//     iterations followed by core::normalize.
+//   * ParallelNedBackend -- the §5 multicore engine: core::ParallelNed
+//     over a topo::BlockPartition, with F-NORM piggybacked on the same
+//     aggregation schedule. Flow slots are assigned to FlowBlocks
+//     (src_block, dst_block) derived from each flow's route, so the
+//     Allocator API is unchanged: flowlet_start/end keep mapping wire
+//     keys to slots, and the backend keeps the grid in sync.
+//
+// Both backends produce identical rates up to floating-point summation
+// order (unit-tested), so they are interchangeable behind the service.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "core/normalizer.h"
+#include "core/parallel.h"
+#include "core/problem.h"
+
+namespace ft::core {
+
+class SolveBackend {
+ public:
+  virtual ~SolveBackend() = default;
+
+  // Slot lifecycle: flow_added runs after `slot` was added to the
+  // problem; flow_removed runs before it is removed (the entry is still
+  // active). Slots are recycled through the problem's free list, so the
+  // same index recurs across churn.
+  virtual void flow_added(FlowIndex slot) = 0;
+  virtual void flow_removed(FlowIndex slot) = 0;
+
+  // `iters` NED iterations followed by normalization. Afterwards
+  // norm_rates() covers every problem slot (values for inactive slots
+  // are unspecified).
+  virtual void solve(int iters) = 0;
+  [[nodiscard]] virtual std::span<const double> norm_rates() const = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+// Factory invoked by the Allocator once its NumProblem exists (after
+// headroom scaling); gamma and the normalization kind come from the
+// AllocatorConfig.
+using BackendFactory = std::function<std::unique_ptr<SolveBackend>(
+    NumProblem& problem, double gamma, NormKind norm)>;
+
+// The default single-core backend (NedSolver + core::normalize).
+[[nodiscard]] BackendFactory sequential_backend();
+
+// The §5 multicore backend. `partition` must cover the topology the
+// allocator's link capacities came from; routes must only traverse
+// partitioned (up/down) links, so external_traffic_start over allocator
+// attachment links is not supported with this backend. cfg.gamma is
+// overridden by the allocator's gamma; U-NORM is not supported (the
+// parallel engine piggybacks F-NORM only).
+[[nodiscard]] BackendFactory parallel_backend(topo::BlockPartition partition,
+                                              ParallelConfig cfg);
+
+}  // namespace ft::core

@@ -11,6 +11,7 @@
 #pragma once
 
 #include "core/allocator.h"   // IWYU pragma: export
+#include "core/backend.h"     // IWYU pragma: export
 #include "core/exact.h"       // IWYU pragma: export
 #include "core/fgm.h"         // IWYU pragma: export
 #include "core/gradient.h"    // IWYU pragma: export

@@ -212,7 +212,7 @@ void ParallelNed::run_phases(std::int32_t t) {
   }
 
   // Normalization (F-NORM) using the distributed ratios.
-  if (cfg_.compute_norm) {
+  if (cfg_.compute_norm && norm_this_iter_) {
     for (std::int32_t wi = 0; wi < num_workers_; ++wi) {
       if (!my_worker(wi)) continue;
       const WorkerState& w = workers_[static_cast<std::size_t>(wi)];
@@ -235,7 +235,8 @@ void ParallelNed::thread_main(std::int32_t t) {
   }
 }
 
-void ParallelNed::iterate() {
+void ParallelNed::iterate(bool compute_norm) {
+  norm_this_iter_ = compute_norm;
   rates_.resize(problem_.num_slots(), 0.0);
   norm_rates_.resize(problem_.num_slots(), 0.0);
   if (flow_worker_.size() < problem_.num_slots()) {

@@ -53,8 +53,11 @@ class ParallelNed {
   void unassign_flow(FlowIndex slot);
 
   // One full parallel iteration (rate update, aggregate, price update,
-  // distribute, normalize).
-  void iterate();
+  // distribute, normalize). Pass compute_norm = false to skip the
+  // normalization pass for this iteration (e.g. all but the last of a
+  // multi-iteration round -- only the final rates are normalized);
+  // it is also skipped whenever the config disables it.
+  void iterate(bool compute_norm = true);
 
   [[nodiscard]] std::span<const double> rates() const { return rates_; }
   [[nodiscard]] std::span<const double> norm_rates() const {
@@ -117,6 +120,7 @@ class ParallelNed {
   std::vector<double> global_price_;
   std::vector<double> global_alloc_;
 
+  bool norm_this_iter_ = true;  // written before the start barrier
   std::vector<std::jthread> threads_;
   std::barrier<> start_barrier_;   // num_threads + 1 (main)
   std::barrier<> end_barrier_;     // num_threads + 1 (main)

@@ -5,12 +5,15 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <span>
 
 #include "common/check.h"
 #include "common/wire.h"
@@ -24,12 +27,103 @@ void set_nonblocking(int fd) {
   FT_CHECK(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
 }
 
+// All counters are relaxed: they are monotonic tallies, never used for
+// synchronization.
+void bump(std::atomic<std::uint64_t>& c) {
+  c.fetch_add(1, std::memory_order_relaxed);
+}
+void bump_by(std::atomic<std::int64_t>& c, std::int64_t n) {
+  c.fetch_add(n, std::memory_order_relaxed);
+}
+void bump_by(std::atomic<std::uint64_t>& c, std::uint64_t n) {
+  c.fetch_add(n, std::memory_order_relaxed);
+}
+
+void kick_eventfd(int fd) {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const auto n = ::write(fd, &one, sizeof one);
+}
+
+void drain_eventfd(int fd) {
+  std::uint64_t v;
+  while (::read(fd, &v, sizeof v) > 0) {
+  }
+}
+
 }  // namespace
 
+// Per-thread counters (one set for the allocation thread, one per
+// shard): writers never share a set, readers aggregate with stats().
+struct AllocatorService::Counters {
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> closed{0};
+  std::atomic<std::uint64_t> flowlet_starts{0};
+  std::atomic<std::uint64_t> flowlet_ends{0};
+  std::atomic<std::uint64_t> rejected_starts{0};
+  std::atomic<std::uint64_t> unknown_ends{0};
+  std::atomic<std::uint64_t> protocol_errors{0};
+  std::atomic<std::uint64_t> iterations{0};
+  std::atomic<std::uint64_t> updates_sent{0};
+  std::atomic<std::uint64_t> updates_coalesced{0};
+  std::atomic<std::uint64_t> frames_out{0};
+  std::atomic<std::uint64_t> queue_drops{0};
+  std::atomic<std::int64_t> bytes_in{0};
+  std::atomic<std::int64_t> bytes_out{0};
+  std::atomic<std::int64_t> wire_bytes_out{0};
+
+  void add_to(ServiceStats& s) const {
+    const auto r = std::memory_order_relaxed;
+    s.accepted += accepted.load(r);
+    s.closed += closed.load(r);
+    s.flowlet_starts += flowlet_starts.load(r);
+    s.flowlet_ends += flowlet_ends.load(r);
+    s.rejected_starts += rejected_starts.load(r);
+    s.unknown_ends += unknown_ends.load(r);
+    s.protocol_errors += protocol_errors.load(r);
+    s.iterations += iterations.load(r);
+    s.updates_sent += updates_sent.load(r);
+    s.updates_coalesced += updates_coalesced.load(r);
+    s.frames_out += frames_out.load(r);
+    s.queue_drops += queue_drops.load(r);
+    s.bytes_in += bytes_in.load(r);
+    s.bytes_out += bytes_out.load(r);
+    s.wire_bytes_out += wire_bytes_out.load(r);
+  }
+};
+
+// Shard -> allocation thread: decoded flowlet lifecycle events. Starts
+// carry the route resolved on the shard thread (link ids), so the
+// allocation thread only touches the allocator.
+struct AllocatorService::UpEvent {
+  enum class Kind : std::uint8_t { kStart, kEnd };
+  Kind kind = Kind::kEnd;
+  std::uint8_t route_len = 0;
+  std::uint16_t weight_milli = 1000;
+  std::uint32_t key = 0;
+  // Shard-local start-attempt tag echoed back in kReject, so a stale
+  // reject cannot cancel a newer registration of the same key.
+  std::uint64_t seq = 0;
+  std::array<std::uint32_t, core::kMaxRouteLinks> route{};
+};
+
+// Allocation thread -> shard: accepted-connection handoff, rate updates
+// for keys the shard owns, and start rejections (cross-shard duplicate
+// keys) that undo the shard's tentative ownership.
+struct AllocatorService::DownEvent {
+  enum class Kind : std::uint8_t { kConn, kRate, kReject };
+  Kind kind = Kind::kRate;
+  std::uint16_t rate_code = 0;
+  std::uint32_t key = 0;
+  int fd = -1;
+  std::uint64_t seq = 0;  // kReject: the start attempt being answered
+};
+
 // One endpoint connection. Routes decoded records straight into the
-// service (MessageSink keeps the parser callback-free).
+// service (MessageSink keeps the parser callback-free). Owned by exactly
+// one shard; all its I/O happens on that shard's loop thread.
 struct AllocatorService::Connection : MessageSink {
   AllocatorService* svc = nullptr;
+  Shard* shard = nullptr;
   int fd = -1;
   FrameParser parser;
   FrameWriter writer;
@@ -42,20 +136,91 @@ struct AllocatorService::Connection : MessageSink {
   explicit Connection(std::size_t max_payload) : parser(max_payload) {}
 
   void on_flowlet_start(const core::FlowletStartMsg& m) override {
-    svc->handle_start(*this, m);
+    svc->handle_start(*shard, *this, m);
   }
   void on_flowlet_end(const core::FlowletEndMsg& m) override {
-    svc->handle_end(*this, m);
+    svc->handle_end(*shard, *this, m);
   }
   // Endpoints never send rate updates; MessageSink's default ignores
   // them, which keeps an agent bug from taking the service down.
 };
 
+// One I/O shard: a private epoll loop + thread, the connections handed
+// to it, and the key ownership map for those connections. The inline
+// service is a degenerate shard (index -1) on the caller's loop with no
+// thread or rings.
+struct AllocatorService::Shard {
+  int index = -1;
+  EpollLoop* loop = nullptr;
+  std::unique_ptr<EpollLoop> owned_loop;
+  std::thread thread;
+  std::unique_ptr<SpscQueue<UpEvent>> up;      // shard -> allocation
+  std::unique_ptr<SpscQueue<DownEvent>> down;  // allocation -> shard
+  int wake_fd = -1;
+  // Key ownership: the owning connection plus the start-attempt tag
+  // (threaded mode; 0 inline). A kReject only cancels the attempt
+  // whose tag it echoes -- the key may have been ended and
+  // re-registered since, and that newer attempt must survive.
+  struct Owner {
+    Connection* conn = nullptr;
+    std::uint64_t seq = 0;
+  };
+  std::unordered_map<int, std::unique_ptr<Connection>> conns;
+  std::unordered_map<std::uint32_t, Owner> key_owner;
+  std::uint64_t next_seq = 0;
+  std::atomic<std::size_t> num_conns{0};
+  Counters stats;
+  std::vector<int> touched;  // flush batching scratch
+  bool kick_alloc = false;   // pending alloc-thread wakeup (shard thread)
+
+  [[nodiscard]] bool threaded() const { return owned_loop != nullptr; }
+};
+
 AllocatorService::AllocatorService(EpollLoop& loop, core::Allocator& alloc,
                                    const topo::ClosTopology& topo,
                                    ServerConfig cfg)
-    : loop_(loop), alloc_(alloc), topo_(topo), cfg_(std::move(cfg)) {
+    : loop_(loop),
+      alloc_(alloc),
+      topo_(topo),
+      cfg_(std::move(cfg)),
+      alloc_stats_(std::make_unique<Counters>()) {
   FT_CHECK(cfg_.tcp_port >= 0 || !cfg_.unix_path.empty());
+  FT_CHECK(cfg_.num_shards >= 0);
+  if (cfg_.num_shards == 0) {
+    inline_shard_ = std::make_unique<Shard>();
+    inline_shard_->loop = &loop_;
+  } else {
+    touched_shards_.assign(static_cast<std::size_t>(cfg_.num_shards),
+                           false);
+    alloc_wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    FT_CHECK(alloc_wake_fd_ >= 0);
+    loop_.add_fd(alloc_wake_fd_, EPOLLIN, [this](std::uint32_t) {
+      drain_eventfd(alloc_wake_fd_);
+      for (auto& s : shards_) drain_up(*s);
+    });
+    for (int i = 0; i < cfg_.num_shards; ++i) {
+      auto s = std::make_unique<Shard>();
+      s->index = i;
+      s->owned_loop = std::make_unique<EpollLoop>();
+      s->loop = s->owned_loop.get();
+      s->up = std::make_unique<SpscQueue<UpEvent>>(
+          cfg_.shard_queue_capacity);
+      s->down = std::make_unique<SpscQueue<DownEvent>>(
+          cfg_.shard_queue_capacity);
+      s->wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+      FT_CHECK(s->wake_fd >= 0);
+      Shard* sp = s.get();
+      s->loop->add_fd(s->wake_fd, EPOLLIN, [this, sp](std::uint32_t) {
+        drain_eventfd(sp->wake_fd);
+        drain_down(*sp);
+      });
+      shards_.push_back(std::move(s));
+    }
+    for (auto& s : shards_) {
+      Shard* sp = s.get();
+      sp->thread = std::thread([sp] { sp->loop->run(); });
+    }
+  }
   if (cfg_.tcp_port >= 0) setup_tcp_listener();
   if (!cfg_.unix_path.empty()) setup_unix_listener();
   if (cfg_.iteration_period_us > 0) {
@@ -65,9 +230,63 @@ AllocatorService::AllocatorService(EpollLoop& loop, core::Allocator& alloc,
 }
 
 AllocatorService::~AllocatorService() {
-  while (!conns_.empty()) close_conn(conns_.begin()->first);
+  // Stop shard threads first; after the joins every shard's state is
+  // owned by this thread. stopping_ turns any in-flight push_up spin
+  // into a drop so a full ring cannot wedge the join.
+  stopping_.store(true, std::memory_order_release);
+  for (auto& s : shards_) s->loop->stop();
+  for (auto& s : shards_) {
+    if (s->thread.joinable()) s->thread.join();
+  }
+  // Apply lifecycle events still queued, then end everything the shard
+  // connections still own -- exactly as if every endpoint had sent
+  // flowlet-end for each key.
+  for (auto& s : shards_) drain_up(*s);
+  for (auto& s : shards_) {
+    // Accepted sockets still sitting in the down ring as kConn
+    // handoffs were never adopted; close them here or they leak.
+    DownEvent ev;
+    while (s->down->try_pop(ev)) {
+      if (ev.kind == DownEvent::Kind::kConn) {
+        ::close(ev.fd);
+        bump(alloc_stats_->closed);
+      }
+    }
+  }
+  for (auto& s : shards_) {
+    for (auto& [fd, conn] : s->conns) {
+      for (const std::uint32_t key : conn->owned_keys) {
+        const auto it = key_shard_.find(key);
+        if (it == key_shard_.end()) continue;  // start never applied
+        FT_CHECK(alloc_.flowlet_end(key));
+        key_shard_.erase(it);
+        bump(alloc_stats_->flowlet_ends);
+      }
+      ::close(fd);
+      bump(s->stats.closed);
+    }
+    s->conns.clear();
+    if (s->wake_fd >= 0) ::close(s->wake_fd);
+  }
+  // Anything still in key_shard_ lost its flowlet-end on the way here
+  // (e.g. a kEnd dropped by push_up while stopping): end it so the
+  // caller-owned allocator is left clean.
+  for (const auto& [key, shard_idx] : key_shard_) {
+    FT_CHECK(alloc_.flowlet_end(key));
+    bump(alloc_stats_->flowlet_ends);
+  }
+  key_shard_.clear();
+  if (inline_shard_) {
+    while (!inline_shard_->conns.empty()) {
+      close_conn(*inline_shard_, inline_shard_->conns.begin()->first);
+    }
+  }
   if (iter_timer_ != 0) loop_.cancel_timer(iter_timer_);
   for (const auto& [fd, id] : accept_retry_timer_) loop_.cancel_timer(id);
+  if (alloc_wake_fd_ >= 0) {
+    loop_.del_fd(alloc_wake_fd_);
+    ::close(alloc_wake_fd_);
+  }
   for (const int fd : {tcp_listen_fd_, unix_listen_fd_}) {
     if (fd >= 0) {
       loop_.del_fd(fd);
@@ -142,142 +361,375 @@ void AllocatorService::accept_ready(int listen_fd) {
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
     }
-    auto conn = std::make_unique<Connection>(cfg_.max_frame_payload);
-    conn->svc = this;
-    conn->fd = fd;
-    Connection* c = conn.get();
-    conns_.emplace(fd, std::move(conn));
-    loop_.add_fd(fd, EPOLLIN,
-                 [this, c](std::uint32_t ev) { conn_ready(*c, ev); });
-    ++stats_.accepted;
+    bump(alloc_stats_->accepted);
+    if (inline_shard_) {
+      adopt_conn(*inline_shard_, fd);
+      continue;
+    }
+    // Round-robin handoff: the shard registers the fd on its own loop.
+    Shard& s = *shards_[next_shard_];
+    next_shard_ = (next_shard_ + 1) % shards_.size();
+    DownEvent ev;
+    ev.kind = DownEvent::Kind::kConn;
+    ev.fd = fd;
+    if (push_down(s, ev)) {
+      wake_shard(s);
+    } else {
+      ::close(fd);  // shard wedged at capacity; shed the connection
+      bump(alloc_stats_->closed);  // keep accepted - closed = live
+      bump(alloc_stats_->queue_drops);
+    }
   }
 }
 
-void AllocatorService::conn_ready(Connection& c, std::uint32_t events) {
+void AllocatorService::adopt_conn(Shard& s, int fd) {
+  if (cfg_.send_buffer_bytes > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &cfg_.send_buffer_bytes,
+                 sizeof cfg_.send_buffer_bytes);
+  }
+  auto conn = std::make_unique<Connection>(cfg_.max_frame_payload);
+  conn->svc = this;
+  conn->shard = &s;
+  conn->fd = fd;
+  Connection* c = conn.get();
+  s.conns.emplace(fd, std::move(conn));
+  s.num_conns.store(s.conns.size(), std::memory_order_relaxed);
+  s.loop->add_fd(
+      fd, EPOLLIN,
+      [this, &s, c](std::uint32_t ev) { conn_ready(s, *c, ev); });
+}
+
+void AllocatorService::conn_ready(Shard& s, Connection& c,
+                                  std::uint32_t events) {
   const int fd = c.fd;  // c may be destroyed by close_conn below
+  const auto done = [&] {
+    if (s.kick_alloc) {
+      s.kick_alloc = false;
+      kick_eventfd(alloc_wake_fd_);
+    }
+  };
   if (events & (EPOLLHUP | EPOLLERR)) {
-    close_conn(fd);
+    close_conn(s, fd);
+    done();
     return;
   }
   if (events & EPOLLOUT) {
-    try_write(c);
-    if (!conns_.contains(fd)) return;
-  }
-  if (!(events & EPOLLIN)) return;
-  std::uint8_t buf[64 * 1024];
-  while (true) {
-    const ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
-    if (n > 0) {
-      stats_.bytes_in += n;
-      if (!c.parser.feed({buf, static_cast<std::size_t>(n)}, c)) {
-        ++stats_.protocol_errors;
-        close_conn(c.fd);
-        return;
-      }
-      if (static_cast<std::size_t>(n) < sizeof buf) return;
-      continue;
-    }
-    if (n == 0) {
-      close_conn(c.fd);
+    try_write(s, c);
+    if (!s.conns.contains(fd)) {
+      done();
       return;
     }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-    if (errno == EINTR) continue;
-    close_conn(c.fd);
-    return;
   }
+  if (events & EPOLLIN) {
+    std::uint8_t buf[64 * 1024];
+    while (true) {
+      const ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
+      if (n > 0) {
+        bump_by(s.stats.bytes_in, n);
+        if (!c.parser.feed({buf, static_cast<std::size_t>(n)}, c)) {
+          bump(s.stats.protocol_errors);
+          close_conn(s, c.fd);
+          break;
+        }
+        if (static_cast<std::size_t>(n) < sizeof buf) break;
+        continue;
+      }
+      if (n == 0) {
+        close_conn(s, c.fd);
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close_conn(s, c.fd);
+      break;
+    }
+  }
+  done();
 }
 
-void AllocatorService::handle_start(Connection& c,
-                                    const core::FlowletStartMsg& m) {
+bool AllocatorService::resolve_route(
+    const core::FlowletStartMsg& m,
+    std::array<LinkId, core::kMaxRouteLinks>& route,
+    std::uint8_t& len) const {
   const auto hosts = topo_.num_hosts();
   if (m.src_host >= hosts || m.dst_host >= hosts ||
-      m.src_host == m.dst_host || key_owner_.contains(m.flow_key)) {
-    ++stats_.rejected_starts;
-    return;
+      m.src_host == m.dst_host) {
+    return false;
   }
   const auto path = topo_.host_path(topo_.host(m.src_host),
                                     topo_.host(m.dst_host), m.flow_key);
-  const std::vector<LinkId> route(path.begin(), path.end());
-  const double weight =
-      1e9 * (m.weight_milli == 0 ? 1000 : m.weight_milli) / 1000.0;
-  if (!alloc_.flowlet_start(m.flow_key, route,
-                            core::Utility::log_utility(weight))) {
-    ++stats_.rejected_starts;
-    return;
+  len = 0;
+  for (const LinkId l : path) {
+    FT_CHECK(len < core::kMaxRouteLinks);
+    route[len++] = l;
   }
-  key_owner_.emplace(m.flow_key, &c);
-  c.owned_keys.insert(m.flow_key);
-  ++stats_.flowlet_starts;
+  return len > 0;
 }
 
-void AllocatorService::handle_end(Connection& c,
-                                  const core::FlowletEndMsg& m) {
-  const auto it = key_owner_.find(m.flow_key);
-  if (it == key_owner_.end() || it->second != &c) {
-    ++stats_.unknown_ends;
+void AllocatorService::handle_start(Shard& s, Connection& c,
+                                    const core::FlowletStartMsg& m) {
+  std::array<LinkId, core::kMaxRouteLinks> route;
+  std::uint8_t len = 0;
+  if (s.key_owner.contains(m.flow_key) || !resolve_route(m, route, len)) {
+    bump(s.stats.rejected_starts);
     return;
   }
-  FT_CHECK(alloc_.flowlet_end(m.flow_key));
-  key_owner_.erase(it);
+  if (!s.threaded()) {
+    const double weight =
+        1e9 * (m.weight_milli == 0 ? 1000 : m.weight_milli) / 1000.0;
+    if (!alloc_.flowlet_start(m.flow_key,
+                              std::span<const LinkId>(route.data(), len),
+                              core::Utility::log_utility(weight))) {
+      bump(s.stats.rejected_starts);
+      return;
+    }
+    s.key_owner.emplace(m.flow_key, Shard::Owner{&c, 0});
+    c.owned_keys.insert(m.flow_key);
+    bump(s.stats.flowlet_starts);
+    return;
+  }
+  // Tentative ownership: the allocation thread is the cross-shard
+  // authority and sends kReject to undo a duplicate.
+  s.key_owner.emplace(m.flow_key, Shard::Owner{&c, ++s.next_seq});
+  c.owned_keys.insert(m.flow_key);
+  UpEvent ev;
+  ev.kind = UpEvent::Kind::kStart;
+  ev.key = m.flow_key;
+  ev.seq = s.next_seq;
+  ev.weight_milli = m.weight_milli;
+  ev.route_len = len;
+  for (std::uint8_t i = 0; i < len; ++i) ev.route[i] = route[i].value();
+  push_up(s, ev);
+}
+
+void AllocatorService::handle_end(Shard& s, Connection& c,
+                                  const core::FlowletEndMsg& m) {
+  const auto it = s.key_owner.find(m.flow_key);
+  if (it == s.key_owner.end() || it->second.conn != &c) {
+    bump(s.stats.unknown_ends);
+    return;
+  }
+  s.key_owner.erase(it);
   c.owned_keys.erase(m.flow_key);
-  ++stats_.flowlet_ends;
+  if (!s.threaded()) {
+    FT_CHECK(alloc_.flowlet_end(m.flow_key));
+    bump(s.stats.flowlet_ends);
+    return;
+  }
+  UpEvent ev;
+  ev.kind = UpEvent::Kind::kEnd;
+  ev.key = m.flow_key;
+  push_up(s, ev);
+}
+
+void AllocatorService::push_up(Shard& s, const UpEvent& ev) {
+  // Lifecycle events are lossless: spin until the allocation thread
+  // drains (it drains on every wakeup and at every round start). The
+  // periodic re-kick covers an allocation thread parked in epoll_wait.
+  std::uint32_t spins = 0;
+  while (!s.up->try_push(ev)) {
+    if (stopping_.load(std::memory_order_acquire)) {
+      bump(s.stats.queue_drops);
+      return;
+    }
+    if ((spins++ & 0x3FF) == 0) kick_eventfd(alloc_wake_fd_);
+    std::this_thread::yield();
+  }
+  s.kick_alloc = true;
+}
+
+bool AllocatorService::push_down(Shard& s, const DownEvent& ev) {
+  // Bounded: the shard may itself be blocked in push_up waiting for us,
+  // so the allocation thread must never wait forever. Every caller
+  // handles a false return (dropped rate updates are re-armed through
+  // invalidate_notification; a dropped kConn is closed; a dropped
+  // kReject leaves a stale shard entry that conn close cleans up).
+  for (std::uint32_t spin = 0; spin < (1u << 14); ++spin) {
+    if (s.down->try_push(ev)) return true;
+    if ((spin & 0xFF) == 0) wake_shard(s);
+    std::this_thread::yield();
+  }
+  return false;
+}
+
+void AllocatorService::wake_shard(Shard& s) { kick_eventfd(s.wake_fd); }
+
+void AllocatorService::apply_start(Shard& s, const UpEvent& ev) {
+  const auto reject = [&] {
+    bump(alloc_stats_->rejected_starts);
+    DownEvent rej;
+    rej.kind = DownEvent::Kind::kReject;
+    rej.key = ev.key;
+    rej.seq = ev.seq;
+    if (push_down(s, rej)) {
+      wake_shard(s);
+    } else {
+      // The shard keeps a stale owner entry until the connection
+      // closes; ends for it resolve as unknown here.
+      bump(alloc_stats_->queue_drops);
+    }
+  };
+  if (key_shard_.contains(ev.key)) {
+    reject();
+    return;
+  }
+  std::array<LinkId, core::kMaxRouteLinks> route;
+  for (std::uint8_t i = 0; i < ev.route_len; ++i) {
+    route[i] = LinkId(ev.route[i]);
+  }
+  const double weight =
+      1e9 * (ev.weight_milli == 0 ? 1000 : ev.weight_milli) / 1000.0;
+  if (!alloc_.flowlet_start(
+          ev.key, std::span<const LinkId>(route.data(), ev.route_len),
+          core::Utility::log_utility(weight))) {
+    reject();
+    return;
+  }
+  key_shard_.emplace(ev.key, static_cast<std::uint32_t>(s.index));
+  bump(alloc_stats_->flowlet_starts);
+}
+
+void AllocatorService::drain_up(Shard& s) {
+  UpEvent ev;
+  while (s.up->try_pop(ev)) {
+    if (ev.kind == UpEvent::Kind::kStart) {
+      apply_start(s, ev);
+      continue;
+    }
+    const auto it = key_shard_.find(ev.key);
+    if (it == key_shard_.end() ||
+        it->second != static_cast<std::uint32_t>(s.index)) {
+      bump(alloc_stats_->unknown_ends);
+      continue;
+    }
+    FT_CHECK(alloc_.flowlet_end(ev.key));
+    key_shard_.erase(it);
+    bump(alloc_stats_->flowlet_ends);
+  }
+}
+
+void AllocatorService::queue_update(Shard& s, std::uint32_t key,
+                                    std::uint16_t rate_code) {
+  const auto it = s.key_owner.find(key);
+  if (it == s.key_owner.end()) return;  // ended meanwhile
+  Connection& c = *it->second.conn;
+  if (c.writer.empty()) s.touched.push_back(c.fd);
+  c.writer.add(core::RateUpdateMsg{key, rate_code});
+  bump(s.stats.updates_sent);
+  // Cut the batch before it can overrun the frame size limit (an
+  // endpoint may own arbitrarily many flows). flush_conn can close the
+  // connection on a dead socket; lookups go through key_owner, which
+  // close_conn scrubs, so the caller's iteration stays safe.
+  if (c.writer.pending_bytes() >= cfg_.flush_chunk_bytes) {
+    flush_conn(s, c);
+  }
+}
+
+void AllocatorService::flush_touched(Shard& s) {
+  // Batched push: one frame per endpoint per round/drain. Lookups go
+  // back through conns because flush_conn may close (erase) a
+  // connection, and a chunked flush in queue_update may have left a fd
+  // in the list twice (harmless: the second visit sees an empty
+  // writer).
+  for (const int fd : s.touched) {
+    const auto it = s.conns.find(fd);
+    if (it != s.conns.end() && !it->second->writer.empty()) {
+      flush_conn(s, *it->second);
+    }
+  }
+  s.touched.clear();
+}
+
+void AllocatorService::drain_down(Shard& s) {
+  s.touched.clear();
+  DownEvent ev;
+  while (s.down->try_pop(ev)) {
+    switch (ev.kind) {
+      case DownEvent::Kind::kConn:
+        adopt_conn(s, ev.fd);
+        break;
+      case DownEvent::Kind::kRate:
+        queue_update(s, ev.key, ev.rate_code);
+        break;
+      case DownEvent::Kind::kReject: {
+        // Only cancel the exact attempt this reject answers (see
+        // Shard::Owner).
+        const auto it = s.key_owner.find(ev.key);
+        if (it == s.key_owner.end() || it->second.seq != ev.seq) break;
+        it->second.conn->owned_keys.erase(ev.key);
+        s.key_owner.erase(it);
+        break;
+      }
+    }
+  }
+  flush_touched(s);
+  if (s.kick_alloc) {
+    s.kick_alloc = false;
+    kick_eventfd(alloc_wake_fd_);
+  }
 }
 
 void AllocatorService::run_allocation_round() {
+  for (auto& s : shards_) drain_up(*s);
+  const std::int64_t t0 = EpollLoop::now_us();
   updates_scratch_.clear();
   alloc_.run_iteration(updates_scratch_);
-  ++stats_.iterations;
-  touched_scratch_.clear();
-  for (const core::RateUpdate& u : updates_scratch_) {
-    const auto it = key_owner_.find(static_cast<std::uint32_t>(u.key));
-    if (it == key_owner_.end()) continue;
-    Connection& c = *it->second;
-    if (c.writer.empty()) touched_scratch_.push_back(c.fd);
-    c.writer.add(core::RateUpdateMsg{static_cast<std::uint32_t>(u.key),
-                                     u.rate_code});
-    ++stats_.updates_sent;
-    // Cut the batch before it can overrun the frame size limit (an
-    // endpoint may own arbitrarily many flows). flush_conn can close
-    // the connection on a dead socket; lookups above go through
-    // key_owner_, which close_conn scrubs, so iteration stays safe.
-    if (c.writer.pending_bytes() >= cfg_.flush_chunk_bytes) {
-      flush_conn(c);
+  bump(alloc_stats_->iterations);
+  if (inline_shard_) {
+    Shard& s = *inline_shard_;
+    s.touched.clear();
+    for (const core::RateUpdate& u : updates_scratch_) {
+      queue_update(s, static_cast<std::uint32_t>(u.key), u.rate_code);
+    }
+    flush_touched(s);
+  } else {
+    std::fill(touched_shards_.begin(), touched_shards_.end(), false);
+    for (const core::RateUpdate& u : updates_scratch_) {
+      const auto key = static_cast<std::uint32_t>(u.key);
+      const auto it = key_shard_.find(key);
+      if (it == key_shard_.end()) continue;
+      DownEvent ev;
+      ev.kind = DownEvent::Kind::kRate;
+      ev.key = key;
+      ev.rate_code = u.rate_code;
+      if (push_down(*shards_[it->second], ev)) {
+        touched_shards_[it->second] = true;
+      } else {
+        // The emitted update is gone and the allocator already recorded
+        // it as notified; un-record it so the next round re-emits
+        // instead of the endpoint keeping a stale rate until the
+        // allocation drifts past the threshold again.
+        alloc_.invalidate_notification(key);
+        bump(alloc_stats_->queue_drops);
+      }
+    }
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (touched_shards_[i]) wake_shard(*shards_[i]);
     }
   }
-  // Batched push: one frame per endpoint per round, however many of its
-  // flows changed rate -- only connections touched above are visited
-  // (idle endpoints cost nothing). Lookups go back through conns_
-  // because flush_conn may close (erase) a connection, and a chunked
-  // flush above may have left a fd in the list twice (harmless: the
-  // second visit sees an empty writer).
-  for (const int fd : touched_scratch_) {
-    const auto it = conns_.find(fd);
-    if (it != conns_.end() && !it->second->writer.empty()) {
-      flush_conn(*it->second);
-    }
-  }
+  record_round_latency(
+      static_cast<double>(EpollLoop::now_us() - t0));
 }
 
-void AllocatorService::flush_conn(Connection& c) {
+void AllocatorService::flush_conn(Shard& s, Connection& c) {
   const std::size_t framed = c.writer.flush(c.outbox);
   if (framed == 0) return;
-  ++stats_.frames_out;
-  stats_.bytes_out += static_cast<std::int64_t>(framed);
-  stats_.wire_bytes_out +=
-      wire_bytes_tcp_stream(static_cast<std::int64_t>(framed));
+  bump(s.stats.frames_out);
+  bump_by(s.stats.bytes_out, static_cast<std::int64_t>(framed));
+  bump_by(s.stats.wire_bytes_out,
+          wire_bytes_tcp_stream(static_cast<std::int64_t>(framed)));
   const std::uint64_t coalesced = c.writer.stats().coalesced_updates;
-  stats_.updates_coalesced += coalesced - c.coalesced_reported;
+  bump_by(s.stats.updates_coalesced, coalesced - c.coalesced_reported);
   c.coalesced_reported = coalesced;
   if (c.outbox.size() - c.out_off > cfg_.max_outbox_bytes) {
     // The peer has stopped reading; drop it rather than buffer forever.
-    close_conn(c.fd);
+    close_conn(s, c.fd);
     return;
   }
-  try_write(c);
+  try_write(s, c);
 }
 
-void AllocatorService::try_write(Connection& c) {
+void AllocatorService::try_write(Shard& s, Connection& c) {
   while (c.out_off < c.outbox.size()) {
     const ssize_t n = ::send(c.fd, c.outbox.data() + c.out_off,
                              c.outbox.size() - c.out_off, MSG_NOSIGNAL);
@@ -287,38 +739,79 @@ void AllocatorService::try_write(Connection& c) {
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       if (!c.epollout_armed) {
-        loop_.mod_fd(c.fd, EPOLLIN | EPOLLOUT);
+        s.loop->mod_fd(c.fd, EPOLLIN | EPOLLOUT);
         c.epollout_armed = true;
       }
       return;
     }
     if (n < 0 && errno == EINTR) continue;
-    close_conn(c.fd);
+    close_conn(s, c.fd);
     return;
   }
   c.outbox.clear();
   c.out_off = 0;
   if (c.epollout_armed) {
-    loop_.mod_fd(c.fd, EPOLLIN);
+    s.loop->mod_fd(c.fd, EPOLLIN);
     c.epollout_armed = false;
   }
 }
 
-void AllocatorService::close_conn(int fd) {
-  const auto it = conns_.find(fd);
-  if (it == conns_.end()) return;
+void AllocatorService::close_conn(Shard& s, int fd) {
+  const auto it = s.conns.find(fd);
+  if (it == s.conns.end()) return;
   Connection& c = *it->second;
   // The endpoint is gone: everything it owned ends now, exactly as if it
   // had sent flowlet-end for each key.
   for (const std::uint32_t key : c.owned_keys) {
-    FT_CHECK(alloc_.flowlet_end(key));
-    key_owner_.erase(key);
-    ++stats_.flowlet_ends;
+    s.key_owner.erase(key);
+    if (s.threaded()) {
+      UpEvent ev;
+      ev.kind = UpEvent::Kind::kEnd;
+      ev.key = key;
+      push_up(s, ev);
+    } else {
+      FT_CHECK(alloc_.flowlet_end(key));
+      bump(s.stats.flowlet_ends);
+    }
   }
-  loop_.del_fd(fd);
+  s.loop->del_fd(fd);
   ::close(fd);
-  conns_.erase(it);
-  ++stats_.closed;
+  s.conns.erase(it);
+  s.num_conns.store(s.conns.size(), std::memory_order_relaxed);
+  bump(s.stats.closed);
+}
+
+ServiceStats AllocatorService::stats() const {
+  ServiceStats out;
+  alloc_stats_->add_to(out);
+  if (inline_shard_) inline_shard_->stats.add_to(out);
+  for (const auto& s : shards_) s->stats.add_to(out);
+  return out;
+}
+
+std::size_t AllocatorService::num_connections() const {
+  std::size_t n =
+      inline_shard_ ? inline_shard_->conns.size() : 0;
+  for (const auto& s : shards_) {
+    n += s->num_conns.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+void AllocatorService::record_round_latency(double us) {
+  round_lat_us_[round_lat_count_ % kLatencyCap] = us;
+  ++round_lat_count_;
+}
+
+std::vector<double> AllocatorService::round_latency_us() const {
+  std::vector<double> out;
+  const std::uint64_t n = round_lat_count_;
+  const std::uint64_t have = std::min<std::uint64_t>(n, kLatencyCap);
+  out.reserve(have);
+  for (std::uint64_t i = n - have; i < n; ++i) {
+    out.push_back(round_lat_us_[i % kLatencyCap]);
+  }
+  return out;
 }
 
 }  // namespace ft::net

@@ -6,15 +6,32 @@
 // pushes thresholded rate updates back -- batched and coalesced per
 // endpoint, and only to the endpoint that owns the flow.
 //
+// The service scales across cores by sharding its I/O (§5 applied to the
+// control plane): with cfg.num_shards >= 1 it spawns N shard threads,
+// each owning a private EpollLoop and the connections handed to it --
+// accept stays on the caller's loop (one listener), which also runs the
+// allocation rounds. Decoded flowlet start/end records are funneled from
+// the shards to the allocation thread through per-shard SPSC rings, and
+// rate updates fan back out through per-shard rings to whichever shard
+// owns the flow's connection; eventfd wakeups replace polling, and no
+// lock is taken anywhere on the hot path. key_owner_ state is sharded
+// with the connections: each shard maps its own keys to its own
+// connections, while the allocation thread maps keys to shards. With
+// cfg.num_shards == 0 everything runs inline on the caller's loop (the
+// original single-threaded service), which tests drive deterministically.
+//
 // Flow ownership is tracked by flow key (the wire-level 32-bit id), never
 // by allocator slot index: NumProblem recycles slots through its free
 // list on every flowlet end, so keys are the only stable handle across
 // churn.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -22,6 +39,7 @@
 #include "core/allocator.h"
 #include "net/epoll_loop.h"
 #include "net/frame.h"
+#include "net/spsc_queue.h"
 #include "topo/clos.h"
 
 namespace ft::net {
@@ -45,6 +63,16 @@ struct ServerConfig {
   // buffered for it (close_conn ends its flowlets cleanly); without the
   // cap a stalled endpoint grows the outbox by one frame per round.
   std::size_t max_outbox_bytes = 4 * 1024 * 1024;
+  // SO_SNDBUF for accepted sockets; 0 = kernel default. A small value
+  // bounds kernel-side buffering so the max_outbox_bytes cap (not the
+  // kernel) is what governs a stalled reader.
+  int send_buffer_bytes = 0;
+  // I/O sharding: 0 = inline single-threaded service on the caller's
+  // loop; N >= 1 spawns N shard threads, connections assigned
+  // round-robin.
+  int num_shards = 0;
+  // Per-direction SPSC ring capacity per shard (entries).
+  std::size_t shard_queue_capacity = 1 << 15;
 };
 
 struct ServiceStats {
@@ -59,6 +87,12 @@ struct ServiceStats {
   std::uint64_t updates_sent = 0;
   std::uint64_t updates_coalesced = 0;
   std::uint64_t frames_out = 0;
+  // Events dropped on a persistently full shard ring (overload): rate
+  // updates (re-armed so the next round re-emits them), shed connection
+  // handoffs (the socket is closed, counted in `closed` too), dropped
+  // start rejections (a stale shard owner entry lingers until its
+  // connection closes), and lifecycle events abandoned during shutdown.
+  std::uint64_t queue_drops = 0;
   std::int64_t bytes_in = 0;        // stream bytes received
   std::int64_t bytes_out = 0;       // stream bytes queued out (framed)
   std::int64_t wire_bytes_out = 0;  // common/wire.h accounting
@@ -78,30 +112,66 @@ class AllocatorService {
     return cfg_.unix_path;
   }
 
-  // One allocation round: allocator iteration + normalized, thresholded
-  // rate updates pushed to their owning endpoints. Runs on the iteration
-  // timer when cfg.iteration_period_us > 0.
+  // One allocation round: pending shard events applied, allocator
+  // iteration, normalized thresholded rate updates pushed to their
+  // owning endpoints (directly inline, or via the owning shard's ring).
+  // Runs on the iteration timer when cfg.iteration_period_us > 0; must
+  // be called from the thread driving the caller's loop.
   void run_allocation_round();
 
-  [[nodiscard]] const ServiceStats& stats() const { return stats_; }
-  [[nodiscard]] std::size_t num_connections() const {
-    return conns_.size();
+  // Aggregated snapshot across the allocation thread and all shards
+  // (relaxed counters: safe to call from any thread while serving).
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] std::size_t num_connections() const;
+  // Number of I/O shard threads (0 = inline mode).
+  [[nodiscard]] int num_shards() const {
+    return static_cast<int>(shards_.size());
   }
+
+  // Wall-clock microseconds of recent allocation rounds (iteration +
+  // update fan-out), most recent last, up to an internal cap. Written by
+  // the allocation thread; read it while rounds are quiescent.
+  [[nodiscard]] std::vector<double> round_latency_us() const;
 
  private:
   struct Connection;
+  struct Counters;
+  struct Shard;
+  struct UpEvent;
+  struct DownEvent;
 
   void setup_tcp_listener();
   void setup_unix_listener();
   void accept_ready(int listen_fd);
-  void conn_ready(Connection& c, std::uint32_t events);
-  void handle_start(Connection& c, const core::FlowletStartMsg& m);
-  void handle_end(Connection& c, const core::FlowletEndMsg& m);
+  void adopt_conn(Shard& s, int fd);
+  void conn_ready(Shard& s, Connection& c, std::uint32_t events);
+  void handle_start(Shard& s, Connection& c,
+                    const core::FlowletStartMsg& m);
+  void handle_end(Shard& s, Connection& c, const core::FlowletEndMsg& m);
+  // Queues one rate update for the shard's owner of `key` (no-op when
+  // the flow ended meanwhile), cutting the batch at flush_chunk_bytes;
+  // touched connections are flushed together by flush_touched.
+  void queue_update(Shard& s, std::uint32_t key, std::uint16_t rate_code);
+  void flush_touched(Shard& s);
   // Frames the connection's pending batch and writes as much as the
   // socket accepts; the rest waits for EPOLLOUT.
-  void flush_conn(Connection& c);
-  void try_write(Connection& c);
-  void close_conn(int fd);
+  void flush_conn(Shard& s, Connection& c);
+  void try_write(Shard& s, Connection& c);
+  void close_conn(Shard& s, int fd);
+
+  // Resolves the ECMP route for a start message; false on bad hosts.
+  bool resolve_route(const core::FlowletStartMsg& m,
+                     std::array<LinkId, core::kMaxRouteLinks>& route,
+                     std::uint8_t& len) const;
+
+  // Sharded mode plumbing (all no-ops in inline mode).
+  void push_up(Shard& s, const UpEvent& ev);      // shard thread
+  bool push_down(Shard& s, const DownEvent& ev);  // allocation thread
+  void wake_shard(Shard& s);
+  void drain_up(Shard& s);        // allocation thread
+  void drain_down(Shard& s);      // shard thread
+  void apply_start(Shard& s, const UpEvent& ev);  // allocation thread
+  void record_round_latency(double us);
 
   EpollLoop& loop_;
   core::Allocator& alloc_;
@@ -111,14 +181,24 @@ class AllocatorService {
   int unix_listen_fd_ = -1;
   int tcp_port_ = -1;
   EpollLoop::TimerId iter_timer_ = 0;
-  std::unordered_map<int, std::unique_ptr<Connection>> conns_;
-  std::unordered_map<std::uint32_t, Connection*> key_owner_;
+  int alloc_wake_fd_ = -1;  // shards kick this to get their rings drained
+  // Inline shard (index -1, caller's loop) -- used when num_shards == 0.
+  std::unique_ptr<Shard> inline_shard_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t next_shard_ = 0;  // round-robin accept assignment
+  // Allocation-thread view: which shard owns each live flow key.
+  std::unordered_map<std::uint32_t, std::uint32_t> key_shard_;
+  std::unique_ptr<Counters> alloc_stats_;
+  std::atomic<bool> stopping_{false};
   std::vector<core::RateUpdate> updates_scratch_;
-  std::vector<int> touched_scratch_;
+  std::vector<bool> touched_shards_;
   // One pending accept-retry timer per listener fd (overwritten on
   // re-arm; the previous one-shot has always fired by then).
   std::unordered_map<int, EpollLoop::TimerId> accept_retry_timer_;
-  ServiceStats stats_;
+
+  static constexpr std::size_t kLatencyCap = 8192;
+  std::array<double, kLatencyCap> round_lat_us_{};
+  std::uint64_t round_lat_count_ = 0;
 };
 
 }  // namespace ft::net

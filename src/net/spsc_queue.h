@@ -1,0 +1,75 @@
+// Bounded single-producer/single-consumer ring used on the sharded
+// service's hot path: each I/O shard funnels flowlet start/end events to
+// the allocation thread through one of these, and rate updates fan back
+// out through another -- one producer and one consumer per queue by
+// construction, so no lock is ever taken.
+//
+// Classic two-index design with cached counterpart indices: the producer
+// re-reads the consumer's head (acquire) only when its cached copy says
+// the ring looks full, and vice versa, so steady-state push/pop touch a
+// single cache line each.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace ft::net {
+
+template <class T>
+class SpscQueue {
+ public:
+  // `capacity` is rounded up to a power of two; every slot is usable
+  // (free-running indices, no reserved empty slot).
+  explicit SpscQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    buf_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  // Producer side. Returns false when the ring is full.
+  bool try_push(const T& v) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;
+    }
+    buf_[tail & mask_] = v;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = buf_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer-side emptiness probe.
+  [[nodiscard]] bool empty() const {
+    return head_.load(std::memory_order_relaxed) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer index
+  alignas(64) std::size_t tail_cache_ = 0;        // consumer's view of tail
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producer index
+  alignas(64) std::size_t head_cache_ = 0;        // producer's view of head
+};
+
+}  // namespace ft::net

@@ -68,6 +68,12 @@ BlockPartition BlockPartition::make(const ClosTopology& clos,
   return p;
 }
 
+std::int32_t BlockPartition::default_blocks(const ClosTopology& clos) {
+  std::int32_t b = 1;
+  while (b * 2 <= clos.config().racks) b *= 2;
+  return b;
+}
+
 AggregationSchedule AggregationSchedule::make(std::int32_t n) {
   FT_CHECK(is_pow2(n));
   AggregationSchedule s;

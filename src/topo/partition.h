@@ -46,6 +46,10 @@ struct BlockPartition {
   // or be at most it; racks are assigned round-robin-contiguously).
   static BlockPartition make(const ClosTopology& clos,
                              std::int32_t num_blocks);
+
+  // Default grid side for `clos`: the largest power of two that fits
+  // the rack count (the AggregationSchedule requires a power of two).
+  static std::int32_t default_blocks(const ClosTopology& clos);
 };
 
 // One LinkBlock state transfer between two workers in the aggregation

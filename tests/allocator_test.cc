@@ -6,9 +6,11 @@
 #include <vector>
 
 #include "common/ratecode.h"
+#include "common/rng.h"
 #include "core/allocator.h"
 #include "core/messages.h"
 #include "topo/clos.h"
+#include "topo/partition.h"
 
 namespace ft::core {
 namespace {
@@ -296,6 +298,156 @@ TEST(AllocatorUtilityTest, WeightedFlowsGetWeightedShares) {
   // Shared bottleneck: dst host downlink (10G), split 1:3.
   EXPECT_NEAR(alloc.notified_rate(1), 2.5e9, 2.5e9 * 0.05);
   EXPECT_NEAR(alloc.notified_rate(2), 7.5e9, 7.5e9 * 0.05);
+}
+
+// ---------------------------------------------------------------------
+// Backend equivalence (§5): an Allocator driving the multicore
+// ParallelNed engine must produce the same rates as the sequential
+// NedSolver backend, up to floating-point summation order -- including
+// across flowlet churn, where slot recycling re-maps FlowBlock grid
+// assignments.
+
+struct BackendPair {
+  topo::ClosTopology clos;
+  Allocator seq;
+  Allocator par;
+
+  BackendPair(std::int32_t blocks, std::int32_t threads,
+              AllocatorConfig acfg = {})
+      : clos([] {
+          topo::ClosConfig cfg;
+          cfg.racks = 8;
+          cfg.servers_per_rack = 2;
+          cfg.spines = 2;
+          return topo::ClosTopology(cfg);
+        }()),
+        seq(caps_of(clos), acfg),
+        par(caps_of(clos), acfg,
+            parallel_backend(topo::BlockPartition::make(clos, blocks),
+                             [&] {
+                               ParallelConfig pcfg;
+                               pcfg.num_threads = threads;
+                               return pcfg;
+                             }())) {}
+
+  void start_both(std::uint64_t key, int src, int dst) {
+    const auto p = clos.host_path(clos.host(src), clos.host(dst), key);
+    ASSERT_TRUE(seq.flowlet_start(key, to_vec(p)));
+    ASSERT_TRUE(par.flowlet_start(key, to_vec(p)));
+  }
+  void end_both(std::uint64_t key) {
+    ASSERT_TRUE(seq.flowlet_end(key));
+    ASSERT_TRUE(par.flowlet_end(key));
+  }
+};
+
+TEST(AllocatorBackendTest, ParallelMatchesSequentialSteadyState) {
+  BackendPair pair(4, 4);
+  Rng rng(17);
+  const int hosts = pair.clos.num_hosts();
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t key = 1; key <= 48; ++key) {
+    const auto src = static_cast<int>(rng.below(hosts));
+    auto dst = static_cast<int>(rng.below(hosts - 1));
+    if (dst >= src) ++dst;
+    pair.start_both(key, src, dst);
+    keys.push_back(key);
+  }
+  std::vector<RateUpdate> seq_out;
+  std::vector<RateUpdate> par_out;
+  for (int round = 0; round < 60; ++round) {
+    seq_out.clear();
+    par_out.clear();
+    pair.seq.run_iteration(seq_out);
+    pair.par.run_iteration(par_out);
+    for (const std::uint64_t key : keys) {
+      const double want = pair.seq.allocated_rate(key);
+      ASSERT_NEAR(pair.par.allocated_rate(key), want,
+                  std::max(1.0, want) * 1e-9)
+          << "round " << round << " key " << key;
+    }
+  }
+  // Quantized notifications agree exactly after convergence.
+  for (const std::uint64_t key : keys) {
+    EXPECT_EQ(encode_rate(pair.par.notified_rate(key)),
+              encode_rate(pair.seq.notified_rate(key)))
+        << "key " << key;
+  }
+}
+
+TEST(AllocatorBackendTest, MultiIterationRoundsMatch) {
+  // iters_per_round > 1: the parallel backend skips the piggybacked
+  // F-NORM pass on all but the final iteration of the round, which
+  // must leave it exactly on the sequential backend's once-per-round
+  // normalization.
+  AllocatorConfig acfg;
+  acfg.iters_per_round = 3;
+  BackendPair pair(2, 2, acfg);
+  Rng rng(8);
+  const int hosts = pair.clos.num_hosts();
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t key = 1; key <= 20; ++key) {
+    const auto src = static_cast<int>(rng.below(hosts));
+    auto dst = static_cast<int>(rng.below(hosts - 1));
+    if (dst >= src) ++dst;
+    pair.start_both(key, src, dst);
+    keys.push_back(key);
+  }
+  std::vector<RateUpdate> sink;
+  for (int round = 0; round < 25; ++round) {
+    sink.clear();
+    pair.seq.run_iteration(sink);
+    sink.clear();
+    pair.par.run_iteration(sink);
+    for (const std::uint64_t key : keys) {
+      const double want = pair.seq.allocated_rate(key);
+      ASSERT_NEAR(pair.par.allocated_rate(key), want,
+                  std::max(1.0, want) * 1e-9)
+          << "round " << round << " key " << key;
+    }
+  }
+}
+
+TEST(AllocatorBackendTest, ParallelMatchesSequentialAcrossChurn) {
+  AllocatorConfig acfg;
+  acfg.threshold = 0.0;  // every change notified: strictest comparison
+  BackendPair pair(4, 2, acfg);
+  Rng rng(23);
+  const int hosts = pair.clos.num_hosts();
+  std::vector<std::uint64_t> live;
+  std::uint64_t next_key = 1;
+  std::vector<RateUpdate> sink;
+  for (int round = 0; round < 120; ++round) {
+    // A few starts and ends per round keeps the free list busy: ended
+    // slots are recycled into new FlowBlock grid cells.
+    for (int i = 0; i < 3; ++i) {
+      if (!live.empty() && rng.uniform() < 0.45) {
+        const auto pick = rng.below(live.size());
+        pair.end_both(live[pick]);
+        live[pick] = live.back();
+        live.pop_back();
+      } else {
+        const auto src = static_cast<int>(rng.below(hosts));
+        auto dst = static_cast<int>(rng.below(hosts - 1));
+        if (dst >= src) ++dst;
+        pair.start_both(next_key, src, dst);
+        live.push_back(next_key++);
+      }
+    }
+    sink.clear();
+    pair.seq.run_iteration(sink);
+    sink.clear();
+    pair.par.run_iteration(sink);
+    for (const std::uint64_t key : live) {
+      const double want = pair.seq.allocated_rate(key);
+      ASSERT_NEAR(pair.par.allocated_rate(key), want,
+                  std::max(1.0, want) * 1e-9)
+          << "round " << round << " key " << key;
+    }
+  }
+  EXPECT_EQ(pair.par.stats().flowlet_starts,
+            pair.seq.stats().flowlet_starts);
+  EXPECT_EQ(pair.par.stats().flowlet_ends, pair.seq.stats().flowlet_ends);
 }
 
 }  // namespace

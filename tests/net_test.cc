@@ -13,6 +13,12 @@
 #include <variant>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <thread>
+
 #include "common/ratecode.h"
 #include "common/rng.h"
 #include "common/wire.h"
@@ -22,6 +28,7 @@
 #include "net/epoll_loop.h"
 #include "net/frame.h"
 #include "net/server.h"
+#include "net/spsc_queue.h"
 #include "topo/clos.h"
 
 namespace ft::net {
@@ -208,6 +215,47 @@ TEST(FrameParserTest, RejectsMalformedStreams) {
                                      0x01};
     EXPECT_FALSE(parser.feed(bad, sink));
   }
+}
+
+TEST(SpscQueueTest, SingleThreadedFullAndEmpty) {
+  SpscQueue<int> q(4);  // rounds up to capacity() usable slots
+  EXPECT_TRUE(q.empty());
+  int v = 0;
+  EXPECT_FALSE(q.try_pop(v));
+  std::size_t pushed = 0;
+  while (q.try_push(static_cast<int>(pushed))) ++pushed;
+  EXPECT_EQ(pushed, q.capacity());
+  EXPECT_FALSE(q.try_push(999));
+  for (std::size_t i = 0; i < pushed; ++i) {
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, static_cast<int>(i));  // FIFO
+  }
+  EXPECT_FALSE(q.try_pop(v));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscQueueTest, CrossThreadTransferPreservesOrder) {
+  SpscQueue<std::uint64_t> q(1 << 10);
+  constexpr std::uint64_t kCount = 200'000;
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kCount; ++i) {
+      while (!q.try_push(i)) std::this_thread::yield();
+    }
+  });
+  std::uint64_t expect = 0;
+  std::uint64_t sum = 0;
+  while (expect < kCount) {
+    std::uint64_t v;
+    if (!q.try_pop(v)) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_EQ(v, expect);
+    sum += v;
+    ++expect;
+  }
+  producer.join();
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
 }
 
 TEST(EpollLoopTest, TimersFireInOrderAndPeriodicsRearm) {
@@ -612,6 +660,348 @@ TEST_F(LoopbackTest, ServiceSurvivesChurn) {
     if (agent.rate_bps(key) > 0.0) ++with_rate;
   }
   EXPECT_GT(with_rate, live.size() / 2);
+}
+
+TEST_F(LoopbackTest, StalledReaderDroppedAtMaxOutboxBytes) {
+  // Satellite coverage: a peer that stops reading must be closed once
+  // max_outbox_bytes of output is buffered for it -- with its flowlets
+  // ended -- while the flush chunking keeps every emitted frame at or
+  // under flush_chunk_bytes on the way there. A healthy agent sharing
+  // the service must ride through undisturbed.
+  const topo::ClosTopology clos(small_clos());
+  core::Allocator alloc(caps_of(clos), alloc_cfg());
+
+  EpollLoop loop;
+  ServerConfig scfg;
+  scfg.tcp_port = 0;
+  scfg.iteration_period_us = 0;
+  scfg.flush_chunk_bytes = 256;     // many small frames per round
+  scfg.max_outbox_bytes = 4 * 1024;  // drop a stalled peer quickly
+  scfg.send_buffer_bytes = 4 * 1024;  // keep kernel buffering bounded
+  AllocatorService svc(loop, alloc, clos, scfg);
+
+  EndpointAgent healthy;
+  ASSERT_TRUE(healthy.connect_tcp("127.0.0.1", svc.tcp_port()));
+  std::vector<EndpointAgent*> raw = {&healthy};
+  for (std::uint32_t key = 1; key <= 8; ++key) {
+    ASSERT_TRUE(healthy.flowlet_start(
+        key, static_cast<std::uint16_t>(key % 16),
+        static_cast<std::uint16_t>((key + 5) % 16)));
+  }
+  healthy.flush();
+
+  // The stalled peer: a raw socket that registers many flows and then
+  // never reads a byte. A small receive buffer keeps the TCP window
+  // from absorbing rounds of updates.
+  const int stalled = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(stalled, 0);
+  const int rcvbuf = 2 * 1024;
+  ::setsockopt(stalled, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(svc.tcp_port()));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(stalled, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof addr),
+            0);
+  constexpr std::uint32_t kStalledFlows = 150;
+  {
+    FrameWriter w;
+    for (std::uint32_t i = 0; i < kStalledFlows; ++i) {
+      core::FlowletStartMsg m;
+      m.flow_key = 1000 + i;
+      m.src_host = static_cast<std::uint16_t>(i % 16);
+      m.dst_host = static_cast<std::uint16_t>((i + 3) % 16);
+      w.add(m);
+    }
+    std::vector<std::uint8_t> bytes;
+    w.flush(bytes);
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::send(stalled, bytes.data() + off,
+                               bytes.size() - off, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  std::int64_t deadline = EpollLoop::now_us() + 5'000'000;
+  while (alloc.num_active_flowlets() < kStalledFlows + 8 &&
+         EpollLoop::now_us() < deadline) {
+    pump(loop, raw);
+  }
+  ASSERT_EQ(alloc.num_active_flowlets(), kStalledFlows + 8u);
+  ASSERT_EQ(svc.num_connections(), 2u);
+
+  // Rounds keep emitting updates while rates converge; the stalled
+  // peer's outbox grows once its socket stops accepting bytes, and the
+  // service must cut it loose -- ending all its flowlets -- without
+  // disturbing the healthy agent.
+  deadline = EpollLoop::now_us() + 10'000'000;
+  while (svc.stats().closed == 0 && EpollLoop::now_us() < deadline) {
+    svc.run_allocation_round();
+    pump(loop, raw);
+  }
+  EXPECT_EQ(svc.stats().closed, 1u);
+  EXPECT_EQ(svc.num_connections(), 1u);
+  EXPECT_EQ(alloc.num_active_flowlets(), 8u);
+  for (std::uint32_t i = 0; i < kStalledFlows; ++i) {
+    EXPECT_FALSE(alloc.is_active(1000 + i));
+  }
+  for (int i = 0; i < 10; ++i) pump(loop, raw);
+  for (std::uint32_t key = 1; key <= 8; ++key) {
+    EXPECT_GT(healthy.rate_bps(key), 0.0) << "healthy flow " << key;
+  }
+  // Chunking: rounds touching 150 stalled flows (~7 B per record) were
+  // cut into <= 256 B frames, so far more frames than rounds went out.
+  const auto s = svc.stats();
+  EXPECT_GT(s.frames_out, s.iterations);
+  EXPECT_EQ(s.protocol_errors, 0u);
+  ::close(stalled);
+}
+
+// ---------------------------------------------------------------------
+// Sharded service: same protocol, N I/O shard threads behind one
+// listener, flowlet lifecycle funneled to the allocation thread over
+// SPSC rings. The tests drive allocation rounds from the main thread
+// (manual mode) while shard threads run their own loops.
+
+class ShardedLoopbackTest : public LoopbackTest {
+ protected:
+  // Waits until `cond` holds, pumping the caller loop and the agents.
+  template <class Cond>
+  bool pump_until(EpollLoop& loop, std::vector<EndpointAgent*>& agents,
+                  Cond cond, std::int64_t budget_us = 5'000'000) {
+    const std::int64_t deadline = EpollLoop::now_us() + budget_us;
+    while (!cond()) {
+      if (EpollLoop::now_us() > deadline) return false;
+      loop.run_once(1'000);
+      for (auto* a : agents) {
+        if (!a->poll()) return false;
+      }
+    }
+    return true;
+  }
+};
+
+TEST_F(ShardedLoopbackTest, AgentsAcrossShardsMatchInProcessAllocator) {
+  const topo::ClosTopology clos(small_clos());
+  core::Allocator alloc(caps_of(clos), alloc_cfg());
+
+  EpollLoop loop;
+  ServerConfig scfg;
+  scfg.tcp_port = 0;
+  scfg.iteration_period_us = 0;  // rounds driven manually below
+  scfg.num_shards = 2;
+  AllocatorService svc(loop, alloc, clos, scfg);
+  ASSERT_EQ(svc.num_shards(), 2);
+
+  constexpr int kAgents = 4;  // two connections per shard
+  constexpr int kFlowsPerAgent = 8;
+  Rng rng(77);
+  const int hosts = clos.num_hosts();
+  std::vector<std::vector<Flow>> flows(kAgents);
+  std::uint32_t key = 1;
+  for (int a = 0; a < kAgents; ++a) {
+    for (int f = 0; f < kFlowsPerAgent; ++f) {
+      const auto src = static_cast<std::uint16_t>(rng.below(hosts));
+      auto dst = static_cast<std::uint16_t>(rng.below(hosts - 1));
+      if (dst >= src) ++dst;
+      flows[a].push_back({key++, src, dst});
+    }
+  }
+
+  std::vector<std::unique_ptr<EndpointAgent>> agents;
+  std::vector<EndpointAgent*> raw;
+  for (int a = 0; a < kAgents; ++a) {
+    agents.push_back(std::make_unique<EndpointAgent>());
+    ASSERT_TRUE(agents.back()->connect_tcp("127.0.0.1", svc.tcp_port()));
+    raw.push_back(agents.back().get());
+  }
+  for (int a = 0; a < kAgents; ++a) {
+    for (const Flow& fl : flows[a]) {
+      ASSERT_TRUE(agents[a]->flowlet_start(fl.key, fl.src, fl.dst));
+    }
+    agents[a]->flush();
+  }
+
+  ASSERT_TRUE(pump_until(loop, raw, [&] {
+    return alloc.num_active_flowlets() ==
+           static_cast<std::size_t>(kAgents * kFlowsPerAgent);
+  }));
+
+  constexpr int kIters = 400;
+  for (int i = 0; i < kIters; ++i) {
+    svc.run_allocation_round();
+    loop.run_once(0);
+    for (auto* a : raw) ASSERT_TRUE(a->poll());
+  }
+  // Drain in-flight updates.
+  for (int i = 0; i < 100; ++i) {
+    loop.run_once(1'000);
+    for (auto* a : raw) ASSERT_TRUE(a->poll());
+  }
+
+  // Reference: identical flows through an in-process allocator. The
+  // sharded service registers flows in drain order, but NED converges
+  // to the same optimum regardless of registration order.
+  core::Allocator ref(caps_of(clos), alloc_cfg());
+  for (int a = 0; a < kAgents; ++a) {
+    for (const Flow& fl : flows[a]) {
+      const auto p =
+          clos.host_path(clos.host(fl.src), clos.host(fl.dst), fl.key);
+      const std::vector<LinkId> route(p.begin(), p.end());
+      ASSERT_TRUE(ref.flowlet_start(fl.key, route));
+    }
+  }
+  std::vector<core::RateUpdate> sink;
+  for (int i = 0; i < kIters; ++i) {
+    sink.clear();
+    ref.run_iteration(sink);
+  }
+
+  for (int a = 0; a < kAgents; ++a) {
+    for (const Flow& fl : flows[a]) {
+      const std::uint16_t got = agents[a]->rate_code(fl.key);
+      const std::uint16_t want = encode_rate(ref.notified_rate(fl.key));
+      EXPECT_NEAR(got, want, 2)
+          << "agent " << a << " flow " << fl.key << " got "
+          << agents[a]->rate_bps(fl.key) << " bps, want "
+          << ref.notified_rate(fl.key) << " bps";
+      EXPECT_GT(agents[a]->rate_bps(fl.key), 0.0);
+    }
+  }
+  const auto s = svc.stats();
+  EXPECT_EQ(s.protocol_errors, 0u);
+  EXPECT_EQ(s.rejected_starts, 0u);
+  EXPECT_EQ(s.queue_drops, 0u);
+  EXPECT_EQ(s.flowlet_starts,
+            static_cast<std::uint64_t>(kAgents * kFlowsPerAgent));
+  EXPECT_FALSE(svc.round_latency_us().empty());
+}
+
+TEST_F(ShardedLoopbackTest, ChurnAndDisconnectAcrossShards) {
+  const topo::ClosTopology clos(small_clos());
+  core::Allocator alloc(caps_of(clos), alloc_cfg());
+
+  EpollLoop loop;
+  ServerConfig scfg;
+  scfg.tcp_port = 0;
+  scfg.iteration_period_us = 0;
+  scfg.num_shards = 3;
+  AllocatorService svc(loop, alloc, clos, scfg);
+
+  constexpr int kAgents = 3;
+  std::vector<std::unique_ptr<EndpointAgent>> agents;
+  std::vector<EndpointAgent*> raw;
+  for (int a = 0; a < kAgents; ++a) {
+    agents.push_back(std::make_unique<EndpointAgent>());
+    ASSERT_TRUE(agents.back()->connect_tcp("127.0.0.1", svc.tcp_port()));
+    raw.push_back(agents.back().get());
+  }
+
+  Rng rng(5150);
+  const int hosts = clos.num_hosts();
+  std::vector<std::vector<std::uint32_t>> live(kAgents);
+  std::uint32_t next_key = 1;
+  const auto start_one = [&](int a) {
+    const auto src = static_cast<std::uint16_t>(rng.below(hosts));
+    auto dst = static_cast<std::uint16_t>(rng.below(hosts - 1));
+    if (dst >= src) ++dst;
+    ASSERT_TRUE(agents[a]->flowlet_start(next_key, src, dst));
+    live[a].push_back(next_key++);
+  };
+  for (int a = 0; a < kAgents; ++a) {
+    for (int i = 0; i < 16; ++i) start_one(a);
+    agents[a]->flush();
+  }
+
+  for (int round = 0; round < 150; ++round) {
+    for (int a = 0; a < kAgents; ++a) {
+      for (int e = 0; e < 2 && !live[a].empty(); ++e) {
+        const auto pick = rng.below(live[a].size());
+        ASSERT_TRUE(agents[a]->flowlet_end(live[a][pick]));
+        live[a][pick] = live[a].back();
+        live[a].pop_back();
+        start_one(a);
+      }
+      agents[a]->flush();
+    }
+    loop.run_once(0);
+    svc.run_allocation_round();
+    for (auto* ag : raw) ASSERT_TRUE(ag->poll());
+  }
+
+  // Everything the agents think is live must end up live in the
+  // allocator once the rings quiesce. The count alone can match
+  // transiently while (end, start) pairs are still in flight, so wait
+  // for the exact key set.
+  std::size_t want = 0;
+  for (const auto& l : live) want += l.size();
+  const auto all_live_active = [&] {
+    if (alloc.num_active_flowlets() != want) return false;
+    for (const auto& l : live) {
+      for (const std::uint32_t k : l) {
+        if (!alloc.is_active(k)) return false;
+      }
+    }
+    return true;
+  };
+  ASSERT_TRUE(pump_until(loop, raw, [&] {
+    svc.run_allocation_round();
+    return all_live_active();
+  }));
+
+  // Disconnecting one agent ends exactly its flows, service-side.
+  const std::size_t dropped = live[0].size();
+  agents[0]->disconnect();
+  std::vector<EndpointAgent*> still = {raw[1], raw[2]};
+  ASSERT_TRUE(pump_until(loop, still, [&] {
+    return alloc.num_active_flowlets() == want - dropped;
+  }));
+  for (const std::uint32_t k : live[1]) EXPECT_TRUE(alloc.is_active(k));
+  for (const std::uint32_t k : live[0]) EXPECT_FALSE(alloc.is_active(k));
+
+  const auto s = svc.stats();
+  EXPECT_EQ(s.protocol_errors, 0u);
+  EXPECT_EQ(s.unknown_ends, 0u);
+  EXPECT_EQ(s.rejected_starts, 0u);
+  EXPECT_EQ(s.queue_drops, 0u);
+}
+
+TEST_F(ShardedLoopbackTest, CrossShardDuplicateKeyRejected) {
+  // Two agents on different shards claim the same flow key: the
+  // allocation thread is the authority, so exactly one registration
+  // survives and the loser's shard entry is rolled back by kReject.
+  const topo::ClosTopology clos(small_clos());
+  core::Allocator alloc(caps_of(clos), alloc_cfg());
+
+  EpollLoop loop;
+  ServerConfig scfg;
+  scfg.tcp_port = 0;
+  scfg.iteration_period_us = 0;
+  scfg.num_shards = 2;
+  AllocatorService svc(loop, alloc, clos, scfg);
+
+  EndpointAgent a0;
+  EndpointAgent a1;
+  ASSERT_TRUE(a0.connect_tcp("127.0.0.1", svc.tcp_port()));
+  ASSERT_TRUE(a1.connect_tcp("127.0.0.1", svc.tcp_port()));
+  std::vector<EndpointAgent*> raw = {&a0, &a1};
+
+  ASSERT_TRUE(a0.flowlet_start(42, 0, 5));
+  ASSERT_TRUE(a1.flowlet_start(42, 1, 9));  // same key, other conn
+  a0.flush();
+  a1.flush();
+
+  ASSERT_TRUE(pump_until(loop, raw, [&] {
+    svc.run_allocation_round();
+    return svc.stats().rejected_starts >= 1 &&
+           alloc.num_active_flowlets() == 1;
+  }));
+  EXPECT_EQ(alloc.num_active_flowlets(), 1u);
+  EXPECT_EQ(svc.stats().rejected_starts, 1u);
+  EXPECT_TRUE(alloc.is_active(42));
 }
 
 }  // namespace

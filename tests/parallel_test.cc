@@ -183,6 +183,82 @@ TEST(ParallelChurnTest, AssignUnassignKeepsEquivalence) {
   }
 }
 
+TEST(ParallelChurnTest, SlotRecyclingUnderHeavyInterleavedChurn) {
+  // Regression for the free-list reuse path the allocator service
+  // exercises: bursts of unassign/assign between iterations, mass
+  // removals (a disconnecting endpoint ends everything it owns at
+  // once), and recycled slots landing in *different* grid cells than
+  // their previous flow. The engine must keep matching the sequential
+  // solver and the reference F-NORM throughout.
+  Instance inst(8, 2, 2, 4);
+  const auto specs = random_flows(inst, 200, 4242);
+
+  NumProblem seq_p(inst.caps);
+  NedSolver seq(seq_p, 1.0);
+  NumProblem par_p(inst.caps);
+  ParallelConfig cfg;
+  cfg.num_blocks = 4;
+  cfg.num_threads = 4;
+  ParallelNed par(par_p, inst.part, cfg);
+
+  Rng rng(31337);
+  // live[i] = {seq slot, par slot, spec index}.
+  struct Live {
+    FlowIndex seq_slot;
+    FlowIndex par_slot;
+  };
+  std::vector<Live> live;
+  const auto add_one = [&] {
+    const auto& s = specs[rng.below(specs.size())];
+    const FlowIndex si = seq_p.add_flow(s.route, {});
+    const FlowIndex pi = par_p.add_flow(s.route, {});
+    ASSERT_EQ(si, pi);  // identical churn order => identical free lists
+    par.assign_flow(pi, s.src_block, s.dst_block);
+    live.push_back({si, pi});
+  };
+  const auto remove_at = [&](std::size_t pick) {
+    par.unassign_flow(live[pick].par_slot);
+    par_p.remove_flow(live[pick].par_slot);
+    seq_p.remove_flow(live[pick].seq_slot);
+    live[pick] = live.back();
+    live.pop_back();
+  };
+
+  for (int i = 0; i < 40; ++i) add_one();
+  for (int round = 0; round < 80; ++round) {
+    // Burst of interleaved churn between iterations: several slots are
+    // freed and immediately recycled by the next add.
+    const int churn = 1 + static_cast<int>(rng.below(8));
+    for (int c = 0; c < churn; ++c) {
+      if (!live.empty() && rng.uniform() < 0.5) {
+        remove_at(rng.below(live.size()));
+      } else {
+        add_one();
+      }
+    }
+    if (round == 40) {
+      // Mass removal: everything an endpoint owned ends at once.
+      while (live.size() > 5) remove_at(live.size() - 1);
+    }
+    seq.iterate();
+    par.iterate();
+    for (const Live& f : live) {
+      ASSERT_NEAR(par.rates()[f.par_slot], seq.rates()[f.seq_slot],
+                  std::max(1.0, seq.rates()[f.seq_slot]) * 1e-9)
+          << "round " << round << " slot " << f.par_slot;
+    }
+    // Piggybacked F-NORM stays consistent with the reference
+    // normalization of the same rates under recycling too.
+    std::vector<double> expect(par_p.num_slots());
+    f_norm(par_p, par.rates(), expect);
+    for (const Live& f : live) {
+      ASSERT_NEAR(par.norm_rates()[f.par_slot], expect[f.par_slot],
+                  std::max(1.0, expect[f.par_slot]) * 1e-9)
+          << "round " << round << " slot " << f.par_slot;
+    }
+  }
+}
+
 TEST(ParallelDeterminismTest, SameResultsAcrossThreadCounts) {
   Instance inst(8, 2, 2, 4);
   const auto specs = random_flows(inst, 50, 1234);
