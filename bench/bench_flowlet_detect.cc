@@ -77,6 +77,7 @@ int main(int argc, char** argv) {
   flags.done("Flowlet detection: packets/sec and boundary accuracy.");
 
   bench::Json json;
+  json.add_run_metadata();
 
   bench::banner("Flowlet detection engine",
                 "FlowDyn-style dynamic gap vs static thresholds");

@@ -1,11 +1,21 @@
-// Microbenchmarks (google-benchmark) for the allocator's inner loops:
-// NED iteration cost vs problem size, F-NORM, the parallel engine at
-// different block counts, rate-codec and message-codec throughput.
-// These are the per-iteration costs behind the §6.1 table.
-#include <benchmark/benchmark.h>
-
+// Microbenchmarks for the allocator's inner loops: NED iteration cost vs
+// problem size, F-NORM (scatter and fused from-alloc variants), the
+// parallel engine at different block counts, rate-codec and
+// message-codec throughput. These are the per-iteration costs behind the
+// §6.1 table.
+//
+// Self-contained on bench_util timers (no Google Benchmark dependency,
+// so it always builds) and emits BENCH_ned_micro.json for the CI
+// baseline diff:
+//
+//   $ ./bench_ned_micro --min-ms=200 --json=BENCH_ned_micro.json
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/ratecode.h"
 #include "common/rng.h"
 #include "core/messages.h"
@@ -19,6 +29,42 @@
 namespace {
 
 using namespace ft;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Volatile sink defeating dead-code elimination of benchmark bodies.
+volatile double g_sink = 0.0;
+
+struct Case {
+  std::string name;
+  double ns_per_iter = 0.0;
+  double items_per_sec = 0.0;
+  std::int64_t iters = 0;
+};
+
+// Runs `body` (which returns items processed per call) until `min_ms`
+// of measured time has accumulated, after a short warmup.
+Case run_case(const std::string& name, double min_ms,
+              const std::function<double()>& body) {
+  for (int i = 0; i < 3; ++i) g_sink = body();
+  Case c;
+  c.name = name;
+  double items = 0.0;
+  const double t0 = now_s();
+  double elapsed = 0.0;
+  while (elapsed < min_ms / 1e3 || c.iters < 10) {
+    items += body();
+    ++c.iters;
+    elapsed = now_s() - t0;
+  }
+  c.ns_per_iter = elapsed / static_cast<double>(c.iters) * 1e9;
+  c.items_per_sec = items / elapsed;
+  return c;
+}
 
 struct Instance {
   topo::ClosTopology clos;
@@ -54,30 +100,24 @@ struct Instance {
   }
 };
 
-void BM_NedIteration(benchmark::State& state) {
-  const auto servers = static_cast<std::int32_t>(state.range(0));
-  const auto num_flows = static_cast<std::int32_t>(state.range(1));
+Case bench_ned_iteration(std::int32_t servers, std::int32_t num_flows,
+                         double min_ms) {
   Instance inst(servers, num_flows, 2);
   core::NumProblem p(inst.caps);
   for (const auto& [route, blocks] : inst.flows) {
     p.add_flow(route, core::Utility::log_utility());
   }
   core::NedSolver ned(p);
-  for (auto _ : state) {
-    ned.iterate();
-    benchmark::DoNotOptimize(ned.rates().data());
-  }
-  state.SetItemsProcessed(state.iterations() * num_flows);
+  return run_case(
+      bench::fmt("ned_iteration/%d/%d", servers, num_flows), min_ms,
+      [&] {
+        ned.iterate();
+        return static_cast<double>(num_flows);
+      });
 }
-BENCHMARK(BM_NedIteration)
-    ->Args({128, 1024})
-    ->Args({384, 3072})
-    ->Args({768, 6144})
-    ->Args({1536, 12288})
-    ->Args({1536, 49152});
 
-void BM_FNorm(benchmark::State& state) {
-  const auto num_flows = static_cast<std::int32_t>(state.range(0));
+Case bench_f_norm(std::int32_t num_flows, bool from_alloc,
+                  double min_ms) {
   Instance inst(384, num_flows, 2);
   core::NumProblem p(inst.caps);
   for (const auto& [route, blocks] : inst.flows) {
@@ -86,58 +126,138 @@ void BM_FNorm(benchmark::State& state) {
   core::NedSolver ned(p);
   ned.iterate();
   std::vector<double> out(p.num_slots());
-  for (auto _ : state) {
-    core::f_norm(p, ned.rates(), out);
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(state.iterations() * num_flows);
+  core::NormScratch scratch;
+  return run_case(
+      bench::fmt("%s/%d", from_alloc ? "f_norm_from_alloc" : "f_norm",
+                 num_flows),
+      min_ms, [&, from_alloc] {
+        if (from_alloc) {
+          core::f_norm_from_alloc(p, ned.rates(), ned.link_alloc(),
+                                  ned.link_fixed(), out, scratch);
+        } else {
+          core::f_norm(p, ned.rates(), out, scratch);
+        }
+        return static_cast<double>(num_flows);
+      });
 }
-BENCHMARK(BM_FNorm)->Arg(3072)->Arg(12288);
 
-void BM_ParallelIteration(benchmark::State& state) {
-  const auto blocks = static_cast<std::int32_t>(state.range(0));
+Case bench_parallel_iteration(std::int32_t blocks, bool pin,
+                              double min_ms) {
   Instance inst(768, 6144, blocks);
   const auto part = topo::BlockPartition::make(inst.clos, blocks);
   core::NumProblem p(inst.caps);
   core::ParallelConfig cfg;
   cfg.num_blocks = blocks;
+  cfg.pin.enable = pin;
   core::ParallelNed engine(p, part, cfg);
   for (const auto& [route, bl] : inst.flows) {
     const core::FlowIndex idx =
         p.add_flow(route, core::Utility::log_utility());
     engine.assign_flow(idx, bl.first, bl.second);
   }
-  for (auto _ : state) {
-    engine.iterate();
-    benchmark::DoNotOptimize(engine.rates().data());
-  }
+  return run_case(
+      bench::fmt("parallel_iteration/%d%s", blocks, pin ? "/pinned" : ""),
+      min_ms, [&] {
+        engine.iterate();
+        return static_cast<double>(inst.flows.size());
+      });
 }
-BENCHMARK(BM_ParallelIteration)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
-void BM_RateCodec(benchmark::State& state) {
+Case bench_rate_codec(double min_ms) {
   Rng rng(3);
   std::vector<double> rates(4096);
   for (auto& r : rates) r = rng.uniform(1e6, 40e9);
   std::size_t i = 0;
-  for (auto _ : state) {
-    const std::uint16_t code = encode_rate(rates[i++ & 4095]);
-    benchmark::DoNotOptimize(decode_rate(code));
-  }
+  return run_case("rate_codec", min_ms, [&] {
+    double acc = 0.0;
+    for (int n = 0; n < 1024; ++n) {
+      const std::uint16_t code = encode_rate(rates[i++ & 4095]);
+      acc += decode_rate(code);
+    }
+    g_sink = acc;
+    return 1024.0;
+  });
 }
-BENCHMARK(BM_RateCodec);
 
-void BM_MessageCodec(benchmark::State& state) {
+Case bench_message_codec(double min_ms) {
   core::FlowletStartMsg m;
   m.flow_key = 12345;
   m.src_host = 17;
   m.dst_host = 99;
-  for (auto _ : state) {
-    const auto buf = core::encode(m);
-    benchmark::DoNotOptimize(core::decode_flowlet_start(buf));
-  }
+  return run_case("message_codec", min_ms, [&] {
+    double acc = 0.0;
+    for (int n = 0; n < 1024; ++n) {
+      const auto buf = core::encode(m);
+      acc += static_cast<double>(core::decode_flowlet_start(buf).flow_key);
+    }
+    g_sink = acc;
+    return 1024.0;
+  });
 }
-BENCHMARK(BM_MessageCodec);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const double min_ms =
+      flags.double_flag("min-ms", 200.0, "measured time per case (ms)");
+  const bool quick = flags.bool_flag(
+      "quick", false, "skip the largest problem sizes (CI smoke)");
+  const bool pin = flags.bool_flag(
+      "pin", false, "also run the parallel engine with row-pinned workers");
+  const auto json_path = flags.string_flag(
+      "json", "BENCH_ned_micro.json",
+      "machine-readable results file (empty disables)");
+  flags.done(
+      "Microbenchmarks for the NED/F-NORM/parallel inner loops and the "
+      "wire codecs (bench_util timers; no external dependency).");
+
+  bench::banner("NED allocator microbenchmarks",
+                "per-iteration costs behind the §6.1 table");
+
+  std::vector<Case> cases;
+  cases.push_back(bench_ned_iteration(128, 1024, min_ms));
+  cases.push_back(bench_ned_iteration(384, 3072, min_ms));
+  if (!quick) {
+    cases.push_back(bench_ned_iteration(768, 6144, min_ms));
+    cases.push_back(bench_ned_iteration(1536, 12288, min_ms));
+    cases.push_back(bench_ned_iteration(1536, 49152, min_ms));
+  }
+  cases.push_back(bench_f_norm(3072, false, min_ms));
+  cases.push_back(bench_f_norm(3072, true, min_ms));
+  if (!quick) {
+    cases.push_back(bench_f_norm(12288, false, min_ms));
+    cases.push_back(bench_f_norm(12288, true, min_ms));
+  }
+  for (const std::int32_t blocks : {1, 2, 4, 8}) {
+    if (quick && blocks > 4) continue;
+    cases.push_back(bench_parallel_iteration(blocks, false, min_ms));
+    if (pin) cases.push_back(bench_parallel_iteration(blocks, true, min_ms));
+  }
+  cases.push_back(bench_rate_codec(min_ms));
+  cases.push_back(bench_message_codec(min_ms));
+
+  bench::Table table({"case", "time/iter", "items/sec", "iters"});
+  for (const Case& c : cases) {
+    table.add_row({c.name,
+                   c.ns_per_iter >= 1e6
+                       ? bench::fmt("%.0f us", c.ns_per_iter / 1e3)
+                       : bench::fmt("%.0f ns", c.ns_per_iter),
+                   bench::fmt("%.3gM", c.items_per_sec / 1e6),
+                   bench::fmt("%lld", static_cast<long long>(c.iters))});
+  }
+  table.print();
+
+  if (!json_path.empty()) {
+    bench::Json json;
+    json.add_run_metadata();
+    for (const Case& c : cases) {
+      auto& j = json.append("cases");
+      j.set("name", c.name);
+      j.set("ns_per_iter", c.ns_per_iter);
+      j.set("items_per_sec", c.items_per_sec);
+    }
+    json.write_file(json_path);
+  }
+  return 0;
+}

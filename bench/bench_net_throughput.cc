@@ -46,13 +46,14 @@ std::vector<double> caps_of(const topo::ClosTopology& clos) {
 }
 
 core::Allocator make_allocator(const topo::ClosTopology& clos,
-                               int alloc_threads) {
+                               int alloc_threads, bool pin_cores) {
   core::AllocatorConfig acfg;
   if (alloc_threads <= 0) {
     return core::Allocator(caps_of(clos), acfg);
   }
   core::ParallelConfig pcfg;
   pcfg.num_threads = alloc_threads;
+  pcfg.pin.enable = pin_cores;
   return core::Allocator(
       caps_of(clos), acfg,
       core::parallel_backend(
@@ -76,10 +77,11 @@ struct FanoutResult {
 FanoutResult run_fanout(const topo::ClosTopology& clos, int nclients,
                         std::int64_t messages_per_client,
                         std::int64_t batch, bool use_unix, int shards,
-                        int alloc_threads) {
-  core::Allocator alloc = make_allocator(clos, alloc_threads);
+                        int alloc_threads, bool pin_cores) {
+  core::Allocator alloc = make_allocator(clos, alloc_threads, pin_cores);
   net::EpollLoop loop;
   net::ServerConfig scfg;
+  scfg.pin.enable = pin_cores;
   scfg.tcp_port = use_unix ? -1 : 0;
   if (use_unix) {
     scfg.unix_path = "/tmp/flowtune_bench_fanout_" +
@@ -188,8 +190,9 @@ FanoutResult run_fanout(const topo::ClosTopology& clos, int nclients,
 // `flows` random host-pair flows, returning mean microseconds over
 // `rounds` timed rounds after one warmup.
 double backend_round_us(const topo::ClosTopology& clos, int alloc_threads,
-                        std::int64_t flows, int rounds) {
-  core::Allocator alloc = make_allocator(clos, alloc_threads);
+                        std::int64_t flows, int rounds, bool pin_cores) {
+  core::Allocator alloc = make_allocator(clos, alloc_threads, pin_cores);
+  alloc.reserve(static_cast<std::size_t>(flows));
   Rng rng(99);
   const int hosts = clos.num_hosts();
   std::vector<LinkId> route;
@@ -243,6 +246,10 @@ int main(int argc, char** argv) {
   const auto json_path = flags.string_flag(
       "json", "BENCH_net_throughput.json",
       "machine-readable results file (empty disables)");
+  const bool pin_cores = flags.bool_flag(
+      "pin-cores", false,
+      "pin solver workers by FlowBlock row and I/O shards to the same "
+      "cores (§6.1 co-scheduling)");
   const bool strict = flags.bool_flag(
       "strict", false,
       "gate on scaling/backend speedup regardless of core count");
@@ -259,6 +266,17 @@ int main(int argc, char** argv) {
       1, static_cast<int>(std::thread::hardware_concurrency()));
   bench::Json json;
   json.set("hardware_concurrency", hw);
+  {
+    const std::int32_t blocks = topo::BlockPartition::default_blocks(clos);
+    core::CpuMapConfig pin_cfg;
+    pin_cfg.enable = pin_cores;
+    const std::string layout = core::CpuMap::make(blocks, pin_cfg).describe();
+    json.add_run_metadata(
+        layout,
+        bench::fmt("blocks=%d alloc_threads=%lld shards_swept pin=%d",
+                   blocks, static_cast<long long>(alloc_threads),
+                   pin_cores ? 1 : 0));
+  }
 
   net::EpollLoop loop;
   net::ServerConfig scfg;
@@ -388,9 +406,10 @@ int main(int argc, char** argv) {
         alloc_threads > 0 ? static_cast<int>(alloc_threads) : hw;
     const int rounds = backend_flows >= 50'000 ? 5 : 20;
     const double seq_us =
-        backend_round_us(clos, 0, backend_flows, rounds);
+        backend_round_us(clos, 0, backend_flows, rounds, pin_cores);
     const double par_us =
-        backend_round_us(clos, par_threads, backend_flows, rounds);
+        backend_round_us(clos, par_threads, backend_flows, rounds,
+                         pin_cores);
     const double speedup = par_us > 0.0 ? seq_us / par_us : 0.0;
     bench::Table bt({"backend", "threads", "round time", "speedup"});
     bt.add_row({"sequential", "1", bench::fmt("%.0f us", seq_us), "1.00x"});
@@ -443,7 +462,7 @@ int main(int argc, char** argv) {
     for (const Config& c : sweep) {
       const FanoutResult r =
           run_fanout(clos, nclients, fanout_messages / nclients, batch,
-                     use_unix, c.shards, c.alloc_threads);
+                     use_unix, c.shards, c.alloc_threads, pin_cores);
       auto& j = json.append("fanout");
       j.set("shards", c.shards);
       j.set("alloc_threads", c.alloc_threads);

@@ -34,7 +34,7 @@ struct Row {
 };
 
 void run_row(const Row& row, std::int32_t iters, std::int32_t threads,
-             ft::bench::Table& table) {
+             bool pin, ft::bench::Table& table, ft::bench::Json& json) {
   topo::ClosConfig cfg;
   cfg.servers_per_rack = 16;
   cfg.racks = row.nodes / cfg.servers_per_rack;
@@ -50,6 +50,7 @@ void run_row(const Row& row, std::int32_t iters, std::int32_t threads,
   pcfg.num_blocks = row.blocks;
   pcfg.num_threads = threads;
   pcfg.gamma = 1.0;
+  pcfg.pin.enable = pin;
   core::ParallelNed engine(problem, part, pcfg);
 
   Rng rng(42);
@@ -87,6 +88,16 @@ void run_row(const Row& row, std::int32_t iters, std::int32_t threads,
                  ft::bench::fmt("%.1f", med_cycles),
                  ft::bench::fmt("%.2f us", med_us),
                  ft::bench::fmt("%d", engine.num_threads())});
+  auto& j = json.append("rows");
+  j.set("flow_blocks", row.blocks * row.blocks);
+  j.set("nodes", row.nodes);
+  j.set("flows", row.flows);
+  j.set("median_cycles", med_cycles);
+  j.set("median_us", med_us);
+  j.set("threads", engine.num_threads());
+  if (!engine.pinning().empty()) j.set("pinning", engine.pinning());
+  // Paper throughput check: flows allocated per second of iteration time.
+  j.set("flows_per_sec", med_us > 0.0 ? row.flows / (med_us / 1e6) : 0.0);
 }
 
 }  // namespace
@@ -99,6 +110,11 @@ int main(int argc, char** argv) {
       flags.int_flag("threads", 0, "worker threads (0 = hardware)"));
   const bool full = flags.bool_flag("full", false,
                                     "include the largest (4608-node) rows");
+  const bool pin = flags.bool_flag(
+      "pin", false, "pin worker threads by FlowBlock row (§6.1)");
+  const auto json_path = flags.string_flag(
+      "json", "BENCH_table1_multicore.json",
+      "machine-readable results file (empty disables)");
   flags.done("Reproduces the paper's §6.1 multicore allocator benchmark.");
 
   ft::bench::banner("Multicore NED allocator latency",
@@ -117,8 +133,12 @@ int main(int argc, char** argv) {
 
   ft::bench::Table table({"FlowBlocks", "Nodes", "Flows", "Cycles",
                           "Time/iter", "Threads"});
-  for (const Row& row : rows) run_row(row, iters, threads, table);
+  ft::bench::Json json;
+  json.add_run_metadata("", ft::bench::fmt("threads=%d pin=%d", threads,
+                                           pin ? 1 : 0));
+  for (const Row& row : rows) run_row(row, iters, threads, pin, table, json);
   table.print();
+  if (!json_path.empty()) json.write_file(json_path);
 
   std::printf(
       "\nPaper reference (8x10-core E7-8870): 8.29 us (4 blocks, 384 "

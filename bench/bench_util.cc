@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <cstdarg>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 namespace ft::bench {
 
@@ -250,6 +252,49 @@ std::string Json::dump(int indent) const {
   }
   out += pad + "}";
   return out;
+}
+
+namespace {
+
+std::string git_sha() {
+  if (std::FILE* p = ::popen("git rev-parse --short=12 HEAD 2>/dev/null",
+                             "r")) {
+    char buf[64] = {};
+    const std::size_t n = std::fread(buf, 1, sizeof buf - 1, p);
+    ::pclose(p);
+    std::string sha(buf, n);
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+      sha.pop_back();
+    }
+    if (!sha.empty()) return sha;
+  }
+  for (const char* env : {"GITHUB_SHA", "GIT_SHA"}) {
+    if (const char* v = std::getenv(env); v != nullptr && *v != '\0') {
+      return v;
+    }
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+Json& Json::add_run_metadata(const std::string& pinning,
+                             const std::string& backend) {
+  Json& run = child("run");
+  run.set("git_sha", git_sha());
+  run.set("hardware_concurrency",
+          static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+#if defined(__VERSION__)
+  run.set("compiler", __VERSION__);
+#endif
+#if defined(NDEBUG)
+  run.set("assertions_disabled", true);
+#else
+  run.set("assertions_disabled", false);
+#endif
+  if (!pinning.empty()) run.set("pinning", pinning);
+  if (!backend.empty()) run.set("backend", backend);
+  return run;
 }
 
 bool Json::write_file(const std::string& path) const {

@@ -99,6 +99,14 @@ class Json {
   // on I/O failure.
   bool write_file(const std::string& path) const;
 
+  // Fills this object's "run" child with the metadata every BENCH_*.json
+  // carries so trajectories are comparable across machines and commits:
+  // git sha (git rev-parse, falling back to GITHUB_SHA/GIT_SHA, then
+  // "unknown"), hardware_concurrency, compiler, and -- when non-empty --
+  // the pinning layout and backend config of the run.
+  Json& add_run_metadata(const std::string& pinning = "",
+                         const std::string& backend = "");
+
  private:
   struct Entry {
     std::string key;

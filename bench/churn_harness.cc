@@ -233,18 +233,18 @@ ChurnSolverResult run_churn_solver(const ChurnSolverConfig& cfg) {
       core::u_norm(problem, solver->rates(), u_rates);
       // Converged optimum on a copy of the current flow set.
       core::NumProblem ref(caps_of(clos));
-      const auto flows = problem.flows();
-      for (std::size_t s = 0; s < flows.size(); ++s) {
-        if (!flows[s].active) continue;
+      for (core::FlowIndex s = 0; s < problem.num_slots(); ++s) {
+        const core::FlowView f = problem.flow(s);
+        if (!f.active()) continue;
         std::vector<LinkId> r;
-        for (std::uint32_t l : flows[s].route()) r.emplace_back(l);
-        ref.add_flow(r, flows[s].util);
+        for (std::uint32_t l : f.route()) r.emplace_back(l);
+        ref.add_flow(r, f.util());
       }
       const core::ExactResult opt = core::solve_exact(ref);
       if (opt.total_rate > 0.0) {
         double f_total = 0.0, u_total = 0.0;
-        for (std::size_t s = 0; s < flows.size(); ++s) {
-          if (!flows[s].active) continue;
+        for (core::FlowIndex s = 0; s < problem.num_slots(); ++s) {
+          if (!problem.flow(s).active()) continue;
           f_total += norm_rates[s];
           u_total += u_rates[s];
         }

@@ -12,9 +12,12 @@
 // slot indices -- are the only stable handle; the pre-daemon version of
 // this example tracked raw FlowIndex values and could double-free a
 // recycled slot).
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -69,6 +72,18 @@ int main(int argc, char** argv) {
       "blocks", 0,
       "FlowBlock grid side for --alloc-threads (power of two; 0 = "
       "largest fitting the rack count)"));
+  const bool pin_cores = flags.bool_flag(
+      "pin-cores", false,
+      "pin ParallelNed workers by FlowBlock row and co-schedule I/O "
+      "shards onto the same cores (§6.1); defaults shards to one per "
+      "block row");
+  const auto pin_cpus = flags.string_flag(
+      "pin-cpus", "",
+      "explicit CPU list for --pin-cores (comma-separated; empty = all "
+      "online CPUs)");
+  const bool numa_interleave = flags.bool_flag(
+      "numa-interleave", false,
+      "spread block rows round-robin across NUMA nodes when pinning");
   const auto stats_sec =
       flags.double_flag("stats-sec", 5, "stats print interval (s)");
   flags.done(
@@ -76,16 +91,59 @@ int main(int argc, char** argv) {
       "sockets, runs the NED+F-NORM round every --period-us. "
       "--shards spreads connection I/O over N epoll threads behind one "
       "listener; --alloc-threads runs the §5 multicore allocation "
-      "backend.");
+      "backend; --pin-cores applies the §6.1 block-row -> CPU mapping "
+      "to both.");
 
   topo::ClosTopology clos(tcfg);
   std::vector<double> caps;
   for (const auto& l : clos.graph().links()) caps.push_back(l.capacity_bps);
   if (blocks <= 0) blocks = topo::BlockPartition::default_blocks(clos);
+
+  core::CpuMapConfig pin;
+  // An explicit CPU list or NUMA layout is an unambiguous request to
+  // pin: honor it rather than silently ignoring the flags without
+  // --pin-cores.
+  pin.enable = pin_cores || !pin_cpus.empty() || numa_interleave;
+  if (pin.enable && !pin_cores) {
+    std::fprintf(stderr,
+                 "note: --pin-cpus/--numa-interleave imply --pin-cores\n");
+  }
+  pin.numa_interleave = numa_interleave;
+  if (!core::CpuMap::parse_cpulist(pin_cpus, pin.cpus)) {
+    std::fprintf(stderr, "bad --pin-cpus list: '%s' (cpulist syntax, "
+                         "e.g. 0-3,8,10-11)\n",
+                 pin_cpus.c_str());
+    return 2;
+  }
+  {
+    // Validate against the actual online CPU ids from sysfs (ids can be
+    // sparse, and hardware_concurrency is a cgroup-clamped count, not a
+    // max id).
+    std::vector<int> online;
+    for (const auto& node : core::CpuMap::numa_nodes()) {
+      online.insert(online.end(), node.begin(), node.end());
+    }
+    for (const int cpu : pin.cpus) {
+      if (std::find(online.begin(), online.end(), cpu) == online.end()) {
+        std::fprintf(stderr,
+                     "warning: --pin-cpus %d is not an online CPU; "
+                     "pinning to it will be ignored\n",
+                     cpu);
+      }
+    }
+  }
+  if (pin.enable && scfg.num_shards == 0) {
+    // §6.1 co-scheduling default: one I/O shard per FlowBlock row,
+    // sharing that row's core with its ParallelNed worker.
+    scfg.num_shards = static_cast<int>(blocks);
+  }
+  scfg.pin = pin;
+
   std::unique_ptr<core::Allocator> alloc_holder;
   if (alloc_threads > 0) {
     core::ParallelConfig pcfg;
     pcfg.num_threads = static_cast<std::int32_t>(alloc_threads);
+    pcfg.pin = pin;
     alloc_holder = std::make_unique<core::Allocator>(
         std::move(caps), acfg,
         core::parallel_backend(topo::BlockPartition::make(clos, blocks),
@@ -112,6 +170,11 @@ int main(int argc, char** argv) {
               clos.num_hosts(), alloc.problem().num_links(),
               alloc.backend().name(),
               svc.num_shards() > 0 ? svc.num_shards() : 1);
+  if (!svc.pinning().empty()) {
+    std::printf("  pinned shard->cpu layout: %s (one shard per block "
+                "row)\n",
+                svc.pinning().c_str());
+  }
   if (svc.tcp_port() >= 0) {
     std::printf("  tcp   127.0.0.1:%d\n", svc.tcp_port());
   }

@@ -1,5 +1,6 @@
 #include "common/ratecode.h"
 
+#include <array>
 #include <cmath>
 
 namespace ft {
@@ -48,9 +49,17 @@ double decode_rate(std::uint16_t code) {
   const int e = code >> kMantissaBits;
   const std::uint16_t m = code & kMantissaMask;
   if (e == 0) return static_cast<double>(m) * kGranularityBps;
+  // 2^(e-1) from a table: decode sits on the allocator's per-update
+  // emission path, where a libm ldexp call dominated the loop.
+  static constexpr auto kPow2 = [] {
+    std::array<double, 32> t{};
+    double v = 1.0;
+    for (std::size_t i = 0; i < t.size(); ++i, v *= 2.0) t[i] = v;
+    return t;
+  }();
   const double units =
       static_cast<double>((1u << kMantissaBits) + m) *
-      std::ldexp(1.0, e - 1);
+      kPow2[static_cast<std::size_t>(e - 1)];
   return units * kGranularityBps;
 }
 

@@ -1,5 +1,6 @@
 #include "core/allocator.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -25,6 +26,13 @@ Allocator::Allocator(std::vector<double> link_capacities_bps,
   FT_CHECK(backend_ != nullptr);
 }
 
+void Allocator::reserve(std::size_t flows) {
+  problem_.reserve(flows);
+  key_to_slot_.reserve(flows);
+  slot_to_key_.reserve(flows);
+  last_notified_.reserve(flows);
+}
+
 bool Allocator::flowlet_start(std::uint64_t key,
                               std::span<const LinkId> route) {
   return flowlet_start(key, route, cfg_.default_util);
@@ -37,8 +45,17 @@ bool Allocator::flowlet_start(std::uint64_t key,
   backend_->flow_added(slot);
   key_to_slot_.emplace(key, slot);
   if (slot >= slot_to_key_.size()) {
-    slot_to_key_.resize(slot + 1, 0);
-    last_notified_.resize(slot + 1, -1.0);
+    // Churn spike: grow geometrically in one step so repeated starts
+    // within a round do not reallocate again and again.
+    const std::size_t want = slot + 1;
+    if (want > slot_to_key_.capacity()) {
+      const std::size_t cap =
+          std::max<std::size_t>(want, slot_to_key_.capacity() * 2);
+      slot_to_key_.reserve(cap);
+      last_notified_.reserve(cap);
+    }
+    slot_to_key_.resize(want, 0);
+    last_notified_.resize(want, -1.0);
   }
   slot_to_key_[slot] = key;
   last_notified_[slot] = -1.0;
@@ -55,12 +72,12 @@ void Allocator::set_link_capacity(std::size_t link, double capacity_bps) {
 }
 
 bool Allocator::flowlet_end(std::uint64_t key) {
-  const auto it = key_to_slot_.find(key);
-  if (it == key_to_slot_.end()) return false;
-  backend_->flow_removed(it->second);
-  problem_.remove_flow(it->second);
-  last_notified_[it->second] = -1.0;
-  key_to_slot_.erase(it);
+  const FlowIndex* slot = key_to_slot_.find(key);
+  if (slot == nullptr) return false;
+  backend_->flow_removed(*slot);
+  problem_.remove_flow(*slot);
+  last_notified_[*slot] = -1.0;
+  key_to_slot_.erase(key);
   ++stats_.flowlet_ends;
   return true;
 }
@@ -70,9 +87,14 @@ void Allocator::run_iteration(std::vector<RateUpdate>& out) {
   ++stats_.iterations;
 
   const std::span<const double> norm_rates = backend_->norm_rates();
-  const auto flows = problem_.flows();
-  for (std::size_t s = 0; s < flows.size(); ++s) {
-    if (!flows[s].active) continue;
+  const std::size_t slots = problem_.num_slots();
+  const std::uint8_t* len = problem_.route_len().data();
+  // One up-front re-reserve covers the worst case (every active flow
+  // notified) so the emission loop never reallocates mid-round; with a
+  // recycled `out` this is a steady-state no-op.
+  out.reserve(out.size() + problem_.num_active());
+  for (std::size_t s = 0; s < slots; ++s) {
+    if (len[s] == 0) continue;
     const double rate = norm_rates[s];
     const double last = last_notified_[s];
     const bool first = last < 0.0;
@@ -96,24 +118,24 @@ void Allocator::run_iteration(std::vector<RateUpdate>& out) {
 }
 
 void Allocator::invalidate_notification(std::uint64_t key) {
-  const auto it = key_to_slot_.find(key);
-  if (it == key_to_slot_.end()) return;
-  last_notified_[it->second] = -1.0;
+  const FlowIndex* slot = key_to_slot_.find(key);
+  if (slot == nullptr) return;
+  last_notified_[*slot] = -1.0;
 }
 
 double Allocator::notified_rate(std::uint64_t key) const {
-  const auto it = key_to_slot_.find(key);
-  if (it == key_to_slot_.end()) return 0.0;
-  const double r = last_notified_[it->second];
+  const FlowIndex* slot = key_to_slot_.find(key);
+  if (slot == nullptr) return 0.0;
+  const double r = last_notified_[*slot];
   return r < 0.0 ? 0.0 : r;
 }
 
 double Allocator::allocated_rate(std::uint64_t key) const {
-  const auto it = key_to_slot_.find(key);
-  if (it == key_to_slot_.end()) return 0.0;
+  const FlowIndex* slot = key_to_slot_.find(key);
+  if (slot == nullptr) return 0.0;
   const std::span<const double> norm_rates = backend_->norm_rates();
-  if (it->second >= norm_rates.size()) return 0.0;
-  return norm_rates[it->second];
+  if (*slot >= norm_rates.size()) return 0.0;
+  return norm_rates[*slot];
 }
 
 }  // namespace ft::core

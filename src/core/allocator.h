@@ -16,9 +16,9 @@
 #include <cstdint>
 #include <memory>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/ids.h"
 #include "core/backend.h"
 #include "core/normalizer.h"
@@ -87,8 +87,17 @@ class Allocator {
   }
 
   // One allocation round: NED iteration(s), normalization, thresholded
-  // update emission. Updates are appended to `out`.
+  // update emission. Updates are appended to `out`. Steady state (stable
+  // flow set, recycled `out`) performs no heap allocation; churn spikes
+  // re-reserve up front rather than reallocating mid-round.
   void run_iteration(std::vector<RateUpdate>& out);
+
+  // Pre-sizes every per-flow structure (problem SoA arrays incl. the
+  // per-link adjacency's uniform-average share, key map, notification
+  // state) for `flows` concurrent flowlets. Churn up to that size then
+  // allocates nothing, except that a link loaded beyond the uniform
+  // average grows its adjacency list to its own peak once.
+  void reserve(std::size_t flows);
 
   // Marks a flow as never-notified so the next run_iteration re-emits
   // its rate unconditionally. For delivery layers that can drop an
@@ -116,7 +125,9 @@ class Allocator {
   NumProblem problem_;
   std::unique_ptr<SolveBackend> backend_;
   AllocatorStats stats_;
-  std::unordered_map<std::uint64_t, FlowIndex> key_to_slot_;
+  // Open-addressing flat map (common/flat_map.h): key lookups on the
+  // churn and notification hot paths never touch the heap.
+  FlatMap64<FlowIndex> key_to_slot_;
   std::vector<std::uint64_t> slot_to_key_;
   std::vector<double> last_notified_;  // per slot; <0 = never notified
 };

@@ -20,7 +20,15 @@ class SequentialNedBackend final : public SolveBackend {
   void solve(int iters) override {
     for (int i = 0; i < iters; ++i) ned_.iterate();
     norm_rates_.resize(problem_.num_slots());
-    normalize(norm_, problem_, ned_.rates(), norm_rates_);
+    // Reused scratch: steady-state rounds perform no heap allocation.
+    // F-NORM reuses the solver's per-link accumulators from the final
+    // iteration (one sweep instead of f_norm's re-scatter).
+    if (norm_ == NormKind::kPerFlow) {
+      f_norm_from_alloc(problem_, ned_.rates(), ned_.link_alloc(),
+                        ned_.link_fixed(), norm_rates_, scratch_);
+    } else {
+      normalize(norm_, problem_, ned_.rates(), norm_rates_, scratch_);
+    }
   }
 
   [[nodiscard]] std::span<const double> norm_rates() const override {
@@ -33,6 +41,7 @@ class SequentialNedBackend final : public SolveBackend {
   NedSolver ned_;
   NormKind norm_;
   std::vector<double> norm_rates_;
+  NormScratch scratch_;
 };
 
 class ParallelNedBackend final : public SolveBackend {
@@ -48,7 +57,7 @@ class ParallelNedBackend final : public SolveBackend {
   }
 
   void flow_added(FlowIndex slot) override {
-    const FlowEntry& f = problem_.flow(slot);
+    const FlowView f = problem_.flow(slot);
     // FlowBlock coordinates (Figure 2): the block whose upward LinkBlock
     // carries the route's up links, and the block whose downward
     // LinkBlock carries its down links. Every host-to-host route has at

@@ -1,0 +1,154 @@
+#include "core/cpu_map.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace ft::core {
+namespace {
+
+std::vector<int> read_cpulist(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return {};
+  char buf[4096];
+  const std::size_t n = std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  std::vector<int> cpus;
+  CpuMap::parse_cpulist(buf, cpus);
+  return cpus;
+}
+
+}  // namespace
+
+bool CpuMap::parse_cpulist(const std::string& text,
+                           std::vector<int>& out) {
+  int value = 0;
+  int range_start = -1;
+  bool have_digit = false;
+  for (std::size_t at = 0;; ++at) {
+    const char c = at < text.size() ? text[at] : '\0';
+    if (c >= '0' && c <= '9') {
+      value = value * 10 + (c - '0');
+      have_digit = true;
+      continue;
+    }
+    const bool end = c == '\0' || c == '\n';
+    if (have_digit) {
+      if (range_start >= 0) {
+        if (value < range_start) return false;  // "5-3"
+        for (int i = range_start; i <= value; ++i) out.push_back(i);
+        range_start = -1;
+      } else if (c == '-') {
+        range_start = value;
+      } else if (c == ',' || end) {
+        out.push_back(value);
+      } else {
+        return false;  // stray character
+      }
+      value = 0;
+      have_digit = false;
+    } else if (!end && c != ',') {
+      return false;  // token without digits ("x", "--", leading '-')
+    } else if (c == '-' || range_start >= 0) {
+      return false;  // dangling range ("3-")
+    }
+    if (end) break;
+  }
+  return range_start < 0;
+}
+
+int CpuMap::num_cpus() {
+  const auto hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw > 0 ? hw : 1;
+}
+
+std::vector<std::vector<int>> CpuMap::numa_nodes() {
+  std::vector<std::vector<int>> nodes;
+  for (int node = 0;; ++node) {
+    auto cpus = read_cpulist("/sys/devices/system/node/node" +
+                             std::to_string(node) + "/cpulist");
+    if (cpus.empty()) break;
+    nodes.push_back(std::move(cpus));
+  }
+  if (nodes.empty()) {
+    std::vector<int> all(static_cast<std::size_t>(num_cpus()));
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      all[i] = static_cast<int>(i);
+    }
+    nodes.push_back(std::move(all));
+  }
+  return nodes;
+}
+
+CpuMap CpuMap::make(std::int32_t rows, const CpuMapConfig& cfg) {
+  CpuMap map;
+  if (!cfg.enable || rows <= 0) return map;
+  std::vector<int> pool = cfg.cpus;
+  if (pool.empty()) {
+    if (cfg.numa_interleave) {
+      // Round-robin over nodes, skipping exhausted ones, until either
+      // every row has a CPU or every CPU (across all nodes, however
+      // asymmetric) is in the pool.
+      const auto nodes = numa_nodes();
+      std::size_t total = 0;
+      for (const auto& n : nodes) total += n.size();
+      const std::size_t want =
+          std::min(total, static_cast<std::size_t>(std::max(rows, 1)));
+      std::vector<std::size_t> next(nodes.size(), 0);
+      std::size_t node = 0;
+      while (pool.size() < want) {
+        while (next[node] >= nodes[node].size()) {
+          node = (node + 1) % nodes.size();
+        }
+        pool.push_back(nodes[node][next[node]++]);
+        node = (node + 1) % nodes.size();
+      }
+      if (pool.empty()) pool.push_back(0);
+    } else {
+      pool.resize(static_cast<std::size_t>(num_cpus()));
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        pool[i] = static_cast<int>(i);
+      }
+    }
+  }
+  map.row_cpu_.resize(static_cast<std::size_t>(rows));
+  for (std::int32_t r = 0; r < rows; ++r) {
+    map.row_cpu_[static_cast<std::size_t>(r)] =
+        pool[static_cast<std::size_t>(r) % pool.size()];
+  }
+  return map;
+}
+
+int CpuMap::cpu_for_row(std::int32_t row) const {
+  if (row_cpu_.empty()) return -1;
+  return row_cpu_[static_cast<std::size_t>(row) % row_cpu_.size()];
+}
+
+std::string CpuMap::describe() const {
+  std::string out;
+  for (std::size_t i = 0; i < row_cpu_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(row_cpu_[i]);
+  }
+  return out;
+}
+
+bool CpuMap::pin_current_thread(int cpu) {
+#if defined(__linux__)
+  if (cpu < 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  return ::sched_setaffinity(0, sizeof set, &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+}  // namespace ft::core

@@ -1,0 +1,71 @@
+// §6.1 FlowBlock-row -> CPU scheduling. The paper's multicore scaling
+// result depends on a fixed mapping of FlowBlocks to CPUs: each worker
+// thread owns a contiguous band of grid rows and stays pinned to one
+// core, so the row's LinkBlock state remains cache-resident across
+// iterations and the I/O shard serving that row's endpoints can be
+// co-scheduled onto the same core (one shard per block row).
+//
+// CpuMap computes the row -> CPU layout once: either an explicit CPU
+// list, or all online CPUs, optionally interleaved round-robin across
+// NUMA nodes (discovered via sysfs; no libnuma dependency) so adjacent
+// rows land on different memory domains and aggregate bandwidth scales.
+// Pinning itself is one sched_setaffinity call per thread; on platforms
+// without it the map degrades to a no-op and everything still runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ft::core {
+
+struct CpuMapConfig {
+  bool enable = false;
+  // Explicit CPU list used round-robin by row; empty = all online CPUs.
+  std::vector<int> cpus;
+  // Spread rows round-robin across NUMA nodes instead of filling node 0
+  // first. Ignored when an explicit CPU list is given.
+  bool numa_interleave = false;
+};
+
+class CpuMap {
+ public:
+  CpuMap() = default;
+
+  // Builds the layout for `rows` block rows (or I/O shards). Disabled
+  // configs produce an empty (no-op) map.
+  static CpuMap make(std::int32_t rows, const CpuMapConfig& cfg);
+
+  [[nodiscard]] bool enabled() const { return !row_cpu_.empty(); }
+  [[nodiscard]] std::int32_t rows() const {
+    return static_cast<std::int32_t>(row_cpu_.size());
+  }
+  // CPU for a block row; rows beyond the layout wrap round-robin.
+  [[nodiscard]] int cpu_for_row(std::int32_t row) const;
+
+  // "0,2,4,6" layout string for logs and BENCH_*.json run metadata;
+  // empty when disabled.
+  [[nodiscard]] std::string describe() const;
+
+  // Pins the calling thread to one CPU. Returns false if unsupported or
+  // the CPU is not allowed (the thread keeps running unpinned).
+  static bool pin_current_thread(int cpu);
+
+  // Online CPU count (>= 1).
+  static int num_cpus();
+
+  // Parses a cpulist ("0-3,8,10-11" -- the sysfs format, which the
+  // daemon's --pin-cpus flag shares) into CPU ids. Returns false on a
+  // malformed or negative entry (out contains the ids parsed so far).
+  static bool parse_cpulist(const std::string& text,
+                            std::vector<int>& out);
+
+  // CPU ids per NUMA node from sysfs; a single pseudo-node with all
+  // CPUs when the hierarchy is absent.
+  static std::vector<std::vector<int>> numa_nodes();
+
+ private:
+  std::vector<int> row_cpu_;
+};
+
+}  // namespace ft::core

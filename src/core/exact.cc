@@ -13,10 +13,10 @@ double kkt_residual(const NumProblem& problem,
   double worst = 0.0;
   // Per-link primal feasibility and complementary slackness.
   std::vector<double> alloc(problem.num_links(), 0.0);
-  const auto flows = problem.flows();
-  for (std::size_t s = 0; s < flows.size(); ++s) {
-    if (!flows[s].active) continue;
-    for (std::uint32_t l : flows[s].route()) alloc[l] += rates[s];
+  for (std::size_t s = 0; s < problem.num_slots(); ++s) {
+    const FlowView f = problem.flow(static_cast<FlowIndex>(s));
+    if (!f.active()) continue;
+    for (std::uint32_t l : f.route()) alloc[l] += rates[s];
   }
   for (std::size_t l = 0; l < alloc.size(); ++l) {
     const double c = problem.capacity(l);
@@ -26,9 +26,9 @@ double kkt_residual(const NumProblem& problem,
     worst = std::max(worst, cs);
   }
   // Stationarity: rates consistent with the demand function.
-  for (std::size_t s = 0; s < flows.size(); ++s) {
-    const FlowEntry& f = flows[s];
-    if (!f.active) continue;
+  for (std::size_t s = 0; s < problem.num_slots(); ++s) {
+    const FlowView f = problem.flow(static_cast<FlowIndex>(s));
+    if (!f.active()) continue;
     double p_sum = 0.0;
     for (std::uint32_t l : f.route()) p_sum += prices[l];
     const double demand = f.demand(p_sum);
@@ -42,10 +42,10 @@ double kkt_residual(const NumProblem& problem,
 double objective_value(const NumProblem& problem,
                        std::span<const double> rates) {
   double total = 0.0;
-  const auto flows = problem.flows();
-  for (std::size_t s = 0; s < flows.size(); ++s) {
-    if (!flows[s].active) continue;
-    total += flows[s].util.value(std::max(rates[s], 1.0));
+  for (std::size_t s = 0; s < problem.num_slots(); ++s) {
+    const FlowView f = problem.flow(static_cast<FlowIndex>(s));
+    if (!f.active()) continue;
+    total += f.util().value(std::max(rates[s], 1.0));
   }
   return total;
 }
@@ -106,9 +106,10 @@ ExactResult solve_exact(NumProblem& problem, ExactOptions opt) {
   res.prices.assign(ned.prices().begin(), ned.prices().end());
   res.kkt_residual = kkt_residual(problem, res.rates, res.prices);
   res.objective = objective_value(problem, res.rates);
-  const auto flows = problem.flows();
-  for (std::size_t s = 0; s < flows.size(); ++s) {
-    if (flows[s].active) res.total_rate += res.rates[s];
+  for (std::size_t s = 0; s < problem.num_slots(); ++s) {
+    if (problem.flow(static_cast<FlowIndex>(s)).active()) {
+      res.total_rate += res.rates[s];
+    }
   }
   return res;
 }

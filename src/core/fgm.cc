@@ -33,12 +33,18 @@ void FgmSolver::iterate() {
   // upper-bounds the flow's Hessian contribution.
   constexpr double kPriceFloor = 1e-2;
   std::vector<double> bound(prices_.size(), 0.0);
-  for (const FlowEntry& f : problem_.flows()) {
-    if (!f.active) continue;
-    for (std::uint32_t l : f.route()) {
+  const std::uint8_t* len = problem_.route_len().data();
+  const std::uint32_t* links = problem_.route_links().data();
+  for (std::size_t s = 0; s < problem_.num_slots(); ++s) {
+    const std::uint32_t nl = len[s];
+    if (nl == 0) continue;
+    const Utility util{problem_.weight()[s], problem_.alpha()[s]};
+    const std::uint32_t* r = links + s * kMaxRouteLinks;
+    for (std::uint32_t i = 0; i < nl; ++i) {
+      const std::uint32_t l = r[i];
       const double pl = std::max(prices_[l], kPriceFloor);
-      const double x = f.util.rate(pl);
-      bound[l] += -f.util.drate(pl, x);  // |x'(pl)|
+      const double x = util.rate(pl);
+      bound[l] += -util.drate(pl, x);  // |x'(pl)|
     }
   }
   for (std::size_t l = 0; l < prices_.size(); ++l) {

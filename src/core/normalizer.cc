@@ -14,43 +14,56 @@ constexpr double kMinResidualFrac = 1e-6;
 }  // namespace
 
 void link_ratios(const NumProblem& problem, std::span<const double> rates,
-                 std::span<double> out_ratios) {
+                 std::span<double> out_ratios,
+                 std::vector<double>& fixed_scratch) {
   FT_CHECK(out_ratios.size() == problem.num_links());
   // Adaptive allocation is normalized against the capacity left after
   // fixed-demand (external, §7) traffic, which the allocator cannot
   // scale.
-  std::vector<double> fixed(problem.num_links(), 0.0);
+  fixed_scratch.resize(problem.num_links());
+  std::fill(fixed_scratch.begin(), fixed_scratch.end(), 0.0);
   std::fill(out_ratios.begin(), out_ratios.end(), 0.0);
-  const auto flows = problem.flows();
-  for (std::size_t s = 0; s < flows.size(); ++s) {
-    if (!flows[s].active) continue;
+  const std::size_t slots = problem.num_slots();
+  const std::uint8_t* len = problem.route_len().data();
+  const std::uint32_t* links = problem.route_links().data();
+  const double* alpha = problem.alpha().data();
+  for (std::size_t s = 0; s < slots; ++s) {
+    const std::uint32_t nl = len[s];
+    if (nl == 0) continue;
     FT_CHECK(s < rates.size());
-    if (flows[s].util.is_fixed()) {
-      for (std::uint32_t l : flows[s].route()) fixed[l] += rates[s];
-    } else {
-      for (std::uint32_t l : flows[s].route()) out_ratios[l] += rates[s];
-    }
+    const std::uint32_t* r = links + s * kMaxRouteLinks;
+    double* acc = alpha[s] == 0.0 ? fixed_scratch.data()
+                                  : out_ratios.data();
+    for (std::uint32_t i = 0; i < nl; ++i) acc[r[i]] += rates[s];
   }
   for (std::size_t l = 0; l < out_ratios.size(); ++l) {
     const double c = problem.capacity(l);
     const double residual =
-        std::max(c - fixed[l], kMinResidualFrac * c);
+        std::max(c - fixed_scratch[l], kMinResidualFrac * c);
     out_ratios[l] /= residual;
   }
 }
 
+void link_ratios(const NumProblem& problem, std::span<const double> rates,
+                 std::span<double> out_ratios) {
+  std::vector<double> fixed;
+  link_ratios(problem, rates, out_ratios, fixed);
+}
+
 double u_norm(const NumProblem& problem, std::span<const double> rates,
-              std::span<double> out) {
-  std::vector<double> ratios(problem.num_links());
-  link_ratios(problem, rates, ratios);
+              std::span<double> out, NormScratch& scratch) {
+  scratch.ratios.resize(problem.num_links());
+  link_ratios(problem, rates, scratch.ratios, scratch.fixed);
   double r_star = 0.0;
-  for (double r : ratios) r_star = std::max(r_star, r);
+  for (double r : scratch.ratios) r_star = std::max(r_star, r);
   if (r_star <= 0.0) r_star = 1.0;
-  const auto flows = problem.flows();
-  for (std::size_t s = 0; s < flows.size(); ++s) {
-    if (!flows[s].active) {
+  const std::size_t slots = problem.num_slots();
+  const std::uint8_t* len = problem.route_len().data();
+  const double* alpha = problem.alpha().data();
+  for (std::size_t s = 0; s < slots; ++s) {
+    if (len[s] == 0) {
       out[s] = 0.0;
-    } else if (flows[s].util.is_fixed()) {
+    } else if (alpha[s] == 0.0) {
       out[s] = rates[s];  // external traffic is not scalable
     } else {
       out[s] = rates[s] / r_star;
@@ -59,30 +72,77 @@ double u_norm(const NumProblem& problem, std::span<const double> rates,
   return r_star;
 }
 
-void f_norm(const NumProblem& problem, std::span<const double> rates,
-            std::span<double> out) {
-  std::vector<double> ratios(problem.num_links());
-  link_ratios(problem, rates, ratios);
-  const auto flows = problem.flows();
-  for (std::size_t s = 0; s < flows.size(); ++s) {
-    if (!flows[s].active) {
+double u_norm(const NumProblem& problem, std::span<const double> rates,
+              std::span<double> out) {
+  NormScratch scratch;
+  return u_norm(problem, rates, out, scratch);
+}
+
+namespace {
+
+// Shared per-flow pass of F-NORM: scale each flow by the max ratio along
+// its own route (fixed-demand flows are never scaled).
+void f_norm_flow_pass(const NumProblem& problem,
+                      std::span<const double> rates,
+                      const double* ratios, std::span<double> out) {
+  const std::size_t slots = problem.num_slots();
+  const std::uint8_t* len = problem.route_len().data();
+  const std::uint32_t* links = problem.route_links().data();
+  const double* alpha = problem.alpha().data();
+  for (std::size_t s = 0; s < slots; ++s) {
+    const std::uint32_t nl = len[s];
+    if (nl == 0) {
       out[s] = 0.0;
       continue;
     }
-    if (flows[s].util.is_fixed()) {
+    if (alpha[s] == 0.0) {
       out[s] = rates[s];
       continue;
     }
+    const std::uint32_t* rt = links + s * kMaxRouteLinks;
     double r = 0.0;
-    for (std::uint32_t l : flows[s].route()) {
-      r = std::max(r, ratios[l]);
+    for (std::uint32_t i = 0; i < nl; ++i) {
+      r = std::max(r, ratios[rt[i]]);
     }
     out[s] = r > 0.0 ? rates[s] / r : rates[s];
   }
 }
 
+}  // namespace
+
+void f_norm_from_alloc(const NumProblem& problem,
+                       std::span<const double> rates,
+                       std::span<const double> link_alloc,
+                       std::span<const double> link_fixed,
+                       std::span<double> out, NormScratch& scratch) {
+  FT_CHECK(link_alloc.size() == problem.num_links());
+  FT_CHECK(link_fixed.size() == problem.num_links());
+  scratch.ratios.resize(problem.num_links());
+  for (std::size_t l = 0; l < scratch.ratios.size(); ++l) {
+    const double c = problem.capacity(l);
+    const double residual =
+        std::max(c - link_fixed[l], kMinResidualFrac * c);
+    scratch.ratios[l] = (link_alloc[l] - link_fixed[l]) / residual;
+  }
+  f_norm_flow_pass(problem, rates, scratch.ratios.data(), out);
+}
+
+void f_norm(const NumProblem& problem, std::span<const double> rates,
+            std::span<double> out, NormScratch& scratch) {
+  scratch.ratios.resize(problem.num_links());
+  link_ratios(problem, rates, scratch.ratios, scratch.fixed);
+  f_norm_flow_pass(problem, rates, scratch.ratios.data(), out);
+}
+
+void f_norm(const NumProblem& problem, std::span<const double> rates,
+            std::span<double> out) {
+  NormScratch scratch;
+  f_norm(problem, rates, out, scratch);
+}
+
 void normalize(NormKind kind, const NumProblem& problem,
-               std::span<const double> rates, std::span<double> out) {
+               std::span<const double> rates, std::span<double> out,
+               NormScratch& scratch) {
   switch (kind) {
     case NormKind::kNone:
       if (out.data() != rates.data()) {
@@ -90,13 +150,19 @@ void normalize(NormKind kind, const NumProblem& problem,
       }
       return;
     case NormKind::kUniform:
-      u_norm(problem, rates, out);
+      u_norm(problem, rates, out, scratch);
       return;
     case NormKind::kPerFlow:
-      f_norm(problem, rates, out);
+      f_norm(problem, rates, out, scratch);
       return;
   }
   FT_CHECK(false);
+}
+
+void normalize(NormKind kind, const NumProblem& problem,
+               std::span<const double> rates, std::span<double> out) {
+  NormScratch scratch;
+  normalize(kind, problem, rates, out, scratch);
 }
 
 }  // namespace ft::core

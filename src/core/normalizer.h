@@ -11,6 +11,11 @@
 // *up* when their links are under-allocated (the paper notes F-NORM
 // "occasionally slightly exceeds the optimal" throughput -- at some
 // fairness cost -- while never exceeding link capacities).
+//
+// Every entry point has a NormScratch overload: callers on the allocation
+// round hot path (core/backend.cc) keep one scratch alive so steady-state
+// rounds perform no heap allocation. The scratch-free overloads allocate
+// internally and exist for tests and one-shot analyses.
 #pragma once
 
 #include <span>
@@ -20,12 +25,26 @@
 
 namespace ft::core {
 
+// Reusable per-link buffers for the normalization pass. Sized on first
+// use; subsequent calls with the same problem allocate nothing.
+struct NormScratch {
+  std::vector<double> ratios;
+  std::vector<double> fixed;
+};
+
 // Per-link allocation ratios r_l = alloc_l / c_l for the given rates.
+// `fixed_scratch` accumulates fixed-demand (external, §7) traffic, which
+// is excluded from the numerator and subtracted from the denominator.
+void link_ratios(const NumProblem& problem, std::span<const double> rates,
+                 std::span<double> out_ratios,
+                 std::vector<double>& fixed_scratch);
 void link_ratios(const NumProblem& problem, std::span<const double> rates,
                  std::span<double> out_ratios);
 
 // U-NORM. Returns the scale factor r* that was applied (1 if no link has
 // any allocation). `out` may alias `rates`.
+double u_norm(const NumProblem& problem, std::span<const double> rates,
+              std::span<double> out, NormScratch& scratch);
 double u_norm(const NumProblem& problem, std::span<const double> rates,
               std::span<double> out);
 
@@ -33,11 +52,28 @@ double u_norm(const NumProblem& problem, std::span<const double> rates,
 // aggregate allocation keep their rate (the division-by-zero case noted
 // in §4).
 void f_norm(const NumProblem& problem, std::span<const double> rates,
+            std::span<double> out, NormScratch& scratch);
+void f_norm(const NumProblem& problem, std::span<const double> rates,
             std::span<double> out);
+
+// F-NORM reusing the solver's per-link accumulators: `link_alloc` is the
+// sum of *all* flows' rates per link (Solver::link_alloc) and
+// `link_fixed` the fixed-demand portion (Solver::link_fixed), both from
+// the same rate update that produced `rates`. Skips f_norm's full
+// re-scatter over every flow -- one sweep instead of two on the
+// allocation round hot path. Equal to f_norm up to fp summation order.
+void f_norm_from_alloc(const NumProblem& problem,
+                       std::span<const double> rates,
+                       std::span<const double> link_alloc,
+                       std::span<const double> link_fixed,
+                       std::span<double> out, NormScratch& scratch);
 
 enum class NormKind { kNone, kUniform, kPerFlow };
 
 // Dispatch helper used by the allocator and benches.
+void normalize(NormKind kind, const NumProblem& problem,
+               std::span<const double> rates, std::span<double> out,
+               NormScratch& scratch);
 void normalize(NormKind kind, const NumProblem& problem,
                std::span<const double> rates, std::span<double> out);
 

@@ -39,7 +39,11 @@ ParallelNed::ParallelNed(NumProblem& problem,
       cfg_(cfg),
       n_(partition.num_blocks),
       num_workers_(n_ * n_),
+      // More threads than rows is the common pick_threads outcome on big
+      // machines: size the layout to whichever is larger so every thread
+      // can land on its own CPU instead of piling onto the row CPUs.
       num_threads_(pick_threads(cfg.num_threads, num_workers_)),
+      cpu_map_(CpuMap::make(std::max(n_, num_threads_), cfg.pin)),
       workers_(static_cast<std::size_t>(num_workers_)),
       global_price_(problem.num_links(), 1.0),
       global_alloc_(problem.num_links(), 0.0),
@@ -53,6 +57,12 @@ ParallelNed::ParallelNed(NumProblem& problem,
     w.alloc.assign(links, 0.0);
     w.dxdp.assign(links, 0.0);
     w.ratio.assign(links, 0.0);
+  }
+  band_begin_.resize(static_cast<std::size_t>(num_threads_) + 1);
+  for (std::int32_t t = 0; t <= num_threads_; ++t) {
+    band_begin_[static_cast<std::size_t>(t)] =
+        static_cast<std::int32_t>(static_cast<std::int64_t>(t) *
+                                  num_workers_ / num_threads_);
   }
   threads_.reserve(static_cast<std::size_t>(num_threads_));
   for (std::int32_t t = 0; t < num_threads_; ++t) {
@@ -70,8 +80,8 @@ void ParallelNed::assign_flow(FlowIndex slot, std::int32_t src_block,
                               std::int32_t dst_block) {
   FT_CHECK(src_block >= 0 && src_block < n_);
   FT_CHECK(dst_block >= 0 && dst_block < n_);
-  const FlowEntry& f = problem_.flow(slot);
-  FT_CHECK(f.active);
+  const FlowView f = problem_.flow(slot);
+  FT_CHECK(f.active());
   // Validate the partition property: up links in src block, down links in
   // dst block (Figure 2).
   for (std::uint32_t l : f.route()) {
@@ -121,17 +131,27 @@ void ParallelNed::rate_update(WorkerState& w, std::int32_t row,
     w.alloc[l.value()] = 0.0;
     w.dxdp[l.value()] = 0.0;
   }
+  // Branch-light sweep over the SoA arrays; only assigned (active) slots
+  // are in w.flows.
+  const std::uint32_t* links = problem_.route_links().data();
+  const std::uint8_t* len = problem_.route_len().data();
+  const double* weight = problem_.weight().data();
+  const double* alpha = problem_.alpha().data();
+  const double* floor = problem_.price_floor().data();
+  double* price = w.price.data();
+  double* alloc = w.alloc.data();
+  double* dxdp = w.dxdp.data();
   for (FlowIndex slot : w.flows) {
-    const FlowEntry& f = problem_.flow(slot);
-    FT_CHECK(f.active);
+    const std::uint32_t nl = len[slot];
+    const std::uint32_t* r = links + slot * kMaxRouteLinks;
     double price_sum = 0.0;
-    for (std::uint32_t l : f.route()) price_sum += w.price[l];
-    const double x = f.demand(price_sum);
-    const double dx = f.demand_slope(price_sum, x);
+    for (std::uint32_t i = 0; i < nl; ++i) price_sum += price[r[i]];
+    double x, dx;
+    flow_demand(weight[slot], alpha[slot], floor[slot], price_sum, x, dx);
     rates_[slot] = x;
-    for (std::uint32_t l : f.route()) {
-      w.alloc[l] += x;
-      w.dxdp[l] += dx;
+    for (std::uint32_t i = 0; i < nl; ++i) {
+      alloc[r[i]] += x;
+      dxdp[r[i]] += dx;
     }
   }
 }
@@ -162,13 +182,17 @@ void ParallelNed::price_update_owned(std::int32_t worker) {
 }
 
 void ParallelNed::run_phases(std::int32_t t) {
-  const auto my_worker = [this, t](std::int32_t w) {
-    return w % num_threads_ == t;
+  // Contiguous band: thread t owns [band_lo, band_hi) -- whole grid rows
+  // when num_threads == n, matching the row pinning.
+  const std::int32_t band_lo = band_begin_[static_cast<std::size_t>(t)];
+  const std::int32_t band_hi =
+      band_begin_[static_cast<std::size_t>(t) + 1];
+  const auto my_worker = [band_lo, band_hi](std::int32_t w) {
+    return w >= band_lo && w < band_hi;
   };
 
   // Phase 0: rate update on private copies.
-  for (std::int32_t w = 0; w < num_workers_; ++w) {
-    if (!my_worker(w)) continue;
+  for (std::int32_t w = band_lo; w < band_hi; ++w) {
     rate_update(workers_[static_cast<std::size_t>(w)], w / n_, w % n_);
   }
   phase_barrier_.arrive_and_wait();
@@ -189,8 +213,8 @@ void ParallelNed::run_phases(std::int32_t t) {
   }
 
   // Price update + ratio computation at the owners.
-  for (std::int32_t w = 0; w < num_workers_; ++w) {
-    if (my_worker(w)) price_update_owned(w);
+  for (std::int32_t w = band_lo; w < band_hi; ++w) {
+    price_update_owned(w);
   }
   phase_barrier_.arrive_and_wait();
 
@@ -213,13 +237,18 @@ void ParallelNed::run_phases(std::int32_t t) {
 
   // Normalization (F-NORM) using the distributed ratios.
   if (cfg_.compute_norm && norm_this_iter_) {
-    for (std::int32_t wi = 0; wi < num_workers_; ++wi) {
-      if (!my_worker(wi)) continue;
+    const std::uint32_t* links = problem_.route_links().data();
+    const std::uint8_t* len = problem_.route_len().data();
+    for (std::int32_t wi = band_lo; wi < band_hi; ++wi) {
       const WorkerState& w = workers_[static_cast<std::size_t>(wi)];
+      const double* ratio = w.ratio.data();
       for (FlowIndex slot : w.flows) {
-        const FlowEntry& f = problem_.flow(slot);
+        const std::uint32_t nl = len[slot];
+        const std::uint32_t* rt = links + slot * kMaxRouteLinks;
         double r = 0.0;
-        for (std::uint32_t l : f.route()) r = std::max(r, w.ratio[l]);
+        for (std::uint32_t i = 0; i < nl; ++i) {
+          r = std::max(r, ratio[rt[i]]);
+        }
         norm_rates_[slot] = r > 0.0 ? rates_[slot] / r : rates_[slot];
       }
     }
@@ -227,6 +256,17 @@ void ParallelNed::run_phases(std::int32_t t) {
 }
 
 void ParallelNed::thread_main(std::int32_t t) {
+  if (cpu_map_.enabled()) {
+    // §6.1 block -> CPU mapping: with at most one thread per row, pin to
+    // the CPU of the first grid row this thread's band covers. With more
+    // threads than rows (several threads splitting a row), pin each
+    // thread to its own layout slot -- row-major bands keep same-row
+    // threads on adjacent CPUs without oversubscribing any core.
+    const std::int32_t first_row =
+        band_begin_[static_cast<std::size_t>(t)] / n_;
+    const std::int32_t slot = num_threads_ <= n_ ? first_row : t;
+    CpuMap::pin_current_thread(cpu_map_.cpu_for_row(slot));
+  }
   while (true) {
     start_barrier_.arrive_and_wait();
     if (stop_.load(std::memory_order_acquire)) return;

@@ -14,7 +14,10 @@
 // The engine produces results identical to the sequential NedSolver up to
 // floating-point summation order (unit-tested), and runs its workers on a
 // configurable number of threads, as in §6.1 where multiple FlowBlocks
-// are mapped to each CPU.
+// are mapped to each CPU: each thread owns a *contiguous* band of grid
+// workers (whole rows when num_threads == num_blocks) and, when a CpuMap
+// is configured, pins itself to that band's row CPU so LinkBlock state
+// stays cache-resident across iterations.
 #pragma once
 
 #include <atomic>
@@ -22,9 +25,11 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "core/cpu_map.h"
 #include "core/problem.h"
 #include "topo/partition.h"
 
@@ -35,6 +40,10 @@ struct ParallelConfig {
   std::int32_t num_threads = 0;  // 0 = min(n^2, hardware_concurrency)
   double gamma = 1.0;
   bool compute_norm = true;      // piggyback F-NORM on the same schedule
+  // §6.1 block-row -> CPU pinning for the worker threads (no-op when
+  // disabled). Thread t is pinned to the CPU of the first grid row it
+  // owns, so with num_threads == num_blocks each row has its own core.
+  CpuMapConfig pin;
 };
 
 class ParallelNed {
@@ -73,6 +82,9 @@ class ParallelNed {
 
   [[nodiscard]] std::int32_t num_workers() const { return num_workers_; }
   [[nodiscard]] std::int32_t num_threads() const { return num_threads_; }
+  // Row -> CPU layout in use ("" when pinning is disabled); for logs and
+  // bench run metadata.
+  [[nodiscard]] std::string pinning() const { return cpu_map_.describe(); }
 
   // Wall-clock duration of the last iterate() in seconds, and TSC cycles
   // when available (0 otherwise).
@@ -111,6 +123,14 @@ class ParallelNed {
   std::int32_t n_;
   std::int32_t num_workers_;
   std::int32_t num_threads_;
+  CpuMap cpu_map_;
+
+  // Contiguous worker -> thread bands: thread t owns workers
+  // [band_begin_[t], band_begin_[t + 1]), i.e. whole rows when
+  // num_threads == n. Any partition is correct (workers touch disjoint
+  // private state between barriers); contiguity is what makes row
+  // pinning meaningful.
+  std::vector<std::int32_t> band_begin_;  // size num_threads + 1
 
   std::vector<WorkerState> workers_;
   std::vector<std::int32_t> flow_worker_;    // slot -> worker (-1 = none)

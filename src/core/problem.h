@@ -2,13 +2,22 @@
 // churning set of flows, each with a fixed route (<= 8 links) and a
 // utility function.
 //
-// Flow storage is slot-based with a free list: flowlet start/end is O(1)
-// and slot indices stay dense, so solvers iterate over slots linearly
-// (cache-friendly, branch on an active flag) exactly as the paper's
-// allocator does in its online setting.
+// Flow storage is structure-of-arrays with slot recycling through a free
+// list: flowlet start/end is O(route length) and slot indices stay dense,
+// so solvers iterate over slots as branch-light linear sweeps over
+// parallel arrays (route lengths, flattened routes, utility parameters,
+// demand-bound floors) instead of chasing per-flow objects -- the §6.1
+// requirement that the allocator's inner loop stay cache-resident.
+// A CSR-style link->flow adjacency (per-link contiguous entry lists,
+// incrementally maintained on churn) lets capacity changes and analyses
+// touch exactly the flows on a link.
+//
+// The old object-per-flow accessors survive as thin views (FlowView) so
+// cold paths -- backend grid assignment, exact solvers, tests -- migrate
+// without semantic change.
 #pragma once
 
-#include <array>
+#include <cmath>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -36,27 +45,54 @@ inline constexpr std::size_t kMaxRouteLinks = 8;
 // the allocation.
 inline constexpr double kDemandCapFactor = 1.0;
 
-struct FlowEntry {
-  Utility util;
-  std::uint8_t num_links = 0;
-  bool active = false;
-  std::array<std::uint32_t, kMaxRouteLinks> links{};
-  double rate_cap = 0.0;      // min capacity along the route
-  double price_floor = 0.0;   // P_eff floor implementing the demand bound
-
-  [[nodiscard]] std::span<const std::uint32_t> route() const {
-    return {links.data(), num_links};
+// Demand x(P) and slope dx/dP from the SoA utility parameters, with the
+// demand-bound floor applied. Matches Utility::rate / Utility::drate at
+// max(price_sum, floor) to within one reciprocal rounding: the dominant
+// alpha == 1 case spends one division instead of two (x = w * (1/P),
+// dx = -x * (1/P)), which is what makes the solver sweep branch-light
+// and division-bound-free. Every solver hot loop inlines this so SoA
+// and view paths cannot drift apart.
+inline void flow_demand(double weight, double alpha, double floor,
+                        double price_sum, double& x, double& dx) {
+  double p = price_sum < floor ? floor : price_sum;
+  if (alpha == 0.0) {  // fixed-demand pseudo-utility (§7 external traffic)
+    x = weight;
+    dx = 0.0;
+    return;
   }
+  if (p < kMinPathPrice) p = kMinPathPrice;
+  if (alpha == 1.0) {
+    const double rp = 1.0 / p;
+    x = weight * rp;
+    dx = -x * rp;
+    return;
+  }
+  x = std::pow(weight / p, 1.0 / alpha);
+  dx = -x / (alpha * p);
+}
+
+class NumProblem;
+
+// Thin per-slot view over the SoA arrays; the object-style accessor for
+// cold paths. Invalidated by add_flow/remove_flow like an index would be.
+class FlowView {
+ public:
+  [[nodiscard]] bool active() const;
+  [[nodiscard]] std::span<const std::uint32_t> route() const;
+  [[nodiscard]] double rate_cap() const;
+  [[nodiscard]] double price_floor() const;
+  [[nodiscard]] Utility util() const;
 
   // Demand and its derivative at path price `price_sum`, with the bound
   // applied. Used identically by every solver.
-  [[nodiscard]] double demand(double price_sum) const {
-    return util.rate(price_sum < price_floor ? price_floor : price_sum);
-  }
-  [[nodiscard]] double demand_slope(double price_sum, double x) const {
-    return util.drate(price_sum < price_floor ? price_floor : price_sum,
-                      x);
-  }
+  [[nodiscard]] double demand(double price_sum) const;
+  [[nodiscard]] double demand_slope(double price_sum, double x) const;
+
+ private:
+  friend class NumProblem;
+  FlowView(const NumProblem* p, FlowIndex s) : p_(p), s_(s) {}
+  const NumProblem* p_;
+  FlowIndex s_;
 };
 
 class NumProblem {
@@ -77,30 +113,114 @@ class NumProblem {
 
   // Adjusts one link's capacity at runtime (§7 closed loop: "dynamically
   // adjust link capacities ... for external traffic"). Refreshes the
-  // demand bounds of flows traversing the link.
+  // demand bounds of exactly the flows traversing the link (via the
+  // link->flow adjacency).
   void set_capacity(std::size_t link, double capacity_bps);
 
   FlowIndex add_flow(std::span<const LinkId> route, Utility util);
   void remove_flow(FlowIndex idx);
 
-  [[nodiscard]] std::size_t num_slots() const { return flows_.size(); }
+  // Pre-sizes every per-slot array (and the slot free list) so that the
+  // next `slots` concurrent flows churn without reallocating.
+  void reserve(std::size_t slots);
+
+  [[nodiscard]] std::size_t num_slots() const { return route_len_.size(); }
   [[nodiscard]] std::size_t num_active() const { return num_active_; }
-  [[nodiscard]] const FlowEntry& flow(FlowIndex idx) const {
-    FT_CHECK(idx < flows_.size());
-    return flows_[idx];
+
+  [[nodiscard]] FlowView flow(FlowIndex idx) const {
+    FT_CHECK(idx < route_len_.size());
+    return FlowView(this, idx);
   }
-  [[nodiscard]] std::span<const FlowEntry> flows() const { return flows_; }
+
+  // --- SoA hot-path arrays, indexed by slot. A slot is inactive iff its
+  // route length is 0. route_links() is flattened with stride
+  // kMaxRouteLinks; only the first route_len()[s] entries are valid.
+  [[nodiscard]] std::span<const std::uint8_t> route_len() const {
+    return route_len_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> route_links() const {
+    return route_links_;
+  }
+  [[nodiscard]] std::span<const double> weight() const { return weight_; }
+  [[nodiscard]] std::span<const double> alpha() const { return alpha_; }
+  [[nodiscard]] std::span<const double> price_floor() const {
+    return price_floor_;
+  }
+  [[nodiscard]] std::span<const double> rate_cap() const {
+    return rate_cap_;
+  }
+
+  // --- Link->flow adjacency (CSR-style per-link contiguous lists,
+  // swap-remove maintained on churn). Entries pack the flow slot with the
+  // link's position in that flow's route.
+  [[nodiscard]] std::span<const std::uint32_t> link_flows(
+      std::size_t link) const {
+    FT_CHECK(link < link_flows_.size());
+    return link_flows_[link];
+  }
+  // Entries pack the route position into the low 3 bits.
+  static_assert(kMaxRouteLinks <= 8,
+                "adjacency entries pack the route index into 3 bits");
+  [[nodiscard]] static FlowIndex adj_slot(std::uint32_t entry) {
+    return entry >> 3;
+  }
+  [[nodiscard]] static std::uint32_t adj_route_idx(std::uint32_t entry) {
+    return entry & 7u;
+  }
 
   // Monotone counter bumped on every add/remove; lets solvers detect
   // churn (e.g. to reset momentum state).
   [[nodiscard]] std::uint64_t version() const { return version_; }
 
  private:
+  friend class FlowView;
+
+  // Recomputes rate_cap_/price_floor_ for one active slot from current
+  // capacities (same arithmetic as add_flow).
+  void refresh_demand_bound(FlowIndex s);
+
   std::vector<double> capacity_;
-  std::vector<FlowEntry> flows_;
+
+  // Per-slot SoA arrays (all sized num_slots()).
+  std::vector<std::uint8_t> route_len_;      // 0 == inactive slot
+  std::vector<std::uint32_t> route_links_;   // stride kMaxRouteLinks
+  std::vector<double> weight_;
+  std::vector<double> alpha_;                // 0 == fixed demand
+  std::vector<double> price_floor_;          // P_eff floor (demand bound)
+  std::vector<double> rate_cap_;             // min capacity along route
+  // Position of slot s's i-th route link inside link_flows_ (for O(1)
+  // swap-remove), stride kMaxRouteLinks like route_links_.
+  std::vector<std::uint32_t> adj_pos_;
+
+  std::vector<std::vector<std::uint32_t>> link_flows_;  // per link
   std::vector<FlowIndex> free_list_;
   std::size_t num_active_ = 0;
   std::uint64_t version_ = 0;
 };
+
+inline bool FlowView::active() const {
+  return p_->route_len_[s_] != 0;
+}
+inline std::span<const std::uint32_t> FlowView::route() const {
+  return {p_->route_links_.data() + s_ * kMaxRouteLinks,
+          p_->route_len_[s_]};
+}
+inline double FlowView::rate_cap() const { return p_->rate_cap_[s_]; }
+inline double FlowView::price_floor() const {
+  return p_->price_floor_[s_];
+}
+inline Utility FlowView::util() const {
+  return Utility{p_->weight_[s_], p_->alpha_[s_]};
+}
+inline double FlowView::demand(double price_sum) const {
+  double x, dx;
+  flow_demand(p_->weight_[s_], p_->alpha_[s_], p_->price_floor_[s_],
+              price_sum, x, dx);
+  return x;
+}
+inline double FlowView::demand_slope(double price_sum, double x) const {
+  const double floor = p_->price_floor_[s_];
+  return util().drate(price_sum < floor ? floor : price_sum, x);
+}
 
 }  // namespace ft::core

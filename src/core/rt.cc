@@ -25,37 +25,44 @@ RtBase::RtBase(NumProblem& problem)
       dxdp_f_(problem.num_links(), 0.0f) {}
 
 void RtBase::update_rates_rt() {
-  rates_f_.resize(problem_.num_slots(), 0.0f);
+  const std::size_t slots = problem_.num_slots();
+  rates_f_.resize(slots, 0.0f);
   std::fill(alloc_f_.begin(), alloc_f_.end(), 0.0f);
   std::fill(dxdp_f_.begin(), dxdp_f_.end(), 0.0f);
 
-  const auto flows = problem_.flows();
-  for (std::size_t s = 0; s < flows.size(); ++s) {
-    const FlowEntry& f = flows[s];
-    if (!f.active) {
+  const std::uint8_t* len = problem_.route_len().data();
+  const std::uint32_t* links = problem_.route_links().data();
+  const double* weight = problem_.weight().data();
+  const double* alpha = problem_.alpha().data();
+  const double* floor_d = problem_.price_floor().data();
+  for (std::size_t s = 0; s < slots; ++s) {
+    const std::uint32_t nl = len[s];
+    if (nl == 0) {
       rates_f_[s] = 0.0f;
       continue;
     }
+    const std::uint32_t* r = links + s * kMaxRouteLinks;
     float price_sum = 0.0f;
-    for (std::uint32_t l : f.route()) price_sum += prices_f_[l];
-    const auto floor = static_cast<float>(f.price_floor);
+    for (std::uint32_t i = 0; i < nl; ++i) price_sum += prices_f_[r[i]];
+    const auto floor = static_cast<float>(floor_d[s]);
     if (price_sum < floor) price_sum = floor;
 
     float x;
     float dx;
-    if (f.util.alpha == 1.0) {
+    if (alpha[s] == 1.0) {
       // Fast path: x = w / P, dx = -x / P via one shared reciprocal.
       const float rp = fast_recip(price_sum);
-      x = static_cast<float>(f.util.weight) * rp;
+      x = static_cast<float>(weight[s]) * rp;
       dx = -x * rp;
     } else {
-      x = static_cast<float>(f.util.rate(price_sum));
-      dx = static_cast<float>(f.util.drate(price_sum, x));
+      const Utility util{weight[s], alpha[s]};
+      x = static_cast<float>(util.rate(price_sum));
+      dx = static_cast<float>(util.drate(price_sum, x));
     }
     rates_f_[s] = x;
-    for (std::uint32_t l : f.route()) {
-      alloc_f_[l] += x;
-      dxdp_f_[l] += dx;
+    for (std::uint32_t i = 0; i < nl; ++i) {
+      alloc_f_[r[i]] += x;
+      dxdp_f_[r[i]] += dx;
     }
   }
 }

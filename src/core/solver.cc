@@ -8,28 +8,46 @@ Solver::Solver(NumProblem& problem)
     : problem_(problem),
       prices_(problem.num_links(), 1.0),
       link_alloc_(problem.num_links(), 0.0),
-      link_dxdp_(problem.num_links(), 0.0) {}
+      link_dxdp_(problem.num_links(), 0.0),
+      link_fixed_(problem.num_links(), 0.0) {}
 
 void Solver::update_rates() {
-  rates_.resize(problem_.num_slots(), 0.0);
+  const std::size_t slots = problem_.num_slots();
+  rates_.resize(slots, 0.0);
   std::fill(link_alloc_.begin(), link_alloc_.end(), 0.0);
   std::fill(link_dxdp_.begin(), link_dxdp_.end(), 0.0);
+  std::fill(link_fixed_.begin(), link_fixed_.end(), 0.0);
 
-  const auto flows = problem_.flows();
-  for (std::size_t s = 0; s < flows.size(); ++s) {
-    const FlowEntry& f = flows[s];
-    if (!f.active) {
+  // Branch-light linear sweep over the SoA arrays (no per-flow objects).
+  const std::uint8_t* len = problem_.route_len().data();
+  const std::uint32_t* links = problem_.route_links().data();
+  const double* weight = problem_.weight().data();
+  const double* alpha = problem_.alpha().data();
+  const double* floor = problem_.price_floor().data();
+  const double* price = prices_.data();
+  double* alloc = link_alloc_.data();
+  double* dxdp = link_dxdp_.data();
+  for (std::size_t s = 0; s < slots; ++s) {
+    const std::uint32_t nl = len[s];
+    if (nl == 0) {
       rates_[s] = 0.0;
       continue;
     }
+    const std::uint32_t* r = links + s * kMaxRouteLinks;
     double price_sum = 0.0;
-    for (std::uint32_t l : f.route()) price_sum += prices_[l];
-    const double x = f.demand(price_sum);
-    const double dx = f.demand_slope(price_sum, x);
+    for (std::uint32_t i = 0; i < nl; ++i) price_sum += price[r[i]];
+    double x, dx;
+    flow_demand(weight[s], alpha[s], floor[s], price_sum, x, dx);
     rates_[s] = x;
-    for (std::uint32_t l : f.route()) {
-      link_alloc_[l] += x;
-      link_dxdp_[l] += dx;
+    for (std::uint32_t i = 0; i < nl; ++i) {
+      alloc[r[i]] += x;
+      dxdp[r[i]] += dx;
+    }
+    if (alpha[s] == 0.0) [[unlikely]] {
+      // Fixed-demand (external) flows: tracked separately so F-NORM can
+      // normalize adaptive traffic against residual capacity without a
+      // second full scatter pass.
+      for (std::uint32_t i = 0; i < nl; ++i) link_fixed_[r[i]] += x;
     }
   }
 }

@@ -36,6 +36,13 @@ class Solver {
   [[nodiscard]] std::span<const double> link_alloc() const {
     return link_alloc_;
   }
+  // Per-link aggregate of fixed-demand (§7 external) flows from the last
+  // rate update; together with link_alloc() this lets F-NORM reuse the
+  // sweep's accumulators instead of re-scattering every flow
+  // (f_norm_from_alloc in core/normalizer.h).
+  [[nodiscard]] std::span<const double> link_fixed() const {
+    return link_fixed_;
+  }
 
   [[nodiscard]] NumProblem& problem() { return problem_; }
   [[nodiscard]] const NumProblem& problem() const { return problem_; }
@@ -54,6 +61,7 @@ class Solver {
   std::vector<double> rates_;       // per flow slot
   std::vector<double> link_alloc_;  // per link: sum of rates
   std::vector<double> link_dxdp_;   // per link: H_ll (<= 0)
+  std::vector<double> link_fixed_;  // per link: sum of fixed-demand rates
 };
 
 }  // namespace ft::core

@@ -216,9 +216,19 @@ AllocatorService::AllocatorService(EpollLoop& loop, core::Allocator& alloc,
       });
       shards_.push_back(std::move(s));
     }
+    shard_cpu_map_ = core::CpuMap::make(cfg_.num_shards, cfg_.pin);
     for (auto& s : shards_) {
       Shard* sp = s.get();
-      sp->thread = std::thread([sp] { sp->loop->run(); });
+      // Shard i co-schedules with FlowBlock row i (§6.1): same CpuMap
+      // layout as the ParallelNed workers, so the row's solver thread
+      // and the I/O shard serving its endpoints share a core.
+      const int cpu = shard_cpu_map_.enabled()
+                          ? shard_cpu_map_.cpu_for_row(sp->index)
+                          : -1;
+      sp->thread = std::thread([sp, cpu] {
+        if (cpu >= 0) core::CpuMap::pin_current_thread(cpu);
+        sp->loop->run();
+      });
     }
   }
   if (cfg_.tcp_port >= 0) setup_tcp_listener();

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "core/allocator.h"
+#include "core/cpu_map.h"
 #include "net/epoll_loop.h"
 #include "net/frame.h"
 #include "net/spsc_queue.h"
@@ -73,6 +74,11 @@ struct ServerConfig {
   int num_shards = 0;
   // Per-direction SPSC ring capacity per shard (entries).
   std::size_t shard_queue_capacity = 1 << 15;
+  // §6.1 co-scheduling: pin shard thread i to the CPU of FlowBlock row i
+  // (same CpuMap layout the ParallelNed workers use), so the I/O shard
+  // serving a block row shares that row's core and cache. Run one shard
+  // per block row for the paper's mapping. No-op when disabled.
+  core::CpuMapConfig pin;
 };
 
 struct ServiceStats {
@@ -126,6 +132,10 @@ class AllocatorService {
   // Number of I/O shard threads (0 = inline mode).
   [[nodiscard]] int num_shards() const {
     return static_cast<int>(shards_.size());
+  }
+  // Shard -> CPU layout in use ("" when pinning is disabled).
+  [[nodiscard]] std::string pinning() const {
+    return shard_cpu_map_.describe();
   }
 
   // Wall-clock microseconds of recent allocation rounds (iteration +
@@ -185,6 +195,7 @@ class AllocatorService {
   // Inline shard (index -1, caller's loop) -- used when num_shards == 0.
   std::unique_ptr<Shard> inline_shard_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  core::CpuMap shard_cpu_map_;  // shard index -> CPU (§6.1 co-scheduling)
   std::size_t next_shard_ = 0;  // round-robin accept assignment
   // Allocation-thread view: which shard owns each live flow key.
   std::unordered_map<std::uint32_t, std::uint32_t> key_shard_;

@@ -162,15 +162,14 @@ TEST_F(AllocatorTest, AllocationsRespectEveryCapacity) {
   // the per-flow allocated rates.
   const auto& problem = alloc_.problem();
   std::vector<double> per_link(problem.num_links(), 0.0);
-  const auto flows = problem.flows();
   std::size_t active = 0;
-  for (std::size_t s = 0; s < flows.size(); ++s) {
-    if (!flows[s].active) continue;
+  for (FlowIndex s = 0; s < problem.num_slots(); ++s) {
+    if (!problem.flow(s).active()) continue;
     ++active;
     // allocated_rate by key: keys were dense 1..key-1 and none ended, so
     // slot order matches insertion order.
     const double r = alloc_.allocated_rate(s + 1);
-    for (std::uint32_t l : flows[s].route()) per_link[l] += r;
+    for (std::uint32_t l : problem.flow(s).route()) per_link[l] += r;
   }
   EXPECT_EQ(active, static_cast<std::size_t>(key - 1));
   for (std::size_t l = 0; l < per_link.size(); ++l) {
@@ -406,6 +405,96 @@ TEST(AllocatorBackendTest, MultiIterationRoundsMatch) {
           << "round " << round << " key " << key;
     }
   }
+}
+
+TEST(AllocatorBackendTest, RuntimeCapacityChangesMatchUnderParallel) {
+  // §7 closed loop under the multicore backend: set_link_capacity at
+  // runtime must keep sequential and parallel allocations equivalent --
+  // the SoA demand-bound refresh walks the link->flow adjacency, and the
+  // parallel engine reads capacities straight from the shared problem.
+  AllocatorConfig acfg;
+  acfg.threshold = 0.0;  // every change notified: strictest comparison
+  BackendPair pair(4, 4, acfg);
+  Rng rng(41);
+  const int hosts = pair.clos.num_hosts();
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t key = 1; key <= 40; ++key) {
+    const auto src = static_cast<int>(rng.below(hosts));
+    auto dst = static_cast<int>(rng.below(hosts - 1));
+    if (dst >= src) ++dst;
+    pair.start_both(key, src, dst);
+    keys.push_back(key);
+  }
+  const std::size_t links = pair.seq.problem().num_links();
+  std::vector<RateUpdate> sink;
+  for (int round = 0; round < 80; ++round) {
+    if (round % 5 == 2) {
+      // Shrink or restore a random link; both allocators see the same
+      // pre-headroom capacity.
+      const auto link = rng.below(links);
+      const double cap = rng.uniform() < 0.5 ? 4e9 : 10e9;
+      pair.seq.set_link_capacity(link, cap);
+      pair.par.set_link_capacity(link, cap);
+    }
+    sink.clear();
+    pair.seq.run_iteration(sink);
+    sink.clear();
+    pair.par.run_iteration(sink);
+    for (const std::uint64_t key : keys) {
+      const double want = pair.seq.allocated_rate(key);
+      ASSERT_NEAR(pair.par.allocated_rate(key), want,
+                  std::max(1.0, want) * 1e-9)
+          << "round " << round << " key " << key;
+    }
+  }
+}
+
+TEST(AllocatorBackendTest, CapacityChangesAndChurnTogetherUnderParallel) {
+  // The combination the service actually produces: flowlet churn
+  // (slot recycling re-mapping grid cells) interleaved with runtime
+  // capacity changes, under the parallel backend.
+  AllocatorConfig acfg;
+  acfg.threshold = 0.0;
+  BackendPair pair(4, 2, acfg);
+  Rng rng(67);
+  const int hosts = pair.clos.num_hosts();
+  const std::size_t links = pair.seq.problem().num_links();
+  std::vector<std::uint64_t> live;
+  std::uint64_t next_key = 1;
+  std::vector<RateUpdate> sink;
+  for (int round = 0; round < 120; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      if (!live.empty() && rng.uniform() < 0.45) {
+        const auto pick = rng.below(live.size());
+        pair.end_both(live[pick]);
+        live[pick] = live.back();
+        live.pop_back();
+      } else {
+        const auto src = static_cast<int>(rng.below(hosts));
+        auto dst = static_cast<int>(rng.below(hosts - 1));
+        if (dst >= src) ++dst;
+        pair.start_both(next_key, src, dst);
+        live.push_back(next_key++);
+      }
+    }
+    if (round % 7 == 3) {
+      const auto link = rng.below(links);
+      const double cap = rng.uniform(3e9, 12e9);
+      pair.seq.set_link_capacity(link, cap);
+      pair.par.set_link_capacity(link, cap);
+    }
+    sink.clear();
+    pair.seq.run_iteration(sink);
+    sink.clear();
+    pair.par.run_iteration(sink);
+    for (const std::uint64_t key : live) {
+      const double want = pair.seq.allocated_rate(key);
+      ASSERT_NEAR(pair.par.allocated_rate(key), want,
+                  std::max(1.0, want) * 1e-9)
+          << "round " << round << " key " << key;
+    }
+  }
+  EXPECT_EQ(pair.par.stats().flowlet_ends, pair.seq.stats().flowlet_ends);
 }
 
 TEST(AllocatorBackendTest, ParallelMatchesSequentialAcrossChurn) {

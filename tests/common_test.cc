@@ -6,6 +6,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/ratecode.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -173,6 +174,92 @@ TEST(WireTest, MinimumFrame) {
 
 TEST(WireTest, FullSegment) {
   EXPECT_EQ(wire_bytes_tcp(kMss), kMss + 40 + 18 + 20);
+}
+
+
+TEST(FlatMapTest, InsertFindErase) {
+  FlatMap64<std::uint32_t> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_TRUE(m.emplace(1, 10));
+  EXPECT_TRUE(m.emplace(2, 20));
+  EXPECT_FALSE(m.emplace(1, 99));  // duplicate rejected, value kept
+  ASSERT_NE(m.find(1), nullptr);
+  EXPECT_EQ(*m.find(1), 10u);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.contains(2));
+  EXPECT_FALSE(m.contains(3));
+  EXPECT_TRUE(m.erase(1));
+  EXPECT_FALSE(m.erase(1));
+  EXPECT_EQ(m.find(1), nullptr);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMapTest, ZeroKeyIsValid) {
+  // Wire-level flow keys can be 0: no sentinel key exists.
+  FlatMap64<int> m;
+  EXPECT_FALSE(m.contains(0));
+  EXPECT_TRUE(m.emplace(0, 7));
+  ASSERT_NE(m.find(0), nullptr);
+  EXPECT_EQ(*m.find(0), 7);
+  EXPECT_TRUE(m.erase(0));
+  EXPECT_FALSE(m.contains(0));
+}
+
+TEST(FlatMapTest, GrowthAndChurnKeepEveryEntryFindable) {
+  FlatMap64<std::uint64_t> m(16);
+  Rng rng(3);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t k = rng.next();
+    if (m.emplace(k, k * 2)) keys.push_back(k);
+    if (keys.size() > 64 && rng.uniform() < 0.4) {
+      const auto pick = rng.below(keys.size());
+      EXPECT_TRUE(m.erase(keys[pick]));
+      keys[pick] = keys.back();
+      keys.pop_back();
+    }
+  }
+  EXPECT_EQ(m.size(), keys.size());
+  for (const std::uint64_t k : keys) {
+    ASSERT_NE(m.find(k), nullptr) << k;
+    EXPECT_EQ(*m.find(k), k * 2);
+  }
+}
+
+TEST(FlatMapTest, BackshiftDeletionSurvivesCollisionClusters) {
+  // Dense sequential keys produce probe clusters; deleting from the
+  // middle of a cluster must keep every remaining probe chain intact
+  // (the backward-shift invariant).
+  FlatMap64<int> m(16);
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    ASSERT_TRUE(m.emplace(k, static_cast<int>(k)));
+  }
+  for (std::uint64_t k = 0; k < 200; k += 3) EXPECT_TRUE(m.erase(k));
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    if (k % 3 == 0) {
+      EXPECT_EQ(m.find(k), nullptr) << k;
+    } else {
+      ASSERT_NE(m.find(k), nullptr) << k;
+      EXPECT_EQ(*m.find(k), static_cast<int>(k));
+    }
+  }
+  // Reinsert the deleted keys: the holes are reusable.
+  for (std::uint64_t k = 0; k < 200; k += 3) {
+    EXPECT_TRUE(m.emplace(k, static_cast<int>(k) + 1000));
+  }
+  EXPECT_EQ(m.size(), 200u);
+}
+
+TEST(FlatMapTest, ReservePreventsRehash) {
+  FlatMap64<int> m;
+  m.reserve(1000);
+  for (std::uint64_t k = 1; k <= 1000; ++k) {
+    ASSERT_TRUE(m.emplace(k * 7919, static_cast<int>(k)));
+  }
+  EXPECT_EQ(m.size(), 1000u);
+  for (std::uint64_t k = 1; k <= 1000; ++k) {
+    ASSERT_NE(m.find(k * 7919), nullptr);
+  }
 }
 
 }  // namespace

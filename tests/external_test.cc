@@ -97,11 +97,11 @@ TEST(SetCapacityTest, AllocationsFollowCapacityChanges) {
 TEST(SetCapacityTest, RateCapAndFloorRefreshed) {
   NumProblem p({10e9, 40e9});
   const FlowIndex f = p.add_flow(route({0, 1}), Utility::log_utility());
-  EXPECT_DOUBLE_EQ(p.flow(f).rate_cap, 10e9);
+  EXPECT_DOUBLE_EQ(p.flow(f).rate_cap(), 10e9);
   p.set_capacity(0, 2e9);
-  EXPECT_DOUBLE_EQ(p.flow(f).rate_cap, 2e9);
+  EXPECT_DOUBLE_EQ(p.flow(f).rate_cap(), 2e9);
   const double expected_floor = 1e9 / (kDemandCapFactor * 2e9);
-  EXPECT_DOUBLE_EQ(p.flow(f).price_floor, expected_floor);
+  EXPECT_DOUBLE_EQ(p.flow(f).price_floor(), expected_floor);
 }
 
 TEST(AllocatorExternalTest, EndToEnd) {

@@ -24,10 +24,9 @@ std::vector<LinkId> route(std::initializer_list<std::uint32_t> ids) {
 std::vector<double> alloc_per_link(const NumProblem& p,
                                    std::span<const double> rates) {
   std::vector<double> alloc(p.num_links(), 0.0);
-  const auto flows = p.flows();
-  for (std::size_t s = 0; s < flows.size(); ++s) {
-    if (!flows[s].active) continue;
-    for (std::uint32_t l : flows[s].route()) alloc[l] += rates[s];
+  for (FlowIndex s = 0; s < p.num_slots(); ++s) {
+    if (!p.flow(s).active()) continue;
+    for (std::uint32_t l : p.flow(s).route()) alloc[l] += rates[s];
   }
   return alloc;
 }
@@ -167,16 +166,16 @@ TEST(FNormTest, ThroughputNearOptimalDuringChurn) {
     u_norm(p, ned.rates(), u_out);
     // Converged reference on a copy of the same flow set.
     NumProblem ref({10e9, 10e9, 10e9, 10e9});
-    const auto flows = p.flows();
-    for (std::size_t s = 0; s < flows.size(); ++s) {
-      if (!flows[s].active) continue;
+    for (FlowIndex s = 0; s < p.num_slots(); ++s) {
+      const FlowView f = p.flow(s);
+      if (!f.active()) continue;
       std::vector<LinkId> r;
-      for (std::uint32_t l : flows[s].route()) r.emplace_back(l);
-      ref.add_flow(r, flows[s].util);
+      for (std::uint32_t l : f.route()) r.emplace_back(l);
+      ref.add_flow(r, f.util());
     }
     const ExactResult opt = solve_exact(ref);
-    for (std::size_t s = 0; s < flows.size(); ++s) {
-      if (!flows[s].active) continue;
+    for (FlowIndex s = 0; s < p.num_slots(); ++s) {
+      if (!p.flow(s).active()) continue;
       f_total += f_out[s];
       u_total += u_out[s];
     }

@@ -333,6 +333,109 @@ TEST(ParallelUtilityTest, AlphaFairAndFixedDemandMatchSequential) {
   }
 }
 
+TEST(CpuMapTest, LayoutAndDescribe) {
+  CpuMapConfig cfg;
+  cfg.enable = true;
+  cfg.cpus = {0, 2, 4};
+  const auto map = CpuMap::make(5, cfg);
+  ASSERT_TRUE(map.enabled());
+  EXPECT_EQ(map.rows(), 5);
+  // Rows wrap round-robin over the explicit CPU list.
+  EXPECT_EQ(map.cpu_for_row(0), 0);
+  EXPECT_EQ(map.cpu_for_row(1), 2);
+  EXPECT_EQ(map.cpu_for_row(2), 4);
+  EXPECT_EQ(map.cpu_for_row(3), 0);
+  EXPECT_EQ(map.describe(), "0,2,4,0,2");
+  // Disabled config -> no-op map.
+  const auto off = CpuMap::make(4, CpuMapConfig{});
+  EXPECT_FALSE(off.enabled());
+  EXPECT_EQ(off.cpu_for_row(0), -1);
+  EXPECT_EQ(off.describe(), "");
+}
+
+TEST(CpuMapTest, DefaultPoolCoversOnlineCpus) {
+  CpuMapConfig cfg;
+  cfg.enable = true;
+  const int ncpu = CpuMap::num_cpus();
+  const auto map = CpuMap::make(2 * ncpu, cfg);
+  ASSERT_TRUE(map.enabled());
+  for (std::int32_t r = 0; r < map.rows(); ++r) {
+    EXPECT_GE(map.cpu_for_row(r), 0);
+    EXPECT_LT(map.cpu_for_row(r), ncpu);
+  }
+  // NUMA discovery always yields at least one node covering the CPUs.
+  const auto nodes = CpuMap::numa_nodes();
+  ASSERT_FALSE(nodes.empty());
+  std::size_t total = 0;
+  for (const auto& n : nodes) total += n.size();
+  EXPECT_GE(total, static_cast<std::size_t>(ncpu));
+}
+
+TEST(CpuMapTest, ParseCpulist) {
+  std::vector<int> cpus;
+  EXPECT_TRUE(CpuMap::parse_cpulist("0-3,8,10-11", cpus));
+  EXPECT_EQ(cpus, (std::vector<int>{0, 1, 2, 3, 8, 10, 11}));
+  cpus.clear();
+  EXPECT_TRUE(CpuMap::parse_cpulist("5", cpus));
+  EXPECT_EQ(cpus, (std::vector<int>{5}));
+  cpus.clear();
+  EXPECT_TRUE(CpuMap::parse_cpulist("", cpus));
+  EXPECT_TRUE(cpus.empty());
+  cpus.clear();
+  EXPECT_FALSE(CpuMap::parse_cpulist("1,x", cpus));
+  cpus.clear();
+  EXPECT_FALSE(CpuMap::parse_cpulist("3-", cpus));
+  cpus.clear();
+  EXPECT_FALSE(CpuMap::parse_cpulist("5-3", cpus));
+  cpus.clear();
+  EXPECT_FALSE(CpuMap::parse_cpulist("-2", cpus));
+}
+
+TEST(CpuMapTest, PinCurrentThreadOnCpu0) {
+  // CPU 0 always exists; pinning the calling thread must succeed on
+  // Linux (and is allowed to report false elsewhere).
+#if defined(__linux__)
+  EXPECT_TRUE(CpuMap::pin_current_thread(0));
+#endif
+  EXPECT_FALSE(CpuMap::pin_current_thread(-1));
+}
+
+TEST(ParallelPinnedTest, PinnedWorkersMatchSequential) {
+  // §6.1 pinning changes scheduling only: the pinned engine must stay
+  // bit-identical (same worker arithmetic, same aggregation order) to
+  // the sequential solver within fp summation order.
+  Instance inst(8, 2, 2, 4);
+  const auto specs = random_flows(inst, 60, 911);
+
+  NumProblem seq_p(inst.caps);
+  NedSolver seq(seq_p, 1.0);
+  for (const auto& s : specs) {
+    seq_p.add_flow(s.route, Utility::log_utility());
+  }
+
+  NumProblem par_p(inst.caps);
+  ParallelConfig cfg;
+  cfg.num_blocks = 4;
+  cfg.num_threads = 4;  // one thread per block row
+  cfg.pin.enable = true;
+  ParallelNed par(par_p, inst.part, cfg);
+  EXPECT_FALSE(par.pinning().empty());
+  for (const auto& s : specs) {
+    const FlowIndex idx = par_p.add_flow(s.route, Utility::log_utility());
+    par.assign_flow(idx, s.src_block, s.dst_block);
+  }
+
+  for (int it = 0; it < 40; ++it) {
+    seq.iterate();
+    par.iterate();
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      ASSERT_NEAR(par.rates()[s], seq.rates()[s],
+                  std::max(1.0, seq.rates()[s]) * 1e-9)
+          << "iter " << it << " flow " << s;
+    }
+  }
+}
+
 TEST(ParallelTimingTest, ReportsIterationTime) {
   Instance inst(4, 2, 2, 2);
   NumProblem p(inst.caps);

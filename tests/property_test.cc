@@ -62,11 +62,10 @@ TEST_P(UtilityFamilyP, ExactSolutionSatisfiesKkt) {
   EXPECT_LT(res.kkt_residual, 2e-3);
   // Feasibility explicitly.
   std::vector<double> alloc(p.num_links(), 0.0);
-  const auto flows = p.flows();
-  for (std::size_t s = 0; s < flows.size(); ++s) {
-    if (!flows[s].active) continue;
+  for (FlowIndex s = 0; s < p.num_slots(); ++s) {
+    if (!p.flow(s).active()) continue;
     EXPECT_GT(res.rates[s], 0.0);
-    for (std::uint32_t l : flows[s].route()) alloc[l] += res.rates[s];
+    for (std::uint32_t l : p.flow(s).route()) alloc[l] += res.rates[s];
   }
   for (std::size_t l = 0; l < p.num_links(); ++l) {
     EXPECT_LE(alloc[l], p.capacity(l) * (1 + 1e-4));
@@ -134,10 +133,9 @@ TEST_P(FNormFamilyP, FeasibleForAllUtilityFamilies) {
     if ((it & (it - 1)) != 0) continue;  // powers of two
     f_norm(p, ned.rates(), out);
     std::vector<double> alloc(p.num_links(), 0.0);
-    const auto flows = p.flows();
-    for (std::size_t s = 0; s < flows.size(); ++s) {
-      if (!flows[s].active) continue;
-      for (std::uint32_t l : flows[s].route()) alloc[l] += out[s];
+    for (FlowIndex s = 0; s < p.num_slots(); ++s) {
+      if (!p.flow(s).active()) continue;
+      for (std::uint32_t l : p.flow(s).route()) alloc[l] += out[s];
     }
     for (std::size_t l = 0; l < p.num_links(); ++l) {
       ASSERT_LE(alloc[l], p.capacity(l) * (1 + 1e-9))

@@ -236,11 +236,10 @@ TEST(ExactTest, ObjectiveIsMaximal) {
   const ExactResult res = solve_exact(p);
   ASSERT_TRUE(res.converged);
   Rng rng(7);
-  const auto flows = p.flows();
   for (int trial = 0; trial < 50; ++trial) {
     std::vector<double> perturbed = res.rates;
-    for (std::size_t s = 0; s < flows.size(); ++s) {
-      if (!flows[s].active) continue;
+    for (FlowIndex s = 0; s < p.num_slots(); ++s) {
+      if (!p.flow(s).active()) continue;
       perturbed[s] =
           std::max(1.0, perturbed[s] * rng.uniform(0.9, 0.999));
     }
@@ -347,9 +346,8 @@ TEST(RtTest, NedRtTracksReference) {
     ref.iterate();
     rt.iterate();
   }
-  const auto flows = pr.flows();
-  for (std::size_t s = 0; s < flows.size(); ++s) {
-    if (!flows[s].active) continue;
+  for (FlowIndex s = 0; s < pr.num_slots(); ++s) {
+    if (!pr.flow(s).active()) continue;
     EXPECT_NEAR(rt.rates()[s], ref.rates()[s],
                 std::max(1e6, ref.rates()[s] * 0.02))
         << "slot " << s;
@@ -365,9 +363,8 @@ TEST(RtTest, GradientRtTracksReference) {
     ref.iterate();
     rt.iterate();
   }
-  const auto flows = pr.flows();
-  for (std::size_t s = 0; s < flows.size(); ++s) {
-    if (!flows[s].active) continue;
+  for (FlowIndex s = 0; s < pr.num_slots(); ++s) {
+    if (!pr.flow(s).active()) continue;
     EXPECT_NEAR(rt.rates()[s], ref.rates()[s],
                 std::max(1e6, ref.rates()[s] * 0.02));
   }
@@ -393,7 +390,7 @@ TEST(ProblemTest, SlotReuseAfterRemoval) {
 TEST(ProblemTest, RateCapIsBottleneck) {
   NumProblem p({10e9, 40e9, 20e9});
   const FlowIndex f = p.add_flow(route({1, 2}), {});
-  EXPECT_DOUBLE_EQ(p.flow(f).rate_cap, 20e9);
+  EXPECT_DOUBLE_EQ(p.flow(f).rate_cap(), 20e9);
 }
 
 TEST(ProblemTest, VersionBumpsOnChurn) {
@@ -404,6 +401,78 @@ TEST(ProblemTest, VersionBumpsOnChurn) {
   const auto v1 = p.version();
   p.remove_flow(f);
   EXPECT_GT(p.version(), v1);
+}
+
+
+TEST(ProblemTest, LinkFlowAdjacencyTracksChurn) {
+  // The CSR-style link->flow adjacency must stay exact under add/remove
+  // with slot recycling: each link lists exactly the active flows
+  // traversing it, with correct route positions.
+  NumProblem p({1e9, 2e9, 3e9});
+  const auto check = [&] {
+    for (std::size_t l = 0; l < p.num_links(); ++l) {
+      for (const std::uint32_t e : p.link_flows(l)) {
+        const FlowIndex s = NumProblem::adj_slot(e);
+        const std::uint32_t i = NumProblem::adj_route_idx(e);
+        ASSERT_TRUE(p.flow(s).active());
+        ASSERT_LT(i, p.flow(s).route().size());
+        EXPECT_EQ(p.flow(s).route()[i], l);
+      }
+    }
+    // Every active flow's links appear exactly once.
+    for (FlowIndex s = 0; s < p.num_slots(); ++s) {
+      if (!p.flow(s).active()) continue;
+      for (std::uint32_t l : p.flow(s).route()) {
+        int hits = 0;
+        for (const std::uint32_t e : p.link_flows(l)) {
+          if (NumProblem::adj_slot(e) == s) ++hits;
+        }
+        EXPECT_EQ(hits, 1) << "slot " << s << " link " << l;
+      }
+    }
+  };
+  const FlowIndex a = p.add_flow(route({0, 1}), {});
+  const FlowIndex b = p.add_flow(route({1, 2}), {});
+  const FlowIndex c = p.add_flow(route({0, 2}), {});
+  check();
+  EXPECT_EQ(p.link_flows(1).size(), 2u);
+  p.remove_flow(b);
+  check();
+  EXPECT_EQ(p.link_flows(1).size(), 1u);
+  const FlowIndex d = p.add_flow(route({1}), {});  // recycles b's slot
+  EXPECT_EQ(d, b);
+  check();
+  p.remove_flow(a);
+  p.remove_flow(c);
+  p.remove_flow(d);
+  for (std::size_t l = 0; l < p.num_links(); ++l) {
+    EXPECT_TRUE(p.link_flows(l).empty());
+  }
+}
+
+TEST(ProblemTest, SetCapacityRefreshesOnlyFlowsOnLink) {
+  NumProblem p({10e9, 20e9});
+  const FlowIndex on = p.add_flow(route({0, 1}), {});
+  const FlowIndex off = p.add_flow(route({1}), {});
+  EXPECT_DOUBLE_EQ(p.flow(on).rate_cap(), 10e9);
+  EXPECT_DOUBLE_EQ(p.flow(off).rate_cap(), 20e9);
+  p.set_capacity(0, 4e9);
+  EXPECT_DOUBLE_EQ(p.flow(on).rate_cap(), 4e9);
+  EXPECT_DOUBLE_EQ(p.flow(off).rate_cap(), 20e9);
+  // Demand bound moved with the new bottleneck.
+  const Utility u = p.flow(on).util();
+  EXPECT_DOUBLE_EQ(p.flow(on).price_floor(),
+                   u.weight / std::pow(kDemandCapFactor * 4e9, u.alpha));
+}
+
+TEST(ProblemTest, ReservePreSizesSlotArrays) {
+  NumProblem p({1e9});
+  p.reserve(64);
+  std::vector<FlowIndex> slots;
+  for (int i = 0; i < 64; ++i) slots.push_back(p.add_flow(route({0}), {}));
+  EXPECT_EQ(p.num_active(), 64u);
+  for (const FlowIndex s : slots) p.remove_flow(s);
+  EXPECT_EQ(p.num_active(), 0u);
 }
 
 }  // namespace
