@@ -21,6 +21,7 @@
 //   $ ./bench_net_throughput --messages=400000 --batch=256 --unix=1
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "bench_util.h"
@@ -32,6 +33,9 @@
 #include "net/client.h"
 #include "net/epoll_loop.h"
 #include "net/server.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/stats_socket.h"
 #include "topo/clos.h"
 #include "topo/partition.h"
 
@@ -46,8 +50,10 @@ std::vector<double> caps_of(const topo::ClosTopology& clos) {
 }
 
 core::Allocator make_allocator(const topo::ClosTopology& clos,
-                               int alloc_threads, bool pin_cores) {
+                               int alloc_threads, bool pin_cores,
+                               obs::MetricsRegistry* reg = nullptr) {
   core::AllocatorConfig acfg;
+  acfg.metrics = reg;
   if (alloc_threads <= 0) {
     return core::Allocator(caps_of(clos), acfg);
   }
@@ -62,11 +68,27 @@ core::Allocator make_allocator(const topo::ClosTopology& clos,
           pcfg));
 }
 
+// Round-phase attribution (src/obs/ histograms): where a round's p99
+// actually goes -- shard-event ingest, NED solve, update emission, or
+// the per-endpoint fan-out -- instead of one opaque round number.
+inline constexpr const char* kPhaseMetrics[] = {
+    "svc.ingest_us", "core.solve_us", "core.emit_us", "svc.fanout_us"};
+
+struct PhaseLat {
+  const char* metric = nullptr;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::uint64_t count = 0;
+};
+
 struct FanoutResult {
   double msgs_per_sec = -1.0;
   double round_p50_us = 0.0;
   double round_p99_us = 0.0;
   std::uint64_t queue_drops = 0;
+  std::vector<PhaseLat> phases;
+  // Mid-run "json" scrape off the live stats socket ("" if not taken).
+  std::string snapshot_json;
 };
 
 // One fan-out run: `nclients` agent threads blast start/end churn at a
@@ -77,10 +99,14 @@ struct FanoutResult {
 FanoutResult run_fanout(const topo::ClosTopology& clos, int nclients,
                         std::int64_t messages_per_client,
                         std::int64_t batch, bool use_unix, int shards,
-                        int alloc_threads, bool pin_cores) {
-  core::Allocator alloc = make_allocator(clos, alloc_threads, pin_cores);
+                        int alloc_threads, bool pin_cores,
+                        bool live_scrape = false) {
+  obs::MetricsRegistry reg;  // shared by allocator + service (one scrape)
+  core::Allocator alloc =
+      make_allocator(clos, alloc_threads, pin_cores, &reg);
   net::EpollLoop loop;
   net::ServerConfig scfg;
+  scfg.metrics = &reg;
   scfg.pin.enable = pin_cores;
   scfg.tcp_port = use_unix ? -1 : 0;
   if (use_unix) {
@@ -91,6 +117,13 @@ FanoutResult run_fanout(const topo::ClosTopology& clos, int nclients,
   scfg.iteration_period_us = 100;  // timer-driven rounds
   scfg.num_shards = shards;
   net::AllocatorService svc(loop, alloc, clos, scfg);
+  // Live stats plane, scraped mid-run below exactly as an operator
+  // would (served by the service thread's loop).
+  std::unique_ptr<obs::StatsSocket> stats_sock;
+  const std::string stats_path = "/tmp/flowtune_bench_stats.sock";
+  if (live_scrape) {
+    stats_sock = std::make_unique<obs::StatsSocket>(loop, stats_path, reg);
+  }
 
   const std::int64_t expected =
       static_cast<std::int64_t>(nclients) * messages_per_client;
@@ -170,9 +203,29 @@ FanoutResult run_fanout(const topo::ClosTopology& clos, int nclients,
       agent.disconnect();
     });
   }
+  FanoutResult r;
+  if (live_scrape) {
+    // Wait until the run is demonstrably underway, then pull a "json"
+    // snapshot through the socket while shards and clients are hot. The
+    // service thread stops ticking its loop once everything is
+    // consumed, so only scrape while the run is live (the scrape helper
+    // itself has a receive timeout as a backstop).
+    while (!all_consumed.load(std::memory_order_acquire) &&
+           static_cast<std::int64_t>(svc.stats().flowlet_starts) <
+               expected / 4) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (!all_consumed.load(std::memory_order_acquire)) {
+      r.snapshot_json = obs::scrape_stats_socket(stats_path, "json");
+    }
+  }
   for (auto& t : clients) t.join();
   service.join();
-  FanoutResult r;
+  if (live_scrape && r.snapshot_json.empty()) {
+    // The run beat the scraper (tiny --fanout-messages): snapshot the
+    // registry directly so the artifact is never empty.
+    r.snapshot_json = obs::to_json(reg);
+  }
   if (failed.load(std::memory_order_relaxed)) return r;
   const double secs =
       static_cast<double>(t_end_us.load(std::memory_order_relaxed) - t0) /
@@ -183,6 +236,10 @@ FanoutResult run_fanout(const topo::ClosTopology& clos, int nclients,
   r.round_p50_us = lat.p50();
   r.round_p99_us = lat.p99();
   r.queue_drops = svc.stats().queue_drops;
+  for (const char* name : kPhaseMetrics) {
+    const obs::HistoSnapshot h = reg.histo(name).snapshot();
+    r.phases.push_back({name, h.p50(), h.p99(), h.count});
+  }
   return r;
 }
 
@@ -246,6 +303,10 @@ int main(int argc, char** argv) {
   const auto json_path = flags.string_flag(
       "json", "BENCH_net_throughput.json",
       "machine-readable results file (empty disables)");
+  const auto snapshot_path = flags.string_flag(
+      "metrics-snapshot", "metrics_snapshot.json",
+      "write a mid-run stats-socket scrape of the largest fan-out "
+      "config here (empty disables)");
   const bool pin_cores = flags.bool_flag(
       "pin-cores", false,
       "pin solver workers by FlowBlock row and I/O shards to the same "
@@ -459,10 +520,20 @@ int main(int argc, char** argv) {
                            "round p50", "round p99"});
     double base = 0.0;
     double best_sharded = 0.0;
+    std::vector<PhaseLat> last_phases;
+    std::string snapshot_json;
     for (const Config& c : sweep) {
+      // Scrape the live stats plane during the largest config's run.
+      const bool live_scrape =
+          !snapshot_path.empty() && &c == &sweep.back();
       const FanoutResult r =
           run_fanout(clos, nclients, fanout_messages / nclients, batch,
-                     use_unix, c.shards, c.alloc_threads, pin_cores);
+                     use_unix, c.shards, c.alloc_threads, pin_cores,
+                     live_scrape);
+      if (live_scrape) {
+        last_phases = r.phases;
+        snapshot_json = r.snapshot_json;
+      }
       auto& j = json.append("fanout");
       j.set("shards", c.shards);
       j.set("alloc_threads", c.alloc_threads);
@@ -484,6 +555,13 @@ int main(int argc, char** argv) {
       j.set("round_p50_us", r.round_p50_us);
       j.set("round_p99_us", r.round_p99_us);
       j.set("queue_drops", r.queue_drops);
+      auto& pj = j.child("phases");
+      for (const PhaseLat& p : r.phases) {
+        auto& e = pj.child(p.metric);
+        e.set("p50_us", p.p50_us);
+        e.set("p99_us", p.p99_us);
+        e.set("count", p.count);
+      }
       ft_table.add_row(
           {bench::fmt("%d", c.shards), bench::fmt("%d", c.alloc_threads),
            bench::fmt("%d", nclients),
@@ -495,6 +573,26 @@ int main(int argc, char** argv) {
     ft_table.print();
     json.set("fanout_base_msgs_per_sec", base);
     json.set("fanout_best_sharded_msgs_per_sec", best_sharded);
+    if (!last_phases.empty()) {
+      std::printf("\nround latency attribution (largest config):\n");
+      bench::Table pt({"phase", "p50", "p99", "samples"});
+      for (const PhaseLat& p : last_phases) {
+        pt.add_row({p.metric, bench::fmt("%.1f us", p.p50_us),
+                    bench::fmt("%.1f us", p.p99_us),
+                    bench::fmt("%llu",
+                               static_cast<unsigned long long>(p.count))});
+      }
+      pt.print();
+    }
+    if (!snapshot_path.empty() && !snapshot_json.empty()) {
+      if (std::FILE* f = std::fopen(snapshot_path.c_str(), "w")) {
+        std::fwrite(snapshot_json.data(), 1, snapshot_json.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("mid-run metrics snapshot -> %s\n",
+                    snapshot_path.c_str());
+      }
+    }
     // The acceptance bar -- >= 2x over the single-threaded service with
     // >= 4 shards at N=8 clients -- only binds where the hardware has
     // the cores to show it (clients + shards + service comfortably

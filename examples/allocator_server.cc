@@ -26,6 +26,10 @@
 #include "net/client.h"
 #include "net/epoll_loop.h"
 #include "net/server.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/stats_socket.h"
+#include "obs/trace.h"
 #include "topo/clos.h"
 #include "topo/partition.h"
 
@@ -86,6 +90,21 @@ int main(int argc, char** argv) {
       "spread block rows round-robin across NUMA nodes when pinning");
   const auto stats_sec =
       flags.double_flag("stats-sec", 5, "stats print interval (s)");
+  const auto stats_socket_path = flags.string_flag(
+      "stats-socket", "",
+      "live stats plane: Unix socket serving metric snapshots "
+      "(echo json|prom|trace | nc -U <path>)");
+  const auto stats_interval = flags.double_flag(
+      "stats-interval", 0,
+      "periodic JSON metrics snapshot interval (s; 0 disables)");
+  const auto stats_file = flags.string_flag(
+      "stats-file", "",
+      "write --stats-interval snapshots here (overwritten each time) "
+      "instead of stderr");
+  const auto trace_out = flags.string_flag(
+      "trace-out", "",
+      "enable phase tracing and dump chrome://tracing JSON here on "
+      "shutdown");
   flags.done(
       "Flowtune allocator daemon: serves endpoint agents over TCP/Unix "
       "sockets, runs the NED+F-NORM round every --period-us. "
@@ -139,6 +158,14 @@ int main(int argc, char** argv) {
   }
   scfg.pin = pin;
 
+  // One shared registry for the whole daemon: core.* (allocator +
+  // backend), net.* (service shards), svc.* (round phases) all land in
+  // the same snapshot the stats plane serves.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  acfg.metrics = &reg;
+  scfg.metrics = &reg;
+  if (!trace_out.empty()) obs::PhaseTracer::set_enabled(true);
+
   std::unique_ptr<core::Allocator> alloc_holder;
   if (alloc_threads > 0) {
     core::ParallelConfig pcfg;
@@ -160,7 +187,13 @@ int main(int argc, char** argv) {
   }
 
   net::EpollLoop loop;
+  loop.bind_metrics(reg, "net.alloc");
   net::AllocatorService svc(loop, alloc, clos, scfg);
+  std::unique_ptr<obs::StatsSocket> stats_socket;
+  if (!stats_socket_path.empty()) {
+    stats_socket =
+        std::make_unique<obs::StatsSocket>(loop, stats_socket_path, reg);
+  }
   g_loop = &loop;
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
@@ -185,6 +218,26 @@ int main(int argc, char** argv) {
               static_cast<long long>(scfg.iteration_period_us), acfg.gamma,
               acfg.threshold);
 
+  if (stats_socket != nullptr) {
+    std::printf("  stats %s\n", stats_socket_path.c_str());
+  }
+
+  const auto snap_period_us =
+      static_cast<std::int64_t>(stats_interval * 1e6);
+  if (snap_period_us > 0) {
+    loop.add_periodic(snap_period_us, [&] {
+      const std::string doc = obs::to_json(reg);
+      if (stats_file.empty()) {
+        std::fwrite(doc.data(), 1, doc.size(), stderr);
+        std::fputc('\n', stderr);
+      } else if (std::FILE* f = std::fopen(stats_file.c_str(), "w")) {
+        std::fwrite(doc.data(), 1, doc.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+      }
+    });
+  }
+
   const auto stats_period_us = static_cast<std::int64_t>(stats_sec * 1e6);
   if (stats_period_us > 0) {
     loop.add_periodic(stats_period_us, [&] {
@@ -207,6 +260,14 @@ int main(int argc, char** argv) {
   }
 
   loop.run();
+  if (!trace_out.empty()) {
+    if (obs::PhaseTracer::dump_json(trace_out)) {
+      std::printf("phase trace written to %s\n", trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   trace_out.c_str());
+    }
+  }
   std::printf("shutting down: %llu flowlet starts, %llu iterations\n",
               static_cast<unsigned long long>(svc.stats().flowlet_starts),
               static_cast<unsigned long long>(svc.stats().iterations));

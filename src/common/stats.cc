@@ -46,18 +46,31 @@ void StreamingStats::merge(const StreamingStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+namespace {
+
+double percentile_of_sorted(const std::vector<double>& v, double q) {
+  const double rank = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+}  // namespace
+
+void PercentileSampler::sort() {
+  if (sorted_) return;
+  std::sort(values_.begin(), values_.end());
+  sorted_ = true;
+}
+
 double PercentileSampler::percentile(double q) const {
   if (values_.empty()) return 0.0;
   FT_CHECK(q >= 0.0 && q <= 1.0);
-  if (!sorted_) {
-    std::sort(values_.begin(), values_.end());
-    sorted_ = true;
-  }
-  const double rank = q * static_cast<double>(values_.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, values_.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+  if (sorted_) return percentile_of_sorted(values_, q);
+  std::vector<double> copy(values_);
+  std::sort(copy.begin(), copy.end());
+  return percentile_of_sorted(copy, q);
 }
 
 double PercentileSampler::mean() const {

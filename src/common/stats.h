@@ -34,6 +34,13 @@ class StreamingStats {
 // Exact percentile computation over a stored sample set. The simulation
 // experiments need trustworthy p99s over at most a few million samples, so
 // storing values and sorting on demand is both exact and cheap enough.
+//
+// percentile() is genuinely const: it never touches the stored samples
+// (an earlier version cached a sort through `mutable` members, which
+// made two concurrent percentile() calls on a shared sampler a data
+// race). When the sampler is unsorted it sorts a local copy; call
+// sort() once after the last add() to make subsequent percentile()
+// calls copy-free.
 class PercentileSampler {
  public:
   void add(double x) {
@@ -44,6 +51,9 @@ class PercentileSampler {
     values_.clear();
     sorted_ = false;
   }
+  // Sorts the stored samples in place so percentile() takes the
+  // zero-copy path; idempotent. Not thread-safe (unlike percentile()).
+  void sort();
 
   [[nodiscard]] std::size_t count() const { return values_.size(); }
   [[nodiscard]] bool empty() const { return values_.empty(); }
@@ -58,8 +68,8 @@ class PercentileSampler {
   void merge(const PercentileSampler& other);
 
  private:
-  mutable std::vector<double> values_;
-  mutable bool sorted_ = false;
+  std::vector<double> values_;
+  bool sorted_ = false;
 };
 
 // Fixed-width time-series accumulator: sums values into uniform time bins.

@@ -6,8 +6,31 @@
 
 #include "common/check.h"
 #include "common/ratecode.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ft::core {
+
+// Registry handles resolved once at construction; every hot-path
+// recording below is a relaxed striped-atomic touch (no lock, no heap).
+struct Allocator::Metrics {
+  obs::Counter& flowlet_starts;
+  obs::Counter& flowlet_ends;
+  obs::Counter& iterations;
+  obs::Counter& updates_emitted;
+  obs::Counter& updates_suppressed;
+  obs::LatencyHisto& solve_us;  // backend solve + normalize per round
+  obs::LatencyHisto& emit_us;   // thresholded emission sweep per round
+
+  explicit Metrics(obs::MetricsRegistry& reg)
+      : flowlet_starts(reg.counter("core.flowlet_starts")),
+        flowlet_ends(reg.counter("core.flowlet_ends")),
+        iterations(reg.counter("core.iterations")),
+        updates_emitted(reg.counter("core.updates_emitted")),
+        updates_suppressed(reg.counter("core.updates_suppressed")),
+        solve_us(reg.histo("core.solve_us")),
+        emit_us(reg.histo("core.emit_us")) {}
+};
 
 Allocator::Allocator(std::vector<double> link_capacities_bps,
                      AllocatorConfig cfg)
@@ -24,6 +47,26 @@ Allocator::Allocator(std::vector<double> link_capacities_bps,
   }
   backend_ = backend(problem_, cfg_.gamma, cfg_.norm);
   FT_CHECK(backend_ != nullptr);
+  if (cfg_.metrics != nullptr) {
+    metrics_ = cfg_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  m_ = std::make_unique<Metrics>(*metrics_);
+  backend_->bind_metrics(*metrics_);
+}
+
+Allocator::~Allocator() = default;
+
+AllocatorStats Allocator::stats() const {
+  AllocatorStats s;
+  s.flowlet_starts = m_->flowlet_starts.value();
+  s.flowlet_ends = m_->flowlet_ends.value();
+  s.iterations = m_->iterations.value();
+  s.updates_emitted = m_->updates_emitted.value();
+  s.updates_suppressed = m_->updates_suppressed.value();
+  return s;
 }
 
 void Allocator::reserve(std::size_t flows) {
@@ -59,7 +102,7 @@ bool Allocator::flowlet_start(std::uint64_t key,
   }
   slot_to_key_[slot] = key;
   last_notified_[slot] = -1.0;
-  ++stats_.flowlet_starts;
+  m_->flowlet_starts.add(1);
   return true;
 }
 
@@ -78,13 +121,16 @@ bool Allocator::flowlet_end(std::uint64_t key) {
   problem_.remove_flow(*slot);
   last_notified_[*slot] = -1.0;
   key_to_slot_.erase(key);
-  ++stats_.flowlet_ends;
+  m_->flowlet_ends.add(1);
   return true;
 }
 
 void Allocator::run_iteration(std::vector<RateUpdate>& out) {
+  const std::int64_t t0 = obs::now_us();
   backend_->solve(cfg_.iters_per_round);
-  ++stats_.iterations;
+  const std::int64_t t1 = obs::now_us();
+  m_->solve_us.record_signed(t1 - t0);
+  m_->iterations.add(1);
 
   const std::span<const double> norm_rates = backend_->norm_rates();
   const std::size_t slots = problem_.num_slots();
@@ -93,6 +139,10 @@ void Allocator::run_iteration(std::vector<RateUpdate>& out) {
   // notified) so the emission loop never reallocates mid-round; with a
   // recycled `out` this is a steady-state no-op.
   out.reserve(out.size() + problem_.num_active());
+  // Per-update counts accumulate locally and hit the striped counters
+  // once per round: the 100k-flow emission sweep stays atomics-free.
+  std::uint64_t emitted = 0;
+  std::uint64_t suppressed = 0;
   for (std::size_t s = 0; s < slots; ++s) {
     if (len[s] == 0) continue;
     const double rate = norm_rates[s];
@@ -104,7 +154,7 @@ void Allocator::run_iteration(std::vector<RateUpdate>& out) {
         first || rate > last * (1.0 + cfg_.threshold) ||
         rate < last * (1.0 - cfg_.threshold);
     if (!notify) {
-      ++stats_.updates_suppressed;
+      ++suppressed;
       continue;
     }
     RateUpdate u;
@@ -113,7 +163,15 @@ void Allocator::run_iteration(std::vector<RateUpdate>& out) {
     u.rate_bps = decode_rate(u.rate_code);
     out.push_back(u);
     last_notified_[s] = u.rate_bps;
-    ++stats_.updates_emitted;
+    ++emitted;
+  }
+  const std::int64_t t2 = obs::now_us();
+  m_->emit_us.record_signed(t2 - t1);
+  m_->updates_emitted.add(emitted);
+  m_->updates_suppressed.add(suppressed);
+  if (obs::PhaseTracer::enabled()) {
+    obs::PhaseTracer::record("core.solve", t0, t1 - t0);
+    obs::PhaseTracer::record("core.emit", t1, t2 - t1);
   }
 }
 

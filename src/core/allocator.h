@@ -24,6 +24,10 @@
 #include "core/normalizer.h"
 #include "core/problem.h"
 
+namespace ft::obs {
+class MetricsRegistry;
+}  // namespace ft::obs
+
 namespace ft::core {
 
 struct RateUpdate {
@@ -39,8 +43,15 @@ struct AllocatorConfig {
   int iters_per_round = 1;
   Utility default_util = Utility::log_utility();
   bool reserve_headroom = true;
+  // Telemetry sink (src/obs/). When null the allocator owns a private
+  // registry, so per-instance stats() stays exact either way; the daemon
+  // passes a shared registry so core.* metrics land on its stats plane.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
+// Point-in-time view assembled from the allocator's registry counters
+// (core.flowlet_starts etc.); kept as a plain struct so existing callers
+// read fields exactly as before the registry unification.
 struct AllocatorStats {
   std::uint64_t flowlet_starts = 0;
   std::uint64_t flowlet_ends = 0;
@@ -56,6 +67,7 @@ class Allocator {
   // after headroom scaling, so the backend sees final capacities.
   Allocator(std::vector<double> link_capacities_bps, AllocatorConfig cfg,
             BackendFactory backend);
+  ~Allocator();
   // Not movable: the backend holds a reference to problem_ (prvalue
   // returns still work through guaranteed copy elision).
   Allocator(const Allocator&) = delete;
@@ -112,7 +124,11 @@ class Allocator {
   // Most recent normalized rate (pre-threshold) for a flow.
   [[nodiscard]] double allocated_rate(std::uint64_t key) const;
 
-  [[nodiscard]] const AllocatorStats& stats() const { return stats_; }
+  [[nodiscard]] AllocatorStats stats() const;
+  // The registry this allocator records into (cfg.metrics, or the
+  // private one): core.solve_us / core.emit_us round-phase histograms,
+  // backend timing, and the counters behind stats().
+  [[nodiscard]] obs::MetricsRegistry& metrics() const { return *metrics_; }
   [[nodiscard]] const AllocatorConfig& config() const { return cfg_; }
   [[nodiscard]] const NumProblem& problem() const { return problem_; }
   [[nodiscard]] const SolveBackend& backend() const { return *backend_; }
@@ -121,10 +137,14 @@ class Allocator {
   }
 
  private:
+  struct Metrics;  // resolved registry handles (allocator.cc)
+
   AllocatorConfig cfg_;
   NumProblem problem_;
   std::unique_ptr<SolveBackend> backend_;
-  AllocatorStats stats_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // when cfg has none
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::unique_ptr<Metrics> m_;
   // Open-addressing flat map (common/flat_map.h): key lookups on the
   // churn and notification hot paths never touch the heap.
   FlatMap64<FlowIndex> key_to_slot_;

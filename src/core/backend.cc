@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "core/ned.h"
+#include "obs/metrics.h"
 
 namespace ft::core {
 namespace {
@@ -18,7 +19,9 @@ class SequentialNedBackend final : public SolveBackend {
   void flow_removed(FlowIndex) override {}
 
   void solve(int iters) override {
+    const std::int64_t t0 = ned_us_ != nullptr ? obs::now_us() : 0;
     for (int i = 0; i < iters; ++i) ned_.iterate();
+    const std::int64_t t1 = ned_us_ != nullptr ? obs::now_us() : 0;
     norm_rates_.resize(problem_.num_slots());
     // Reused scratch: steady-state rounds perform no heap allocation.
     // F-NORM reuses the solver's per-link accumulators from the final
@@ -29,6 +32,15 @@ class SequentialNedBackend final : public SolveBackend {
     } else {
       normalize(norm_, problem_, ned_.rates(), norm_rates_, scratch_);
     }
+    if (ned_us_ != nullptr) {
+      ned_us_->record_signed(t1 - t0);
+      norm_us_->record_signed(obs::now_us() - t1);
+    }
+  }
+
+  void bind_metrics(obs::MetricsRegistry& reg) override {
+    ned_us_ = &reg.histo("core.ned_us");
+    norm_us_ = &reg.histo("core.norm_us");
   }
 
   [[nodiscard]] std::span<const double> norm_rates() const override {
@@ -42,6 +54,8 @@ class SequentialNedBackend final : public SolveBackend {
   NormKind norm_;
   std::vector<double> norm_rates_;
   NormScratch scratch_;
+  obs::LatencyHisto* ned_us_ = nullptr;   // NED iteration time per round
+  obs::LatencyHisto* norm_us_ = nullptr;  // normalization time per round
 };
 
 class ParallelNedBackend final : public SolveBackend {
@@ -89,6 +103,11 @@ class ParallelNedBackend final : public SolveBackend {
     return norm_ == NormKind::kPerFlow ? par_->norm_rates()
                                        : par_->rates();
   }
+
+  void bind_metrics(obs::MetricsRegistry& reg) override {
+    par_->bind_metrics(reg);
+  }
+
   [[nodiscard]] const char* name() const override { return "parallel"; }
 
  private:

@@ -25,6 +25,10 @@
 #include "core/parallel.h"
 #include "core/problem.h"
 
+namespace ft::obs {
+class MetricsRegistry;
+}  // namespace ft::obs
+
 namespace ft::core {
 
 class SolveBackend {
@@ -43,6 +47,12 @@ class SolveBackend {
   // are unspecified).
   virtual void solve(int iters) = 0;
   [[nodiscard]] virtual std::span<const double> norm_rates() const = 0;
+
+  // Resolves backend-specific metric handles in `reg` (cold path; the
+  // registry must outlive the backend). The sequential backend splits
+  // solve time into core.ned_us / core.norm_us; the parallel backend
+  // adds per-band solve and barrier-wait histograms. Default: no-op.
+  virtual void bind_metrics(obs::MetricsRegistry& /*reg*/) {}
 
   [[nodiscard]] virtual const char* name() const = 0;
 };

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 #if defined(__x86_64__) || defined(_M_X64)
 #include <x86intrin.h>
@@ -191,11 +192,27 @@ void ParallelNed::run_phases(std::int32_t t) {
     return w >= band_lo && w < band_hi;
   };
 
+  // Telemetry: two clock reads per barrier when bound, none otherwise.
+  // Wait time accumulates locally and is recorded once per iteration, so
+  // the record cost does not scale with the barrier count.
+  const bool timed = band_us_ != nullptr;
+  const std::int64_t t_begin = timed ? obs::now_us() : 0;
+  std::int64_t wait_us = 0;
+  const auto phase_wait = [&] {
+    if (!timed) {
+      phase_barrier_.arrive_and_wait();
+      return;
+    }
+    const std::int64_t w0 = obs::now_us();
+    phase_barrier_.arrive_and_wait();
+    wait_us += obs::now_us() - w0;
+  };
+
   // Phase 0: rate update on private copies.
   for (std::int32_t w = band_lo; w < band_hi; ++w) {
     rate_update(workers_[static_cast<std::size_t>(w)], w / n_, w % n_);
   }
-  phase_barrier_.arrive_and_wait();
+  phase_wait();
 
   // Aggregation steps: receiver-side execution, one barrier per step.
   for (const auto& step : schedule_.steps) {
@@ -209,14 +226,14 @@ void ParallelNed::run_phases(std::int32_t t) {
         dst.dxdp[l.value()] += src.dxdp[l.value()];
       }
     }
-    phase_barrier_.arrive_and_wait();
+    phase_wait();
   }
 
   // Price update + ratio computation at the owners.
   for (std::int32_t w = band_lo; w < band_hi; ++w) {
     price_update_owned(w);
   }
-  phase_barrier_.arrive_and_wait();
+  phase_wait();
 
   // Distribution: reverse schedule, reversed transfer direction,
   // receiver-side execution (the receiver is the original src_worker).
@@ -232,7 +249,7 @@ void ParallelNed::run_phases(std::int32_t t) {
         to.ratio[l.value()] = from.ratio[l.value()];
       }
     }
-    phase_barrier_.arrive_and_wait();
+    phase_wait();
   }
 
   // Normalization (F-NORM) using the distributed ratios.
@@ -253,6 +270,18 @@ void ParallelNed::run_phases(std::int32_t t) {
       }
     }
   }
+
+  if (timed) {
+    band_us_->record_signed(obs::now_us() - t_begin - wait_us);
+    barrier_wait_us_->record_signed(wait_us);
+  }
+}
+
+void ParallelNed::bind_metrics(obs::MetricsRegistry& reg) {
+  // Resolve before publishing: worker threads only read these between
+  // the start/end barriers, so a pre-iterate bind is race-free.
+  barrier_wait_us_ = &reg.histo("core.par.barrier_wait_us");
+  band_us_ = &reg.histo("core.par.band_us");
 }
 
 void ParallelNed::thread_main(std::int32_t t) {

@@ -33,6 +33,11 @@
 #include "core/problem.h"
 #include "topo/partition.h"
 
+namespace ft::obs {
+class LatencyHisto;
+class MetricsRegistry;
+}  // namespace ft::obs
+
 namespace ft::core {
 
 struct ParallelConfig {
@@ -95,6 +100,13 @@ class ParallelNed {
     return last_iter_cycles_;
   }
 
+  // Telemetry (cold path; call before the first iterate): each worker
+  // thread records its per-iteration compute time (barrier waits
+  // excluded) into core.par.band_us and its accumulated barrier wait
+  // into core.par.barrier_wait_us -- the spread between threads is the
+  // load-imbalance signal.
+  void bind_metrics(obs::MetricsRegistry& reg);
+
  private:
   struct WorkerState {
     std::vector<double> price;
@@ -149,6 +161,9 @@ class ParallelNed {
 
   double last_iter_seconds_ = 0.0;
   std::uint64_t last_iter_cycles_ = 0;
+
+  obs::LatencyHisto* band_us_ = nullptr;          // per-thread compute
+  obs::LatencyHisto* barrier_wait_us_ = nullptr;  // per-thread waiting
 };
 
 }  // namespace ft::core

@@ -16,8 +16,28 @@
 #include "common/time.h"
 #include "common/wire.h"
 #include "net/epoll_loop.h"
+#include "obs/metrics.h"
 
 namespace ft::net {
+
+// Registry handles resolved once at construction (only when a sink is
+// configured; the null case costs one pointer check per site).
+struct EndpointAgent::Metrics {
+  obs::LatencyHisto& first_update_rtt_us;
+  obs::LatencyHisto& poll_us;
+  obs::LatencyHisto& poll_gap_us;
+  obs::Counter& updates_received;
+  obs::Gauge& detector_occupancy;
+  obs::Gauge& detector_evictions;
+
+  explicit Metrics(obs::MetricsRegistry& reg)
+      : first_update_rtt_us(reg.histo("agent.first_update_rtt_us")),
+        poll_us(reg.histo("agent.poll_us")),
+        poll_gap_us(reg.histo("agent.poll_gap_us")),
+        updates_received(reg.counter("agent.updates_received")),
+        detector_occupancy(reg.gauge("agent.detector_occupancy")),
+        detector_evictions(reg.gauge("agent.detector_evictions")) {}
+};
 
 EndpointAgent::EndpointAgent(
     AgentConfig cfg, std::unique_ptr<flowlet::FlowletDetector> detector)
@@ -36,6 +56,9 @@ EndpointAgent::EndpointAgent(
     detector_->set_callbacks(
         [this](const flowlet::PacketRecord& p) { detected_start(p); },
         [this](std::uint32_t key, Time) { detected_end(key); });
+  }
+  if (cfg_.metrics != nullptr) {
+    m_ = std::make_unique<Metrics>(*cfg_.metrics);
   }
 }
 
@@ -106,7 +129,9 @@ bool EndpointAgent::flowlet_start(std::uint32_t key, std::uint16_t src,
                                   std::uint32_t size_hint_bytes,
                                   std::uint16_t weight_milli) {
   if (flows_.contains(key)) return false;
-  flows_.emplace(key, FlowletState{0.0, 0, src, dst, weight_milli});
+  flows_.emplace(key,
+                 FlowletState{0.0, 0, src, dst, weight_milli,
+                              m_ != nullptr ? EpollLoop::now_us() : 0});
   writer_.add(core::FlowletStartMsg{key, src, dst, size_hint_bytes,
                                     weight_milli, 0});
   ++stats_.starts_sent;
@@ -168,7 +193,8 @@ void EndpointAgent::detected_start(const flowlet::PacketRecord& p) {
     weight = s->user_tag;
   }
   flows_.emplace(p.flow_key,
-                 FlowletState{0.0, 0, p.src_host, p.dst_host, weight});
+                 FlowletState{0.0, 0, p.src_host, p.dst_host, weight,
+                              m_ != nullptr ? EpollLoop::now_us() : 0});
   writer_.add(core::FlowletStartMsg{p.flow_key, p.src_host, p.dst_host,
                                     0, weight, 0});
   ++stats_.starts_sent;
@@ -185,6 +211,16 @@ void EndpointAgent::on_rate_update(const core::RateUpdateMsg& m) {
   ++stats_.updates_received;
   const auto it = flows_.find(m.flow_key);
   if (it == flows_.end()) return;  // raced with a local flowlet-end
+  if (m_ != nullptr) {
+    m_->updates_received.add(1);
+    if (it->second.start_us != 0) {
+      // First allocation for this flowlet: registration -> rate-back
+      // round trip through the service (queueing + round + fan-out).
+      m_->first_update_rtt_us.record_signed(EpollLoop::now_us() -
+                                            it->second.start_us);
+      it->second.start_us = 0;
+    }
+  }
   it->second.rate_code = m.rate_code;
   it->second.rate_bps = decode_rate(m.rate_code);
   if (on_rate_) on_rate_(m.flow_key, it->second.rate_bps, m.rate_code);
@@ -265,6 +301,14 @@ void EndpointAgent::flush() {
 
 bool EndpointAgent::poll() {
   if (fd_ < 0) return false;
+  std::int64_t t0 = 0;
+  if (m_ != nullptr) {
+    t0 = EpollLoop::now_us();
+    // The gap between polls bounds rate-apply lag: an update that
+    // arrived just after the previous poll waits this long on the wire.
+    if (last_poll_us_ != 0) m_->poll_gap_us.record_signed(t0 - last_poll_us_);
+    last_poll_us_ = t0;
+  }
   if (!drain_socket()) {
     disconnect();
     return false;
@@ -274,6 +318,16 @@ bool EndpointAgent::poll() {
   // and its reused scratch buffer.
   if (detector_) detector_->advance(now_ps());
   flush();
+  if (m_ != nullptr) {
+    m_->poll_us.record_signed(EpollLoop::now_us() - t0);
+    if (detector_) {
+      const flowlet::FlowletTable& t = detector_->table();
+      m_->detector_occupancy.set(
+          static_cast<std::int64_t>(t.occupied()));
+      m_->detector_evictions.set(
+          static_cast<std::int64_t>(t.stats().evictions));
+    }
+  }
   return fd_ >= 0;
 }
 

@@ -27,6 +27,10 @@
 #include "flowlet/detector.h"
 #include "net/frame.h"
 
+namespace ft::obs {
+class MetricsRegistry;
+}  // namespace ft::obs
+
 namespace ft::net {
 
 struct AgentConfig {
@@ -46,6 +50,12 @@ struct AgentConfig {
   // Give up (disconnect) once this much unsent output is buffered: a
   // service that stopped reading must not grow the agent without bound.
   std::size_t max_outbox_bytes = 4 * 1024 * 1024;
+  // Optional telemetry sink (src/obs/): agent.first_update_rtt_us
+  // (flowlet-start sent -> first rate update back), agent.poll_us /
+  // agent.poll_gap_us (rate-apply lag: how stale an update can get
+  // between polls), and detector table occupancy/eviction gauges. Null
+  // disables recording entirely (no clock reads on the packet path).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct AgentStats {
@@ -126,12 +136,17 @@ class EndpointAgent : MessageSink {
   }
 
  private:
+  struct Metrics;  // resolved registry handles (client.cc)
+
   struct FlowletState {
     double rate_bps = 0.0;
     std::uint16_t rate_code = 0;
     std::uint16_t src = 0;
     std::uint16_t dst = 0;
     std::uint16_t weight_milli = 1000;
+    // Registration time, for first_update_rtt_us (0 = not tracked, or
+    // the first update already arrived).
+    std::int64_t start_us = 0;
   };
 
   void on_rate_update(const core::RateUpdateMsg& m) override;
@@ -156,6 +171,8 @@ class EndpointAgent : MessageSink {
   std::unordered_map<std::uint32_t, FlowletState> flows_;
   RateCallback on_rate_;
   AgentStats stats_;
+  std::unique_ptr<Metrics> m_;  // null when cfg.metrics is null
+  std::int64_t last_poll_us_ = 0;
 };
 
 }  // namespace ft::net

@@ -6,8 +6,10 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <string>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace ft::net {
 
@@ -122,8 +124,16 @@ int EpollLoop::fire_due_timers(std::int64_t now) {
   return fired;
 }
 
+void EpollLoop::bind_metrics(obs::MetricsRegistry& reg,
+                             std::string_view prefix) {
+  const std::string p(prefix);
+  wait_us_ = &reg.histo(p + ".epoll_wait_us");
+  polls_ = &reg.counter(p + ".polls");
+}
+
 int EpollLoop::run_once(std::int64_t max_wait_us) {
   const std::int64_t budget = wait_budget_us(max_wait_us);
+  const std::int64_t t_wait = wait_us_ != nullptr ? now_us() : 0;
 
   epoll_event events[64];
 #if defined(__GLIBC__)
@@ -146,6 +156,10 @@ int EpollLoop::run_once(std::int64_t max_wait_us) {
       budget < 0 ? -1 : static_cast<int>((budget + 999) / 1'000);
   const int n = ::epoll_wait(epfd_, events, 64, timeout_ms);
 #endif
+  if (wait_us_ != nullptr) {
+    wait_us_->record_signed(now_us() - t_wait);
+    polls_->add(1);
+  }
   int dispatched = 0;
   for (int i = 0; i < n; ++i) {
     const int fd = events[i].data.fd;

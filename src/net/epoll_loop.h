@@ -12,8 +12,15 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
+
+namespace ft::obs {
+class Counter;
+class LatencyHisto;
+class MetricsRegistry;
+}  // namespace ft::obs
 
 namespace ft::net {
 
@@ -54,6 +61,12 @@ class EpollLoop {
 
   [[nodiscard]] static std::int64_t now_us();
 
+  // Telemetry (cold path; call from the loop's thread, or before it
+  // starts): every subsequent run_once records its kernel wait into
+  // <prefix>.epoll_wait_us and counts <prefix>.polls. Unbound loops pay
+  // one null check per run_once.
+  void bind_metrics(obs::MetricsRegistry& reg, std::string_view prefix);
+
  private:
   struct Timer {
     TimerCallback cb;
@@ -79,6 +92,9 @@ class EpollLoop {
   std::priority_queue<Deadline, std::vector<Deadline>, std::greater<>>
       deadlines_;
   TimerId next_timer_id_ = 1;
+
+  obs::LatencyHisto* wait_us_ = nullptr;  // kernel wait per run_once
+  obs::Counter* polls_ = nullptr;
 };
 
 }  // namespace ft::net

@@ -17,6 +17,8 @@
 
 #include "common/check.h"
 #include "common/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ft::net {
 namespace {
@@ -27,17 +29,13 @@ void set_nonblocking(int fd) {
   FT_CHECK(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
 }
 
-// All counters are relaxed: they are monotonic tallies, never used for
-// synchronization.
-void bump(std::atomic<std::uint64_t>& c) {
-  c.fetch_add(1, std::memory_order_relaxed);
+// Registry counters are striped relaxed atomics: monotonic tallies,
+// never used for synchronization.
+void bump(obs::Counter& c) { c.add(1); }
+void bump_by(obs::Counter& c, std::int64_t n) {
+  c.add(static_cast<std::uint64_t>(n));
 }
-void bump_by(std::atomic<std::int64_t>& c, std::int64_t n) {
-  c.fetch_add(n, std::memory_order_relaxed);
-}
-void bump_by(std::atomic<std::uint64_t>& c, std::uint64_t n) {
-  c.fetch_add(n, std::memory_order_relaxed);
-}
+void bump_by(obs::Counter& c, std::uint64_t n) { c.add(n); }
 
 void kick_eventfd(int fd) {
   const std::uint64_t one = 1;
@@ -52,42 +50,67 @@ void drain_eventfd(int fd) {
 
 }  // namespace
 
-// Per-thread counters (one set for the allocation thread, one per
-// shard): writers never share a set, readers aggregate with stats().
+// Per-thread counter set (one for the allocation thread, one per
+// shard), unified onto the metrics registry: each member is a named
+// registry counter (<prefix>.accepted, ...) resolved once here, so the
+// same tallies serve both the stats() aggregate (existing accessor,
+// now a shim summing the sets) and the export plane.
 struct AllocatorService::Counters {
-  std::atomic<std::uint64_t> accepted{0};
-  std::atomic<std::uint64_t> closed{0};
-  std::atomic<std::uint64_t> flowlet_starts{0};
-  std::atomic<std::uint64_t> flowlet_ends{0};
-  std::atomic<std::uint64_t> rejected_starts{0};
-  std::atomic<std::uint64_t> unknown_ends{0};
-  std::atomic<std::uint64_t> protocol_errors{0};
-  std::atomic<std::uint64_t> iterations{0};
-  std::atomic<std::uint64_t> updates_sent{0};
-  std::atomic<std::uint64_t> updates_coalesced{0};
-  std::atomic<std::uint64_t> frames_out{0};
-  std::atomic<std::uint64_t> queue_drops{0};
-  std::atomic<std::int64_t> bytes_in{0};
-  std::atomic<std::int64_t> bytes_out{0};
-  std::atomic<std::int64_t> wire_bytes_out{0};
+  obs::Counter& accepted;
+  obs::Counter& closed;
+  obs::Counter& flowlet_starts;
+  obs::Counter& flowlet_ends;
+  obs::Counter& rejected_starts;
+  obs::Counter& unknown_ends;
+  obs::Counter& protocol_errors;
+  obs::Counter& iterations;
+  obs::Counter& updates_sent;
+  obs::Counter& updates_coalesced;
+  obs::Counter& frames_out;
+  obs::Counter& queue_drops;
+  obs::Counter& recv_calls;
+  obs::Counter& send_calls;
+  obs::Counter& bytes_in;
+  obs::Counter& bytes_out;
+  obs::Counter& wire_bytes_out;
+
+  Counters(obs::MetricsRegistry& reg, const std::string& p)
+      : accepted(reg.counter(p + ".accepted")),
+        closed(reg.counter(p + ".closed")),
+        flowlet_starts(reg.counter(p + ".flowlet_starts")),
+        flowlet_ends(reg.counter(p + ".flowlet_ends")),
+        rejected_starts(reg.counter(p + ".rejected_starts")),
+        unknown_ends(reg.counter(p + ".unknown_ends")),
+        protocol_errors(reg.counter(p + ".protocol_errors")),
+        iterations(reg.counter(p + ".iterations")),
+        updates_sent(reg.counter(p + ".updates_sent")),
+        updates_coalesced(reg.counter(p + ".updates_coalesced")),
+        frames_out(reg.counter(p + ".frames_out")),
+        queue_drops(reg.counter(p + ".queue_drops")),
+        recv_calls(reg.counter(p + ".recv_calls")),
+        send_calls(reg.counter(p + ".send_calls")),
+        bytes_in(reg.counter(p + ".bytes_in")),
+        bytes_out(reg.counter(p + ".bytes_out")),
+        wire_bytes_out(reg.counter(p + ".wire_bytes_out")) {}
 
   void add_to(ServiceStats& s) const {
-    const auto r = std::memory_order_relaxed;
-    s.accepted += accepted.load(r);
-    s.closed += closed.load(r);
-    s.flowlet_starts += flowlet_starts.load(r);
-    s.flowlet_ends += flowlet_ends.load(r);
-    s.rejected_starts += rejected_starts.load(r);
-    s.unknown_ends += unknown_ends.load(r);
-    s.protocol_errors += protocol_errors.load(r);
-    s.iterations += iterations.load(r);
-    s.updates_sent += updates_sent.load(r);
-    s.updates_coalesced += updates_coalesced.load(r);
-    s.frames_out += frames_out.load(r);
-    s.queue_drops += queue_drops.load(r);
-    s.bytes_in += bytes_in.load(r);
-    s.bytes_out += bytes_out.load(r);
-    s.wire_bytes_out += wire_bytes_out.load(r);
+    s.accepted += accepted.value();
+    s.closed += closed.value();
+    s.flowlet_starts += flowlet_starts.value();
+    s.flowlet_ends += flowlet_ends.value();
+    s.rejected_starts += rejected_starts.value();
+    s.unknown_ends += unknown_ends.value();
+    s.protocol_errors += protocol_errors.value();
+    s.iterations += iterations.value();
+    s.updates_sent += updates_sent.value();
+    s.updates_coalesced += updates_coalesced.value();
+    s.frames_out += frames_out.value();
+    s.queue_drops += queue_drops.value();
+    s.recv_calls += recv_calls.value();
+    s.send_calls += send_calls.value();
+    s.bytes_in += static_cast<std::int64_t>(bytes_in.value());
+    s.bytes_out += static_cast<std::int64_t>(bytes_out.value());
+    s.wire_bytes_out += static_cast<std::int64_t>(wire_bytes_out.value());
   }
 };
 
@@ -169,7 +192,14 @@ struct AllocatorService::Shard {
   std::unordered_map<std::uint32_t, Owner> key_owner;
   std::uint64_t next_seq = 0;
   std::atomic<std::size_t> num_conns{0};
-  Counters stats;
+  std::unique_ptr<Counters> stats;  // <prefix>.* registry counters
+  // Ring telemetry (threaded shards only; null inline): occupancy
+  // high-water marks after each push, and the latency from the first
+  // pending eventfd kick to the allocation thread's drain.
+  obs::Gauge* up_depth_hw = nullptr;
+  obs::Gauge* down_depth_hw = nullptr;
+  obs::LatencyHisto* wakeup_us = nullptr;
+  std::atomic<std::int64_t> kick_t_us{0};  // 0 = no kick outstanding
   std::vector<int> touched;  // flush batching scratch
   bool kick_alloc = false;   // pending alloc-thread wakeup (shard thread)
 
@@ -179,16 +209,24 @@ struct AllocatorService::Shard {
 AllocatorService::AllocatorService(EpollLoop& loop, core::Allocator& alloc,
                                    const topo::ClosTopology& topo,
                                    ServerConfig cfg)
-    : loop_(loop),
-      alloc_(alloc),
-      topo_(topo),
-      cfg_(std::move(cfg)),
-      alloc_stats_(std::make_unique<Counters>()) {
+    : loop_(loop), alloc_(alloc), topo_(topo), cfg_(std::move(cfg)) {
   FT_CHECK(cfg_.tcp_port >= 0 || !cfg_.unix_path.empty());
   FT_CHECK(cfg_.num_shards >= 0);
+  if (cfg_.metrics != nullptr) {
+    metrics_ = cfg_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  alloc_stats_ = std::make_unique<Counters>(*metrics_, "net.alloc");
+  ingest_us_ = &metrics_->histo("svc.ingest_us");
+  fanout_us_ = &metrics_->histo("svc.fanout_us");
+  round_us_ = &metrics_->histo("svc.round_us");
   if (cfg_.num_shards == 0) {
     inline_shard_ = std::make_unique<Shard>();
     inline_shard_->loop = &loop_;
+    inline_shard_->stats =
+        std::make_unique<Counters>(*metrics_, "net.inline");
   } else {
     touched_shards_.assign(static_cast<std::size_t>(cfg_.num_shards),
                            false);
@@ -203,6 +241,12 @@ AllocatorService::AllocatorService(EpollLoop& loop, core::Allocator& alloc,
       s->index = i;
       s->owned_loop = std::make_unique<EpollLoop>();
       s->loop = s->owned_loop.get();
+      const std::string prefix = "net.shard" + std::to_string(i);
+      s->stats = std::make_unique<Counters>(*metrics_, prefix);
+      s->up_depth_hw = &metrics_->gauge(prefix + ".up_depth_hw");
+      s->down_depth_hw = &metrics_->gauge(prefix + ".down_depth_hw");
+      s->wakeup_us = &metrics_->histo(prefix + ".wakeup_to_drain_us");
+      s->owned_loop->bind_metrics(*metrics_, prefix);
       s->up = std::make_unique<SpscQueue<UpEvent>>(
           cfg_.shard_queue_capacity);
       s->down = std::make_unique<SpscQueue<DownEvent>>(
@@ -273,7 +317,7 @@ AllocatorService::~AllocatorService() {
         bump(alloc_stats_->flowlet_ends);
       }
       ::close(fd);
-      bump(s->stats.closed);
+      bump(s->stats->closed);
     }
     s->conns.clear();
     if (s->wake_fd >= 0) ::close(s->wake_fd);
@@ -415,6 +459,7 @@ void AllocatorService::conn_ready(Shard& s, Connection& c,
   const auto done = [&] {
     if (s.kick_alloc) {
       s.kick_alloc = false;
+      note_kick(s);
       kick_eventfd(alloc_wake_fd_);
     }
   };
@@ -434,10 +479,11 @@ void AllocatorService::conn_ready(Shard& s, Connection& c,
     std::uint8_t buf[64 * 1024];
     while (true) {
       const ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
+      bump(s.stats->recv_calls);
       if (n > 0) {
-        bump_by(s.stats.bytes_in, n);
+        bump_by(s.stats->bytes_in, n);
         if (!c.parser.feed({buf, static_cast<std::size_t>(n)}, c)) {
-          bump(s.stats.protocol_errors);
+          bump(s.stats->protocol_errors);
           close_conn(s, c.fd);
           break;
         }
@@ -481,7 +527,7 @@ void AllocatorService::handle_start(Shard& s, Connection& c,
   std::array<LinkId, core::kMaxRouteLinks> route;
   std::uint8_t len = 0;
   if (s.key_owner.contains(m.flow_key) || !resolve_route(m, route, len)) {
-    bump(s.stats.rejected_starts);
+    bump(s.stats->rejected_starts);
     return;
   }
   if (!s.threaded()) {
@@ -490,12 +536,12 @@ void AllocatorService::handle_start(Shard& s, Connection& c,
     if (!alloc_.flowlet_start(m.flow_key,
                               std::span<const LinkId>(route.data(), len),
                               core::Utility::log_utility(weight))) {
-      bump(s.stats.rejected_starts);
+      bump(s.stats->rejected_starts);
       return;
     }
     s.key_owner.emplace(m.flow_key, Shard::Owner{&c, 0});
     c.owned_keys.insert(m.flow_key);
-    bump(s.stats.flowlet_starts);
+    bump(s.stats->flowlet_starts);
     return;
   }
   // Tentative ownership: the allocation thread is the cross-shard
@@ -516,14 +562,14 @@ void AllocatorService::handle_end(Shard& s, Connection& c,
                                   const core::FlowletEndMsg& m) {
   const auto it = s.key_owner.find(m.flow_key);
   if (it == s.key_owner.end() || it->second.conn != &c) {
-    bump(s.stats.unknown_ends);
+    bump(s.stats->unknown_ends);
     return;
   }
   s.key_owner.erase(it);
   c.owned_keys.erase(m.flow_key);
   if (!s.threaded()) {
     FT_CHECK(alloc_.flowlet_end(m.flow_key));
-    bump(s.stats.flowlet_ends);
+    bump(s.stats->flowlet_ends);
     return;
   }
   UpEvent ev;
@@ -539,13 +585,20 @@ void AllocatorService::push_up(Shard& s, const UpEvent& ev) {
   std::uint32_t spins = 0;
   while (!s.up->try_push(ev)) {
     if (stopping_.load(std::memory_order_acquire)) {
-      bump(s.stats.queue_drops);
+      bump(s.stats->queue_drops);
       return;
     }
-    if ((spins++ & 0x3FF) == 0) kick_eventfd(alloc_wake_fd_);
+    if ((spins++ & 0x3FF) == 0) {
+      note_kick(s);
+      kick_eventfd(alloc_wake_fd_);
+    }
     std::this_thread::yield();
   }
   s.kick_alloc = true;
+  if (s.up_depth_hw != nullptr) {
+    s.up_depth_hw->update_max(
+        static_cast<std::int64_t>(s.up->size_approx()));
+  }
 }
 
 bool AllocatorService::push_down(Shard& s, const DownEvent& ev) {
@@ -555,11 +608,27 @@ bool AllocatorService::push_down(Shard& s, const DownEvent& ev) {
   // invalidate_notification; a dropped kConn is closed; a dropped
   // kReject leaves a stale shard entry that conn close cleans up).
   for (std::uint32_t spin = 0; spin < (1u << 14); ++spin) {
-    if (s.down->try_push(ev)) return true;
+    if (s.down->try_push(ev)) {
+      if (s.down_depth_hw != nullptr) {
+        s.down_depth_hw->update_max(
+            static_cast<std::int64_t>(s.down->size_approx()));
+      }
+      return true;
+    }
     if ((spin & 0xFF) == 0) wake_shard(s);
     std::this_thread::yield();
   }
   return false;
+}
+
+void AllocatorService::note_kick(Shard& s) {
+  // Stamp the first kick of a kick->drain cycle; drain_up consumes the
+  // stamp, so the histogram measures how long queued events waited for
+  // the allocation thread to wake (scheduling + epoll dispatch).
+  if (s.wakeup_us == nullptr) return;
+  std::int64_t expect = 0;
+  s.kick_t_us.compare_exchange_strong(expect, obs::now_us(),
+                                      std::memory_order_relaxed);
 }
 
 void AllocatorService::wake_shard(Shard& s) { kick_eventfd(s.wake_fd); }
@@ -600,6 +669,11 @@ void AllocatorService::apply_start(Shard& s, const UpEvent& ev) {
 }
 
 void AllocatorService::drain_up(Shard& s) {
+  if (s.wakeup_us != nullptr) {
+    const std::int64_t t =
+        s.kick_t_us.exchange(0, std::memory_order_relaxed);
+    if (t > 0) s.wakeup_us->record_signed(obs::now_us() - t);
+  }
   UpEvent ev;
   while (s.up->try_pop(ev)) {
     if (ev.kind == UpEvent::Kind::kStart) {
@@ -625,7 +699,7 @@ void AllocatorService::queue_update(Shard& s, std::uint32_t key,
   Connection& c = *it->second.conn;
   if (c.writer.empty()) s.touched.push_back(c.fd);
   c.writer.add(core::RateUpdateMsg{key, rate_code});
-  bump(s.stats.updates_sent);
+  bump(s.stats->updates_sent);
   // Cut the batch before it can overrun the frame size limit (an
   // endpoint may own arbitrarily many flows). flush_conn can close the
   // connection on a dead socket; lookups go through key_owner, which
@@ -675,15 +749,23 @@ void AllocatorService::drain_down(Shard& s) {
   flush_touched(s);
   if (s.kick_alloc) {
     s.kick_alloc = false;
+    note_kick(s);
     kick_eventfd(alloc_wake_fd_);
   }
 }
 
 void AllocatorService::run_allocation_round() {
+  // Phase attribution: ingest (shard ring drain) -> solve + emit (timed
+  // inside run_iteration as core.solve_us / core.emit_us) -> fanout
+  // (update push + flush). round_us covers the whole thing; the
+  // round_latency_us() ring keeps its historical meaning (post-ingest).
+  const std::int64_t t_in = obs::now_us();
   for (auto& s : shards_) drain_up(*s);
-  const std::int64_t t0 = EpollLoop::now_us();
+  const std::int64_t t0 = obs::now_us();
+  ingest_us_->record_signed(t0 - t_in);
   updates_scratch_.clear();
   alloc_.run_iteration(updates_scratch_);
+  const std::int64_t t1 = obs::now_us();
   bump(alloc_stats_->iterations);
   if (inline_shard_) {
     Shard& s = *inline_shard_;
@@ -717,19 +799,25 @@ void AllocatorService::run_allocation_round() {
       if (touched_shards_[i]) wake_shard(*shards_[i]);
     }
   }
-  record_round_latency(
-      static_cast<double>(EpollLoop::now_us() - t0));
+  const std::int64_t t2 = obs::now_us();
+  fanout_us_->record_signed(t2 - t1);
+  round_us_->record_signed(t2 - t_in);
+  if (obs::PhaseTracer::enabled()) {
+    obs::PhaseTracer::record("svc.ingest", t_in, t0 - t_in);
+    obs::PhaseTracer::record("svc.fanout", t1, t2 - t1);
+  }
+  record_round_latency(static_cast<double>(t2 - t0));
 }
 
 void AllocatorService::flush_conn(Shard& s, Connection& c) {
   const std::size_t framed = c.writer.flush(c.outbox);
   if (framed == 0) return;
-  bump(s.stats.frames_out);
-  bump_by(s.stats.bytes_out, static_cast<std::int64_t>(framed));
-  bump_by(s.stats.wire_bytes_out,
+  bump(s.stats->frames_out);
+  bump_by(s.stats->bytes_out, static_cast<std::int64_t>(framed));
+  bump_by(s.stats->wire_bytes_out,
           wire_bytes_tcp_stream(static_cast<std::int64_t>(framed)));
   const std::uint64_t coalesced = c.writer.stats().coalesced_updates;
-  bump_by(s.stats.updates_coalesced, coalesced - c.coalesced_reported);
+  bump_by(s.stats->updates_coalesced, coalesced - c.coalesced_reported);
   c.coalesced_reported = coalesced;
   if (c.outbox.size() - c.out_off > cfg_.max_outbox_bytes) {
     // The peer has stopped reading; drop it rather than buffer forever.
@@ -743,6 +831,7 @@ void AllocatorService::try_write(Shard& s, Connection& c) {
   while (c.out_off < c.outbox.size()) {
     const ssize_t n = ::send(c.fd, c.outbox.data() + c.out_off,
                              c.outbox.size() - c.out_off, MSG_NOSIGNAL);
+    bump(s.stats->send_calls);
     if (n > 0) {
       c.out_off += static_cast<std::size_t>(n);
       continue;
@@ -781,21 +870,21 @@ void AllocatorService::close_conn(Shard& s, int fd) {
       push_up(s, ev);
     } else {
       FT_CHECK(alloc_.flowlet_end(key));
-      bump(s.stats.flowlet_ends);
+      bump(s.stats->flowlet_ends);
     }
   }
   s.loop->del_fd(fd);
   ::close(fd);
   s.conns.erase(it);
   s.num_conns.store(s.conns.size(), std::memory_order_relaxed);
-  bump(s.stats.closed);
+  bump(s.stats->closed);
 }
 
 ServiceStats AllocatorService::stats() const {
   ServiceStats out;
   alloc_stats_->add_to(out);
-  if (inline_shard_) inline_shard_->stats.add_to(out);
-  for (const auto& s : shards_) s->stats.add_to(out);
+  if (inline_shard_) inline_shard_->stats->add_to(out);
+  for (const auto& s : shards_) s->stats->add_to(out);
   return out;
 }
 

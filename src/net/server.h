@@ -43,6 +43,11 @@
 #include "net/spsc_queue.h"
 #include "topo/clos.h"
 
+namespace ft::obs {
+class LatencyHisto;
+class MetricsRegistry;
+}  // namespace ft::obs
+
 namespace ft::net {
 
 struct ServerConfig {
@@ -79,6 +84,11 @@ struct ServerConfig {
   // serving a block row shares that row's core and cache. Run one shard
   // per block row for the paper's mapping. No-op when disabled.
   core::CpuMapConfig pin;
+  // Telemetry sink (src/obs/). When null the service owns a private
+  // registry; stats() aggregates from the registry either way. The
+  // daemon passes a shared registry so the net.* / svc.* metrics land on
+  // its stats socket next to the allocator's core.* metrics.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct ServiceStats {
@@ -99,6 +109,8 @@ struct ServiceStats {
   // start rejections (a stale shard owner entry lingers until its
   // connection closes), and lifecycle events abandoned during shutdown.
   std::uint64_t queue_drops = 0;
+  std::uint64_t recv_calls = 0;     // recv(2) invocations across shards
+  std::uint64_t send_calls = 0;     // send(2) invocations across shards
   std::int64_t bytes_in = 0;        // stream bytes received
   std::int64_t bytes_out = 0;       // stream bytes queued out (framed)
   std::int64_t wire_bytes_out = 0;  // common/wire.h accounting
@@ -128,6 +140,10 @@ class AllocatorService {
   // Aggregated snapshot across the allocation thread and all shards
   // (relaxed counters: safe to call from any thread while serving).
   [[nodiscard]] ServiceStats stats() const;
+  // The registry this service records into (cfg.metrics, or the private
+  // one): per-shard net.shard<i>.* I/O counters, ring high-water gauges
+  // and wakeup latency, plus the svc.* round-phase histograms.
+  [[nodiscard]] obs::MetricsRegistry& metrics() const { return *metrics_; }
   [[nodiscard]] std::size_t num_connections() const;
   // Number of I/O shard threads (0 = inline mode).
   [[nodiscard]] int num_shards() const {
@@ -181,6 +197,7 @@ class AllocatorService {
   void drain_up(Shard& s);        // allocation thread
   void drain_down(Shard& s);      // shard thread
   void apply_start(Shard& s, const UpEvent& ev);  // allocation thread
+  void note_kick(Shard& s);  // stamp first kick for wakeup latency
   void record_round_latency(double us);
 
   EpollLoop& loop_;
@@ -199,6 +216,12 @@ class AllocatorService {
   std::size_t next_shard_ = 0;  // round-robin accept assignment
   // Allocation-thread view: which shard owns each live flow key.
   std::unordered_map<std::uint32_t, std::uint32_t> key_shard_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // when cfg has none
+  obs::MetricsRegistry* metrics_ = nullptr;
+  // Allocation-round phase histograms (svc.*; allocation thread only).
+  obs::LatencyHisto* ingest_us_ = nullptr;  // drain_up at round start
+  obs::LatencyHisto* fanout_us_ = nullptr;  // update push + flush
+  obs::LatencyHisto* round_us_ = nullptr;   // full round incl. ingest
   std::unique_ptr<Counters> alloc_stats_;
   std::atomic<bool> stopping_{false};
   std::vector<core::RateUpdate> updates_scratch_;

@@ -55,6 +55,15 @@ class SpscQueue {
     return true;
   }
 
+  // Approximate occupancy, callable from either side (telemetry only:
+  // both indices are relaxed loads, so the value can be momentarily
+  // stale but never exceeds capacity).
+  [[nodiscard]] std::size_t size_approx() const {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    return tail - head;
+  }
+
   // Consumer-side emptiness probe.
   [[nodiscard]] bool empty() const {
     return head_.load(std::memory_order_relaxed) ==

@@ -1,0 +1,119 @@
+#include "obs/export.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace ft::obs {
+namespace {
+
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+// Metric names are code-controlled ([a-z0-9._] by convention) but keep
+// the escaping honest anyway.
+void json_escape(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+std::string prom_name(const std::string& name) {
+  std::string out = "ft_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const std::vector<MetricSnapshot>& metrics) {
+  std::string out;
+  out.reserve(4096);
+  append_fmt(out, "{\n  \"ts_us\": %lld,\n  \"metrics\": {\n",
+             static_cast<long long>(now_us()));
+  bool first = true;
+  for (const MetricSnapshot& m : metrics) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "    \"";
+    json_escape(out, m.name);
+    out += "\": ";
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        append_fmt(out, "{\"kind\": \"counter\", \"value\": %lld}",
+                   static_cast<long long>(m.value));
+        break;
+      case MetricKind::kGauge:
+        append_fmt(out, "{\"kind\": \"gauge\", \"value\": %lld}",
+                   static_cast<long long>(m.value));
+        break;
+      case MetricKind::kHisto: {
+        const HistoSnapshot& h = m.histo;
+        append_fmt(out,
+                   "{\"kind\": \"histo\", \"count\": %llu, "
+                   "\"sum\": %llu, \"mean\": %.3f, \"p50\": %.1f, "
+                   "\"p90\": %.1f, \"p99\": %.1f, \"max\": %.1f, "
+                   "\"buckets\": [",
+                   static_cast<unsigned long long>(h.count),
+                   static_cast<unsigned long long>(h.sum), h.mean(),
+                   h.p50(), h.percentile(0.90), h.p99(), h.max_bound());
+        bool bfirst = true;
+        for (int b = 0; b < kHistoBuckets; ++b) {
+          const std::uint64_t n = h.buckets[static_cast<std::size_t>(b)];
+          if (n == 0) continue;
+          if (!bfirst) out += ", ";
+          bfirst = false;
+          append_fmt(out, "[%.0f, %llu]", LatencyHisto::bucket_lower(b),
+                     static_cast<unsigned long long>(n));
+        }
+        out += "]}";
+        break;
+      }
+    }
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::string to_prometheus(const std::vector<MetricSnapshot>& metrics) {
+  std::string out;
+  out.reserve(4096);
+  for (const MetricSnapshot& m : metrics) {
+    const std::string name = prom_name(m.name);
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        append_fmt(out, "# TYPE %s counter\n%s %lld\n", name.c_str(),
+                   name.c_str(), static_cast<long long>(m.value));
+        break;
+      case MetricKind::kGauge:
+        append_fmt(out, "# TYPE %s gauge\n%s %lld\n", name.c_str(),
+                   name.c_str(), static_cast<long long>(m.value));
+        break;
+      case MetricKind::kHisto: {
+        const HistoSnapshot& h = m.histo;
+        append_fmt(out, "# TYPE %s summary\n", name.c_str());
+        for (const double q : {0.5, 0.9, 0.99}) {
+          append_fmt(out, "%s{quantile=\"%g\"} %.1f\n", name.c_str(), q,
+                     h.percentile(q));
+        }
+        append_fmt(out, "%s_sum %llu\n%s_count %llu\n", name.c_str(),
+                   static_cast<unsigned long long>(h.sum), name.c_str(),
+                   static_cast<unsigned long long>(h.count));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ft::obs

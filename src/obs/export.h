@@ -1,0 +1,44 @@
+// Export plane rendering: a scraped MetricsRegistry snapshot as a JSON
+// document (the format tools/obs_dump.py pretty-prints and diffs) or as
+// Prometheus-style text exposition.
+//
+// JSON shape -- one flat object keyed by metric name so diffs are
+// trivially alignable:
+//
+//   {
+//     "ts_us": 12345,
+//     "metrics": {
+//       "core.solve_us": {"kind": "histo", "count": N, "sum": S,
+//                         "p50": ..., "p90": ..., "p99": ..., "max": ...,
+//                         "buckets": [[lower_bound, count], ...]},
+//       "net.shard0.bytes_in": {"kind": "counter", "value": 123}
+//     }
+//   }
+//
+// Only non-empty buckets are listed. Rendering allocates freely -- this
+// is the scrape path, not the record path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ft::obs {
+
+[[nodiscard]] std::string to_json(
+    const std::vector<MetricSnapshot>& metrics);
+inline std::string to_json(const MetricsRegistry& reg) {
+  return to_json(reg.snapshot());
+}
+
+// Prometheus text exposition: '.' in names becomes '_' and everything is
+// prefixed "ft_". Histograms render as <name>_count / <name>_sum plus
+// {quantile="..."} summary samples.
+[[nodiscard]] std::string to_prometheus(
+    const std::vector<MetricSnapshot>& metrics);
+inline std::string to_prometheus(const MetricsRegistry& reg) {
+  return to_prometheus(reg.snapshot());
+}
+
+}  // namespace ft::obs

@@ -1,0 +1,178 @@
+#include "obs/metrics.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.h"
+
+namespace ft::obs {
+
+std::int64_t now_us() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000 +
+         ts.tv_nsec / 1'000;
+}
+
+namespace {
+
+std::atomic<std::uint32_t> g_next_thread_id{0};
+
+}  // namespace
+
+std::uint32_t thread_stripe() {
+  // Threads are assigned round-robin stripe slots on first use; the id
+  // lives in plain TLS so the assignment itself never allocates.
+  thread_local const std::uint32_t id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed) &
+      (kStripes - 1);
+  return id;
+}
+
+int LatencyHisto::bucket_of(std::uint64_t v) {
+  if (v == 0) return 0;
+  const int b = std::bit_width(v);  // 1..64
+  return b < kHistoBuckets ? b : kHistoBuckets - 1;
+}
+
+double LatencyHisto::bucket_lower(int b) {
+  if (b <= 0) return 0.0;
+  return static_cast<double>(1ULL << (b - 1));
+}
+
+double LatencyHisto::bucket_upper(int b) {
+  if (b <= 0) return 1.0;
+  if (b >= 63) return static_cast<double>(1ULL << 62) * 4.0;
+  return static_cast<double>(1ULL << b);
+}
+
+HistoSnapshot LatencyHisto::snapshot() const {
+  HistoSnapshot out;
+  for (const Stripe& s : stripes_) {
+    for (int b = 0; b < kHistoBuckets; ++b) {
+      out.buckets[static_cast<std::size_t>(b)] +=
+          s.buckets[static_cast<std::size_t>(b)].load(
+              std::memory_order_relaxed);
+    }
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double HistoSnapshot::percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kHistoBuckets; ++b) {
+    const std::uint64_t n = buckets[static_cast<std::size_t>(b)];
+    if (n == 0) continue;
+    if (static_cast<double>(seen + n) >= target) {
+      if (b == 0) return 0.0;  // bucket 0 holds exact zeros
+      const double lo = LatencyHisto::bucket_lower(b);
+      const double hi = LatencyHisto::bucket_upper(b);
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(n);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    seen += n;
+  }
+  return LatencyHisto::bucket_upper(kHistoBuckets - 1);
+}
+
+double HistoSnapshot::max_bound() const {
+  for (int b = kHistoBuckets - 1; b >= 0; --b) {
+    if (buckets[static_cast<std::size_t>(b)] != 0) {
+      return LatencyHisto::bucket_upper(b);
+    }
+  }
+  return 0.0;
+}
+
+void HistoSnapshot::merge(const HistoSnapshot& other) {
+  for (int b = 0; b < kHistoBuckets; ++b) {
+    buckets[static_cast<std::size_t>(b)] +=
+        other.buckets[static_cast<std::size_t>(b)];
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry(std::string_view name,
+                                               MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : entries_) {
+    if (e->name == name) {
+      FT_CHECK(e->kind == kind);  // one name, one kind
+      return *e;
+    }
+  }
+  auto e = std::make_unique<Entry>();
+  e->name = std::string(name);
+  e->kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter:
+      e->counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kGauge:
+      e->gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHisto:
+      e->histo = std::make_unique<LatencyHisto>();
+      break;
+  }
+  entries_.push_back(std::move(e));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return *entry(name, MetricKind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return *entry(name, MetricKind::kGauge).gauge;
+}
+
+LatencyHisto& MetricsRegistry::histo(std::string_view name) {
+  return *entry(name, MetricKind::kHisto).histo;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  std::vector<MetricSnapshot> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(entries_.size());
+    for (const auto& e : entries_) {
+      MetricSnapshot m;
+      m.name = e->name;
+      m.kind = e->kind;
+      switch (e->kind) {
+        case MetricKind::kCounter:
+          m.value = static_cast<std::int64_t>(e->counter->value());
+          break;
+        case MetricKind::kGauge:
+          m.value = e->gauge->value();
+          break;
+        case MetricKind::kHisto:
+          m.histo = e->histo->snapshot();
+          break;
+      }
+      out.push_back(std::move(m));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* reg = new MetricsRegistry();  // never destroyed
+  return *reg;
+}
+
+}  // namespace ft::obs

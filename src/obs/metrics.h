@@ -1,0 +1,191 @@
+// Runtime telemetry: named counters, gauges and fixed-memory log-bucketed
+// latency histograms behind a MetricsRegistry.
+//
+// Design constraints (the control-plane hot paths this instruments run a
+// ~3 us allocation round, and tests/zero_alloc_test.cc counts every heap
+// allocation mid-round):
+//
+//   * The record path -- Counter::add, Gauge::set/update_max,
+//     LatencyHisto::record -- performs zero heap allocation and takes no
+//     lock. Every metric is a fixed array of relaxed atomics, striped
+//     per thread (a thread_local stripe id hashes writers onto disjoint
+//     cache lines) and merged only on scrape.
+//   * Registration (MetricsRegistry::counter/gauge/histo) is the cold
+//     path: it takes a mutex and may allocate. Callers resolve handles
+//     once at setup and keep the returned reference -- metric addresses
+//     are stable for the registry's lifetime.
+//   * Scrape (snapshot()) is read-only with respect to the stripes: it
+//     sums relaxed loads, so it is safe from any thread while writers
+//     are recording.
+//
+// Histogram buckets are powers of two over an unsigned 64-bit value
+// (microseconds by convention for *_us metrics): bucket 0 holds exact
+// zeros, bucket b >= 1 holds [2^(b-1), 2^b). 64 buckets cover the full
+// value range in ~4 KB per histogram, and percentiles are recovered by
+// linear interpolation inside the winning bucket -- coarse (<= 2x) but
+// tail-faithful, which is what phase attribution needs.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ft::obs {
+
+// CLOCK_MONOTONIC microseconds (same clock as net::EpollLoop::now_us,
+// duplicated here so core/ can time phases without depending on net/).
+[[nodiscard]] std::int64_t now_us();
+
+// Stable small id for the calling thread, used to pick a stripe. The
+// first call from a thread assigns the id (no allocation: plain TLS).
+[[nodiscard]] std::uint32_t thread_stripe();
+
+inline constexpr std::size_t kStripes = 8;  // power of two
+
+// Monotonic counter, striped per thread.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    stripes_[thread_stripe()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    std::uint64_t sum = 0;
+    for (const auto& s : stripes_) {
+      sum += s.v.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Stripe, kStripes> stripes_{};
+};
+
+// Last-writer-wins signed gauge with a lock-free running-max helper
+// (queue depth high-water marks).
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void update_max(std::int64_t v) {
+    std::int64_t cur = v_.load(std::memory_order_relaxed);
+    while (v > cur && !v_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed,
+                          std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+inline constexpr int kHistoBuckets = 64;
+
+// Merged, plain-integer view of one histogram (what scrapes operate on).
+struct HistoSnapshot {
+  std::array<std::uint64_t, kHistoBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  // q in [0, 1]; 0 when empty. Linear interpolation within the bucket.
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double p50() const { return percentile(0.50); }
+  [[nodiscard]] double p99() const { return percentile(0.99); }
+  [[nodiscard]] double mean() const {
+    return count ? static_cast<double>(sum) / static_cast<double>(count)
+                 : 0.0;
+  }
+  [[nodiscard]] double max_bound() const;  // upper bound of top bucket
+
+  void merge(const HistoSnapshot& other);
+};
+
+// Fixed-memory log2-bucketed histogram; record() is lock- and
+// allocation-free from any thread.
+class LatencyHisto {
+ public:
+  // Bucket index for a value: 0 for 0, else bit_width(v) clamped.
+  [[nodiscard]] static int bucket_of(std::uint64_t v);
+  // Inclusive lower / exclusive upper value bound of a bucket.
+  [[nodiscard]] static double bucket_lower(int b);
+  [[nodiscard]] static double bucket_upper(int b);
+
+  void record(std::uint64_t value) {
+    Stripe& s = stripes_[thread_stripe()];
+    s.buckets[static_cast<std::size_t>(bucket_of(value))].fetch_add(
+        1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+  // Convenience for signed durations (negative clock glitches clamp to 0).
+  void record_signed(std::int64_t value) {
+    record(value > 0 ? static_cast<std::uint64_t>(value) : 0);
+  }
+
+  [[nodiscard]] HistoSnapshot snapshot() const;
+
+ private:
+  struct alignas(64) Stripe {
+    std::array<std::atomic<std::uint64_t>, kHistoBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  std::array<Stripe, kStripes> stripes_{};
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHisto };
+
+// One scraped metric (counters/gauges fill `value`, histos fill `histo`).
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::int64_t value = 0;
+  HistoSnapshot histo;
+};
+
+// Named metric store. Instantiable: components that need per-instance
+// accounting (each AllocatorService / Allocator in a test process) own
+// their own registry; the process-wide daemon uses global().
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create by name; the kind must match on re-lookup (checked).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  LatencyHisto& histo(std::string_view name);
+
+  // Merged snapshot of every metric, sorted by name.
+  [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
+
+  // Process-wide default registry (the daemon's export plane).
+  [[nodiscard]] static MetricsRegistry& global();
+
+ private:
+  struct Entry {
+    std::string name;
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHisto> histo;
+  };
+  Entry& entry(std::string_view name, MetricKind kind);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace ft::obs

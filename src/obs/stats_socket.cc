@@ -1,0 +1,210 @@
+#include "obs/stats_socket.h"
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+
+namespace ft::obs {
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  FT_CHECK(flags >= 0);
+  FT_CHECK(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+bool connect_unix(int fd, const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) return false;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  return ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof addr) == 0;
+}
+
+}  // namespace
+
+StatsSocket::StatsSocket(net::EpollLoop& loop, std::string path,
+                         const MetricsRegistry& reg)
+    : loop_(loop), path_(std::move(path)), reg_(reg) {
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  FT_CHECK(listen_fd_ >= 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  FT_CHECK(path_.size() < sizeof addr.sun_path);
+  std::strncpy(addr.sun_path, path_.c_str(), sizeof addr.sun_path - 1);
+  ::unlink(path_.c_str());
+  FT_CHECK(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof addr) == 0);
+  FT_CHECK(::listen(listen_fd_, 16) == 0);
+  set_nonblocking(listen_fd_);
+  loop_.add_fd(listen_fd_, EPOLLIN,
+               [this](std::uint32_t) { accept_ready(); });
+}
+
+StatsSocket::~StatsSocket() {
+  for (const auto& [fd, c] : conns_) {
+    loop_.del_fd(fd);
+    ::close(fd);
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) {
+    loop_.del_fd(listen_fd_);
+    ::close(listen_fd_);
+  }
+  ::unlink(path_.c_str());
+}
+
+void StatsSocket::accept_ready() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient failure; admin plane, keep serving
+    }
+    set_nonblocking(fd);
+    conns_.emplace(fd, Conn{});
+    loop_.add_fd(fd, EPOLLIN, [this, fd](std::uint32_t ev) {
+      conn_ready(fd, ev);
+    });
+  }
+}
+
+void StatsSocket::conn_ready(int fd, std::uint32_t events) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& c = it->second;
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    // EOF before a newline still gets an answer (default snapshot) if
+    // the peer half-closed; a hard error just drops the conn.
+    if ((events & EPOLLERR) || c.responding) {
+      close_conn(fd);
+      return;
+    }
+  }
+  if ((events & EPOLLOUT) && c.responding) {
+    try_write(fd, c);
+    return;
+  }
+  if (events & (EPOLLIN | EPOLLHUP)) {
+    char buf[256];
+    while (!c.responding) {
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n > 0) {
+        c.request.append(buf, static_cast<std::size_t>(n));
+        if (c.request.size() > 4096) {  // garbage peer
+          close_conn(fd);
+          return;
+        }
+        if (c.request.find('\n') != std::string::npos) {
+          start_response(fd, c);  // may close (and thus free) the conn
+          return;
+        }
+        continue;
+      }
+      if (n == 0) {  // EOF: treat whatever arrived as the request
+        start_response(fd, c);
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      close_conn(fd);
+      return;
+    }
+  }
+}
+
+void StatsSocket::start_response(int fd, Conn& c) {
+  std::string line = c.request.substr(0, c.request.find('\n'));
+  while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+    line.pop_back();
+  }
+  if (line == "prom") {
+    c.response = to_prometheus(reg_);
+  } else if (line == "trace") {
+    c.response = PhaseTracer::dump_json();
+  } else {  // "json", empty, or anything else: the JSON snapshot
+    c.response = to_json(reg_);
+  }
+  ++scrapes_;
+  c.responding = true;
+  try_write(fd, c);
+}
+
+void StatsSocket::try_write(int fd, Conn& c) {
+  while (c.off < c.response.size()) {
+    const ssize_t n = ::send(fd, c.response.data() + c.off,
+                             c.response.size() - c.off, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      loop_.mod_fd(fd, EPOLLOUT);
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // peer gone
+  }
+  close_conn(fd);  // response fully sent (or failed): EOF terminates it
+}
+
+void StatsSocket::close_conn(int fd) {
+  if (conns_.erase(fd) == 0) return;
+  loop_.del_fd(fd);
+  ::close(fd);
+}
+
+std::string scrape_stats_socket(const std::string& path,
+                                const std::string& what) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return "";
+  // Bounded blocking: a serving loop that stopped ticking (e.g. a bench
+  // run finishing mid-scrape) must not wedge the caller.
+  timeval tv{};
+  tv.tv_sec = 5;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  if (!connect_unix(fd, path)) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req = what + "\n";
+  std::size_t off = 0;
+  while (off < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + off, req.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    ::close(fd);
+    return "";
+  }
+  std::string out;
+  char buf[16 * 1024];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      out.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EOF or error: whatever we have is the response
+  }
+  ::close(fd);
+  return out;
+}
+
+}  // namespace ft::obs

@@ -1,0 +1,71 @@
+// Live stats plane: a Unix-domain admin endpoint serving metric
+// snapshots while the service runs.
+//
+// Protocol (deliberately netcat-friendly): the client connects, sends
+// one request line and reads the full response until EOF.
+//
+//   "json\n"  (or an empty line / immediate EOF)  -> obs::to_json
+//   "prom\n"                                      -> obs::to_prometheus
+//   "trace\n"                                     -> PhaseTracer dump
+//
+//     $ echo json | nc -U /tmp/flowtune_stats.sock
+//     $ echo prom | nc -U /tmp/flowtune_stats.sock
+//
+// The listener and every admin connection live on the caller's
+// EpollLoop (the allocation thread's loop in the daemon), so a scrape
+// serializes with allocation rounds and reads a coherent snapshot; the
+// snapshot itself only does relaxed loads of the record-path stripes,
+// so shard threads never stall for a scrape.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/epoll_loop.h"
+#include "obs/metrics.h"
+
+namespace ft::obs {
+
+class StatsSocket {
+ public:
+  // Binds `path` (unlinked first) on `loop`. `reg` must outlive this.
+  StatsSocket(net::EpollLoop& loop, std::string path,
+              const MetricsRegistry& reg);
+  ~StatsSocket();
+  StatsSocket(const StatsSocket&) = delete;
+  StatsSocket& operator=(const StatsSocket&) = delete;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::uint64_t scrapes() const { return scrapes_; }
+
+ private:
+  struct Conn {
+    std::string request;
+    std::string response;
+    std::size_t off = 0;
+    bool responding = false;
+  };
+
+  void accept_ready();
+  void conn_ready(int fd, std::uint32_t events);
+  void start_response(int fd, Conn& c);
+  void try_write(int fd, Conn& c);
+  void close_conn(int fd);
+
+  net::EpollLoop& loop_;
+  std::string path_;
+  const MetricsRegistry& reg_;
+  int listen_fd_ = -1;
+  std::unordered_map<int, Conn> conns_;
+  std::uint64_t scrapes_ = 0;
+};
+
+// Blocking client-side scrape helper (tests / bench / obs_dump.py uses
+// the socket directly): connects to `path`, sends `what` ("json",
+// "prom" or "trace") and returns the full response ("" on any error).
+[[nodiscard]] std::string scrape_stats_socket(const std::string& path,
+                                              const std::string& what);
+
+}  // namespace ft::obs

@@ -1,0 +1,118 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace ft::obs {
+namespace {
+
+// One thread's span ring. Registered with the global list on the
+// thread's first span and kept for the life of the process (a dump can
+// still see spans from threads that have exited).
+struct ThreadRing {
+  std::uint32_t tid = 0;
+  std::atomic<std::uint64_t> head{0};  // next write position (free-running)
+  std::array<SpanEvent, PhaseTracer::kRingCapacity> events{};
+};
+
+std::mutex g_rings_mu;
+std::vector<ThreadRing*>& rings() {
+  static std::vector<ThreadRing*>* v = new std::vector<ThreadRing*>();
+  return *v;
+}
+
+ThreadRing* ring_for_thread() {
+  thread_local ThreadRing* ring = [] {
+    auto* r = new ThreadRing();  // lives forever; dumps may outlive thread
+    std::lock_guard<std::mutex> lock(g_rings_mu);
+    r->tid = static_cast<std::uint32_t>(rings().size());
+    rings().push_back(r);
+    return r;
+  }();
+  return ring;
+}
+
+void json_escape(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+}  // namespace
+
+std::atomic<bool> PhaseTracer::enabled_{false};
+
+void PhaseTracer::set_enabled(bool on) {
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+void PhaseTracer::record(const char* name, std::int64_t start_us,
+                         std::int64_t dur_us) {
+  // Self-guarding: hot paths check enabled() first to skip their clock
+  // reads, but a record() that slips through while disabled must not
+  // land on the ring.
+  if (!enabled()) return;
+  ThreadRing* r = ring_for_thread();
+  const std::uint64_t pos =
+      r->head.fetch_add(1, std::memory_order_relaxed);
+  SpanEvent& e = r->events[pos % kRingCapacity];
+  e.name = name;
+  e.start_us = start_us;
+  e.dur_us = dur_us;
+}
+
+std::string PhaseTracer::dump_json() {
+  std::string out = "{\"traceEvents\":[\n";
+  char buf[160];
+  bool first = true;
+  std::lock_guard<std::mutex> lock(g_rings_mu);
+  for (const ThreadRing* r : rings()) {
+    const std::uint64_t head = r->head.load(std::memory_order_acquire);
+    const std::uint64_t have =
+        head < kRingCapacity ? head : kRingCapacity;
+    for (std::uint64_t i = head - have; i < head; ++i) {
+      const SpanEvent& e = r->events[i % kRingCapacity];
+      if (e.name == nullptr) continue;
+      if (!first) out += ",\n";
+      first = false;
+      out += "{\"name\":\"";
+      json_escape(out, e.name);
+      std::snprintf(buf, sizeof buf,
+                    "\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+                    "\"ts\":%lld,\"dur\":%lld}",
+                    r->tid, static_cast<long long>(e.start_us),
+                    static_cast<long long>(e.dur_us));
+      out += buf;
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool PhaseTracer::dump_json(const std::string& path) {
+  const std::string body = dump_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "PhaseTracer: cannot open %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) ==
+                  body.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "PhaseTracer: short write to %s\n",
+                        path.c_str());
+  return ok;
+}
+
+void PhaseTracer::reset() {
+  std::lock_guard<std::mutex> lock(g_rings_mu);
+  for (ThreadRing* r : rings()) {
+    r->head.store(0, std::memory_order_relaxed);
+    for (SpanEvent& e : r->events) e = SpanEvent{};
+  }
+}
+
+}  // namespace ft::obs

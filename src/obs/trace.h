@@ -1,0 +1,90 @@
+// PhaseTracer: low-overhead span tracing for the allocation round's hot
+// phases, dumpable as chrome://tracing / Perfetto JSON.
+//
+//   OBS_SPAN("solve");          // times the enclosing scope
+//   ...
+//   ft::obs::PhaseTracer::set_enabled(true);
+//   ft::obs::PhaseTracer::dump_json("trace.json");
+//
+// Recording goes to a per-thread ring buffer of fixed capacity (newest
+// spans win), so the record path takes no lock and performs no heap
+// allocation -- except the very first span on a thread, which registers
+// that thread's ring with the global tracer (warmup covers this in the
+// zero-alloc regression). When tracing is disabled (the default) a span
+// costs one relaxed atomic load.
+//
+// Span names must be string literals (the ring stores the pointer).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"  // now_us
+
+namespace ft::obs {
+
+struct SpanEvent {
+  const char* name = nullptr;
+  std::int64_t start_us = 0;
+  std::int64_t dur_us = 0;
+};
+
+class PhaseTracer {
+ public:
+  static constexpr std::size_t kRingCapacity = 4096;
+
+  static void set_enabled(bool on);
+  [[nodiscard]] static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Records one completed span on the calling thread's ring.
+  static void record(const char* name, std::int64_t start_us,
+                     std::int64_t dur_us);
+
+  // All recorded spans (every thread, oldest first per thread) as a
+  // chrome://tracing "traceEvents" JSON document. Racy-by-design against
+  // concurrent recording: spans written during the dump may be missed or
+  // torn off the ring edge, which is fine for diagnostics.
+  [[nodiscard]] static std::string dump_json();
+  // dump_json() to a file; false (with stderr message) on I/O failure.
+  static bool dump_json(const std::string& path);
+
+  // Drops all recorded spans (rings stay registered).
+  static void reset();
+
+ private:
+  static std::atomic<bool> enabled_;
+};
+
+// RAII span: times construction -> destruction when tracing is enabled.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (PhaseTracer::enabled()) {
+      name_ = name;
+      t0_ = now_us();
+    }
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr) {
+      PhaseTracer::record(name_, t0_, now_us() - t0_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::int64_t t0_ = 0;
+};
+
+#define FT_OBS_CONCAT2(a, b) a##b
+#define FT_OBS_CONCAT(a, b) FT_OBS_CONCAT2(a, b)
+// Times the enclosing scope as a span named `name` (string literal).
+#define OBS_SPAN(name) \
+  ::ft::obs::ScopedSpan FT_OBS_CONCAT(obs_span_, __LINE__)(name)
+
+}  // namespace ft::obs

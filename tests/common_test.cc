@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
 #include <vector>
 
 #include "common/flat_map.h"
@@ -103,6 +104,34 @@ TEST(StreamingStatsTest, MergeMatchesCombined) {
   EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
 }
 
+TEST(StreamingStatsTest, MergeHandlesEmptySides) {
+  // Regression: merging with an empty side must not fold the empty
+  // side's zero-initialized min/max into the result (a merge of
+  // all-negative samples with an empty accumulator would otherwise
+  // report max = 0).
+  StreamingStats neg;
+  for (double x : {-5.0, -3.0, -8.0}) neg.add(x);
+
+  StreamingStats a = neg;
+  a.merge(StreamingStats{});  // non-empty <- empty
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.min(), -8.0);
+  EXPECT_DOUBLE_EQ(a.max(), -3.0);
+
+  StreamingStats b;
+  b.merge(neg);  // empty <- non-empty
+  EXPECT_EQ(b.count(), 3u);
+  EXPECT_DOUBLE_EQ(b.min(), -8.0);
+  EXPECT_DOUBLE_EQ(b.max(), -3.0);
+  EXPECT_DOUBLE_EQ(b.mean(), neg.mean());
+
+  StreamingStats c;
+  c.merge(StreamingStats{});  // empty <- empty
+  EXPECT_EQ(c.count(), 0u);
+  EXPECT_DOUBLE_EQ(c.min(), 0.0);
+  EXPECT_DOUBLE_EQ(c.max(), 0.0);
+}
+
 TEST(PercentileTest, ExactQuantiles) {
   PercentileSampler p;
   for (int i = 1; i <= 100; ++i) p.add(i);
@@ -119,6 +148,40 @@ TEST(PercentileTest, AddAfterQueryResorts) {
   EXPECT_DOUBLE_EQ(p.percentile(1.0), 20.0);
   p.add(5);
   EXPECT_DOUBLE_EQ(p.percentile(0.0), 5.0);
+}
+
+TEST(PercentileTest, SortFastPathMatchesUnsortedPath) {
+  Rng rng(17);
+  PercentileSampler p;
+  for (int i = 0; i < 10000; ++i) p.add(rng.uniform(0, 1000));
+  const double p50_copy = p.p50();
+  const double p99_copy = p.p99();
+  p.sort();  // zero-copy path from here on
+  EXPECT_DOUBLE_EQ(p.p50(), p50_copy);
+  EXPECT_DOUBLE_EQ(p.p99(), p99_copy);
+}
+
+TEST(PercentileTest, ConcurrentPercentileOnSharedSampler) {
+  // Regression: percentile() used to cache a sort through `mutable`
+  // members, so two threads querying a shared (logically const) sampler
+  // raced on the sample vector. It now never mutates -- this test is
+  // the TSan witness.
+  PercentileSampler p;
+  Rng rng(23);
+  for (int i = 0; i < 5000; ++i) p.add(rng.uniform(0, 100));
+  const PercentileSampler& shared = p;
+  const double want_p50 = shared.p50();
+  const double want_p99 = shared.p99();
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        EXPECT_DOUBLE_EQ(shared.p50(), want_p50);
+        EXPECT_DOUBLE_EQ(shared.p99(), want_p99);
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
 }
 
 TEST(TimeSeriesBinsTest, BinningAndRates) {

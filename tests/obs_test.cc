@@ -1,0 +1,273 @@
+// Unit tests for src/obs: log2 bucket-boundary exactness, cross-thread
+// record/merge equivalence, registry find-or-create semantics, the
+// allocation-free record-path guarantee (counting operator new, same
+// technique as zero_alloc_test), export formats, phase tracing, and an
+// end-to-end stats-socket scrape.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/epoll_loop.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/stats_socket.h"
+#include "obs/trace.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_news{0};
+
+}  // namespace
+
+// Counting overrides: every allocation in the binary (any thread) goes
+// through these, so the record-path test catches stray allocations from
+// worker threads too.
+void* operator new(std::size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace ft::obs {
+namespace {
+
+TEST(LatencyHistoTest, BucketBoundariesAreExact) {
+  // Bucket 0 holds exact zeros; bucket b >= 1 holds [2^(b-1), 2^b).
+  EXPECT_EQ(LatencyHisto::bucket_of(0), 0);
+  EXPECT_EQ(LatencyHisto::bucket_of(1), 1);
+  EXPECT_EQ(LatencyHisto::bucket_of(2), 2);
+  EXPECT_EQ(LatencyHisto::bucket_of(3), 2);
+  EXPECT_EQ(LatencyHisto::bucket_of(4), 3);
+  for (int b = 1; b <= 62; ++b) {
+    const std::uint64_t lo = 1ULL << (b - 1);
+    const std::uint64_t hi = (1ULL << b) - 1;
+    EXPECT_EQ(LatencyHisto::bucket_of(lo), b) << "lower bound, b=" << b;
+    EXPECT_EQ(LatencyHisto::bucket_of(hi), b) << "upper bound, b=" << b;
+    EXPECT_DOUBLE_EQ(LatencyHisto::bucket_lower(b),
+                     static_cast<double>(lo));
+    EXPECT_DOUBLE_EQ(LatencyHisto::bucket_upper(b),
+                     static_cast<double>(1ULL << b));
+  }
+  // The top bucket absorbs everything past the last boundary.
+  EXPECT_EQ(LatencyHisto::bucket_of(1ULL << 62), kHistoBuckets - 1);
+  EXPECT_EQ(LatencyHisto::bucket_of(~0ULL), kHistoBuckets - 1);
+}
+
+TEST(LatencyHistoTest, RecordedValuesLandInTheirBuckets) {
+  LatencyHisto h;
+  h.record(0);
+  h.record(1);
+  h.record(5);    // [4, 8) -> bucket 3
+  h.record(7);    // same bucket
+  h.record(100);  // [64, 128) -> bucket 7
+  h.record_signed(-3);  // clamps to 0
+  const HistoSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 6u);
+  EXPECT_EQ(s.sum, 0u + 1 + 5 + 7 + 100 + 0);
+  EXPECT_EQ(s.buckets[0], 2u);  // the zero and the clamped negative
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[3], 2u);
+  EXPECT_EQ(s.buckets[7], 1u);
+}
+
+TEST(LatencyHistoTest, CrossThreadRecordingMatchesSingleThread) {
+  // The same values recorded from 4 threads (landing on different
+  // stripes) and from one thread must produce identical snapshots:
+  // striping is an implementation detail the merge erases.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::vector<std::uint64_t>> values(kThreads);
+  Rng rng(71);
+  for (auto& v : values) {
+    for (int i = 0; i < kPerThread; ++i) {
+      v.push_back(rng.next() % 1'000'000);
+    }
+  }
+  LatencyHisto single;
+  for (const auto& v : values) {
+    for (const std::uint64_t x : v) single.record(x);
+  }
+  LatencyHisto multi;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (const std::uint64_t x : values[static_cast<std::size_t>(t)]) {
+        multi.record(x);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const HistoSnapshot a = single.snapshot();
+  const HistoSnapshot b = multi.snapshot();
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.sum, b.sum);
+  EXPECT_EQ(a.buckets, b.buckets);
+  EXPECT_DOUBLE_EQ(a.p50(), b.p50());
+  EXPECT_DOUBLE_EQ(a.p99(), b.p99());
+}
+
+TEST(HistoSnapshotTest, MergeEqualsCombinedRecording) {
+  LatencyHisto x, y, both;
+  for (std::uint64_t v = 0; v < 1000; ++v) {
+    (v % 2 ? x : y).record(v);
+    both.record(v);
+  }
+  HistoSnapshot merged = x.snapshot();
+  merged.merge(y.snapshot());
+  const HistoSnapshot want = both.snapshot();
+  EXPECT_EQ(merged.count, want.count);
+  EXPECT_EQ(merged.sum, want.sum);
+  EXPECT_EQ(merged.buckets, want.buckets);
+}
+
+TEST(HistoSnapshotTest, PercentileInterpolatesWithinBucket) {
+  LatencyHisto h;
+  const HistoSnapshot empty = h.snapshot();
+  EXPECT_DOUBLE_EQ(empty.percentile(0.99), 0.0);
+  for (int i = 0; i < 100; ++i) h.record(0);
+  EXPECT_DOUBLE_EQ(h.snapshot().p50(), 0.0);  // all-zero mass
+  LatencyHisto one;
+  one.record(100);  // [64, 128)
+  const double p = one.snapshot().p99();
+  EXPECT_GE(p, 64.0);
+  EXPECT_LE(p, 128.0);
+}
+
+TEST(CounterTest, StripedAddsSumExactlyAcrossThreads) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kAdds; ++i) c.add(3);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds * 3);
+}
+
+TEST(GaugeTest, UpdateMaxKeepsTheGlobalMaximum) {
+  Gauge g;
+  std::vector<std::thread> threads;
+  for (int t = 1; t <= 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 10000; ++i) g.update_max(t * 10000 + i);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(g.value(), 49999);
+}
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStableInstances) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("svc.requests");
+  a.add(7);
+  EXPECT_EQ(&a, &reg.counter("svc.requests"));
+  EXPECT_EQ(reg.counter("svc.requests").value(), 7u);
+  LatencyHisto& h = reg.histo("svc.latency_us");
+  EXPECT_EQ(&h, &reg.histo("svc.latency_us"));
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByName) {
+  MetricsRegistry reg;
+  reg.counter("zebra");
+  reg.gauge("alpha");
+  reg.histo("mid");
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "alpha");
+  EXPECT_EQ(snap[1].name, "mid");
+  EXPECT_EQ(snap[2].name, "zebra");
+  EXPECT_EQ(snap[0].kind, MetricKind::kGauge);
+  EXPECT_EQ(snap[1].kind, MetricKind::kHisto);
+  EXPECT_EQ(snap[2].kind, MetricKind::kCounter);
+}
+
+TEST(RecordPathTest, RecordingAllocatesNothing) {
+  // The tentpole guarantee: once handles are resolved (cold path) and
+  // this thread's trace ring is registered (first record), the record
+  // path -- counter, gauge, histogram and tracer -- never touches the
+  // heap. This is what lets the ~3 us allocation round carry telemetry.
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hot.counter");
+  Gauge& g = reg.gauge("hot.gauge");
+  LatencyHisto& h = reg.histo("hot.histo");
+  PhaseTracer::set_enabled(true);
+  PhaseTracer::record("warmup", 0, 1);  // registers this thread's ring
+  const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10000; ++i) {
+    c.add(1);
+    g.set(i);
+    g.update_max(i);
+    h.record(static_cast<std::uint64_t>(i));
+    PhaseTracer::record("hot.span", i, 1);
+  }
+  const std::uint64_t during =
+      g_news.load(std::memory_order_relaxed) - before;
+  PhaseTracer::set_enabled(false);
+  PhaseTracer::reset();
+  EXPECT_EQ(during, 0u);
+  EXPECT_EQ(c.value(), 10000u);
+  EXPECT_EQ(h.snapshot().count, 10000u);
+}
+
+TEST(ExportTest, JsonAndPrometheusRenderEveryKind) {
+  MetricsRegistry reg;
+  reg.counter("test.requests").add(42);
+  reg.gauge("test.depth").set(-7);
+  reg.histo("test.lat_us").record(100);
+  const std::string json = to_json(reg);
+  EXPECT_NE(json.find("\"test.requests\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.lat_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts_us\""), std::string::npos);
+  const std::string prom = to_prometheus(reg);
+  EXPECT_NE(prom.find("ft_test_requests 42"), std::string::npos);
+  EXPECT_NE(prom.find("ft_test_depth -7"), std::string::npos);
+  EXPECT_NE(prom.find("ft_test_lat_us_count 1"), std::string::npos);
+}
+
+TEST(PhaseTracerTest, DisabledRecordIsDroppedEnabledIsKept) {
+  PhaseTracer::reset();
+  PhaseTracer::set_enabled(false);
+  PhaseTracer::record("dropped", 1, 2);
+  PhaseTracer::set_enabled(true);
+  PhaseTracer::record("kept", 10, 5);
+  PhaseTracer::set_enabled(false);
+  const std::string json = PhaseTracer::dump_json();
+  EXPECT_EQ(json.find("dropped"), std::string::npos);
+  EXPECT_NE(json.find("\"kept\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":5"), std::string::npos);
+  PhaseTracer::reset();
+}
+
+TEST(StatsSocketTest, ServesJsonAndPrometheusOverTheSocket) {
+  net::EpollLoop loop;
+  MetricsRegistry reg;
+  reg.counter("probe.hits").add(9);
+  StatsSocket sock(loop, "/tmp/ft_obs_test_stats.sock", reg);
+  std::thread server([&] { loop.run(); });
+  const std::string json = scrape_stats_socket(sock.path(), "json");
+  const std::string prom = scrape_stats_socket(sock.path(), "prom");
+  loop.stop();
+  server.join();
+  EXPECT_NE(json.find("\"probe.hits\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 9"), std::string::npos);
+  EXPECT_NE(prom.find("ft_probe_hits 9"), std::string::npos);
+  EXPECT_EQ(sock.scrapes(), 2u);
+}
+
+}  // namespace
+}  // namespace ft::obs

@@ -19,6 +19,8 @@
 #include "common/rng.h"
 #include "core/allocator.h"
 #include "core/backend.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "topo/clos.h"
 #include "topo/partition.h"
 
@@ -133,6 +135,34 @@ TEST(ZeroAllocTest, ParallelBackendSteadyStateRoundsAreAllocationFree) {
     alloc.run_iteration(out);
   }
   EXPECT_EQ(allocations_during_rounds(alloc, 50, out), 0u);
+}
+
+TEST(ZeroAllocTest, MetricsAndTracingEnabledRoundsStayAllocationFree) {
+  // The telemetry subsystem's core promise: binding a shared registry
+  // and enabling phase tracing must not cost the round a single heap
+  // allocation. Handles resolve at construction (cold path); the record
+  // path is striped atomics; the tracer's per-thread ring registers on
+  // the first span, which the warmup covers.
+  const auto clos = small_clos();
+  obs::MetricsRegistry reg;
+  AllocatorConfig cfg;
+  cfg.metrics = &reg;
+  cfg.threshold = 0.0;  // maximum emission volume per round
+  Allocator alloc(caps_of(clos), cfg);
+  start_random_flows(alloc, clos, 300, 1);
+  obs::PhaseTracer::set_enabled(true);
+  std::vector<RateUpdate> out;
+  for (int i = 0; i < 5; ++i) {
+    out.clear();
+    alloc.run_iteration(out);
+  }
+  const std::uint64_t allocs = allocations_during_rounds(alloc, 50, out);
+  obs::PhaseTracer::set_enabled(false);
+  obs::PhaseTracer::reset();
+  EXPECT_EQ(allocs, 0u);
+  // The rounds really were recorded while staying allocation-free.
+  EXPECT_EQ(reg.counter("core.iterations").value(), 55u);
+  EXPECT_EQ(reg.histo("core.solve_us").snapshot().count, 55u);
 }
 
 TEST(ZeroAllocTest, ChurnSpikeReservesUpFrontNotMidRound) {

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Pretty-print and diff metrics snapshots from the flowtune stats plane.
+
+A snapshot is the JSON the stats socket serves ("json" request) or the
+daemon's --stats-file / the bench's metrics_snapshot.json artifact:
+
+  {"ts_us": ..., "metrics": {"core.solve_us": {"kind": "histo", ...}}}
+
+Usage:
+
+  # Pretty-print one snapshot (live or from a file)
+  echo json | nc -U /tmp/flowtune_stats.sock | tools/obs_dump.py
+  tools/obs_dump.py metrics_snapshot.json
+
+  # Filter by metric-name substring
+  tools/obs_dump.py metrics_snapshot.json --match shard0
+
+  # Diff two snapshots (counter deltas, histogram percentile shifts)
+  tools/obs_dump.py before.json after.json
+
+Counters/gauges print as aligned name/value rows; histograms get count,
+mean and p50/p90/p99/max plus a compact log2-bucket sparkline. Diffing
+shows per-counter deltas and per-histogram p99 movement, which is the
+quickest way to see where a regression's latency went.
+"""
+
+import argparse
+import json
+import sys
+
+SPARK = " .:-=+*#%@"
+
+
+def load(path):
+    if path == "-":
+        doc = json.load(sys.stdin)
+    else:
+        with open(path) as f:
+            doc = json.load(f)
+    if "metrics" not in doc:
+        raise SystemExit(f"{path}: not a metrics snapshot (no 'metrics' key)")
+    return doc
+
+
+def sparkline(buckets):
+    """buckets: [[lower_bound, count], ...] (sparse)."""
+    if not buckets:
+        return ""
+    counts = [n for _, n in buckets]
+    peak = max(counts)
+    out = []
+    for _, n in buckets:
+        idx = 0 if n == 0 else 1 + int((len(SPARK) - 2) * n / peak)
+        out.append(SPARK[idx])
+    return "".join(out)
+
+
+def fmt_value(v):
+    return f"{v:,}" if isinstance(v, int) else f"{v:g}"
+
+
+def print_snapshot(doc, match):
+    metrics = doc["metrics"]
+    names = [n for n in metrics if match in n]
+    if not names:
+        print(f"no metrics match '{match}'", file=sys.stderr)
+        return
+    width = max(len(n) for n in names)
+    scalars = [(n, metrics[n]) for n in names
+               if metrics[n]["kind"] in ("counter", "gauge")]
+    histos = [(n, metrics[n]) for n in names if metrics[n]["kind"] == "histo"]
+    if scalars:
+        print(f"-- counters / gauges ({len(scalars)})")
+        for n, m in scalars:
+            print(f"  {n:<{width}}  {fmt_value(m['value']):>14}")
+    if histos:
+        print(f"-- histograms ({len(histos)})")
+        for n, m in histos:
+            print(f"  {n:<{width}}  count={m['count']:<10,} "
+                  f"mean={m['mean']:<10g} p50={m['p50']:<8g} "
+                  f"p90={m['p90']:<8g} p99={m['p99']:<10g} "
+                  f"max<={m['max']:<12g} |{sparkline(m['buckets'])}|")
+
+
+def print_diff(before, after, match):
+    b, a = before["metrics"], after["metrics"]
+    names = sorted(set(b) | set(a))
+    names = [n for n in names if match in n]
+    width = max((len(n) for n in names), default=0)
+    dt_us = after.get("ts_us", 0) - before.get("ts_us", 0)
+    if dt_us > 0:
+        print(f"-- snapshots {dt_us / 1e6:.3f} s apart")
+    for n in names:
+        mb, ma = b.get(n), a.get(n)
+        if mb is None or ma is None:
+            side = "after only" if mb is None else "before only"
+            print(f"  {n:<{width}}  ({side})")
+            continue
+        if ma["kind"] in ("counter", "gauge"):
+            delta = ma["value"] - mb["value"]
+            if delta == 0 and ma["value"] == 0:
+                continue  # never fired in either snapshot
+            rate = ""
+            if ma["kind"] == "counter" and dt_us > 0 and delta:
+                rate = f"  ({delta * 1e6 / dt_us:,.0f}/s)"
+            print(f"  {n:<{width}}  {fmt_value(mb['value']):>14} -> "
+                  f"{fmt_value(ma['value']):>14}  [{delta:+,}]{rate}")
+        else:
+            dcount = ma["count"] - mb["count"]
+            if dcount == 0 and ma["count"] == 0:
+                continue
+            print(f"  {n:<{width}}  count {mb['count']:,} -> "
+                  f"{ma['count']:,} [{dcount:+,}]  "
+                  f"p99 {mb['p99']:g} -> {ma['p99']:g}")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Pretty-print or diff flowtune metrics snapshots.")
+    ap.add_argument("snapshot", nargs="*", default=["-"],
+                    help="one snapshot to print, or two to diff "
+                         "(default: stdin)")
+    ap.add_argument("--match", default="",
+                    help="only show metrics whose name contains this")
+    args = ap.parse_args()
+    if len(args.snapshot) > 2:
+        ap.error("pass one snapshot to print or two to diff")
+    if not args.snapshot:
+        args.snapshot = ["-"]
+    if len(args.snapshot) == 1:
+        print_snapshot(load(args.snapshot[0]), args.match)
+    else:
+        print_diff(load(args.snapshot[0]), load(args.snapshot[1]),
+                   args.match)
+
+
+if __name__ == "__main__":
+    main()
