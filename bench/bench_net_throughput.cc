@@ -74,6 +74,13 @@ core::Allocator make_allocator(const topo::ClosTopology& clos,
 inline constexpr const char* kPhaseMetrics[] = {
     "svc.ingest_us", "core.solve_us", "core.emit_us", "svc.fanout_us"};
 
+// End-to-end update-path spans (agent-side e2e.* histograms, fed by the
+// trace-mark echo): the full agent -> shard -> round -> fanout -> agent
+// breakdown of one sampled update's latency.
+inline constexpr const char* kE2eMetrics[] = {
+    "e2e.update_us",  "e2e.queue_us",  "e2e.solve_us", "e2e.emit_us",
+    "e2e.fanout_us",  "e2e.service_us", "e2e.wire_us"};
+
 struct PhaseLat {
   const char* metric = nullptr;
   double p50_us = 0.0;
@@ -86,21 +93,46 @@ struct FanoutResult {
   double round_p50_us = 0.0;
   double round_p99_us = 0.0;
   std::uint64_t queue_drops = 0;
+  std::uint64_t traces_sent = 0;
+  std::uint64_t traces_completed = 0;
+  std::uint64_t flight_rounds = 0;
+  std::uint64_t flight_promoted = 0;
   std::vector<PhaseLat> phases;
+  std::vector<PhaseLat> e2e;  // filled when tracing was sampled
   // Mid-run "json" scrape off the live stats socket ("" if not taken).
   std::string snapshot_json;
 };
 
+struct FanoutOpts {
+  int shards = 0;
+  int alloc_threads = 0;
+  bool live_scrape = false;
+  // Attach the shared registry to the agents (required for e2e.* spans;
+  // costs a couple of clock reads per poll, so the plain sweep leaves
+  // it off to stay comparable with earlier PRs' numbers).
+  bool agent_metrics = false;
+  std::uint32_t trace_sample_every = 0;  // 0 = tracing off
+  // Tail-latency injection + flight-recorder dump (the p99 forensics
+  // demo): stall every Nth round by `stall_us` inside the fanout phase,
+  // then dump the recorder to `flight_dump_path` after the run.
+  int stall_every_rounds = 0;
+  int stall_us = 0;
+  std::string flight_dump_path;
+};
+
 // One fan-out run: `nclients` agent threads blast start/end churn at a
-// service running `shards` I/O shard threads (0 = inline single-thread
-// service) over a `alloc_threads`-thread allocation backend (0 =
-// sequential), with the caller loop (accept + allocation rounds) in its
-// own thread. Returns aggregate msgs/sec, or < 0 on connection loss.
+// service running `opts.shards` I/O shard threads (0 = inline
+// single-thread service) over an `opts.alloc_threads`-thread allocation
+// backend (0 = sequential), with the caller loop (accept + allocation
+// rounds) in its own thread. Returns aggregate msgs/sec, or < 0 on
+// connection loss.
 FanoutResult run_fanout(const topo::ClosTopology& clos, int nclients,
                         std::int64_t messages_per_client,
-                        std::int64_t batch, bool use_unix, int shards,
-                        int alloc_threads, bool pin_cores,
-                        bool live_scrape = false) {
+                        std::int64_t batch, bool use_unix, bool pin_cores,
+                        const FanoutOpts& opts) {
+  const int shards = opts.shards;
+  const int alloc_threads = opts.alloc_threads;
+  const bool live_scrape = opts.live_scrape;
   obs::MetricsRegistry reg;  // shared by allocator + service (one scrape)
   core::Allocator alloc =
       make_allocator(clos, alloc_threads, pin_cores, &reg);
@@ -116,6 +148,8 @@ FanoutResult run_fanout(const topo::ClosTopology& clos, int nclients,
   }
   scfg.iteration_period_us = 100;  // timer-driven rounds
   scfg.num_shards = shards;
+  scfg.stall_every_rounds = opts.stall_every_rounds;
+  scfg.stall_us = opts.stall_us;
   net::AllocatorService svc(loop, alloc, clos, scfg);
   // Live stats plane, scraped mid-run below exactly as an operator
   // would (served by the service thread's loop).
@@ -153,9 +187,14 @@ FanoutResult run_fanout(const topo::ClosTopology& clos, int nclients,
 
   const std::int64_t t0 = net::EpollLoop::now_us();
   std::vector<std::thread> clients;
+  std::atomic<std::uint64_t> traces_sent{0};
+  std::atomic<std::uint64_t> traces_completed{0};
   for (int c = 0; c < nclients; ++c) {
     clients.emplace_back([&, c] {
-      net::EndpointAgent agent;
+      net::AgentConfig acfg;
+      if (opts.agent_metrics) acfg.metrics = &reg;
+      acfg.trace_sample_every = opts.trace_sample_every;
+      net::EndpointAgent agent(acfg);
       const bool connected =
           use_unix ? agent.connect_unix(svc.unix_path())
                    : agent.connect_tcp("127.0.0.1", svc.tcp_port());
@@ -200,6 +239,10 @@ FanoutResult run_fanout(const topo::ClosTopology& clos, int nclients,
           return;
         }
       }
+      traces_sent.fetch_add(agent.stats().traces_sent,
+                            std::memory_order_relaxed);
+      traces_completed.fetch_add(agent.stats().traces_completed,
+                                 std::memory_order_relaxed);
       agent.disconnect();
     });
   }
@@ -226,6 +269,19 @@ FanoutResult run_fanout(const topo::ClosTopology& clos, int nclients,
     // registry directly so the artifact is never empty.
     r.snapshot_json = obs::to_json(reg);
   }
+  if (!opts.flight_dump_path.empty()) {
+    // Black-box forensics artifact: both rings, with the promoted slow
+    // rounds carrying their breach threshold. Safe here: the service
+    // thread (the only writer) has joined.
+    if (svc.flight().dump_to_file(opts.flight_dump_path)) {
+      std::printf("flight recorder dump -> %s (%llu rounds, %llu "
+                  "promoted)\n",
+                  opts.flight_dump_path.c_str(),
+                  static_cast<unsigned long long>(
+                      svc.flight().rounds_seen()),
+                  static_cast<unsigned long long>(svc.flight().promoted()));
+    }
+  }
   if (failed.load(std::memory_order_relaxed)) return r;
   const double secs =
       static_cast<double>(t_end_us.load(std::memory_order_relaxed) - t0) /
@@ -236,9 +292,19 @@ FanoutResult run_fanout(const topo::ClosTopology& clos, int nclients,
   r.round_p50_us = lat.p50();
   r.round_p99_us = lat.p99();
   r.queue_drops = svc.stats().queue_drops;
+  r.traces_sent = traces_sent.load(std::memory_order_relaxed);
+  r.traces_completed = traces_completed.load(std::memory_order_relaxed);
+  r.flight_rounds = svc.flight().rounds_seen();
+  r.flight_promoted = svc.flight().promoted();
   for (const char* name : kPhaseMetrics) {
     const obs::HistoSnapshot h = reg.histo(name).snapshot();
     r.phases.push_back({name, h.p50(), h.p99(), h.count});
+  }
+  if (opts.trace_sample_every > 0) {
+    for (const char* name : kE2eMetrics) {
+      const obs::HistoSnapshot h = reg.histo(name).snapshot();
+      r.e2e.push_back({name, h.p50(), h.p99(), h.count});
+    }
   }
   return r;
 }
@@ -307,6 +373,14 @@ int main(int argc, char** argv) {
       "metrics-snapshot", "metrics_snapshot.json",
       "write a mid-run stats-socket scrape of the largest fan-out "
       "config here (empty disables)");
+  const auto trace_sample = flags.int_flag(
+      "trace-sample", 64,
+      "sample every Nth flowlet start for e2e update-path tracing in "
+      "the overhead phase (0 disables the phase)");
+  const auto flight_dump_path = flags.string_flag(
+      "flight-dump", "flight_dump.json",
+      "flight-recorder dump from the injected-stall demo run (empty "
+      "disables the phase)");
   const bool pin_cores = flags.bool_flag(
       "pin-cores", false,
       "pin solver workers by FlowBlock row and I/O shards to the same "
@@ -523,13 +597,15 @@ int main(int argc, char** argv) {
     std::vector<PhaseLat> last_phases;
     std::string snapshot_json;
     for (const Config& c : sweep) {
+      FanoutOpts opts;
+      opts.shards = c.shards;
+      opts.alloc_threads = c.alloc_threads;
       // Scrape the live stats plane during the largest config's run.
-      const bool live_scrape =
-          !snapshot_path.empty() && &c == &sweep.back();
+      opts.live_scrape = !snapshot_path.empty() && &c == &sweep.back();
+      const bool live_scrape = opts.live_scrape;
       const FanoutResult r =
           run_fanout(clos, nclients, fanout_messages / nclients, batch,
-                     use_unix, c.shards, c.alloc_threads, pin_cores,
-                     live_scrape);
+                     use_unix, pin_cores, opts);
       if (live_scrape) {
         last_phases = r.phases;
         snapshot_json = r.snapshot_json;
@@ -605,6 +681,101 @@ int main(int argc, char** argv) {
                   scaling, gated ? "gated" : "advisory", hw);
       if (gated && scaling < 2.0) fanout_ok = false;
     }
+  }
+
+  // --- End-to-end tracing: the same largest config run twice -- trace
+  // sampling off vs every Nth start -- so the overhead number isolates
+  // the sampling itself (both arms carry agent metrics). The traced run
+  // yields the agent -> shard -> round -> fanout -> agent span
+  // breakdown from real echoed trace marks.
+  if (fanout && trace_sample > 0) {
+    bench::banner("E2E update-path tracing",
+                  "per-hop span breakdown + sampling overhead");
+    const int nclients = static_cast<int>(fanout_clients);
+    const int par_threads =
+        alloc_threads > 0 ? static_cast<int>(alloc_threads)
+                          : std::min(hw, 4);
+    FanoutOpts off;
+    off.shards = 4;
+    off.alloc_threads = par_threads;
+    off.agent_metrics = true;
+    FanoutOpts on = off;
+    on.trace_sample_every = static_cast<std::uint32_t>(trace_sample);
+    const FanoutResult r_off =
+        run_fanout(clos, nclients, fanout_messages / nclients, batch,
+                   use_unix, pin_cores, off);
+    const FanoutResult r_on =
+        run_fanout(clos, nclients, fanout_messages / nclients, batch,
+                   use_unix, pin_cores, on);
+    auto& j = json.child("tracing");
+    j.set("sample_every", trace_sample);
+    if (r_off.msgs_per_sec > 0.0 && r_on.msgs_per_sec > 0.0) {
+      const double overhead_pct =
+          (r_off.msgs_per_sec - r_on.msgs_per_sec) / r_off.msgs_per_sec *
+          100.0;
+      std::printf("msgs/sec off=%.0f on=%.0f (1/%lld sampling) -> "
+                  "overhead %.2f%% (target < 2%%)\n",
+                  r_off.msgs_per_sec, r_on.msgs_per_sec,
+                  static_cast<long long>(trace_sample), overhead_pct);
+      std::printf("traces: %llu sampled, %llu completed echoes\n",
+                  static_cast<unsigned long long>(r_on.traces_sent),
+                  static_cast<unsigned long long>(r_on.traces_completed));
+      bench::Table et({"span", "p50", "p99", "samples"});
+      for (const PhaseLat& p : r_on.e2e) {
+        et.add_row({p.metric, bench::fmt("%.1f us", p.p50_us),
+                    bench::fmt("%.1f us", p.p99_us),
+                    bench::fmt("%llu",
+                               static_cast<unsigned long long>(p.count))});
+      }
+      et.print();
+      j.set("msgs_per_sec_off", r_off.msgs_per_sec);
+      j.set("msgs_per_sec_on", r_on.msgs_per_sec);
+      j.set("overhead_pct", overhead_pct);
+      j.set("traces_sent", r_on.traces_sent);
+      j.set("traces_completed", r_on.traces_completed);
+      auto& ej = j.child("e2e");
+      for (const PhaseLat& p : r_on.e2e) {
+        auto& e = ej.child(p.metric);
+        e.set("p50_us", p.p50_us);
+        e.set("p99_us", p.p99_us);
+        e.set("count", p.count);
+        if (std::string(p.metric) == "e2e.update_us") {
+          // Top-level alias the regression checker tracks across PRs.
+          json.set("e2e_p50_us", p.p50_us);
+          json.set("e2e_p99_us", p.p99_us);
+        }
+      }
+    } else {
+      j.set("failed", true);
+    }
+  }
+
+  // --- Flight recorder demo: a short run with a stall injected into
+  // every 200th round's fanout phase; the promoted rounds land in the
+  // black box with phase attribution, dumped as the CI artifact.
+  if (fanout && !flight_dump_path.empty()) {
+    bench::banner("Flight recorder",
+                  "injected-stall tail forensics -> flight dump");
+    const int nclients = static_cast<int>(fanout_clients);
+    FanoutOpts opts;
+    opts.shards = 4;
+    opts.alloc_threads = 0;
+    opts.stall_every_rounds = 200;
+    opts.stall_us = 3000;
+    opts.flight_dump_path = flight_dump_path;
+    const std::int64_t demo_messages =
+        std::min<std::int64_t>(fanout_messages, 200'000);
+    const FanoutResult r =
+        run_fanout(clos, nclients, demo_messages / nclients, batch,
+                   use_unix, pin_cores, opts);
+    auto& j = json.child("flight_demo");
+    j.set("stall_every_rounds", opts.stall_every_rounds);
+    j.set("stall_us", opts.stall_us);
+    j.set("rounds", r.flight_rounds);
+    j.set("promoted", r.flight_promoted);
+    std::printf("%llu rounds, %llu promoted into the black box\n",
+                static_cast<unsigned long long>(r.flight_rounds),
+                static_cast<unsigned long long>(r.flight_promoted));
   }
 
   const bool pass = msgs_per_sec >= 100'000.0 && fanout_ok && backend_ok;

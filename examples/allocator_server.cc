@@ -93,7 +93,7 @@ int main(int argc, char** argv) {
   const auto stats_socket_path = flags.string_flag(
       "stats-socket", "",
       "live stats plane: Unix socket serving metric snapshots "
-      "(echo json|prom|trace | nc -U <path>)");
+      "(echo json|prom|trace|flight | nc -U <path>)");
   const auto stats_interval = flags.double_flag(
       "stats-interval", 0,
       "periodic JSON metrics snapshot interval (s; 0 disables)");
@@ -105,6 +105,17 @@ int main(int argc, char** argv) {
       "trace-out", "",
       "enable phase tracing and dump chrome://tracing JSON here on "
       "shutdown");
+  const auto flight_out = flags.string_flag(
+      "flight-out", "",
+      "auto-flush the flight recorder (per-round black box) here on "
+      "shutdown; it is always live via `echo flight | nc -U "
+      "<stats-socket>`");
+  const auto stall_every = flags.int_flag(
+      "stall-every-rounds", 0,
+      "fault injection: busy-spin --stall-us inside every Nth round's "
+      "fanout phase (flight-recorder demos; 0 disables)");
+  const auto stall_us =
+      flags.int_flag("stall-us", 0, "stall length for --stall-every-rounds");
   flags.done(
       "Flowtune allocator daemon: serves endpoint agents over TCP/Unix "
       "sockets, runs the NED+F-NORM round every --period-us. "
@@ -164,6 +175,9 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
   acfg.metrics = &reg;
   scfg.metrics = &reg;
+  scfg.stall_every_rounds = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(0, stall_every));
+  scfg.stall_us = stall_us;
   if (!trace_out.empty()) obs::PhaseTracer::set_enabled(true);
 
   std::unique_ptr<core::Allocator> alloc_holder;
@@ -193,6 +207,7 @@ int main(int argc, char** argv) {
   if (!stats_socket_path.empty()) {
     stats_socket =
         std::make_unique<obs::StatsSocket>(loop, stats_socket_path, reg);
+    stats_socket->set_flight(&svc.flight());
   }
   g_loop = &loop;
   std::signal(SIGINT, handle_signal);
@@ -260,6 +275,19 @@ int main(int argc, char** argv) {
   }
 
   loop.run();
+  if (!flight_out.empty()) {
+    if (svc.flight().dump_to_file(flight_out)) {
+      std::printf("flight recorder dump written to %s (%llu rounds, "
+                  "%llu promoted)\n",
+                  flight_out.c_str(),
+                  static_cast<unsigned long long>(
+                      svc.flight().rounds_seen()),
+                  static_cast<unsigned long long>(svc.flight().promoted()));
+    } else {
+      std::fprintf(stderr, "failed to write flight dump to %s\n",
+                   flight_out.c_str());
+    }
+  }
   if (!trace_out.empty()) {
     if (obs::PhaseTracer::dump_json(trace_out)) {
       std::printf("phase trace written to %s\n", trace_out.c_str());

@@ -11,6 +11,7 @@
 // by value, and iteration order is unspecified.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -70,6 +71,15 @@ class FlatMap64 {
     slots_[i].value = value;
     ++size_;
     return true;
+  }
+
+  // Drops every entry but keeps the slot array: a cleared map re-fills
+  // to its previous size without touching the heap (batch-coalescing
+  // maps are cleared once per flush).
+  void clear() {
+    if (size_ == 0) return;
+    std::fill(used_.begin(), used_.end(), std::uint8_t{0});
+    size_ = 0;
   }
 
   // Removes the key; returns false if absent. Backward-shift deletion:

@@ -126,10 +126,13 @@ bool Allocator::flowlet_end(std::uint64_t key) {
 }
 
 void Allocator::run_iteration(std::vector<RateUpdate>& out) {
-  const std::int64_t t0 = obs::now_us();
+  // One clock for the round: obs::now_ns (CLOCK_MONOTONIC_RAW), so the
+  // stamps exposed via last_round_stamps() difference cleanly against
+  // the service's trace hop stamps. Histograms keep microseconds.
+  const std::int64_t t0 = obs::now_ns();
   backend_->solve(cfg_.iters_per_round);
-  const std::int64_t t1 = obs::now_us();
-  m_->solve_us.record_signed(t1 - t0);
+  const std::int64_t t1 = obs::now_ns();
+  m_->solve_us.record_signed((t1 - t0) / 1000);
   m_->iterations.add(1);
 
   const std::span<const double> norm_rates = backend_->norm_rates();
@@ -165,13 +168,16 @@ void Allocator::run_iteration(std::vector<RateUpdate>& out) {
     last_notified_[s] = u.rate_bps;
     ++emitted;
   }
-  const std::int64_t t2 = obs::now_us();
-  m_->emit_us.record_signed(t2 - t1);
+  const std::int64_t t2 = obs::now_ns();
+  m_->emit_us.record_signed((t2 - t1) / 1000);
   m_->updates_emitted.add(emitted);
   m_->updates_suppressed.add(suppressed);
+  stamps_.solve_start_ns = t0;
+  stamps_.solve_end_ns = t1;
+  stamps_.emit_end_ns = t2;
   if (obs::PhaseTracer::enabled()) {
-    obs::PhaseTracer::record("core.solve", t0, t1 - t0);
-    obs::PhaseTracer::record("core.emit", t1, t2 - t1);
+    obs::PhaseTracer::record("core.solve", t0 / 1000, (t1 - t0) / 1000);
+    obs::PhaseTracer::record("core.emit", t1 / 1000, (t2 - t1) / 1000);
   }
 }
 

@@ -118,6 +118,19 @@ class Allocator {
   // drifted past the threshold again.
   void invalidate_notification(std::uint64_t key);
 
+  // CLOCK_MONOTONIC_RAW stamps (obs::now_ns) of the most recent
+  // run_iteration's phase boundaries: solve start, solve/normalize done,
+  // emission sweep done. The service's update-path tracer copies these
+  // into a traced flow's kHopSolveDone / kHopEmitDone slots.
+  struct RoundStamps {
+    std::int64_t solve_start_ns = 0;
+    std::int64_t solve_end_ns = 0;
+    std::int64_t emit_end_ns = 0;
+  };
+  [[nodiscard]] const RoundStamps& last_round_stamps() const {
+    return stamps_;
+  }
+
   // Most recent *normalized, quantized* rate notified for a flow (0 if
   // never notified or unknown).
   [[nodiscard]] double notified_rate(std::uint64_t key) const;
@@ -150,6 +163,7 @@ class Allocator {
   FlatMap64<FlowIndex> key_to_slot_;
   std::vector<std::uint64_t> slot_to_key_;
   std::vector<double> last_notified_;  // per slot; <0 = never notified
+  RoundStamps stamps_;
 };
 
 }  // namespace ft::core

@@ -108,6 +108,10 @@ class ParallelNedBackend final : public SolveBackend {
     par_->bind_metrics(reg);
   }
 
+  [[nodiscard]] double last_band_max_us() const override {
+    return par_->last_band_max_us();
+  }
+
   [[nodiscard]] const char* name() const override { return "parallel"; }
 
  private:

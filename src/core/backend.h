@@ -54,6 +54,11 @@ class SolveBackend {
   // adds per-band solve and barrier-wait histograms. Default: no-op.
   virtual void bind_metrics(obs::MetricsRegistry& /*reg*/) {}
 
+  // Slowest worker band's compute time (us) in the most recent solve,
+  // for flight-recorder spike attribution; 0 when the backend has no
+  // notion of bands (sequential).
+  [[nodiscard]] virtual double last_band_max_us() const { return 0.0; }
+
   [[nodiscard]] virtual const char* name() const = 0;
 };
 

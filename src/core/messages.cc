@@ -22,6 +22,18 @@ std::uint32_t get32(const std::uint8_t* p) {
          (static_cast<std::uint32_t>(p[2]) << 16) |
          (static_cast<std::uint32_t>(p[3]) << 24);
 }
+void put64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+std::uint64_t get64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
 
 }  // namespace
 
@@ -47,6 +59,16 @@ std::array<std::uint8_t, kRateUpdateBytes> encode(const RateUpdateMsg& m) {
   std::array<std::uint8_t, kRateUpdateBytes> buf{};
   put32(&buf[0], m.flow_key);
   put16(&buf[4], m.rate_code);
+  return buf;
+}
+
+std::array<std::uint8_t, kTraceMarkBytes> encode(const TraceMarkMsg& m) {
+  std::array<std::uint8_t, kTraceMarkBytes> buf{};
+  put32(&buf[0], m.flow_key);
+  put64(&buf[4], m.trace_id);
+  for (std::size_t i = 0; i < kTraceHopSlots; ++i) {
+    put64(&buf[12 + 8 * i], static_cast<std::uint64_t>(m.t_ns[i]));
+  }
   return buf;
 }
 
@@ -78,6 +100,18 @@ std::optional<RateUpdateMsg> try_decode_rate_update(
   return m;
 }
 
+std::optional<TraceMarkMsg> try_decode_trace_mark(
+    std::span<const std::uint8_t> buf) {
+  if (buf.size() < kTraceMarkBytes) return std::nullopt;
+  TraceMarkMsg m;
+  m.flow_key = get32(&buf[0]);
+  m.trace_id = get64(&buf[4]);
+  for (std::size_t i = 0; i < kTraceHopSlots; ++i) {
+    m.t_ns[i] = static_cast<std::int64_t>(get64(&buf[12 + 8 * i]));
+  }
+  return m;
+}
+
 FlowletStartMsg decode_flowlet_start(
     const std::array<std::uint8_t, kFlowletStartBytes>& buf) {
   return *try_decode_flowlet_start(std::span<const std::uint8_t>(buf));
@@ -91,6 +125,11 @@ FlowletEndMsg decode_flowlet_end(
 RateUpdateMsg decode_rate_update(
     const std::array<std::uint8_t, kRateUpdateBytes>& buf) {
   return *try_decode_rate_update(std::span<const std::uint8_t>(buf));
+}
+
+TraceMarkMsg decode_trace_mark(
+    const std::array<std::uint8_t, kTraceMarkBytes>& buf) {
+  return *try_decode_trace_mark(std::span<const std::uint8_t>(buf));
 }
 
 }  // namespace ft::core

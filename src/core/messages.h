@@ -16,6 +16,26 @@ inline constexpr std::size_t kFlowletStartBytes = 16;
 inline constexpr std::size_t kFlowletEndBytes = 4;
 inline constexpr std::size_t kRateUpdateBytes = 6;
 
+// Update-path trace hop slots carried by TraceMarkMsg. Slot 0 is stamped
+// on the agent's clock; 1..5 on the service's. The seventh hop (agent
+// receive) is taken locally when the echoed mark arrives, so it never
+// rides the wire.
+enum TraceHop : std::uint8_t {
+  kHopAgentSend = 0,    // agent wrote the sampled flowlet_start
+  kHopShardIngest = 1,  // shard thread decoded the mark off the socket
+  kHopRoundPickup = 2,  // allocation thread drained the start's event
+  kHopSolveDone = 3,    // NED/F-NORM solve for the covering round done
+  kHopEmitDone = 4,     // thresholded update emission done
+  kHopFanoutWrite = 5,  // rate record written into the peer's batch
+};
+inline constexpr std::size_t kTraceHopSlots = 6;
+inline constexpr std::size_t kTraceMarkBytes =
+    4 + 8 + 8 * kTraceHopSlots;  // flow_key + trace_id + hop stamps
+
+// FlowletStartMsg::flags bit: this start is traced; a TraceMarkMsg for
+// the same flow_key follows in the same batch.
+inline constexpr std::uint16_t kFlowletStartTracedFlag = 1u << 0;
+
 struct FlowletStartMsg {
   std::uint32_t flow_key = 0;
   std::uint16_t src_host = 0;
@@ -43,12 +63,26 @@ struct RateUpdateMsg {
                          const RateUpdateMsg&) = default;
 };
 
+// Trace context for one sampled flowlet_start. Emitted by the agent
+// right after the flagged start record, hop-stamped inside the service
+// (obs::now_ns, CLOCK_MONOTONIC_RAW), and echoed back on the traced
+// flow's rate-update batch. A zero t_ns slot means "not stamped yet".
+struct TraceMarkMsg {
+  std::uint32_t flow_key = 0;
+  std::uint64_t trace_id = 0;
+  std::array<std::int64_t, kTraceHopSlots> t_ns{};
+
+  friend bool operator==(const TraceMarkMsg&, const TraceMarkMsg&) = default;
+};
+
 [[nodiscard]] std::array<std::uint8_t, kFlowletStartBytes> encode(
     const FlowletStartMsg& m);
 [[nodiscard]] std::array<std::uint8_t, kFlowletEndBytes> encode(
     const FlowletEndMsg& m);
 [[nodiscard]] std::array<std::uint8_t, kRateUpdateBytes> encode(
     const RateUpdateMsg& m);
+[[nodiscard]] std::array<std::uint8_t, kTraceMarkBytes> encode(
+    const TraceMarkMsg& m);
 
 // Stream-oriented decoders: parse a message from the front of `buf`
 // without copying into a fixed array first. Returns nullopt when fewer
@@ -60,6 +94,8 @@ struct RateUpdateMsg {
     std::span<const std::uint8_t> buf);
 [[nodiscard]] std::optional<RateUpdateMsg> try_decode_rate_update(
     std::span<const std::uint8_t> buf);
+[[nodiscard]] std::optional<TraceMarkMsg> try_decode_trace_mark(
+    std::span<const std::uint8_t> buf);
 
 // Fixed-array decoders (thin wrappers over the span overloads).
 [[nodiscard]] FlowletStartMsg decode_flowlet_start(
@@ -68,5 +104,7 @@ struct RateUpdateMsg {
     const std::array<std::uint8_t, kFlowletEndBytes>& buf);
 [[nodiscard]] RateUpdateMsg decode_rate_update(
     const std::array<std::uint8_t, kRateUpdateBytes>& buf);
+[[nodiscard]] TraceMarkMsg decode_trace_mark(
+    const std::array<std::uint8_t, kTraceMarkBytes>& buf);
 
 }  // namespace ft::core

@@ -1,7 +1,6 @@
 #include "core/parallel.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "common/check.h"
 #include "obs/metrics.h"
@@ -59,6 +58,7 @@ ParallelNed::ParallelNed(NumProblem& problem,
     w.dxdp.assign(links, 0.0);
     w.ratio.assign(links, 0.0);
   }
+  last_band_ns_.assign(static_cast<std::size_t>(num_threads_), 0);
   band_begin_.resize(static_cast<std::size_t>(num_threads_) + 1);
   for (std::int32_t t = 0; t <= num_threads_; ++t) {
     band_begin_[static_cast<std::size_t>(t)] =
@@ -192,20 +192,17 @@ void ParallelNed::run_phases(std::int32_t t) {
     return w >= band_lo && w < band_hi;
   };
 
-  // Telemetry: two clock reads per barrier when bound, none otherwise.
-  // Wait time accumulates locally and is recorded once per iteration, so
-  // the record cost does not scale with the barrier count.
-  const bool timed = band_us_ != nullptr;
-  const std::int64_t t_begin = timed ? obs::now_us() : 0;
-  std::int64_t wait_us = 0;
+  // Band timing is always on (obs::now_ns, two reads per barrier --
+  // tens of ns against a multi-us phase): the flight recorder wants
+  // last_band_max_us() per round even when no registry is bound. Wait
+  // time accumulates locally and is recorded once per iteration, so the
+  // record cost does not scale with the barrier count.
+  const std::int64_t t_begin = obs::now_ns();
+  std::int64_t wait_ns = 0;
   const auto phase_wait = [&] {
-    if (!timed) {
-      phase_barrier_.arrive_and_wait();
-      return;
-    }
-    const std::int64_t w0 = obs::now_us();
+    const std::int64_t w0 = obs::now_ns();
     phase_barrier_.arrive_and_wait();
-    wait_us += obs::now_us() - w0;
+    wait_ns += obs::now_ns() - w0;
   };
 
   // Phase 0: rate update on private copies.
@@ -271,10 +268,20 @@ void ParallelNed::run_phases(std::int32_t t) {
     }
   }
 
-  if (timed) {
-    band_us_->record_signed(obs::now_us() - t_begin - wait_us);
-    barrier_wait_us_->record_signed(wait_us);
+  const std::int64_t compute_ns = obs::now_ns() - t_begin - wait_ns;
+  last_band_ns_[static_cast<std::size_t>(t)] = compute_ns;
+  if (band_us_ != nullptr) {
+    band_us_->record_signed(compute_ns / 1000);
+    barrier_wait_us_->record_signed(wait_ns / 1000);
   }
+}
+
+double ParallelNed::last_band_max_us() const {
+  std::int64_t max_ns = 0;
+  for (const std::int64_t ns : last_band_ns_) {
+    max_ns = std::max(max_ns, ns);
+  }
+  return static_cast<double>(max_ns) / 1000.0;
 }
 
 void ParallelNed::bind_metrics(obs::MetricsRegistry& reg) {
@@ -312,14 +319,15 @@ void ParallelNed::iterate(bool compute_norm) {
     flow_worker_.resize(problem_.num_slots(), -1);
     flow_pos_.resize(problem_.num_slots(), 0);
   }
-  const auto t0 = std::chrono::steady_clock::now();
+  // obs::now_ns, not steady_clock: iterate() wall time is differenced
+  // against worker-thread band stamps, so every side must read the same
+  // (RAW) clock.
+  const std::int64_t t0 = obs::now_ns();
   const std::uint64_t c0 = read_cycles();
   start_barrier_.arrive_and_wait();
   end_barrier_.arrive_and_wait();
   last_iter_cycles_ = read_cycles() - c0;
-  last_iter_seconds_ =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  last_iter_seconds_ = static_cast<double>(obs::now_ns() - t0) / 1e9;
 }
 
 }  // namespace ft::core

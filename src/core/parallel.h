@@ -99,6 +99,11 @@ class ParallelNed {
   [[nodiscard]] std::uint64_t last_iter_cycles() const {
     return last_iter_cycles_;
   }
+  // Slowest thread's compute time (barrier waits excluded) in the last
+  // iterate(), in microseconds. The flight recorder stores this per
+  // round so a solve spike can be attributed to band load imbalance
+  // without re-running with tracing on. Valid after the first iterate().
+  [[nodiscard]] double last_band_max_us() const;
 
   // Telemetry (cold path; call before the first iterate): each worker
   // thread records its per-iteration compute time (barrier waits
@@ -161,6 +166,10 @@ class ParallelNed {
 
   double last_iter_seconds_ = 0.0;
   std::uint64_t last_iter_cycles_ = 0;
+  // Per-thread compute ns of the last iteration. Each thread writes only
+  // its own slot between the start/end barriers; the main thread reads
+  // after the end barrier, so access is race-free without atomics.
+  std::vector<std::int64_t> last_band_ns_;
 
   obs::LatencyHisto* band_us_ = nullptr;          // per-thread compute
   obs::LatencyHisto* barrier_wait_us_ = nullptr;  // per-thread waiting

@@ -17,6 +17,7 @@
 #include "common/wire.h"
 #include "net/epoll_loop.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ft::net {
 
@@ -29,6 +30,18 @@ struct EndpointAgent::Metrics {
   obs::Counter& updates_received;
   obs::Gauge& detector_occupancy;
   obs::Gauge& detector_evictions;
+  // End-to-end span breakdown from completed trace echoes. update_us is
+  // the full agent-send -> agent-receive loop on the agent's RAW clock;
+  // queue/solve/emit/fanout are the service-side hop deltas; service_us
+  // spans shard ingest -> fanout write; wire_us is the residual (wire +
+  // epoll queueing, both directions -- same-host runs only).
+  obs::LatencyHisto& e2e_update_us;
+  obs::LatencyHisto& e2e_queue_us;
+  obs::LatencyHisto& e2e_solve_us;
+  obs::LatencyHisto& e2e_emit_us;
+  obs::LatencyHisto& e2e_fanout_us;
+  obs::LatencyHisto& e2e_service_us;
+  obs::LatencyHisto& e2e_wire_us;
 
   explicit Metrics(obs::MetricsRegistry& reg)
       : first_update_rtt_us(reg.histo("agent.first_update_rtt_us")),
@@ -36,7 +49,14 @@ struct EndpointAgent::Metrics {
         poll_gap_us(reg.histo("agent.poll_gap_us")),
         updates_received(reg.counter("agent.updates_received")),
         detector_occupancy(reg.gauge("agent.detector_occupancy")),
-        detector_evictions(reg.gauge("agent.detector_evictions")) {}
+        detector_evictions(reg.gauge("agent.detector_evictions")),
+        e2e_update_us(reg.histo("e2e.update_us")),
+        e2e_queue_us(reg.histo("e2e.queue_us")),
+        e2e_solve_us(reg.histo("e2e.solve_us")),
+        e2e_emit_us(reg.histo("e2e.emit_us")),
+        e2e_fanout_us(reg.histo("e2e.fanout_us")),
+        e2e_service_us(reg.histo("e2e.service_us")),
+        e2e_wire_us(reg.histo("e2e.wire_us")) {}
 };
 
 EndpointAgent::EndpointAgent(
@@ -132,8 +152,10 @@ bool EndpointAgent::flowlet_start(std::uint32_t key, std::uint16_t src,
   flows_.emplace(key,
                  FlowletState{0.0, 0, src, dst, weight_milli,
                               m_ != nullptr ? EpollLoop::now_us() : 0});
+  const std::uint16_t flags = next_start_flags();
   writer_.add(core::FlowletStartMsg{key, src, dst, size_hint_bytes,
-                                    weight_milli, 0});
+                                    weight_milli, flags});
+  if (flags != 0) emit_trace_mark(key);
   ++stats_.starts_sent;
   if (detector_) {
     // Prime the detector so the idle sweep covers explicit
@@ -195,8 +217,10 @@ void EndpointAgent::detected_start(const flowlet::PacketRecord& p) {
   flows_.emplace(p.flow_key,
                  FlowletState{0.0, 0, p.src_host, p.dst_host, weight,
                               m_ != nullptr ? EpollLoop::now_us() : 0});
+  const std::uint16_t flags = next_start_flags();
   writer_.add(core::FlowletStartMsg{p.flow_key, p.src_host, p.dst_host,
-                                    0, weight, 0});
+                                    0, weight, flags});
+  if (flags != 0) emit_trace_mark(p.flow_key);
   ++stats_.starts_sent;
 }
 
@@ -205,6 +229,54 @@ void EndpointAgent::detected_end(std::uint32_t key) {
   writer_.add(core::FlowletEndMsg{key});
   ++stats_.ends_sent;
   ++stats_.idle_ends;
+}
+
+std::uint16_t EndpointAgent::next_start_flags() {
+  if (cfg_.trace_sample_every == 0) return 0;
+  if (++trace_start_count_ % cfg_.trace_sample_every != 0) return 0;
+  return core::kFlowletStartTracedFlag;
+}
+
+void EndpointAgent::emit_trace_mark(std::uint32_t key) {
+  core::TraceMarkMsg mark;
+  mark.flow_key = key;
+  mark.trace_id =
+      (static_cast<std::uint64_t>(key) << 32) ^ ++trace_seq_;
+  mark.t_ns[core::kHopAgentSend] = obs::now_ns();
+  writer_.add(mark);
+  ++stats_.traces_sent;
+}
+
+void EndpointAgent::on_trace_mark(const core::TraceMarkMsg& m) {
+  // The completed echo. Slot 0 and this receive stamp are on our RAW
+  // clock, hops 1..5 on the service's; same-host runs share one clock so
+  // every delta below is exact. Cross-host, only the agent-side total
+  // and the service-side run are individually meaningful.
+  const std::int64_t t6 = obs::now_ns();
+  last_trace_.mark = m;
+  last_trace_.t_receive_ns = t6;
+  ++stats_.traces_completed;
+  const auto& t = m.t_ns;
+  const std::int64_t e2e = t6 - t[core::kHopAgentSend];
+  if (m_ != nullptr) {
+    const std::int64_t service =
+        t[core::kHopFanoutWrite] - t[core::kHopShardIngest];
+    m_->e2e_update_us.record_signed(e2e / 1000);
+    m_->e2e_queue_us.record_signed(
+        (t[core::kHopRoundPickup] - t[core::kHopShardIngest]) / 1000);
+    m_->e2e_solve_us.record_signed(
+        (t[core::kHopSolveDone] - t[core::kHopRoundPickup]) / 1000);
+    m_->e2e_emit_us.record_signed(
+        (t[core::kHopEmitDone] - t[core::kHopSolveDone]) / 1000);
+    m_->e2e_fanout_us.record_signed(
+        (t[core::kHopFanoutWrite] - t[core::kHopEmitDone]) / 1000);
+    m_->e2e_service_us.record_signed(service / 1000);
+    m_->e2e_wire_us.record_signed((e2e - service) / 1000);
+  }
+  if (obs::PhaseTracer::enabled()) {
+    obs::PhaseTracer::record("e2e.update", t[core::kHopAgentSend] / 1000,
+                             e2e / 1000);
+  }
 }
 
 void EndpointAgent::on_rate_update(const core::RateUpdateMsg& m) {

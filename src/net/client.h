@@ -56,6 +56,13 @@ struct AgentConfig {
   // between polls), and detector table occupancy/eviction gauges. Null
   // disables recording entirely (no clock reads on the packet path).
   obs::MetricsRegistry* metrics = nullptr;
+  // End-to-end update-path tracing: every Nth flowlet start is sampled
+  // (its FlowletStartMsg carries kFlowletStartTracedFlag and a
+  // TraceMarkMsg rides the same batch). The service stamps each hop and
+  // echoes the completed mark back on the flow's first rate update,
+  // landing e2e.* span histograms in `metrics` and the raw hops in
+  // last_trace(). 0 disables sampling.
+  std::uint32_t trace_sample_every = 0;
 };
 
 struct AgentStats {
@@ -63,6 +70,8 @@ struct AgentStats {
   std::uint64_t ends_sent = 0;
   std::uint64_t idle_ends = 0;  // subset of ends_sent from the detector
   std::uint64_t updates_received = 0;
+  std::uint64_t traces_sent = 0;       // sampled starts with a mark
+  std::uint64_t traces_completed = 0;  // echoes received back
   std::uint64_t frames_out = 0;
   std::int64_t bytes_out = 0;
   std::int64_t bytes_in = 0;
@@ -130,6 +139,16 @@ class EndpointAgent : MessageSink {
   [[nodiscard]] std::uint16_t rate_code(std::uint32_t key) const;
 
   [[nodiscard]] const AgentStats& stats() const { return stats_; }
+  // The most recent completed trace: the echoed mark's six wire hops
+  // plus the local receive stamp (the seventh). Meaningful once
+  // stats().traces_completed > 0.
+  struct TraceResult {
+    core::TraceMarkMsg mark;
+    std::int64_t t_receive_ns = 0;
+  };
+  [[nodiscard]] const TraceResult& last_trace() const {
+    return last_trace_;
+  }
   // The active detection policy (nullptr when detection is disabled).
   [[nodiscard]] const flowlet::FlowletDetector* detector() const {
     return detector_.get();
@@ -150,6 +169,11 @@ class EndpointAgent : MessageSink {
   };
 
   void on_rate_update(const core::RateUpdateMsg& m) override;
+  void on_trace_mark(const core::TraceMarkMsg& m) override;
+  // Sampling decision for the next flowlet start (0 or the traced flag).
+  [[nodiscard]] std::uint16_t next_start_flags();
+  // Appends the origin-stamped mark behind its sampled start record.
+  void emit_trace_mark(std::uint32_t key);
   bool adopt_socket(int fd);
   bool drain_socket();
   bool try_write();
@@ -173,6 +197,9 @@ class EndpointAgent : MessageSink {
   AgentStats stats_;
   std::unique_ptr<Metrics> m_;  // null when cfg.metrics is null
   std::int64_t last_poll_us_ = 0;
+  std::uint64_t trace_start_count_ = 0;  // starts seen by the sampler
+  std::uint64_t trace_seq_ = 0;          // per-agent trace id entropy
+  TraceResult last_trace_;
 };
 
 }  // namespace ft::net

@@ -47,14 +47,18 @@ void FrameWriter::add(const core::FlowletEndMsg& m) {
 
 void FrameWriter::add(const core::RateUpdateMsg& m) {
   const auto enc = core::encode(m);
-  const auto it = rate_record_at_.find(m.flow_key);
-  if (it != rate_record_at_.end()) {
-    std::memcpy(&payload_[it->second + 1], enc.data(), enc.size());
+  if (const std::size_t* at = rate_record_at_.find(m.flow_key)) {
+    std::memcpy(&payload_[*at + 1], enc.data(), enc.size());
     ++stats_.coalesced_updates;
     return;
   }
   rate_record_at_.emplace(m.flow_key, payload_.size());
   append_record(payload_, MsgType::kRateUpdate, enc);
+  ++open_records_;
+}
+
+void FrameWriter::add(const core::TraceMarkMsg& m) {
+  append_record(payload_, MsgType::kTraceMark, core::encode(m));
   ++open_records_;
 }
 
@@ -132,6 +136,13 @@ bool FrameParser::parse_payload(std::span<const std::uint8_t> payload,
         if (!m) return false;
         sink.on_rate_update(*m);
         off += kRateRecordBytes;
+        break;
+      }
+      case MsgType::kTraceMark: {
+        const auto m = core::try_decode_trace_mark(rest);
+        if (!m) return false;
+        sink.on_trace_mark(*m);
+        off += kTraceRecordBytes;
         break;
       }
       default:

@@ -13,9 +13,9 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "core/messages.h"
 
 namespace ft::net {
@@ -24,6 +24,7 @@ enum class MsgType : std::uint8_t {
   kFlowletStart = 1,
   kFlowletEnd = 2,
   kRateUpdate = 3,
+  kTraceMark = 4,
 };
 
 inline constexpr std::size_t kFrameHeaderBytes = 4;
@@ -35,6 +36,7 @@ inline constexpr std::size_t kStartRecordBytes =
     1 + core::kFlowletStartBytes;
 inline constexpr std::size_t kEndRecordBytes = 1 + core::kFlowletEndBytes;
 inline constexpr std::size_t kRateRecordBytes = 1 + core::kRateUpdateBytes;
+inline constexpr std::size_t kTraceRecordBytes = 1 + core::kTraceMarkBytes;
 
 struct FrameWriterStats {
   std::uint64_t frames = 0;
@@ -54,6 +56,8 @@ class FrameWriter {
   // Latest-wins: if the open batch already carries an update for
   // m.flow_key, its rate code is overwritten in place.
   void add(const core::RateUpdateMsg& m);
+  // Trace marks never coalesce: each one is a distinct sampled context.
+  void add(const core::TraceMarkMsg& m);
 
   [[nodiscard]] bool empty() const { return payload_.empty(); }
   [[nodiscard]] std::size_t pending_bytes() const { return payload_.size(); }
@@ -66,8 +70,10 @@ class FrameWriter {
 
  private:
   std::vector<std::uint8_t> payload_;
-  // flow_key -> payload offset of that flow's rate-update record.
-  std::unordered_map<std::uint32_t, std::size_t> rate_record_at_;
+  // flow_key -> payload offset of that flow's rate-update record. Flat
+  // open-addressed map so the per-batch coalescing lookups never touch
+  // the heap once the table is warm (clear() keeps capacity).
+  FlatMap64<std::size_t> rate_record_at_;
   std::uint64_t open_records_ = 0;
   FrameWriterStats stats_;
 };
@@ -80,6 +86,7 @@ class MessageSink {
   virtual void on_flowlet_start(const core::FlowletStartMsg&) {}
   virtual void on_flowlet_end(const core::FlowletEndMsg&) {}
   virtual void on_rate_update(const core::RateUpdateMsg&) {}
+  virtual void on_trace_mark(const core::TraceMarkMsg&) {}
 };
 
 struct FrameParserStats {

@@ -118,7 +118,7 @@ struct AllocatorService::Counters {
 // carry the route resolved on the shard thread (link ids), so the
 // allocation thread only touches the allocator.
 struct AllocatorService::UpEvent {
-  enum class Kind : std::uint8_t { kStart, kEnd };
+  enum class Kind : std::uint8_t { kStart, kEnd, kTrace };
   Kind kind = Kind::kEnd;
   std::uint8_t route_len = 0;
   std::uint16_t weight_milli = 1000;
@@ -126,6 +126,11 @@ struct AllocatorService::UpEvent {
   // Shard-local start-attempt tag echoed back in kReject, so a stale
   // reject cannot cancel a newer registration of the same key.
   std::uint64_t seq = 0;
+  // kTrace payload: the agent's trace id + origin stamp, and the shard
+  // ingest stamp taken when the mark came off the socket.
+  std::uint64_t trace_id = 0;
+  std::int64_t t_origin_ns = 0;
+  std::int64_t t_ingest_ns = 0;
   std::array<std::uint32_t, core::kMaxRouteLinks> route{};
 };
 
@@ -164,6 +169,9 @@ struct AllocatorService::Connection : MessageSink {
   void on_flowlet_end(const core::FlowletEndMsg& m) override {
     svc->handle_end(*shard, *this, m);
   }
+  void on_trace_mark(const core::TraceMarkMsg& m) override {
+    svc->handle_trace_mark(*shard, m);
+  }
   // Endpoints never send rate updates; MessageSink's default ignores
   // them, which keeps an agent bug from taking the service down.
 };
@@ -179,6 +187,10 @@ struct AllocatorService::Shard {
   std::thread thread;
   std::unique_ptr<SpscQueue<UpEvent>> up;      // shard -> allocation
   std::unique_ptr<SpscQueue<DownEvent>> down;  // allocation -> shard
+  // Completed trace marks headed back to the agent, kept off the hot
+  // DownEvent ring (a mark is 60 bytes; rate events stay 24). Drained
+  // into the owner's open batch alongside the round's rate updates.
+  std::unique_ptr<SpscQueue<core::TraceMarkMsg>> trace_down;
   int wake_fd = -1;
   // Key ownership: the owning connection plus the start-attempt tag
   // (threaded mode; 0 inline). A kReject only cancels the attempt
@@ -199,7 +211,7 @@ struct AllocatorService::Shard {
   obs::Gauge* up_depth_hw = nullptr;
   obs::Gauge* down_depth_hw = nullptr;
   obs::LatencyHisto* wakeup_us = nullptr;
-  std::atomic<std::int64_t> kick_t_us{0};  // 0 = no kick outstanding
+  std::atomic<std::int64_t> kick_t_ns{0};  // 0 = no kick outstanding
   std::vector<int> touched;  // flush batching scratch
   bool kick_alloc = false;   // pending alloc-thread wakeup (shard thread)
 
@@ -209,7 +221,11 @@ struct AllocatorService::Shard {
 AllocatorService::AllocatorService(EpollLoop& loop, core::Allocator& alloc,
                                    const topo::ClosTopology& topo,
                                    ServerConfig cfg)
-    : loop_(loop), alloc_(alloc), topo_(topo), cfg_(std::move(cfg)) {
+    : loop_(loop),
+      alloc_(alloc),
+      topo_(topo),
+      cfg_(std::move(cfg)),
+      flight_(cfg_.flight) {
   FT_CHECK(cfg_.tcp_port >= 0 || !cfg_.unix_path.empty());
   FT_CHECK(cfg_.num_shards >= 0);
   if (cfg_.metrics != nullptr) {
@@ -222,6 +238,11 @@ AllocatorService::AllocatorService(EpollLoop& loop, core::Allocator& alloc,
   ingest_us_ = &metrics_->histo("svc.ingest_us");
   fanout_us_ = &metrics_->histo("svc.fanout_us");
   round_us_ = &metrics_->histo("svc.round_us");
+  trace_marks_ = &metrics_->counter("svc.trace_marks");
+  trace_echoes_ = &metrics_->counter("svc.trace_echoes");
+  trace_drops_ = &metrics_->counter("svc.trace_drops");
+  traced_.reserve(kMaxTraced);
+  traced_pending_.reserve(kMaxTraced);
   if (cfg_.num_shards == 0) {
     inline_shard_ = std::make_unique<Shard>();
     inline_shard_->loop = &loop_;
@@ -251,6 +272,10 @@ AllocatorService::AllocatorService(EpollLoop& loop, core::Allocator& alloc,
           cfg_.shard_queue_capacity);
       s->down = std::make_unique<SpscQueue<DownEvent>>(
           cfg_.shard_queue_capacity);
+      // Small on purpose: at most kMaxTraced echoes can be in flight,
+      // and a full ring just drops the echo (counted), never the rate.
+      s->trace_down = std::make_unique<SpscQueue<core::TraceMarkMsg>>(
+          kMaxTraced);
       s->wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
       FT_CHECK(s->wake_fd >= 0);
       Shard* sp = s.get();
@@ -570,12 +595,63 @@ void AllocatorService::handle_end(Shard& s, Connection& c,
   if (!s.threaded()) {
     FT_CHECK(alloc_.flowlet_end(m.flow_key));
     bump(s.stats->flowlet_ends);
+    if (!traced_.empty()) traced_.erase(m.flow_key);
     return;
   }
   UpEvent ev;
   ev.kind = UpEvent::Kind::kEnd;
   ev.key = m.flow_key;
   push_up(s, ev);
+}
+
+void AllocatorService::handle_trace_mark(Shard& s,
+                                         const core::TraceMarkMsg& m) {
+  bump(*trace_marks_);
+  const std::int64_t t_ingest = obs::now_ns();
+  // Only flows this shard owns can complete the loop (the mark follows
+  // its flowlet_start in the same batch, so ownership -- tentative in
+  // threaded mode -- is already registered when it arrives).
+  if (!s.key_owner.contains(m.flow_key)) {
+    bump(*trace_drops_);
+    return;
+  }
+  if (!s.threaded()) {
+    if (traced_.size() >= kMaxTraced) {
+      bump(*trace_drops_);
+      return;
+    }
+    TraceCtx ctx;
+    ctx.trace_id = m.trace_id;
+    ctx.t_agent_send_ns = m.t_ns[core::kHopAgentSend];
+    ctx.t_shard_ingest_ns = t_ingest;
+    if (traced_.emplace(m.flow_key, ctx)) {
+      traced_pending_.push_back(m.flow_key);
+    }
+    return;
+  }
+  UpEvent ev;
+  ev.kind = UpEvent::Kind::kTrace;
+  ev.key = m.flow_key;
+  ev.trace_id = m.trace_id;
+  ev.t_origin_ns = m.t_ns[core::kHopAgentSend];
+  ev.t_ingest_ns = t_ingest;
+  push_up(s, ev);
+}
+
+void AllocatorService::queue_trace_echo(Shard& s, core::TraceMarkMsg mark) {
+  const auto it = s.key_owner.find(mark.flow_key);
+  if (it == s.key_owner.end()) {  // flow ended while the echo was queued
+    bump(*trace_drops_);
+    return;
+  }
+  Connection& c = *it->second.conn;
+  if (c.writer.empty()) s.touched.push_back(c.fd);
+  mark.t_ns[core::kHopFanoutWrite] = obs::now_ns();
+  c.writer.add(mark);
+  bump(*trace_echoes_);
+  if (c.writer.pending_bytes() >= cfg_.flush_chunk_bytes) {
+    flush_conn(s, c);
+  }
 }
 
 void AllocatorService::push_up(Shard& s, const UpEvent& ev) {
@@ -624,10 +700,11 @@ bool AllocatorService::push_down(Shard& s, const DownEvent& ev) {
 void AllocatorService::note_kick(Shard& s) {
   // Stamp the first kick of a kick->drain cycle; drain_up consumes the
   // stamp, so the histogram measures how long queued events waited for
-  // the allocation thread to wake (scheduling + epoll dispatch).
+  // the allocation thread to wake (scheduling + epoll dispatch). RAW
+  // clock (obs::now_ns) like every other cross-thread trace delta.
   if (s.wakeup_us == nullptr) return;
   std::int64_t expect = 0;
-  s.kick_t_us.compare_exchange_strong(expect, obs::now_us(),
+  s.kick_t_ns.compare_exchange_strong(expect, obs::now_ns(),
                                       std::memory_order_relaxed);
 }
 
@@ -671,13 +748,41 @@ void AllocatorService::apply_start(Shard& s, const UpEvent& ev) {
 void AllocatorService::drain_up(Shard& s) {
   if (s.wakeup_us != nullptr) {
     const std::int64_t t =
-        s.kick_t_us.exchange(0, std::memory_order_relaxed);
-    if (t > 0) s.wakeup_us->record_signed(obs::now_us() - t);
+        s.kick_t_ns.exchange(0, std::memory_order_relaxed);
+    if (t > 0) {
+      const double us =
+          static_cast<double>(obs::now_ns() - t) / 1000.0;
+      s.wakeup_us->record_signed(static_cast<std::int64_t>(us));
+      round_wakeup_max_us_ = std::max(round_wakeup_max_us_, us);
+    }
+    round_up_hw_ = std::max(round_up_hw_, s.up->size_approx());
   }
   UpEvent ev;
   while (s.up->try_pop(ev)) {
+    ++round_churn_;
     if (ev.kind == UpEvent::Kind::kStart) {
       apply_start(s, ev);
+      continue;
+    }
+    if (ev.kind == UpEvent::Kind::kTrace) {
+      // Adopt the context only if this shard's start actually won the
+      // key (a cross-shard duplicate was rejected above and its trace
+      // dies with it). FIFO order guarantees the kStart was applied
+      // before its mark.
+      const auto it = key_shard_.find(ev.key);
+      if (it == key_shard_.end() ||
+          it->second != static_cast<std::uint32_t>(s.index) ||
+          traced_.size() >= kMaxTraced) {
+        bump(*trace_drops_);
+        continue;
+      }
+      TraceCtx ctx;
+      ctx.trace_id = ev.trace_id;
+      ctx.t_agent_send_ns = ev.t_origin_ns;
+      ctx.t_shard_ingest_ns = ev.t_ingest_ns;
+      if (traced_.emplace(ev.key, ctx)) {
+        traced_pending_.push_back(ev.key);
+      }
       continue;
     }
     const auto it = key_shard_.find(ev.key);
@@ -689,6 +794,7 @@ void AllocatorService::drain_up(Shard& s) {
     FT_CHECK(alloc_.flowlet_end(ev.key));
     key_shard_.erase(it);
     bump(alloc_stats_->flowlet_ends);
+    if (!traced_.empty()) traced_.erase(ev.key);
   }
 }
 
@@ -746,6 +852,12 @@ void AllocatorService::drain_down(Shard& s) {
       }
     }
   }
+  // Echo completed trace marks after the rate drain so a mark lands
+  // behind its flow's rate record when both arrive in the same cycle.
+  if (s.trace_down) {
+    core::TraceMarkMsg mark;
+    while (s.trace_down->try_pop(mark)) queue_trace_echo(s, mark);
+  }
   flush_touched(s);
   if (s.kick_alloc) {
     s.kick_alloc = false;
@@ -759,20 +871,66 @@ void AllocatorService::run_allocation_round() {
   // inside run_iteration as core.solve_us / core.emit_us) -> fanout
   // (update push + flush). round_us covers the whole thing; the
   // round_latency_us() ring keeps its historical meaning (post-ingest).
-  const std::int64_t t_in = obs::now_us();
+  // All stamps on the RAW trace clock (obs::now_ns) so the flight record
+  // and the e2e trace hops line up exactly.
+  const std::int64_t t_in = obs::now_ns();
   for (auto& s : shards_) drain_up(*s);
-  const std::int64_t t0 = obs::now_us();
-  ingest_us_->record_signed(t0 - t_in);
+  const std::int64_t t0 = obs::now_ns();
+  ingest_us_->record_signed((t0 - t_in) / 1000);
+  if (!traced_pending_.empty()) {
+    // Stamp the round-pickup hop for contexts that arrived since the
+    // last round: this is the round whose solve their update rides.
+    for (const std::uint32_t key : traced_pending_) {
+      TraceCtx* ctx = traced_.find(key);
+      if (ctx != nullptr && ctx->t_round_pickup_ns == 0) {
+        ctx->t_round_pickup_ns = t0;
+      }
+    }
+    traced_pending_.clear();
+  }
   updates_scratch_.clear();
   alloc_.run_iteration(updates_scratch_);
-  const std::int64_t t1 = obs::now_us();
+  const std::int64_t t1 = obs::now_ns();
   bump(alloc_stats_->iterations);
+  if (cfg_.stall_every_rounds > 0 &&
+      (round_id_ + 1) % cfg_.stall_every_rounds == 0) {
+    // Injected fault (see ServerConfig): burn stall_us inside the fanout
+    // phase so the flight recorder has a known-slow round to promote.
+    const std::int64_t until = obs::now_ns() + cfg_.stall_us * 1000;
+    while (obs::now_ns() < until) {
+    }
+  }
+  // Builds the echo for a traced flow whose first rate update is being
+  // fanned out this round: service-side hops completed from the parked
+  // context plus the allocator's solve/emit boundary stamps; the
+  // fanout-write hop is stamped by whoever writes it into the batch.
+  const auto make_echo = [this](std::uint32_t key, const TraceCtx& ctx) {
+    const core::Allocator::RoundStamps& st = alloc_.last_round_stamps();
+    core::TraceMarkMsg mark;
+    mark.flow_key = key;
+    mark.trace_id = ctx.trace_id;
+    mark.t_ns[core::kHopAgentSend] = ctx.t_agent_send_ns;
+    mark.t_ns[core::kHopShardIngest] = ctx.t_shard_ingest_ns;
+    mark.t_ns[core::kHopRoundPickup] = ctx.t_round_pickup_ns;
+    mark.t_ns[core::kHopSolveDone] = st.solve_end_ns;
+    mark.t_ns[core::kHopEmitDone] = st.emit_end_ns;
+    return mark;
+  };
+  std::uint32_t batches = 0;
   if (inline_shard_) {
     Shard& s = *inline_shard_;
     s.touched.clear();
     for (const core::RateUpdate& u : updates_scratch_) {
-      queue_update(s, static_cast<std::uint32_t>(u.key), u.rate_code);
+      const auto key = static_cast<std::uint32_t>(u.key);
+      queue_update(s, key, u.rate_code);
+      if (!traced_.empty()) {
+        if (const TraceCtx* ctx = traced_.find(key)) {
+          queue_trace_echo(s, make_echo(key, *ctx));
+          traced_.erase(key);
+        }
+      }
     }
+    batches = static_cast<std::uint32_t>(s.touched.size());
     flush_touched(s);
   } else {
     std::fill(touched_shards_.begin(), touched_shards_.end(), false);
@@ -786,6 +944,17 @@ void AllocatorService::run_allocation_round() {
       ev.rate_code = u.rate_code;
       if (push_down(*shards_[it->second], ev)) {
         touched_shards_[it->second] = true;
+        if (!traced_.empty()) {
+          if (const TraceCtx* ctx = traced_.find(key)) {
+            // Echo rides its own ring; a full ring costs the echo only,
+            // never the rate.
+            if (!shards_[it->second]->trace_down->try_push(
+                    make_echo(key, *ctx))) {
+              bump(*trace_drops_);
+            }
+            traced_.erase(key);
+          }
+        }
       } else {
         // The emitted update is gone and the allocator already recorded
         // it as notified; un-record it so the next round re-emits
@@ -793,20 +962,56 @@ void AllocatorService::run_allocation_round() {
         // allocation drifts past the threshold again.
         alloc_.invalidate_notification(key);
         bump(alloc_stats_->queue_drops);
+        ++round_queue_drops_;
       }
     }
     for (std::size_t i = 0; i < shards_.size(); ++i) {
-      if (touched_shards_[i]) wake_shard(*shards_[i]);
+      if (touched_shards_[i]) {
+        wake_shard(*shards_[i]);
+        ++batches;
+      }
     }
   }
-  const std::int64_t t2 = obs::now_us();
-  fanout_us_->record_signed(t2 - t1);
-  round_us_->record_signed(t2 - t_in);
+  const std::int64_t t2 = obs::now_ns();
+  fanout_us_->record_signed((t2 - t1) / 1000);
+  round_us_->record_signed((t2 - t_in) / 1000);
   if (obs::PhaseTracer::enabled()) {
-    obs::PhaseTracer::record("svc.ingest", t_in, t0 - t_in);
-    obs::PhaseTracer::record("svc.fanout", t1, t2 - t1);
+    obs::PhaseTracer::record("svc.ingest", t_in / 1000, (t0 - t_in) / 1000);
+    obs::PhaseTracer::record("svc.fanout", t1 / 1000, (t2 - t1) / 1000);
   }
-  record_round_latency(static_cast<double>(t2 - t0));
+  record_round_latency(static_cast<double>(t2 - t0) / 1000.0);
+
+  const core::Allocator::RoundStamps& st = alloc_.last_round_stamps();
+  obs::RoundRecord rec;
+  rec.round = round_id_++;
+  rec.t_start_ns = t_in;
+  rec.ingest_us = static_cast<double>(t0 - t_in) / 1000.0;
+  rec.solve_us =
+      static_cast<double>(st.solve_end_ns - st.solve_start_ns) / 1000.0;
+  rec.emit_us =
+      static_cast<double>(st.emit_end_ns - st.solve_end_ns) / 1000.0;
+  rec.fanout_us = static_cast<double>(t2 - t1) / 1000.0;
+  rec.round_us = static_cast<double>(t2 - t_in) / 1000.0;
+  rec.wakeup_us = round_wakeup_max_us_;
+  rec.band_max_us = alloc_.backend().last_band_max_us();
+  rec.churn_events = round_churn_;
+  rec.updates = static_cast<std::uint32_t>(updates_scratch_.size());
+  rec.batches = batches;
+  rec.queue_drops = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(round_queue_drops_, 0xFFFFFFFFu));
+  rec.up_ring_hw = static_cast<std::uint16_t>(
+      std::min<std::size_t>(round_up_hw_, 0xFFFF));
+  std::size_t down_hw = 0;
+  for (const auto& s : shards_) {
+    down_hw = std::max(down_hw, s->down->size_approx());
+  }
+  rec.down_ring_hw = static_cast<std::uint16_t>(
+      std::min<std::size_t>(down_hw, 0xFFFF));
+  flight_.record(rec);
+  round_churn_ = 0;
+  round_wakeup_max_us_ = 0.0;
+  round_up_hw_ = 0;
+  round_queue_drops_ = 0;
 }
 
 void AllocatorService::flush_conn(Shard& s, Connection& c) {

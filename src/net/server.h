@@ -36,14 +36,17 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "core/allocator.h"
 #include "core/cpu_map.h"
 #include "net/epoll_loop.h"
 #include "net/frame.h"
 #include "net/spsc_queue.h"
+#include "obs/flight.h"
 #include "topo/clos.h"
 
 namespace ft::obs {
+class Counter;
 class LatencyHisto;
 class MetricsRegistry;
 }  // namespace ft::obs
@@ -89,6 +92,15 @@ struct ServerConfig {
   // daemon passes a shared registry so the net.* / svc.* metrics land on
   // its stats socket next to the allocator's core.* metrics.
   obs::MetricsRegistry* metrics = nullptr;
+  // Always-on flight recorder tuning (obs/flight.h): per-round black-box
+  // ring sizes and the adaptive promotion threshold.
+  obs::FlightRecorder::Config flight;
+  // Fault injection for flight-recorder forensics tests and demos: every
+  // `stall_every_rounds`-th allocation round busy-spins for `stall_us`
+  // microseconds inside the fanout phase, forcing a promotable slow
+  // round with a known phase attribution. 0 = disabled.
+  std::uint64_t stall_every_rounds = 0;
+  std::int64_t stall_us = 0;
 };
 
 struct ServiceStats {
@@ -159,6 +171,14 @@ class AllocatorService {
   // the allocation thread; read it while rounds are quiescent.
   [[nodiscard]] std::vector<double> round_latency_us() const;
 
+  // The always-on per-round flight recorder (obs/flight.h). Written by
+  // the allocation thread each round; read it from that thread (the
+  // stats socket's `flight` verb shares the caller's loop, so the
+  // daemon serializes naturally).
+  [[nodiscard]] const obs::FlightRecorder& flight() const {
+    return flight_;
+  }
+
  private:
   struct Connection;
   struct Counters;
@@ -174,6 +194,13 @@ class AllocatorService {
   void handle_start(Shard& s, Connection& c,
                     const core::FlowletStartMsg& m);
   void handle_end(Shard& s, Connection& c, const core::FlowletEndMsg& m);
+  // A trace mark rode in behind a sampled flowlet_start: stamp the shard
+  // ingest hop and forward the context to the allocation thread (shard
+  // thread; inline mode records directly).
+  void handle_trace_mark(Shard& s, const core::TraceMarkMsg& m);
+  // Appends an echo mark to the flow owner's open batch, stamping the
+  // fanout-write hop (shard thread / inline fanout).
+  void queue_trace_echo(Shard& s, core::TraceMarkMsg mark);
   // Queues one rate update for the shard's owner of `key` (no-op when
   // the flow ended meanwhile), cutting the batch at flush_chunk_bytes;
   // touched connections are flushed together by flush_touched.
@@ -216,13 +243,44 @@ class AllocatorService {
   std::size_t next_shard_ = 0;  // round-robin accept assignment
   // Allocation-thread view: which shard owns each live flow key.
   std::unordered_map<std::uint32_t, std::uint32_t> key_shard_;
+  // End-to-end trace contexts awaiting their echo (allocation thread).
+  // A sampled flowlet_start parks its origin + ingest stamps here; the
+  // first rate update emitted for the flow carries the completed mark
+  // back to the agent, then the entry is erased (also erased on
+  // flowlet_end). Bounded: inserts beyond kMaxTraced are dropped and
+  // counted in svc.trace_drops.
+  struct TraceCtx {
+    std::uint64_t trace_id = 0;
+    std::int64_t t_agent_send_ns = 0;
+    std::int64_t t_shard_ingest_ns = 0;
+    std::int64_t t_round_pickup_ns = 0;  // 0 until a round picks it up
+  };
+  static constexpr std::size_t kMaxTraced = 512;
+  FlatMap64<TraceCtx> traced_;
+  // Keys inserted into traced_ since the last round; the next round
+  // stamps their pickup hop in one pass (FlatMap64 has no iteration).
+  std::vector<std::uint32_t> traced_pending_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // when cfg has none
   obs::MetricsRegistry* metrics_ = nullptr;
   // Allocation-round phase histograms (svc.*; allocation thread only).
   obs::LatencyHisto* ingest_us_ = nullptr;  // drain_up at round start
   obs::LatencyHisto* fanout_us_ = nullptr;  // update push + flush
   obs::LatencyHisto* round_us_ = nullptr;   // full round incl. ingest
+  // Trace-mark accounting (striped counters: any thread).
+  obs::Counter* trace_marks_ = nullptr;   // marks received from agents
+  obs::Counter* trace_echoes_ = nullptr;  // marks echoed back
+  obs::Counter* trace_drops_ = nullptr;   // contexts/echoes dropped
   std::unique_ptr<Counters> alloc_stats_;
+
+  // Flight recorder state (allocation thread). The per-round scratch
+  // accumulates between rounds (drain_up also runs on eventfd wakeups)
+  // and resets after each RoundRecord is cut.
+  obs::FlightRecorder flight_;
+  std::uint64_t round_id_ = 0;
+  std::uint32_t round_churn_ = 0;        // up events since last record
+  double round_wakeup_max_us_ = 0.0;     // worst kick->drain this round
+  std::size_t round_up_hw_ = 0;          // max up-ring depth at drain
+  std::uint64_t round_queue_drops_ = 0;  // fanout pushes dropped
   std::atomic<bool> stopping_{false};
   std::vector<core::RateUpdate> updates_scratch_;
   std::vector<bool> touched_shards_;

@@ -1,0 +1,134 @@
+#include "obs/flight.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace ft::obs {
+namespace {
+
+void append_record_json(std::ostringstream& os, const RoundRecord& r) {
+  os << "{\"round\":" << r.round << ",\"t_start_ns\":" << r.t_start_ns
+     << ",\"ingest_us\":" << r.ingest_us << ",\"solve_us\":" << r.solve_us
+     << ",\"emit_us\":" << r.emit_us << ",\"fanout_us\":" << r.fanout_us
+     << ",\"round_us\":" << r.round_us << ",\"wakeup_us\":" << r.wakeup_us
+     << ",\"band_max_us\":" << r.band_max_us
+     << ",\"churn_events\":" << r.churn_events
+     << ",\"updates\":" << r.updates << ",\"batches\":" << r.batches
+     << ",\"queue_drops\":" << r.queue_drops
+     << ",\"up_ring_hw\":" << r.up_ring_hw
+     << ",\"down_ring_hw\":" << r.down_ring_hw
+     << ",\"threshold_us\":" << r.threshold_us << "}";
+}
+
+void append_ring_json(std::ostringstream& os, const char* key,
+                      const std::vector<RoundRecord>& recs) {
+  os << "\"" << key << "\":[";
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    if (i) os << ",";
+    append_record_json(os, recs[i]);
+  }
+  os << "]";
+}
+
+// Oldest-first view of a ring that has seen `total` writes with `head`
+// as the next write slot.
+std::vector<RoundRecord> unroll(const std::vector<RoundRecord>& ring,
+                                std::size_t head, std::uint64_t total) {
+  std::vector<RoundRecord> out;
+  const std::size_t n =
+      std::min<std::uint64_t>(total, ring.size());
+  out.reserve(n);
+  const std::size_t start = (head + ring.size() - n) % ring.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring[(start + i) % ring.size()]);
+  }
+  return out;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder() : FlightRecorder(Config{}) {}
+
+FlightRecorder::FlightRecorder(Config cfg) : cfg_(cfg) {
+  if (cfg_.ring_capacity == 0) cfg_.ring_capacity = 1;
+  if (cfg_.black_box_capacity == 0) cfg_.black_box_capacity = 1;
+  recent_.resize(cfg_.ring_capacity);
+  black_box_.resize(cfg_.black_box_capacity);
+}
+
+void FlightRecorder::update_quantile(double round_us) {
+  if (rounds_seen_ == 1) {
+    q99_us_ = round_us;
+    return;
+  }
+  // Stochastic p99: step up by 0.99 units, down by 0.01 units, scaled
+  // relative to the current estimate so convergence speed is independent
+  // of the absolute magnitude (3 us rounds and 3 ms rounds both settle).
+  const double step =
+      cfg_.quantile_step * std::max(q99_us_, 1.0);
+  if (round_us > q99_us_) {
+    q99_us_ += step * 0.99;
+  } else {
+    q99_us_ -= step * 0.01;
+  }
+  if (q99_us_ < 0.0) q99_us_ = 0.0;
+}
+
+double FlightRecorder::threshold_us() const {
+  if (rounds_seen_ < cfg_.warmup_rounds) {
+    // Not armed yet: only the floor can promote (a 100x outlier during
+    // warmup is still worth keeping).
+    return std::max(cfg_.promote_floor_us, q99_us_ * 100.0);
+  }
+  return std::max(cfg_.promote_floor_us,
+                  q99_us_ * cfg_.promote_headroom);
+}
+
+bool FlightRecorder::record(const RoundRecord& r) {
+  ++rounds_seen_;
+  const double thresh = threshold_us();  // pre-update: r can't raise its
+                                         // own bar before being judged
+  update_quantile(r.round_us);
+  recent_[head_] = r;
+  recent_[head_].threshold_us = 0;
+  head_ = (head_ + 1) % recent_.size();
+
+  if (r.round_us <= thresh) return false;
+  black_box_[bb_head_] = r;
+  black_box_[bb_head_].threshold_us = static_cast<float>(thresh);
+  bb_head_ = (bb_head_ + 1) % black_box_.size();
+  ++promoted_;
+  return true;
+}
+
+std::vector<RoundRecord> FlightRecorder::recent() const {
+  return unroll(recent_, head_, rounds_seen_);
+}
+
+std::vector<RoundRecord> FlightRecorder::black_box() const {
+  return unroll(black_box_, bb_head_, promoted_);
+}
+
+std::string FlightRecorder::dump_json() const {
+  std::ostringstream os;
+  os << "{\"kind\":\"flight\",\"rounds_seen\":" << rounds_seen_
+     << ",\"promoted\":" << promoted_
+     << ",\"p99_estimate_us\":" << q99_us_
+     << ",\"threshold_us\":" << threshold_us() << ",";
+  append_ring_json(os, "recent", recent());
+  os << ",";
+  append_ring_json(os, "black_box", black_box());
+  os << "}";
+  return os.str();
+}
+
+bool FlightRecorder::dump_to_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string json = dump_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace ft::obs

@@ -16,6 +16,12 @@ std::int64_t now_us() {
          ts.tv_nsec / 1'000;
 }
 
+std::int64_t now_ns() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC_RAW, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
 namespace {
 
 std::atomic<std::uint32_t> g_next_thread_id{0};

@@ -42,6 +42,14 @@ namespace ft::obs {
 // duplicated here so core/ can time phases without depending on net/).
 [[nodiscard]] std::int64_t now_us();
 
+// CLOCK_MONOTONIC_RAW nanoseconds: the trace clock. All cross-thread and
+// cross-process (same host) trace hop stamps use this single helper so
+// deltas are never skewed by NTP slewing the way CLOCK_MONOTONIC or
+// steady_clock call sites can be. Stamps from *different hosts* are not
+// comparable; the trace path only ever differences stamps taken on the
+// same machine (agent-side pair, service-side run).
+[[nodiscard]] std::int64_t now_ns();
+
 // Stable small id for the calling thread, used to pick a stripe. The
 // first call from a thread assigns the id (no allocation: plain TLS).
 [[nodiscard]] std::uint32_t thread_stripe();

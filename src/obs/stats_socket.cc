@@ -12,6 +12,7 @@
 
 #include "common/check.h"
 #include "obs/export.h"
+#include "obs/flight.h"
 #include "obs/trace.h"
 
 namespace ft::obs {
@@ -133,6 +134,11 @@ void StatsSocket::start_response(int fd, Conn& c) {
     c.response = to_prometheus(reg_);
   } else if (line == "trace") {
     c.response = PhaseTracer::dump_json();
+  } else if (line == "flight") {
+    c.response = flight_ != nullptr
+                     ? flight_->dump_json()
+                     : std::string("{\"kind\":\"flight\",\"error\":"
+                                   "\"no flight recorder attached\"}");
   } else {  // "json", empty, or anything else: the JSON snapshot
     c.response = to_json(reg_);
   }

@@ -7,6 +7,7 @@
 //   "json\n"  (or an empty line / immediate EOF)  -> obs::to_json
 //   "prom\n"                                      -> obs::to_prometheus
 //   "trace\n"                                     -> PhaseTracer dump
+//   "flight\n"                                    -> FlightRecorder dump
 //
 //     $ echo json | nc -U /tmp/flowtune_stats.sock
 //     $ echo prom | nc -U /tmp/flowtune_stats.sock
@@ -28,6 +29,8 @@
 
 namespace ft::obs {
 
+class FlightRecorder;
+
 class StatsSocket {
  public:
   // Binds `path` (unlinked first) on `loop`. `reg` must outlive this.
@@ -39,6 +42,11 @@ class StatsSocket {
 
   [[nodiscard]] const std::string& path() const { return path_; }
   [[nodiscard]] std::uint64_t scrapes() const { return scrapes_; }
+
+  // Serves `flight` requests from this recorder (dump_json runs on the
+  // caller's loop, which is the thread that writes the recorder, so the
+  // read is race-free). Null (the default) answers with a stub.
+  void set_flight(const FlightRecorder* flight) { flight_ = flight; }
 
  private:
   struct Conn {
@@ -57,6 +65,7 @@ class StatsSocket {
   net::EpollLoop& loop_;
   std::string path_;
   const MetricsRegistry& reg_;
+  const FlightRecorder* flight_ = nullptr;
   int listen_fd_ = -1;
   std::unordered_map<int, Conn> conns_;
   std::uint64_t scrapes_ = 0;

@@ -21,7 +21,12 @@
 #include <cstdint>
 #include <string>
 
-#include "obs/metrics.h"  // now_us
+#include "obs/metrics.h"  // now_ns
+
+// Span timestamps are CLOCK_MONOTONIC_RAW-derived microseconds
+// (obs::now_ns / 1000): one clock for every producer, so hand-recorded
+// phase spans, scoped spans and the e2e trace-hop spans line up on the
+// same timeline in the dump.
 
 namespace ft::obs {
 
@@ -65,12 +70,12 @@ class ScopedSpan {
   explicit ScopedSpan(const char* name) {
     if (PhaseTracer::enabled()) {
       name_ = name;
-      t0_ = now_us();
+      t0_ = now_ns();
     }
   }
   ~ScopedSpan() {
     if (name_ != nullptr) {
-      PhaseTracer::record(name_, t0_, now_us() - t0_);
+      PhaseTracer::record(name_, t0_ / 1000, (now_ns() - t0_) / 1000);
     }
   }
   ScopedSpan(const ScopedSpan&) = delete;

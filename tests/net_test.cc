@@ -29,13 +29,15 @@
 #include "net/frame.h"
 #include "net/server.h"
 #include "net/spsc_queue.h"
+#include "obs/flight.h"
+#include "obs/metrics.h"
 #include "topo/clos.h"
 
 namespace ft::net {
 namespace {
 
 using AnyMsg = std::variant<core::FlowletStartMsg, core::FlowletEndMsg,
-                            core::RateUpdateMsg>;
+                            core::RateUpdateMsg, core::TraceMarkMsg>;
 
 // Records every decoded message in order.
 struct Collector : MessageSink {
@@ -47,6 +49,9 @@ struct Collector : MessageSink {
     msgs.emplace_back(m);
   }
   void on_rate_update(const core::RateUpdateMsg& m) override {
+    msgs.emplace_back(m);
+  }
+  void on_trace_mark(const core::TraceMarkMsg& m) override {
     msgs.emplace_back(m);
   }
 };
@@ -67,6 +72,26 @@ TEST(MessagesSpanTest, ShortBuffersReturnNullopt) {
   EXPECT_FALSE(core::try_decode_flowlet_end(buf).has_value());
   buf.resize(core::kRateUpdateBytes - 1);
   EXPECT_FALSE(core::try_decode_rate_update(buf).has_value());
+  buf.assign(core::kTraceMarkBytes - 1, 0xFF);
+  EXPECT_FALSE(core::try_decode_trace_mark(buf).has_value());
+}
+
+TEST(MessagesSpanTest, TraceMarkRoundTripsAllHopStamps) {
+  core::TraceMarkMsg m;
+  m.flow_key = 0xDEADBEEF;
+  m.trace_id = 0x0123456789ABCDEFull;
+  for (std::size_t i = 0; i < core::kTraceHopSlots; ++i) {
+    // Exercise sign and the full 64-bit width.
+    m.t_ns[i] = static_cast<std::int64_t>(0x7A5A5A5A00000000ull >> i) -
+                static_cast<std::int64_t>(i * 3);
+  }
+  const auto enc = core::encode(m);
+  EXPECT_EQ(enc.size(), core::kTraceMarkBytes);
+  EXPECT_EQ(core::decode_trace_mark(enc), m);
+  const auto via_span =
+      core::try_decode_trace_mark(std::span<const std::uint8_t>(enc));
+  ASSERT_TRUE(via_span.has_value());
+  EXPECT_EQ(*via_span, m);
 }
 
 TEST(MessagesSpanTest, ExtraTrailingBytesIgnored) {
@@ -96,7 +121,7 @@ TEST(FramePropertyTest, RoundTripUnderArbitrarySegmentation) {
     for (int f = 0; f < frames; ++f) {
       const int records = 1 + static_cast<int>(rng.below(40));
       for (int r = 0; r < records; ++r) {
-        switch (rng.below(3)) {
+        switch (rng.below(4)) {
           case 0: {
             core::FlowletStartMsg m;
             m.flow_key = next_key++;
@@ -115,9 +140,20 @@ TEST(FramePropertyTest, RoundTripUnderArbitrarySegmentation) {
             sent.emplace_back(m);
             break;
           }
-          default: {
+          case 2: {
             const core::RateUpdateMsg m{
                 next_key++, static_cast<std::uint16_t>(rng.next())};
+            writer.add(m);
+            sent.emplace_back(m);
+            break;
+          }
+          default: {
+            core::TraceMarkMsg m;
+            m.flow_key = next_key++;
+            m.trace_id = rng.next();
+            for (auto& t : m.t_ns) {
+              t = static_cast<std::int64_t>(rng.next());
+            }
             writer.add(m);
             sent.emplace_back(m);
             break;
@@ -1002,6 +1038,176 @@ TEST_F(ShardedLoopbackTest, CrossShardDuplicateKeyRejected) {
   EXPECT_EQ(alloc.num_active_flowlets(), 1u);
   EXPECT_EQ(svc.stats().rejected_starts, 1u);
   EXPECT_TRUE(alloc.is_active(42));
+}
+
+TEST_F(ShardedLoopbackTest, SampledStartProducesCompleteSevenHopSpan) {
+  // End-to-end trace propagation through the sharded service: a sampled
+  // flowlet_start (traced flag + TraceMarkMsg in the same batch) must
+  // come back on the flow's first rate update with all six wire hops
+  // stamped, in causal order, and land e2e.* histograms in the agent's
+  // registry.
+  const topo::ClosTopology clos(small_clos());
+  core::Allocator alloc(caps_of(clos), alloc_cfg());
+
+  EpollLoop loop;
+  ServerConfig scfg;
+  scfg.tcp_port = 0;
+  scfg.iteration_period_us = 0;
+  scfg.num_shards = 2;
+  AllocatorService svc(loop, alloc, clos, scfg);
+
+  obs::MetricsRegistry reg;
+  AgentConfig acfg;
+  acfg.metrics = &reg;
+  acfg.trace_sample_every = 1;  // every start is sampled
+  EndpointAgent agent(acfg);
+  ASSERT_TRUE(agent.connect_tcp("127.0.0.1", svc.tcp_port()));
+  std::vector<EndpointAgent*> raw = {&agent};
+
+  ASSERT_TRUE(agent.flowlet_start(7, 0, 5));
+  ASSERT_TRUE(agent.flowlet_start(8, 1, 9));
+  agent.flush();
+  EXPECT_EQ(agent.stats().traces_sent, 2u);
+
+  ASSERT_TRUE(pump_until(loop, raw, [&] {
+    svc.run_allocation_round();
+    return agent.stats().traces_completed >= 2;
+  }));
+
+  // The echoed mark carries the six wire hops; the seventh (agent
+  // receive) is the local stamp. Hops 1..5 are on the service clock and
+  // the loopback run shares one host, so the whole chain is ordered.
+  const EndpointAgent::TraceResult& tr = agent.last_trace();
+  EXPECT_NE(tr.mark.trace_id, 0u);
+  EXPECT_TRUE(tr.mark.flow_key == 7u || tr.mark.flow_key == 8u);
+  const auto& t = tr.mark.t_ns;
+  EXPECT_GT(t[core::kHopAgentSend], 0);
+  EXPECT_GT(t[core::kHopShardIngest], 0);
+  EXPECT_LE(t[core::kHopShardIngest], t[core::kHopRoundPickup]);
+  EXPECT_LE(t[core::kHopRoundPickup], t[core::kHopSolveDone]);
+  EXPECT_LE(t[core::kHopSolveDone], t[core::kHopEmitDone]);
+  EXPECT_LE(t[core::kHopEmitDone], t[core::kHopFanoutWrite]);
+  EXPECT_GE(tr.t_receive_ns, t[core::kHopAgentSend]);
+  EXPECT_GE(tr.t_receive_ns, t[core::kHopFanoutWrite]);
+
+  // Span histograms recorded one sample per completed trace.
+  EXPECT_EQ(reg.histo("e2e.update_us").snapshot().count, 2u);
+  EXPECT_EQ(reg.histo("e2e.solve_us").snapshot().count, 2u);
+  EXPECT_EQ(reg.histo("e2e.fanout_us").snapshot().count, 2u);
+  EXPECT_EQ(svc.metrics().counter("svc.trace_marks").value(), 2u);
+  EXPECT_EQ(svc.metrics().counter("svc.trace_echoes").value(), 2u);
+  EXPECT_EQ(svc.metrics().counter("svc.trace_drops").value(), 0u);
+}
+
+TEST_F(LoopbackTest, InlineTraceAndFlowletEndDropsContext) {
+  // Inline (num_shards == 0) trace path: sampled starts complete their
+  // loop without shard rings, and a flowlet_end before the first rate
+  // update retires the parked context (counted as a drop, not leaked).
+  const topo::ClosTopology clos(small_clos());
+  core::Allocator alloc(caps_of(clos), alloc_cfg());
+
+  EpollLoop loop;
+  ServerConfig scfg;
+  scfg.tcp_port = 0;
+  scfg.iteration_period_us = 0;
+  AllocatorService svc(loop, alloc, clos, scfg);
+
+  obs::MetricsRegistry reg;
+  AgentConfig acfg;
+  acfg.metrics = &reg;
+  acfg.trace_sample_every = 1;
+  EndpointAgent agent(acfg);
+  ASSERT_TRUE(agent.connect_tcp("127.0.0.1", svc.tcp_port()));
+  std::vector<EndpointAgent*> raw = {&agent};
+
+  // Flow 21 completes its trace; flow 22 ends before any round runs, so
+  // its context is erased without an echo.
+  ASSERT_TRUE(agent.flowlet_start(21, 0, 5));
+  ASSERT_TRUE(agent.flowlet_start(22, 1, 9));
+  agent.flush();
+  std::int64_t deadline = EpollLoop::now_us() + 2'000'000;
+  while (alloc.num_active_flowlets() < 2 &&
+         EpollLoop::now_us() < deadline) {
+    pump(loop, raw);
+  }
+  ASSERT_EQ(alloc.num_active_flowlets(), 2u);
+  ASSERT_TRUE(agent.flowlet_end(22));
+  agent.flush();
+  deadline = EpollLoop::now_us() + 2'000'000;
+  while (alloc.num_active_flowlets() > 1 &&
+         EpollLoop::now_us() < deadline) {
+    pump(loop, raw);
+  }
+  ASSERT_EQ(alloc.num_active_flowlets(), 1u);
+
+  deadline = EpollLoop::now_us() + 2'000'000;
+  while (agent.stats().traces_completed < 1 &&
+         EpollLoop::now_us() < deadline) {
+    svc.run_allocation_round();
+    pump(loop, raw);
+  }
+  EXPECT_EQ(agent.stats().traces_completed, 1u);
+  EXPECT_EQ(agent.last_trace().mark.flow_key, 21u);
+  EXPECT_EQ(svc.metrics().counter("svc.trace_echoes").value(), 1u);
+}
+
+TEST_F(LoopbackTest, InjectedStallPromotesRoundIntoFlightRecorder) {
+  // Fault injection end-to-end: a forced 2 ms stall inside one round's
+  // fanout phase must appear in the flight recorder's black box with the
+  // stall attributed to fanout_us, while ordinary rounds stay below the
+  // promotion threshold.
+  const topo::ClosTopology clos(small_clos());
+  core::Allocator alloc(caps_of(clos), alloc_cfg());
+
+  EpollLoop loop;
+  ServerConfig scfg;
+  scfg.tcp_port = 0;
+  scfg.iteration_period_us = 0;
+  scfg.flight.warmup_rounds = 16;
+  // Floor well above an ordinary inline round (a few us) but well below
+  // the injected stall, so promotion is deterministic even on a noisy
+  // CI box.
+  scfg.flight.promote_floor_us = 500.0;
+  scfg.stall_every_rounds = 64;  // rounds 64, 128, ... stall
+  scfg.stall_us = 2000;
+  AllocatorService svc(loop, alloc, clos, scfg);
+
+  EndpointAgent agent;
+  ASSERT_TRUE(agent.connect_tcp("127.0.0.1", svc.tcp_port()));
+  std::vector<EndpointAgent*> raw = {&agent};
+  ASSERT_TRUE(agent.flowlet_start(5, 0, 5));
+  agent.flush();
+  const std::int64_t deadline = EpollLoop::now_us() + 2'000'000;
+  while (alloc.num_active_flowlets() < 1 &&
+         EpollLoop::now_us() < deadline) {
+    pump(loop, raw);
+  }
+  ASSERT_EQ(alloc.num_active_flowlets(), 1u);
+
+  for (int i = 0; i < 128; ++i) {
+    svc.run_allocation_round();
+    pump(loop, raw);
+  }
+
+  const obs::FlightRecorder& fr = svc.flight();
+  EXPECT_EQ(fr.rounds_seen(), 128u);
+  ASSERT_GE(fr.promoted(), 2u);  // both stall rounds breach the floor
+  const auto bb = fr.black_box();
+  ASSERT_FALSE(bb.empty());
+  int stalls_in_box = 0;
+  for (const obs::RoundRecord& r : bb) {
+    EXPECT_GT(r.threshold_us, 0.0f);
+    EXPECT_GT(r.round_us, static_cast<double>(r.threshold_us));
+    if ((r.round + 1) % scfg.stall_every_rounds == 0 &&
+        r.fanout_us >= 2000.0) {
+      ++stalls_in_box;  // phase attribution points at the fanout stall
+    }
+  }
+  EXPECT_EQ(stalls_in_box, 2);
+  // The dump is self-describing JSON tools/obs_dump.py renders.
+  const std::string dump = fr.dump_json();
+  EXPECT_NE(dump.find("\"kind\":\"flight\""), std::string::npos);
+  EXPECT_NE(dump.find("\"black_box\":["), std::string::npos);
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include "common/rng.h"
 #include "net/epoll_loop.h"
 #include "obs/export.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/stats_socket.h"
 #include "obs/trace.h"
@@ -251,6 +252,148 @@ TEST(PhaseTracerTest, DisabledRecordIsDroppedEnabledIsKept) {
   EXPECT_NE(json.find("\"kept\""), std::string::npos);
   EXPECT_NE(json.find("\"dur\":5"), std::string::npos);
   PhaseTracer::reset();
+}
+
+RoundRecord make_round(std::uint64_t id, double round_us) {
+  RoundRecord r;
+  r.round = id;
+  r.round_us = round_us;
+  r.solve_us = round_us * 0.5;
+  r.fanout_us = round_us * 0.25;
+  return r;
+}
+
+TEST(FlightRecorderTest, SteadyStateOutlierPromotesAtTheFloor) {
+  FlightRecorder::Config cfg;
+  cfg.warmup_rounds = 4;
+  cfg.promote_floor_us = 50.0;
+  cfg.promote_headroom = 2.0;
+  FlightRecorder fr(cfg);
+  // Constant 10 us rounds: the p99 estimate sits near 10, so the
+  // 2x-headroom term (~20) loses to the 50 us floor.
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    EXPECT_FALSE(fr.record(make_round(i, 10.0)));
+  }
+  EXPECT_EQ(fr.promoted(), 0u);
+  EXPECT_DOUBLE_EQ(fr.threshold_us(), 50.0);
+  EXPECT_TRUE(fr.record(make_round(50, 100.0)));
+  EXPECT_EQ(fr.promoted(), 1u);
+  const auto bb = fr.black_box();
+  ASSERT_EQ(bb.size(), 1u);
+  EXPECT_EQ(bb[0].round, 50u);
+  EXPECT_DOUBLE_EQ(bb[0].round_us, 100.0);
+  // The black-box copy carries the threshold it breached; recent-ring
+  // copies stay unmarked.
+  EXPECT_FLOAT_EQ(bb[0].threshold_us, 50.0f);
+  for (const RoundRecord& r : fr.recent()) {
+    EXPECT_FLOAT_EQ(r.threshold_us, 0.0f);
+  }
+}
+
+TEST(FlightRecorderTest, WarmupOnlyPromotesExtremeOutliers) {
+  FlightRecorder::Config cfg;
+  cfg.warmup_rounds = 100;
+  cfg.promote_floor_us = 50.0;
+  FlightRecorder fr(cfg);
+  fr.record(make_round(0, 10.0));  // seeds the estimate at 10
+  // During warmup the bar is 100x the estimate: a 5x spike that would
+  // promote in steady state is ignored while the estimate settles...
+  EXPECT_FALSE(fr.record(make_round(1, 60.0)));
+  // ...but a genuine 100x+ outlier is still kept.
+  EXPECT_TRUE(fr.record(make_round(2, 5000.0)));
+  EXPECT_EQ(fr.promoted(), 1u);
+}
+
+TEST(FlightRecorderTest, QuantileEstimateTracksConstantInput) {
+  FlightRecorder fr;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    fr.record(make_round(i, 100.0));
+  }
+  // First sample seeds at 100; after that the asymmetric steps (up 99x
+  // the down-step) saw-tooth around the input, staying within ~10%.
+  EXPECT_GT(fr.p99_estimate_us(), 90.0);
+  EXPECT_LT(fr.p99_estimate_us(), 110.0);
+}
+
+TEST(FlightRecorderTest, RingsWrapAndUnrollOldestFirst) {
+  FlightRecorder::Config cfg;
+  cfg.ring_capacity = 4;
+  cfg.black_box_capacity = 2;
+  cfg.warmup_rounds = 0;
+  cfg.promote_floor_us = 50.0;
+  FlightRecorder fr(cfg);
+  // Rounds 0..9 at 10 us (never promoted), with promoted spikes at
+  // rounds 3, 6 and 9 -- one more spike than the black box holds.
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const bool spike = (i % 3 == 0 && i > 0);
+    fr.record(make_round(i, spike ? 500.0 : 10.0));
+  }
+  EXPECT_EQ(fr.rounds_seen(), 10u);
+  const auto recent = fr.recent();
+  ASSERT_EQ(recent.size(), 4u);  // capacity, oldest first
+  EXPECT_EQ(recent[0].round, 6u);
+  EXPECT_EQ(recent[3].round, 9u);
+  EXPECT_EQ(fr.promoted(), 3u);
+  const auto bb = fr.black_box();
+  ASSERT_EQ(bb.size(), 2u);  // oldest promoted entry (round 3) evicted
+  EXPECT_EQ(bb[0].round, 6u);
+  EXPECT_EQ(bb[1].round, 9u);
+}
+
+TEST(FlightRecorderTest, RecordPathAllocatesNothing) {
+  FlightRecorder fr;  // default rings, allocated here
+  fr.record(make_round(0, 10.0));
+  const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+  for (std::uint64_t i = 1; i < 5000; ++i) {
+    // Mix of promoted and unpromoted rounds: both paths are hot.
+    fr.record(make_round(i, i % 100 == 0 ? 10000.0 : 10.0));
+  }
+  const std::uint64_t during =
+      g_news.load(std::memory_order_relaxed) - before;
+  EXPECT_EQ(during, 0u);
+  EXPECT_GT(fr.promoted(), 0u);
+}
+
+TEST(FlightRecorderTest, DumpJsonCarriesBothRingsAndRoundTripsToFile) {
+  FlightRecorder::Config cfg;
+  cfg.warmup_rounds = 0;
+  FlightRecorder fr(cfg);
+  fr.record(make_round(0, 10.0));
+  fr.record(make_round(1, 900.0));  // promoted (floor 50)
+  const std::string json = fr.dump_json();
+  EXPECT_NE(json.find("\"kind\":\"flight\""), std::string::npos);
+  EXPECT_NE(json.find("\"rounds_seen\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"promoted\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"recent\":[{"), std::string::npos);
+  EXPECT_NE(json.find("\"black_box\":[{"), std::string::npos);
+  EXPECT_NE(json.find("\"round_us\":900"), std::string::npos);
+  const std::string path = "/tmp/ft_obs_test_flight.json";
+  ASSERT_TRUE(fr.dump_to_file(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string back(json.size() + 1, '\0');
+  back.resize(std::fread(back.data(), 1, back.size(), f));
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(back, json);
+}
+
+TEST(StatsSocketTest, FlightVerbServesDumpOrStub) {
+  net::EpollLoop loop;
+  MetricsRegistry reg;
+  FlightRecorder fr;
+  fr.record(make_round(7, 10.0));
+  StatsSocket bare(loop, "/tmp/ft_obs_test_flight_bare.sock", reg);
+  StatsSocket sock(loop, "/tmp/ft_obs_test_flight.sock", reg);
+  sock.set_flight(&fr);  // attached before the loop thread starts
+  std::thread server([&] { loop.run(); });
+  const std::string stub = scrape_stats_socket(bare.path(), "flight");
+  const std::string dump = scrape_stats_socket(sock.path(), "flight");
+  loop.stop();
+  server.join();
+  EXPECT_NE(stub.find("no flight recorder attached"), std::string::npos);
+  EXPECT_NE(dump.find("\"kind\":\"flight\""), std::string::npos);
+  EXPECT_NE(dump.find("\"round\":7"), std::string::npos);
 }
 
 TEST(StatsSocketTest, ServesJsonAndPrometheusOverTheSocket) {

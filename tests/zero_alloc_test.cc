@@ -19,6 +19,8 @@
 #include "common/rng.h"
 #include "core/allocator.h"
 #include "core/backend.h"
+#include "core/messages.h"
+#include "net/frame.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "topo/clos.h"
@@ -197,6 +199,47 @@ TEST(ZeroAllocTest, ChurnSpikeReservesUpFrontNotMidRound) {
     alloc.run_iteration(out);
   }
   EXPECT_EQ(allocations_during_rounds(alloc, 20, out), 0u);
+}
+
+TEST(ZeroAllocTest, FrameWriterSteadyStateBatchesAreAllocationFree) {
+  // The fanout path builds one batch per peer per round: rate updates
+  // (coalescing latest-wins through the flat open-addressed map) plus
+  // the occasional sampled trace-mark echo. Once the payload buffer,
+  // the coalescing table and the output vector are warm, a full
+  // add+flush cycle must not touch the heap -- flush() clears the
+  // table but keeps its capacity.
+  net::FrameWriter writer;
+  std::vector<std::uint8_t> out;
+  auto one_cycle = [&writer, &out] {
+    for (std::uint32_t k = 0; k < 300; ++k) {
+      core::RateUpdateMsg m;
+      m.flow_key = 1000 + k;
+      m.rate_code = static_cast<std::uint16_t>(k);
+      writer.add(m);
+      if (k % 3 == 0) {  // superseded before the flush: coalesces
+        m.rate_code = static_cast<std::uint16_t>(k + 1);
+        writer.add(m);
+      }
+    }
+    core::TraceMarkMsg mark;
+    mark.flow_key = 1001;
+    mark.trace_id = 42;
+    mark.t_ns[0] = 1;
+    writer.add(mark);  // sampling enabled: a mark rides the batch
+    out.clear();
+    writer.flush(out);
+  };
+  for (int i = 0; i < 5; ++i) one_cycle();  // warm
+  const std::uint64_t records_before = writer.stats().records;
+  const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+  for (int i = 0; i < 50; ++i) one_cycle();
+  const std::uint64_t during =
+      g_news.load(std::memory_order_relaxed) - before;
+  EXPECT_EQ(during, 0u);
+  // 300 updates (100 of them coalesced in place) + 1 trace mark framed
+  // per cycle: the batches really carried the full load.
+  EXPECT_EQ(writer.stats().records - records_before, 50u * 301u);
+  EXPECT_GE(writer.stats().coalesced_updates, 50u * 100u);
 }
 
 TEST(ZeroAllocTest, ReserveMakesChurnAllocationFree) {

@@ -8,6 +8,10 @@ like a performance metric:
   higher-is-better:  *per_sec, *_pps, speedup, precision, recall
   lower-is-better:   *_us, *_ns, ns_per_iter
 
+The *_us rule also picks up the net bench's e2e_p50_us / e2e_p99_us --
+the traced agent -> service -> agent update-path latency -- so a PR
+that fattens the update path shows up here, not just in msgs/sec.
+
 A metric regresses when it is worse than baseline by more than the
 tolerance band (default 35%, generous because CI runners are noisy).
 Config/count keys (flows, shards, iterations, ...) are ignored.
@@ -28,7 +32,10 @@ import sys
 
 HIGHER_SUFFIXES = ("per_sec", "_pps", "speedup", "precision", "recall")
 LOWER_SUFFIXES = ("_us", "_ns", "ns_per_iter")
-IGNORED_KEYS = {"hardware_concurrency", "git_sha"}
+# stall_us / stall_every_rounds are the flight-demo's *injected* stall
+# config, not measurements; sample_every is the tracing rate.
+IGNORED_KEYS = {"hardware_concurrency", "git_sha", "stall_us",
+                "stall_every_rounds", "sample_every"}
 
 
 def metric_direction(key):

@@ -1,10 +1,16 @@
 #!/usr/bin/env python3
-"""Pretty-print and diff metrics snapshots from the flowtune stats plane.
+"""Pretty-print and diff observability artifacts from the flowtune
+stats plane. Three input shapes are auto-detected:
 
-A snapshot is the JSON the stats socket serves ("json" request) or the
-daemon's --stats-file / the bench's metrics_snapshot.json artifact:
-
-  {"ts_us": ..., "metrics": {"core.solve_us": {"kind": "histo", ...}}}
+  metrics snapshot   {"ts_us": ..., "metrics": {...}}
+      -- the stats socket's "json" request, the daemon's --stats-file,
+      or the bench's metrics_snapshot.json artifact
+  flight dump        {"kind": "flight", "recent": [...], "black_box": [...]}
+      -- the stats socket's "flight" request, the daemon's --flight-out
+      auto-flush, or the bench's flight_dump.json artifact
+  bench results      {..., "tracing": {"e2e": {...}}}
+      -- BENCH_net_throughput.json; renders the traced update path's
+      per-hop spans as an ASCII timeline
 
 Usage:
 
@@ -12,10 +18,18 @@ Usage:
   echo json | nc -U /tmp/flowtune_stats.sock | tools/obs_dump.py
   tools/obs_dump.py metrics_snapshot.json
 
-  # Filter by metric-name substring
+  # Slow-round forensics: per-round table + phase bars for every round
+  # the flight recorder promoted into its black box
+  echo flight | nc -U /tmp/flowtune_stats.sock | tools/obs_dump.py
+  tools/obs_dump.py flight_dump.json
+
+  # Traced e2e span timeline from a bench run
+  tools/obs_dump.py BENCH_net_throughput.json
+
+  # Filter metrics by name substring
   tools/obs_dump.py metrics_snapshot.json --match shard0
 
-  # Diff two snapshots (counter deltas, histogram percentile shifts)
+  # Diff two metrics snapshots (counter deltas, p99 shifts)
   tools/obs_dump.py before.json after.json
 
 Counters/gauges print as aligned name/value rows; histograms get count,
@@ -26,7 +40,11 @@ quickest way to see where a regression's latency went.
 
 import argparse
 import json
+import signal
 import sys
+
+# Dying quietly when the reader closes early (| head) beats a traceback.
+signal.signal(signal.SIGPIPE, signal.SIG_DFL)
 
 SPARK = " .:-=+*#%@"
 
@@ -37,8 +55,6 @@ def load(path):
     else:
         with open(path) as f:
             doc = json.load(f)
-    if "metrics" not in doc:
-        raise SystemExit(f"{path}: not a metrics snapshot (no 'metrics' key)")
     return doc
 
 
@@ -114,24 +130,138 @@ def print_diff(before, after, match):
                   f"p99 {mb['p99']:g} -> {ma['p99']:g}")
 
 
+# Flight-record phases, in round order, with the single-letter glyph
+# used in the attribution bar.
+FLIGHT_PHASES = [("ingest_us", "i"), ("solve_us", "s"), ("emit_us", "e"),
+                 ("fanout_us", "f")]
+
+
+def phase_bar(rec, width=32):
+    """One round's phase attribution as a proportional ASCII bar."""
+    total = max(rec.get("round_us", 0.0), 1e-9)
+    bar = ""
+    for key, glyph in FLIGHT_PHASES:
+        n = round(rec.get(key, 0.0) / total * width)
+        bar += glyph * n
+    other = width - len(bar)
+    if other > 0:
+        bar += "." * other  # untimed remainder (scheduling, clock reads)
+    return bar[:width]
+
+
+def print_flight_table(title, recs, detail):
+    if not recs:
+        print(f"-- {title}: empty")
+        return
+    print(f"-- {title} ({len(recs)} rounds)")
+    hdr = (f"  {'round':>8} {'round_us':>10} {'ingest':>8} {'solve':>8} "
+           f"{'emit':>8} {'fanout':>8} {'wakeup':>8} {'churn':>7} "
+           f"{'upd':>6} {'hw':>5}")
+    if detail:
+        hdr += f" {'thresh':>8}  attribution (i=ingest s=solve e=emit f=fanout)"
+    print(hdr)
+    for r in recs:
+        row = (f"  {r['round']:>8} {r['round_us']:>10.1f} "
+               f"{r['ingest_us']:>8.1f} {r['solve_us']:>8.1f} "
+               f"{r['emit_us']:>8.1f} {r['fanout_us']:>8.1f} "
+               f"{r['wakeup_us']:>8.1f} {r['churn_events']:>7} "
+               f"{r['updates']:>6} {r['up_ring_hw']:>5}")
+        if detail:
+            row += f" {r['threshold_us']:>8.1f}  |{phase_bar(r)}|"
+        print(row)
+
+
+def print_flight(doc):
+    print(f"flight recorder: {doc['rounds_seen']:,} rounds seen, "
+          f"{doc['promoted']:,} promoted "
+          f"(p99 estimate {doc['p99_estimate_us']:.1f} us, "
+          f"threshold {doc['threshold_us']:.1f} us)")
+    print_flight_table("recent rounds", doc.get("recent", []), detail=False)
+    print_flight_table("black box (promoted slow rounds)",
+                       doc.get("black_box", []), detail=True)
+
+
+# The e2e.* histogram spans of the traced update path, in hop order.
+# Each entry: (metric, label, indent) -- indents show containment:
+# update >= wire + service; service >= queue + solve + emit + fanout.
+E2E_SPANS = [
+    ("e2e.update_us", "update (agent->agent)", 0),
+    ("e2e.wire_us", "wire (both directions)", 1),
+    ("e2e.service_us", "service (shard->fanout)", 1),
+    ("e2e.queue_us", "queue (ingest->pickup)", 2),
+    ("e2e.solve_us", "solve", 2),
+    ("e2e.emit_us", "emit", 2),
+    ("e2e.fanout_us", "fanout", 2),
+]
+
+
+def print_e2e_timeline(tracing):
+    e2e = tracing.get("e2e", {})
+    if not e2e:
+        print("no completed traces in this run", file=sys.stderr)
+        return
+    print(f"traced update path: 1/{tracing.get('sample_every', '?')} "
+          f"sampling, {tracing.get('traces_completed', 0):,} completed "
+          f"echoes of {tracing.get('traces_sent', 0):,} sampled")
+    if "overhead_pct" in tracing:
+        print(f"sampling overhead: {tracing['overhead_pct']:+.2f}% "
+              f"msgs/sec vs tracing off")
+    total_p99 = max(e2e.get("e2e.update_us", {}).get("p99_us", 0.0), 1e-9)
+    width = 40
+    print(f"  {'span':<26} {'p50':>10} {'p99':>10}  "
+          f"timeline (p99, {total_p99:.0f} us full scale)")
+    for metric, label, indent in E2E_SPANS:
+        m = e2e.get(metric)
+        if m is None:
+            continue
+        bar_n = min(width, round(m["p99_us"] / total_p99 * width))
+        print(f"  {'  ' * indent + label:<26} {m['p50_us']:>8.1f}us "
+              f"{m['p99_us']:>8.1f}us  |{'#' * bar_n:<{width}}|")
+
+
+def kind_of(doc):
+    if doc.get("kind") == "flight":
+        return "flight"
+    if "metrics" in doc:
+        return "metrics"
+    if "tracing" in doc:
+        return "bench"
+    return None
+
+
 def main():
     ap = argparse.ArgumentParser(
-        description="Pretty-print or diff flowtune metrics snapshots.")
+        description="Pretty-print or diff flowtune observability "
+                    "artifacts (metrics snapshots, flight-recorder "
+                    "dumps, bench e2e traces).")
     ap.add_argument("snapshot", nargs="*", default=["-"],
-                    help="one snapshot to print, or two to diff "
-                         "(default: stdin)")
+                    help="one artifact to print, or two metrics "
+                         "snapshots to diff (default: stdin)")
     ap.add_argument("--match", default="",
                     help="only show metrics whose name contains this")
     args = ap.parse_args()
     if len(args.snapshot) > 2:
-        ap.error("pass one snapshot to print or two to diff")
+        ap.error("pass one artifact to print or two snapshots to diff")
     if not args.snapshot:
         args.snapshot = ["-"]
-    if len(args.snapshot) == 1:
-        print_snapshot(load(args.snapshot[0]), args.match)
+    docs = [load(p) for p in args.snapshot]
+    kinds = [kind_of(d) for d in docs]
+    for path, kind in zip(args.snapshot, kinds):
+        if kind is None:
+            raise SystemExit(f"{path}: not a metrics snapshot, flight "
+                             f"dump or bench results file")
+    if len(docs) == 1:
+        doc, kind = docs[0], kinds[0]
+        if kind == "flight":
+            print_flight(doc)
+        elif kind == "bench":
+            print_e2e_timeline(doc["tracing"])
+        else:
+            print_snapshot(doc, args.match)
     else:
-        print_diff(load(args.snapshot[0]), load(args.snapshot[1]),
-                   args.match)
+        if kinds != ["metrics", "metrics"]:
+            ap.error("diffing needs two metrics snapshots")
+        print_diff(docs[0], docs[1], args.match)
 
 
 if __name__ == "__main__":
