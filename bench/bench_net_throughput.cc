@@ -32,6 +32,7 @@
 #include "core/backend.h"
 #include "net/client.h"
 #include "net/epoll_loop.h"
+#include "net/faultjail.h"
 #include "net/server.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -340,6 +341,238 @@ double backend_round_us(const topo::ClosTopology& clos, int alloc_threads,
   return total_us / rounds;
 }
 
+// --- Recovery drills (fault-tolerant control plane) -----------------
+//
+// Kill-restart: N auto-reconnect agents converge against an inline
+// service, the service dies and is instantly recreated on the same port
+// with a *fresh* allocator, and the drill measures, per agent, the time
+// from the kill to the re-established connection (p50/p99 across the
+// fleet), the time until the fresh allocator's rates match the pre-kill
+// allocation again (pure replay-driven warm restart), and the fraction
+// of fleet-time spent not-kConnected. Single-threaded and seeded, so
+// the numbers are comparable across runs.
+
+struct KillRestartResult {
+  bool ok = false;
+  double reconnect_p50_us = 0.0;
+  double reconnect_p99_us = 0.0;
+  double reconverge_us = 0.0;   // kill -> rates match pre-kill again
+  double degraded_frac = 0.0;   // sum(degraded_us) / (agents * window)
+  std::uint64_t replayed_starts = 0;
+  std::uint64_t queue_drops_on_close = 0;
+};
+
+KillRestartResult run_kill_restart_drill(const topo::ClosTopology& clos,
+                                         int nagents,
+                                         int flows_per_agent) {
+  KillRestartResult r;
+  net::EpollLoop loop;
+  core::AllocatorConfig acfg0;
+  acfg0.threshold = 0.0;  // re-emit every round: convergence observable
+  auto alloc = std::make_unique<core::Allocator>(caps_of(clos), acfg0);
+  net::ServerConfig scfg;
+  scfg.tcp_port = 0;
+  scfg.iteration_period_us = 0;  // rounds driven by the drill loop
+  scfg.num_shards = 0;
+  scfg.heartbeat_period_us = 2'000;
+  scfg.rate_lease_us = 100'000;
+  auto svc =
+      std::make_unique<net::AllocatorService>(loop, *alloc, clos, scfg);
+  const int port = svc->tcp_port();
+
+  const auto key_of = [](int a, int f) {
+    return (static_cast<std::uint32_t>(a) << 16) |
+           static_cast<std::uint32_t>(f + 1);
+  };
+  const int hosts = clos.num_hosts();
+  Rng rng(2026);
+  std::vector<std::unique_ptr<net::EndpointAgent>> agents;
+  for (int a = 0; a < nagents; ++a) {
+    net::AgentConfig acfg;
+    acfg.auto_reconnect = true;
+    acfg.reconnect_backoff_min_us = 2'000;
+    acfg.reconnect_backoff_max_us = 50'000;
+    acfg.reconnect_seed = 0xD811AU + static_cast<std::uint64_t>(a);
+    acfg.heartbeat_period_us = 2'000;
+    acfg.peer_timeout_us = 20'000;
+    agents.push_back(std::make_unique<net::EndpointAgent>(acfg));
+    if (!agents.back()->connect_tcp("127.0.0.1", port)) return r;
+    for (int f = 0; f < flows_per_agent; ++f) {
+      const auto src = static_cast<std::uint16_t>(rng.below(hosts));
+      auto dst = static_cast<std::uint16_t>(rng.below(hosts - 1));
+      if (dst >= src) ++dst;
+      agents.back()->flowlet_start(key_of(a, f), src, dst);
+    }
+    agents.back()->flush();
+  }
+  const auto pump = [&] {
+    svc->run_allocation_round();
+    loop.run_once(0);
+    for (auto& a : agents) a->poll();
+  };
+  for (int i = 0; i < 300; ++i) pump();
+
+  // The allocation a fresh service must reconverge to from replay alone.
+  std::vector<std::vector<std::uint16_t>> ref(nagents);
+  for (int a = 0; a < nagents; ++a) {
+    for (int f = 0; f < flows_per_agent; ++f) {
+      ref[a].push_back(agents[a]->rate_code(key_of(a, f)));
+    }
+  }
+
+  const std::int64_t t_kill = net::EpollLoop::now_us();
+  svc.reset();
+  alloc = std::make_unique<core::Allocator>(caps_of(clos), acfg0);
+  scfg.tcp_port = port;  // warm restart: same endpoint, zero state
+  svc = std::make_unique<net::AllocatorService>(loop, *alloc, clos, scfg);
+
+  std::vector<std::int64_t> reconnected_at(
+      static_cast<std::size_t>(nagents), 0);
+  const std::int64_t deadline = t_kill + 10'000'000;
+  std::int64_t t_reconverged = 0;
+  while (net::EpollLoop::now_us() < deadline) {
+    pump();
+    const std::int64_t now = net::EpollLoop::now_us();
+    bool all_reconnected = true;
+    for (int a = 0; a < nagents; ++a) {
+      auto& at = reconnected_at[static_cast<std::size_t>(a)];
+      if (at == 0 && agents[a]->stats().reconnects > 0 &&
+          agents[a]->conn_state() == net::ConnState::kConnected) {
+        at = now;
+      }
+      if (at == 0) all_reconnected = false;
+    }
+    if (!all_reconnected) continue;
+    bool converged = true;
+    for (int a = 0; a < nagents && converged; ++a) {
+      for (int f = 0; f < flows_per_agent; ++f) {
+        const int code = agents[a]->rate_code(key_of(a, f));
+        const int want = ref[a][static_cast<std::size_t>(f)];
+        if (code - want > 2 || want - code > 2) {
+          converged = false;
+          break;
+        }
+      }
+    }
+    if (converged) {
+      t_reconverged = now;
+      break;
+    }
+  }
+  if (t_reconverged == 0) return r;  // drill timed out: r.ok == false
+
+  PercentileSampler lat;
+  std::int64_t degraded_total = 0;
+  for (int a = 0; a < nagents; ++a) {
+    lat.add(static_cast<double>(
+        reconnected_at[static_cast<std::size_t>(a)] - t_kill));
+    degraded_total += agents[a]->stats().degraded_us;
+    r.replayed_starts += agents[a]->stats().replayed_starts;
+    r.queue_drops_on_close += agents[a]->stats().queue_drops_on_close;
+  }
+  r.reconnect_p50_us = lat.p50();
+  r.reconnect_p99_us = lat.p99();
+  r.reconverge_us = static_cast<double>(t_reconverged - t_kill);
+  r.degraded_frac =
+      static_cast<double>(degraded_total) /
+      (static_cast<double>(nagents) *
+       static_cast<double>(t_reconverged - t_kill));
+  r.ok = true;
+  return r;
+}
+
+// Lease drill: one agent behind the FaultJail with >= 50% of
+// service->agent frames dropped. Once the allocation settles only
+// heartbeats re-arm the lease, so drop streaks expire it: the agent
+// degrades and decays its rates toward the fallback. The drill reports
+// how often leases expired and how quickly the agent re-armed once the
+// drops stopped.
+struct LeaseDrillResult {
+  bool ok = false;
+  std::uint64_t frames_down = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t lease_expiries = 0;
+  std::uint64_t fallback_enters = 0;  // on_fallback(entering=true) calls
+  double degraded_frac = 0.0;         // of the dropping window
+  double reclaim_us = 0.0;            // drops off -> lease fresh again
+};
+
+LeaseDrillResult run_lease_drill(const topo::ClosTopology& clos,
+                                 double drop_frac,
+                                 std::int64_t window_us) {
+  LeaseDrillResult r;
+  net::EpollLoop loop;
+  core::Allocator alloc(caps_of(clos), core::AllocatorConfig{});
+  net::ServerConfig scfg;
+  scfg.tcp_port = 0;
+  scfg.iteration_period_us = 0;
+  scfg.num_shards = 0;
+  scfg.heartbeat_period_us = 1'000;
+  scfg.rate_lease_us = 4'000;
+  net::AllocatorService svc(loop, alloc, clos, scfg);
+
+  net::FaultJailConfig jcfg;
+  jcfg.upstream_port = svc.tcp_port();
+  jcfg.seed = 0xF417;
+  net::FaultJail jail(loop, jcfg);
+
+  std::uint64_t fallback_enters = 0;
+  net::AgentConfig acfg;
+  acfg.fallback_rate_bps = 1e6;
+  acfg.fallback_decay = 0.5;
+  acfg.fallback_decay_interval_us = 1'000;
+  acfg.on_fallback = [&fallback_enters](std::uint32_t, double,
+                                        bool entering) {
+    if (entering) ++fallback_enters;
+  };
+  net::EndpointAgent agent(acfg);
+  if (!agent.connect_tcp("127.0.0.1", jail.port())) return r;
+  const int hosts = clos.num_hosts();
+  Rng rng(7);
+  for (int f = 0; f < 8; ++f) {
+    const auto src = static_cast<std::uint16_t>(rng.below(hosts));
+    auto dst = static_cast<std::uint16_t>(rng.below(hosts - 1));
+    if (dst >= src) ++dst;
+    agent.flowlet_start(static_cast<std::uint32_t>(f + 1), src, dst);
+  }
+  agent.flush();
+  const auto pump = [&] {
+    svc.run_allocation_round();
+    loop.run_once(1'000);  // let the heartbeat timer fire
+    agent.poll();
+  };
+  for (int i = 0; i < 200; ++i) pump();
+  if (!agent.lease_fresh()) return r;
+
+  jail.set_drop_down_frac(drop_frac);
+  const std::int64_t t0 = net::EpollLoop::now_us();
+  const std::int64_t degraded_before = agent.stats().degraded_us;
+  while (net::EpollLoop::now_us() - t0 < window_us) pump();
+  const std::int64_t window = net::EpollLoop::now_us() - t0;
+  r.lease_expiries = agent.stats().lease_expiries;
+  r.degraded_frac =
+      static_cast<double>(agent.stats().degraded_us - degraded_before) /
+      static_cast<double>(window);
+
+  jail.set_drop_down_frac(0.0);
+  const std::int64_t t_off = net::EpollLoop::now_us();
+  const std::int64_t reclaim_deadline = t_off + 5'000'000;
+  while (net::EpollLoop::now_us() < reclaim_deadline) {
+    pump();
+    if (agent.conn_state() == net::ConnState::kConnected &&
+        agent.lease_fresh()) {
+      break;
+    }
+  }
+  if (!agent.lease_fresh()) return r;
+  r.reclaim_us = static_cast<double>(net::EpollLoop::now_us() - t_off);
+  r.frames_down = jail.stats().frames_down;
+  r.frames_dropped = jail.stats().frames_dropped;
+  r.fallback_enters = fallback_enters;
+  r.ok = true;
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -381,6 +614,14 @@ int main(int argc, char** argv) {
       "flight-dump", "flight_dump.json",
       "flight-recorder dump from the injected-stall demo run (empty "
       "disables the phase)");
+  const bool recovery = flags.bool_flag(
+      "recovery", true,
+      "run the recovery drills (service kill-restart + rate-lease "
+      "fallback under frame drops)");
+  const auto recovery_agents = flags.int_flag(
+      "recovery-agents", 8, "agents in the kill-restart drill");
+  const auto recovery_flows = flags.int_flag(
+      "recovery-flows", 16, "flows per agent in the kill-restart drill");
   const bool pin_cores = flags.bool_flag(
       "pin-cores", false,
       "pin solver workers by FlowBlock row and I/O shards to the same "
@@ -778,7 +1019,83 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.flight_promoted));
   }
 
-  const bool pass = msgs_per_sec >= 100'000.0 && fanout_ok && backend_ok;
+  // --- Recovery drills: the fault-tolerance numbers the control plane
+  // is now on the hook for. Kill-restart measures detection + jittered
+  // backoff + replay-driven reconvergence end to end; the lease drill
+  // measures the graceful-fallback path under sustained frame loss.
+  bool recovery_ok = true;
+  if (recovery) {
+    bench::banner("Recovery drills",
+                  "service kill-restart + rate-lease fallback");
+    const int nagents = static_cast<int>(recovery_agents);
+    const int fpa = static_cast<int>(recovery_flows);
+    const KillRestartResult kr =
+        run_kill_restart_drill(clos, nagents, fpa);
+    auto& j = json.child("recovery");
+    j.set("agents", nagents);
+    j.set("flows_per_agent", fpa);
+    if (kr.ok) {
+      bench::Table rt({"metric", "value"});
+      rt.add_row({"reconnect p50",
+                  bench::fmt("%.0f us", kr.reconnect_p50_us)});
+      rt.add_row({"reconnect p99",
+                  bench::fmt("%.0f us", kr.reconnect_p99_us)});
+      rt.add_row({"reconverge (rates match pre-kill)",
+                  bench::fmt("%.0f us", kr.reconverge_us)});
+      rt.add_row({"degraded fraction of window",
+                  bench::fmt("%.3f", kr.degraded_frac)});
+      rt.add_row({"replayed flowlet starts",
+                  bench::fmt("%llu", static_cast<unsigned long long>(
+                                         kr.replayed_starts))});
+      rt.add_row({"counted queue drops on close",
+                  bench::fmt("%llu", static_cast<unsigned long long>(
+                                         kr.queue_drops_on_close))});
+      rt.print();
+      j.set("reconnect_p50_us", kr.reconnect_p50_us);
+      j.set("reconnect_p99_us", kr.reconnect_p99_us);
+      j.set("reconverge_us", kr.reconverge_us);
+      j.set("degraded_frac", kr.degraded_frac);
+      j.set("replayed_starts", kr.replayed_starts);
+      j.set("queue_drops_on_close", kr.queue_drops_on_close);
+    } else {
+      recovery_ok = false;
+      j.set("failed", true);
+      std::printf("kill-restart drill FAILED (timed out before "
+                  "reconvergence)\n");
+    }
+    const double drop_frac = 0.6;
+    const LeaseDrillResult lr =
+        run_lease_drill(clos, drop_frac, 400'000);
+    auto& lj = j.child("lease");
+    lj.set("drop_frac", drop_frac);
+    if (lr.ok) {
+      std::printf("\nlease drill (%.0f%% of downstream frames dropped "
+                  "for 400 ms):\n",
+                  drop_frac * 100.0);
+      std::printf("  frames %llu seen / %llu dropped, %llu lease "
+                  "expiries, %llu flows entered fallback,\n"
+                  "  degraded %.1f%% of the window, re-armed %.0f us "
+                  "after drops stopped\n",
+                  static_cast<unsigned long long>(lr.frames_down),
+                  static_cast<unsigned long long>(lr.frames_dropped),
+                  static_cast<unsigned long long>(lr.lease_expiries),
+                  static_cast<unsigned long long>(lr.fallback_enters),
+                  lr.degraded_frac * 100.0, lr.reclaim_us);
+      lj.set("frames_down", lr.frames_down);
+      lj.set("frames_dropped", lr.frames_dropped);
+      lj.set("lease_expiries", lr.lease_expiries);
+      lj.set("fallback_enters", lr.fallback_enters);
+      lj.set("degraded_frac", lr.degraded_frac);
+      lj.set("reclaim_us", lr.reclaim_us);
+    } else {
+      recovery_ok = false;
+      lj.set("failed", true);
+      std::printf("lease drill FAILED (agent never re-armed)\n");
+    }
+  }
+
+  const bool pass =
+      msgs_per_sec >= 100'000.0 && fanout_ok && backend_ok && recovery_ok;
   json.set("msgs_per_sec_floor", 100'000);
   json.set("pass", pass);
   if (!json_path.empty()) json.write_file(json_path);

@@ -116,6 +116,18 @@ int main(int argc, char** argv) {
       "fanout phase (flight-recorder demos; 0 disables)");
   const auto stall_us =
       flags.int_flag("stall-us", 0, "stall length for --stall-every-rounds");
+  scfg.heartbeat_period_us = flags.int_flag(
+      "heartbeat-period-us", 0,
+      "service->agent heartbeat period carrying the rate lease "
+      "(0 disables liveness beacons)");
+  scfg.rate_lease_us = flags.int_flag(
+      "rate-lease-us", 0,
+      "rate lease advertised on heartbeats: agents that hear nothing "
+      "for this long decay to their fallback rate (0 = no lease)");
+  scfg.peer_timeout_us = flags.int_flag(
+      "peer-timeout-us", 0,
+      "cull connections silent for this long, freeing their flows "
+      "(agents should heartbeat at a fraction of this; 0 disables)");
   flags.done(
       "Flowtune allocator daemon: serves endpoint agents over TCP/Unix "
       "sockets, runs the NED+F-NORM round every --period-us. "

@@ -72,6 +72,13 @@ std::array<std::uint8_t, kTraceMarkBytes> encode(const TraceMarkMsg& m) {
   return buf;
 }
 
+std::array<std::uint8_t, kHeartbeatBytes> encode(const HeartbeatMsg& m) {
+  std::array<std::uint8_t, kHeartbeatBytes> buf{};
+  put64(&buf[0], static_cast<std::uint64_t>(m.t_send_ns));
+  put32(&buf[8], m.lease_us);
+  return buf;
+}
+
 std::optional<FlowletStartMsg> try_decode_flowlet_start(
     std::span<const std::uint8_t> buf) {
   if (buf.size() < kFlowletStartBytes) return std::nullopt;
@@ -112,6 +119,15 @@ std::optional<TraceMarkMsg> try_decode_trace_mark(
   return m;
 }
 
+std::optional<HeartbeatMsg> try_decode_heartbeat(
+    std::span<const std::uint8_t> buf) {
+  if (buf.size() < kHeartbeatBytes) return std::nullopt;
+  HeartbeatMsg m;
+  m.t_send_ns = static_cast<std::int64_t>(get64(&buf[0]));
+  m.lease_us = get32(&buf[8]);
+  return m;
+}
+
 FlowletStartMsg decode_flowlet_start(
     const std::array<std::uint8_t, kFlowletStartBytes>& buf) {
   return *try_decode_flowlet_start(std::span<const std::uint8_t>(buf));
@@ -130,6 +146,11 @@ RateUpdateMsg decode_rate_update(
 TraceMarkMsg decode_trace_mark(
     const std::array<std::uint8_t, kTraceMarkBytes>& buf) {
   return *try_decode_trace_mark(std::span<const std::uint8_t>(buf));
+}
+
+HeartbeatMsg decode_heartbeat(
+    const std::array<std::uint8_t, kHeartbeatBytes>& buf) {
+  return *try_decode_heartbeat(std::span<const std::uint8_t>(buf));
 }
 
 }  // namespace ft::core

@@ -15,6 +15,7 @@ namespace ft::core {
 inline constexpr std::size_t kFlowletStartBytes = 16;
 inline constexpr std::size_t kFlowletEndBytes = 4;
 inline constexpr std::size_t kRateUpdateBytes = 6;
+inline constexpr std::size_t kHeartbeatBytes = 12;
 
 // Update-path trace hop slots carried by TraceMarkMsg. Slot 0 is stamped
 // on the agent's clock; 1..5 on the service's. The seventh hop (agent
@@ -63,6 +64,21 @@ struct RateUpdateMsg {
                          const RateUpdateMsg&) = default;
 };
 
+// Liveness beacon, sent in both directions so a dead peer is detected
+// in O(heartbeat period) instead of O(TCP timeout). Service -> agent
+// heartbeats also advertise the rate lease: the agent treats every
+// heartbeat or rate update as re-arming a lease of `lease_us`
+// microseconds, and hands rate control back to the endpoint's own
+// congestion control (FallbackPolicy) when the lease expires. Agent ->
+// service heartbeats carry lease_us = 0 (they exist only to keep the
+// peer-timeout clock fresh on an otherwise idle connection).
+struct HeartbeatMsg {
+  std::int64_t t_send_ns = 0;   // sender's clock, diagnostic only
+  std::uint32_t lease_us = 0;   // rate lease duration; 0 = no lease
+
+  friend bool operator==(const HeartbeatMsg&, const HeartbeatMsg&) = default;
+};
+
 // Trace context for one sampled flowlet_start. Emitted by the agent
 // right after the flagged start record, hop-stamped inside the service
 // (obs::now_ns, CLOCK_MONOTONIC_RAW), and echoed back on the traced
@@ -83,6 +99,8 @@ struct TraceMarkMsg {
     const RateUpdateMsg& m);
 [[nodiscard]] std::array<std::uint8_t, kTraceMarkBytes> encode(
     const TraceMarkMsg& m);
+[[nodiscard]] std::array<std::uint8_t, kHeartbeatBytes> encode(
+    const HeartbeatMsg& m);
 
 // Stream-oriented decoders: parse a message from the front of `buf`
 // without copying into a fixed array first. Returns nullopt when fewer
@@ -96,6 +114,8 @@ struct TraceMarkMsg {
     std::span<const std::uint8_t> buf);
 [[nodiscard]] std::optional<TraceMarkMsg> try_decode_trace_mark(
     std::span<const std::uint8_t> buf);
+[[nodiscard]] std::optional<HeartbeatMsg> try_decode_heartbeat(
+    std::span<const std::uint8_t> buf);
 
 // Fixed-array decoders (thin wrappers over the span overloads).
 [[nodiscard]] FlowletStartMsg decode_flowlet_start(
@@ -106,5 +126,7 @@ struct TraceMarkMsg {
     const std::array<std::uint8_t, kRateUpdateBytes>& buf);
 [[nodiscard]] TraceMarkMsg decode_trace_mark(
     const std::array<std::uint8_t, kTraceMarkBytes>& buf);
+[[nodiscard]] HeartbeatMsg decode_heartbeat(
+    const std::array<std::uint8_t, kHeartbeatBytes>& buf);
 
 }  // namespace ft::core

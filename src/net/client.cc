@@ -8,6 +8,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -30,6 +31,15 @@ struct EndpointAgent::Metrics {
   obs::Counter& updates_received;
   obs::Gauge& detector_occupancy;
   obs::Gauge& detector_evictions;
+  // Fault tolerance: connection losses, successful re-dials, the
+  // outage span each re-dial closed, cumulative non-kConnected time,
+  // lease expiries and records dropped with a dying connection.
+  obs::Counter& disconnects;
+  obs::Counter& reconnects;
+  obs::LatencyHisto& reconnect_us;
+  obs::Counter& degraded_us;
+  obs::Counter& lease_expiries;
+  obs::Counter& queue_drops_on_close;
   // End-to-end span breakdown from completed trace echoes. update_us is
   // the full agent-send -> agent-receive loop on the agent's RAW clock;
   // queue/solve/emit/fanout are the service-side hop deltas; service_us
@@ -50,6 +60,12 @@ struct EndpointAgent::Metrics {
         updates_received(reg.counter("agent.updates_received")),
         detector_occupancy(reg.gauge("agent.detector_occupancy")),
         detector_evictions(reg.gauge("agent.detector_evictions")),
+        disconnects(reg.counter("agent.disconnects")),
+        reconnects(reg.counter("agent.reconnects")),
+        reconnect_us(reg.histo("agent.reconnect_us")),
+        degraded_us(reg.counter("agent.degraded_us")),
+        lease_expiries(reg.counter("agent.lease_expiries")),
+        queue_drops_on_close(reg.counter("agent.queue_drops_on_close")),
         e2e_update_us(reg.histo("e2e.update_us")),
         e2e_queue_us(reg.histo("e2e.queue_us")),
         e2e_solve_us(reg.histo("e2e.solve_us")),
@@ -80,6 +96,12 @@ EndpointAgent::EndpointAgent(
   if (cfg_.metrics != nullptr) {
     m_ = std::make_unique<Metrics>(*cfg_.metrics);
   }
+  // Jitter stream: an explicit seed gives a reproducible backoff
+  // schedule (tests); 0 derives one from this agent's address so a
+  // fleet sharing a config still spreads its re-dials.
+  backoff_rng_.reseed(cfg_.reconnect_seed != 0
+                          ? cfg_.reconnect_seed
+                          : reinterpret_cast<std::uintptr_t>(this));
 }
 
 EndpointAgent::~EndpointAgent() { disconnect(); }
@@ -99,48 +121,233 @@ bool EndpointAgent::adopt_socket(int fd) {
   return true;
 }
 
+// Dials the remembered target. Returns the connected fd or -1; never
+// touches agent state, so connect_* and the reconnect path share it.
+int EndpointAgent::dial_target() const {
+  if (target_ == Target::kTcp) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(target_port_));
+    if (::inet_pton(AF_INET, target_host_.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+        0) {
+      ::close(fd);
+      return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return fd;
+  }
+  if (target_ == Target::kUnix) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (target_path_.size() >= sizeof addr.sun_path) {
+      ::close(fd);
+      return -1;
+    }
+    std::strncpy(addr.sun_path, target_path_.c_str(),
+                 sizeof addr.sun_path - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+        0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  return -1;
+}
+
 bool EndpointAgent::connect_tcp(const std::string& host, int port) {
   FT_CHECK(fd_ < 0);
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) return false;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return false;
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    ::close(fd);
-    return false;
-  }
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  return adopt_socket(fd);
+  target_ = Target::kTcp;
+  target_host_ = host;
+  target_port_ = port;
+  const int fd = dial_target();
+  if (fd < 0 || !adopt_socket(fd)) return false;
+  became_connected(EpollLoop::now_us());
+  return true;
 }
 
 bool EndpointAgent::connect_unix(const std::string& path) {
   FT_CHECK(fd_ < 0);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) return false;
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof addr.sun_path) {
-    ::close(fd);
-    return false;
-  }
-  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    ::close(fd);
-    return false;
-  }
-  return adopt_socket(fd);
+  target_ = Target::kUnix;
+  target_path_ = path;
+  const int fd = dial_target();
+  if (fd < 0 || !adopt_socket(fd)) return false;
+  became_connected(EpollLoop::now_us());
+  return true;
+}
+
+void EndpointAgent::became_connected(std::int64_t now_us) {
+  state_ = ConnState::kConnected;
+  cur_backoff_us_ = 0;
+  next_attempt_us_ = 0;
+  last_rx_us_ = now_us;
+  last_hb_tx_us_ = now_us;
+  // The lease is disarmed until the new service advertises one; flows
+  // parked in fallback stay there until their fresh update lands.
+  lease_deadline_us_ = 0;
 }
 
 void EndpointAgent::disconnect() {
+  drop_pending_output();
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
+  }
+  state_ = ConnState::kDisconnected;
+  lease_deadline_us_ = 0;
+  degraded_since_us_ = 0;  // deliberate teardown ends any outage clock
+}
+
+// Counts then discards everything queued for a connection that will
+// never carry it (satellite fix: these drops used to be silent).
+void EndpointAgent::drop_pending_output() {
+  const std::uint64_t records = writer_.pending_records();
+  if (records > 0) {
+    stats_.queue_drops_on_close += records;
+    if (m_ != nullptr) {
+      m_->queue_drops_on_close.add(records);
+    }
+    writer_.clear();
+  }
+  outbox_.clear();
+  out_off_ = 0;
+}
+
+// The socket died under us (peer close, send/recv error, outbox cap,
+// peer timeout). Tear it down and either arm the reconnect backoff or
+// go terminal, depending on config.
+void EndpointAgent::lose_connection(std::int64_t now_us) {
+  ++stats_.disconnects;
+  if (m_ != nullptr) m_->disconnects.add(1);
+  drop_pending_output();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  lease_deadline_us_ = 0;
+  if (degraded_since_us_ == 0) degraded_since_us_ = now_us;
+  if (cfg_.auto_reconnect && target_ != Target::kNone) {
+    state_ = ConnState::kReconnecting;
+    disconnected_at_us_ = now_us;
+    cur_backoff_us_ = 0;
+    // The first attempt is already jittered: N agents losing the same
+    // allocator at the same instant must not re-dial in one burst.
+    schedule_next_attempt(now_us);
+  } else {
+    state_ = ConnState::kDisconnected;
+  }
+}
+
+void EndpointAgent::schedule_next_attempt(std::int64_t now_us) {
+  cur_backoff_us_ =
+      cur_backoff_us_ == 0
+          ? cfg_.reconnect_backoff_min_us
+          : std::min(cur_backoff_us_ * 2, cfg_.reconnect_backoff_max_us);
+  const std::int64_t half = std::max<std::int64_t>(cur_backoff_us_ / 2, 1);
+  last_backoff_us_ =
+      half + static_cast<std::int64_t>(
+                 backoff_rng_.below(static_cast<std::uint64_t>(half)));
+  next_attempt_us_ = now_us + last_backoff_us_;
+}
+
+// Re-registers every locally-live flowlet on the fresh connection. The
+// agent's flow table is the authoritative replay source: whether the
+// old service ended our flows on disconnect or a restarted allocator
+// never heard of them, these starts rebuild the exact same set.
+void EndpointAgent::replay_flowlets() {
+  for (auto& [key, st] : flows_) {
+    writer_.add(core::FlowletStartMsg{key, st.src, st.dst, 0,
+                                      st.weight_milli, 0});
+    ++stats_.replayed_starts;
+    if (m_ != nullptr && st.start_us == 0) {
+      // Re-arm the first-update RTT clock: the next update this flow
+      // sees is the recovery round trip.
+      st.start_us = EpollLoop::now_us();
+    }
+  }
+}
+
+void EndpointAgent::try_reconnect(std::int64_t now_us) {
+  if (now_us < next_attempt_us_) return;
+  ++stats_.reconnect_attempts;
+  const int fd = dial_target();
+  if (fd < 0 || !adopt_socket(fd)) {
+    schedule_next_attempt(now_us);
+    return;
+  }
+  // Fresh connection: no residue from the dead one may cross it. The
+  // parser is rebuilt (mid-frame bytes and a sticky corrupt flag die
+  // with it), the writer's open batch and coalescing table were
+  // dropped at disconnect, and the outbox is empty.
+  parser_ = FrameParser(cfg_.max_frame_payload);
+  writer_.clear();
+  outbox_.clear();
+  out_off_ = 0;
+  ++stats_.reconnects;
+  if (m_ != nullptr) {
+    m_->reconnects.add(1);
+    m_->reconnect_us.record_signed(now_us - disconnected_at_us_);
+  }
+  became_connected(now_us);
+  note_recovered(now_us);
+  replay_flowlets();
+  flush();
+}
+
+void EndpointAgent::arm_lease(std::int64_t now_us) {
+  if (lease_us_ == 0) return;
+  lease_deadline_us_ = now_us + lease_us_;
+  if (state_ == ConnState::kDegraded) {
+    state_ = ConnState::kConnected;
+    note_recovered(now_us);
+  }
+}
+
+void EndpointAgent::enter_degraded(std::int64_t now_us) {
+  state_ = ConnState::kDegraded;
+  lease_deadline_us_ = 0;
+  ++stats_.lease_expiries;
+  if (m_ != nullptr) m_->lease_expiries.add(1);
+  if (degraded_since_us_ == 0) degraded_since_us_ = now_us;
+  next_decay_us_ = now_us;  // first decay tick runs immediately
+}
+
+void EndpointAgent::note_recovered(std::int64_t now_us) {
+  if (degraded_since_us_ == 0) return;
+  const std::int64_t span = now_us - degraded_since_us_;
+  stats_.degraded_us += span;
+  if (m_ != nullptr) {
+    m_->degraded_us.add(static_cast<std::uint64_t>(std::max<std::int64_t>(
+        span, 0)));
+  }
+  degraded_since_us_ = 0;
+}
+
+// Degraded/reconnecting: walk the applied rates toward the safe
+// fallback instead of pinning a stale allocation (§ failure model; the
+// FallbackPolicy hook hands each flow to the endpoint's own congestion
+// control on entry). Zero-alloc: iterates the existing flow table.
+void EndpointAgent::run_fallback_decay(std::int64_t now_us) {
+  if (flows_.empty() || now_us < next_decay_us_) return;
+  next_decay_us_ = now_us + cfg_.fallback_decay_interval_us;
+  for (auto& [key, st] : flows_) {
+    if (!st.in_fallback) {
+      st.in_fallback = true;
+      if (cfg_.on_fallback) cfg_.on_fallback(key, st.rate_bps, true);
+    }
+    if (st.rate_bps > cfg_.fallback_rate_bps) {
+      st.rate_bps = std::max(cfg_.fallback_rate_bps,
+                             st.rate_bps * cfg_.fallback_decay);
+    }
   }
 }
 
@@ -279,10 +486,33 @@ void EndpointAgent::on_trace_mark(const core::TraceMarkMsg& m) {
   }
 }
 
+void EndpointAgent::on_heartbeat(const core::HeartbeatMsg& m) {
+  ++stats_.heartbeats_received;
+  // The service's beacon proves the allocation plane alive even for
+  // flows whose thresholded rate never changes; it also advertises the
+  // lease duration the agent should hold rates for.
+  if (m.lease_us > 0) {
+    lease_us_ = m.lease_us;
+    arm_lease(now_cache_us_ != 0 ? now_cache_us_ : EpollLoop::now_us());
+  }
+}
+
 void EndpointAgent::on_rate_update(const core::RateUpdateMsg& m) {
   ++stats_.updates_received;
+  // Every update implies a fresh lease (the service just proved this
+  // allocation current).
+  if (lease_us_ > 0) {
+    arm_lease(now_cache_us_ != 0 ? now_cache_us_ : EpollLoop::now_us());
+  }
   const auto it = flows_.find(m.flow_key);
   if (it == flows_.end()) return;  // raced with a local flowlet-end
+  if (it->second.in_fallback) {
+    // Fresh central allocation reclaims the flow from fallback.
+    it->second.in_fallback = false;
+    if (cfg_.on_fallback) {
+      cfg_.on_fallback(m.flow_key, decode_rate(m.rate_code), false);
+    }
+  }
   if (m_ != nullptr) {
     m_->updates_received.add(1);
     if (it->second.start_us != 0) {
@@ -314,6 +544,7 @@ bool EndpointAgent::drain_socket() {
     const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
     if (n > 0) {
       stats_.bytes_in += n;
+      last_rx_us_ = now_cache_us_ != 0 ? now_cache_us_ : EpollLoop::now_us();
       if (!parser_.feed({buf, static_cast<std::size_t>(n)}, *this)) {
         return false;  // malformed stream from the service
       }
@@ -347,11 +578,10 @@ bool EndpointAgent::try_write() {
 void EndpointAgent::flush() {
   if (fd_ < 0) {
     // Disconnected: nothing will ever be sent; drop instead of letting
-    // pending output grow without bound.
-    std::vector<std::uint8_t> discard;
-    writer_.flush(discard);
-    outbox_.clear();
-    out_off_ = 0;
+    // pending output grow without bound. The reconnect replay -- not
+    // this residue -- rebuilds service state, and the drop is counted
+    // (agent.queue_drops_on_close), never silent.
+    drop_pending_output();
     return;
   }
   const std::size_t framed = writer_.flush(outbox_);
@@ -363,32 +593,70 @@ void EndpointAgent::flush() {
   }
   if (outbox_.size() - out_off_ > cfg_.max_outbox_bytes) {
     // The service stopped reading; give up rather than buffer forever.
-    disconnect();
-    outbox_.clear();
-    out_off_ = 0;
+    lose_connection(EpollLoop::now_us());
     return;
   }
-  if (!try_write()) disconnect();
+  if (!try_write()) lose_connection(EpollLoop::now_us());
 }
 
 bool EndpointAgent::poll() {
-  if (fd_ < 0) return false;
+  const std::int64_t now = EpollLoop::now_us();
+  now_cache_us_ = now;
+  if (fd_ < 0) {
+    if (state_ != ConnState::kReconnecting) {
+      now_cache_us_ = 0;
+      return false;
+    }
+    // Reconnect ladder: the detector keeps sweeping (flows that go
+    // idle during the outage still end locally) and rates keep
+    // decaying toward the fallback while the backoff runs.
+    if (detector_) detector_->advance(now_ps());
+    run_fallback_decay(now);
+    try_reconnect(now);
+    now_cache_us_ = 0;
+    return true;  // still recovering, not lost for good
+  }
   std::int64_t t0 = 0;
   if (m_ != nullptr) {
-    t0 = EpollLoop::now_us();
+    t0 = now;
     // The gap between polls bounds rate-apply lag: an update that
     // arrived just after the previous poll waits this long on the wire.
     if (last_poll_us_ != 0) m_->poll_gap_us.record_signed(t0 - last_poll_us_);
     last_poll_us_ = t0;
   }
   if (!drain_socket()) {
-    disconnect();
-    return false;
+    lose_connection(now);
+    now_cache_us_ = 0;
+    return state_ == ConnState::kReconnecting;
   }
+  // Dead-peer detection: a service that stopped talking (no updates,
+  // no heartbeats) for peer_timeout_us is gone even though TCP has not
+  // noticed -- O(heartbeat) failover instead of O(TCP timeout).
+  if (cfg_.peer_timeout_us > 0 && last_rx_us_ != 0 &&
+      now - last_rx_us_ > cfg_.peer_timeout_us) {
+    lose_connection(now);
+    now_cache_us_ = 0;
+    return state_ == ConnState::kReconnecting;
+  }
+  // Rate-lease expiry: the allocation is stale; degrade and start
+  // handing rates back to endpoint congestion control.
+  if (state_ == ConnState::kConnected && lease_deadline_us_ != 0 &&
+      now > lease_deadline_us_) {
+    enter_degraded(now);
+  }
+  if (state_ == ConnState::kDegraded) run_fallback_decay(now);
   // The detector's idle sweep replaces the old per-poll expire_idle
   // vector churn: expiry state lives in the detector's bounded table
   // and its reused scratch buffer.
   if (detector_) detector_->advance(now_ps());
+  // Agent-side liveness beacon, so the service's peer timeout never
+  // culls an idle-but-alive endpoint.
+  if (cfg_.heartbeat_period_us > 0 &&
+      now - last_hb_tx_us_ >= cfg_.heartbeat_period_us) {
+    writer_.add(core::HeartbeatMsg{obs::now_ns(), 0});
+    last_hb_tx_us_ = now;
+    ++stats_.heartbeats_sent;
+  }
   flush();
   if (m_ != nullptr) {
     m_->poll_us.record_signed(EpollLoop::now_us() - t0);
@@ -400,7 +668,8 @@ bool EndpointAgent::poll() {
           static_cast<std::int64_t>(t.stats().evictions));
     }
   }
-  return fd_ >= 0;
+  now_cache_us_ = 0;
+  return fd_ >= 0 || state_ == ConnState::kReconnecting;
 }
 
 }  // namespace ft::net

@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/rng.h"
 #include "flowlet/detector.h"
 #include "net/frame.h"
 
@@ -32,6 +33,20 @@ class MetricsRegistry;
 }  // namespace ft::obs
 
 namespace ft::net {
+
+// Agent connection state (conn_state()). The failure ladder runs
+// kConnected -> kDegraded (socket up but the rate lease expired: the
+// service stopped proving its allocations fresh, so applied rates decay
+// toward the fallback) -> kReconnecting (socket lost, jittered
+// exponential backoff running). kDisconnected is terminal: either the
+// agent never connected, auto_reconnect is off, or disconnect() was
+// called deliberately.
+enum class ConnState : std::uint8_t {
+  kDisconnected = 0,
+  kConnected = 1,
+  kDegraded = 2,
+  kReconnecting = 3,
+};
 
 struct AgentConfig {
   // When no detector is supplied: auto flowlet-end after this much
@@ -63,6 +78,54 @@ struct AgentConfig {
   // landing e2e.* span histograms in `metrics` and the raw hops in
   // last_trace(). 0 disables sampling.
   std::uint32_t trace_sample_every = 0;
+
+  // --- Fault tolerance (all off by default: the pre-recovery agent) ---
+
+  // Lost connections re-dial automatically from poll(): jittered
+  // exponential backoff between attempts, and on success every live
+  // flowlet is re-registered (a replayed flowlet_start batch built from
+  // the agent's own flow table), so an allocator that crash-restarted
+  // rebuilds its entire flow set purely from these replays.
+  bool auto_reconnect = false;
+  // Backoff bounds: attempt i waits uniformly in [b/2, b) where
+  // b = min(reconnect_backoff_min_us * 2^i, reconnect_backoff_max_us).
+  // The jitter keeps a storm of agents losing one allocator from
+  // re-dialing in lockstep (thundering herd).
+  std::int64_t reconnect_backoff_min_us = 10'000;
+  std::int64_t reconnect_backoff_max_us = 1'000'000;
+  // Seed for the backoff jitter. 0 derives a per-agent seed from the
+  // agent's address so colocated agents spread naturally; tests pass
+  // explicit seeds for reproducible schedules.
+  std::uint64_t reconnect_seed = 0;
+  // Agent -> service liveness beacons: at least one heartbeat record is
+  // sent per period so a silent-but-alive agent is never culled by the
+  // service's peer timeout. 0 disables.
+  std::int64_t heartbeat_period_us = 0;
+  // Dead service detection: if no bytes (rate updates or heartbeats)
+  // arrive for this long the connection is declared dead and the
+  // reconnect path runs -- O(heartbeat) instead of O(TCP timeout).
+  // 0 disables (only FIN/RST tears the connection down).
+  std::int64_t peer_timeout_us = 0;
+
+  // --- Rate leases (tentpole 2) ---
+  // The service advertises a lease duration on its heartbeats; every
+  // heartbeat or rate update received re-arms the lease. When it
+  // expires (>= lease_us of silence) the agent stops trusting its
+  // allocation: conn_state() degrades and each applied rate decays by
+  // fallback_decay every fallback_decay_interval_us toward
+  // fallback_rate_bps -- the paper's failure story, handing control
+  // back to the endpoint's own congestion control instead of pinning a
+  // stale centrally-allocated rate forever. A fresh update re-arms the
+  // lease and restores normal operation.
+  double fallback_rate_bps = 0.0;   // decay floor (0 = decay to zero)
+  double fallback_decay = 0.5;      // multiplicative decay per interval
+  std::int64_t fallback_decay_interval_us = 10'000;
+  // FallbackPolicy hook: (flow_key, current rate_bps, entering).
+  // Called once per flow when it enters fallback (entering = true;
+  // the app should hand the flow to its own congestion control) and
+  // once when a fresh rate update reclaims it (entering = false).
+  // Null = no hook; the decayed value is still visible via rate_bps().
+  std::function<void(std::uint32_t, double, bool)> on_fallback;
 };
 
 struct AgentStats {
@@ -76,6 +139,18 @@ struct AgentStats {
   std::int64_t bytes_out = 0;
   std::int64_t bytes_in = 0;
   std::int64_t wire_bytes_out = 0;
+  // Fault tolerance:
+  std::uint64_t disconnects = 0;          // connections lost (any cause)
+  std::uint64_t reconnects = 0;           // successful re-dials
+  std::uint64_t reconnect_attempts = 0;   // dials, incl. failures
+  std::uint64_t replayed_starts = 0;      // flowlet_starts re-sent
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t heartbeats_received = 0;
+  std::uint64_t lease_expiries = 0;       // kConnected -> kDegraded
+  // Records still queued (open batch) when a connection died; they are
+  // dropped -- the reconnect replay, not the residue, rebuilds state.
+  std::uint64_t queue_drops_on_close = 0;
+  std::int64_t degraded_us = 0;  // cumulative time not kConnected
 };
 
 class EndpointAgent : MessageSink {
@@ -94,7 +169,22 @@ class EndpointAgent : MessageSink {
   [[nodiscard]] bool connect_tcp(const std::string& host, int port);
   [[nodiscard]] bool connect_unix(const std::string& path);
   [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  // Deliberate teardown: closes the socket and disables auto-reconnect
+  // (state -> kDisconnected). Losing the socket involuntarily instead
+  // runs the recovery ladder -- see ConnState.
   void disconnect();
+
+  [[nodiscard]] ConnState conn_state() const { return state_; }
+  // The jittered delay (us) behind the most recent reconnect attempt;
+  // tests assert the spread across agents (no thundering herd).
+  [[nodiscard]] std::int64_t last_backoff_us() const {
+    return last_backoff_us_;
+  }
+  // True while the rate lease is armed and fresh (service heartbeats /
+  // updates arriving within the advertised lease window).
+  [[nodiscard]] bool lease_fresh() const {
+    return lease_deadline_us_ != 0 && state_ == ConnState::kConnected;
+  }
 
   void set_rate_callback(RateCallback cb) { on_rate_ = std::move(cb); }
 
@@ -125,7 +215,11 @@ class EndpointAgent : MessageSink {
 
   // Drains incoming rate updates, runs the detector's idle sweep
   // (against the same CLOCK_MONOTONIC clock that stamps activity),
-  // flushes pending writes. Returns false once the connection is lost.
+  // flushes pending writes, and drives the whole recovery ladder:
+  // lease expiry -> fallback decay, dead-peer detection, and (with
+  // auto_reconnect) backed-off re-dials with flowlet replay. Returns
+  // false once the connection is lost for good (never while
+  // kReconnecting).
   bool poll();
   // Forces the open batch onto the wire.
   void flush();
@@ -166,10 +260,12 @@ class EndpointAgent : MessageSink {
     // Registration time, for first_update_rtt_us (0 = not tracked, or
     // the first update already arrived).
     std::int64_t start_us = 0;
+    bool in_fallback = false;  // decaying toward the safe rate
   };
 
   void on_rate_update(const core::RateUpdateMsg& m) override;
   void on_trace_mark(const core::TraceMarkMsg& m) override;
+  void on_heartbeat(const core::HeartbeatMsg& m) override;
   // Sampling decision for the next flowlet start (0 or the traced flag).
   [[nodiscard]] std::uint16_t next_start_flags();
   // Appends the origin-stamped mark behind its sampled start record.
@@ -177,6 +273,20 @@ class EndpointAgent : MessageSink {
   bool adopt_socket(int fd);
   bool drain_socket();
   bool try_write();
+  // Recovery machinery (client.cc): dial the remembered target, tear a
+  // dead connection down (arming the backoff when auto_reconnect is
+  // on), attempt a re-dial + flowlet replay, lease bookkeeping.
+  [[nodiscard]] int dial_target() const;
+  void became_connected(std::int64_t now_us);
+  void lose_connection(std::int64_t now_us);
+  void try_reconnect(std::int64_t now_us);
+  void schedule_next_attempt(std::int64_t now_us);
+  void replay_flowlets();
+  void arm_lease(std::int64_t now_us);
+  void enter_degraded(std::int64_t now_us);
+  void note_recovered(std::int64_t now_us);
+  void run_fallback_decay(std::int64_t now_us);
+  void drop_pending_output();
   // Detector callbacks: auto-register / auto-end flowlets.
   void detected_start(const flowlet::PacketRecord& p);
   void detected_end(std::uint32_t key);
@@ -200,6 +310,28 @@ class EndpointAgent : MessageSink {
   std::uint64_t trace_start_count_ = 0;  // starts seen by the sampler
   std::uint64_t trace_seq_ = 0;          // per-agent trace id entropy
   TraceResult last_trace_;
+
+  // Connection state machine + reconnect backoff.
+  ConnState state_ = ConnState::kDisconnected;
+  enum class Target : std::uint8_t { kNone, kTcp, kUnix };
+  Target target_ = Target::kNone;  // remembered for re-dialing
+  std::string target_host_;
+  int target_port_ = -1;
+  std::string target_path_;
+  Rng backoff_rng_{1};
+  std::int64_t cur_backoff_us_ = 0;   // 0 = next attempt starts at min
+  std::int64_t last_backoff_us_ = 0;
+  std::int64_t next_attempt_us_ = 0;
+  std::int64_t disconnected_at_us_ = 0;
+  std::int64_t degraded_since_us_ = 0;  // 0 = currently kConnected
+  // Rate lease + fallback decay.
+  std::uint32_t lease_us_ = 0;         // advertised by the service
+  std::int64_t lease_deadline_us_ = 0;  // 0 = not armed
+  std::int64_t next_decay_us_ = 0;
+  // Liveness clocks.
+  std::int64_t last_rx_us_ = 0;
+  std::int64_t last_hb_tx_us_ = 0;
+  std::int64_t now_cache_us_ = 0;  // poll-entry stamp for sink callbacks
 };
 
 }  // namespace ft::net

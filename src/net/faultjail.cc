@@ -1,0 +1,304 @@
+#include "net/faultjail.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace ft::net {
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  FT_CHECK(flags >= 0);
+  FT_CHECK(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+std::uint32_t get_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+FaultJail::FaultJail(EpollLoop& loop, FaultJailConfig cfg)
+    : loop_(loop), cfg_(std::move(cfg)), rng_(cfg_.seed) {
+  FT_CHECK(cfg_.upstream_port >= 0 || !cfg_.upstream_unix.empty());
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  FT_CHECK(listen_fd_ >= 0);
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(cfg_.listen_port));
+  FT_CHECK(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof addr) == 0);
+  FT_CHECK(::listen(listen_fd_, 128) == 0);
+  socklen_t len = sizeof addr;
+  FT_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                         &len) == 0);
+  listen_port_ = ntohs(addr.sin_port);
+  set_nonblocking(listen_fd_);
+  loop_.add_fd(listen_fd_, EPOLLIN,
+               [this](std::uint32_t) { accept_ready(); });
+}
+
+FaultJail::~FaultJail() {
+  while (!pairs_.empty()) kill_pair(pairs_.begin()->first);
+  if (listen_fd_ >= 0) {
+    loop_.del_fd(listen_fd_);
+    ::close(listen_fd_);
+  }
+}
+
+int FaultJail::dial_upstream() {
+  int fd = -1;
+  if (!cfg_.upstream_unix.empty()) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    FT_CHECK(cfg_.upstream_unix.size() < sizeof addr.sun_path);
+    std::strncpy(addr.sun_path, cfg_.upstream_unix.c_str(),
+                 sizeof addr.sun_path - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+        0) {
+      ::close(fd);
+      return -1;
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(cfg_.upstream_port));
+    FT_CHECK(::inet_pton(AF_INET, cfg_.upstream_host.c_str(),
+                         &addr.sin_addr) == 1);
+    // Blocking dial on purpose: the upstream is loopback in every drill,
+    // so this either completes immediately or fails immediately (which
+    // is itself the fault being drilled -- service down).
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+        0) {
+      ::close(fd);
+      return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+  set_nonblocking(fd);
+  return fd;
+}
+
+void FaultJail::accept_ready() {
+  while (true) {
+    const int cfd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (cfd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient failure; keep serving
+    }
+    set_nonblocking(cfd);
+    const int one = 1;
+    ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    const int ufd = dial_upstream();
+    if (ufd < 0) {
+      // Upstream unreachable: refuse the client too, so the agent sees
+      // the outage instead of a half-open proxy.
+      ::close(cfd);
+      continue;
+    }
+    auto pair = std::make_unique<Pair>();
+    pair->client_fd = cfd;
+    pair->upstream_fd = ufd;
+    Pair* p = pair.get();
+    pairs_.emplace(cfd, std::move(pair));
+    upstream_to_client_.emplace(ufd, cfd);
+    ++stats_.conns_opened;
+    loop_.add_fd(cfd, EPOLLIN, [this, p](std::uint32_t ev) {
+      if (ev & (EPOLLHUP | EPOLLERR)) {
+        kill_pair(p->client_fd);
+        return;
+      }
+      if (ev & EPOLLOUT) {
+        p->client_out_armed = false;
+        loop_.mod_fd(p->client_fd, EPOLLIN);
+        if (!flush_dir(p->client_fd, p->to_client, p->to_client_off,
+                       p->client_out_armed)) {
+          kill_pair(p->client_fd);
+          return;
+        }
+      }
+      if (ev & EPOLLIN) pump_up(*p);
+    });
+    loop_.add_fd(ufd, EPOLLIN, [this, p](std::uint32_t ev) {
+      if (ev & (EPOLLHUP | EPOLLERR)) {
+        kill_pair(p->client_fd);
+        return;
+      }
+      if (ev & EPOLLOUT) {
+        p->upstream_out_armed = false;
+        loop_.mod_fd(p->upstream_fd, EPOLLIN);
+        if (!flush_dir(p->upstream_fd, p->to_upstream,
+                       p->to_upstream_off, p->upstream_out_armed)) {
+          kill_pair(p->client_fd);
+          return;
+        }
+      }
+      if (ev & EPOLLIN) pump_down(*p);
+    });
+  }
+}
+
+void FaultJail::pump_up(Pair& p) {
+  std::uint8_t buf[64 * 1024];
+  while (true) {
+    const ssize_t n = ::recv(p.client_fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      if (black_hole_) {
+        stats_.bytes_blackholed += n;
+        continue;
+      }
+      stats_.bytes_up += n;
+      p.to_upstream.insert(p.to_upstream.end(), buf, buf + n);
+      if (!flush_dir(p.upstream_fd, p.to_upstream, p.to_upstream_off,
+                     p.upstream_out_armed)) {
+        kill_pair(p.client_fd);
+        return;
+      }
+      if (static_cast<std::size_t>(n) < sizeof buf) return;
+      continue;
+    }
+    if (n == 0 || (errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR)) {
+      kill_pair(p.client_fd);
+      return;
+    }
+    if (errno == EINTR) continue;
+    return;  // EAGAIN
+  }
+}
+
+void FaultJail::pump_down(Pair& p) {
+  std::uint8_t buf[64 * 1024];
+  while (true) {
+    const ssize_t n = ::recv(p.upstream_fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      if (black_hole_) {
+        stats_.bytes_blackholed += n;
+        continue;
+      }
+      if (p.raw_mode || cfg_.drop_down_frac <= 0.0) {
+        stats_.bytes_down += n;
+        p.to_client.insert(p.to_client.end(), buf, buf + n);
+      } else {
+        p.down_parse.insert(p.down_parse.end(), buf, buf + n);
+        sieve_down(p);
+        if (p.down_parse.size() > cfg_.max_buffer_bytes) {
+          kill_pair(p.client_fd);
+          return;
+        }
+      }
+      if (!flush_dir(p.client_fd, p.to_client, p.to_client_off,
+                     p.client_out_armed)) {
+        kill_pair(p.client_fd);
+        return;
+      }
+      if (static_cast<std::size_t>(n) < sizeof buf) return;
+      continue;
+    }
+    if (n == 0 || (errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR)) {
+      kill_pair(p.client_fd);
+      return;
+    }
+    if (errno == EINTR) continue;
+    return;  // EAGAIN
+  }
+}
+
+void FaultJail::sieve_down(Pair& p) {
+  std::size_t off = 0;
+  while (p.down_parse.size() - off >= kFrameHeaderBytes) {
+    const std::size_t payload_len = get_le32(&p.down_parse[off]);
+    if (payload_len == 0 || payload_len > cfg_.max_frame_payload) {
+      // Unframeable stream: stop pretending to understand it and
+      // forward everything verbatim from here on.
+      p.raw_mode = true;
+      stats_.bytes_down +=
+          static_cast<std::int64_t>(p.down_parse.size() - off);
+      p.to_client.insert(p.to_client.end(), p.down_parse.begin() + off,
+                         p.down_parse.end());
+      p.down_parse.clear();
+      return;
+    }
+    const std::size_t total = kFrameHeaderBytes + payload_len;
+    if (p.down_parse.size() - off < total) break;
+    ++stats_.frames_down;
+    if (rng_.uniform() < cfg_.drop_down_frac) {
+      ++stats_.frames_dropped;
+    } else {
+      stats_.bytes_down += static_cast<std::int64_t>(total);
+      p.to_client.insert(
+          p.to_client.end(), p.down_parse.begin() + off,
+          p.down_parse.begin() + static_cast<std::ptrdiff_t>(off + total));
+    }
+    off += total;
+  }
+  p.down_parse.erase(p.down_parse.begin(),
+                     p.down_parse.begin() + static_cast<std::ptrdiff_t>(off));
+}
+
+bool FaultJail::flush_dir(int fd, std::vector<std::uint8_t>& buf,
+                          std::size_t& off, bool& armed) {
+  while (off < buf.size()) {
+    const ssize_t n =
+        ::send(fd, buf.data() + off, buf.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (buf.size() - off > cfg_.max_buffer_bytes) return false;
+      if (!armed) {
+        loop_.mod_fd(fd, EPOLLIN | EPOLLOUT);
+        armed = true;
+      }
+      return true;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  buf.clear();
+  off = 0;
+  return true;
+}
+
+void FaultJail::kill_pair(int client_fd) {
+  const auto it = pairs_.find(client_fd);
+  if (it == pairs_.end()) return;
+  Pair& p = *it->second;
+  loop_.del_fd(p.client_fd);
+  loop_.del_fd(p.upstream_fd);
+  ::close(p.client_fd);
+  ::close(p.upstream_fd);
+  upstream_to_client_.erase(p.upstream_fd);
+  pairs_.erase(it);
+  ++stats_.conns_killed;
+}
+
+void FaultJail::kill_all() {
+  while (!pairs_.empty()) kill_pair(pairs_.begin()->first);
+}
+
+}  // namespace ft::net

@@ -1,0 +1,127 @@
+// FaultJail: a deterministic fault-injection proxy for the allocator
+// control plane. It sits between endpoint agents and the
+// AllocatorService as a TCP forwarder on the caller's EpollLoop and
+// misbehaves on command:
+//
+//   - drop a seeded-random fraction of service->agent frames (rate
+//     update batches vanish in flight, but the stream stays framed --
+//     drops happen on whole frames, never mid-record, so the agent's
+//     parser keeps working and what *does* arrive is valid);
+//   - black-hole everything in both directions while keeping the
+//     sockets open (the silent-partition case leases exist for);
+//   - kill every proxied connection at once (reset storm -> agents see
+//     ECONNRESET and enter reconnect backoff);
+//   - repoint the upstream (service restarted elsewhere).
+//
+// All randomness comes from one seeded Rng, so a drill that drops "30%
+// of batches" drops the *same* batches on every run. Single-threaded:
+// everything happens on the loop that owns the jail. Test/bench
+// harness, not a production path -- upstream dials are blocking (the
+// upstream is loopback in every drill).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/epoll_loop.h"
+#include "net/frame.h"
+
+namespace ft::net {
+
+struct FaultJailConfig {
+  // Upstream the jail forwards to: TCP host:port, or a Unix-domain path
+  // (exactly one must be set).
+  std::string upstream_host = "127.0.0.1";
+  int upstream_port = -1;
+  std::string upstream_unix;
+  // Jail's own TCP listener (loopback); 0 = kernel-assigned, see port().
+  int listen_port = 0;
+  std::uint64_t seed = 1;
+  // Fraction of downstream (service->agent) frames silently dropped.
+  double drop_down_frac = 0.0;
+  // Frames longer than this mark the stream unframeable; the pair falls
+  // back to verbatim forwarding (drop injection needs valid framing).
+  std::size_t max_frame_payload = kMaxFramePayload;
+  // A direction buffering more than this (peer stopped reading) kills
+  // the pair rather than growing without bound.
+  std::size_t max_buffer_bytes = 8 * 1024 * 1024;
+};
+
+struct FaultJailStats {
+  std::uint64_t conns_opened = 0;
+  std::uint64_t conns_killed = 0;   // incl. kill_all and natural EOF
+  std::uint64_t frames_down = 0;    // complete frames seen downstream
+  std::uint64_t frames_dropped = 0; // of those, injected drops
+  std::int64_t bytes_up = 0;        // agent -> service forwarded
+  std::int64_t bytes_down = 0;      // service -> agent forwarded
+  std::int64_t bytes_blackholed = 0;
+};
+
+class FaultJail {
+ public:
+  FaultJail(EpollLoop& loop, FaultJailConfig cfg);
+  ~FaultJail();
+  FaultJail(const FaultJail&) = delete;
+  FaultJail& operator=(const FaultJail&) = delete;
+
+  // Bound TCP port agents should dial instead of the service's.
+  [[nodiscard]] int port() const { return listen_port_; }
+
+  void set_drop_down_frac(double f) { cfg_.drop_down_frac = f; }
+  // While on, bytes in both directions are read and discarded; sockets
+  // stay open. The partition leases are designed for.
+  void set_black_hole(bool on) { black_hole_ = on; }
+  // Reset storm: every proxied pair dies now. New dials still accept.
+  void kill_all();
+  // Repoint future upstream dials (service restarted on another port).
+  void set_upstream_port(int p) { cfg_.upstream_port = p; }
+
+  [[nodiscard]] const FaultJailStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t num_pairs() const { return pairs_.size(); }
+
+ private:
+  // One proxied connection: the agent-side socket and its upstream twin,
+  // plus per-direction pending-write buffers and the downstream frame
+  // reassembly buffer drops are decided on.
+  struct Pair {
+    int client_fd = -1;
+    int upstream_fd = -1;
+    std::vector<std::uint8_t> to_client;    // surviving downstream bytes
+    std::size_t to_client_off = 0;
+    std::vector<std::uint8_t> to_upstream;  // upstream-bound bytes
+    std::size_t to_upstream_off = 0;
+    std::vector<std::uint8_t> down_parse;   // frame reassembly
+    bool raw_mode = false;  // unframeable stream: forward verbatim
+    bool client_out_armed = false;
+    bool upstream_out_armed = false;
+  };
+
+  void accept_ready();
+  void pump_up(Pair& p);    // client readable
+  void pump_down(Pair& p);  // upstream readable
+  // Cuts complete frames out of down_parse, rolling the drop die per
+  // frame; survivors append to to_client.
+  void sieve_down(Pair& p);
+  // Flushes a pending buffer to fd; arms EPOLLOUT on partial write.
+  // Returns false when the pair must die (peer reset or buffer cap).
+  bool flush_dir(int fd, std::vector<std::uint8_t>& buf,
+                 std::size_t& off, bool& armed);
+  void kill_pair(int client_fd);
+  int dial_upstream();
+
+  EpollLoop& loop_;
+  FaultJailConfig cfg_;
+  int listen_fd_ = -1;
+  int listen_port_ = -1;
+  bool black_hole_ = false;
+  Rng rng_;
+  FaultJailStats stats_;
+  std::unordered_map<int, std::unique_ptr<Pair>> pairs_;  // by client_fd
+  std::unordered_map<int, int> upstream_to_client_;
+};
+
+}  // namespace ft::net

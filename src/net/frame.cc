@@ -62,6 +62,17 @@ void FrameWriter::add(const core::TraceMarkMsg& m) {
   ++open_records_;
 }
 
+void FrameWriter::add(const core::HeartbeatMsg& m) {
+  append_record(payload_, MsgType::kHeartbeat, core::encode(m));
+  ++open_records_;
+}
+
+void FrameWriter::clear() {
+  payload_.clear();
+  rate_record_at_.clear();
+  open_records_ = 0;
+}
+
 std::size_t FrameWriter::flush(std::vector<std::uint8_t>& out) {
   if (payload_.empty()) return 0;
   FT_CHECK(payload_.size() <= kMaxFramePayload);
@@ -143,6 +154,13 @@ bool FrameParser::parse_payload(std::span<const std::uint8_t> payload,
         if (!m) return false;
         sink.on_trace_mark(*m);
         off += kTraceRecordBytes;
+        break;
+      }
+      case MsgType::kHeartbeat: {
+        const auto m = core::try_decode_heartbeat(rest);
+        if (!m) return false;
+        sink.on_heartbeat(*m);
+        off += kHeartbeatRecordBytes;
         break;
       }
       default:

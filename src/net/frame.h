@@ -25,6 +25,7 @@ enum class MsgType : std::uint8_t {
   kFlowletEnd = 2,
   kRateUpdate = 3,
   kTraceMark = 4,
+  kHeartbeat = 5,
 };
 
 inline constexpr std::size_t kFrameHeaderBytes = 4;
@@ -37,6 +38,8 @@ inline constexpr std::size_t kStartRecordBytes =
 inline constexpr std::size_t kEndRecordBytes = 1 + core::kFlowletEndBytes;
 inline constexpr std::size_t kRateRecordBytes = 1 + core::kRateUpdateBytes;
 inline constexpr std::size_t kTraceRecordBytes = 1 + core::kTraceMarkBytes;
+inline constexpr std::size_t kHeartbeatRecordBytes =
+    1 + core::kHeartbeatBytes;
 
 struct FrameWriterStats {
   std::uint64_t frames = 0;
@@ -58,9 +61,20 @@ class FrameWriter {
   void add(const core::RateUpdateMsg& m);
   // Trace marks never coalesce: each one is a distinct sampled context.
   void add(const core::TraceMarkMsg& m);
+  // Heartbeats never coalesce either: batches holding one are flushed
+  // promptly, so at most a handful are ever open at once.
+  void add(const core::HeartbeatMsg& m);
 
   [[nodiscard]] bool empty() const { return payload_.empty(); }
   [[nodiscard]] std::size_t pending_bytes() const { return payload_.size(); }
+  [[nodiscard]] std::uint64_t pending_records() const {
+    return open_records_;
+  }
+
+  // Drops the open batch without framing it (capacity kept, stats
+  // untouched): a reconnecting agent must not let residue from the dead
+  // connection leak into the first frame of the new one.
+  void clear();
 
   // Appends the finished frame (header + payload) to `out` and resets the
   // open batch. Returns the number of bytes appended (0 if empty).
@@ -87,6 +101,7 @@ class MessageSink {
   virtual void on_flowlet_end(const core::FlowletEndMsg&) {}
   virtual void on_rate_update(const core::RateUpdateMsg&) {}
   virtual void on_trace_mark(const core::TraceMarkMsg&) {}
+  virtual void on_heartbeat(const core::HeartbeatMsg&) {}
 };
 
 struct FrameParserStats {

@@ -68,6 +68,9 @@ struct AllocatorService::Counters {
   obs::Counter& updates_coalesced;
   obs::Counter& frames_out;
   obs::Counter& queue_drops;
+  obs::Counter& heartbeats_sent;
+  obs::Counter& heartbeats_received;
+  obs::Counter& peer_timeouts;
   obs::Counter& recv_calls;
   obs::Counter& send_calls;
   obs::Counter& bytes_in;
@@ -87,6 +90,9 @@ struct AllocatorService::Counters {
         updates_coalesced(reg.counter(p + ".updates_coalesced")),
         frames_out(reg.counter(p + ".frames_out")),
         queue_drops(reg.counter(p + ".queue_drops")),
+        heartbeats_sent(reg.counter(p + ".heartbeats_sent")),
+        heartbeats_received(reg.counter(p + ".heartbeats_received")),
+        peer_timeouts(reg.counter(p + ".peer_timeouts")),
         recv_calls(reg.counter(p + ".recv_calls")),
         send_calls(reg.counter(p + ".send_calls")),
         bytes_in(reg.counter(p + ".bytes_in")),
@@ -106,6 +112,9 @@ struct AllocatorService::Counters {
     s.updates_coalesced += updates_coalesced.value();
     s.frames_out += frames_out.value();
     s.queue_drops += queue_drops.value();
+    s.heartbeats_sent += heartbeats_sent.value();
+    s.heartbeats_received += heartbeats_received.value();
+    s.peer_timeouts += peer_timeouts.value();
     s.recv_calls += recv_calls.value();
     s.send_calls += send_calls.value();
     s.bytes_in += static_cast<std::int64_t>(bytes_in.value());
@@ -159,6 +168,10 @@ struct AllocatorService::Connection : MessageSink {
   std::size_t out_off = 0;
   bool epollout_armed = false;
   std::uint64_t coalesced_reported = 0;
+  // Last instant the peer put bytes on the wire (agent heartbeats keep
+  // this fresh even when no flowlets churn); heartbeat_tick culls the
+  // connection once it falls peer_timeout_us behind.
+  std::int64_t last_rx_us = 0;
   std::unordered_set<std::uint32_t> owned_keys;
 
   explicit Connection(std::size_t max_payload) : parser(max_payload) {}
@@ -171,6 +184,9 @@ struct AllocatorService::Connection : MessageSink {
   }
   void on_trace_mark(const core::TraceMarkMsg& m) override {
     svc->handle_trace_mark(*shard, m);
+  }
+  void on_heartbeat(const core::HeartbeatMsg& m) override {
+    svc->handle_heartbeat(*shard, m);
   }
   // Endpoints never send rate updates; MessageSink's default ignores
   // them, which keeps an agent bug from taking the service down.
@@ -214,6 +230,11 @@ struct AllocatorService::Shard {
   std::atomic<std::int64_t> kick_t_ns{0};  // 0 = no kick outstanding
   std::vector<int> touched;  // flush batching scratch
   bool kick_alloc = false;   // pending alloc-thread wakeup (shard thread)
+  // Heartbeat/peer-timeout tick (shard loop; caller's loop inline). The
+  // fd snapshot is reused scratch: flush_conn inside the tick can
+  // close_conn, so the tick never iterates `conns` directly.
+  EpollLoop::TimerId hb_timer = 0;
+  std::vector<int> hb_scratch;
 
   [[nodiscard]] bool threaded() const { return owned_loop != nullptr; }
 };
@@ -248,6 +269,7 @@ AllocatorService::AllocatorService(EpollLoop& loop, core::Allocator& alloc,
     inline_shard_->loop = &loop_;
     inline_shard_->stats =
         std::make_unique<Counters>(*metrics_, "net.inline");
+    arm_heartbeat(*inline_shard_);
   } else {
     touched_shards_.assign(static_cast<std::size_t>(cfg_.num_shards),
                            false);
@@ -283,6 +305,9 @@ AllocatorService::AllocatorService(EpollLoop& loop, core::Allocator& alloc,
         drain_eventfd(sp->wake_fd);
         drain_down(*sp);
       });
+      // Armed before the shard thread exists, so the timer insertion
+      // never races the loop.
+      arm_heartbeat(*s);
       shards_.push_back(std::move(s));
     }
     shard_cpu_map_ = core::CpuMap::make(cfg_.num_shards, cfg_.pin);
@@ -359,6 +384,9 @@ AllocatorService::~AllocatorService() {
     while (!inline_shard_->conns.empty()) {
       close_conn(*inline_shard_, inline_shard_->conns.begin()->first);
     }
+  }
+  if (inline_shard_ && inline_shard_->hb_timer != 0) {
+    loop_.cancel_timer(inline_shard_->hb_timer);
   }
   if (iter_timer_ != 0) loop_.cancel_timer(iter_timer_);
   for (const auto& [fd, id] : accept_retry_timer_) loop_.cancel_timer(id);
@@ -470,6 +498,7 @@ void AllocatorService::adopt_conn(Shard& s, int fd) {
   conn->svc = this;
   conn->shard = &s;
   conn->fd = fd;
+  conn->last_rx_us = EpollLoop::now_us();
   Connection* c = conn.get();
   s.conns.emplace(fd, std::move(conn));
   s.num_conns.store(s.conns.size(), std::memory_order_relaxed);
@@ -507,6 +536,7 @@ void AllocatorService::conn_ready(Shard& s, Connection& c,
       bump(s.stats->recv_calls);
       if (n > 0) {
         bump_by(s.stats->bytes_in, n);
+        c.last_rx_us = EpollLoop::now_us();
         if (!c.parser.feed({buf, static_cast<std::size_t>(n)}, c)) {
           bump(s.stats->protocol_errors);
           close_conn(s, c.fd);
@@ -636,6 +666,63 @@ void AllocatorService::handle_trace_mark(Shard& s,
   ev.t_origin_ns = m.t_ns[core::kHopAgentSend];
   ev.t_ingest_ns = t_ingest;
   push_up(s, ev);
+}
+
+void AllocatorService::handle_heartbeat(Shard& s,
+                                        const core::HeartbeatMsg&) {
+  // The payload is informational (agents advertise no lease); what
+  // matters is the bytes themselves, which conn_ready already folded
+  // into last_rx_us before the parser dispatched here.
+  bump(s.stats->heartbeats_received);
+}
+
+void AllocatorService::arm_heartbeat(Shard& s) {
+  if (cfg_.heartbeat_period_us <= 0 && cfg_.peer_timeout_us <= 0) return;
+  // Dead-peer detection wants to fire a few times per timeout window
+  // even when outbound heartbeats are off.
+  std::int64_t period = cfg_.heartbeat_period_us;
+  if (period <= 0) period = std::max<std::int64_t>(cfg_.peer_timeout_us / 4, 1);
+  Shard* sp = &s;
+  s.hb_timer = s.loop->add_periodic(period, [this, sp] {
+    heartbeat_tick(*sp);
+  });
+}
+
+void AllocatorService::heartbeat_tick(Shard& s) {
+  const std::int64_t now = EpollLoop::now_us();
+  // Snapshot fds first: flushing a heartbeat can close_conn (dead
+  // socket, outbox cap), and culling a timed-out peer certainly does.
+  s.hb_scratch.clear();
+  for (const auto& [fd, conn] : s.conns) s.hb_scratch.push_back(fd);
+  for (const int fd : s.hb_scratch) {
+    const auto it = s.conns.find(fd);
+    if (it == s.conns.end()) continue;
+    Connection& c = *it->second;
+    if (cfg_.peer_timeout_us > 0 &&
+        now - c.last_rx_us > cfg_.peer_timeout_us) {
+      // Radio silence past the deadline: the endpoint is gone (agents
+      // heartbeat whenever they are alive), so end its flows and free
+      // the slots now rather than waiting out the TCP stack.
+      bump(s.stats->peer_timeouts);
+      close_conn(s, fd);
+      continue;
+    }
+    if (cfg_.heartbeat_period_us > 0) {
+      // Flushed immediately below: a batch the tick opens must not
+      // linger if no round fanout ever touches this connection again.
+      c.writer.add(core::HeartbeatMsg{
+          obs::now_ns(), static_cast<std::uint32_t>(cfg_.rate_lease_us)});
+      bump(s.stats->heartbeats_sent);
+      flush_conn(s, c);
+    }
+  }
+  // close_conn on a threaded shard pushed kEnd events up; mirror
+  // conn_ready's deferred wakeup so the allocation thread drains them.
+  if (s.kick_alloc) {
+    s.kick_alloc = false;
+    note_kick(s);
+    kick_eventfd(alloc_wake_fd_);
+  }
 }
 
 void AllocatorService::queue_trace_echo(Shard& s, core::TraceMarkMsg mark) {

@@ -95,6 +95,21 @@ struct ServerConfig {
   // Always-on flight recorder tuning (obs/flight.h): per-round black-box
   // ring sizes and the adaptive promotion threshold.
   obs::FlightRecorder::Config flight;
+  // Liveness + leases (tentpoles 2/3). heartbeat_period_us > 0 sends a
+  // HeartbeatMsg to every connection each period from the shard that
+  // owns it; the beacon proves the allocation plane alive to flows
+  // whose thresholded rate never changes. rate_lease_us rides on those
+  // heartbeats: the agent holds any applied rate at most that long
+  // past the last heartbeat/update before decaying to its fallback, so
+  // a dead allocator can never pin a stale allocation (leases require
+  // heartbeats to be advertised). peer_timeout_us > 0 closes
+  // connections that sent nothing (agents heartbeat too) for that
+  // long, ending their flows and freeing their slots in O(heartbeat)
+  // rather than O(TCP timeout). All 0 by default (pre-recovery wire
+  // behaviour).
+  std::int64_t heartbeat_period_us = 0;
+  std::int64_t rate_lease_us = 0;
+  std::int64_t peer_timeout_us = 0;
   // Fault injection for flight-recorder forensics tests and demos: every
   // `stall_every_rounds`-th allocation round busy-spins for `stall_us`
   // microseconds inside the fanout phase, forcing a promotable slow
@@ -121,6 +136,9 @@ struct ServiceStats {
   // start rejections (a stale shard owner entry lingers until its
   // connection closes), and lifecycle events abandoned during shutdown.
   std::uint64_t queue_drops = 0;
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t heartbeats_received = 0;
+  std::uint64_t peer_timeouts = 0;  // conns culled for radio silence
   std::uint64_t recv_calls = 0;     // recv(2) invocations across shards
   std::uint64_t send_calls = 0;     // send(2) invocations across shards
   std::int64_t bytes_in = 0;        // stream bytes received
@@ -198,6 +216,12 @@ class AllocatorService {
   // ingest hop and forward the context to the allocation thread (shard
   // thread; inline mode records directly).
   void handle_trace_mark(Shard& s, const core::TraceMarkMsg& m);
+  void handle_heartbeat(Shard& s, const core::HeartbeatMsg& m);
+  // Arms the per-shard heartbeat/peer-timeout timer (on the shard's own
+  // loop; called before its thread starts) and the periodic tick: one
+  // heartbeat per connection, silent peers culled.
+  void arm_heartbeat(Shard& s);
+  void heartbeat_tick(Shard& s);
   // Appends an echo mark to the flow owner's open batch, stamping the
   // fanout-write hop (shard thread / inline fanout).
   void queue_trace_echo(Shard& s, core::TraceMarkMsg mark);

@@ -37,7 +37,8 @@ namespace ft::net {
 namespace {
 
 using AnyMsg = std::variant<core::FlowletStartMsg, core::FlowletEndMsg,
-                            core::RateUpdateMsg, core::TraceMarkMsg>;
+                            core::RateUpdateMsg, core::TraceMarkMsg,
+                            core::HeartbeatMsg>;
 
 // Records every decoded message in order.
 struct Collector : MessageSink {
@@ -52,6 +53,9 @@ struct Collector : MessageSink {
     msgs.emplace_back(m);
   }
   void on_trace_mark(const core::TraceMarkMsg& m) override {
+    msgs.emplace_back(m);
+  }
+  void on_heartbeat(const core::HeartbeatMsg& m) override {
     msgs.emplace_back(m);
   }
 };
@@ -94,6 +98,20 @@ TEST(MessagesSpanTest, TraceMarkRoundTripsAllHopStamps) {
   EXPECT_EQ(*via_span, m);
 }
 
+TEST(MessagesSpanTest, HeartbeatRoundTripsAndRejectsShortBuffers) {
+  const core::HeartbeatMsg m{std::int64_t{-1234567890123456789},
+                             std::uint32_t{250'000}};
+  const auto enc = core::encode(m);
+  EXPECT_EQ(enc.size(), core::kHeartbeatBytes);
+  EXPECT_EQ(core::decode_heartbeat(enc), m);
+  const auto via_span =
+      core::try_decode_heartbeat(std::span<const std::uint8_t>(enc));
+  ASSERT_TRUE(via_span.has_value());
+  EXPECT_EQ(*via_span, m);
+  std::vector<std::uint8_t> shrt(core::kHeartbeatBytes - 1, 0xFF);
+  EXPECT_FALSE(core::try_decode_heartbeat(shrt).has_value());
+}
+
 TEST(MessagesSpanTest, ExtraTrailingBytesIgnored) {
   const core::RateUpdateMsg upd{42, 1234};
   const auto enc = core::encode(upd);
@@ -121,7 +139,7 @@ TEST(FramePropertyTest, RoundTripUnderArbitrarySegmentation) {
     for (int f = 0; f < frames; ++f) {
       const int records = 1 + static_cast<int>(rng.below(40));
       for (int r = 0; r < records; ++r) {
-        switch (rng.below(4)) {
+        switch (rng.below(5)) {
           case 0: {
             core::FlowletStartMsg m;
             m.flow_key = next_key++;
@@ -147,13 +165,21 @@ TEST(FramePropertyTest, RoundTripUnderArbitrarySegmentation) {
             sent.emplace_back(m);
             break;
           }
-          default: {
+          case 3: {
             core::TraceMarkMsg m;
             m.flow_key = next_key++;
             m.trace_id = rng.next();
             for (auto& t : m.t_ns) {
               t = static_cast<std::int64_t>(rng.next());
             }
+            writer.add(m);
+            sent.emplace_back(m);
+            break;
+          }
+          default: {
+            const core::HeartbeatMsg m{
+                static_cast<std::int64_t>(rng.next()),
+                static_cast<std::uint32_t>(rng.next())};
             writer.add(m);
             sent.emplace_back(m);
             break;
@@ -250,6 +276,102 @@ TEST(FrameParserTest, RejectsMalformedStreams) {
                                          MsgType::kFlowletEnd),
                                      0x01};
     EXPECT_FALSE(parser.feed(bad, sink));
+  }
+}
+
+// Fuzz/property test (satellite): a parser fed corrupted byte streams --
+// truncations, oversized length fields, bit flips, random garbage --
+// split at arbitrary chunk boundaries must only ever (a) keep decoding
+// valid messages or (b) report the stream malformed and stay corrupt.
+// Never a crash, a hang, or a resurrection after corruption. Runs under
+// the ASan/UBSan CI lane, which is where the "never a crash" half bites.
+TEST(FrameParserFuzzTest, CorruptedStreamsNeverCrashAndStayCorrupt) {
+  Rng rng(0xBADC0DE5);
+  for (int trial = 0; trial < 300; ++trial) {
+    // A valid multi-frame stream of mixed records...
+    FrameWriter writer;
+    std::vector<std::uint8_t> stream;
+    std::uint32_t key = 1;
+    const int frames = 1 + static_cast<int>(rng.below(3));
+    for (int f = 0; f < frames; ++f) {
+      const int records = 1 + static_cast<int>(rng.below(12));
+      for (int r = 0; r < records; ++r) {
+        switch (rng.below(4)) {
+          case 0: {
+            core::FlowletStartMsg m;
+            m.flow_key = key++;
+            writer.add(m);
+            break;
+          }
+          case 1:
+            writer.add(core::FlowletEndMsg{key++});
+            break;
+          case 2:
+            writer.add(core::RateUpdateMsg{
+                key++, static_cast<std::uint16_t>(rng.next())});
+            break;
+          default:
+            writer.add(core::HeartbeatMsg{
+                static_cast<std::int64_t>(rng.next()),
+                static_cast<std::uint32_t>(rng.next())});
+            break;
+        }
+      }
+      writer.flush(stream);
+    }
+
+    // ...then one of four corruptions.
+    switch (rng.below(4)) {
+      case 0:  // truncate mid-stream (not malformed: just incomplete)
+        stream.resize(rng.below(stream.size()) + 1);
+        break;
+      case 1: {  // flip a bit anywhere (header, tag, or body)
+        const std::size_t at = rng.below(stream.size());
+        stream[at] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+        break;
+      }
+      case 2: {  // oversized/zero length field on the first header
+        const std::uint32_t bogus =
+            rng.below(2) == 0 ? 0u : 0x7FFFFFFFu;
+        stream[0] = static_cast<std::uint8_t>(bogus);
+        stream[1] = static_cast<std::uint8_t>(bogus >> 8);
+        stream[2] = static_cast<std::uint8_t>(bogus >> 16);
+        stream[3] = static_cast<std::uint8_t>(bogus >> 24);
+        break;
+      }
+      default: {  // splice random garbage into the middle
+        const std::size_t at = rng.below(stream.size());
+        std::vector<std::uint8_t> junk(1 + rng.below(64));
+        for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+        stream.insert(stream.begin() + static_cast<std::ptrdiff_t>(at),
+                      junk.begin(), junk.end());
+        break;
+      }
+    }
+
+    // Feed in random chunks. Whatever happens, it terminates, and a
+    // false return is sticky forever after.
+    Collector sink;
+    FrameParser parser;
+    bool corrupted = false;
+    std::size_t off = 0;
+    while (off < stream.size()) {
+      const std::size_t chunk = std::min<std::size_t>(
+          1 + rng.below(37), stream.size() - off);
+      const bool ok = parser.feed({stream.data() + off, chunk}, sink);
+      if (corrupted) {
+        ASSERT_FALSE(ok) << "parser resurrected after corruption, trial "
+                         << trial;
+      }
+      corrupted = corrupted || !ok;
+      off += chunk;
+    }
+    if (corrupted) {
+      EXPECT_FALSE(parser.feed({}, sink));
+      Collector sink2;
+      EXPECT_FALSE(parser.feed(stream, sink2));
+      EXPECT_TRUE(sink2.msgs.empty());
+    }
   }
 }
 

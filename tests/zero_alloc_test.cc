@@ -226,6 +226,9 @@ TEST(ZeroAllocTest, FrameWriterSteadyStateBatchesAreAllocationFree) {
     mark.trace_id = 42;
     mark.t_ns[0] = 1;
     writer.add(mark);  // sampling enabled: a mark rides the batch
+    // Liveness on: a heartbeat (carrying the rate lease) rides every
+    // steady-state period too, and must stay allocation-free.
+    writer.add(core::HeartbeatMsg{123456789, 250'000});
     out.clear();
     writer.flush(out);
   };
@@ -236,9 +239,10 @@ TEST(ZeroAllocTest, FrameWriterSteadyStateBatchesAreAllocationFree) {
   const std::uint64_t during =
       g_news.load(std::memory_order_relaxed) - before;
   EXPECT_EQ(during, 0u);
-  // 300 updates (100 of them coalesced in place) + 1 trace mark framed
-  // per cycle: the batches really carried the full load.
-  EXPECT_EQ(writer.stats().records - records_before, 50u * 301u);
+  // 300 updates (100 of them coalesced in place) + 1 trace mark + 1
+  // heartbeat framed per cycle: the batches really carried the full
+  // load.
+  EXPECT_EQ(writer.stats().records - records_before, 50u * 302u);
   EXPECT_GE(writer.stats().coalesced_updates, 50u * 100u);
 }
 

@@ -34,8 +34,13 @@ HIGHER_SUFFIXES = ("per_sec", "_pps", "speedup", "precision", "recall")
 LOWER_SUFFIXES = ("_us", "_ns", "ns_per_iter")
 # stall_us / stall_every_rounds are the flight-demo's *injected* stall
 # config, not measurements; sample_every is the tracing rate.
+# reclaim_us (recovery drill: lease re-arm after drops stop) is one
+# heartbeat of scheduler noise -- tens of microseconds -- so a 35% band
+# is meaningless; the drill's tracked numbers are reconnect_p50_us/
+# reconnect_p99_us/reconverge_us, which are dominated by the seeded
+# backoff schedule and stay comparable across runs.
 IGNORED_KEYS = {"hardware_concurrency", "git_sha", "stall_us",
-                "stall_every_rounds", "sample_every"}
+                "stall_every_rounds", "sample_every", "reclaim_us"}
 
 
 def metric_direction(key):

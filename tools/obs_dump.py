@@ -219,12 +219,45 @@ def print_e2e_timeline(tracing):
               f"{m['p99_us']:>8.1f}us  |{'#' * bar_n:<{width}}|")
 
 
+def print_recovery(rec):
+    """The net bench's recovery-drill results: the fault-tolerance
+    numbers (reconnect tail, replay-driven reconvergence, lease
+    fallback under frame drops) next to the latency timeline."""
+    if rec.get("failed"):
+        print("recovery drill: FAILED (timed out before reconvergence)")
+        return
+    print(f"recovery drill: {rec.get('agents', '?')} agents x "
+          f"{rec.get('flows_per_agent', '?')} flows, service killed and "
+          f"warm-restarted on the same port")
+    print(f"  reconnect   p50 {rec.get('reconnect_p50_us', 0):,.0f} us   "
+          f"p99 {rec.get('reconnect_p99_us', 0):,.0f} us "
+          f"(detection + jittered backoff + re-dial)")
+    print(f"  reconverge  {rec.get('reconverge_us', 0):,.0f} us until "
+          f"the fresh allocator's rates match pre-kill "
+          f"({rec.get('replayed_starts', 0):,} replayed starts)")
+    print(f"  degraded    {rec.get('degraded_frac', 0) * 100:.1f}% of "
+          f"fleet-time not kConnected during the window")
+    lease = rec.get("lease", {})
+    if lease.get("failed"):
+        print("  lease drill: FAILED (agent never re-armed)")
+    elif lease:
+        print(f"  lease drill ({lease.get('drop_frac', 0) * 100:.0f}% "
+              f"downstream frames dropped): "
+              f"{lease.get('frames_dropped', 0):,}/"
+              f"{lease.get('frames_down', 0):,} frames lost, "
+              f"{lease.get('lease_expiries', 0):,} lease expiries, "
+              f"{lease.get('fallback_enters', 0):,} flows to fallback, "
+              f"degraded {lease.get('degraded_frac', 0) * 100:.1f}%, "
+              f"re-armed {lease.get('reclaim_us', 0):,.0f} us after "
+              f"drops stopped")
+
+
 def kind_of(doc):
     if doc.get("kind") == "flight":
         return "flight"
     if "metrics" in doc:
         return "metrics"
-    if "tracing" in doc:
+    if "tracing" in doc or "recovery" in doc:
         return "bench"
     return None
 
@@ -255,7 +288,12 @@ def main():
         if kind == "flight":
             print_flight(doc)
         elif kind == "bench":
-            print_e2e_timeline(doc["tracing"])
+            if "tracing" in doc:
+                print_e2e_timeline(doc["tracing"])
+            if "recovery" in doc:
+                if "tracing" in doc:
+                    print()
+                print_recovery(doc["recovery"])
         else:
             print_snapshot(doc, args.match)
     else:
