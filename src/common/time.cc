@@ -1,0 +1,18 @@
+#include "common/time.h"
+
+#include <time.h>
+
+namespace ft {
+
+std::int64_t SystemClock::now_ns() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+Clock& system_clock() {
+  static SystemClock clock;
+  return clock;
+}
+
+}  // namespace ft

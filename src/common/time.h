@@ -45,4 +45,45 @@ inline constexpr Time kTimeNever = INT64_MAX;
   return static_cast<Time>(ps + 0.5);
 }
 
+// Monotonic clock seam. Everything in the control plane that needs "now"
+// for a deadline -- agent poll cadence, heartbeat and lease timers,
+// reconnect backoff, service peer timeouts -- reads one of these instead
+// of calling clock_gettime directly, so the same code runs against the
+// OS clock in production and against simulated time (sim::EventQueue)
+// in the virtual-time harness. now_ns is the primitive; now_us derives
+// from it so the two can never disagree about ordering.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual std::int64_t now_ns() = 0;
+  [[nodiscard]] std::int64_t now_us() { return now_ns() / 1'000; }
+};
+
+// CLOCK_MONOTONIC (same clock net::EpollLoop::now_us always used, at ns
+// resolution). Stateless; share the process-wide instance below.
+class SystemClock final : public Clock {
+ public:
+  [[nodiscard]] std::int64_t now_ns() override;
+};
+
+// Manually-advanced monotonic time, for deterministic tests and the
+// discrete-event simulator (sim::EventQueue drives it forward as events
+// dispatch). Never moves backwards: advancing to the past is a no-op,
+// which lets several advancing sources share one clock safely.
+class VirtualClock final : public Clock {
+ public:
+  [[nodiscard]] std::int64_t now_ns() override { return ns_; }
+  void advance_to_ns(std::int64_t ns) {
+    if (ns > ns_) ns_ = ns;
+  }
+  void advance_to(Time ps) { advance_to_ns(ps / kNanosecond); }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+// The process-wide SystemClock (what every component defaults to when no
+// explicit clock is configured).
+[[nodiscard]] Clock& system_clock();
+
 }  // namespace ft

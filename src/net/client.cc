@@ -1,22 +1,12 @@
 #include "net/client.h"
 
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <cerrno>
-#include <cstring>
 
 #include "common/check.h"
 #include "common/ratecode.h"
 #include "common/time.h"
 #include "common/wire.h"
-#include "net/epoll_loop.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -77,10 +67,12 @@ struct EndpointAgent::Metrics {
 
 EndpointAgent::EndpointAgent(
     AgentConfig cfg, std::unique_ptr<flowlet::FlowletDetector> detector)
-    : cfg_(cfg),
-      epoch_us_(EpollLoop::now_us()),
+    : cfg_(std::move(cfg)),
+      tr_(cfg_.transport != nullptr ? cfg_.transport : &os_transport()),
+      clock_(&tr_->clock()),
+      epoch_us_(clock_->now_us()),
       detector_(std::move(detector)),
-      parser_(cfg.max_frame_payload) {
+      parser_(cfg_.max_frame_payload) {
   if (!detector_ && cfg_.idle_gap_us > 0) {
     // Pre-detector behaviour: one fixed idle gap for every flow.
     flowlet::StaticGapConfig dcfg;
@@ -107,60 +99,25 @@ EndpointAgent::EndpointAgent(
 EndpointAgent::~EndpointAgent() { disconnect(); }
 
 Time EndpointAgent::now_ps() const {
-  return static_cast<Time>(EpollLoop::now_us() - epoch_us_) *
-         kMicrosecond;
+  return static_cast<Time>(clock_->now_us() - epoch_us_) * kMicrosecond;
 }
 
 bool EndpointAgent::adopt_socket(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
-    ::close(fd);
-    return false;
-  }
+  // Transport dials hand back ready nonblocking handles; adoption is
+  // just ownership.
+  if (fd < 0) return false;
   fd_ = fd;
   return true;
 }
 
-// Dials the remembered target. Returns the connected fd or -1; never
-// touches agent state, so connect_* and the reconnect path share it.
+// Dials the remembered target. Returns the connected handle or -1;
+// never touches agent state, so connect_* and the reconnect path share
+// it.
 int EndpointAgent::dial_target() const {
   if (target_ == Target::kTcp) {
-    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-    if (fd < 0) return -1;
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(static_cast<std::uint16_t>(target_port_));
-    if (::inet_pton(AF_INET, target_host_.c_str(), &addr.sin_addr) != 1) {
-      ::close(fd);
-      return -1;
-    }
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
-        0) {
-      ::close(fd);
-      return -1;
-    }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    return fd;
+    return tr_->connect_tcp(target_host_, target_port_);
   }
-  if (target_ == Target::kUnix) {
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-    if (fd < 0) return -1;
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (target_path_.size() >= sizeof addr.sun_path) {
-      ::close(fd);
-      return -1;
-    }
-    std::strncpy(addr.sun_path, target_path_.c_str(),
-                 sizeof addr.sun_path - 1);
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
-        0) {
-      ::close(fd);
-      return -1;
-    }
-    return fd;
-  }
+  if (target_ == Target::kUnix) return tr_->connect_unix(target_path_);
   return -1;
 }
 
@@ -171,7 +128,7 @@ bool EndpointAgent::connect_tcp(const std::string& host, int port) {
   target_port_ = port;
   const int fd = dial_target();
   if (fd < 0 || !adopt_socket(fd)) return false;
-  became_connected(EpollLoop::now_us());
+  became_connected(clock_->now_us());
   return true;
 }
 
@@ -181,7 +138,7 @@ bool EndpointAgent::connect_unix(const std::string& path) {
   target_path_ = path;
   const int fd = dial_target();
   if (fd < 0 || !adopt_socket(fd)) return false;
-  became_connected(EpollLoop::now_us());
+  became_connected(clock_->now_us());
   return true;
 }
 
@@ -199,7 +156,7 @@ void EndpointAgent::became_connected(std::int64_t now_us) {
 void EndpointAgent::disconnect() {
   drop_pending_output();
   if (fd_ >= 0) {
-    ::close(fd_);
+    tr_->close(fd_);
     fd_ = -1;
   }
   state_ = ConnState::kDisconnected;
@@ -230,7 +187,7 @@ void EndpointAgent::lose_connection(std::int64_t now_us) {
   if (m_ != nullptr) m_->disconnects.add(1);
   drop_pending_output();
   if (fd_ >= 0) {
-    ::close(fd_);
+    tr_->close(fd_);
     fd_ = -1;
   }
   lease_deadline_us_ = 0;
@@ -271,7 +228,7 @@ void EndpointAgent::replay_flowlets() {
     if (m_ != nullptr && st.start_us == 0) {
       // Re-arm the first-update RTT clock: the next update this flow
       // sees is the recovery round trip.
-      st.start_us = EpollLoop::now_us();
+      st.start_us = clock_->now_us();
     }
   }
 }
@@ -358,7 +315,7 @@ bool EndpointAgent::flowlet_start(std::uint32_t key, std::uint16_t src,
   if (flows_.contains(key)) return false;
   flows_.emplace(key,
                  FlowletState{0.0, 0, src, dst, weight_milli,
-                              m_ != nullptr ? EpollLoop::now_us() : 0});
+                              m_ != nullptr ? clock_->now_us() : 0});
   const std::uint16_t flags = next_start_flags();
   writer_.add(core::FlowletStartMsg{key, src, dst, size_hint_bytes,
                                     weight_milli, flags});
@@ -423,7 +380,7 @@ void EndpointAgent::detected_start(const flowlet::PacketRecord& p) {
   }
   flows_.emplace(p.flow_key,
                  FlowletState{0.0, 0, p.src_host, p.dst_host, weight,
-                              m_ != nullptr ? EpollLoop::now_us() : 0});
+                              m_ != nullptr ? clock_->now_us() : 0});
   const std::uint16_t flags = next_start_flags();
   writer_.add(core::FlowletStartMsg{p.flow_key, p.src_host, p.dst_host,
                                     0, weight, flags});
@@ -493,7 +450,7 @@ void EndpointAgent::on_heartbeat(const core::HeartbeatMsg& m) {
   // lease duration the agent should hold rates for.
   if (m.lease_us > 0) {
     lease_us_ = m.lease_us;
-    arm_lease(now_cache_us_ != 0 ? now_cache_us_ : EpollLoop::now_us());
+    arm_lease(now_cache_us_ != 0 ? now_cache_us_ : clock_->now_us());
   }
 }
 
@@ -502,7 +459,7 @@ void EndpointAgent::on_rate_update(const core::RateUpdateMsg& m) {
   // Every update implies a fresh lease (the service just proved this
   // allocation current).
   if (lease_us_ > 0) {
-    arm_lease(now_cache_us_ != 0 ? now_cache_us_ : EpollLoop::now_us());
+    arm_lease(now_cache_us_ != 0 ? now_cache_us_ : clock_->now_us());
   }
   const auto it = flows_.find(m.flow_key);
   if (it == flows_.end()) return;  // raced with a local flowlet-end
@@ -518,7 +475,7 @@ void EndpointAgent::on_rate_update(const core::RateUpdateMsg& m) {
     if (it->second.start_us != 0) {
       // First allocation for this flowlet: registration -> rate-back
       // round trip through the service (queueing + round + fan-out).
-      m_->first_update_rtt_us.record_signed(EpollLoop::now_us() -
+      m_->first_update_rtt_us.record_signed(clock_->now_us() -
                                             it->second.start_us);
       it->second.start_us = 0;
     }
@@ -541,10 +498,10 @@ std::uint16_t EndpointAgent::rate_code(std::uint32_t key) const {
 bool EndpointAgent::drain_socket() {
   std::uint8_t buf[64 * 1024];
   while (true) {
-    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    const std::int64_t n = tr_->read(fd_, buf, sizeof buf);
     if (n > 0) {
       stats_.bytes_in += n;
-      last_rx_us_ = now_cache_us_ != 0 ? now_cache_us_ : EpollLoop::now_us();
+      last_rx_us_ = now_cache_us_ != 0 ? now_cache_us_ : clock_->now_us();
       if (!parser_.feed({buf, static_cast<std::size_t>(n)}, *this)) {
         return false;  // malformed stream from the service
       }
@@ -560,8 +517,8 @@ bool EndpointAgent::drain_socket() {
 
 bool EndpointAgent::try_write() {
   while (out_off_ < outbox_.size()) {
-    const ssize_t n = ::send(fd_, outbox_.data() + out_off_,
-                             outbox_.size() - out_off_, MSG_NOSIGNAL);
+    const std::int64_t n = tr_->write(fd_, outbox_.data() + out_off_,
+                                      outbox_.size() - out_off_);
     if (n > 0) {
       out_off_ += static_cast<std::size_t>(n);
       continue;
@@ -593,14 +550,14 @@ void EndpointAgent::flush() {
   }
   if (outbox_.size() - out_off_ > cfg_.max_outbox_bytes) {
     // The service stopped reading; give up rather than buffer forever.
-    lose_connection(EpollLoop::now_us());
+    lose_connection(clock_->now_us());
     return;
   }
-  if (!try_write()) lose_connection(EpollLoop::now_us());
+  if (!try_write()) lose_connection(clock_->now_us());
 }
 
 bool EndpointAgent::poll() {
-  const std::int64_t now = EpollLoop::now_us();
+  const std::int64_t now = clock_->now_us();
   now_cache_us_ = now;
   if (fd_ < 0) {
     if (state_ != ConnState::kReconnecting) {
@@ -659,7 +616,7 @@ bool EndpointAgent::poll() {
   }
   flush();
   if (m_ != nullptr) {
-    m_->poll_us.record_signed(EpollLoop::now_us() - t0);
+    m_->poll_us.record_signed(clock_->now_us() - t0);
     if (detector_) {
       const flowlet::FlowletTable& t = detector_->table();
       m_->detector_occupancy.set(

@@ -27,6 +27,7 @@
 #include "common/rng.h"
 #include "flowlet/detector.h"
 #include "net/frame.h"
+#include "net/transport.h"
 
 namespace ft::obs {
 class MetricsRegistry;
@@ -49,6 +50,12 @@ enum class ConnState : std::uint8_t {
 };
 
 struct AgentConfig {
+  // The transport/clock seam this agent runs on. Null = the process-wide
+  // OS transport (real sockets, CLOCK_MONOTONIC). The virtual-time
+  // harness passes a sim::SimTransport instead, and every deadline in
+  // the agent -- poll cadence, heartbeats, lease expiry, backoff jitter
+  // waits -- then lives on simulated time.
+  Transport* transport = nullptr;
   // When no detector is supplied: auto flowlet-end after this much
   // inactivity via a StaticGapDetector; <= 0 disables detection.
   std::int64_t idle_gap_us = 0;
@@ -295,6 +302,8 @@ class EndpointAgent : MessageSink {
   [[nodiscard]] Time now_ps() const;
 
   AgentConfig cfg_;
+  Transport* tr_;     // cfg_.transport, or the OS transport
+  Clock* clock_;      // the transport's clock (all deadlines below)
   std::int64_t epoch_us_;
   std::unique_ptr<flowlet::FlowletDetector> detector_;
   int fd_ = -1;

@@ -16,6 +16,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/transport.h"
+
 namespace ft::obs {
 class Counter;
 class LatencyHisto;
@@ -24,40 +26,43 @@ class MetricsRegistry;
 
 namespace ft::net {
 
-class EpollLoop {
+class EpollLoop final : public IoLoop {
  public:
-  using FdCallback = std::function<void(std::uint32_t epoll_events)>;
-  using TimerCallback = std::function<void()>;
-  using TimerId = std::uint64_t;
+  using FdCallback = IoLoop::FdCallback;
+  using TimerCallback = IoLoop::TimerCallback;
+  using TimerId = IoLoop::TimerId;
 
   EpollLoop();
-  ~EpollLoop();
+  ~EpollLoop() override;
   EpollLoop(const EpollLoop&) = delete;
   EpollLoop& operator=(const EpollLoop&) = delete;
 
   // Registers `fd` for `events` (EPOLLIN | EPOLLOUT | ...). The callback
   // receives the ready event mask. The loop does not own the fd.
-  void add_fd(int fd, std::uint32_t events, FdCallback cb);
-  void mod_fd(int fd, std::uint32_t events);
-  void del_fd(int fd);  // safe to call from inside any callback
-  [[nodiscard]] bool watching(int fd) const { return fds_.contains(fd); }
+  void add_fd(int fd, std::uint32_t events, FdCallback cb) override;
+  void mod_fd(int fd, std::uint32_t events) override;
+  void del_fd(int fd) override;  // safe from inside any callback
+  [[nodiscard]] bool watching(int fd) const override {
+    return fds_.contains(fd);
+  }
 
   // One-shot timer firing `delay_us` from now (<=0 fires on the next
   // run_once). Periodic timers re-arm at fixed period from the previous
   // deadline. Both may be cancelled; ids are never reused.
-  TimerId add_timer(std::int64_t delay_us, TimerCallback cb);
-  TimerId add_periodic(std::int64_t period_us, TimerCallback cb);
-  void cancel_timer(TimerId id);
+  TimerId add_timer(std::int64_t delay_us, TimerCallback cb) override;
+  TimerId add_periodic(std::int64_t period_us, TimerCallback cb) override;
+  void cancel_timer(TimerId id) override;
 
   // Waits for readiness or the next timer deadline (capped by
   // `max_wait_us`, -1 = no cap), dispatches fd events then due timers.
   // Returns the number of callbacks dispatched.
-  int run_once(std::int64_t max_wait_us = 0);
+  using IoLoop::run_once;
+  int run_once(std::int64_t max_wait_us) override;
 
   // Dispatches until stop() is called.
-  void run();
+  void run() override;
   // Thread-safe: requests run() to return after the current dispatch.
-  void stop();
+  void stop() override;
 
   [[nodiscard]] static std::int64_t now_us();
 
@@ -65,7 +70,8 @@ class EpollLoop {
   // starts): every subsequent run_once records its kernel wait into
   // <prefix>.epoll_wait_us and counts <prefix>.polls. Unbound loops pay
   // one null check per run_once.
-  void bind_metrics(obs::MetricsRegistry& reg, std::string_view prefix);
+  void bind_metrics(obs::MetricsRegistry& reg,
+                    std::string_view prefix) override;
 
  private:
   struct Timer {

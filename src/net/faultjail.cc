@@ -1,27 +1,16 @@
 #include "net/faultjail.h"
 
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
 
 #include "common/check.h"
+#include "net/socket_util.h"
 
 namespace ft::net {
 namespace {
-
-void set_nonblocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  FT_CHECK(flags >= 0);
-  FT_CHECK(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
-}
 
 std::uint32_t get_le32(const std::uint8_t* p) {
   return static_cast<std::uint32_t>(p[0]) |
@@ -32,25 +21,12 @@ std::uint32_t get_le32(const std::uint8_t* p) {
 
 }  // namespace
 
-FaultJail::FaultJail(EpollLoop& loop, FaultJailConfig cfg)
+FaultJail::FaultJail(IoLoop& loop, FaultJailConfig cfg)
     : loop_(loop), cfg_(std::move(cfg)), rng_(cfg_.seed) {
   FT_CHECK(cfg_.upstream_port >= 0 || !cfg_.upstream_unix.empty());
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  listen_fd_ =
+      tcp_listen(cfg_.listen_port, /*listen_any=*/false, &listen_port_);
   FT_CHECK(listen_fd_ >= 0);
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(cfg_.listen_port));
-  FT_CHECK(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-                  sizeof addr) == 0);
-  FT_CHECK(::listen(listen_fd_, 128) == 0);
-  socklen_t len = sizeof addr;
-  FT_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-                         &len) == 0);
-  listen_port_ = ntohs(addr.sin_port);
-  set_nonblocking(listen_fd_);
   loop_.add_fd(listen_fd_, EPOLLIN,
                [this](std::uint32_t) { accept_ready(); });
 }
@@ -64,53 +40,25 @@ FaultJail::~FaultJail() {
 }
 
 int FaultJail::dial_upstream() {
-  int fd = -1;
-  if (!cfg_.upstream_unix.empty()) {
-    fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-    if (fd < 0) return -1;
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    FT_CHECK(cfg_.upstream_unix.size() < sizeof addr.sun_path);
-    std::strncpy(addr.sun_path, cfg_.upstream_unix.c_str(),
-                 sizeof addr.sun_path - 1);
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
-        0) {
-      ::close(fd);
-      return -1;
-    }
-  } else {
-    fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-    if (fd < 0) return -1;
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(static_cast<std::uint16_t>(cfg_.upstream_port));
-    FT_CHECK(::inet_pton(AF_INET, cfg_.upstream_host.c_str(),
-                         &addr.sin_addr) == 1);
-    // Blocking dial on purpose: the upstream is loopback in every drill,
-    // so this either completes immediately or fails immediately (which
-    // is itself the fault being drilled -- service down).
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
-        0) {
-      ::close(fd);
-      return -1;
-    }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  }
+  // Blocking dials on purpose: the upstream is loopback in every drill,
+  // so this either completes immediately or fails immediately (which is
+  // itself the fault being drilled -- service down).
+  const int fd = !cfg_.upstream_unix.empty()
+                     ? unix_dial(cfg_.upstream_unix)
+                     : tcp_dial(cfg_.upstream_host, cfg_.upstream_port);
+  if (fd < 0) return -1;
   set_nonblocking(fd);
   return fd;
 }
 
 void FaultJail::accept_ready() {
   while (true) {
-    const int cfd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    const int cfd = accept_nonblocking(listen_fd_);
     if (cfd < 0) {
       if (errno == EINTR) continue;
       return;  // EAGAIN or transient failure; keep serving
     }
-    set_nonblocking(cfd);
-    const int one = 1;
-    ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    set_tcp_nodelay(cfd);
     const int ufd = dial_upstream();
     if (ufd < 0) {
       // Upstream unreachable: refuse the client too, so the agent sees

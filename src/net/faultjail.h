@@ -27,8 +27,8 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "net/epoll_loop.h"
 #include "net/frame.h"
+#include "net/transport.h"
 
 namespace ft::net {
 
@@ -63,7 +63,7 @@ struct FaultJailStats {
 
 class FaultJail {
  public:
-  FaultJail(EpollLoop& loop, FaultJailConfig cfg);
+  FaultJail(IoLoop& loop, FaultJailConfig cfg);
   ~FaultJail();
   FaultJail(const FaultJail&) = delete;
   FaultJail& operator=(const FaultJail&) = delete;
@@ -113,7 +113,7 @@ class FaultJail {
   void kill_pair(int client_fd);
   int dial_upstream();
 
-  EpollLoop& loop_;
+  IoLoop& loop_;
   FaultJailConfig cfg_;
   int listen_fd_ = -1;
   int listen_port_ = -1;

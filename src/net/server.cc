@@ -1,18 +1,11 @@
 #include "net/server.h"
 
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
-#include <cstring>
 #include <span>
 
 #include "common/check.h"
@@ -22,12 +15,6 @@
 
 namespace ft::net {
 namespace {
-
-void set_nonblocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  FT_CHECK(flags >= 0);
-  FT_CHECK(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
-}
 
 // Registry counters are striped relaxed atomics: monotonic tallies,
 // never used for synchronization.
@@ -198,8 +185,8 @@ struct AllocatorService::Connection : MessageSink {
 // thread or rings.
 struct AllocatorService::Shard {
   int index = -1;
-  EpollLoop* loop = nullptr;
-  std::unique_ptr<EpollLoop> owned_loop;
+  IoLoop* loop = nullptr;
+  std::unique_ptr<IoLoop> owned_loop;
   std::thread thread;
   std::unique_ptr<SpscQueue<UpEvent>> up;      // shard -> allocation
   std::unique_ptr<SpscQueue<DownEvent>> down;  // allocation -> shard
@@ -233,22 +220,27 @@ struct AllocatorService::Shard {
   // Heartbeat/peer-timeout tick (shard loop; caller's loop inline). The
   // fd snapshot is reused scratch: flush_conn inside the tick can
   // close_conn, so the tick never iterates `conns` directly.
-  EpollLoop::TimerId hb_timer = 0;
+  IoLoop::TimerId hb_timer = 0;
   std::vector<int> hb_scratch;
 
   [[nodiscard]] bool threaded() const { return owned_loop != nullptr; }
 };
 
-AllocatorService::AllocatorService(EpollLoop& loop, core::Allocator& alloc,
+AllocatorService::AllocatorService(IoLoop& loop, core::Allocator& alloc,
                                    const topo::ClosTopology& topo,
                                    ServerConfig cfg)
     : loop_(loop),
       alloc_(alloc),
       topo_(topo),
       cfg_(std::move(cfg)),
+      tr_(cfg_.transport != nullptr ? cfg_.transport : &os_transport()),
+      clock_(&tr_->clock()),
       flight_(cfg_.flight) {
   FT_CHECK(cfg_.tcp_port >= 0 || !cfg_.unix_path.empty());
   FT_CHECK(cfg_.num_shards >= 0);
+  // Shard threads drive their own loops concurrently; the sim transport
+  // is single-threaded by construction, so it only serves inline mode.
+  FT_CHECK(cfg_.num_shards == 0 || tr_->supports_threads());
   if (cfg_.metrics != nullptr) {
     metrics_ = cfg_.metrics;
   } else {
@@ -282,7 +274,7 @@ AllocatorService::AllocatorService(EpollLoop& loop, core::Allocator& alloc,
     for (int i = 0; i < cfg_.num_shards; ++i) {
       auto s = std::make_unique<Shard>();
       s->index = i;
-      s->owned_loop = std::make_unique<EpollLoop>();
+      s->owned_loop = tr_->make_loop();
       s->loop = s->owned_loop.get();
       const std::string prefix = "net.shard" + std::to_string(i);
       s->stats = std::make_unique<Counters>(*metrics_, prefix);
@@ -352,7 +344,7 @@ AllocatorService::~AllocatorService() {
     DownEvent ev;
     while (s->down->try_pop(ev)) {
       if (ev.kind == DownEvent::Kind::kConn) {
-        ::close(ev.fd);
+        tr_->close(ev.fd);
         bump(alloc_stats_->closed);
       }
     }
@@ -366,7 +358,7 @@ AllocatorService::~AllocatorService() {
         key_shard_.erase(it);
         bump(alloc_stats_->flowlet_ends);
       }
-      ::close(fd);
+      tr_->close(fd);
       bump(s->stats->closed);
     }
     s->conns.clear();
@@ -397,54 +389,30 @@ AllocatorService::~AllocatorService() {
   for (const int fd : {tcp_listen_fd_, unix_listen_fd_}) {
     if (fd >= 0) {
       loop_.del_fd(fd);
-      ::close(fd);
+      tr_->close(fd);
     }
   }
-  if (!cfg_.unix_path.empty()) ::unlink(cfg_.unix_path.c_str());
+  if (!cfg_.unix_path.empty()) tr_->unlink_path(cfg_.unix_path);
 }
 
 void AllocatorService::setup_tcp_listener() {
-  tcp_listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  tcp_listen_fd_ =
+      tr_->listen_tcp(cfg_.tcp_port, cfg_.listen_any, &tcp_port_);
   FT_CHECK(tcp_listen_fd_ >= 0);
-  const int one = 1;
-  ::setsockopt(tcp_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr =
-      htonl(cfg_.listen_any ? INADDR_ANY : INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(cfg_.tcp_port));
-  FT_CHECK(::bind(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-                  sizeof addr) == 0);
-  FT_CHECK(::listen(tcp_listen_fd_, 128) == 0);
-  socklen_t len = sizeof addr;
-  FT_CHECK(::getsockname(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-                         &len) == 0);
-  tcp_port_ = ntohs(addr.sin_port);
-  set_nonblocking(tcp_listen_fd_);
   loop_.add_fd(tcp_listen_fd_, EPOLLIN,
                [this](std::uint32_t) { accept_ready(tcp_listen_fd_); });
 }
 
 void AllocatorService::setup_unix_listener() {
-  unix_listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  unix_listen_fd_ = tr_->listen_unix(cfg_.unix_path);
   FT_CHECK(unix_listen_fd_ >= 0);
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  FT_CHECK(cfg_.unix_path.size() < sizeof addr.sun_path);
-  std::strncpy(addr.sun_path, cfg_.unix_path.c_str(),
-               sizeof addr.sun_path - 1);
-  ::unlink(cfg_.unix_path.c_str());
-  FT_CHECK(::bind(unix_listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-                  sizeof addr) == 0);
-  FT_CHECK(::listen(unix_listen_fd_, 128) == 0);
-  set_nonblocking(unix_listen_fd_);
   loop_.add_fd(unix_listen_fd_, EPOLLIN,
                [this](std::uint32_t) { accept_ready(unix_listen_fd_); });
 }
 
 void AllocatorService::accept_ready(int listen_fd) {
   while (true) {
-    const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    const int fd = tr_->accept(listen_fd);
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       if (errno == EINTR) continue;
@@ -463,11 +431,7 @@ void AllocatorService::accept_ready(int listen_fd) {
       }
       return;  // transient accept failure; keep serving
     }
-    set_nonblocking(fd);
-    if (listen_fd == tcp_listen_fd_) {
-      const int one = 1;
-      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    }
+    if (listen_fd == tcp_listen_fd_) tr_->set_nodelay(fd);
     bump(alloc_stats_->accepted);
     if (inline_shard_) {
       adopt_conn(*inline_shard_, fd);
@@ -482,7 +446,7 @@ void AllocatorService::accept_ready(int listen_fd) {
     if (push_down(s, ev)) {
       wake_shard(s);
     } else {
-      ::close(fd);  // shard wedged at capacity; shed the connection
+      tr_->close(fd);  // shard wedged at capacity; shed the connection
       bump(alloc_stats_->closed);  // keep accepted - closed = live
       bump(alloc_stats_->queue_drops);
     }
@@ -491,14 +455,13 @@ void AllocatorService::accept_ready(int listen_fd) {
 
 void AllocatorService::adopt_conn(Shard& s, int fd) {
   if (cfg_.send_buffer_bytes > 0) {
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &cfg_.send_buffer_bytes,
-                 sizeof cfg_.send_buffer_bytes);
+    tr_->set_sndbuf(fd, cfg_.send_buffer_bytes);
   }
   auto conn = std::make_unique<Connection>(cfg_.max_frame_payload);
   conn->svc = this;
   conn->shard = &s;
   conn->fd = fd;
-  conn->last_rx_us = EpollLoop::now_us();
+  conn->last_rx_us = clock_->now_us();
   Connection* c = conn.get();
   s.conns.emplace(fd, std::move(conn));
   s.num_conns.store(s.conns.size(), std::memory_order_relaxed);
@@ -532,11 +495,11 @@ void AllocatorService::conn_ready(Shard& s, Connection& c,
   if (events & EPOLLIN) {
     std::uint8_t buf[64 * 1024];
     while (true) {
-      const ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
+      const std::int64_t n = tr_->read(c.fd, buf, sizeof buf);
       bump(s.stats->recv_calls);
       if (n > 0) {
         bump_by(s.stats->bytes_in, n);
-        c.last_rx_us = EpollLoop::now_us();
+        c.last_rx_us = clock_->now_us();
         if (!c.parser.feed({buf, static_cast<std::size_t>(n)}, c)) {
           bump(s.stats->protocol_errors);
           close_conn(s, c.fd);
@@ -689,7 +652,7 @@ void AllocatorService::arm_heartbeat(Shard& s) {
 }
 
 void AllocatorService::heartbeat_tick(Shard& s) {
-  const std::int64_t now = EpollLoop::now_us();
+  const std::int64_t now = clock_->now_us();
   // Snapshot fds first: flushing a heartbeat can close_conn (dead
   // socket, outbox cap), and culling a timed-out peer certainly does.
   s.hb_scratch.clear();
@@ -1121,8 +1084,8 @@ void AllocatorService::flush_conn(Shard& s, Connection& c) {
 
 void AllocatorService::try_write(Shard& s, Connection& c) {
   while (c.out_off < c.outbox.size()) {
-    const ssize_t n = ::send(c.fd, c.outbox.data() + c.out_off,
-                             c.outbox.size() - c.out_off, MSG_NOSIGNAL);
+    const std::int64_t n = tr_->write(c.fd, c.outbox.data() + c.out_off,
+                                      c.outbox.size() - c.out_off);
     bump(s.stats->send_calls);
     if (n > 0) {
       c.out_off += static_cast<std::size_t>(n);
@@ -1166,7 +1129,7 @@ void AllocatorService::close_conn(Shard& s, int fd) {
     }
   }
   s.loop->del_fd(fd);
-  ::close(fd);
+  tr_->close(fd);
   s.conns.erase(it);
   s.num_conns.store(s.conns.size(), std::memory_order_relaxed);
   bump(s.stats->closed);

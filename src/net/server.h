@@ -39,9 +39,9 @@
 #include "common/flat_map.h"
 #include "core/allocator.h"
 #include "core/cpu_map.h"
-#include "net/epoll_loop.h"
 #include "net/frame.h"
 #include "net/spsc_queue.h"
+#include "net/transport.h"
 #include "obs/flight.h"
 #include "topo/clos.h"
 
@@ -54,6 +54,11 @@ class MetricsRegistry;
 namespace ft::net {
 
 struct ServerConfig {
+  // The transport/clock seam the service runs on. Null = the
+  // process-wide OS transport (real sockets + EpollLoop). The
+  // virtual-time harness passes a sim::SimTransport, under which the
+  // service must run inline (num_shards == 0; FT_CHECKed).
+  Transport* transport = nullptr;
   // TCP listener: port >= 0 enables it (0 = kernel-assigned, see
   // tcp_port()). Listens on 127.0.0.1 unless listen_any is set.
   int tcp_port = -1;
@@ -148,7 +153,7 @@ struct ServiceStats {
 
 class AllocatorService {
  public:
-  AllocatorService(EpollLoop& loop, core::Allocator& alloc,
+  AllocatorService(IoLoop& loop, core::Allocator& alloc,
                    const topo::ClosTopology& topo, ServerConfig cfg);
   ~AllocatorService();
   AllocatorService(const AllocatorService&) = delete;
@@ -251,14 +256,16 @@ class AllocatorService {
   void note_kick(Shard& s);  // stamp first kick for wakeup latency
   void record_round_latency(double us);
 
-  EpollLoop& loop_;
+  IoLoop& loop_;
   core::Allocator& alloc_;
   const topo::ClosTopology& topo_;
   ServerConfig cfg_;
+  Transport* tr_;  // cfg_.transport, or the OS transport
+  Clock* clock_;   // the transport's clock (all liveness deadlines)
   int tcp_listen_fd_ = -1;
   int unix_listen_fd_ = -1;
   int tcp_port_ = -1;
-  EpollLoop::TimerId iter_timer_ = 0;
+  IoLoop::TimerId iter_timer_ = 0;
   int alloc_wake_fd_ = -1;  // shards kick this to get their rings drained
   // Inline shard (index -1, caller's loop) -- used when num_shards == 0.
   std::unique_ptr<Shard> inline_shard_;
@@ -310,7 +317,7 @@ class AllocatorService {
   std::vector<bool> touched_shards_;
   // One pending accept-retry timer per listener fd (overwritten on
   // re-arm; the previous one-shot has always fired by then).
-  std::unordered_map<int, EpollLoop::TimerId> accept_retry_timer_;
+  std::unordered_map<int, IoLoop::TimerId> accept_retry_timer_;
 
   static constexpr std::size_t kLatencyCap = 8192;
   std::array<double, kLatencyCap> round_lat_us_{};

@@ -1,0 +1,88 @@
+#include "net/transport.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "net/epoll_loop.h"
+#include "net/socket_util.h"
+
+namespace ft::net {
+
+// The kEv* masks promise epoll's numeric values so the OS path never
+// translates.
+static_assert(kEvRead == EPOLLIN);
+static_assert(kEvWrite == EPOLLOUT);
+static_assert(kEvErr == EPOLLERR);
+static_assert(kEvHup == EPOLLHUP);
+
+namespace {
+
+// Real sockets + EpollLoop: the exact syscall sequences the pre-seam
+// client/server inlined, centralized behind the Transport interface.
+class OsTransport final : public Transport {
+ public:
+  Clock& clock() override { return system_clock(); }
+
+  int connect_tcp(const std::string& host, int port) override {
+    const int fd = tcp_dial(host, port);
+    if (fd >= 0) set_nonblocking(fd);
+    return fd;
+  }
+
+  int connect_unix(const std::string& path) override {
+    const int fd = unix_dial(path);
+    if (fd >= 0) set_nonblocking(fd);
+    return fd;
+  }
+
+  int listen_tcp(int port, bool listen_any, int* bound_port) override {
+    return tcp_listen(port, listen_any, bound_port);
+  }
+
+  int listen_unix(const std::string& path) override {
+    return net::unix_listen(path);
+  }
+
+  int accept(int listen_handle) override {
+    return accept_nonblocking(listen_handle);
+  }
+
+  std::int64_t read(int handle, void* buf, std::size_t len) override {
+    return ::recv(handle, buf, len, 0);
+  }
+
+  std::int64_t write(int handle, const void* buf,
+                     std::size_t len) override {
+    return ::send(handle, buf, len, MSG_NOSIGNAL);
+  }
+
+  void close(int handle) override { ::close(handle); }
+
+  void set_nodelay(int handle) override { set_tcp_nodelay(handle); }
+
+  void set_sndbuf(int handle, int bytes) override {
+    ::setsockopt(handle, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof bytes);
+  }
+
+  void unlink_path(const std::string& path) override {
+    ::unlink(path.c_str());
+  }
+
+  std::unique_ptr<IoLoop> make_loop() override {
+    return std::make_unique<EpollLoop>();
+  }
+
+  bool supports_threads() const override { return true; }
+};
+
+}  // namespace
+
+Transport& os_transport() {
+  static OsTransport transport;
+  return transport;
+}
+
+}  // namespace ft::net

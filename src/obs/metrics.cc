@@ -6,10 +6,25 @@
 #include <bit>
 
 #include "common/check.h"
+#include "common/time.h"
 
 namespace ft::obs {
+namespace {
+
+std::atomic<ft::Clock*> g_clock_override{nullptr};
+
+}  // namespace
+
+void set_clock_override(ft::Clock* clock) {
+  g_clock_override.store(clock, std::memory_order_release);
+}
+
+ft::Clock* clock_override() {
+  return g_clock_override.load(std::memory_order_acquire);
+}
 
 std::int64_t now_us() {
+  if (ft::Clock* c = clock_override()) return c->now_us();
   timespec ts{};
   ::clock_gettime(CLOCK_MONOTONIC, &ts);
   return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000 +
@@ -17,6 +32,7 @@ std::int64_t now_us() {
 }
 
 std::int64_t now_ns() {
+  if (ft::Clock* c = clock_override()) return c->now_ns();
   timespec ts{};
   ::clock_gettime(CLOCK_MONOTONIC_RAW, &ts);
   return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;

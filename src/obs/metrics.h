@@ -36,6 +36,10 @@
 #include <string_view>
 #include <vector>
 
+namespace ft {
+class Clock;
+}  // namespace ft
+
 namespace ft::obs {
 
 // CLOCK_MONOTONIC microseconds (same clock as net::EpollLoop::now_us,
@@ -49,6 +53,17 @@ namespace ft::obs {
 // comparable; the trace path only ever differences stamps taken on the
 // same machine (agent-side pair, service-side run).
 [[nodiscard]] std::int64_t now_ns();
+
+// Virtual-time override for both helpers above. When set (the sim
+// harness installs its event-queue-slaved clock), every now_us/now_ns
+// call site in the process -- trace stamps, heartbeat payloads, phase
+// timers -- reads simulated time instead of the OS clocks, so timestamps
+// inside a deterministic run are themselves deterministic. Null restores
+// the OS clocks. Single-threaded by construction (the simulator is
+// single-threaded); the pointer is still atomic so a concurrent OS-path
+// reader only ever sees null-or-valid.
+void set_clock_override(ft::Clock* clock);
+[[nodiscard]] ft::Clock* clock_override();
 
 // Stable small id for the calling thread, used to pick a stripe. The
 // first call from a thread assigns the id (no allocation: plain TLS).

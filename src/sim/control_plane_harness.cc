@@ -1,0 +1,200 @@
+#include "sim/control_plane_harness.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "workload/traffic_gen.h"
+
+namespace ft::sim {
+
+namespace {
+
+topo::ClosConfig clos_cfg(const HarnessConfig& cfg) {
+  topo::ClosConfig c;
+  c.servers_per_rack = cfg.servers_per_rack;
+  c.racks =
+      (cfg.num_endpoints + cfg.servers_per_rack - 1) / cfg.servers_per_rack;
+  c.spines = cfg.spines;
+  c.host_link_bps = cfg.host_link_bps;
+  c.fabric_link_bps = cfg.fabric_link_bps;
+  return c;
+}
+
+std::vector<double> caps_of(const topo::ClosTopology& topo) {
+  std::vector<double> caps;
+  caps.reserve(topo.graph().links().size());
+  for (const auto& l : topo.graph().links()) caps.push_back(l.capacity_bps);
+  return caps;
+}
+
+// splitmix64: derives independent per-agent seeds from the harness seed.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t z = a + 0x9e3779b97f4a7c15ULL * (b + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+ControlPlaneHarness::ControlPlaneHarness(HarnessConfig cfg)
+    : cfg_(cfg),
+      tr_(events_, cfg_.seed),
+      topo_(clos_cfg(cfg_)),
+      alloc_(caps_of(topo_), cfg_.alloc) {
+  FT_CHECK(cfg_.num_endpoints > 0);
+  FT_CHECK(cfg_.num_endpoints <= topo_.num_hosts());
+  tr_.set_default_link(cfg_.link);
+  // Every obs:: timestamp in the process (flight recorder, traces,
+  // metrics) now reads the event queue's clock; the dtor restores.
+  obs::set_clock_override(&tr_.virtual_clock());
+
+  loop_ = std::make_unique<SimLoop>(tr_);
+  svc_ = std::make_unique<net::AllocatorService>(*loop_, alloc_, topo_,
+                                                server_cfg());
+  port_ = svc_->tcp_port();
+  FT_CHECK(port_ > 0);
+
+  const int n = cfg_.num_endpoints;
+  agents_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    net::AgentConfig ac;
+    ac.transport = &tr_;
+    ac.auto_reconnect = true;
+    // Explicit per-agent jitter seed: the default derives from the
+    // object's address, which would break cross-run determinism.
+    ac.reconnect_seed = mix(cfg_.seed, static_cast<std::uint64_t>(i));
+    ac.heartbeat_period_us = cfg_.agent_heartbeat_period_us;
+    ac.peer_timeout_us = cfg_.agent_peer_timeout_us;
+    agents_.push_back(std::make_unique<net::EndpointAgent>(std::move(ac)));
+    agents_.back()->set_rate_callback(
+        [this, i](std::uint32_t key, double /*rate_bps*/,
+                  std::uint16_t code) { note_rate(i, key, code); });
+  }
+
+  // Connection ramp: dials spread uniformly across connect_spread_us so
+  // ten thousand SYNs do not land on one virtual instant.
+  for (int i = 0; i < n; ++i) {
+    const std::int64_t at_us = cfg_.connect_spread_us * i / n;
+    loop_->add_timer(at_us, [this, i] {
+      (void)agents_[static_cast<std::size_t>(i)]->connect_tcp("sim", port_);
+    });
+  }
+
+  // Flowlet arrivals from the Poisson generator, offset behind the
+  // connection ramp; each lands on its source host's agent through the
+  // real flowlet_start batching path.
+  wl::TrafficConfig tc;
+  tc.num_hosts = n;
+  tc.host_link_bps = cfg_.host_link_bps;
+  tc.seed = mix(cfg_.seed, 0xf1071e75ULL);
+  total_flows_ =
+      static_cast<std::size_t>(n) *
+      static_cast<std::size_t>(cfg_.flows_per_endpoint);
+  seen_.assign(total_flows_ + 1, false);
+  wl::TrafficGenerator gen(tc);
+  for (std::size_t k = 0; k < total_flows_; ++k) {
+    const wl::FlowletEvent ev = gen.next();
+    const std::uint32_t key = static_cast<std::uint32_t>(k + 1);
+    const std::int64_t at_us =
+        cfg_.connect_spread_us + ev.start / kMicrosecond;
+    const std::uint32_t hint = static_cast<std::uint32_t>(std::min<
+        std::int64_t>(ev.bytes, std::numeric_limits<std::uint32_t>::max()));
+    loop_->add_timer(at_us, [this, ev, key, hint] {
+      (void)agents_[static_cast<std::size_t>(ev.src_host)]->flowlet_start(
+          key, static_cast<std::uint16_t>(ev.src_host),
+          static_cast<std::uint16_t>(ev.dst_host), hint);
+    });
+  }
+
+  // Poll sweep: index order, every poll_period_us -- the virtual-time
+  // equivalent of each endpoint's poll loop, deterministic by design.
+  loop_->add_periodic(cfg_.poll_period_us, [this] {
+    for (auto& a : agents_) (void)a->poll();
+  });
+}
+
+ControlPlaneHarness::~ControlPlaneHarness() {
+  obs::set_clock_override(nullptr);
+}
+
+net::ServerConfig ControlPlaneHarness::server_cfg() {
+  net::ServerConfig s;
+  s.transport = &tr_;
+  s.tcp_port = port_ > 0 ? port_ : 0;  // rebind the same port on restart
+  s.iteration_period_us = cfg_.iteration_period_us;
+  s.heartbeat_period_us = cfg_.heartbeat_period_us;
+  s.rate_lease_us = cfg_.rate_lease_us;
+  s.peer_timeout_us = cfg_.peer_timeout_us;
+  s.num_shards = 0;  // sim transport is single-threaded by contract
+  return s;
+}
+
+void ControlPlaneHarness::restart_service() {
+  svc_.reset();  // closes every connection, ends every flowlet
+  svc_ = std::make_unique<net::AllocatorService>(*loop_, alloc_, topo_,
+                                                server_cfg());
+  FT_CHECK(svc_->tcp_port() == port_);
+}
+
+void ControlPlaneHarness::note_rate(int agent_idx, std::uint32_t key,
+                                    std::uint16_t code) {
+  if (key < seen_.size() && !seen_[key]) {
+    seen_[key] = true;
+    ++seen_count_;
+  }
+  const auto fnv = [this](std::uint64_t v) {
+    hash_ ^= v;
+    hash_ *= 1099511628211ULL;  // FNV-1a prime
+  };
+  fnv(static_cast<std::uint64_t>(events_.now() / kMicrosecond));
+  fnv(static_cast<std::uint64_t>(agent_idx));
+  fnv(key);
+  fnv(code);
+}
+
+void ControlPlaneHarness::run_for(std::int64_t us) {
+  events_.run_until(events_.now() + us * kMicrosecond);
+}
+
+ConvergeStats ControlPlaneHarness::run_to_convergence() {
+  ConvergeStats out;
+  const Time horizon = cfg_.max_virtual_us * kMicrosecond;
+  std::uint64_t last_updates = svc_->stats().updates_sent;
+  int stable = 0;
+  while (events_.now() < horizon) {
+    events_.run_until(events_.now() +
+                      cfg_.iteration_period_us * kMicrosecond);
+    const net::ServiceStats st = svc_->stats();
+    // Quiet counters alone are not convergence: after a fault (service
+    // restart, reset storm) the service is silent precisely because the
+    // flow set has not been rebuilt yet -- require it whole first.
+    const bool plane_whole =
+        seen_count_ == total_flows_ &&
+        alloc_.num_active_flowlets() == total_flows_;
+    if (plane_whole && st.updates_sent == last_updates) {
+      if (++stable >= cfg_.stable_rounds) {
+        out.converged = true;
+        break;
+      }
+    } else {
+      stable = 0;
+    }
+    last_updates = st.updates_sent;
+  }
+  const net::ServiceStats st = svc_->stats();
+  out.rounds = st.iterations;
+  out.updates_sent = st.updates_sent;
+  out.virtual_us = events_.now() / kMicrosecond;
+  out.events_processed = events_.processed();
+  out.trajectory_hash = hash_;
+  for (const auto& a : agents_) {
+    out.updates_received += a->stats().updates_received;
+  }
+  return out;
+}
+
+}  // namespace ft::sim

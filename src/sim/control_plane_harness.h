@@ -1,0 +1,136 @@
+// ControlPlaneHarness: the real control plane -- one AllocatorService
+// and N real EndpointAgents -- in a single process on virtual time.
+//
+// Nothing here is a mock: the service is the same AllocatorService the
+// daemon runs (inline mode, its allocation rounds on a loop timer), the
+// agents are the same EndpointAgent the endpoints run (auto-reconnect,
+// leases, heartbeats and all), and the wire between them is the same
+// length-prefixed frame stream -- only the transport underneath is
+// sim::SimTransport, so ten thousand endpoints converge in seconds of
+// wall clock and every run with the same seed replays bit-identically.
+//
+// Flowlet churn comes from the wl:: Poisson generator: arrivals are
+// mapped onto their source host's agent and registered through the
+// real flowlet_start batching path at their generated virtual times,
+// staggered behind the agents' connection ramp.
+//
+// The harness doubles as a fault rig: kill_connections() resets every
+// stream at once (reconnect storm on virtual time), restart_service()
+// tears the service down and rebinds the same port (agents replay
+// their flowlets on reconnect), and the transport's drop/black-hole
+// knobs are exposed directly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/allocator.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "sim/event_queue.h"
+#include "sim/sim_transport.h"
+#include "topo/clos.h"
+
+namespace ft::sim {
+
+struct HarnessConfig {
+  int num_endpoints = 10'000;
+  // Mean concurrent flowlets per endpoint; the generator's arrival
+  // count is num_endpoints * flows_per_endpoint.
+  int flows_per_endpoint = 2;
+  // Topology auto-sizing: racks = ceil(num_endpoints / servers_per_rack).
+  int servers_per_rack = 40;
+  int spines = 4;
+  double host_link_bps = 10e9;
+  double fabric_link_bps = 40e9;
+  // Allocation round + agent poll cadence (virtual microseconds).
+  std::int64_t iteration_period_us = 1'000;
+  std::int64_t poll_period_us = 1'000;
+  // Agent dials spread uniformly across this window from t=0.
+  std::int64_t connect_spread_us = 2'000;
+  // Liveness plumbing (0 = off, the bare control plane).
+  std::int64_t heartbeat_period_us = 0;
+  std::int64_t rate_lease_us = 0;
+  std::int64_t peer_timeout_us = 0;
+  std::int64_t agent_heartbeat_period_us = 0;
+  std::int64_t agent_peer_timeout_us = 0;
+  // Endpoint link shaping (every agent<->service stream).
+  SimLinkParams link;
+  std::uint64_t seed = 1;
+  // Converged = every flow saw >= 1 rate update and this many
+  // consecutive rounds emitted none.
+  int stable_rounds = 5;
+  // Safety horizon for run_to_convergence (virtual microseconds).
+  std::int64_t max_virtual_us = 30'000'000;
+  core::AllocatorConfig alloc;
+};
+
+struct ConvergeStats {
+  bool converged = false;
+  std::uint64_t rounds = 0;       // service iterations at convergence
+  std::int64_t virtual_us = 0;    // virtual time at convergence
+  std::uint64_t updates_sent = 0;
+  std::uint64_t updates_received = 0;  // summed over agents
+  std::uint64_t events_processed = 0;
+  // Order-sensitive FNV-1a over every (virtual_us, agent, key, code)
+  // rate application; two same-seed runs must match bit-for-bit.
+  std::uint64_t trajectory_hash = 0;
+};
+
+class ControlPlaneHarness {
+ public:
+  explicit ControlPlaneHarness(HarnessConfig cfg);
+  ~ControlPlaneHarness();
+  ControlPlaneHarness(const ControlPlaneHarness&) = delete;
+  ControlPlaneHarness& operator=(const ControlPlaneHarness&) = delete;
+
+  // Runs until converged or cfg.max_virtual_us; re-entrant (a fault can
+  // be injected between calls and the plane re-converged).
+  ConvergeStats run_to_convergence();
+  // Advances virtual time by `us` unconditionally.
+  void run_for(std::int64_t us);
+
+  // --- fault drills (compose with virtual time) ---
+  // Reset storm: every stream dies; agents enter jittered backoff.
+  void kill_connections() { tr_.kill_all(); }
+  // Tears the service down (flows end, listener closes) and brings a
+  // fresh one up on the same port; agents reconnect and replay.
+  void restart_service();
+  void set_drop_down_frac(double f) { tr_.set_drop_down_frac(f); }
+  void set_black_hole(bool on) { tr_.set_black_hole(on); }
+
+  [[nodiscard]] std::uint64_t trajectory_hash() const { return hash_; }
+  [[nodiscard]] std::int64_t virtual_now_us() const {
+    return events_.now() / kMicrosecond;
+  }
+  [[nodiscard]] net::AllocatorService& service() { return *svc_; }
+  [[nodiscard]] net::EndpointAgent& agent(int i) { return *agents_[i]; }
+  [[nodiscard]] int num_agents() const {
+    return static_cast<int>(agents_.size());
+  }
+  [[nodiscard]] std::size_t total_flows() const { return total_flows_; }
+  [[nodiscard]] std::size_t flows_seen() const { return seen_count_; }
+  [[nodiscard]] SimTransport& transport() { return tr_; }
+  [[nodiscard]] core::Allocator& allocator() { return alloc_; }
+
+ private:
+  void note_rate(int agent_idx, std::uint32_t key, std::uint16_t code);
+  [[nodiscard]] net::ServerConfig server_cfg();
+
+  HarnessConfig cfg_;
+  EventQueue events_;
+  SimTransport tr_;
+  topo::ClosTopology topo_;
+  core::Allocator alloc_;
+  std::unique_ptr<SimLoop> loop_;
+  std::unique_ptr<net::AllocatorService> svc_;
+  std::vector<std::unique_ptr<net::EndpointAgent>> agents_;
+  int port_ = -1;
+  std::size_t total_flows_ = 0;
+  std::size_t seen_count_ = 0;
+  std::vector<bool> seen_;  // by flow key (dense, 1-based)
+  std::uint64_t hash_ = 1469598103934665603ULL;  // FNV-1a offset basis
+};
+
+}  // namespace ft::sim

@@ -8,10 +8,12 @@ void EventQueue::run_until(Time horizon) {
     heap_.pop();
     FT_CHECK(ev.at >= now_);
     now_ = ev.at;
+    if (clock_ != nullptr) clock_->advance_to(now_);
     ++processed_;
     ev.handler->on_event(ev.tag, ev.arg);
   }
   now_ = horizon;
+  if (clock_ != nullptr) clock_->advance_to(now_);
 }
 
 bool EventQueue::step() {
@@ -19,6 +21,7 @@ bool EventQueue::step() {
   const Event ev = heap_.top();
   heap_.pop();
   now_ = ev.at;
+  if (clock_ != nullptr) clock_->advance_to(now_);
   ++processed_;
   ev.handler->on_event(ev.tag, ev.arg);
   return true;

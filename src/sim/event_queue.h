@@ -38,6 +38,14 @@ class EventQueue {
   [[nodiscard]] std::size_t pending() const { return heap_.size(); }
   [[nodiscard]] std::uint64_t processed() const { return processed_; }
 
+  // Mirrors queue time onto `clock` (advanced before each dispatch and
+  // at run_until horizons), so components reading a ft::Clock see
+  // virtual time move as events fire. Null detaches.
+  void bind_clock(VirtualClock* clock) {
+    clock_ = clock;
+    if (clock_ != nullptr) clock_->advance_to(now_);
+  }
+
   // Runs events with time <= horizon; leaves now() == horizon.
   void run_until(Time horizon);
 
@@ -64,6 +72,7 @@ class EventQueue {
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;
+  VirtualClock* clock_ = nullptr;
 };
 
 }  // namespace ft::sim

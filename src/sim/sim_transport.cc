@@ -1,0 +1,525 @@
+#include "sim/sim_transport.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.h"
+#include "net/frame.h"
+
+namespace ft::sim {
+namespace {
+
+// Event tags. SimTransport and SimLoop are separate EventHandlers, so
+// the tag spaces are independent; these are SimTransport's.
+constexpr std::uint32_t kTagDeliver = 1;
+constexpr std::uint32_t kTagNotify = 2;
+constexpr std::uint32_t kTagConnect = 3;
+constexpr std::uint32_t kTagFin = 4;
+// SimLoop's single tag.
+constexpr std::uint32_t kTagTimer = 1;
+
+constexpr std::uint64_t pack_connect(int listener, int server_handle) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(listener))
+          << 32) |
+         static_cast<std::uint32_t>(server_handle);
+}
+
+std::uint32_t get_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+SimTransport::SimTransport(EventQueue& events, std::uint64_t seed)
+    : events_(events), rng_(seed) {
+  events_.bind_clock(&clock_);
+}
+
+SimTransport::~SimTransport() { events_.bind_clock(nullptr); }
+
+int SimTransport::listen_tcp(int port, bool /*listen_any*/,
+                             int* bound_port) {
+  if (port == 0) port = next_ephemeral_port_++;
+  if (tcp_binds_.contains(port)) {
+    errno = EADDRINUSE;
+    return -1;
+  }
+  const int h = next_handle_++;
+  Listener l;
+  l.port = port;
+  listeners_.emplace(h, std::move(l));
+  tcp_binds_.emplace(port, h);
+  if (bound_port != nullptr) *bound_port = port;
+  return h;
+}
+
+int SimTransport::listen_unix(const std::string& path) {
+  // Mirrors unix_listen: rebinding an existing path steals it.
+  unix_binds_.erase(path);
+  const int h = next_handle_++;
+  Listener l;
+  l.path = path;
+  listeners_.emplace(h, std::move(l));
+  unix_binds_.emplace(path, h);
+  return h;
+}
+
+int SimTransport::connect_tcp(const std::string& /*host*/, int port) {
+  const auto it = tcp_binds_.find(port);
+  if (it == tcp_binds_.end()) {
+    next_dial_link_set_ = false;
+    errno = ECONNREFUSED;
+    return -1;
+  }
+  return dial(it->second);
+}
+
+int SimTransport::connect_unix(const std::string& path) {
+  const auto it = unix_binds_.find(path);
+  if (it == unix_binds_.end()) {
+    next_dial_link_set_ = false;
+    errno = ECONNREFUSED;
+    return -1;
+  }
+  return dial(it->second);
+}
+
+int SimTransport::dial(int listener_handle) {
+  const SimLinkParams link =
+      next_dial_link_set_ ? next_dial_link_ : default_link_;
+  next_dial_link_set_ = false;
+  const int ch = next_handle_++;
+  const int sh = next_handle_++;
+  Stream client;
+  client.peer = sh;
+  client.link = link;
+  Stream server;
+  server.peer = ch;
+  server.server_side = true;
+  server.link = link;
+  streams_.emplace(ch, std::move(client));
+  streams_.emplace(sh, std::move(server));
+  ++stats_.conns_opened;
+  // The SYN reaches the listener one propagation delay from now; any
+  // bytes the client writes meanwhile arrive behind it.
+  events_.schedule(events_.now() + link.latency_us * kMicrosecond, this,
+                   kTagConnect, pack_connect(listener_handle, sh));
+  return ch;
+}
+
+int SimTransport::accept(int listen_handle) {
+  const auto it = listeners_.find(listen_handle);
+  FT_CHECK(it != listeners_.end());
+  if (it->second.backlog.empty()) {
+    errno = EAGAIN;
+    return -1;
+  }
+  const int sh = it->second.backlog.front();
+  it->second.backlog.pop_front();
+  return sh;
+}
+
+std::int64_t SimTransport::read(int handle, void* buf, std::size_t len) {
+  const auto it = streams_.find(handle);
+  FT_CHECK(it != streams_.end());
+  Stream& s = it->second;
+  if (s.reset) {
+    errno = ECONNRESET;
+    return -1;
+  }
+  const std::size_t avail = s.inbox.size() - s.inbox_off;
+  if (avail > 0) {
+    const std::size_t n = std::min(len, avail);
+    std::memcpy(buf, s.inbox.data() + s.inbox_off, n);
+    s.inbox_off += n;
+    if (s.inbox_off == s.inbox.size()) {
+      s.inbox.clear();
+      s.inbox_off = 0;
+    }
+    // Reading freed receive-window space: the peer may be write-blocked.
+    if (streams_.contains(s.peer)) request_notify(s.peer);
+    return static_cast<std::int64_t>(n);
+  }
+  if (s.peer_closed && s.in_flight == 0) return 0;  // clean EOF
+  errno = EAGAIN;
+  return -1;
+}
+
+std::int64_t SimTransport::write(int handle, const void* buf,
+                                 std::size_t len) {
+  const auto it = streams_.find(handle);
+  FT_CHECK(it != streams_.end());
+  Stream& s = it->second;
+  if (s.reset || s.peer_closed) {
+    errno = EPIPE;
+    return -1;
+  }
+  const auto pit = streams_.find(s.peer);
+  if (pit == streams_.end()) {
+    errno = EPIPE;
+    return -1;
+  }
+  Stream& peer = pit->second;
+  const auto pending = static_cast<std::int64_t>(peer.inbox.size() -
+                                                 peer.inbox_off) +
+                       peer.in_flight;
+  const auto space =
+      static_cast<std::int64_t>(stream_buf_bytes_) - pending;
+  if (space <= 0) {
+    errno = EAGAIN;
+    return -1;
+  }
+  const std::size_t n =
+      std::min(len, static_cast<std::size_t>(space));
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  if (black_hole_) {
+    stats_.bytes_blackholed += static_cast<std::int64_t>(n);
+    return static_cast<std::int64_t>(n);
+  }
+  if (s.server_side && drop_down_frac_ > 0.0 && !s.raw_mode) {
+    s.down_parse.insert(s.down_parse.end(), p, p + n);
+    sieve_and_send(s);
+  } else {
+    send_segment(s, std::vector<std::uint8_t>(p, p + n));
+  }
+  return static_cast<std::int64_t>(n);
+}
+
+void SimTransport::send_segment(Stream& from,
+                                std::vector<std::uint8_t> data) {
+  if (data.empty()) return;
+  const auto pit = streams_.find(from.peer);
+  if (pit == streams_.end() || !pit->second.open) return;  // discarded
+  const Time start = std::max(events_.now(), from.link_free_at);
+  from.link_free_at =
+      start + tx_time(static_cast<std::int64_t>(data.size()),
+                      from.link.bandwidth_bps);
+  const Time arrive =
+      from.link_free_at + from.link.latency_us * kMicrosecond;
+  pit->second.in_flight += static_cast<std::int64_t>(data.size());
+  const std::uint64_t id = next_segment_++;
+  segments_.emplace(id, Segment{from.peer, std::move(data)});
+  events_.schedule(arrive, this, kTagDeliver, id);
+}
+
+void SimTransport::sieve_and_send(Stream& from) {
+  // FaultJail's sieve on virtual time: cut complete length-prefixed
+  // frames, roll the seeded die per frame, forward survivors. An
+  // unframeable stream falls back to verbatim forwarding.
+  std::size_t off = 0;
+  std::vector<std::uint8_t> out;
+  while (from.down_parse.size() - off >= net::kFrameHeaderBytes) {
+    const std::size_t payload_len = get_le32(&from.down_parse[off]);
+    if (payload_len == 0 || payload_len > net::kMaxFramePayload) {
+      from.raw_mode = true;
+      out.insert(out.end(), from.down_parse.begin() +
+                                static_cast<std::ptrdiff_t>(off),
+                 from.down_parse.end());
+      from.down_parse.clear();
+      send_segment(from, std::move(out));
+      return;
+    }
+    const std::size_t total = net::kFrameHeaderBytes + payload_len;
+    if (from.down_parse.size() - off < total) break;
+    ++stats_.frames_down;
+    if (rng_.uniform() < drop_down_frac_) {
+      ++stats_.frames_dropped;
+    } else {
+      out.insert(
+          out.end(),
+          from.down_parse.begin() + static_cast<std::ptrdiff_t>(off),
+          from.down_parse.begin() +
+              static_cast<std::ptrdiff_t>(off + total));
+    }
+    off += total;
+  }
+  from.down_parse.erase(
+      from.down_parse.begin(),
+      from.down_parse.begin() + static_cast<std::ptrdiff_t>(off));
+  send_segment(from, std::move(out));
+}
+
+void SimTransport::close(int handle) {
+  const auto lit = listeners_.find(handle);
+  if (lit != listeners_.end()) {
+    // Pending, never-accepted connections die with the listener.
+    for (const int sh : lit->second.backlog) close(sh);
+    if (lit->second.port >= 0) tcp_binds_.erase(lit->second.port);
+    if (!lit->second.path.empty()) {
+      const auto bit = unix_binds_.find(lit->second.path);
+      if (bit != unix_binds_.end() && bit->second == handle) {
+        unix_binds_.erase(bit);
+      }
+    }
+    listeners_.erase(lit);
+    return;
+  }
+  const auto it = streams_.find(handle);
+  if (it == streams_.end()) return;
+  Stream& s = it->second;
+  if (!s.open) return;
+  s.open = false;
+  s.watch = Watch{};
+  const auto pit = streams_.find(s.peer);
+  if (pit != streams_.end() && pit->second.open && !pit->second.reset) {
+    // FIN ordering: it arrives behind every byte already written.
+    const Time at = std::max(events_.now(), s.link_free_at) +
+                    s.link.latency_us * kMicrosecond;
+    events_.schedule(at, this, kTagFin,
+                     static_cast<std::uint64_t>(
+                         static_cast<std::uint32_t>(s.peer)));
+  }
+  maybe_erase_pair(handle);
+}
+
+void SimTransport::maybe_erase_pair(int handle) {
+  const auto it = streams_.find(handle);
+  if (it == streams_.end() || it->second.open) return;
+  const auto pit = streams_.find(it->second.peer);
+  if (pit != streams_.end() && pit->second.open) return;
+  if (pit != streams_.end()) streams_.erase(pit);
+  streams_.erase(handle);
+}
+
+void SimTransport::unlink_path(const std::string& path) {
+  // ::unlink removes the name binding; an already-open listener keeps
+  // serving, which the bind map can't express -- by this point the
+  // listener is closed (service teardown order), so just drop the name.
+  unix_binds_.erase(path);
+}
+
+void SimTransport::kill_all() {
+  // Ordered map: victims reset in handle order on every run.
+  for (auto& [h, s] : streams_) {
+    if (s.reset || !s.open) continue;
+    s.reset = true;
+    if (!s.server_side) ++stats_.conns_reset;
+    request_notify(h);
+  }
+}
+
+SimTransport::Watch* SimTransport::watch_of(int handle) {
+  const auto it = streams_.find(handle);
+  if (it != streams_.end()) return &it->second.watch;
+  const auto lit = listeners_.find(handle);
+  if (lit != listeners_.end()) return &lit->second.watch;
+  return nullptr;
+}
+
+std::uint32_t SimTransport::ready_mask(int handle) const {
+  const auto lit = listeners_.find(handle);
+  if (lit != listeners_.end()) {
+    const std::uint32_t m =
+        lit->second.backlog.empty() ? 0 : net::kEvRead;
+    return m & lit->second.watch.interest;
+  }
+  const auto it = streams_.find(handle);
+  if (it == streams_.end()) return 0;
+  const Stream& s = it->second;
+  std::uint32_t m = 0;
+  if (s.reset) {
+    m = net::kEvRead | net::kEvErr | net::kEvHup;
+  } else {
+    if (s.inbox.size() - s.inbox_off > 0 ||
+        (s.peer_closed && s.in_flight == 0)) {
+      m |= net::kEvRead;
+    }
+    if (!s.peer_closed) {
+      const auto pit = streams_.find(s.peer);
+      if (pit != streams_.end()) {
+        const auto pending =
+            static_cast<std::int64_t>(pit->second.inbox.size() -
+                                      pit->second.inbox_off) +
+            pit->second.in_flight;
+        if (pending < static_cast<std::int64_t>(stream_buf_bytes_)) {
+          m |= net::kEvWrite;
+        }
+      }
+    }
+  }
+  // Like epoll: ERR/HUP are always reported, everything else only on
+  // interest.
+  return m & (s.watch.interest | net::kEvErr | net::kEvHup);
+}
+
+void SimTransport::request_notify(int handle) {
+  Watch* w = watch_of(handle);
+  if (w == nullptr || w->loop == nullptr || w->notify_pending) return;
+  if (ready_mask(handle) == 0) return;
+  w->notify_pending = true;
+  events_.schedule(events_.now(), this, kTagNotify,
+                   static_cast<std::uint64_t>(
+                       static_cast<std::uint32_t>(handle)));
+}
+
+void SimTransport::on_event(std::uint32_t tag, std::uint64_t arg) {
+  switch (tag) {
+    case kTagDeliver: {
+      auto node = segments_.extract(arg);
+      if (node.empty()) return;
+      Segment& seg = node.mapped();
+      const auto it = streams_.find(seg.dst);
+      if (it == streams_.end()) return;
+      Stream& dst = it->second;
+      dst.in_flight -= static_cast<std::int64_t>(seg.data.size());
+      if (!dst.open || dst.reset) return;  // bytes die at a closed door
+      dst.inbox.insert(dst.inbox.end(), seg.data.begin(),
+                       seg.data.end());
+      stats_.bytes_delivered += static_cast<std::int64_t>(seg.data.size());
+      request_notify(seg.dst);
+      // The sender's write-space shrank then grew back as this segment
+      // left the window; if the *reader's* peer is write-blocked it
+      // wakes when the reader drains (see read()).
+      return;
+    }
+    case kTagNotify: {
+      const int handle = static_cast<int>(static_cast<std::uint32_t>(arg));
+      Watch* w = watch_of(handle);
+      if (w == nullptr) return;
+      w->notify_pending = false;
+      if (w->loop == nullptr) return;
+      const std::uint32_t mask = ready_mask(handle);
+      if (mask == 0) return;
+      // Copy: the callback may del_fd (and so destroy) its own watch.
+      const net::IoLoop::FdCallback cb = w->cb;
+      cb(mask);
+      return;
+    }
+    case kTagConnect: {
+      const int listener = static_cast<int>(arg >> 32);
+      const int sh = static_cast<int>(static_cast<std::uint32_t>(arg));
+      const auto sit = streams_.find(sh);
+      if (sit == streams_.end()) return;
+      const auto lit = listeners_.find(listener);
+      if (lit == listeners_.end()) {
+        // Listener closed while the SYN was in flight: refuse late.
+        sit->second.reset = true;
+        const auto pit = streams_.find(sit->second.peer);
+        if (pit != streams_.end()) {
+          pit->second.reset = true;
+          request_notify(sit->second.peer);
+        }
+        return;
+      }
+      lit->second.backlog.push_back(sh);
+      request_notify(listener);
+      return;
+    }
+    case kTagFin: {
+      const int handle = static_cast<int>(static_cast<std::uint32_t>(arg));
+      const auto it = streams_.find(handle);
+      if (it == streams_.end()) return;
+      it->second.peer_closed = true;
+      request_notify(handle);
+      return;
+    }
+    default:
+      FT_CHECK(false);
+  }
+}
+
+std::unique_ptr<net::IoLoop> SimTransport::make_loop() {
+  return std::make_unique<SimLoop>(*this);
+}
+
+// --- SimLoop ---
+
+SimLoop::~SimLoop() {
+  // Watches must not outlive the loop they dispatch into.
+  for (const auto& [fd, _] : fds_) {
+    if (SimTransport::Watch* w = tr_.watch_of(fd)) {
+      if (w->loop == this) *w = SimTransport::Watch{};
+    }
+  }
+}
+
+void SimLoop::add_fd(int fd, std::uint32_t events, FdCallback cb) {
+  SimTransport::Watch* w = tr_.watch_of(fd);
+  FT_CHECK(w != nullptr);
+  FT_CHECK(w->loop == nullptr);
+  w->loop = this;
+  w->cb = std::move(cb);
+  w->interest = events;
+  fds_.emplace(fd, true);
+  tr_.request_notify(fd);
+}
+
+void SimLoop::mod_fd(int fd, std::uint32_t events) {
+  SimTransport::Watch* w = tr_.watch_of(fd);
+  FT_CHECK(w != nullptr && w->loop == this);
+  w->interest = events;
+  tr_.request_notify(fd);
+}
+
+void SimLoop::del_fd(int fd) {
+  if (SimTransport::Watch* w = tr_.watch_of(fd)) {
+    if (w->loop == this) *w = SimTransport::Watch{};
+  }
+  fds_.erase(fd);
+}
+
+net::IoLoop::TimerId SimLoop::add_timer(std::int64_t delay_us,
+                                        TimerCallback cb) {
+  const TimerId id = next_timer_id_++;
+  timers_.emplace(id, Timer{std::move(cb), 0});
+  tr_.events().schedule(
+      tr_.events().now() + std::max<std::int64_t>(delay_us, 0) *
+                               kMicrosecond,
+      this, kTagTimer, id);
+  return id;
+}
+
+net::IoLoop::TimerId SimLoop::add_periodic(std::int64_t period_us,
+                                           TimerCallback cb) {
+  FT_CHECK(period_us > 0);
+  const TimerId id = next_timer_id_++;
+  timers_.emplace(id, Timer{std::move(cb), period_us});
+  tr_.events().schedule(tr_.events().now() + period_us * kMicrosecond,
+                        this, kTagTimer, id);
+  return id;
+}
+
+void SimLoop::cancel_timer(TimerId id) { timers_.erase(id); }
+
+void SimLoop::on_event(std::uint32_t tag, std::uint64_t arg) {
+  FT_CHECK(tag == kTagTimer);
+  const auto it = timers_.find(arg);
+  if (it == timers_.end()) return;  // cancelled; stale event
+  if (it->second.period_us > 0) {
+    // Re-arm first (fixed period from the previous deadline): the
+    // callback may cancel_timer, which then kills the re-armed firing
+    // through the map lookup above.
+    tr_.events().schedule(
+        tr_.events().now() + it->second.period_us * kMicrosecond, this,
+        kTagTimer, arg);
+    const TimerCallback cb = it->second.cb;
+    cb();
+    return;
+  }
+  const TimerCallback cb = std::move(it->second.cb);
+  timers_.erase(it);
+  cb();
+}
+
+int SimLoop::run_once(std::int64_t max_wait_us) {
+  EventQueue& q = tr_.events();
+  const std::uint64_t before = q.processed();
+  if (max_wait_us < 0) {
+    // "Wait without cap": advance to the next event, if any.
+    q.step();
+  } else {
+    q.run_until(q.now() + max_wait_us * kMicrosecond);
+  }
+  return static_cast<int>(q.processed() - before);
+}
+
+void SimLoop::run() {
+  stop_ = false;
+  while (!stop_ && tr_.events().step()) {
+  }
+}
+
+}  // namespace ft::sim

@@ -1,0 +1,229 @@
+// SimTransport: the net::Transport seam backed by the discrete-event
+// queue instead of the kernel.
+//
+// Handles are table ids over in-memory duplex streams. A write is cut
+// into delivery events on the shared sim::EventQueue: bytes leave the
+// writer no faster than the stream's configured bandwidth (a
+// serialization cursor per direction, exactly like sim::Link) and land
+// in the peer's inbox one configured latency later. Readiness is
+// delivered through SimLoop -- an IoLoop whose timers and fd callbacks
+// are all queue events -- so the *real* AllocatorService and
+// EndpointAgent run unmodified on virtual time: a 10k-endpoint
+// control plane converges in seconds of wall clock, and two runs with
+// the same seed replay bit-identically (single thread, seeded RNG,
+// seq-ordered event ties, ordered handle maps).
+//
+// FaultJail-style faults compose with virtual time natively:
+//   - set_drop_down_frac: a seeded fraction of service->agent *frames*
+//     vanish in flight (whole frames, never mid-record, via the same
+//     length-prefix sieve FaultJail uses, so parsers keep working);
+//   - set_black_hole: writes succeed but bytes evaporate (the silent
+//     partition leases exist for);
+//   - kill_all: every established stream resets at once -- reads give
+//     ECONNRESET, writes EPIPE -- driving agents into reconnect backoff
+//     (a virtual-time reconnect storm).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "net/transport.h"
+#include "sim/event_queue.h"
+
+namespace ft::sim {
+
+// Per-stream shaping (one instance per direction).
+struct SimLinkParams {
+  std::int64_t latency_us = 5;
+  double bandwidth_bps = 10e9;
+};
+
+struct SimTransportStats {
+  std::uint64_t conns_opened = 0;
+  std::uint64_t conns_reset = 0;     // kill_all victims
+  std::uint64_t frames_down = 0;     // frames sieved on drop-enabled dirs
+  std::uint64_t frames_dropped = 0;  // of those, injected drops
+  std::int64_t bytes_delivered = 0;
+  std::int64_t bytes_blackholed = 0;
+};
+
+class SimLoop;
+
+class SimTransport final : public net::Transport, public EventHandler {
+ public:
+  explicit SimTransport(EventQueue& events, std::uint64_t seed = 1);
+  ~SimTransport() override;
+  SimTransport(const SimTransport&) = delete;
+  SimTransport& operator=(const SimTransport&) = delete;
+
+  // --- net::Transport ---
+  [[nodiscard]] Clock& clock() override { return clock_; }
+  int connect_tcp(const std::string& host, int port) override;
+  int connect_unix(const std::string& path) override;
+  int listen_tcp(int port, bool listen_any, int* bound_port) override;
+  int listen_unix(const std::string& path) override;
+  int accept(int listen_handle) override;
+  [[nodiscard]] std::int64_t read(int handle, void* buf,
+                                  std::size_t len) override;
+  [[nodiscard]] std::int64_t write(int handle, const void* buf,
+                                   std::size_t len) override;
+  void close(int handle) override;
+  void set_nodelay(int /*handle*/) override {}
+  void set_sndbuf(int /*handle*/, int /*bytes*/) override {}
+  void unlink_path(const std::string& path) override;
+  [[nodiscard]] std::unique_ptr<net::IoLoop> make_loop() override;
+  [[nodiscard]] bool supports_threads() const override { return false; }
+
+  // --- configuration ---
+  // Default shaping for both directions of future connections.
+  void set_default_link(const SimLinkParams& p) { default_link_ = p; }
+  // One-shot override for the next connect_* call (per-endpoint
+  // heterogeneous links without threading params through AgentConfig).
+  void set_next_dial_link(const SimLinkParams& p) {
+    next_dial_link_ = p;
+    next_dial_link_set_ = true;
+  }
+  // Bytes a stream direction may hold un-read + in flight before writes
+  // return EAGAIN (the SO_SNDBUF/receive-window analogue).
+  void set_stream_buf_bytes(std::size_t n) { stream_buf_bytes_ = n; }
+
+  // --- faults ---
+  // Fraction of frames written by *accept-side* handles (service ->
+  // agent) silently dropped, whole frames at a time.
+  void set_drop_down_frac(double f) { drop_down_frac_ = f; }
+  void set_black_hole(bool on) { black_hole_ = on; }
+  // Reset storm: every established stream dies now (ECONNRESET/EPIPE);
+  // listeners survive so re-dials succeed.
+  void kill_all();
+
+  [[nodiscard]] const SimTransportStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t num_streams() const { return streams_.size(); }
+  [[nodiscard]] EventQueue& events() { return events_; }
+  [[nodiscard]] VirtualClock& virtual_clock() { return clock_; }
+
+  // EventHandler: delivery / readiness / backlog events.
+  void on_event(std::uint32_t tag, std::uint64_t arg) override;
+
+ private:
+  friend class SimLoop;
+
+  struct Watch {
+    SimLoop* loop = nullptr;
+    net::IoLoop::FdCallback cb;
+    std::uint32_t interest = 0;
+    bool notify_pending = false;
+  };
+
+  struct Stream {
+    int peer = -1;
+    bool server_side = false;  // created by accept (service end)
+    bool open = true;          // close() not yet called locally
+    bool peer_closed = false;  // peer's FIN arrived
+    bool reset = false;        // kill_all victim
+    std::vector<std::uint8_t> inbox;
+    std::size_t inbox_off = 0;
+    std::int64_t in_flight = 0;  // bytes scheduled toward this inbox
+    Time link_free_at = 0;       // serialization cursor for *our* writes
+    SimLinkParams link;
+    // Frame sieve state for drop injection (server-side writers only).
+    std::vector<std::uint8_t> down_parse;
+    bool raw_mode = false;
+    Watch watch;
+  };
+
+  struct Listener {
+    std::deque<int> backlog;  // server-side handles awaiting accept()
+    int port = -1;            // -1 for unix listeners
+    std::string path;
+    Watch watch;
+  };
+
+  struct Segment {
+    int dst = -1;
+    std::vector<std::uint8_t> data;
+  };
+
+  int dial(int listener_handle);
+  // Schedules `data` from stream `from` toward its peer.
+  void send_segment(Stream& from, std::vector<std::uint8_t> data);
+  // Cuts whole frames out of from.down_parse, rolling the drop die.
+  void sieve_and_send(Stream& from);
+  [[nodiscard]] std::uint32_t ready_mask(int handle) const;
+  // Schedules a readiness dispatch if the handle is watched, ready and
+  // none is pending.
+  void request_notify(int handle);
+  void maybe_erase_pair(int handle);
+  [[nodiscard]] Watch* watch_of(int handle);
+
+  EventQueue& events_;
+  VirtualClock clock_;
+  Rng rng_;
+  SimLinkParams default_link_;
+  SimLinkParams next_dial_link_;
+  bool next_dial_link_set_ = false;
+  std::size_t stream_buf_bytes_ = 1 << 20;
+  double drop_down_frac_ = 0.0;
+  bool black_hole_ = false;
+  SimTransportStats stats_;
+
+  int next_handle_ = 1;
+  std::uint64_t next_segment_ = 1;
+  // Ordered maps: kill_all and teardown iterate them, and determinism
+  // must not depend on hash-table layout.
+  std::map<int, Stream> streams_;
+  std::map<int, Listener> listeners_;
+  std::unordered_map<int, int> tcp_binds_;  // port -> listener handle
+  std::unordered_map<std::string, int> unix_binds_;
+  std::unordered_map<std::uint64_t, Segment> segments_;
+  int next_ephemeral_port_ = 40000;
+};
+
+// IoLoop over the shared EventQueue: timers are queue events, fd
+// readiness arrives from SimTransport. run_once(max_wait) advances
+// virtual time by up to max_wait microseconds (never busy-waits);
+// run() drains until stop() or the queue empties.
+class SimLoop final : public net::IoLoop, public EventHandler {
+ public:
+  explicit SimLoop(SimTransport& tr) : tr_(tr) {}
+  ~SimLoop() override;
+
+  void add_fd(int fd, std::uint32_t events, FdCallback cb) override;
+  void mod_fd(int fd, std::uint32_t events) override;
+  void del_fd(int fd) override;
+  [[nodiscard]] bool watching(int fd) const override {
+    return fds_.contains(fd);
+  }
+  TimerId add_timer(std::int64_t delay_us, TimerCallback cb) override;
+  TimerId add_periodic(std::int64_t period_us, TimerCallback cb) override;
+  void cancel_timer(TimerId id) override;
+  using net::IoLoop::run_once;
+  int run_once(std::int64_t max_wait_us) override;
+  void run() override;
+  void stop() override { stop_ = true; }
+  void bind_metrics(obs::MetricsRegistry& /*reg*/,
+                    std::string_view /*prefix*/) override {}
+
+  // EventHandler: timer firings.
+  void on_event(std::uint32_t tag, std::uint64_t arg) override;
+
+ private:
+  struct Timer {
+    TimerCallback cb;
+    std::int64_t period_us = 0;  // 0 = one-shot
+  };
+
+  SimTransport& tr_;
+  std::unordered_map<int, bool> fds_;  // handles registered via this loop
+  std::unordered_map<TimerId, Timer> timers_;
+  TimerId next_timer_id_ = 1;
+  bool stop_ = false;
+};
+
+}  // namespace ft::sim

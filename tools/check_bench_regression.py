@@ -39,8 +39,19 @@ LOWER_SUFFIXES = ("_us", "_ns", "ns_per_iter")
 # is meaningless; the drill's tracked numbers are reconnect_p50_us/
 # reconnect_p99_us/reconverge_us, which are dominated by the seeded
 # backoff schedule and stay comparable across runs.
+# virtual_over_wall_speedup divides deterministic virtual time by this
+# machine's wall time, so it tracks runner speed, not the code; the
+# deterministic sim_* metrics next to it are what the gate watches.
 IGNORED_KEYS = {"hardware_concurrency", "git_sha", "stall_us",
-                "stall_every_rounds", "sample_every", "reclaim_us"}
+                "stall_every_rounds", "sample_every", "reclaim_us",
+                "virtual_over_wall_speedup"}
+
+# Metrics from the virtual-time harness (bench_sim_scale) are exact
+# functions of (seed, config) -- identical on every machine -- so they
+# get a much tighter band than the wall-clock benches: any drift is a
+# real behaviour change, not runner noise.
+SIM_PREFIX = "sim_"
+SIM_TOLERANCE = 0.05
 
 
 def metric_direction(key):
@@ -53,7 +64,14 @@ def metric_direction(key):
     for suffix in LOWER_SUFFIXES:
         if key.endswith(suffix):
             return -1
+    if key.startswith(SIM_PREFIX):
+        return -1  # rounds / messages / events to converge: lower wins
     return 0
+
+
+def metric_tolerance(key, default):
+    """Per-key band: deterministic sim_* metrics are held tight."""
+    return SIM_TOLERANCE if key.startswith(SIM_PREFIX) else default
 
 
 # Keys identifying which sweep configuration a list entry came from.
@@ -121,9 +139,10 @@ def compare_file(name, baseline, fresh, tolerance):
             f"{fresh_val:.6g} ({'+' if goodness >= 1 else ''}"
             f"{(goodness - 1) * 100:.1f}%)"
         )
-        if goodness < 1.0 - tolerance:
+        tol = metric_tolerance(key, tolerance)
+        if goodness < 1.0 - tol:
             regressions.append(line)
-        elif goodness > 1.0 + tolerance:
+        elif goodness > 1.0 + tol:
             improvements.append(line)
     return regressions, improvements, skipped
 
