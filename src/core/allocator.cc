@@ -19,6 +19,7 @@ struct Allocator::Metrics {
   obs::Counter& iterations;
   obs::Counter& updates_emitted;
   obs::Counter& updates_suppressed;
+  obs::Counter& updates_refreshed;
   obs::LatencyHisto& solve_us;  // backend solve + normalize per round
   obs::LatencyHisto& emit_us;   // thresholded emission sweep per round
 
@@ -28,6 +29,7 @@ struct Allocator::Metrics {
         iterations(reg.counter("core.iterations")),
         updates_emitted(reg.counter("core.updates_emitted")),
         updates_suppressed(reg.counter("core.updates_suppressed")),
+        updates_refreshed(reg.counter("core.updates_refreshed")),
         solve_us(reg.histo("core.solve_us")),
         emit_us(reg.histo("core.emit_us")) {}
 };
@@ -66,6 +68,7 @@ AllocatorStats Allocator::stats() const {
   s.iterations = m_->iterations.value();
   s.updates_emitted = m_->updates_emitted.value();
   s.updates_suppressed = m_->updates_suppressed.value();
+  s.updates_refreshed = m_->updates_refreshed.value();
   return s;
 }
 
@@ -146,6 +149,10 @@ void Allocator::run_iteration(std::vector<RateUpdate>& out) {
   // once per round: the 100k-flow emission sweep stays atomics-free.
   std::uint64_t emitted = 0;
   std::uint64_t suppressed = 0;
+  std::uint64_t refreshed = 0;
+  const std::uint64_t round = ++round_seq_;
+  const auto refresh_n = static_cast<std::uint64_t>(
+      cfg_.refresh_rounds > 0 ? cfg_.refresh_rounds : 0);
   for (std::size_t s = 0; s < slots; ++s) {
     if (len[s] == 0) continue;
     const double rate = norm_rates[s];
@@ -153,10 +160,15 @@ void Allocator::run_iteration(std::vector<RateUpdate>& out) {
     const bool first = last < 0.0;
     // Notify when the rate moved by more than the threshold relative to
     // the last notified value (both directions), or on first allocation.
-    const bool notify =
+    const bool organic =
         first || rate > last * (1.0 + cfg_.threshold) ||
         rate < last * (1.0 - cfg_.threshold);
-    if (!notify) {
+    // Anti-entropy: this slot's staggered turn to be re-emitted past
+    // the filter, repairing any update the delivery layer lost (see
+    // AllocatorConfig::refresh_rounds).
+    const bool refresh =
+        !organic && refresh_n != 0 && (round + s) % refresh_n == 0;
+    if (!organic && !refresh) {
       ++suppressed;
       continue;
     }
@@ -167,11 +179,13 @@ void Allocator::run_iteration(std::vector<RateUpdate>& out) {
     out.push_back(u);
     last_notified_[s] = u.rate_bps;
     ++emitted;
+    if (refresh) ++refreshed;
   }
   const std::int64_t t2 = obs::now_ns();
   m_->emit_us.record_signed((t2 - t1) / 1000);
   m_->updates_emitted.add(emitted);
   m_->updates_suppressed.add(suppressed);
+  m_->updates_refreshed.add(refreshed);
   stamps_.solve_start_ns = t0;
   stamps_.solve_end_ns = t1;
   stamps_.emit_end_ns = t2;

@@ -39,6 +39,16 @@ struct RateUpdate {
 struct AllocatorConfig {
   double gamma = 0.4;           // paper §6.2
   double threshold = 0.01;      // notification threshold (§6.4)
+  // Anti-entropy for lossy delivery layers (0 = off). The threshold
+  // filter tracks the last rate *emitted*, not what the agent actually
+  // received: if a delivery layer drops an update and the rate then
+  // stays inside the threshold band, the flow is never re-notified and
+  // the agent holds the stale rate for as long as heartbeats keep its
+  // lease alive. With refresh_rounds = N, slot s is re-emitted on every
+  // round where (round + s) % N == 0 regardless of the filter, so a
+  // lost update is repaired within N rounds and the per-round overhead
+  // is a flat active/N updates (staggered, never a burst).
+  int refresh_rounds = 0;
   NormKind norm = NormKind::kPerFlow;  // F-NORM
   int iters_per_round = 1;
   Utility default_util = Utility::log_utility();
@@ -58,6 +68,10 @@ struct AllocatorStats {
   std::uint64_t iterations = 0;
   std::uint64_t updates_emitted = 0;
   std::uint64_t updates_suppressed = 0;
+  // Of updates_emitted, how many were anti-entropy re-emissions (the
+  // threshold filter alone would have suppressed them). emitted minus
+  // refreshed is the "organic" update stream -- the convergence signal.
+  std::uint64_t updates_refreshed = 0;
 };
 
 class Allocator {
@@ -163,6 +177,7 @@ class Allocator {
   FlatMap64<FlowIndex> key_to_slot_;
   std::vector<std::uint64_t> slot_to_key_;
   std::vector<double> last_notified_;  // per slot; <0 = never notified
+  std::uint64_t round_seq_ = 0;        // run_iteration count (refresh stagger)
   RoundStamps stamps_;
 };
 

@@ -59,6 +59,7 @@ std::array<std::uint8_t, kRateUpdateBytes> encode(const RateUpdateMsg& m) {
   std::array<std::uint8_t, kRateUpdateBytes> buf{};
   put32(&buf[0], m.flow_key);
   put16(&buf[4], m.rate_code);
+  put16(&buf[6], m.epoch);
   return buf;
 }
 
@@ -76,6 +77,7 @@ std::array<std::uint8_t, kHeartbeatBytes> encode(const HeartbeatMsg& m) {
   std::array<std::uint8_t, kHeartbeatBytes> buf{};
   put64(&buf[0], static_cast<std::uint64_t>(m.t_send_ns));
   put32(&buf[8], m.lease_us);
+  put16(&buf[12], m.epoch);
   return buf;
 }
 
@@ -104,6 +106,7 @@ std::optional<RateUpdateMsg> try_decode_rate_update(
   RateUpdateMsg m;
   m.flow_key = get32(&buf[0]);
   m.rate_code = get16(&buf[4]);
+  m.epoch = get16(&buf[6]);
   return m;
 }
 
@@ -125,6 +128,7 @@ std::optional<HeartbeatMsg> try_decode_heartbeat(
   HeartbeatMsg m;
   m.t_send_ns = static_cast<std::int64_t>(get64(&buf[0]));
   m.lease_us = get32(&buf[8]);
+  m.epoch = get16(&buf[12]);
   return m;
 }
 

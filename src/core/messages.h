@@ -3,6 +3,13 @@
 // bytes, all "plus the standard TCP/IP overheads". Encoders pack
 // little-endian into fixed arrays; decoders are exact inverses
 // (round-trip tested).
+//
+// Deviation from the paper: rate updates and heartbeats carry a 2-byte
+// allocator epoch (8 and 14 bytes on the wire). The epoch increments on
+// every allocator (re)start, so an agent can tell post-restart state
+// from pre-restart leftovers even when the bytes arrive in TCP order —
+// e.g. across a warm restart behind a VIP/proxy, where the agent's
+// socket never drops and replay is never triggered by a reconnect.
 #pragma once
 
 #include <array>
@@ -14,8 +21,14 @@ namespace ft::core {
 
 inline constexpr std::size_t kFlowletStartBytes = 16;
 inline constexpr std::size_t kFlowletEndBytes = 4;
-inline constexpr std::size_t kRateUpdateBytes = 6;
-inline constexpr std::size_t kHeartbeatBytes = 12;
+inline constexpr std::size_t kRateUpdateBytes = 8;
+inline constexpr std::size_t kHeartbeatBytes = 14;
+
+// Serial-number comparison (RFC 1982 style) for the 16-bit allocator
+// epoch: true when `a` is strictly newer than `b`, tolerating wrap.
+[[nodiscard]] constexpr bool epoch_newer(std::uint16_t a, std::uint16_t b) {
+  return static_cast<std::int16_t>(static_cast<std::uint16_t>(a - b)) > 0;
+}
 
 // Update-path trace hop slots carried by TraceMarkMsg. Slot 0 is stamped
 // on the agent's clock; 1..5 on the service's. The seventh hop (agent
@@ -59,6 +72,7 @@ struct FlowletEndMsg {
 struct RateUpdateMsg {
   std::uint32_t flow_key = 0;
   std::uint16_t rate_code = 0;  // common/ratecode.h encoding
+  std::uint16_t epoch = 0;      // allocator epoch that computed this rate
 
   friend bool operator==(const RateUpdateMsg&,
                          const RateUpdateMsg&) = default;
@@ -75,6 +89,7 @@ struct RateUpdateMsg {
 struct HeartbeatMsg {
   std::int64_t t_send_ns = 0;   // sender's clock, diagnostic only
   std::uint32_t lease_us = 0;   // rate lease duration; 0 = no lease
+  std::uint16_t epoch = 0;      // allocator epoch (0 from agents)
 
   friend bool operator==(const HeartbeatMsg&, const HeartbeatMsg&) = default;
 };

@@ -30,6 +30,12 @@ struct EndpointAgent::Metrics {
   obs::Counter& degraded_us;
   obs::Counter& lease_expiries;
   obs::Counter& queue_drops_on_close;
+  // Allocator epochs: pre-restart records discarded and held rates
+  // invalidated on an epoch advance (counted, never silent -- the
+  // chaos conservation oracle audits these paths).
+  obs::Counter& stale_updates_discarded;
+  obs::Counter& stale_heartbeats_discarded;
+  obs::Counter& epoch_invalidated_rates;
   // End-to-end span breakdown from completed trace echoes. update_us is
   // the full agent-send -> agent-receive loop on the agent's RAW clock;
   // queue/solve/emit/fanout are the service-side hop deltas; service_us
@@ -56,6 +62,12 @@ struct EndpointAgent::Metrics {
         degraded_us(reg.counter("agent.degraded_us")),
         lease_expiries(reg.counter("agent.lease_expiries")),
         queue_drops_on_close(reg.counter("agent.queue_drops_on_close")),
+        stale_updates_discarded(
+            reg.counter("agent.stale_updates_discarded")),
+        stale_heartbeats_discarded(
+            reg.counter("agent.stale_heartbeats_discarded")),
+        epoch_invalidated_rates(
+            reg.counter("agent.epoch_invalidated_rates")),
         e2e_update_us(reg.histo("e2e.update_us")),
         e2e_queue_us(reg.histo("e2e.queue_us")),
         e2e_solve_us(reg.histo("e2e.solve_us")),
@@ -144,10 +156,16 @@ bool EndpointAgent::connect_unix(const std::string& path) {
 
 void EndpointAgent::became_connected(std::int64_t now_us) {
   state_ = ConnState::kConnected;
+  ++conn_gen_;
   cur_backoff_us_ = 0;
   next_attempt_us_ = 0;
   last_rx_us_ = now_us;
   last_hb_tx_us_ = now_us;
+  // Arm the registration-refresh timer: a fresh connection owes the
+  // service a full reregister_period before re-replaying (otherwise a
+  // first poll on a real clock sees "elapsed since 0" and refreshes
+  // flows whose first updates are simply still in flight).
+  last_replay_us_ = now_us;
   // The lease is disarmed until the new service advertises one; flows
   // parked in fallback stay there until their fresh update lands.
   lease_deadline_us_ = 0;
@@ -187,7 +205,9 @@ void EndpointAgent::lose_connection(std::int64_t now_us) {
   if (m_ != nullptr) m_->disconnects.add(1);
   drop_pending_output();
   if (fd_ >= 0) {
-    tr_->close(fd_);
+    // leak_connection_fds is the chaos suite's slot-recycling mutation:
+    // skipping the close leaks the transport slot on every disconnect.
+    if (!cfg_.leak_connection_fds) tr_->close(fd_);
     fd_ = -1;
   }
   lease_deadline_us_ = 0;
@@ -221,6 +241,7 @@ void EndpointAgent::schedule_next_attempt(std::int64_t now_us) {
 // old service ended our flows on disconnect or a restarted allocator
 // never heard of them, these starts rebuild the exact same set.
 void EndpointAgent::replay_flowlets() {
+  last_replay_us_ = clock_->now_us();
   for (auto& [key, st] : flows_) {
     writer_.add(core::FlowletStartMsg{key, st.src, st.dst, 0,
                                       st.weight_milli, 0});
@@ -258,6 +279,53 @@ void EndpointAgent::try_reconnect(std::int64_t now_us) {
   note_recovered(now_us);
   replay_flowlets();
   flush();
+}
+
+// One wire record carried allocator epoch `e`. Returns false when the
+// record predates the newest epoch this agent has evidence of -- the
+// caller must drop it (an old allocator's output must never override
+// the new one's, TCP ordering notwithstanding: reconnects splice two
+// independent streams, and a zombie instance can linger behind a VIP).
+// Adopting a NEWER epoch means the allocator restarted; everything the
+// old one computed is invalidated into fallback, and if the socket
+// never dropped (warm restart behind a proxy: no reconnect, so
+// try_reconnect never replayed) the flowlets are re-registered here so
+// the new allocator learns a flow set it otherwise never would.
+bool EndpointAgent::observe_epoch(std::uint16_t e) {
+  if (!cfg_.epoch_filtering) {
+    // Mutation-test hook: keep tracking the newest epoch (the oracles
+    // need the reference point) but never invalidate, replay, or drop
+    // -- the pre-epoch agent, stale-rate bug re-introduced.
+    if (!epoch_seen_ || core::epoch_newer(e, observed_epoch_)) {
+      epoch_seen_ = true;
+      observed_epoch_ = e;
+    }
+    return true;
+  }
+  if (epoch_seen_ && e == observed_epoch_) return true;
+  if (epoch_seen_ && !core::epoch_newer(e, observed_epoch_)) return false;
+  const bool first = !epoch_seen_;
+  epoch_seen_ = true;
+  observed_epoch_ = e;
+  if (first) {
+    epoch_adopt_gen_ = conn_gen_;
+    return true;
+  }
+  ++stats_.epoch_advances;
+  for (auto& [key, st] : flows_) {
+    if (st.in_fallback || st.rate_code == 0) continue;
+    if (!core::epoch_newer(e, st.rate_epoch)) continue;
+    st.in_fallback = true;
+    ++stats_.epoch_invalidated_rates;
+    if (m_ != nullptr) m_->epoch_invalidated_rates.add(1);
+    if (cfg_.on_fallback) cfg_.on_fallback(key, st.rate_bps, true);
+  }
+  if (epoch_adopt_gen_ == conn_gen_ && fd_ >= 0) {
+    replay_flowlets();
+    ++stats_.epoch_replays;
+  }
+  epoch_adopt_gen_ = conn_gen_;
+  return true;
 }
 
 void EndpointAgent::arm_lease(std::int64_t now_us) {
@@ -445,6 +513,14 @@ void EndpointAgent::on_trace_mark(const core::TraceMarkMsg& m) {
 
 void EndpointAgent::on_heartbeat(const core::HeartbeatMsg& m) {
   ++stats_.heartbeats_received;
+  // Epoch 0 = unstamped (agent-originated beacons; pre-epoch peers).
+  if (m.epoch != 0 && !observe_epoch(m.epoch)) {
+    // A pre-restart allocator's beacon must not re-arm the lease the
+    // new epoch's silence is supposed to expire.
+    ++stats_.stale_heartbeats_discarded;
+    if (m_ != nullptr) m_->stale_heartbeats_discarded.add(1);
+    return;
+  }
   // The service's beacon proves the allocation plane alive even for
   // flows whose thresholded rate never changes; it also advertises the
   // lease duration the agent should hold rates for.
@@ -456,6 +532,14 @@ void EndpointAgent::on_heartbeat(const core::HeartbeatMsg& m) {
 
 void EndpointAgent::on_rate_update(const core::RateUpdateMsg& m) {
   ++stats_.updates_received;
+  if (m.epoch != 0 && !observe_epoch(m.epoch)) {
+    // A rate the pre-restart allocator computed: applying it would pin
+    // state the live allocator knows nothing about. Dropped (counted),
+    // and it proves nothing about lease freshness either.
+    ++stats_.stale_updates_discarded;
+    if (m_ != nullptr) m_->stale_updates_discarded.add(1);
+    return;
+  }
   // Every update implies a fresh lease (the service just proved this
   // allocation current).
   if (lease_us_ > 0) {
@@ -482,7 +566,19 @@ void EndpointAgent::on_rate_update(const core::RateUpdateMsg& m) {
   }
   it->second.rate_code = m.rate_code;
   it->second.rate_bps = decode_rate(m.rate_code);
+  it->second.rate_epoch = m.epoch;
+  // A rate on this connection acks the flow's registration: the
+  // allocator provably knows about it (see reregister_period_us).
+  it->second.ack_conn_gen = conn_gen_;
   if (on_rate_) on_rate_(m.flow_key, it->second.rate_bps, m.rate_code);
+}
+
+void EndpointAgent::snapshot_flows(std::vector<FlowView>& out) const {
+  out.reserve(out.size() + flows_.size());
+  for (const auto& [key, st] : flows_) {
+    out.push_back(FlowView{key, st.rate_code, st.rate_epoch,
+                           st.in_fallback, st.rate_bps});
+  }
 }
 
 double EndpointAgent::rate_bps(std::uint32_t key) const {
@@ -598,7 +694,7 @@ bool EndpointAgent::poll() {
   // Rate-lease expiry: the allocation is stale; degrade and start
   // handing rates back to endpoint congestion control.
   if (state_ == ConnState::kConnected && lease_deadline_us_ != 0 &&
-      now > lease_deadline_us_) {
+      now > lease_deadline_us_ && cfg_.lease_enforcement) {
     enter_degraded(now);
   }
   if (state_ == ConnState::kDegraded) run_fallback_decay(now);
@@ -613,6 +709,31 @@ bool EndpointAgent::poll() {
     writer_.add(core::HeartbeatMsg{obs::now_ns(), 0});
     last_hb_tx_us_ = now;
     ++stats_.heartbeats_sent;
+  }
+  // Registration refresh: flowlet registration is soft state. If any
+  // flow has never been acked by a rate update on this connection (a
+  // replay died in a fault window), or still holds a rate from an
+  // older allocator epoch than the newest observed (a warm-restart
+  // replay died the same way), re-send the full registration; the
+  // service answers a duplicate start from the owning connection by
+  // re-arming that flow's notification. Without this, a black hole
+  // overlapping a reconnect or restart strands the plane forever --
+  // the chaos campaign's very first find.
+  if (cfg_.reregister_period_us > 0 && state_ == ConnState::kConnected &&
+      now - last_replay_us_ >= cfg_.reregister_period_us) {
+    bool unacked = false;
+    for (const auto& [key, st] : flows_) {
+      if (st.ack_conn_gen != conn_gen_ ||
+          (cfg_.epoch_filtering && epoch_seen_ &&
+           st.rate_epoch != observed_epoch_)) {
+        unacked = true;
+        break;
+      }
+    }
+    if (unacked) {
+      ++stats_.registration_refreshes;
+      replay_flowlets();
+    }
   }
   flush();
   if (m_ != nullptr) {

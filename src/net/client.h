@@ -133,6 +133,45 @@ struct AgentConfig {
   // once when a fresh rate update reclaims it (entering = false).
   // Null = no hook; the decayed value is still visible via rate_bps().
   std::function<void(std::uint32_t, double, bool)> on_fallback;
+
+  // --- Allocator epochs ---
+  // Heartbeats and rate updates carry the allocator's epoch (core/
+  // messages.h), which increments on every service (re)start. The agent
+  // tracks the newest epoch it has seen; on an epoch advance it
+  // invalidates every held rate the old allocator computed (into
+  // fallback, firing on_fallback) and, if the advance arrived WITHOUT an
+  // intervening reconnect (warm restart behind a VIP/proxy: the socket
+  // never dropped, so no reconnect replay ran), re-registers its
+  // flowlets so the new allocator learns them. Records from an older
+  // epoch than the newest observed are discarded -- counted, never
+  // silent. This test hook exists so mutation tests can re-introduce
+  // the stale-rate bug and prove the chaos oracles catch it; production
+  // code never clears it.
+  bool epoch_filtering = true;
+  // --- Registration refresh ---
+  // Flowlet registration is soft state: a start (or a reconnect/epoch
+  // replay) can die in a fault window -- eaten by a silent partition,
+  // dropped frame, or a restart race -- and nothing downstream would
+  // ever retry. A rate update arriving on the current connection acks
+  // the flow's registration; while kConnected, any flow still unacked
+  // (or, with epoch filtering, still holding a rate from an older epoch
+  // than the newest observed) after this long since the last replay
+  // triggers another full replay. The service treats a duplicate start
+  // from the owning connection as "re-send my rate" (see
+  // ServiceStats::replayed_starts), closing the loop even when the
+  // original rate update was the casualty. 0 disables.
+  std::int64_t reregister_period_us = 250'000;
+  // Mutation hook: when false, the agent tracks its rate lease but
+  // never acts on expiry -- flows keep allocator rates indefinitely
+  // after the service goes silent. Exists so the chaos suite can prove
+  // the lease-safety oracle catches exactly this bug; never disable in
+  // production.
+  bool lease_enforcement = true;
+  // Mutation hook: when true, a lost connection's transport handle is
+  // never closed (the slot leaks). Exists so the chaos suite can prove
+  // the fd-leak oracle catches exactly this bug; never enable in
+  // production.
+  bool leak_connection_fds = false;
 };
 
 struct AgentStats {
@@ -158,6 +197,15 @@ struct AgentStats {
   // dropped -- the reconnect replay, not the residue, rebuilds state.
   std::uint64_t queue_drops_on_close = 0;
   std::int64_t degraded_us = 0;  // cumulative time not kConnected
+  // Allocator epochs:
+  std::uint64_t epoch_advances = 0;         // newer epoch adopted
+  std::uint64_t epoch_invalidated_rates = 0;  // held rates forced stale
+  std::uint64_t epoch_replays = 0;  // warm-restart replays (no reconnect)
+  std::uint64_t stale_updates_discarded = 0;    // older-epoch rates
+  std::uint64_t stale_heartbeats_discarded = 0;  // older-epoch beacons
+  // Periodic replays fired because a flow's registration was never
+  // acked (no rate update on the current connection / current epoch).
+  std::uint64_t registration_refreshes = 0;
 };
 
 class EndpointAgent : MessageSink {
@@ -239,6 +287,29 @@ class EndpointAgent : MessageSink {
   [[nodiscard]] double rate_bps(std::uint32_t key) const;
   [[nodiscard]] std::uint16_t rate_code(std::uint32_t key) const;
 
+  // Newest allocator epoch observed on this agent's wire (meaningful
+  // once epoch_seen(); epochs compare with core::epoch_newer).
+  [[nodiscard]] std::uint16_t observed_epoch() const {
+    return observed_epoch_;
+  }
+  [[nodiscard]] bool epoch_seen() const { return epoch_seen_; }
+  // Armed lease deadline (us on the agent's clock; 0 = not armed).
+  [[nodiscard]] std::int64_t lease_deadline_us() const {
+    return lease_deadline_us_;
+  }
+
+  // Read-only view of one live flowlet's applied-rate state, for the
+  // chaos-engine invariant oracles (sim/oracles.h).
+  struct FlowView {
+    std::uint32_t key = 0;
+    std::uint16_t rate_code = 0;
+    std::uint16_t rate_epoch = 0;  // epoch that computed the held rate
+    bool in_fallback = false;
+    double rate_bps = 0.0;
+  };
+  // Appends a view of every live flowlet to `out` (unspecified order).
+  void snapshot_flows(std::vector<FlowView>& out) const;
+
   [[nodiscard]] const AgentStats& stats() const { return stats_; }
   // The most recent completed trace: the echoed mark's six wire hops
   // plus the local receive stamp (the seventh). Meaningful once
@@ -268,6 +339,14 @@ class EndpointAgent : MessageSink {
     // the first update already arrived).
     std::int64_t start_us = 0;
     bool in_fallback = false;  // decaying toward the safe rate
+    // Allocator epoch stamped on the update that set rate_code (0 =
+    // no update applied yet, or a pre-epoch peer). Last in the struct:
+    // callers aggregate-initialize the fields above.
+    std::uint16_t rate_epoch = 0;
+    // conn_gen_ when a rate update last arrived for this flow: the
+    // registration ack. != conn_gen_ means the current connection has
+    // never confirmed this flow (see AgentConfig::reregister_period_us).
+    std::uint64_t ack_conn_gen = 0;
   };
 
   void on_rate_update(const core::RateUpdateMsg& m) override;
@@ -289,6 +368,11 @@ class EndpointAgent : MessageSink {
   void try_reconnect(std::int64_t now_us);
   void schedule_next_attempt(std::int64_t now_us);
   void replay_flowlets();
+  // Folds a wire-observed allocator epoch into the agent's view: adopts
+  // newer epochs (invalidating pre-restart rates; replaying flowlets on
+  // a warm restart that never dropped the socket). Returns false when
+  // the record carrying `e` is from an older epoch and must be dropped.
+  bool observe_epoch(std::uint16_t e);
   void arm_lease(std::int64_t now_us);
   void enter_degraded(std::int64_t now_us);
   void note_recovered(std::int64_t now_us);
@@ -337,6 +421,19 @@ class EndpointAgent : MessageSink {
   std::uint32_t lease_us_ = 0;         // advertised by the service
   std::int64_t lease_deadline_us_ = 0;  // 0 = not armed
   std::int64_t next_decay_us_ = 0;
+  // Allocator-epoch tracking. conn_gen_ counts became_connected calls;
+  // epoch_adopt_gen_ remembers the generation at the last epoch
+  // adoption, so an adoption with conn_gen_ unchanged means the epoch
+  // advanced without a reconnect (warm restart behind a VIP) and the
+  // flowlet replay that try_reconnect would have run must happen here.
+  std::uint16_t observed_epoch_ = 0;
+  bool epoch_seen_ = false;
+  std::uint64_t conn_gen_ = 0;
+  std::uint64_t epoch_adopt_gen_ = 0;
+  // Registration-refresh pacing: virtual/real time of the last full
+  // flowlet replay (any cause), so unacked flows re-replay at most once
+  // per reregister_period_us.
+  std::int64_t last_replay_us_ = 0;
   // Liveness clocks.
   std::int64_t last_rx_us_ = 0;
   std::int64_t last_hb_tx_us_ = 0;

@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "net/socket_util.h"
+#include "obs/metrics.h"
 
 namespace ft::net {
 namespace {
@@ -115,6 +116,7 @@ void FaultJail::pump_up(Pair& p) {
     if (n > 0) {
       if (black_hole_) {
         stats_.bytes_blackholed += n;
+        if (lc_.bytes_blackholed != nullptr) lc_.bytes_blackholed->add(n);
         continue;
       }
       stats_.bytes_up += n;
@@ -144,6 +146,7 @@ void FaultJail::pump_down(Pair& p) {
     if (n > 0) {
       if (black_hole_) {
         stats_.bytes_blackholed += n;
+        if (lc_.bytes_blackholed != nullptr) lc_.bytes_blackholed->add(n);
         continue;
       }
       if (p.raw_mode || cfg_.drop_down_frac <= 0.0) {
@@ -195,6 +198,11 @@ void FaultJail::sieve_down(Pair& p) {
     ++stats_.frames_down;
     if (rng_.uniform() < cfg_.drop_down_frac) {
       ++stats_.frames_dropped;
+      stats_.bytes_dropped_frames += static_cast<std::int64_t>(total);
+      if (lc_.frames_dropped != nullptr) {
+        lc_.frames_dropped->add(1);
+        lc_.bytes_dropped_frames->add(static_cast<std::int64_t>(total));
+      }
     } else {
       stats_.bytes_down += static_cast<std::int64_t>(total);
       p.to_client.insert(
@@ -236,6 +244,18 @@ void FaultJail::kill_pair(int client_fd) {
   const auto it = pairs_.find(client_fd);
   if (it == pairs_.end()) return;
   Pair& p = *it->second;
+  // Buffered-but-unsent bytes die with the pair; name them rather than
+  // letting them vanish (the drop-accounting audit's rule: every byte
+  // the jail eats shows up on a counter).
+  const std::int64_t discarded = static_cast<std::int64_t>(
+      (p.to_client.size() - p.to_client_off) +
+      (p.to_upstream.size() - p.to_upstream_off) + p.down_parse.size());
+  if (discarded > 0) {
+    stats_.bytes_discarded_on_kill += discarded;
+    if (lc_.bytes_discarded_on_kill != nullptr) {
+      lc_.bytes_discarded_on_kill->add(discarded);
+    }
+  }
   loop_.del_fd(p.client_fd);
   loop_.del_fd(p.upstream_fd);
   ::close(p.client_fd);
@@ -243,6 +263,17 @@ void FaultJail::kill_pair(int client_fd) {
   upstream_to_client_.erase(p.upstream_fd);
   pairs_.erase(it);
   ++stats_.conns_killed;
+  if (lc_.conns_killed != nullptr) lc_.conns_killed->add(1);
+}
+
+void FaultJail::bind_metrics(obs::MetricsRegistry& reg,
+                             const std::string& prefix) {
+  lc_.frames_dropped = &reg.counter(prefix + ".frames_dropped");
+  lc_.bytes_dropped_frames = &reg.counter(prefix + ".bytes_dropped_frames");
+  lc_.bytes_blackholed = &reg.counter(prefix + ".bytes_blackholed");
+  lc_.bytes_discarded_on_kill =
+      &reg.counter(prefix + ".bytes_discarded_on_kill");
+  lc_.conns_killed = &reg.counter(prefix + ".conns_killed");
 }
 
 void FaultJail::kill_all() {

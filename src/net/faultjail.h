@@ -30,6 +30,11 @@
 #include "net/frame.h"
 #include "net/transport.h"
 
+namespace ft::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace ft::obs
+
 namespace ft::net {
 
 struct FaultJailConfig {
@@ -59,6 +64,11 @@ struct FaultJailStats {
   std::int64_t bytes_up = 0;        // agent -> service forwarded
   std::int64_t bytes_down = 0;      // service -> agent forwarded
   std::int64_t bytes_blackholed = 0;
+  // Every byte the jail eats is named: the bytes inside injected frame
+  // drops, and buffered bytes discarded when a pair is killed mid-write
+  // (the conservation audit wants drops attributable, never silent).
+  std::int64_t bytes_dropped_frames = 0;
+  std::int64_t bytes_discarded_on_kill = 0;
 };
 
 class FaultJail {
@@ -82,6 +92,13 @@ class FaultJail {
 
   [[nodiscard]] const FaultJailStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t num_pairs() const { return pairs_.size(); }
+
+  // Mirrors the loss-path stats into named counters
+  // (`<prefix>.frames_dropped`, `.bytes_dropped_frames`,
+  // `.bytes_blackholed`, `.bytes_discarded_on_kill`, `.conns_killed`)
+  // so drills show their damage on the live stats plane.
+  void bind_metrics(obs::MetricsRegistry& reg,
+                    const std::string& prefix = "faultjail");
 
  private:
   // One proxied connection: the agent-side socket and its upstream twin,
@@ -120,6 +137,14 @@ class FaultJail {
   bool black_hole_ = false;
   Rng rng_;
   FaultJailStats stats_;
+  // Loss-path counters; null until bind_metrics (obs wiring optional).
+  struct LossCounters {
+    obs::Counter* frames_dropped = nullptr;
+    obs::Counter* bytes_dropped_frames = nullptr;
+    obs::Counter* bytes_blackholed = nullptr;
+    obs::Counter* bytes_discarded_on_kill = nullptr;
+    obs::Counter* conns_killed = nullptr;
+  } lc_;
   std::unordered_map<int, std::unique_ptr<Pair>> pairs_;  // by client_fd
   std::unordered_map<int, int> upstream_to_client_;
 };

@@ -35,6 +35,21 @@ void drain_eventfd(int fd) {
   }
 }
 
+// Process-global allocator-epoch source for cfg.epoch == 0: every
+// service instance constructed in this process gets a fresh, strictly
+// increasing epoch, so a daemon restart (new process) or an in-process
+// warm restart both advance it. Starts at 1 -- epoch 0 on the wire
+// means "unstamped" (agent-originated heartbeats).
+std::atomic<std::uint16_t> g_next_epoch{0};
+
+std::uint16_t claim_epoch() {
+  std::uint16_t e = static_cast<std::uint16_t>(
+      g_next_epoch.fetch_add(1, std::memory_order_relaxed) + 1);
+  if (e == 0) e = static_cast<std::uint16_t>(
+      g_next_epoch.fetch_add(1, std::memory_order_relaxed) + 1);
+  return e;
+}
+
 }  // namespace
 
 // Per-thread counter set (one for the allocation thread, one per
@@ -48,6 +63,7 @@ struct AllocatorService::Counters {
   obs::Counter& flowlet_starts;
   obs::Counter& flowlet_ends;
   obs::Counter& rejected_starts;
+  obs::Counter& replayed_starts;
   obs::Counter& unknown_ends;
   obs::Counter& protocol_errors;
   obs::Counter& iterations;
@@ -55,6 +71,7 @@ struct AllocatorService::Counters {
   obs::Counter& updates_coalesced;
   obs::Counter& frames_out;
   obs::Counter& queue_drops;
+  obs::Counter& updates_orphaned;
   obs::Counter& heartbeats_sent;
   obs::Counter& heartbeats_received;
   obs::Counter& peer_timeouts;
@@ -70,6 +87,7 @@ struct AllocatorService::Counters {
         flowlet_starts(reg.counter(p + ".flowlet_starts")),
         flowlet_ends(reg.counter(p + ".flowlet_ends")),
         rejected_starts(reg.counter(p + ".rejected_starts")),
+        replayed_starts(reg.counter(p + ".replayed_starts")),
         unknown_ends(reg.counter(p + ".unknown_ends")),
         protocol_errors(reg.counter(p + ".protocol_errors")),
         iterations(reg.counter(p + ".iterations")),
@@ -77,6 +95,7 @@ struct AllocatorService::Counters {
         updates_coalesced(reg.counter(p + ".updates_coalesced")),
         frames_out(reg.counter(p + ".frames_out")),
         queue_drops(reg.counter(p + ".queue_drops")),
+        updates_orphaned(reg.counter(p + ".updates_orphaned")),
         heartbeats_sent(reg.counter(p + ".heartbeats_sent")),
         heartbeats_received(reg.counter(p + ".heartbeats_received")),
         peer_timeouts(reg.counter(p + ".peer_timeouts")),
@@ -92,6 +111,7 @@ struct AllocatorService::Counters {
     s.flowlet_starts += flowlet_starts.value();
     s.flowlet_ends += flowlet_ends.value();
     s.rejected_starts += rejected_starts.value();
+    s.replayed_starts += replayed_starts.value();
     s.unknown_ends += unknown_ends.value();
     s.protocol_errors += protocol_errors.value();
     s.iterations += iterations.value();
@@ -99,6 +119,7 @@ struct AllocatorService::Counters {
     s.updates_coalesced += updates_coalesced.value();
     s.frames_out += frames_out.value();
     s.queue_drops += queue_drops.value();
+    s.updates_orphaned += updates_orphaned.value();
     s.heartbeats_sent += heartbeats_sent.value();
     s.heartbeats_received += heartbeats_received.value();
     s.peer_timeouts += peer_timeouts.value();
@@ -114,7 +135,7 @@ struct AllocatorService::Counters {
 // carry the route resolved on the shard thread (link ids), so the
 // allocation thread only touches the allocator.
 struct AllocatorService::UpEvent {
-  enum class Kind : std::uint8_t { kStart, kEnd, kTrace };
+  enum class Kind : std::uint8_t { kStart, kEnd, kTrace, kRefresh };
   Kind kind = Kind::kEnd;
   std::uint8_t route_len = 0;
   std::uint16_t weight_milli = 1000;
@@ -235,6 +256,7 @@ AllocatorService::AllocatorService(IoLoop& loop, core::Allocator& alloc,
       cfg_(std::move(cfg)),
       tr_(cfg_.transport != nullptr ? cfg_.transport : &os_transport()),
       clock_(&tr_->clock()),
+      epoch_(cfg_.epoch != 0 ? cfg_.epoch : claim_epoch()),
       flight_(cfg_.flight) {
   FT_CHECK(cfg_.tcp_port >= 0 || !cfg_.unix_path.empty());
   FT_CHECK(cfg_.num_shards >= 0);
@@ -544,7 +566,33 @@ void AllocatorService::handle_start(Shard& s, Connection& c,
                                     const core::FlowletStartMsg& m) {
   std::array<LinkId, core::kMaxRouteLinks> route;
   std::uint8_t len = 0;
-  if (s.key_owner.contains(m.flow_key) || !resolve_route(m, route, len)) {
+  const auto owner = s.key_owner.find(m.flow_key);
+  if (owner != s.key_owner.end()) {
+    if (owner->second.conn == &c) {
+      // Registration refresh: the owning agent re-sent the start, which
+      // means it never saw a rate for this flow on this connection (the
+      // update died in a fault window, or the original batch raced a
+      // restart). Re-arm unconditional notification so the next round
+      // re-emits the rate -- without this, the threshold filter would
+      // starve the flow until its rate drifted.
+      bump(s.stats->replayed_starts);
+      if (!s.threaded()) {
+        alloc_.invalidate_notification(m.flow_key);
+      } else {
+        UpEvent ev;
+        ev.kind = UpEvent::Kind::kRefresh;
+        ev.key = m.flow_key;
+        push_up(s, ev);
+      }
+      return;
+    }
+    // Owned by another connection (stale owner from a dying socket, or
+    // a genuine duplicate key): reject as before. Once the dead owner
+    // is culled its flows end, and the agent's next refresh wins.
+    bump(s.stats->rejected_starts);
+    return;
+  }
+  if (!resolve_route(m, route, len)) {
     bump(s.stats->rejected_starts);
     return;
   }
@@ -674,7 +722,8 @@ void AllocatorService::heartbeat_tick(Shard& s) {
       // Flushed immediately below: a batch the tick opens must not
       // linger if no round fanout ever touches this connection again.
       c.writer.add(core::HeartbeatMsg{
-          obs::now_ns(), static_cast<std::uint32_t>(cfg_.rate_lease_us)});
+          obs::now_ns(), static_cast<std::uint32_t>(cfg_.rate_lease_us),
+          epoch_});
       bump(s.stats->heartbeats_sent);
       flush_conn(s, c);
     }
@@ -814,6 +863,16 @@ void AllocatorService::drain_up(Shard& s) {
       apply_start(s, ev);
       continue;
     }
+    if (ev.kind == UpEvent::Kind::kRefresh) {
+      // Registration refresh forwarded from a shard: re-arm the flow's
+      // notification (only if this shard's start actually won the key).
+      const auto it = key_shard_.find(ev.key);
+      if (it != key_shard_.end() &&
+          it->second == static_cast<std::uint32_t>(s.index)) {
+        alloc_.invalidate_notification(ev.key);
+      }
+      continue;
+    }
     if (ev.kind == UpEvent::Kind::kTrace) {
       // Adopt the context only if this shard's start actually won the
       // key (a cross-shard duplicate was rejected above and its trace
@@ -851,10 +910,15 @@ void AllocatorService::drain_up(Shard& s) {
 void AllocatorService::queue_update(Shard& s, std::uint32_t key,
                                     std::uint16_t rate_code) {
   const auto it = s.key_owner.find(key);
-  if (it == s.key_owner.end()) return;  // ended meanwhile
+  if (it == s.key_owner.end()) {
+    // Ended or culled between emission and queueing: the update dies
+    // here, so the drop must be visible to the conservation oracle.
+    bump(s.stats->updates_orphaned);
+    return;
+  }
   Connection& c = *it->second.conn;
   if (c.writer.empty()) s.touched.push_back(c.fd);
-  c.writer.add(core::RateUpdateMsg{key, rate_code});
+  c.writer.add(core::RateUpdateMsg{key, rate_code, epoch_});
   bump(s.stats->updates_sent);
   // Cut the batch before it can overrun the frame size limit (an
   // endpoint may own arbitrarily many flows). flush_conn can close the

@@ -115,6 +115,13 @@ struct ServerConfig {
   std::int64_t heartbeat_period_us = 0;
   std::int64_t rate_lease_us = 0;
   std::int64_t peer_timeout_us = 0;
+  // Allocator epoch stamped into every outgoing heartbeat and rate
+  // update. 0 = take the next value from a process-global counter (each
+  // service instance in this process gets a fresh, increasing epoch --
+  // the production restart path). The virtual-time harness passes an
+  // explicit epoch (1 + restart count) so trajectories stay bit-identical
+  // across runs regardless of what else the process constructed.
+  std::uint16_t epoch = 0;
   // Fault injection for flight-recorder forensics tests and demos: every
   // `stall_every_rounds`-th allocation round busy-spins for `stall_us`
   // microseconds inside the fanout phase, forcing a promotable slow
@@ -129,6 +136,12 @@ struct ServiceStats {
   std::uint64_t flowlet_starts = 0;
   std::uint64_t flowlet_ends = 0;
   std::uint64_t rejected_starts = 0;  // duplicate key or bad host index
+  // Duplicate starts from the key's own live connection: a registration
+  // refresh (the agent never saw a rate for the flow on this
+  // connection, e.g. the update died in a fault window). The flow's
+  // notification state is invalidated so the next round re-emits its
+  // rate unconditionally.
+  std::uint64_t replayed_starts = 0;
   std::uint64_t unknown_ends = 0;
   std::uint64_t protocol_errors = 0;  // malformed streams (conn dropped)
   std::uint64_t iterations = 0;
@@ -141,6 +154,10 @@ struct ServiceStats {
   // start rejections (a stale shard owner entry lingers until its
   // connection closes), and lifecycle events abandoned during shutdown.
   std::uint64_t queue_drops = 0;
+  // Rate updates that found no owner connection for their key (flow
+  // ended or connection culled between emission and queueing). Counted,
+  // never silent: the chaos conservation oracle audits this path.
+  std::uint64_t updates_orphaned = 0;
   std::uint64_t heartbeats_sent = 0;
   std::uint64_t heartbeats_received = 0;
   std::uint64_t peer_timeouts = 0;  // conns culled for radio silence
@@ -161,6 +178,9 @@ class AllocatorService {
 
   // Actual TCP port after binding (meaningful when cfg.tcp_port >= 0).
   [[nodiscard]] int tcp_port() const { return tcp_port_; }
+  // The allocator epoch this instance stamps into heartbeats and rate
+  // updates (cfg.epoch, or the auto-assigned process-global value).
+  [[nodiscard]] std::uint16_t epoch() const { return epoch_; }
   [[nodiscard]] const std::string& unix_path() const {
     return cfg_.unix_path;
   }
@@ -262,6 +282,7 @@ class AllocatorService {
   ServerConfig cfg_;
   Transport* tr_;  // cfg_.transport, or the OS transport
   Clock* clock_;   // the transport's clock (all liveness deadlines)
+  std::uint16_t epoch_ = 0;  // stamped into heartbeats + rate updates
   int tcp_listen_fd_ = -1;
   int unix_listen_fd_ = -1;
   int tcp_port_ = -1;

@@ -1,0 +1,148 @@
+// ChaosEngine: randomized fault campaigns over the simulated control
+// plane, with invariant oracles and automatic schedule shrinking.
+//
+// A *schedule* is a short sequence of fault events (service restarts,
+// reset storms, black holes, one-way partitions, frame-drop windows)
+// derived entirely from one 64-bit seed: same seed, same schedule,
+// same virtual-time trajectory, bit for bit. The engine runs each
+// schedule on a fresh ControlPlaneHarness -- converge fault-free,
+// snapshot the rate fixpoint as the liveness baseline, inject the
+// events on their virtual-time offsets while sweeping the safety
+// oracles (sim/oracles.h) between every step, then clear all faults,
+// require reconvergence to the baseline fixpoint, and close with the
+// quiesce oracles (leaks, flow-set equality).
+//
+// When a schedule violates an oracle, the shrinker delta-debugs it:
+// greedily re-run with one event removed until no single removal still
+// reproduces the violation -- the result is 1-minimal by construction,
+// typically 1-3 events naming the exact interaction that breaks the
+// invariant. The repro is serialized as JSON (seed, kept event
+// indices, violated oracle, virtual timestamp) plus a ready-to-paste
+// bench_chaos replay command; because schedules regenerate from their
+// seed, the repro is a few dozen bytes, not a trace.
+//
+// Everything runs on virtual time: a campaign of hundreds of
+// schedules at a thousand endpoints is minutes of wall clock and
+// exactly reproducible in CI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/control_plane_harness.h"
+#include "sim/oracles.h"
+
+namespace ft::sim {
+
+enum class ChaosFaultKind : std::uint8_t {
+  kKillConnections = 0,  // reset storm (instantaneous)
+  kRestartService = 1,   // cold restart, or warm restart in VIP mode
+  kBlackHole = 2,        // both directions evaporate for a window
+  kPartitionUp = 3,      // agent->service evaporates for a window
+  kPartitionDown = 4,    // service->agent evaporates for a window
+  kDropFrames = 5,       // seeded frame sieve at `magnitude` for a window
+};
+
+[[nodiscard]] const char* chaos_fault_name(ChaosFaultKind k);
+
+struct ChaosEvent {
+  ChaosFaultKind kind = ChaosFaultKind::kKillConnections;
+  std::int64_t at_us = 0;        // offset from pre-fault convergence
+  std::int64_t duration_us = 0;  // 0 for instantaneous kinds
+  double magnitude = 0.0;        // drop fraction for kDropFrames
+  int idx = 0;  // position in the generated schedule (stable across
+                // shrinking, so a subset is expressible as seed+indices)
+};
+
+struct ChaosSchedule {
+  std::uint64_t seed = 0;  // the seed generate() derived events from
+  std::vector<ChaosEvent> events;  // sorted by at_us
+};
+
+struct ChaosConfig {
+  // The plane under test. harness.seed is the *plane* seed (topology,
+  // workload, jitter); schedule seeds only shape the faults, so every
+  // schedule in a campaign faults the same deterministic plane.
+  HarnessConfig harness;
+  OracleConfig oracle;
+  // Schedule shape.
+  int min_events = 1;
+  int max_events = 4;
+  std::int64_t window_us = 150'000;  // event offsets land in [0, window)
+  std::int64_t min_fault_duration_us = 5'000;
+  std::int64_t max_fault_duration_us = 40'000;
+  double min_drop_frac = 0.05;
+  double max_drop_frac = 0.5;
+  // Safety-oracle sweep cadence while faults are in play.
+  std::int64_t sweep_period_us = 5'000;
+  // Fault-free tail after the last event before demanding reconvergence.
+  std::int64_t settle_us = 100'000;
+  // Liveness bound: virtual time from all-faults-cleared to
+  // reconvergence at the baseline fixpoint.
+  std::int64_t max_reconverge_us = 5'000'000;
+};
+
+struct ChaosResult {
+  ChaosSchedule schedule;
+  bool ok = false;
+  std::vector<OracleReport> violations;  // empty iff ok
+  std::int64_t reconverge_us = -1;  // faults-clear -> converged; -1 if not
+  std::uint64_t trajectory_hash = 0;
+};
+
+struct ShrinkResult {
+  ChaosSchedule minimal;  // 1-minimal: no single removal still violates
+  ChaosResult result;     // the minimal schedule's run
+  int runs = 0;           // replays the shrinker spent
+};
+
+struct CampaignResult {
+  int schedules_run = 0;
+  int violations = 0;
+  // First violating schedule, shrunk; meaningful iff violations > 0.
+  ShrinkResult shrunk;
+  ChaosResult first_violation;
+  // Green-schedule liveness samples (virtual us to reconverge).
+  std::vector<std::int64_t> reconverge_us;
+  // FNV-1a over every schedule's trajectory hash: one number that must
+  // match across runs of the same campaign seed (determinism gate).
+  std::uint64_t campaign_hash = 1469598103934665603ULL;
+};
+
+class ChaosEngine {
+ public:
+  explicit ChaosEngine(ChaosConfig cfg) : cfg_(std::move(cfg)) {}
+
+  [[nodiscard]] const ChaosConfig& config() const { return cfg_; }
+
+  // Deterministic schedule from a seed (pure function of seed + cfg).
+  [[nodiscard]] ChaosSchedule generate(std::uint64_t seed) const;
+  // `keep` filters a generated schedule down to the events whose idx is
+  // listed -- how a shrunken repro replays from just seed + indices.
+  [[nodiscard]] static ChaosSchedule apply_keep(
+      const ChaosSchedule& s, const std::vector<int>& keep);
+
+  // Runs one schedule on a fresh harness; stops at the first safety
+  // violation (the shrinker only needs "does it still fail").
+  [[nodiscard]] ChaosResult run_schedule(const ChaosSchedule& s) const;
+
+  // Schedules i in [0, n) with seeds derived from campaign_seed. Stops
+  // at (and shrinks) the first violating schedule.
+  [[nodiscard]] CampaignResult run_campaign(std::uint64_t campaign_seed,
+                                            int n) const;
+
+  // Greedy single-event-removal to a 1-minimal schedule reproducing
+  // the same oracle violation as `failing`.
+  [[nodiscard]] ShrinkResult shrink(const ChaosResult& failing) const;
+
+  // Repro artifact: JSON with the seed, kept indices, schedule, the
+  // violated oracle and the exact replay command.
+  [[nodiscard]] std::string repro_json(const ChaosResult& r) const;
+  [[nodiscard]] std::string replay_command(const ChaosResult& r) const;
+
+ private:
+  ChaosConfig cfg_;
+};
+
+}  // namespace ft::sim

@@ -58,6 +58,17 @@ ControlPlaneHarness::ControlPlaneHarness(HarnessConfig cfg)
   port_ = svc_->tcp_port();
   FT_CHECK(port_ > 0);
 
+  // VIP mode: agents dial the proxy; restart_service() becomes a warm
+  // restart the agents' sockets never see.
+  int dial_port = port_;
+  if (cfg_.use_vip_proxy) {
+    SimProxy::Config pc;
+    pc.upstream_port = port_;
+    pc.redial_delay_us = cfg_.vip_redial_delay_us;
+    proxy_ = std::make_unique<SimProxy>(tr_, pc);
+    dial_port = proxy_->port();
+  }
+
   const int n = cfg_.num_endpoints;
   agents_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -69,6 +80,9 @@ ControlPlaneHarness::ControlPlaneHarness(HarnessConfig cfg)
     ac.reconnect_seed = mix(cfg_.seed, static_cast<std::uint64_t>(i));
     ac.heartbeat_period_us = cfg_.agent_heartbeat_period_us;
     ac.peer_timeout_us = cfg_.agent_peer_timeout_us;
+    ac.epoch_filtering = cfg_.agent_epoch_filtering;
+    ac.lease_enforcement = cfg_.agent_lease_enforcement;
+    ac.leak_connection_fds = cfg_.agent_leak_fds;
     agents_.push_back(std::make_unique<net::EndpointAgent>(std::move(ac)));
     agents_.back()->set_rate_callback(
         [this, i](std::uint32_t key, double /*rate_bps*/,
@@ -79,8 +93,9 @@ ControlPlaneHarness::ControlPlaneHarness(HarnessConfig cfg)
   // ten thousand SYNs do not land on one virtual instant.
   for (int i = 0; i < n; ++i) {
     const std::int64_t at_us = cfg_.connect_spread_us * i / n;
-    loop_->add_timer(at_us, [this, i] {
-      (void)agents_[static_cast<std::size_t>(i)]->connect_tcp("sim", port_);
+    loop_->add_timer(at_us, [this, i, dial_port] {
+      (void)agents_[static_cast<std::size_t>(i)]->connect_tcp("sim",
+                                                              dial_port);
     });
   }
 
@@ -130,11 +145,16 @@ net::ServerConfig ControlPlaneHarness::server_cfg() {
   s.rate_lease_us = cfg_.rate_lease_us;
   s.peer_timeout_us = cfg_.peer_timeout_us;
   s.num_shards = 0;  // sim transport is single-threaded by contract
+  // Deterministic epoch (the process-global fallback would couple runs
+  // in one test binary): the first service is epoch 1, each restart
+  // increments, so agents can order instances across warm restarts.
+  s.epoch = static_cast<std::uint16_t>(1 + restarts_);
   return s;
 }
 
 void ControlPlaneHarness::restart_service() {
   svc_.reset();  // closes every connection, ends every flowlet
+  ++restarts_;
   svc_ = std::make_unique<net::AllocatorService>(*loop_, alloc_, topo_,
                                                 server_cfg());
   FT_CHECK(svc_->tcp_port() == port_);
@@ -163,27 +183,41 @@ void ControlPlaneHarness::run_for(std::int64_t us) {
 ConvergeStats ControlPlaneHarness::run_to_convergence() {
   ConvergeStats out;
   const Time horizon = cfg_.max_virtual_us * kMicrosecond;
-  std::uint64_t last_updates = svc_->stats().updates_sent;
+  // Stability watches the ORGANIC update stream (emitted minus
+  // anti-entropy re-emissions): refresh traffic flows forever by
+  // design and must not hold convergence open. The quiet window is
+  // stretched to cover one full refresh sweep (+1 for stagger phase)
+  // so every agent-held rate has been re-synced to the allocator's
+  // final value by the time quiesce oracles run.
+  const auto organic = [this] {
+    const core::AllocatorStats a = alloc_.stats();
+    return a.updates_emitted - a.updates_refreshed;
+  };
+  const int need =
+      std::max(cfg_.stable_rounds,
+               cfg_.alloc.refresh_rounds > 0 ? cfg_.alloc.refresh_rounds + 1
+                                             : 0);
+  std::uint64_t last_updates = organic();
   int stable = 0;
   while (events_.now() < horizon) {
     events_.run_until(events_.now() +
                       cfg_.iteration_period_us * kMicrosecond);
-    const net::ServiceStats st = svc_->stats();
+    const std::uint64_t now_updates = organic();
     // Quiet counters alone are not convergence: after a fault (service
     // restart, reset storm) the service is silent precisely because the
     // flow set has not been rebuilt yet -- require it whole first.
     const bool plane_whole =
         seen_count_ == total_flows_ &&
         alloc_.num_active_flowlets() == total_flows_;
-    if (plane_whole && st.updates_sent == last_updates) {
-      if (++stable >= cfg_.stable_rounds) {
+    if (plane_whole && now_updates == last_updates) {
+      if (++stable >= need) {
         out.converged = true;
         break;
       }
     } else {
       stable = 0;
     }
-    last_updates = st.updates_sent;
+    last_updates = now_updates;
   }
   const net::ServiceStats st = svc_->stats();
   out.rounds = st.iterations;

@@ -29,6 +29,7 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "sim/event_queue.h"
+#include "sim/sim_proxy.h"
 #include "sim/sim_transport.h"
 #include "topo/clos.h"
 
@@ -63,7 +64,29 @@ struct HarnessConfig {
   int stable_rounds = 5;
   // Safety horizon for run_to_convergence (virtual microseconds).
   std::int64_t max_virtual_us = 30'000'000;
-  core::AllocatorConfig alloc;
+  // VIP mode: agents dial a SimProxy in front of the service instead
+  // of the service itself. restart_service() then models a warm
+  // restart behind a load balancer -- the agents' sockets never drop,
+  // which is exactly the topology stale-rate bugs need (see
+  // sim/sim_proxy.h).
+  bool use_vip_proxy = false;
+  std::int64_t vip_redial_delay_us = 1'000;
+  // Mutation hooks, plumbed to every agent's AgentConfig. All default
+  // to the hardened behavior; the chaos suite flips them one at a time
+  // to prove each invariant oracle catches its matching bug.
+  bool agent_epoch_filtering = true;
+  bool agent_lease_enforcement = true;
+  bool agent_leak_fds = false;
+  // Rate anti-entropy is ON by default here (unlike the bare core
+  // allocator): the harness's whole point is a lossy transport under
+  // fault schedules, where a dropped rate update whose flow then stays
+  // inside the notification threshold would otherwise leave an agent
+  // holding a stale rate forever (the chaos campaign found exactly
+  // this: restart + one-way downstream partition, repro seed
+  // 11510521379511642707). run_to_convergence stretches its quiet
+  // window to cover one full refresh sweep so quiesce-time oracle
+  // checks always see post-anti-entropy state.
+  core::AllocatorConfig alloc{.refresh_rounds = 32};
 };
 
 struct ConvergeStats {
@@ -99,6 +122,10 @@ class ControlPlaneHarness {
   void restart_service();
   void set_drop_down_frac(double f) { tr_.set_drop_down_frac(f); }
   void set_black_hole(bool on) { tr_.set_black_hole(on); }
+  // One-way partitions (sim/sim_transport.h): only the named direction
+  // evaporates, the other keeps flowing.
+  void set_partition_up(bool on) { tr_.set_partition_up(on); }
+  void set_partition_down(bool on) { tr_.set_partition_down(on); }
 
   [[nodiscard]] std::uint64_t trajectory_hash() const { return hash_; }
   [[nodiscard]] std::int64_t virtual_now_us() const {
@@ -113,6 +140,10 @@ class ControlPlaneHarness {
   [[nodiscard]] std::size_t flows_seen() const { return seen_count_; }
   [[nodiscard]] SimTransport& transport() { return tr_; }
   [[nodiscard]] core::Allocator& allocator() { return alloc_; }
+  [[nodiscard]] int restart_count() const { return restarts_; }
+  // Null unless cfg.use_vip_proxy.
+  [[nodiscard]] SimProxy* proxy() { return proxy_.get(); }
+  [[nodiscard]] const HarnessConfig& config() const { return cfg_; }
 
  private:
   void note_rate(int agent_idx, std::uint32_t key, std::uint16_t code);
@@ -125,8 +156,10 @@ class ControlPlaneHarness {
   core::Allocator alloc_;
   std::unique_ptr<SimLoop> loop_;
   std::unique_ptr<net::AllocatorService> svc_;
+  std::unique_ptr<SimProxy> proxy_;
   std::vector<std::unique_ptr<net::EndpointAgent>> agents_;
   int port_ = -1;
+  int restarts_ = 0;  // also drives the allocator epoch: 1 + restarts_
   std::size_t total_flows_ = 0;
   std::size_t seen_count_ = 0;
   std::vector<bool> seen_;  // by flow key (dense, 1-based)

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "net/frame.h"
+#include "obs/metrics.h"
 
 namespace ft::sim {
 namespace {
@@ -175,8 +176,22 @@ std::int64_t SimTransport::write(int handle, const void* buf,
   const std::size_t n =
       std::min(len, static_cast<std::size_t>(space));
   const auto* p = static_cast<const std::uint8_t*>(buf);
+  // Every byte accepted past this point is accounted to exactly one
+  // fate (see the conservation identity in the header).
+  stats_.bytes_accepted += static_cast<std::int64_t>(n);
   if (black_hole_) {
     stats_.bytes_blackholed += static_cast<std::int64_t>(n);
+    if (lc_.blackholed != nullptr) lc_.blackholed->add(n);
+    return static_cast<std::int64_t>(n);
+  }
+  if (!s.server_side && partition_up_) {
+    stats_.bytes_partitioned_up += static_cast<std::int64_t>(n);
+    if (lc_.partitioned_up != nullptr) lc_.partitioned_up->add(n);
+    return static_cast<std::int64_t>(n);
+  }
+  if (s.server_side && partition_down_) {
+    stats_.bytes_partitioned_down += static_cast<std::int64_t>(n);
+    if (lc_.partitioned_down != nullptr) lc_.partitioned_down->add(n);
     return static_cast<std::int64_t>(n);
   }
   if (s.server_side && drop_down_frac_ > 0.0 && !s.raw_mode) {
@@ -192,7 +207,13 @@ void SimTransport::send_segment(Stream& from,
                                 std::vector<std::uint8_t> data) {
   if (data.empty()) return;
   const auto pit = streams_.find(from.peer);
-  if (pit == streams_.end() || !pit->second.open) return;  // discarded
+  if (pit == streams_.end() || !pit->second.open) {
+    // The peer closed (or vanished) before these bytes could ship; a
+    // real kernel would discard them the same way, but here the loss
+    // must be *named* or the conservation oracle fires.
+    drop_closed(static_cast<std::int64_t>(data.size()));
+    return;
+  }
   const Time start = std::max(events_.now(), from.link_free_at);
   from.link_free_at =
       start + tx_time(static_cast<std::int64_t>(data.size()),
@@ -227,6 +248,10 @@ void SimTransport::sieve_and_send(Stream& from) {
     ++stats_.frames_down;
     if (rng_.uniform() < drop_down_frac_) {
       ++stats_.frames_dropped;
+      stats_.bytes_dropped_sieve += static_cast<std::int64_t>(total);
+      if (lc_.dropped_sieve != nullptr) lc_.dropped_sieve->add(total);
+      count_dropped_records(&from.down_parse[off + net::kFrameHeaderBytes],
+                            payload_len);
     } else {
       out.insert(
           out.end(),
@@ -280,8 +305,88 @@ void SimTransport::maybe_erase_pair(int handle) {
   if (it == streams_.end() || it->second.open) return;
   const auto pit = streams_.find(it->second.peer);
   if (pit != streams_.end() && pit->second.open) return;
-  if (pit != streams_.end()) streams_.erase(pit);
+  // Sieve parse residue (an incomplete trailing frame) dies with the
+  // pair; until now it counted as stranded, so re-home it.
+  drop_closed(static_cast<std::int64_t>(it->second.down_parse.size()));
+  if (pit != streams_.end()) {
+    drop_closed(static_cast<std::int64_t>(pit->second.down_parse.size()));
+    streams_.erase(pit);
+  }
   streams_.erase(handle);
+}
+
+void SimTransport::drop_closed(std::int64_t n) {
+  if (n <= 0) return;
+  stats_.bytes_dropped_closed += n;
+  if (lc_.dropped_closed != nullptr) {
+    lc_.dropped_closed->add(static_cast<std::uint64_t>(n));
+  }
+}
+
+void SimTransport::count_dropped_records(const std::uint8_t* payload,
+                                         std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    std::size_t rec = 0;
+    std::uint64_t* slot = nullptr;
+    switch (static_cast<net::MsgType>(payload[off])) {
+      case net::MsgType::kFlowletStart:
+        slot = &stats_.records_dropped_start;
+        rec = net::kStartRecordBytes;
+        break;
+      case net::MsgType::kFlowletEnd:
+        slot = &stats_.records_dropped_end;
+        rec = net::kEndRecordBytes;
+        break;
+      case net::MsgType::kRateUpdate:
+        slot = &stats_.records_dropped_rate;
+        rec = net::kRateRecordBytes;
+        break;
+      case net::MsgType::kTraceMark:
+        slot = &stats_.records_dropped_trace;
+        rec = net::kTraceRecordBytes;
+        break;
+      case net::MsgType::kHeartbeat:
+        slot = &stats_.records_dropped_heartbeat;
+        rec = net::kHeartbeatRecordBytes;
+        break;
+      default:
+        break;
+    }
+    if (slot == nullptr || len - off < rec) {
+      // Unknown tag or truncated trailing record: the rest of the frame
+      // is one opaque loss (the sieve only checks the length prefix,
+      // not record alignment).
+      ++stats_.records_dropped_other;
+      if (lc_.records_dropped != nullptr) lc_.records_dropped->add(1);
+      return;
+    }
+    ++*slot;
+    if (lc_.records_dropped != nullptr) lc_.records_dropped->add(1);
+    off += rec;
+  }
+}
+
+std::int64_t SimTransport::stranded_bytes() const {
+  std::int64_t n = 0;
+  for (const auto& [id, seg] : segments_) {
+    n += static_cast<std::int64_t>(seg.data.size());
+  }
+  for (const auto& [h, s] : streams_) {
+    n += static_cast<std::int64_t>(s.down_parse.size());
+  }
+  return n;
+}
+
+void SimTransport::bind_metrics(obs::MetricsRegistry& reg,
+                                std::string_view prefix) {
+  const std::string p(prefix);
+  lc_.blackholed = &reg.counter(p + ".bytes_blackholed");
+  lc_.partitioned_up = &reg.counter(p + ".bytes_partitioned_up");
+  lc_.partitioned_down = &reg.counter(p + ".bytes_partitioned_down");
+  lc_.dropped_sieve = &reg.counter(p + ".bytes_dropped_sieve");
+  lc_.dropped_closed = &reg.counter(p + ".bytes_dropped_closed");
+  lc_.records_dropped = &reg.counter(p + ".records_dropped");
 }
 
 void SimTransport::unlink_path(const std::string& path) {
@@ -362,10 +467,19 @@ void SimTransport::on_event(std::uint32_t tag, std::uint64_t arg) {
       if (node.empty()) return;
       Segment& seg = node.mapped();
       const auto it = streams_.find(seg.dst);
-      if (it == streams_.end()) return;
+      if (it == streams_.end()) {
+        // Destination pair already torn down while the segment was in
+        // flight: the bytes die, but not silently.
+        drop_closed(static_cast<std::int64_t>(seg.data.size()));
+        return;
+      }
       Stream& dst = it->second;
       dst.in_flight -= static_cast<std::int64_t>(seg.data.size());
-      if (!dst.open || dst.reset) return;  // bytes die at a closed door
+      if (!dst.open || dst.reset) {
+        // Bytes die at a closed door.
+        drop_closed(static_cast<std::int64_t>(seg.data.size()));
+        return;
+      }
       dst.inbox.insert(dst.inbox.end(), seg.data.begin(),
                        seg.data.end());
       stats_.bytes_delivered += static_cast<std::int64_t>(seg.data.size());

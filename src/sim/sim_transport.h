@@ -19,9 +19,26 @@
 //     length-prefix sieve FaultJail uses, so parsers keep working);
 //   - set_black_hole: writes succeed but bytes evaporate (the silent
 //     partition leases exist for);
+//   - set_partition_up / set_partition_down: the black hole's one-way
+//     cousins -- only agent->service (up) or service->agent (down)
+//     bytes evaporate, the other direction flows normally. One-way
+//     loss is the nastier failure: the side that can still hear keeps
+//     believing the conversation is healthy;
 //   - kill_all: every established stream resets at once -- reads give
 //     ECONNRESET, writes EPIPE -- driving agents into reconnect backoff
 //     (a virtual-time reconnect storm).
+//
+// Every byte write() accepts is accounted to exactly one fate, so the
+// chaos harness can assert conservation as an exact identity:
+//
+//   bytes_accepted == bytes_delivered + bytes_blackholed
+//                   + bytes_partitioned_up + bytes_partitioned_down
+//                   + bytes_dropped_sieve + bytes_dropped_closed
+//                   + stranded_bytes()
+//
+// where stranded_bytes() is what is still legitimately in motion
+// (segments in flight plus sieve parse residue). Any silent loss path
+// breaks the identity and trips the conservation oracle.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +54,10 @@
 #include "net/transport.h"
 #include "sim/event_queue.h"
 
+namespace ft::obs {
+class Counter;
+}  // namespace ft::obs
+
 namespace ft::sim {
 
 // Per-stream shaping (one instance per direction).
@@ -50,8 +71,26 @@ struct SimTransportStats {
   std::uint64_t conns_reset = 0;     // kill_all victims
   std::uint64_t frames_down = 0;     // frames sieved on drop-enabled dirs
   std::uint64_t frames_dropped = 0;  // of those, injected drops
-  std::int64_t bytes_delivered = 0;
-  std::int64_t bytes_blackholed = 0;
+  // Byte fates. bytes_accepted is everything write() returned success
+  // for (post receive-window clamp); the rest partition it exhaustively
+  // together with stranded_bytes() -- see the conservation identity in
+  // the header comment.
+  std::int64_t bytes_accepted = 0;
+  std::int64_t bytes_delivered = 0;        // landed in a peer inbox
+  std::int64_t bytes_blackholed = 0;       // two-way black hole
+  std::int64_t bytes_partitioned_up = 0;   // one-way: agent->service
+  std::int64_t bytes_partitioned_down = 0; // one-way: service->agent
+  std::int64_t bytes_dropped_sieve = 0;    // whole frames the sieve cut
+  std::int64_t bytes_dropped_closed = 0;   // died at a closed/gone peer
+  // Record types inside sieve-dropped frames (drop *accounting*, not
+  // just drop *counting*: the conservation oracle demands every lost
+  // record shows up under a name).
+  std::uint64_t records_dropped_start = 0;
+  std::uint64_t records_dropped_end = 0;
+  std::uint64_t records_dropped_rate = 0;
+  std::uint64_t records_dropped_trace = 0;
+  std::uint64_t records_dropped_heartbeat = 0;
+  std::uint64_t records_dropped_other = 0;  // unknown tag / malformed tail
 };
 
 class SimLoop;
@@ -99,11 +138,28 @@ class SimTransport final : public net::Transport, public EventHandler {
   // agent) silently dropped, whole frames at a time.
   void set_drop_down_frac(double f) { drop_down_frac_ = f; }
   void set_black_hole(bool on) { black_hole_ = on; }
+  // One-way partitions: writes in the affected direction succeed but
+  // the bytes evaporate; the opposite direction is untouched. "Up" is
+  // the client->server direction (agent -> allocator), "down" is
+  // server->client (allocator -> agent). Both may be on at once (then
+  // equivalent to a black hole, but accounted per direction).
+  void set_partition_up(bool on) { partition_up_ = on; }
+  void set_partition_down(bool on) { partition_down_ = on; }
   // Reset storm: every established stream dies now (ECONNRESET/EPIPE);
   // listeners survive so re-dials succeed.
   void kill_all();
 
+  // Mirrors the drop/fault counters into named obs:: counters (e.g.
+  // "<prefix>.bytes_dropped_sieve") so simulated loss is visible on the
+  // same metrics plane as production loss. Call once at setup; the
+  // registry must outlive the transport.
+  void bind_metrics(obs::MetricsRegistry& reg, std::string_view prefix);
+
   [[nodiscard]] const SimTransportStats& stats() const { return stats_; }
+  // Bytes legitimately still in motion: segments scheduled but not yet
+  // delivered, plus sieve parse residue awaiting a complete frame.
+  // Closes the conservation identity (see header comment).
+  [[nodiscard]] std::int64_t stranded_bytes() const;
   [[nodiscard]] std::size_t num_streams() const { return streams_.size(); }
   [[nodiscard]] EventQueue& events() { return events_; }
   [[nodiscard]] VirtualClock& virtual_clock() { return clock_; }
@@ -155,6 +211,11 @@ class SimTransport final : public net::Transport, public EventHandler {
   void send_segment(Stream& from, std::vector<std::uint8_t> data);
   // Cuts whole frames out of from.down_parse, rolling the drop die.
   void sieve_and_send(Stream& from);
+  // Accounts bytes that died at a closed or vanished peer.
+  void drop_closed(std::int64_t n);
+  // Attributes each record in a sieve-dropped frame payload to its
+  // per-type drop counter.
+  void count_dropped_records(const std::uint8_t* payload, std::size_t len);
   [[nodiscard]] std::uint32_t ready_mask(int handle) const;
   // Schedules a readiness dispatch if the handle is watched, ready and
   // none is pending.
@@ -171,7 +232,19 @@ class SimTransport final : public net::Transport, public EventHandler {
   std::size_t stream_buf_bytes_ = 1 << 20;
   double drop_down_frac_ = 0.0;
   bool black_hole_ = false;
+  bool partition_up_ = false;
+  bool partition_down_ = false;
   SimTransportStats stats_;
+  // Named-counter mirrors for loss paths; null until bind_metrics.
+  struct LossCounters {
+    obs::Counter* blackholed = nullptr;
+    obs::Counter* partitioned_up = nullptr;
+    obs::Counter* partitioned_down = nullptr;
+    obs::Counter* dropped_sieve = nullptr;
+    obs::Counter* dropped_closed = nullptr;
+    obs::Counter* records_dropped = nullptr;
+  };
+  LossCounters lc_;
 
   int next_handle_ = 1;
   std::uint64_t next_segment_ = 1;

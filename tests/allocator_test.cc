@@ -30,7 +30,9 @@ std::vector<LinkId> to_vec(const topo::Path& p) {
 TEST(MessagesTest, SizesMatchPaper) {
   EXPECT_EQ(kFlowletStartBytes, 16u);
   EXPECT_EQ(kFlowletEndBytes, 4u);
-  EXPECT_EQ(kRateUpdateBytes, 6u);
+  // Paper encoding (6 B) plus our 2-byte allocator-epoch stamp, the
+  // one deliberate deviation from §6.2 (see core/messages.h).
+  EXPECT_EQ(kRateUpdateBytes, 6u + 2u);
 }
 
 TEST(MessagesTest, RoundTrip) {

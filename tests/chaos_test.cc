@@ -1,0 +1,323 @@
+// Chaos engine tests: the invariant oracles catch deliberately
+// re-introduced bugs (mutation testing via the AgentConfig test hooks),
+// the shrinker reduces violating schedules to 1-minimal repros that
+// replay deterministically from their seed, and green campaigns are
+// bit-identical across runs.
+//
+// The mutation pattern: every oracle is only as good as the bug it
+// catches. Each test flips exactly one hardening flag (epoch
+// filtering, lease enforcement, fd hygiene), runs a schedule that
+// exercises the corresponding fault, and asserts the matching oracle
+// -- and only a real schedule, not a unit-test stub -- fires. The
+// hardened plane runs the *same* schedule green, proving the oracle
+// discriminates.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/messages.h"
+#include "net/client.h"
+#include "sim/chaos.h"
+#include "sim/control_plane_harness.h"
+#include "sim/oracles.h"
+
+namespace ft::sim {
+namespace {
+
+// Small plane with the full liveness stack on: service heartbeats and
+// leases, agent heartbeats and dead-peer detection.
+HarnessConfig plane_cfg(std::uint64_t seed, bool vip) {
+  HarnessConfig cfg;
+  cfg.num_endpoints = 32;
+  cfg.flows_per_endpoint = 2;
+  cfg.servers_per_rack = 8;
+  cfg.spines = 2;
+  cfg.stable_rounds = 3;
+  cfg.max_virtual_us = 30'000'000;
+  cfg.seed = seed;
+  cfg.poll_period_us = 1'000;
+  cfg.heartbeat_period_us = 10'000;
+  cfg.rate_lease_us = 50'000;
+  cfg.peer_timeout_us = 300'000;
+  cfg.agent_heartbeat_period_us = 10'000;
+  cfg.agent_peer_timeout_us = 150'000;
+  cfg.use_vip_proxy = vip;
+  return cfg;
+}
+
+ChaosConfig chaos_cfg(std::uint64_t plane_seed, bool vip) {
+  ChaosConfig cfg;
+  cfg.harness = plane_cfg(plane_seed, vip);
+  return cfg;
+}
+
+// Hand-built schedule (the generator is for campaigns; mutation tests
+// want one precisely-aimed fault).
+ChaosSchedule manual_schedule(std::vector<ChaosEvent> events) {
+  ChaosSchedule s;
+  s.seed = 0;
+  s.events = std::move(events);
+  for (std::size_t i = 0; i < s.events.size(); ++i) {
+    s.events[i].idx = static_cast<int>(i);
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------
+// VIP warm restart: the epoch hardening end to end
+// ---------------------------------------------------------------------
+
+TEST(VipWarmRestartTest, AgentsSeeNewEpochWithoutDisconnecting) {
+  HarnessConfig cfg = plane_cfg(11, /*vip=*/true);
+  ControlPlaneHarness h(cfg);
+  ASSERT_TRUE(h.run_to_convergence().converged);
+  ASSERT_NE(h.proxy(), nullptr);
+  for (int i = 0; i < h.num_agents(); ++i) {
+    ASSERT_TRUE(h.agent(i).epoch_seen());
+    ASSERT_EQ(h.agent(i).observed_epoch(), 1);
+  }
+
+  h.restart_service();  // warm: the proxy redials, agents never notice
+  ASSERT_TRUE(h.run_to_convergence().converged);
+
+  std::uint64_t invalidated = 0;
+  std::uint64_t replays = 0;
+  for (int i = 0; i < h.num_agents(); ++i) {
+    const net::EndpointAgent& a = h.agent(i);
+    EXPECT_EQ(a.observed_epoch(), 2) << "agent " << i;
+    // The defining property of a warm restart: zero disconnects.
+    EXPECT_EQ(a.stats().disconnects, 0u) << "agent " << i;
+    invalidated += a.stats().epoch_invalidated_rates;
+    replays += a.stats().epoch_replays;
+  }
+  // Old-epoch rates were invalidated into fallback, and the epoch
+  // advance (not a reconnect) triggered the flowlet replay that
+  // rebuilt the allocator's flow set.
+  EXPECT_GT(invalidated, 0u);
+  EXPECT_EQ(replays, static_cast<std::uint64_t>(h.num_agents()));
+  EXPECT_GT(h.proxy()->stats().upstream_redials, 0u);
+  EXPECT_EQ(h.allocator().num_active_flowlets(), h.total_flows());
+
+  // The full oracle suite is clean on the hardened plane.
+  const Oracles orc;
+  for (const auto& r : orc.check_quiesce(h)) {
+    ADD_FAILURE() << r.oracle << ": " << r.detail;
+  }
+}
+
+TEST(VipWarmRestartTest, StaleHeartbeatsAndUpdatesAreDiscarded) {
+  // epoch_newer is serial arithmetic: adoption must survive wraparound.
+  EXPECT_TRUE(core::epoch_newer(1, 65535));
+  EXPECT_TRUE(core::epoch_newer(2, 1));
+  EXPECT_FALSE(core::epoch_newer(1, 2));
+  EXPECT_FALSE(core::epoch_newer(7, 7));
+}
+
+// ---------------------------------------------------------------------
+// Mutation: epoch filtering disabled -> stale_rate oracle
+// ---------------------------------------------------------------------
+
+TEST(ChaosMutationTest, StaleRateBugIsCaughtShrunkAndReplayable) {
+  // The re-introduced bug: agents track epochs but never invalidate or
+  // replay (epoch_filtering off). Behind a VIP, a service restart then
+  // leaves every agent steering traffic on the dead instance's rates.
+  ChaosConfig cfg = chaos_cfg(21, /*vip=*/true);
+  cfg.harness.agent_epoch_filtering = false;
+  const ChaosEngine engine(cfg);
+
+  // Deterministically find a generated (not hand-built) schedule with
+  // several events, one of them a restart -- the shrinker needs chaff
+  // to remove.
+  std::uint64_t seed = 0;
+  ChaosSchedule schedule;
+  for (std::uint64_t s = 1; s < 200; ++s) {
+    const ChaosSchedule cand = engine.generate(s);
+    const bool has_restart =
+        std::any_of(cand.events.begin(), cand.events.end(),
+                    [](const ChaosEvent& e) {
+                      return e.kind == ChaosFaultKind::kRestartService;
+                    });
+    if (has_restart && cand.events.size() >= 3) {
+      seed = s;
+      schedule = cand;
+      break;
+    }
+  }
+  ASSERT_NE(seed, 0u) << "no suitable schedule in seed range";
+
+  const ChaosResult failing = engine.run_schedule(schedule);
+  ASSERT_FALSE(failing.ok);
+  ASSERT_FALSE(failing.violations.empty());
+  EXPECT_EQ(failing.violations.front().oracle, "stale_rate");
+
+  // Shrink to 1-minimal: a restart alone reproduces, so the repro is
+  // well under the 3-event bound.
+  const ShrinkResult shrunk = engine.shrink(failing);
+  ASSERT_FALSE(shrunk.result.ok);
+  EXPECT_EQ(shrunk.result.violations.front().oracle, "stale_rate");
+  EXPECT_LE(shrunk.minimal.events.size(), 3u);
+  EXPECT_GE(shrunk.minimal.events.size(), 1u);
+
+  // 1-minimality, verified directly: removing any single remaining
+  // event kills the repro.
+  for (std::size_t i = 0; i < shrunk.minimal.events.size(); ++i) {
+    ChaosSchedule sub = shrunk.minimal;
+    sub.events.erase(sub.events.begin() + static_cast<std::ptrdiff_t>(i));
+    const ChaosResult r = engine.run_schedule(sub);
+    const bool same_violation =
+        !r.ok && !r.violations.empty() &&
+        r.violations.front().oracle == "stale_rate";
+    EXPECT_FALSE(same_violation)
+        << "schedule still violates without event " << i;
+  }
+
+  // The repro replays from its seed: regenerating the schedule and
+  // filtering by the kept indices reproduces the identical failure.
+  std::vector<int> keep;
+  for (const ChaosEvent& e : shrunk.minimal.events) keep.push_back(e.idx);
+  const ChaosSchedule replayed =
+      ChaosEngine::apply_keep(engine.generate(seed), keep);
+  ASSERT_EQ(replayed.events.size(), shrunk.minimal.events.size());
+  const ChaosResult r1 = engine.run_schedule(replayed);
+  const ChaosResult r2 = engine.run_schedule(replayed);
+  ASSERT_FALSE(r1.ok);
+  EXPECT_EQ(r1.violations.front().oracle, "stale_rate");
+  EXPECT_EQ(r1.violations.front().detail,
+            shrunk.result.violations.front().detail);
+  EXPECT_EQ(r1.violations.front().virtual_us,
+            shrunk.result.violations.front().virtual_us);
+  EXPECT_EQ(r1.trajectory_hash, r2.trajectory_hash);
+
+  // The repro artifact names the oracle and carries the replay command.
+  const std::string json = engine.repro_json(shrunk.result);
+  EXPECT_NE(json.find("\"violated_oracle\": \"stale_rate\""),
+            std::string::npos);
+  EXPECT_NE(json.find("--replay-schedule-seed=" + std::to_string(seed)),
+            std::string::npos);
+
+  // Discrimination: the hardened plane survives the same schedule.
+  ChaosConfig fixed = cfg;
+  fixed.harness.agent_epoch_filtering = true;
+  const ChaosEngine hardened(fixed);
+  const ChaosResult ok = hardened.run_schedule(schedule);
+  EXPECT_TRUE(ok.ok) << (ok.violations.empty()
+                             ? "?"
+                             : ok.violations.front().oracle + ": " +
+                                   ok.violations.front().detail);
+}
+
+// ---------------------------------------------------------------------
+// Mutation: lease enforcement disabled -> lease_safety oracle
+// ---------------------------------------------------------------------
+
+TEST(ChaosMutationTest, LeaseDecayBugIsCaughtByLeaseOracle) {
+  // The re-introduced bug: the agent never degrades on lease expiry,
+  // so a silent allocator (black hole) leaves it running on stale
+  // allocations forever.
+  ChaosConfig cfg = chaos_cfg(22, /*vip=*/false);
+  cfg.harness.agent_lease_enforcement = false;
+  const ChaosEngine engine(cfg);
+  const ChaosSchedule s = manual_schedule({
+      {ChaosFaultKind::kBlackHole, /*at_us=*/10'000,
+       /*duration_us=*/120'000, 0.0, 0},
+  });
+  const ChaosResult r = engine.run_schedule(s);
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.violations.front().oracle, "lease_safety");
+
+  // Hardened contrast: lease enforcement on, same schedule, green.
+  ChaosConfig fixed = cfg;
+  fixed.harness.agent_lease_enforcement = true;
+  const ChaosResult ok = ChaosEngine(fixed).run_schedule(s);
+  EXPECT_TRUE(ok.ok) << (ok.violations.empty()
+                             ? "?"
+                             : ok.violations.front().oracle + ": " +
+                                   ok.violations.front().detail);
+}
+
+// ---------------------------------------------------------------------
+// Mutation: leaked connection slots -> resource_leaks oracle
+// ---------------------------------------------------------------------
+
+TEST(ChaosMutationTest, SlotRecyclingBugIsCaughtByLeakOracle) {
+  // The re-introduced bug: lost connections never close their
+  // transport handle, so every reconnect storm leaks slots.
+  ChaosConfig cfg = chaos_cfg(23, /*vip=*/false);
+  cfg.harness.agent_leak_fds = true;
+  const ChaosEngine engine(cfg);
+  const ChaosSchedule s = manual_schedule({
+      {ChaosFaultKind::kKillConnections, /*at_us=*/10'000, 0, 0.0, 0},
+  });
+  const ChaosResult r = engine.run_schedule(s);
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.violations.front().oracle, "resource_leaks");
+
+  ChaosConfig fixed = cfg;
+  fixed.harness.agent_leak_fds = false;
+  const ChaosResult ok = ChaosEngine(fixed).run_schedule(s);
+  EXPECT_TRUE(ok.ok) << (ok.violations.empty()
+                             ? "?"
+                             : ok.violations.front().oracle + ": " +
+                                   ok.violations.front().detail);
+}
+
+// ---------------------------------------------------------------------
+// Green campaigns: deterministic and clean on the hardened plane
+// ---------------------------------------------------------------------
+
+TEST(ChaosCampaignTest, HardenedPlaneSurvivesCampaignDeterministically) {
+  const ChaosConfig cfg = chaos_cfg(31, /*vip=*/false);
+  const ChaosEngine engine(cfg);
+  const CampaignResult a = engine.run_campaign(/*campaign_seed=*/7, 4);
+  EXPECT_EQ(a.violations, 0)
+      << a.first_violation.violations.front().oracle << ": "
+      << a.first_violation.violations.front().detail;
+  EXPECT_EQ(a.schedules_run, 4);
+  const CampaignResult b = engine.run_campaign(/*campaign_seed=*/7, 4);
+  EXPECT_EQ(a.campaign_hash, b.campaign_hash);
+  EXPECT_EQ(a.reconverge_us, b.reconverge_us);
+}
+
+TEST(ChaosCampaignTest, VipPlaneSurvivesWarmRestartCampaign) {
+  // Same, through the VIP: warm restarts, redials and epoch adoption
+  // all in the loop.
+  const ChaosConfig cfg = chaos_cfg(32, /*vip=*/true);
+  const ChaosEngine engine(cfg);
+  const CampaignResult a = engine.run_campaign(/*campaign_seed=*/9, 3);
+  EXPECT_EQ(a.violations, 0)
+      << a.first_violation.violations.front().oracle << ": "
+      << a.first_violation.violations.front().detail;
+}
+
+// Schedule generation is a pure function of the seed.
+TEST(ChaosScheduleTest, GenerateIsDeterministicAndBounded) {
+  const ChaosConfig cfg = chaos_cfg(1, false);
+  const ChaosEngine engine(cfg);
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const ChaosSchedule a = engine.generate(seed);
+    const ChaosSchedule b = engine.generate(seed);
+    ASSERT_EQ(a.events.size(), b.events.size());
+    ASSERT_GE(a.events.size(),
+              static_cast<std::size_t>(cfg.min_events));
+    ASSERT_LE(a.events.size(),
+              static_cast<std::size_t>(cfg.max_events));
+    for (std::size_t i = 0; i < a.events.size(); ++i) {
+      EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+      EXPECT_EQ(a.events[i].at_us, b.events[i].at_us);
+      EXPECT_EQ(a.events[i].duration_us, b.events[i].duration_us);
+      EXPECT_EQ(a.events[i].magnitude, b.events[i].magnitude);
+      ASSERT_GE(a.events[i].at_us, 0);
+      ASSERT_LT(a.events[i].at_us, cfg.window_us);
+      if (i > 0) {
+        ASSERT_LE(a.events[i - 1].at_us, a.events[i].at_us);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ft::sim

@@ -240,10 +240,15 @@ TEST_P(KillRestartTest, WarmRestartRebuildsFromReplay) {
     EXPECT_GE(a->stats().reconnect_attempts, 1u);
     // Agent 0 also replays flow 9000: its start record died unflushed
     // with the old connection, but the flow table is the truth replay
-    // rebuilds from.
-    EXPECT_EQ(a->stats().replayed_starts,
-              static_cast<std::uint64_t>(kFlowsPerAgent) +
-                  (a == raw[0] ? 1u : 0u));
+    // rebuilds from. Registration refreshes (periodic re-replay while
+    // any flow is unacked) each replay the table *as of that moment*,
+    // so they add between 0 and flows_here starts apiece; the
+    // reconnect replay itself is the exact lower bound.
+    const auto flows_here = static_cast<std::uint64_t>(kFlowsPerAgent) +
+                            (a == raw[0] ? 1u : 0u);
+    EXPECT_GE(a->stats().replayed_starts, flows_here);
+    EXPECT_LE(a->stats().replayed_starts,
+              flows_here * (1u + a->stats().registration_refreshes));
   }
 
   // The warm restart rebuilt the full flow set from replay alone

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/messages.h"
 #include "net/client.h"
 #include "net/transport.h"
 #include "sim/control_plane_harness.h"
@@ -149,6 +150,116 @@ TEST(SimTransportTest, BlackHoleSwallowsBytes) {
   EXPECT_EQ(p.tr.read(p.server, buf, sizeof buf), -1);
   EXPECT_EQ(errno, EAGAIN);
   EXPECT_EQ(p.tr.stats().bytes_blackholed, 4);
+}
+
+TEST(SimTransportTest, OneWayPartitionUpDropsOnlyClientToServer) {
+  Pipe p;
+  p.establish();
+  p.tr.set_partition_up(true);
+  // Client -> server evaporates (write still "succeeds")...
+  ASSERT_EQ(p.tr.write(p.client, "gone", 4), 4);
+  // ...while server -> client keeps flowing.
+  ASSERT_EQ(p.tr.write(p.server, "ok", 2), 2);
+  p.q.run_until(p.q.now() + 50 * kMicrosecond);
+  char buf[8];
+  EXPECT_EQ(p.tr.read(p.server, buf, sizeof buf), -1);
+  EXPECT_EQ(errno, EAGAIN);
+  EXPECT_EQ(p.tr.read(p.client, buf, sizeof buf), 2);
+  EXPECT_EQ(std::memcmp(buf, "ok", 2), 0);
+  EXPECT_EQ(p.tr.stats().bytes_partitioned_up, 4);
+  EXPECT_EQ(p.tr.stats().bytes_partitioned_down, 0);
+  // Healed: the direction carries bytes again.
+  p.tr.set_partition_up(false);
+  ASSERT_EQ(p.tr.write(p.client, "back", 4), 4);
+  p.q.run_until(p.q.now() + 50 * kMicrosecond);
+  EXPECT_EQ(p.tr.read(p.server, buf, sizeof buf), 4);
+}
+
+TEST(SimTransportTest, OneWayPartitionDownDropsOnlyServerToClient) {
+  Pipe p;
+  p.establish();
+  p.tr.set_partition_down(true);
+  ASSERT_EQ(p.tr.write(p.server, "gone", 4), 4);
+  ASSERT_EQ(p.tr.write(p.client, "ok", 2), 2);
+  p.q.run_until(p.q.now() + 50 * kMicrosecond);
+  char buf[8];
+  EXPECT_EQ(p.tr.read(p.client, buf, sizeof buf), -1);
+  EXPECT_EQ(errno, EAGAIN);
+  EXPECT_EQ(p.tr.read(p.server, buf, sizeof buf), 2);
+  EXPECT_EQ(p.tr.stats().bytes_partitioned_down, 4);
+  EXPECT_EQ(p.tr.stats().bytes_partitioned_up, 0);
+}
+
+// The conservation identity: every accepted byte has exactly one fate.
+// Exercises delivery, black hole, both partitions, sieve drops, bytes
+// dying at a closed peer, and stranded in-flight bytes.
+TEST(SimTransportTest, ByteConservationIdentityHoldsAcrossFaults) {
+  Pipe p;
+  p.establish();
+  const auto balanced = [&p] {
+    const SimTransportStats& st = p.tr.stats();
+    return st.bytes_accepted ==
+           st.bytes_delivered + st.bytes_blackholed +
+               st.bytes_partitioned_up + st.bytes_partitioned_down +
+               st.bytes_dropped_sieve + st.bytes_dropped_closed +
+               p.tr.stranded_bytes();
+  };
+  char buf[64];
+  ASSERT_EQ(p.tr.write(p.client, "hello", 5), 5);
+  EXPECT_TRUE(balanced());  // 5 bytes in flight = stranded
+  p.q.run_until(p.q.now() + 50 * kMicrosecond);
+  ASSERT_EQ(p.tr.read(p.server, buf, sizeof buf), 5);
+  EXPECT_TRUE(balanced());  // delivered
+
+  p.tr.set_black_hole(true);
+  ASSERT_EQ(p.tr.write(p.client, "bh", 2), 2);
+  p.tr.set_black_hole(false);
+  p.tr.set_partition_up(true);
+  ASSERT_EQ(p.tr.write(p.client, "up", 2), 2);
+  p.tr.set_partition_up(false);
+  p.tr.set_partition_down(true);
+  ASSERT_EQ(p.tr.write(p.server, "dn", 2), 2);
+  p.tr.set_partition_down(false);
+  EXPECT_TRUE(balanced());
+
+  // Sieve drop: a whole frame dies, counted in bytes and records.
+  p.tr.set_drop_down_frac(1.0);
+  const std::vector<std::uint8_t> frame = {1, 0, 0, 0, 5};  // 1-byte
+  // payload whose first byte is the kHeartbeat record tag
+  ASSERT_EQ(p.tr.write(p.server, frame.data(), frame.size()),
+            static_cast<std::int64_t>(frame.size()));
+  p.tr.set_drop_down_frac(0.0);
+  EXPECT_EQ(p.tr.stats().bytes_dropped_sieve, 5);
+  EXPECT_TRUE(balanced());
+
+  // Bytes racing a close die at the closed door -- accounted, not lost.
+  ASSERT_EQ(p.tr.write(p.client, "late", 4), 4);
+  p.tr.close(p.server);
+  p.q.run_until(p.q.now() + 50 * kMicrosecond);
+  EXPECT_GE(p.tr.stats().bytes_dropped_closed, 4);
+  EXPECT_TRUE(balanced());
+}
+
+TEST(SimTransportTest, SieveAttributesDroppedRecordsByType) {
+  Pipe p;
+  p.establish();
+  p.tr.set_drop_down_frac(1.0);
+  // One frame holding a rate-update record (tag 3) and a heartbeat
+  // record (tag 5), sized per net/frame.h.
+  std::vector<std::uint8_t> payload;
+  payload.push_back(3);
+  payload.resize(payload.size() + core::kRateUpdateBytes, 0);
+  payload.push_back(5);
+  payload.resize(payload.size() + core::kHeartbeatBytes, 0);
+  std::vector<std::uint8_t> frame = {
+      static_cast<std::uint8_t>(payload.size()), 0, 0, 0};
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  ASSERT_EQ(p.tr.write(p.server, frame.data(), frame.size()),
+            static_cast<std::int64_t>(frame.size()));
+  EXPECT_EQ(p.tr.stats().records_dropped_rate, 1u);
+  EXPECT_EQ(p.tr.stats().records_dropped_heartbeat, 1u);
+  EXPECT_EQ(p.tr.stats().records_dropped_start, 0u);
+  EXPECT_EQ(p.tr.stats().records_dropped_other, 0u);
 }
 
 TEST(SimTransportTest, DropSieveDropsWholeFrames) {

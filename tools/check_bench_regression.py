@@ -46,12 +46,18 @@ IGNORED_KEYS = {"hardware_concurrency", "git_sha", "stall_us",
                 "stall_every_rounds", "sample_every", "reclaim_us",
                 "virtual_over_wall_speedup"}
 
-# Metrics from the virtual-time harness (bench_sim_scale) are exact
-# functions of (seed, config) -- identical on every machine -- so they
-# get a much tighter band than the wall-clock benches: any drift is a
-# real behaviour change, not runner noise.
+# Metrics from the virtual-time harness (bench_sim_scale, bench_chaos)
+# are exact functions of (seed, config) -- identical on every machine --
+# so they get a much tighter band than the wall-clock benches: any
+# drift is a real behaviour change, not runner noise.
 SIM_PREFIX = "sim_"
 SIM_TOLERANCE = 0.05
+
+# Chaos-campaign verdicts are correctness, not performance: any oracle
+# violation is a failure, so *violations keys carry a zero band and
+# gate even from a zero baseline (which the positive-baseline filter
+# below would otherwise drop from tracking).
+VIOLATION_SUFFIX = "violations"
 
 
 def metric_direction(key):
@@ -123,7 +129,18 @@ def compare_file(name, baseline, fresh, tolerance):
         direction = metric_direction(key)
         if direction == 0 or not isinstance(base_val, (int, float)):
             continue
-        if isinstance(base_val, bool) or base_val <= 0:
+        if isinstance(base_val, bool):
+            continue
+        if key.endswith(VIOLATION_SUFFIX):
+            fresh_val = fresh_leaves.get(path)
+            if isinstance(fresh_val, (int, float)) and fresh_val > base_val:
+                regressions.append(
+                    f"  {name}:{path}: baseline {base_val:.6g} -> fresh "
+                    f"{fresh_val:.6g} (violation count increased; zero "
+                    "tolerance)"
+                )
+            continue
+        if base_val <= 0:
             continue
         fresh_val = fresh_leaves.get(path)
         if not isinstance(fresh_val, (int, float)) or isinstance(
